@@ -1,0 +1,138 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark wraps the corresponding experiment at a CI-friendly
+// scale; `cmd/uncbench` runs the same experiments at arbitrary scales and
+// prints the paper-shaped tables. See EXPERIMENTS.md for recorded outputs.
+package ucpc_test
+
+import (
+	"testing"
+
+	"ucpc"
+	"ucpc/internal/experiments"
+	"ucpc/internal/uncgen"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 11, Runs: 1, Scale: 0.02, MinObjects: 60}
+}
+
+// BenchmarkTable2 regenerates one dataset×pdf cell block of Table 2
+// (accuracy, Θ and Q, all seven algorithms) per iteration.
+func BenchmarkTable2Iris(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2AllModels covers the three pdf families on one dataset.
+func BenchmarkTable2AllModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchConfig(), []string{"Glass"}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates two cluster-count rows of Table 3 (real
+// microarray data, internal criterion Q).
+func BenchmarkTable3Leukaemia(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(benchConfig(), []string{"Leukaemia"}, []int{2, 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates one efficiency row of Figure 4 (all nine
+// algorithms on one dataset).
+func BenchmarkFig4Abalone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchConfig(), []string{"Abalone"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates a two-point slice of the Figure 5 scalability
+// series on the KDD-shaped workload.
+func BenchmarkFig5KDD(b *testing.B) {
+	cfg := experiments.Config{Seed: 11, Runs: 1, Scale: 0.0002}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(cfg, []float64{0.5, 1.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks on the algorithmic core ---------------------------
+
+func benchDataset(n int) ucpc.Dataset {
+	r := ucpc.NewRNG(3)
+	ds := make(ucpc.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % 4
+		c := []float64{8 * float64(g%2), 8 * float64(g/2)}
+		c[0] += r.Normal(0, 1)
+		c[1] += r.Normal(0, 1)
+		o := ucpc.NewNormalObject(i, c, []float64{0.4, 0.4}, 0.95)
+		o.Label = g
+		ds = append(ds, o)
+	}
+	return ds
+}
+
+// BenchmarkUCPC measures the paper's algorithm end to end (n=800, k=4).
+func BenchmarkUCPC(b *testing.B) {
+	ds := benchDataset(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ucpc.Cluster(ds, 4, ucpc.Options{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUKMeans measures the fastest competitor on the same workload.
+func BenchmarkUKMeans(b *testing.B) {
+	ds := benchDataset(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ucpc.Cluster(ds, 4, ucpc.Options{Algorithm: "UKM", Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMVar measures the other closed-form competitor.
+func BenchmarkMMVar(b *testing.B) {
+	ds := benchDataset(800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ucpc.Cluster(ds, 4, ucpc.Options{Algorithm: "MMV", Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEED measures the Lemma 3 closed form (the inner loop of
+// UK-medoids and the validity criteria).
+func BenchmarkEED(b *testing.B) {
+	ds := benchDataset(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ucpc.EED(ds[0], ds[1])
+	}
+}
+
+// BenchmarkUCentroid measures U-centroid construction (Theorem 1 region +
+// Lemma 5 moments) for a 100-object cluster.
+func BenchmarkUCentroid(b *testing.B) {
+	ds := benchDataset(100)
+	members := []*ucpc.Object(ds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ucpc.NewUCentroid(members)
+	}
+}

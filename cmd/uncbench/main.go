@@ -1,0 +1,156 @@
+// Command uncbench regenerates the paper's evaluation artifacts: Table 2
+// (accuracy on benchmark datasets), Table 3 (accuracy on real microarray
+// data), Figure 4 (efficiency), and Figure 5 (scalability on the KDD Cup
+// '99 workload).
+//
+// Usage:
+//
+//	uncbench -exp table2|table3|fig4|fig5|all [flags]
+//
+// Flags:
+//
+//	-scale f     dataset scale fraction (default 0.08; fig5 default 0.005,
+//	             interpreted against the 4M-row KDD collection)
+//	-runs n      repetitions averaged per measurement (paper: 50; default 3)
+//	-seed n      master seed (default 1)
+//	-datasets s  comma-separated dataset subset (table2/table3/fig4)
+//	-models s    comma-separated pdf families for table2: U,N,E
+//	-out path    also write the rendered output to a file
+//	-v           progress lines on stderr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ucpc/internal/experiments"
+	"ucpc/internal/uncgen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table2|table3|fig4|fig5|all")
+		scale    = flag.Float64("scale", 0, "dataset scale fraction (0 = per-experiment default)")
+		runs     = flag.Int("runs", 0, "runs averaged per measurement (0 = default 3)")
+		seed     = flag.Uint64("seed", 1, "master seed")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset")
+		models   = flag.String("models", "", "comma-separated pdf families (U,N,E)")
+		out      = flag.String("out", "", "also write output to this file")
+		csvOut   = flag.Bool("csv", false, "emit machine-readable CSV instead of rendered tables")
+		verbose  = flag.Bool("v", false, "progress to stderr")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed, Runs: *runs, Scale: *scale}
+	if *verbose {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var names []string
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	var mods []uncgen.Model
+	if *models != "" {
+		for _, s := range strings.Split(*models, ",") {
+			switch strings.TrimSpace(s) {
+			case "U":
+				mods = append(mods, uncgen.Uniform)
+			case "N":
+				mods = append(mods, uncgen.Normal)
+			case "E":
+				mods = append(mods, uncgen.Exponential)
+			default:
+				fatalf("unknown model %q (valid: U, N, E)", s)
+			}
+		}
+	}
+
+	var b strings.Builder
+	runTable2 := func() {
+		res, err := experiments.Table2(cfg, names, mods)
+		if err != nil {
+			fatalf("table2: %v", err)
+		}
+		if *csvOut {
+			b.WriteString(experiments.Table2CSV(res))
+			return
+		}
+		b.WriteString(experiments.RenderTable2(res))
+		b.WriteString("\n")
+	}
+	runTable3 := func() {
+		res, err := experiments.Table3(cfg, names, nil)
+		if err != nil {
+			fatalf("table3: %v", err)
+		}
+		if *csvOut {
+			b.WriteString(experiments.Table3CSV(res))
+			return
+		}
+		b.WriteString(experiments.RenderTable3(res))
+		b.WriteString("\n")
+	}
+	runFig4 := func() {
+		res, err := experiments.Fig4(cfg, names)
+		if err != nil {
+			fatalf("fig4: %v", err)
+		}
+		if *csvOut {
+			b.WriteString(experiments.Fig4CSV(res))
+			return
+		}
+		b.WriteString(experiments.RenderFig4(res))
+		b.WriteString("\nfastest-to-slowest per dataset:\n")
+		for _, row := range res.Rows {
+			b.WriteString("  " + experiments.SummarizeOrdering(row) + "\n")
+		}
+		b.WriteString("\n")
+	}
+	runFig5 := func() {
+		res, err := experiments.Fig5(cfg, nil)
+		if err != nil {
+			fatalf("fig5: %v", err)
+		}
+		if *csvOut {
+			b.WriteString(experiments.Fig5CSV(res))
+			return
+		}
+		b.WriteString(experiments.RenderFig5(res))
+		b.WriteString("\n")
+	}
+
+	switch *exp {
+	case "table2":
+		runTable2()
+	case "table3":
+		runTable3()
+	case "fig4":
+		runFig4()
+	case "fig5":
+		runFig5()
+	case "all":
+		runTable2()
+		runTable3()
+		runFig4()
+		runFig5()
+	default:
+		fatalf("unknown experiment %q (valid: table2, table3, fig4, fig5, all)", *exp)
+	}
+
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "uncbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Microarray: the paper's biomedical scenario (§1, §5) — gene-expression
+// data with probe-level uncertainty, "a key aspect that allows for a more
+// expressive data representation and a more accurate processing".
+//
+// We synthesize a Leukaemia-shaped collection (genes × arrays, per-entry
+// Normal error model mimicking multi-mgMOS output), cluster the genes into
+// co-expression groups with each partitional algorithm, and score the
+// groupings with the internal quality criterion Q — a miniature of the
+// paper's Table 3.
+//
+// Run with:
+//
+//	go run ./examples/microarray
+package main
+
+import (
+	"fmt"
+
+	"ucpc"
+	"ucpc/internal/datasets"
+)
+
+func main() {
+	spec, err := datasets.MicroarrayByName("Leukaemia")
+	if err != nil {
+		panic(err)
+	}
+	// 2 % of the published 22,690 genes keeps the example instant.
+	genes := datasets.GenerateMicroarray(spec, 0.02, 7)
+	fmt.Printf("%s-shaped collection: %d genes × %d arrays (probe-level Normal uncertainty)\n\n",
+		spec.Name, len(genes), genes.Dims())
+
+	for _, k := range []int{2, 5, 10} {
+		fmt.Printf("k = %d\n", k)
+		for _, alg := range []string{"UCPC", "MMV", "UKM", "UKmed"} {
+			var q float64
+			const runs = 5
+			for seed := uint64(1); seed <= runs; seed++ {
+				rep, err := ucpc.Cluster(genes, k, ucpc.Options{Algorithm: alg, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				q += ucpc.Quality(genes, rep.Partition) / runs
+			}
+			fmt.Printf("  %-6s Q = %+.4f\n", alg, q)
+		}
+	}
+
+	// Probe-level variance is heterogeneous: show the spread.
+	minVar, maxVar := genes[0].TotalVar(), genes[0].TotalVar()
+	for _, g := range genes {
+		if v := g.TotalVar(); v < minVar {
+			minVar = v
+		} else if v > maxVar {
+			maxVar = v
+		}
+	}
+	fmt.Printf("\nper-gene total variance ranges over [%.3f, %.3f] — the signal-dependent\n", minVar, maxVar)
+	fmt.Println("error model gives every gene its own uncertainty footprint.")
+}

@@ -1,0 +1,123 @@
+package ucpc_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ucpc"
+	"ucpc/internal/datasets"
+	"ucpc/internal/eval"
+	"ucpc/internal/experiments"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncgen"
+)
+
+// TestEndToEndPipeline exercises the full library flow a downstream user
+// would run: synthesize a benchmark-shaped dataset, attach uncertainty
+// (§5.1), serialize it through the uncertain-CSV codec, cluster it with
+// every algorithm, and validate the results with every criterion.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Dataset synthesis (Table 1 shape).
+	spec, err := datasets.BenchmarkByName("Ecoli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := datasets.Generate(spec, 99).Scale(0.3)
+
+	// 2. Uncertainty generation: pdfs pinned at the points.
+	set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: 0.8}).Assign(d, rng.New(7))
+	caseTwo := set.Objects(d)
+
+	// 3. Serialization round trip.
+	var buf bytes.Buffer
+	if err := datasets.WriteUncertainCSV(&buf, caseTwo); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := datasets.ReadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(caseTwo) {
+		t.Fatalf("round trip lost objects: %d vs %d", len(loaded), len(caseTwo))
+	}
+
+	// 4. Cluster the loaded objects with every algorithm.
+	labels := loaded.Labels()
+	for _, name := range ucpc.AlgorithmNames() {
+		rep, err := ucpc.Cluster(loaded, spec.Classes, ucpc.Options{Algorithm: name, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := rep.Partition.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// 5. Validity criteria must all be finite and in range.
+		f := eval.FMeasure(rep.Partition, labels)
+		q := eval.Quality(loaded, rep.Partition)
+		nmi := eval.NormalizedMutualInformation(rep.Partition, labels)
+		sil := eval.Silhouette(loaded, rep.Partition)
+		ari := eval.AdjustedRandIndex(rep.Partition, labels)
+		for crit, v := range map[string]float64{"F": f, "Q": q, "NMI": nmi, "sil": sil, "ARI": ari} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %v", name, crit, v)
+			}
+		}
+		if f < 0 || f > 1 || nmi < 0 || nmi > 1 {
+			t.Errorf("%s: F=%v NMI=%v out of range", name, f, nmi)
+		}
+	}
+}
+
+// TestUncertaintyHelpsOnNoisyData is the paper's central claim as an
+// integration test: with material uncertainty, clustering the uncertain
+// objects (Case 2) beats clustering a perturbed deterministic sample
+// (Case 1) for UCPC, averaged over runs.
+func TestUncertaintyHelpsOnNoisyData(t *testing.T) {
+	spec, err := datasets.BenchmarkByName("Yeast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := datasets.Generate(spec, 3).Scale(0.1)
+	set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: 1.5}).Assign(d, rng.New(11))
+	caseTwo := set.Objects(d)
+
+	var theta float64
+	const runs = 5
+	for run := 0; run < runs; run++ {
+		perturbed := set.Perturb(d, rng.New(uint64(100+run)))
+		caseOne := uncgen.AsPointObjects(perturbed)
+		r1, err := ucpc.Cluster(caseOne, spec.Classes, ucpc.Options{Seed: uint64(run + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ucpc.Cluster(caseTwo, spec.Classes, ucpc.Options{Seed: uint64(run + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		theta += eval.Theta(
+			eval.FMeasure(r2.Partition, d.Labels),
+			eval.FMeasure(r1.Partition, d.Labels)) / runs
+	}
+	if theta <= 0 {
+		t.Errorf("Θ = %+.4f, expected modeling uncertainty to help on noisy data", theta)
+	}
+}
+
+// TestExperimentHarnessSmoke runs one tiny cell of every experiment through
+// the public harness, as cmd/uncbench would.
+func TestExperimentHarnessSmoke(t *testing.T) {
+	cfg := experiments.Config{Seed: 2, Runs: 1, Scale: 0.01, MinObjects: 60}
+	if _, err := experiments.Table2(cfg, []string{"Wine"}, []uncgen.Model{uncgen.Exponential}); err != nil {
+		t.Errorf("table2: %v", err)
+	}
+	if _, err := experiments.Table3(cfg, []string{"Neuroblastoma"}, []int{3}); err != nil {
+		t.Errorf("table3: %v", err)
+	}
+	if _, err := experiments.Fig4(cfg, []string{"Letter"}); err != nil {
+		t.Errorf("fig4: %v", err)
+	}
+	if _, err := experiments.Fig5(experiments.Config{Seed: 2, Runs: 1, Scale: 0.0001}, []float64{1.0}); err != nil {
+		t.Errorf("fig5: %v", err)
+	}
+}

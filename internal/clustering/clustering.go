@@ -1,0 +1,248 @@
+// Package clustering provides the machinery shared by all uncertain-data
+// clustering algorithms in this repository: partition representation,
+// initialization strategies, the common Algorithm interface consumed by the
+// experiment harness, and run reports with the operation counters used to
+// interpret the efficiency experiments (paper §5.2.2).
+package clustering
+
+import (
+	"fmt"
+	"time"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// Noise is the assignment value used by density-based algorithms for
+// objects not belonging to any cluster.
+const Noise = -1
+
+// Partition maps each object index to a cluster id in [0, K) (or Noise).
+type Partition struct {
+	K      int
+	Assign []int
+}
+
+// NewPartition returns a partition of n objects with all assignments unset
+// (Noise).
+func NewPartition(n, k int) Partition {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = Noise
+	}
+	return Partition{K: k, Assign: a}
+}
+
+// Members returns the object indexes of each cluster. Noise objects are
+// omitted.
+func (p Partition) Members() [][]int {
+	ms := make([][]int, p.K)
+	for i, c := range p.Assign {
+		if c >= 0 && c < p.K {
+			ms[c] = append(ms[c], i)
+		}
+	}
+	return ms
+}
+
+// Sizes returns the cardinality of each cluster.
+func (p Partition) Sizes() []int {
+	s := make([]int, p.K)
+	for _, c := range p.Assign {
+		if c >= 0 && c < p.K {
+			s[c]++
+		}
+	}
+	return s
+}
+
+// NoiseCount returns the number of unassigned (noise) objects.
+func (p Partition) NoiseCount() int {
+	n := 0
+	for _, c := range p.Assign {
+		if c == Noise {
+			n++
+		}
+	}
+	return n
+}
+
+// NonEmpty reports whether every cluster has at least one member.
+func (p Partition) NonEmpty() bool {
+	for _, s := range p.Sizes() {
+		if s == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks structural consistency.
+func (p Partition) Validate() error {
+	for i, c := range p.Assign {
+		if c != Noise && (c < 0 || c >= p.K) {
+			return fmt.Errorf("clustering: object %d assigned to invalid cluster %d (k=%d)", i, c, p.K)
+		}
+	}
+	return nil
+}
+
+// Report is the outcome of one clustering run. Besides the partition it
+// carries the counters needed by the efficiency/scalability experiments:
+// wall-clock time of the online phase, iteration count, and the number of
+// expensive expected-distance computations (the quantity the pruning
+// methods MinMax-BB/VDBiP reduce).
+type Report struct {
+	Partition Partition
+	// Objective is the final value of the algorithm's own objective
+	// function (meaning differs per algorithm; NaN when undefined).
+	Objective float64
+	// Iterations is the number of outer iterations to convergence (I in
+	// the paper's complexity formulas).
+	Iterations int
+	// Converged reports whether the algorithm reached its fixed point
+	// before hitting the iteration cap.
+	Converged bool
+	// Online is the clustering time excluding any off-line precomputation
+	// (the paper's Figure 4 methodology discards pruning-structure and
+	// distance pre-computation times).
+	Online time.Duration
+	// Offline is the precomputation time (sample-cloud generation,
+	// pairwise distance matrices, pruning structures).
+	Offline time.Duration
+	// EDComputations counts expensive expected-distance evaluations
+	// performed online (sample-based integrals for bUKM and pruning
+	// variants; pairwise ÊD lookups count as zero).
+	EDComputations int64
+	// PrunedCandidates counts candidate (object, centroid) pairs skipped
+	// thanks to pruning.
+	PrunedCandidates int64
+}
+
+// Algorithm is a complete uncertain-data clustering method. Implementations
+// must be safe for repeated Cluster calls; each call uses r for all of its
+// randomness so runs are reproducible.
+type Algorithm interface {
+	// Name returns the short name used in experiment tables (e.g. "UCPC").
+	Name() string
+	// Cluster partitions ds into k groups. Density-based algorithms may
+	// produce a different number of clusters and noise; k is then only a
+	// hint used for parameter calibration.
+	Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*Report, error)
+}
+
+// RandomPartition assigns each object to a uniform random cluster while
+// guaranteeing that every cluster receives at least one object (the paper's
+// Algorithm 1 starts from "an initial partition ... e.g., a random
+// partition"). It panics if k > n or k <= 0.
+func RandomPartition(n, k int, r *rng.RNG) []int {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("clustering: cannot split %d objects into %d clusters", n, k))
+	}
+	assign := make([]int, n)
+	perm := r.Perm(n)
+	// One seed object per cluster, remainder uniform.
+	for c := 0; c < k; c++ {
+		assign[perm[c]] = c
+	}
+	for i := k; i < n; i++ {
+		assign[perm[i]] = r.Intn(k)
+	}
+	return assign
+}
+
+// KMeansPPCenters selects k initial centers among the objects' expected
+// values with the k-means++ D² weighting, computed on ÊD so that object
+// variance participates in seeding. Returns the chosen object indexes.
+func KMeansPPCenters(ds uncertain.Dataset, k int, r *rng.RNG) []int {
+	n := len(ds)
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("clustering: cannot pick %d centers from %d objects", k, n))
+	}
+	centers := make([]int, 0, k)
+	first := r.Intn(n)
+	centers = append(centers, first)
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = uncertain.EED(ds[i], ds[first])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			// All remaining objects coincide with a center; pick uniformly.
+			next = r.Intn(n)
+		} else {
+			target := r.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		centers = append(centers, next)
+		for i := range d2 {
+			if d := uncertain.EED(ds[i], ds[next]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+// AssignToNearestMeans returns, for each object, the index of the nearest
+// center point by expected squared distance ED (closed form). centers are
+// deterministic points.
+func AssignToNearestMeans(ds uncertain.Dataset, centers []vec.Vector) []int {
+	assign := make([]int, len(ds))
+	for i, o := range ds {
+		best, bestD := 0, uncertain.ED(o, centers[0])
+		for c := 1; c < len(centers); c++ {
+			if d := uncertain.ED(o, centers[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return assign
+}
+
+// MeansOf returns the centroid points (averages of expected values, the
+// UK-means centroid of eq. 7) of each cluster of the partition. Empty
+// clusters get a copy of the global mean.
+func MeansOf(ds uncertain.Dataset, assign []int, k int) []vec.Vector {
+	m := ds.Dims()
+	sums := make([]vec.Vector, k)
+	counts := make([]int, k)
+	for c := range sums {
+		sums[c] = vec.New(m)
+	}
+	for i, o := range ds {
+		c := assign[i]
+		if c < 0 {
+			continue
+		}
+		vec.AddInPlace(sums[c], o.Mean())
+		counts[c]++
+	}
+	var global vec.Vector
+	for c := range sums {
+		if counts[c] == 0 {
+			if global == nil {
+				global = vec.Mean(ds.Means())
+			}
+			sums[c] = vec.Clone(global)
+			continue
+		}
+		vec.ScaleInPlace(sums[c], 1/float64(counts[c]))
+	}
+	return sums
+}

@@ -1,0 +1,194 @@
+package clustering
+
+import (
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+func testDataset(r *rng.RNG, n, m int) uncertain.Dataset {
+	ds := make(uncertain.Dataset, n)
+	for i := range ds {
+		ms := make([]dist.Distribution, m)
+		for j := range ms {
+			ms[j] = dist.NewUniformAround(r.Uniform(-5, 5), 0.5)
+		}
+		ds[i] = uncertain.NewObject(i, ms)
+	}
+	return ds
+}
+
+func TestRandomPartitionNonEmpty(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(50)
+		k := 1 + r.Intn(n)
+		assign := RandomPartition(n, k, r)
+		if len(assign) != n {
+			t.Fatalf("len = %d, want %d", len(assign), n)
+		}
+		sizes := make([]int, k)
+		for _, c := range assign {
+			if c < 0 || c >= k {
+				t.Fatalf("assignment %d out of range", c)
+			}
+			sizes[c]++
+		}
+		for c, s := range sizes {
+			if s == 0 {
+				t.Fatalf("trial %d: cluster %d empty (n=%d k=%d)", trial, c, n, k)
+			}
+		}
+	}
+}
+
+func TestRandomPartitionPanics(t *testing.T) {
+	r := rng.New(2)
+	for _, bad := range [][2]int{{5, 0}, {5, 6}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RandomPartition(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			RandomPartition(bad[0], bad[1], r)
+		}()
+	}
+}
+
+func TestKMeansPPCentersDistinctAndSpread(t *testing.T) {
+	r := rng.New(3)
+	// Two far groups: k-means++ must pick seeds from both.
+	var ds uncertain.Dataset
+	for i := 0; i < 10; i++ {
+		ds = append(ds, uncertain.FromPoint(i, vec.Vector{float64(i % 2 * 100), 0}))
+	}
+	picked := KMeansPPCenters(ds, 2, r)
+	if len(picked) != 2 {
+		t.Fatalf("%d centers", len(picked))
+	}
+	if ds[picked[0]].Mean()[0] == ds[picked[1]].Mean()[0] {
+		t.Error("k-means++ picked both seeds from the same group")
+	}
+}
+
+func TestKMeansPPCentersDegenerate(t *testing.T) {
+	r := rng.New(4)
+	// All objects identical: seeding must still return k centers.
+	var ds uncertain.Dataset
+	for i := 0; i < 5; i++ {
+		ds = append(ds, uncertain.FromPoint(i, vec.Vector{1, 1}))
+	}
+	picked := KMeansPPCenters(ds, 3, r)
+	if len(picked) != 3 {
+		t.Fatalf("%d centers on degenerate data", len(picked))
+	}
+}
+
+func TestAssignToNearestMeans(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}),
+		uncertain.FromPoint(1, vec.Vector{10, 10}),
+		uncertain.FromPoint(2, vec.Vector{1, 1}),
+	}
+	centers := []vec.Vector{{0, 0}, {10, 10}}
+	assign := AssignToNearestMeans(ds, centers)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if assign[i] != want[i] {
+			t.Errorf("assign[%d] = %d, want %d", i, assign[i], want[i])
+		}
+	}
+}
+
+func TestMeansOf(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}),
+		uncertain.FromPoint(1, vec.Vector{2, 2}),
+		uncertain.FromPoint(2, vec.Vector{10, 0}),
+	}
+	means := MeansOf(ds, []int{0, 0, 1}, 2)
+	if !vec.Equal(means[0], vec.Vector{1, 1}) {
+		t.Errorf("cluster 0 mean %v", means[0])
+	}
+	if !vec.Equal(means[1], vec.Vector{10, 0}) {
+		t.Errorf("cluster 1 mean %v", means[1])
+	}
+}
+
+func TestMeansOfEmptyClusterGetsGlobalMean(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}),
+		uncertain.FromPoint(1, vec.Vector{4, 4}),
+	}
+	means := MeansOf(ds, []int{0, 0}, 2)
+	if !vec.Equal(means[1], vec.Vector{2, 2}) {
+		t.Errorf("empty cluster mean %v, want global mean (2,2)", means[1])
+	}
+}
+
+func TestMeansOfIgnoresNoise(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}),
+		uncertain.FromPoint(1, vec.Vector{2, 2}),
+		uncertain.FromPoint(2, vec.Vector{100, 100}),
+	}
+	means := MeansOf(ds, []int{0, 0, Noise}, 1)
+	if !vec.Equal(means[0], vec.Vector{1, 1}) {
+		t.Errorf("noise leaked into mean: %v", means[0])
+	}
+}
+
+func TestPartitionAccessors(t *testing.T) {
+	p := Partition{K: 3, Assign: []int{0, 1, 1, Noise, 2}}
+	sizes := p.Sizes()
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Errorf("Sizes = %v", sizes)
+	}
+	if p.NoiseCount() != 1 {
+		t.Errorf("NoiseCount = %d", p.NoiseCount())
+	}
+	if !p.NonEmpty() {
+		t.Error("NonEmpty = false")
+	}
+	members := p.Members()
+	if len(members[1]) != 2 || members[1][0] != 1 || members[1][1] != 2 {
+		t.Errorf("Members[1] = %v", members[1])
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Partition{K: 2, Assign: []int{0, 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid assignment accepted")
+	}
+}
+
+func TestNewPartitionAllNoise(t *testing.T) {
+	p := NewPartition(4, 2)
+	if p.NoiseCount() != 4 {
+		t.Errorf("NoiseCount = %d", p.NoiseCount())
+	}
+	if p.NonEmpty() {
+		t.Error("empty partition reported non-empty")
+	}
+}
+
+func TestKMeansPPSeedsNearEDAssignments(t *testing.T) {
+	r := rng.New(9)
+	ds := testDataset(r, 30, 3)
+	idx := KMeansPPCenters(ds, 4, r)
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= len(ds) {
+			t.Fatalf("seed index %d out of range", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) < 2 {
+		t.Error("seeding collapsed onto one object")
+	}
+}

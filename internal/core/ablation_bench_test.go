@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the O(m)
+// incremental scoring of Corollary 1 versus from-scratch recomputation, and
+// the relocation search of Algorithm 1 versus the batch (Lloyd) variant.
+
+func benchCluster(n, m int) []*uncertain.Object {
+	return randomCluster(rng.New(42), n, m)
+}
+
+// BenchmarkJIncremental measures Corollary 1's O(m) JIfAdd.
+func BenchmarkJIncremental(b *testing.B) {
+	objs := benchCluster(256, 16)
+	s := NewStatsOf(objs[:255])
+	o := objs[255]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.JIfAdd(o)
+	}
+}
+
+// BenchmarkJRecompute measures the naive O(|C|·m) alternative that
+// Corollary 1 avoids: rebuilding the statistics to score one candidate.
+func BenchmarkJRecompute(b *testing.B) {
+	objs := benchCluster(256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewStatsOf(objs).J()
+	}
+}
+
+// BenchmarkUCPCRelocation measures Algorithm 1 end to end.
+func BenchmarkUCPCRelocation(b *testing.B) {
+	ds := uncertain.Dataset(benchCluster(512, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&UCPC{}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUCPCLloyd measures the batch ablation on the same workload.
+func BenchmarkUCPCLloyd(b *testing.B) {
+	ds := uncertain.Dataset(benchCluster(512, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&UCPCLloyd{}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUCPCLloydParallel measures the batch variant with 4 workers.
+func BenchmarkUCPCLloydParallel(b *testing.B) {
+	ds := uncertain.Dataset(benchCluster(512, 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&UCPCLloyd{Workers: 4}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUCentroidRealization measures one exact draw of X_C̄.
+func BenchmarkUCentroidRealization(b *testing.B) {
+	u := NewUCentroid(benchCluster(64, 8))
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = u.SampleRealization(r)
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// BisectingUCPC is a divisive hierarchical extension of UCPC: starting from
+// one cluster holding the whole dataset, it repeatedly picks the cluster
+// with the largest J(C) and splits it with a 2-way UCPC run, until k
+// clusters exist. It produces a top-down hierarchy at partitional cost
+// (k−1 small UCPC runs) — the divisive counterpart of the U-AHC baseline
+// and a natural "future work"-style extension of the paper's algorithm.
+type BisectingUCPC struct {
+	// MaxIter caps each 2-way UCPC run (0 = default 100).
+	MaxIter int
+	// Restarts is the number of seeded restarts per split, keeping the
+	// best (0 = default 3).
+	Restarts int
+}
+
+// Name implements clustering.Algorithm.
+func (b *BisectingUCPC) Name() string { return "UCPC-Bisect" }
+
+// Split records one divisive step: cluster Parent was split into itself
+// (reused id) and NewCluster at the given pre-split cost J(Parent).
+type Split struct {
+	Parent, NewCluster int
+	ParentJ            float64
+}
+
+// Cluster divisively partitions ds into k clusters.
+func (b *BisectingUCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	rep, _, err := b.ClusterWithSplits(ds, k, r)
+	return rep, err
+}
+
+// ClusterWithSplits is Cluster plus the split history.
+func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, []Split, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(ds)
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("ucpc-bisect: k=%d out of range for n=%d", k, n)
+	}
+	restarts := b.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	start := time.Now()
+
+	assign := make([]int, n) // everything starts in cluster 0
+	jOf := make([]float64, 1, k)
+	jOf[0] = Objective(ds, assign, 1)
+	splits := make([]Split, 0, k-1)
+	iterations := 0
+
+	for clusters := 1; clusters < k; clusters++ {
+		// Pick the cluster with the largest J; ties by size so singleton
+		// clusters (J = 2σ² but unsplittable) are never chosen over
+		// splittable ones.
+		worst, worstJ, worstSize := -1, -1.0, 0
+		sizes := make([]int, clusters)
+		for _, c := range assign {
+			sizes[c]++
+		}
+		for c := 0; c < clusters; c++ {
+			if sizes[c] < 2 {
+				continue
+			}
+			if jOf[c] > worstJ || (jOf[c] == worstJ && sizes[c] > worstSize) {
+				worst, worstJ, worstSize = c, jOf[c], sizes[c]
+			}
+		}
+		if worst < 0 {
+			return nil, nil, fmt.Errorf("ucpc-bisect: no splittable cluster left at %d clusters", clusters)
+		}
+
+		// Collect the members of the victim cluster.
+		var memberIdx []int
+		var members uncertain.Dataset
+		for i, c := range assign {
+			if c == worst {
+				memberIdx = append(memberIdx, i)
+				members = append(members, ds[i])
+			}
+		}
+
+		// Best-of-restarts 2-way UCPC split.
+		var bestAssign []int
+		bestJ := 0.0
+		for rep := 0; rep < restarts; rep++ {
+			sub := &UCPC{MaxIter: b.MaxIter}
+			report, err := sub.Cluster(members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
+			if err != nil {
+				return nil, nil, err
+			}
+			iterations += report.Iterations
+			if bestAssign == nil || report.Objective < bestJ {
+				bestJ = report.Objective
+				bestAssign = append(bestAssign[:0], report.Partition.Assign...)
+			}
+		}
+
+		// Apply: side 0 keeps the parent id, side 1 becomes a new cluster.
+		newID := clusters
+		for j, i := range memberIdx {
+			if bestAssign[j] == 1 {
+				assign[i] = newID
+			}
+		}
+		splits = append(splits, Split{Parent: worst, NewCluster: newID, ParentJ: worstJ})
+
+		// Refresh the two touched cluster costs.
+		jOf = append(jOf, 0)
+		jOf[worst] = objectiveOf(ds, assign, worst)
+		jOf[newID] = objectiveOf(ds, assign, newID)
+	}
+
+	var total float64
+	for _, j := range jOf {
+		total += j
+	}
+	return &clustering.Report{
+		Partition:  clustering.Partition{K: k, Assign: assign},
+		Objective:  total,
+		Iterations: iterations,
+		Converged:  true,
+		Online:     time.Since(start),
+	}, splits, nil
+}
+
+// objectiveOf returns J of the single cluster c under the assignment.
+func objectiveOf(ds uncertain.Dataset, assign []int, c int) float64 {
+	s := NewStats(ds.Dims())
+	for i, o := range ds {
+		if assign[i] == c {
+			s.Add(o)
+		}
+	}
+	return s.J()
+}

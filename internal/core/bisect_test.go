@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func TestBisectRecoversSeparatedClusters(t *testing.T) {
+	r := rng.New(4000)
+	ds := separableDataset(r, 4, 15, 2)
+	rep, splits, err := (&BisectingUCPC{}).ClusterWithSplits(ds, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("%d splits for k=4", len(splits))
+	}
+	for g := 0; g < 4; g++ {
+		seen := map[int]bool{}
+		for i, o := range ds {
+			if o.Label == g {
+				seen[rep.Partition.Assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("group %d split across %v", g, seen)
+		}
+	}
+}
+
+// Each divisive split must strictly reduce the total objective: splitting a
+// cluster into the best found 2-partition never costs more than keeping it.
+func TestBisectSplitsReduceObjective(t *testing.T) {
+	r := rng.New(4100)
+	ds := uncertain.Dataset(randomCluster(r, 40, 3))
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		rep, err := (&BisectingUCPC{}).Cluster(ds, k, rng.New(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Objective > prev+1e-9*(1+math.Abs(prev)) {
+			t.Errorf("objective rose from k=%d to k=%d: %v -> %v", k-1, k, prev, rep.Objective)
+		}
+		prev = rep.Objective
+		if !rep.Partition.NonEmpty() {
+			t.Errorf("k=%d: empty cluster", k)
+		}
+	}
+}
+
+func TestBisectObjectiveConsistent(t *testing.T) {
+	r := rng.New(4200)
+	ds := uncertain.Dataset(randomCluster(r, 30, 2))
+	rep, err := (&BisectingUCPC{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Objective(ds, rep.Partition.Assign, 3)
+	if math.Abs(rep.Objective-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("reported %v vs recomputed %v", rep.Objective, want)
+	}
+}
+
+func TestBisectSplitHistoryWellFormed(t *testing.T) {
+	r := rng.New(4300)
+	ds := uncertain.Dataset(randomCluster(r, 25, 2))
+	_, splits, err := (&BisectingUCPC{}).ClusterWithSplits(ds, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step, s := range splits {
+		if s.NewCluster != step+1 {
+			t.Errorf("step %d created cluster %d, want %d", step, s.NewCluster, step+1)
+		}
+		if s.Parent < 0 || s.Parent > step {
+			t.Errorf("step %d split nonexistent parent %d", step, s.Parent)
+		}
+		if s.ParentJ < 0 {
+			t.Errorf("step %d parent J = %v", step, s.ParentJ)
+		}
+	}
+}
+
+func TestBisectKEqualsNAndOne(t *testing.T) {
+	r := rng.New(4400)
+	ds := uncertain.Dataset(randomCluster(r, 8, 2))
+	rep, err := (&BisectingUCPC{}).Cluster(ds, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range rep.Partition.Assign {
+		if seen[c] {
+			t.Fatal("k=n must produce singletons")
+		}
+		seen[c] = true
+	}
+	rep1, err := (&BisectingUCPC{}).Cluster(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep1.Partition.Assign {
+		if c != 0 {
+			t.Fatal("k=1 must keep one cluster")
+		}
+	}
+}
+
+func TestBisectValidation(t *testing.T) {
+	r := rng.New(4500)
+	ds := uncertain.Dataset(randomCluster(r, 5, 2))
+	if _, err := (&BisectingUCPC{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&BisectingUCPC{}).Cluster(ds, 6, r); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+var _ clustering.Algorithm = (*BisectingUCPC)(nil)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// KSweep is the outcome of a cluster-count sweep: the best (lowest)
+// objective found for every candidate k and the elbow suggestion.
+type KSweep struct {
+	Ks         []int
+	Objectives []float64
+	// Suggested is the k at the sweep's elbow: the candidate maximizing
+	// the drop-off curvature (second difference of the objective,
+	// normalized by the objective's scale).
+	Suggested int
+}
+
+// ChooseK sweeps k over [kMin, kMax], running UCPC restarts times per
+// candidate and keeping the best objective, then suggests the elbow of the
+// objective curve. The UCPC objective Σ_C J(C) decreases monotonically in k
+// (more clusters always fit at least as well), so the interesting signal is
+// where the marginal gain collapses — the classic elbow heuristic applied
+// to the paper's criterion.
+func ChooseK(ds uncertain.Dataset, kMin, kMax, restarts int, seed uint64) (*KSweep, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if kMin < 1 || kMax < kMin || kMax > len(ds) {
+		return nil, fmt.Errorf("core: invalid k range [%d,%d] for n=%d", kMin, kMax, len(ds))
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	sweep := &KSweep{}
+	for k := kMin; k <= kMax; k++ {
+		best := 0.0
+		for rep := 0; rep < restarts; rep++ {
+			r := rng.New(seed).Split(uint64(k)<<16 | uint64(rep))
+			// D²-weighted seeding: random partitions routinely leave two
+			// far-apart groups merged (no single-object relocation can
+			// cross the gap profitably), which would corrupt the sweep.
+			report, err := (&UCPC{Init: InitKMeansPP}).Cluster(ds, k, r)
+			if err != nil {
+				return nil, err
+			}
+			if rep == 0 || report.Objective < best {
+				best = report.Objective
+			}
+		}
+		sweep.Ks = append(sweep.Ks, k)
+		sweep.Objectives = append(sweep.Objectives, best)
+	}
+
+	sweep.Suggested = sweep.Ks[0]
+	if len(sweep.Ks) >= 3 {
+		bestCurv := 0.0
+		for i := 1; i < len(sweep.Ks)-1; i++ {
+			prev, cur, next := sweep.Objectives[i-1], sweep.Objectives[i], sweep.Objectives[i+1]
+			curv := (prev - cur) - (cur - next) // second difference
+			scale := prev + 1e-12
+			if c := curv / scale; c > bestCurv {
+				bestCurv = c
+				sweep.Suggested = sweep.Ks[i]
+			}
+		}
+	}
+	return sweep, nil
+}

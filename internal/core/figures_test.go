@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/uncertain"
+)
+
+// mk1D builds a 1-D uncertain object with the given mean and variance
+// (uniform marginal of matching width).
+func mk1D(id int, mu, sigma2 float64) *uncertain.Object {
+	if sigma2 == 0 {
+		return uncertain.FromPoint(id, []float64{mu})
+	}
+	width := math.Sqrt(12 * sigma2)
+	return uncertain.NewObject(id, []dist.Distribution{dist.NewUniformAround(mu, width)})
+}
+
+// Figure 1 scenario: two clusters with the same central tendency but
+// different variances. J_UK cannot tell them apart (Proposition 1); J ranks
+// the lower-variance cluster as more compact.
+func TestFigure1JDiscriminatesVariance(t *testing.T) {
+	lowVar := []*uncertain.Object{mk1D(0, -1, 0.2), mk1D(1, 1, 0.2)}
+	highVar := []*uncertain.Object{mk1D(2, -1, 5.0), mk1D(3, 1, 5.0)}
+
+	sLow, sHigh := NewStatsOf(lowVar), NewStatsOf(highVar)
+	if sLow.J() >= sHigh.J() {
+		t.Errorf("J does not favor the low-variance cluster: %v vs %v", sLow.J(), sHigh.J())
+	}
+	// The UK-means objective differs only through µ₂ = σ² + µ², so it
+	// does see *some* difference here; the Prop-1 counterexample (equal
+	// µ₂ sums) is exercised in TestProp1Counterexample. What must hold
+	// here is that J's gap includes the extra Σσ²/|C| term.
+	gapJ := sHigh.J() - sLow.J()
+	gapJUK := sHigh.JUK() - sLow.JUK()
+	wantExtra := (sHigh.SumVariance() - sLow.SumVariance()) / 2
+	if diff := gapJ - gapJUK - wantExtra; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("J gap %v ≠ J_UK gap %v + Σσ² term %v", gapJ, gapJUK, wantExtra)
+	}
+}
+
+// Figure 2 scenario: objects with different central tendencies. Cluster (a)
+// holds two low-variance objects far apart; cluster (b) holds two
+// higher-variance objects close together. A variance-only criterion
+// (Theorem 2 / §4.2.1, or MMVar-style averaging of σ²) prefers (a) —
+// wrongly — while J recognizes (b) as the more compact cluster.
+func TestFigure2VarianceOnlyCriterionFails(t *testing.T) {
+	farLowVar := []*uncertain.Object{mk1D(0, -10, 0.1), mk1D(1, 10, 0.1)}
+	nearHighVar := []*uncertain.Object{mk1D(2, -0.5, 1.0), mk1D(3, 0.5, 1.0)}
+
+	// Variance-only criterion: σ²(C̄) = |C|⁻²Σσ² (Theorem 2).
+	varOnlyFar := NewUCentroid(farLowVar).TotalVar()
+	varOnlyNear := NewUCentroid(nearHighVar).TotalVar()
+	if varOnlyFar >= varOnlyNear {
+		t.Fatalf("scenario broken: variance-only should prefer the far/low-variance cluster (%v vs %v)",
+			varOnlyFar, varOnlyNear)
+	}
+
+	// J must invert the preference: the near/high-variance cluster is
+	// genuinely more compact.
+	jFar := NewStatsOf(farLowVar).J()
+	jNear := NewStatsOf(nearHighVar).J()
+	if jNear >= jFar {
+		t.Errorf("J does not prefer the near cluster: %v vs %v", jNear, jFar)
+	}
+}
+
+// Figure 3 scenario: the U-centroid realization for a specific joint draw
+// equals the member average (the arg-min of summed squared distances).
+func TestFigure3RealizationIsArgmin(t *testing.T) {
+	objs := []*uncertain.Object{
+		uncertain.NewObject(0, []dist.Distribution{dist.NewUniform(0, 2), dist.NewUniform(0, 2)}),
+		uncertain.NewObject(1, []dist.Distribution{dist.NewUniform(4, 6), dist.NewUniform(0, 2)}),
+		uncertain.NewObject(2, []dist.Distribution{dist.NewUniform(2, 4), dist.NewUniform(4, 6)}),
+	}
+	// A concrete joint draw (x′, x″, x‴):
+	draw := [][]float64{{1, 1}, {5, 0.5}, {3, 5}}
+	// The centroid realization must be the average (3, 2.1666…).
+	want := []float64{(1 + 5 + 3) / 3.0, (1 + 0.5 + 5) / 3.0}
+	// Verify it minimizes g(y) = Σ‖y−xᵢ‖² against perturbations.
+	g := func(y []float64) float64 {
+		var s float64
+		for _, x := range draw {
+			dx, dy := y[0]-x[0], y[1]-x[1]
+			s += dx*dx + dy*dy
+		}
+		return s
+	}
+	base := g(want)
+	for _, eps := range []float64{0.1, -0.1, 0.01, -0.01} {
+		if g([]float64{want[0] + eps, want[1]}) <= base {
+			t.Errorf("perturbation %v along x does not increase g", eps)
+		}
+		if g([]float64{want[0], want[1] + eps}) <= base {
+			t.Errorf("perturbation %v along y does not increase g", eps)
+		}
+	}
+	// And the region of the U-centroid contains it (Theorem 1).
+	u := NewUCentroid(objs)
+	if !u.Region().Contains(want) {
+		t.Errorf("realization %v outside U-centroid region %+v", want, u.Region())
+	}
+}

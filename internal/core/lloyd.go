@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// UCPCLloyd is a batch (Lloyd-style) variant of UCPC: instead of relocating
+// one object at a time (Algorithm 1), it alternates a full assignment step
+// — every object moves to the cluster whose *current* U-centroid minimizes
+// ÊD(o, C̄) — with a centroid refresh. It serves as an ablation of the
+// paper's relocation design choice (see DESIGN.md): batch steps are
+// embarrassingly parallel but, unlike Algorithm 1, the objective is not
+// guaranteed to decrease monotonically because ÊD is measured against the
+// centroid of the *previous* assignment.
+type UCPCLloyd struct {
+	// MaxIter caps the assignment/update rounds (0 = default 100).
+	MaxIter int
+	// Workers parallelizes the assignment step with this many goroutines
+	// (0 or 1 = sequential).
+	Workers int
+}
+
+// Name implements clustering.Algorithm.
+func (u *UCPCLloyd) Name() string { return "UCPC-Lloyd" }
+
+// centroidScore holds the per-cluster constants of the ÊD(o, C̄) argmin:
+// score(o, c) = bias_c − 2 µ(o)·mean_c, with bias_c = Σ_j (µ₂)_j(C̄_c).
+type centroidScore struct {
+	mean vec.Vector
+	bias float64
+}
+
+// Cluster runs the batch variant.
+func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ds)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("ucpc-lloyd: k=%d out of range for n=%d", k, n)
+	}
+	maxIter := u.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	workers := u.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	start := time.Now()
+
+	assign := clustering.RandomPartition(n, k, r)
+	scores := make([]centroidScore, k)
+	refresh := func() {
+		members := (clustering.Partition{K: k, Assign: assign}).Members()
+		for c, ms := range members {
+			if len(ms) == 0 {
+				// Reseed an empty cluster on the object farthest from
+				// its current centroid.
+				far, farD := 0, -1.0
+				for i, o := range ds {
+					if d := vec.SqDist(o.Mean(), scores[assign[i]].mean); d > farD {
+						far, farD = i, d
+					}
+				}
+				ms = []int{far}
+				assign[far] = c
+			}
+			objs := make([]*uncertain.Object, len(ms))
+			for i, idx := range ms {
+				objs[i] = ds[idx]
+			}
+			uc := NewUCentroid(objs)
+			scores[c] = centroidScore{mean: uc.Mean(), bias: vec.Sum(uc.SecondMoment())}
+		}
+	}
+	// Initial centroids from the random partition.
+	for c := range scores {
+		scores[c] = centroidScore{mean: vec.New(ds.Dims())}
+	}
+	refresh()
+
+	assignOne := func(i int) bool {
+		o := ds[i]
+		mu := o.Mean()
+		best, bestScore := 0, scores[0].bias-2*vec.Dot(mu, scores[0].mean)
+		for c := 1; c < k; c++ {
+			if s := scores[c].bias - 2*vec.Dot(mu, scores[c].mean); s < bestScore {
+				best, bestScore = c, s
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			return true
+		}
+		return false
+	}
+
+	iterations, converged := 0, false
+	for iterations < maxIter {
+		iterations++
+		changed := false
+		if workers == 1 {
+			for i := range ds {
+				if assignOne(i) {
+					changed = true
+				}
+			}
+		} else {
+			var wg sync.WaitGroup
+			changes := make([]bool, workers)
+			chunk := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					for i := lo; i < hi; i++ {
+						if assignOne(i) {
+							changes[w] = true
+						}
+					}
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for _, c := range changes {
+				changed = changed || c
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+		refresh()
+	}
+
+	return &clustering.Report{
+		Partition:  clustering.Partition{K: k, Assign: assign},
+		Objective:  Objective(ds, assign, k),
+		Iterations: iterations,
+		Converged:  converged,
+		Online:     time.Since(start),
+	}, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func TestLloydRecoversSeparatedClusters(t *testing.T) {
+	r := rng.New(3000)
+	ds := separableDataset(r, 3, 25, 2)
+	rep, err := (&UCPCLloyd{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("no convergence")
+	}
+	for g := 0; g < 3; g++ {
+		seen := map[int]bool{}
+		for i, o := range ds {
+			if o.Label == g {
+				seen[rep.Partition.Assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("group %d split across %v", g, seen)
+		}
+	}
+}
+
+func TestLloydParallelMatchesSequential(t *testing.T) {
+	r := rng.New(3100)
+	ds := separableDataset(r, 4, 20, 3)
+	seq, err := (&UCPCLloyd{Workers: 1}).Cluster(ds, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := (&UCPCLloyd{Workers: 4}).Cluster(ds, 4, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Partition.Assign {
+		if seq.Partition.Assign[i] != par.Partition.Assign[i] {
+			t.Fatalf("object %d: sequential %d vs parallel %d",
+				i, seq.Partition.Assign[i], par.Partition.Assign[i])
+		}
+	}
+	if seq.Iterations != par.Iterations {
+		t.Errorf("iterations differ: %d vs %d", seq.Iterations, par.Iterations)
+	}
+}
+
+// The batch variant and Algorithm 1 optimize the same objective; on
+// well-separated data they must find partitions of identical cost.
+func TestLloydMatchesRelocationOnSeparableData(t *testing.T) {
+	r := rng.New(3200)
+	ds := separableDataset(r, 3, 20, 2)
+	batch, err := (&UCPCLloyd{}).Cluster(ds, 3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloc, err := (&UCPC{}).Cluster(ds, 3, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := batch.Objective - reloc.Objective
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-6*(1+reloc.Objective) {
+		t.Errorf("objectives differ: batch %v vs relocation %v", batch.Objective, reloc.Objective)
+	}
+}
+
+func TestLloydKeepsKClusters(t *testing.T) {
+	r := rng.New(3300)
+	ds := uncertain.Dataset(randomCluster(r, 30, 2))
+	for _, k := range []int{1, 3, 7} {
+		rep, err := (&UCPCLloyd{}).Cluster(ds, k, r)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !rep.Partition.NonEmpty() {
+			t.Errorf("k=%d: empty cluster", k)
+		}
+	}
+}
+
+func TestLloydValidation(t *testing.T) {
+	r := rng.New(3400)
+	ds := uncertain.Dataset(randomCluster(r, 5, 2))
+	if _, err := (&UCPCLloyd{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&UCPCLloyd{}).Cluster(ds, 9, r); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestChooseKFindsTrueK(t *testing.T) {
+	r := rng.New(3500)
+	ds := separableDataset(r, 4, 20, 2)
+	sweep, err := ChooseK(ds, 2, 8, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Ks) != 7 {
+		t.Fatalf("%d candidates", len(sweep.Ks))
+	}
+	if sweep.Suggested != 4 {
+		t.Errorf("suggested k = %d, want 4 (objectives: %v)", sweep.Suggested, sweep.Objectives)
+	}
+}
+
+func TestChooseKObjectiveDecreases(t *testing.T) {
+	r := rng.New(3600)
+	ds := uncertain.Dataset(randomCluster(r, 40, 2))
+	sweep, err := ChooseK(ds, 1, 6, 4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(sweep.Objectives); i++ {
+		// With enough restarts the best objective is near-monotone in k;
+		// allow small slack for local-optimum noise.
+		if sweep.Objectives[i] > sweep.Objectives[i-1]*1.05 {
+			t.Errorf("objective rose sharply at k=%d: %v -> %v",
+				sweep.Ks[i], sweep.Objectives[i-1], sweep.Objectives[i])
+		}
+	}
+}
+
+func TestChooseKValidation(t *testing.T) {
+	r := rng.New(3700)
+	ds := uncertain.Dataset(randomCluster(r, 10, 2))
+	if _, err := ChooseK(ds, 0, 3, 1, 1); err == nil {
+		t.Error("kMin=0 accepted")
+	}
+	if _, err := ChooseK(ds, 3, 2, 1, 1); err == nil {
+		t.Error("kMax<kMin accepted")
+	}
+	if _, err := ChooseK(ds, 1, 11, 1, 1); err == nil {
+		t.Error("kMax>n accepted")
+	}
+}
+
+var _ clustering.Algorithm = (*UCPCLloyd)(nil)

@@ -1,0 +1,234 @@
+// Package core implements the paper's primary contribution: the U-centroid
+// notion of uncertain cluster centroid (Theorem 1), its moment closed forms
+// (Lemma 5, Theorem 2), the U-centroid-based cluster compactness criterion
+// J (Theorem 3) with O(m) incremental maintenance (Corollary 1), and the
+// UCPC local-search clustering algorithm (Algorithm 1).
+package core
+
+import (
+	"ucpc/internal/uncertain"
+)
+
+// Stats maintains, for one cluster C, the per-dimension running sums behind
+// the closed-form objective of Theorem 3:
+//
+//	Ψ^{(j)} = Σ_{o∈C} (σ²)_j(o)     (sum of variances)
+//	Φ^{(j)} = Σ_{o∈C} (µ₂)_j(o)     (sum of second moments)
+//	S^{(j)} = Σ_{o∈C} µ_j(o)        (sum of means; Υ^{(j)} = (S^{(j)})²)
+//
+// so that J(C), J(C ∪ {o}) and J(C \ {o}) are all O(m) (Corollary 1).
+// We store the signed sum S rather than the paper's √Υ: the two coincide
+// for non-negative mean sums, and S remains correct when sums are negative.
+type Stats struct {
+	m    int
+	size int
+	psi  []float64
+	phi  []float64
+	sum  []float64
+}
+
+// NewStats returns empty statistics for m-dimensional clusters.
+func NewStats(m int) *Stats {
+	return &Stats{
+		m:   m,
+		psi: make([]float64, m),
+		phi: make([]float64, m),
+		sum: make([]float64, m),
+	}
+}
+
+// NewStatsOf returns the statistics of the given cluster members.
+func NewStatsOf(members []*uncertain.Object) *Stats {
+	if len(members) == 0 {
+		panic("core: NewStatsOf needs at least one object")
+	}
+	s := NewStats(members[0].Dims())
+	for _, o := range members {
+		s.Add(o)
+	}
+	return s
+}
+
+// Size returns |C|.
+func (s *Stats) Size() int { return s.size }
+
+// Dims returns the dimensionality m.
+func (s *Stats) Dims() int { return s.m }
+
+// Add inserts object o into the cluster (Corollary 1, C⁺ update) in O(m).
+func (s *Stats) Add(o *uncertain.Object) {
+	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	for j := 0; j < s.m; j++ {
+		s.psi[j] += sig[j]
+		s.phi[j] += m2[j]
+		s.sum[j] += mu[j]
+	}
+	s.size++
+}
+
+// Remove deletes object o from the cluster (Corollary 1, C⁻ update) in O(m).
+func (s *Stats) Remove(o *uncertain.Object) {
+	if s.size == 0 {
+		panic("core: Remove from empty cluster")
+	}
+	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	for j := 0; j < s.m; j++ {
+		s.psi[j] -= sig[j]
+		s.phi[j] -= m2[j]
+		s.sum[j] -= mu[j]
+	}
+	s.size--
+	if s.size == 0 {
+		// Snap accumulated floating-point residue to exact zero so an
+		// emptied cluster is bit-identical to a fresh one.
+		for j := 0; j < s.m; j++ {
+			s.psi[j], s.phi[j], s.sum[j] = 0, 0, 0
+		}
+	}
+}
+
+// J returns the U-centroid compactness objective of Theorem 3:
+//
+//	J(C) = Σ_j [ Ψ^{(j)}/|C| + Φ^{(j)} − Υ^{(j)}/|C| ]
+//
+// J of an empty cluster is 0.
+func (s *Stats) J() float64 {
+	if s.size == 0 {
+		return 0
+	}
+	inv := 1 / float64(s.size)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		j += s.psi[d]*inv + s.phi[d] - s.sum[d]*s.sum[d]*inv
+	}
+	return j
+}
+
+// JUK returns the UK-means objective J_UK(C) of Lemma 1:
+//
+//	J_UK(C) = Σ_j [ Φ^{(j)} − Υ^{(j)}/|C| ]
+func (s *Stats) JUK() float64 {
+	if s.size == 0 {
+		return 0
+	}
+	inv := 1 / float64(s.size)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		j += s.phi[d] - s.sum[d]*s.sum[d]*inv
+	}
+	return j
+}
+
+// JMM returns the MMVar objective J_MM(C) = σ²(C_MM), which equals
+// J_UK(C)/|C| by Proposition 2.
+func (s *Stats) JMM() float64 {
+	if s.size == 0 {
+		return 0
+	}
+	return s.JUK() / float64(s.size)
+}
+
+// SumVariance returns Σ_{o∈C} σ²(o) = Σ_j Ψ^{(j)}.
+func (s *Stats) SumVariance() float64 {
+	var v float64
+	for d := 0; d < s.m; d++ {
+		v += s.psi[d]
+	}
+	return v
+}
+
+// JIfAdd returns J(C ∪ {o}) in O(m) without mutating the statistics
+// (Corollary 1, eq. 15).
+func (s *Stats) JIfAdd(o *uncertain.Object) float64 {
+	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	inv := 1 / float64(s.size+1)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		psi := s.psi[d] + sig[d]
+		phi := s.phi[d] + m2[d]
+		sum := s.sum[d] + mu[d]
+		j += psi*inv + phi - sum*sum*inv
+	}
+	return j
+}
+
+// JIfRemove returns J(C \ {o}) in O(m) without mutating the statistics
+// (Corollary 1, eq. 16). Removing the last member yields 0.
+func (s *Stats) JIfRemove(o *uncertain.Object) float64 {
+	if s.size == 0 {
+		panic("core: JIfRemove on empty cluster")
+	}
+	if s.size == 1 {
+		return 0
+	}
+	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	inv := 1 / float64(s.size-1)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		psi := s.psi[d] - sig[d]
+		phi := s.phi[d] - m2[d]
+		sum := s.sum[d] - mu[d]
+		j += psi*inv + phi - sum*sum*inv
+	}
+	return j
+}
+
+// JUKIfAdd returns J_UK(C ∪ {o}) in O(m) without mutating the statistics.
+func (s *Stats) JUKIfAdd(o *uncertain.Object) float64 {
+	m2, mu := o.SecondMoment(), o.Mean()
+	inv := 1 / float64(s.size+1)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		phi := s.phi[d] + m2[d]
+		sum := s.sum[d] + mu[d]
+		j += phi - sum*sum*inv
+	}
+	return j
+}
+
+// JUKIfRemove returns J_UK(C \ {o}) in O(m) without mutating the
+// statistics. Removing the last member yields 0.
+func (s *Stats) JUKIfRemove(o *uncertain.Object) float64 {
+	if s.size == 0 {
+		panic("core: JUKIfRemove on empty cluster")
+	}
+	if s.size == 1 {
+		return 0
+	}
+	m2, mu := o.SecondMoment(), o.Mean()
+	inv := 1 / float64(s.size-1)
+	var j float64
+	for d := 0; d < s.m; d++ {
+		phi := s.phi[d] - m2[d]
+		sum := s.sum[d] - mu[d]
+		j += phi - sum*sum*inv
+	}
+	return j
+}
+
+// JMMIfAdd returns J_MM(C ∪ {o}) = J_UK(C ∪ {o})/(|C|+1) in O(m).
+func (s *Stats) JMMIfAdd(o *uncertain.Object) float64 {
+	return s.JUKIfAdd(o) / float64(s.size+1)
+}
+
+// JMMIfRemove returns J_MM(C \ {o}) in O(m).
+func (s *Stats) JMMIfRemove(o *uncertain.Object) float64 {
+	if s.size <= 1 {
+		return 0
+	}
+	return s.JUKIfRemove(o) / float64(s.size-1)
+}
+
+// Clone returns a deep copy of the statistics.
+func (s *Stats) Clone() *Stats {
+	c := NewStats(s.m)
+	c.size = s.size
+	copy(c.psi, s.psi)
+	copy(c.phi, s.phi)
+	copy(c.sum, s.sum)
+	return c
+}
+
+// MeanSum returns the per-dimension sum of member means S^{(j)} (shared
+// slice; do not modify). Exposed for the U-centroid moment computations.
+func (s *Stats) MeanSum() []float64 { return s.sum }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// Corollary 1: JIfAdd/JIfRemove must agree with recomputing the statistics
+// from scratch.
+func TestCorollary1Incremental(t *testing.T) {
+	r := rng.New(1000)
+	for trial := 0; trial < 50; trial++ {
+		objs := randomCluster(r, 3+r.Intn(8), 1+r.Intn(4))
+		s := NewStatsOf(objs[:len(objs)-1])
+		extra := objs[len(objs)-1]
+
+		// Add path.
+		predicted := s.JIfAdd(extra)
+		direct := NewStatsOf(objs).J()
+		if math.Abs(predicted-direct) > 1e-9*(1+math.Abs(direct)) {
+			t.Fatalf("trial %d: JIfAdd %v vs recompute %v", trial, predicted, direct)
+		}
+
+		// Remove path.
+		full := NewStatsOf(objs)
+		predictedRem := full.JIfRemove(extra)
+		directRem := s.J()
+		if math.Abs(predictedRem-directRem) > 1e-9*(1+math.Abs(directRem)) {
+			t.Fatalf("trial %d: JIfRemove %v vs recompute %v", trial, predictedRem, directRem)
+		}
+	}
+}
+
+// Add followed by Remove of the same object must restore J (up to fp noise).
+func TestAddRemoveInvolution(t *testing.T) {
+	r := rng.New(1100)
+	objs := randomCluster(r, 6, 3)
+	s := NewStatsOf(objs[:5])
+	before := s.J()
+	s.Add(objs[5])
+	s.Remove(objs[5])
+	after := s.J()
+	if math.Abs(before-after) > 1e-9*(1+math.Abs(before)) {
+		t.Errorf("J drifted from %v to %v after add+remove", before, after)
+	}
+	if s.Size() != 5 {
+		t.Errorf("size = %d", s.Size())
+	}
+}
+
+// Mutating sequence equivalence: interleaved Add/Remove equals batch
+// construction of the surviving set (property-based).
+func TestStatsSequenceProperty(t *testing.T) {
+	r := rng.New(1200)
+	pool := randomCluster(r, 12, 2)
+	f := func(ops [12]bool) bool {
+		s := NewStats(2)
+		in := make(map[int]bool)
+		for i, add := range ops {
+			if add {
+				if !in[i] {
+					s.Add(pool[i])
+					in[i] = true
+				}
+			} else if in[i] {
+				s.Remove(pool[i])
+				in[i] = false
+			}
+		}
+		var members []*uncertain.Object
+		for i := range pool {
+			if in[i] {
+				members = append(members, pool[i])
+			}
+		}
+		if len(members) == 0 {
+			return s.J() == 0 && s.Size() == 0
+		}
+		want := NewStatsOf(members).J()
+		return math.Abs(s.J()-want) <= 1e-8*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// J must always dominate J_UK (they differ by the non-negative mean
+// variance term of Theorem 3).
+func TestJDominatesJUK(t *testing.T) {
+	r := rng.New(1300)
+	for trial := 0; trial < 30; trial++ {
+		objs := randomCluster(r, 2+r.Intn(10), 1+r.Intn(4))
+		s := NewStatsOf(objs)
+		if s.J() < s.JUK()-1e-9 {
+			t.Fatalf("J = %v < J_UK = %v", s.J(), s.JUK())
+		}
+		gap := s.J() - s.JUK()
+		want := s.SumVariance() / float64(s.Size())
+		if math.Abs(gap-want) > 1e-9*(1+want) {
+			t.Fatalf("J − J_UK = %v, want Σσ²/|C| = %v", gap, want)
+		}
+	}
+}
+
+// For deterministic objects J reduces to the classical k-means
+// within-cluster sum of squares.
+func TestJDeterministicReducesToWCSS(t *testing.T) {
+	pts := []vec.Vector{{0, 0}, {2, 0}, {1, 3}}
+	objs := make([]*uncertain.Object, len(pts))
+	for i, p := range pts {
+		objs[i] = uncertain.FromPoint(i, p)
+	}
+	s := NewStatsOf(objs)
+	centroid := vec.Mean(pts)
+	var wcss float64
+	for _, p := range pts {
+		wcss += vec.SqDist(p, centroid)
+	}
+	if math.Abs(s.J()-wcss) > 1e-9 {
+		t.Errorf("J = %v, want WCSS = %v", s.J(), wcss)
+	}
+	if math.Abs(s.JUK()-wcss) > 1e-9 {
+		t.Errorf("J_UK = %v, want WCSS = %v", s.JUK(), wcss)
+	}
+}
+
+func TestStatsSingleton(t *testing.T) {
+	r := rng.New(1400)
+	o := randomCluster(r, 1, 3)[0]
+	s := NewStatsOf([]*uncertain.Object{o})
+	// For |C| = 1 the U-centroid is the object itself; J = σ²(o)
+	// (Theorem 3: σ²/1 + Σµ₂ − Σµ² = σ² + σ²... check: Ψ/1 + Φ − Υ/1 =
+	// σ² + µ₂ − µ² = 2σ²).
+	want := 2 * o.TotalVar()
+	if math.Abs(s.J()-want) > 1e-9*(1+want) {
+		t.Errorf("singleton J = %v, want 2σ² = %v", s.J(), want)
+	}
+	if s.JIfRemove(o) != 0 {
+		t.Error("JIfRemove on singleton should be 0")
+	}
+}
+
+func TestStatsCloneIndependent(t *testing.T) {
+	r := rng.New(1500)
+	objs := randomCluster(r, 5, 2)
+	s := NewStatsOf(objs)
+	c := s.Clone()
+	c.Remove(objs[0])
+	if s.Size() != 5 || c.Size() != 4 {
+		t.Errorf("sizes %d/%d after clone mutation", s.Size(), c.Size())
+	}
+}
+
+func TestRemoveFromEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty remove")
+		}
+	}()
+	r := rng.New(1)
+	NewStats(2).Remove(randomCluster(r, 1, 2)[0])
+}
+
+func TestEmptyStatsZero(t *testing.T) {
+	s := NewStats(3)
+	if s.J() != 0 || s.JUK() != 0 || s.JMM() != 0 || s.SumVariance() != 0 {
+		t.Error("empty stats must score zero")
+	}
+}
+
+func TestObjectiveHelper(t *testing.T) {
+	r := rng.New(1600)
+	objs := randomCluster(r, 8, 2)
+	ds := uncertain.Dataset(objs)
+	assign := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	total := Objective(ds, assign, 2)
+	want := NewStatsOf(objs[:4]).J() + NewStatsOf(objs[4:]).J()
+	if math.Abs(total-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("Objective = %v, want %v", total, want)
+	}
+}

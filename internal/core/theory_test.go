@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// randomCluster builds a cluster of size n of m-dimensional objects with
+// mixed marginal families.
+func randomCluster(r *rng.RNG, n, m int) []*uncertain.Object {
+	objs := make([]*uncertain.Object, n)
+	for i := range objs {
+		ms := make([]dist.Distribution, m)
+		for j := range ms {
+			center := r.Uniform(-5, 5)
+			switch r.Intn(3) {
+			case 0:
+				ms[j] = dist.NewUniformAround(center, 0.1+2*r.Float64())
+			case 1:
+				ms[j] = dist.NewTruncNormalCentral(center, 0.1+r.Float64(), 0.95)
+			default:
+				ms[j] = dist.NewTruncExponentialMass(center, 0.5+2*r.Float64(), 0.95)
+			}
+		}
+		objs[i] = uncertain.NewObject(i, ms)
+	}
+	return objs
+}
+
+// bruteJUK computes J_UK(C) = Σ_o ED(o, c_UK) directly from eq. 7/9.
+func bruteJUK(objs []*uncertain.Object) float64 {
+	means := make([]vec.Vector, len(objs))
+	for i, o := range objs {
+		means[i] = o.Mean()
+	}
+	cUK := vec.Mean(means)
+	var j float64
+	for _, o := range objs {
+		j += uncertain.ED(o, cUK)
+	}
+	return j
+}
+
+// Lemma 1: J_UK(C) = Σ_j [ Σ(µ₂)_j − (Σµ_j)²/|C| ].
+func TestLemma1(t *testing.T) {
+	r := rng.New(100)
+	for trial := 0; trial < 30; trial++ {
+		objs := randomCluster(r, 2+r.Intn(10), 1+r.Intn(4))
+		s := NewStatsOf(objs)
+		direct := bruteJUK(objs)
+		closed := s.JUK()
+		if math.Abs(direct-closed) > 1e-9*(1+math.Abs(direct)) {
+			t.Fatalf("trial %d: J_UK direct %v vs Lemma 1 closed form %v", trial, direct, closed)
+		}
+	}
+}
+
+// Proposition 1: equal J_UK does not force equal cluster variance.
+// We construct the counterexample from the proof sketch: two clusters with
+// equal sizes, equal Σµ₂ and equal Σµ per dimension, but different Σµ²,
+// hence equal J_UK and different Σσ².
+func TestProp1Counterexample(t *testing.T) {
+	// Cluster C: two 1-D objects with means ±1, each with variance v s.t.
+	// µ₂ = v + 1. Cluster C′: two objects with means ±2, µ₂ matched.
+	// Σµ = 0 for both; match Σµ₂: C has µ₂ = {2, 2} (v=1 each);
+	// C′ has µ₂ = {4.5, -0.5}? Variances must be non-negative, so instead:
+	// C′ means {+2, −2}, variances {0.0, 0.0} → µ₂ = {4, 4}, Σµ₂ = 8.
+	// C  means {+1, −1}, variances {3.0, 3.0} → µ₂ = {4, 4}, Σµ₂ = 8.
+	mk := func(mu, sigma2 float64) *uncertain.Object {
+		if sigma2 == 0 {
+			return uncertain.FromPoint(0, vec.Vector{mu})
+		}
+		width := math.Sqrt(12 * sigma2)
+		return uncertain.NewObject(0, []dist.Distribution{dist.NewUniformAround(mu, width)})
+	}
+	c1 := []*uncertain.Object{mk(1, 3), mk(-1, 3)}
+	c2 := []*uncertain.Object{mk(2, 0), mk(-2, 0)}
+	s1, s2 := NewStatsOf(c1), NewStatsOf(c2)
+	if math.Abs(s1.JUK()-s2.JUK()) > 1e-9 {
+		t.Fatalf("construction broken: J_UK %v vs %v should be equal", s1.JUK(), s2.JUK())
+	}
+	if math.Abs(s1.SumVariance()-s2.SumVariance()) < 1 {
+		t.Fatalf("construction broken: Σσ² %v vs %v should differ", s1.SumVariance(), s2.SumVariance())
+	}
+	// And J (UCPC) does distinguish them: same J_UK, different Σσ²/|C|.
+	if math.Abs(s1.J()-s2.J()) < 1 {
+		t.Errorf("J fails to separate the Prop-1 clusters: %v vs %v", s1.J(), s2.J())
+	}
+}
+
+// Proposition 2: J_MM(C) = |C|⁻¹ J_UK(C).
+func TestProp2(t *testing.T) {
+	r := rng.New(200)
+	for trial := 0; trial < 30; trial++ {
+		objs := randomCluster(r, 2+r.Intn(10), 1+r.Intn(4))
+		s := NewStatsOf(objs)
+		want := s.JUK() / float64(len(objs))
+		if got := s.JMM(); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: J_MM %v vs J_UK/|C| %v", trial, got, want)
+		}
+	}
+}
+
+// Proposition 2, independent route: σ²(C_MM) computed from the mixture
+// moments of Lemma 2 equals J_UK/|C|.
+func TestProp2ViaMixtureMoments(t *testing.T) {
+	r := rng.New(201)
+	objs := randomCluster(r, 7, 3)
+	n := float64(len(objs))
+	m := objs[0].Dims()
+	// Lemma 2: µ(C_MM) = avg µ(o), µ₂(C_MM) = avg µ₂(o).
+	var sigma2 float64
+	for j := 0; j < m; j++ {
+		var sMu, sM2 float64
+		for _, o := range objs {
+			sMu += o.Mean()[j]
+			sM2 += o.SecondMoment()[j]
+		}
+		mixMu := sMu / n
+		mixM2 := sM2 / n
+		sigma2 += mixM2 - mixMu*mixMu
+	}
+	s := NewStatsOf(objs)
+	if math.Abs(sigma2-s.JMM()) > 1e-9*(1+sigma2) {
+		t.Fatalf("σ²(C_MM) = %v vs J_MM closed form %v", sigma2, s.JMM())
+	}
+}
+
+// Proposition 3: Ĵ(C) = Σ_o ÊD(o, C_MM) = 2|C| J_MM(C) = 2 J_UK(C).
+func TestProp3(t *testing.T) {
+	r := rng.New(300)
+	for trial := 0; trial < 20; trial++ {
+		objs := randomCluster(r, 2+r.Intn(8), 1+r.Intn(3))
+		n := float64(len(objs))
+		m := objs[0].Dims()
+		// Build mixture moments per Lemma 2.
+		mixMu := vec.New(m)
+		mixM2 := vec.New(m)
+		for _, o := range objs {
+			vec.AddInPlace(mixMu, o.Mean())
+			vec.AddInPlace(mixM2, o.SecondMoment())
+		}
+		vec.ScaleInPlace(mixMu, 1/n)
+		vec.ScaleInPlace(mixM2, 1/n)
+		// Ĵ via Lemma 3 with the mixture as second argument.
+		var jHat float64
+		for _, o := range objs {
+			for j := 0; j < m; j++ {
+				jHat += o.SecondMoment()[j] - 2*o.Mean()[j]*mixMu[j] + mixM2[j]
+			}
+		}
+		s := NewStatsOf(objs)
+		if math.Abs(jHat-2*s.JUK()) > 1e-9*(1+math.Abs(jHat)) {
+			t.Fatalf("trial %d: Ĵ %v vs 2 J_UK %v", trial, jHat, 2*s.JUK())
+		}
+		if math.Abs(jHat-2*n*s.JMM()) > 1e-9*(1+math.Abs(jHat)) {
+			t.Fatalf("trial %d: Ĵ %v vs 2|C| J_MM %v", trial, jHat, 2*n*s.JMM())
+		}
+	}
+}
+
+// Theorem 1: the U-centroid region is the member-average box, and sampled
+// realizations always fall inside it.
+func TestUCentroidRegionTheorem1(t *testing.T) {
+	r := rng.New(400)
+	objs := randomCluster(r, 5, 3)
+	u := NewUCentroid(objs)
+	reg := u.Region()
+	n := float64(len(objs))
+	for j := 0; j < 3; j++ {
+		var lo, hi float64
+		for _, o := range objs {
+			lo += o.Region().Lo[j]
+			hi += o.Region().Hi[j]
+		}
+		if math.Abs(reg.Lo[j]-lo/n) > 1e-12 || math.Abs(reg.Hi[j]-hi/n) > 1e-12 {
+			t.Fatalf("dim %d: region [%v,%v], want [%v,%v]", j, reg.Lo[j], reg.Hi[j], lo/n, hi/n)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		x := u.SampleRealization(r)
+		for j := range x {
+			if x[j] < reg.Lo[j]-1e-9 || x[j] > reg.Hi[j]+1e-9 {
+				t.Fatalf("realization %v escapes region on dim %d", x, j)
+			}
+		}
+	}
+}
+
+// Theorem 2: σ²(C̄) = |C|⁻² Σ_i σ²(o_i), cross-checked against Monte Carlo
+// realizations of X_C̄.
+func TestUCentroidVarianceTheorem2(t *testing.T) {
+	r := rng.New(500)
+	objs := randomCluster(r, 6, 2)
+	u := NewUCentroid(objs)
+	var sumVar float64
+	for _, o := range objs {
+		sumVar += o.TotalVar()
+	}
+	want := sumVar / float64(len(objs)*len(objs))
+	if got := u.TotalVar(); math.Abs(got-want) > 1e-12*(1+want) {
+		t.Fatalf("σ²(C̄) closed form %v vs Theorem 2 %v", got, want)
+	}
+	// Monte Carlo check.
+	const n = 200000
+	m := u.Dims()
+	sum := vec.New(m)
+	sq := vec.New(m)
+	for i := 0; i < n; i++ {
+		x := u.SampleRealization(r)
+		for j := range x {
+			sum[j] += x[j]
+			sq[j] += x[j] * x[j]
+		}
+	}
+	var mcVar float64
+	for j := 0; j < m; j++ {
+		mean := sum[j] / n
+		mcVar += sq[j]/n - mean*mean
+	}
+	if math.Abs(mcVar-want) > 0.05*(1+want) {
+		t.Errorf("MC variance %v vs Theorem 2 %v", mcVar, want)
+	}
+}
+
+// Lemma 5: µ(C̄) and µ₂(C̄) closed forms vs Monte Carlo.
+func TestUCentroidMomentsLemma5(t *testing.T) {
+	r := rng.New(600)
+	objs := randomCluster(r, 4, 2)
+	u := NewUCentroid(objs)
+	// Mean: |C|⁻¹ Σ µ(o).
+	want := vec.New(2)
+	for _, o := range objs {
+		vec.AddInPlace(want, o.Mean())
+	}
+	vec.ScaleInPlace(want, 1/float64(len(objs)))
+	if !vec.ApproxEqual(u.Mean(), want, 1e-12) {
+		t.Fatalf("µ(C̄) = %v, want %v", u.Mean(), want)
+	}
+	// Second moment via MC.
+	const n = 300000
+	sq := vec.New(2)
+	for i := 0; i < n; i++ {
+		x := u.SampleRealization(r)
+		for j := range x {
+			sq[j] += x[j] * x[j]
+		}
+	}
+	for j := 0; j < 2; j++ {
+		mc := sq[j] / n
+		if math.Abs(mc-u.SecondMoment()[j]) > 0.05*(1+math.Abs(mc)) {
+			t.Errorf("dim %d: MC µ₂ %v vs Lemma 5 %v", j, mc, u.SecondMoment()[j])
+		}
+	}
+}
+
+// Theorem 3: J(C) from the Ψ/Φ/Υ closed form equals (a) the sum of
+// ÊD(o, C̄) over members computed from the U-centroid moments, (b) the
+// |C|⁻¹Σσ² + J_UK decomposition, and (c) a Monte Carlo estimate of
+// Σ_o ÊD(o, C̄).
+func TestTheorem3(t *testing.T) {
+	r := rng.New(700)
+	for trial := 0; trial < 10; trial++ {
+		objs := randomCluster(r, 2+r.Intn(6), 1+r.Intn(3))
+		s := NewStatsOf(objs)
+		u := NewUCentroid(objs)
+
+		var viaEED float64
+		for _, o := range objs {
+			viaEED += u.EED(o)
+		}
+		closed := s.J()
+		if math.Abs(viaEED-closed) > 1e-9*(1+math.Abs(closed)) {
+			t.Fatalf("trial %d: Σ ÊD(o,C̄) = %v vs closed form %v", trial, viaEED, closed)
+		}
+
+		var sumVar float64
+		for _, o := range objs {
+			sumVar += o.TotalVar()
+		}
+		decomp := sumVar/float64(len(objs)) + s.JUK()
+		if math.Abs(decomp-closed) > 1e-9*(1+math.Abs(closed)) {
+			t.Fatalf("trial %d: decomposition %v vs closed form %v", trial, decomp, closed)
+		}
+	}
+}
+
+// Theorem 3 cross-check by Monte Carlo: ÊD(o, C̄) estimated by sampling
+// pairs (realization of o, realization of X_C̄).
+func TestTheorem3MonteCarlo(t *testing.T) {
+	r := rng.New(800)
+	objs := randomCluster(r, 4, 2)
+	s := NewStatsOf(objs)
+	u := NewUCentroid(objs)
+	const n = 100000
+	var mc float64
+	for _, o := range objs {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += vec.SqDist(o.Sample(r), u.SampleRealization(r))
+		}
+		mc += acc / n
+	}
+	if closed := s.J(); math.Abs(mc-closed) > 0.05*(1+closed) {
+		t.Errorf("MC Σ ÊD = %v vs Theorem 3 closed form %v", mc, closed)
+	}
+}
+
+// The MarginalHistogram of the U-centroid must integrate to ~1 and
+// concentrate near the mean (Theorem 1's averaging narrows the spread).
+func TestUCentroidMarginalHistogram(t *testing.T) {
+	r := rng.New(900)
+	objs := randomCluster(r, 5, 2)
+	u := NewUCentroid(objs)
+	centers, density := u.MarginalHistogram(r, 0, 40, 20000)
+	if len(centers) != 40 || len(density) != 40 {
+		t.Fatalf("histogram sizes %d/%d", len(centers), len(density))
+	}
+	w := centers[1] - centers[0]
+	var integral float64
+	for _, d := range density {
+		integral += d * w
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("marginal histogram integrates to %v", integral)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// UCentroid is the paper's uncertain cluster centroid C̄ = (R̄, f̄)
+// (Theorem 1): an uncertain object whose random variable X_C̄ realizes, for
+// every joint draw (x₁,…,x_{|C|}) of the cluster members, the point
+// minimizing the sum of squared Euclidean distances to the draw — i.e. the
+// member average x̄ = |C|⁻¹ Σ_i x_i.
+//
+// The pdf f̄ is in general not analytically computable (§4.2), but its
+// domain region (Theorem 1), mean and second moment (Lemma 5), and variance
+// (Theorem 2) are; realizations can be sampled exactly.
+type UCentroid struct {
+	members []*uncertain.Object
+	region  vec.Box
+	mu      vec.Vector
+	mu2     vec.Vector
+	sigma2  vec.Vector
+}
+
+// NewUCentroid builds the U-centroid of a non-empty cluster of
+// m-dimensional uncertain objects.
+func NewUCentroid(members []*uncertain.Object) *UCentroid {
+	if len(members) == 0 {
+		panic("core: U-centroid of empty cluster")
+	}
+	m := members[0].Dims()
+	n := float64(len(members))
+
+	lo := vec.New(m)
+	hi := vec.New(m)
+	sumMu := vec.New(m)
+	sumM2 := vec.New(m)
+	sumMuSq := vec.New(m)
+	sumVar := vec.New(m)
+	for _, o := range members {
+		if o.Dims() != m {
+			panic("core: mixed dimensionality in cluster")
+		}
+		r := o.Region()
+		mu, m2, sig := o.Mean(), o.SecondMoment(), o.VarVector()
+		for j := 0; j < m; j++ {
+			lo[j] += r.Lo[j]
+			hi[j] += r.Hi[j]
+			sumMu[j] += mu[j]
+			sumM2[j] += m2[j]
+			sumMuSq[j] += mu[j] * mu[j]
+			sumVar[j] += sig[j]
+		}
+	}
+
+	u := &UCentroid{
+		members: members,
+		mu:      vec.New(m),
+		mu2:     vec.New(m),
+		sigma2:  vec.New(m),
+	}
+	// Theorem 1: R̄ = [ |C|⁻¹Σℓ_i , |C|⁻¹Σu_i ] per dimension.
+	vec.ScaleInPlace(lo, 1/n)
+	vec.ScaleInPlace(hi, 1/n)
+	u.region = vec.Box{Lo: lo, Hi: hi}
+
+	for j := 0; j < m; j++ {
+		// Lemma 5: µ(C̄) = |C|⁻¹ Σ µ(o_i).
+		u.mu[j] = sumMu[j] / n
+		// Lemma 5 (rearranged via 2Σ_{i<i'}µµ' = (Σµ)² − Σµ²):
+		// µ₂(C̄) = |C|⁻²[ Σµ₂(o_i) + (Σµ)² − Σµ² ].
+		u.mu2[j] = (sumM2[j] + sumMu[j]*sumMu[j] - sumMuSq[j]) / (n * n)
+		// Theorem 2 (component form): (σ²)_j(C̄) = |C|⁻² Σ (σ²)_j(o_i).
+		u.sigma2[j] = sumVar[j] / (n * n)
+	}
+	return u
+}
+
+// Size returns the cluster cardinality |C|.
+func (u *UCentroid) Size() int { return len(u.members) }
+
+// Dims returns the dimensionality m.
+func (u *UCentroid) Dims() int { return len(u.mu) }
+
+// Region returns the domain region R̄ of Theorem 1.
+func (u *UCentroid) Region() vec.Box { return u.region }
+
+// Mean returns µ(C̄) (Lemma 5). Shared slice; do not modify.
+func (u *UCentroid) Mean() vec.Vector { return u.mu }
+
+// SecondMoment returns µ₂(C̄) (Lemma 5). Shared slice; do not modify.
+func (u *UCentroid) SecondMoment() vec.Vector { return u.mu2 }
+
+// VarVector returns the per-dimension variance of C̄.
+func (u *UCentroid) VarVector() vec.Vector { return u.sigma2 }
+
+// TotalVar returns σ²(C̄) = |C|⁻² Σ_i σ²(o_i) (Theorem 2).
+func (u *UCentroid) TotalVar() float64 { return vec.Sum(u.sigma2) }
+
+// SampleRealization draws one realization of X_C̄ exactly: it samples one
+// deterministic representation per member and returns their average (the
+// arg-min of the summed squared Euclidean distances, per Theorem 1's proof).
+func (u *UCentroid) SampleRealization(r *rng.RNG) vec.Vector {
+	m := u.Dims()
+	acc := vec.New(m)
+	for _, o := range u.members {
+		vec.AddInPlace(acc, o.Sample(r))
+	}
+	return vec.ScaleInPlace(acc, 1/float64(len(u.members)))
+}
+
+// RealizationCloud draws n realizations of X_C̄ (an empirical image of the
+// analytically intractable pdf f̄).
+func (u *UCentroid) RealizationCloud(r *rng.RNG, n int) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		out[i] = u.SampleRealization(r)
+	}
+	return out
+}
+
+// EED returns the squared expected distance ÊD(o, C̄) between an uncertain
+// object and this U-centroid, via the Lemma 3 component form using the
+// centroid's exact moments. Summing over the members of C reproduces the
+// objective J(C) of Theorem 3 (verified in tests).
+func (u *UCentroid) EED(o *uncertain.Object) float64 {
+	if o.Dims() != u.Dims() {
+		panic(fmt.Sprintf("core: EED dim mismatch %d vs %d", o.Dims(), u.Dims()))
+	}
+	mu, m2 := o.Mean(), o.SecondMoment()
+	var s float64
+	for j := 0; j < u.Dims(); j++ {
+		s += m2[j] - 2*mu[j]*u.mu[j] + u.mu2[j]
+	}
+	return s
+}
+
+// MarginalHistogram estimates the marginal density of f̄ along dimension j
+// with the given number of bins over the centroid's region, from n sampled
+// realizations. Returned values are (bin centers, normalized densities).
+// This is an illustrative tool (the paper's Figure 3); the clustering
+// algorithm never needs f̄ explicitly.
+func (u *UCentroid) MarginalHistogram(r *rng.RNG, j, bins, n int) (centers, density []float64) {
+	if j < 0 || j >= u.Dims() {
+		panic("core: histogram dimension out of range")
+	}
+	if bins <= 0 || n <= 0 {
+		panic("core: histogram needs positive bins and samples")
+	}
+	lo, hi := u.region.Lo[j], u.region.Hi[j]
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	w := (hi - lo) / float64(bins)
+	counts := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		x := u.SampleRealization(r)[j]
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	centers = make([]float64, bins)
+	density = make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		centers[b] = lo + (float64(b)+0.5)*w
+		density[b] = counts[b] / (float64(n) * w)
+	}
+	return centers, density
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// InitStrategy selects how UCPC builds its initial partition.
+type InitStrategy int
+
+const (
+	// InitRandom uses a uniform random partition with non-empty clusters
+	// (the paper's default suggestion in Algorithm 1, Line 2).
+	InitRandom InitStrategy = iota
+	// InitKMeansPP seeds k centers with D²-weighting on ÊD and assigns
+	// each object to its nearest seed.
+	InitKMeansPP
+)
+
+// UCPC is the U-Centroid-based Partitional Clustering algorithm
+// (paper Algorithm 1): a local-search heuristic that relocates one object
+// at a time to the cluster yielding the largest decrease of
+// Σ_C J(C), using the O(m) closed forms of Theorem 3 / Corollary 1.
+type UCPC struct {
+	// MaxIter caps the number of full passes over the dataset
+	// (0 means the default of 100). The paper's algorithm iterates until
+	// no object is relocated; the cap is a safety net only.
+	MaxIter int
+	// Init selects the initial-partition strategy (default InitRandom).
+	Init InitStrategy
+	// MinImprove is the minimum relative objective decrease for a
+	// relocation to be applied; guards the convergence proof
+	// (Proposition 4) against floating-point jitter. 0 means 1e-12.
+	MinImprove float64
+	// OnIteration, when non-nil, is invoked after every pass with the
+	// current pass index and objective value Σ_C J(C). Used by tests to
+	// verify Proposition 4 (monotone convergence).
+	OnIteration func(iter int, objective float64)
+}
+
+// Name implements clustering.Algorithm.
+func (u *UCPC) Name() string { return "UCPC" }
+
+// Cluster partitions ds into k clusters (Algorithm 1).
+func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(ds), ds.Dims()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("ucpc: k=%d out of range for n=%d", k, n)
+	}
+	maxIter := u.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	minImprove := u.MinImprove
+	if minImprove == 0 {
+		minImprove = 1e-12
+	}
+
+	start := time.Now()
+
+	// Line 1-3: initial partition and per-cluster statistics.
+	var assign []int
+	switch u.Init {
+	case InitKMeansPP:
+		seeds := clustering.KMeansPPCenters(ds, k, r)
+		centers := make([]*uncertain.Object, k)
+		for c, idx := range seeds {
+			centers[c] = ds[idx]
+		}
+		assign = make([]int, n)
+		for i, o := range ds {
+			assign[i], _ = uncertain.NearestByEED(o, centers)
+		}
+		assign = repairEmpty(assign, k, r)
+	default:
+		assign = clustering.RandomPartition(n, k, r)
+	}
+
+	stats := make([]*Stats, k)
+	for c := range stats {
+		stats[c] = NewStats(m)
+	}
+	for i, o := range ds {
+		stats[assign[i]].Add(o)
+	}
+	jCache := make([]float64, k)
+	for c := range stats {
+		jCache[c] = stats[c].J()
+	}
+
+	objective := func() float64 {
+		var v float64
+		for c := range jCache {
+			v += jCache[c]
+		}
+		return v
+	}
+
+	// Lines 4-16: relocation passes until fixed point.
+	iterations := 0
+	converged := false
+	for iterations < maxIter {
+		iterations++
+		moved := false
+		for i, o := range ds {
+			co := assign[i]
+			if stats[co].Size() == 1 {
+				// Relocating the only member would empty the cluster;
+				// Algorithm 1 keeps k clusters, so skip.
+				continue
+			}
+			jCoRemoved := stats[co].JIfRemove(o)
+			deltaRemove := jCoRemoved - jCache[co]
+
+			best := co
+			bestDelta := 0.0
+			for c := 0; c < k; c++ {
+				if c == co {
+					continue
+				}
+				delta := deltaRemove + stats[c].JIfAdd(o) - jCache[c]
+				if delta < bestDelta {
+					bestDelta = delta
+					best = c
+				}
+			}
+			if best == co {
+				continue
+			}
+			// Require a real improvement, relative to the magnitude of
+			// the involved terms, to guarantee termination.
+			scale := math.Abs(jCache[co]) + math.Abs(jCache[best]) + 1
+			if -bestDelta <= minImprove*scale {
+				continue
+			}
+			// Lines 10-13: apply the relocation, updating statistics in
+			// O(m) (Corollary 1).
+			stats[co].Remove(o)
+			stats[best].Add(o)
+			jCache[co] = stats[co].J()
+			jCache[best] = stats[best].J()
+			assign[i] = best
+			moved = true
+		}
+		if u.OnIteration != nil {
+			u.OnIteration(iterations, objective())
+		}
+		if !moved {
+			converged = true
+			break
+		}
+	}
+
+	return &clustering.Report{
+		Partition:  clustering.Partition{K: k, Assign: assign},
+		Objective:  objective(),
+		Iterations: iterations,
+		Converged:  converged,
+		Online:     time.Since(start),
+	}, nil
+}
+
+// repairEmpty reassigns one random object into each empty cluster so every
+// cluster is non-empty (donors are taken from clusters with >1 member).
+func repairEmpty(assign []int, k int, r *rng.RNG) []int {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	for c := 0; c < k; c++ {
+		for sizes[c] == 0 {
+			i := r.Intn(len(assign))
+			from := assign[i]
+			if sizes[from] <= 1 {
+				continue
+			}
+			sizes[from]--
+			assign[i] = c
+			sizes[c]++
+		}
+	}
+	return assign
+}
+
+// Objective returns Σ_C J(C) for an arbitrary assignment, recomputed from
+// scratch. Exposed for tests and for external evaluation of partitions.
+func Objective(ds uncertain.Dataset, assign []int, k int) float64 {
+	stats := make([]*Stats, k)
+	for c := range stats {
+		stats[c] = NewStats(ds.Dims())
+	}
+	for i, o := range ds {
+		if assign[i] >= 0 {
+			stats[assign[i]].Add(o)
+		}
+	}
+	var v float64
+	for _, s := range stats {
+		v += s.J()
+	}
+	return v
+}

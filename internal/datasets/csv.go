@@ -1,0 +1,77 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ucpc/internal/vec"
+)
+
+// WriteCSV writes a deterministic dataset as CSV rows of the form
+// x1,…,xm,label.
+func WriteCSV(w io.Writer, d *Deterministic) error {
+	cw := csv.NewWriter(w)
+	m := d.Dims()
+	row := make([]string, m+1)
+	for i, p := range d.Points {
+		for j := 0; j < m; j++ {
+			row[j] = strconv.FormatFloat(p[j], 'g', -1, 64)
+		}
+		row[m] = strconv.Itoa(d.Labels[i])
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datasets: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads rows of the form x1,…,xm,label (the last column is the
+// integer class label; pass hasLabels=false to treat every column as an
+// attribute and label everything 0).
+func ReadCSV(r io.Reader, name string, hasLabels bool) (*Deterministic, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	out := &Deterministic{Name: name}
+	classes := map[int]bool{}
+	rowNum := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: read row %d: %w", rowNum, err)
+		}
+		rowNum++
+		nAttrs := len(rec)
+		label := 0
+		if hasLabels {
+			nAttrs--
+			label, err = strconv.Atoi(rec[nAttrs])
+			if err != nil {
+				return nil, fmt.Errorf("datasets: row %d label %q: %w", rowNum, rec[nAttrs], err)
+			}
+		}
+		if out.Dims() != 0 && nAttrs != out.Dims() {
+			return nil, fmt.Errorf("datasets: row %d has %d attributes, want %d", rowNum, nAttrs, out.Dims())
+		}
+		p := make(vec.Vector, nAttrs)
+		for j := 0; j < nAttrs; j++ {
+			p[j], err = strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: row %d field %d %q: %w", rowNum, j, rec[j], err)
+			}
+		}
+		out.Points = append(out.Points, p)
+		out.Labels = append(out.Labels, label)
+		classes[label] = true
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("datasets: empty CSV input")
+	}
+	out.Classes = len(classes)
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBenchmarksMatchTable1(t *testing.T) {
+	want := map[string][3]int{ // name -> {n, attrs, classes}
+		"Iris":    {150, 4, 3},
+		"Wine":    {178, 13, 3},
+		"Glass":   {214, 10, 6},
+		"Ecoli":   {327, 7, 5},
+		"Yeast":   {1484, 8, 10},
+		"Image":   {2310, 19, 7},
+		"Abalone": {4124, 7, 17},
+		"Letter":  {7648, 16, 10},
+	}
+	specs := Benchmarks()
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected spec %q", s.Name)
+			continue
+		}
+		if s.N != w[0] || s.Dims != w[1] || s.Classes != w[2] {
+			t.Errorf("%s: (%d,%d,%d), want %v", s.Name, s.N, s.Dims, s.Classes, w)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, spec := range Benchmarks() {
+		d := Generate(spec, 42)
+		if len(d.Points) != spec.N {
+			t.Errorf("%s: %d points, want %d", spec.Name, len(d.Points), spec.N)
+		}
+		if d.Dims() != spec.Dims {
+			t.Errorf("%s: dims %d, want %d", spec.Name, d.Dims(), spec.Dims)
+		}
+		seen := map[int]int{}
+		for _, l := range d.Labels {
+			seen[l]++
+		}
+		if len(seen) != spec.Classes {
+			t.Errorf("%s: %d classes, want %d", spec.Name, len(seen), spec.Classes)
+		}
+		for c, cnt := range seen {
+			if cnt < 1 {
+				t.Errorf("%s: class %d empty", spec.Name, c)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	spec, _ := BenchmarkByName("Iris")
+	a := Generate(spec, 7)
+	b := Generate(spec, 7)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatal("same seed, different data")
+			}
+		}
+	}
+	c := Generate(spec, 8)
+	if a.Points[0][0] == c.Points[0][0] {
+		t.Error("different seeds produced identical first value")
+	}
+}
+
+func TestImbalanceSkewsSizes(t *testing.T) {
+	balanced := Generate(Spec{Name: "b", N: 1000, Dims: 2, Classes: 5, Separation: 2, Imbalance: 0}, 1)
+	skewed := Generate(Spec{Name: "s", N: 1000, Dims: 2, Classes: 5, Imbalance: 0.8, Separation: 2}, 1)
+	ratio := func(d *Deterministic) float64 {
+		sizes := map[int]int{}
+		for _, l := range d.Labels {
+			sizes[l]++
+		}
+		min, max := 1<<30, 0
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return float64(max) / float64(min)
+	}
+	if ratio(skewed) <= ratio(balanced)*1.5 {
+		t.Errorf("imbalance had no effect: skewed ratio %v vs balanced %v", ratio(skewed), ratio(balanced))
+	}
+}
+
+func TestBenchmarkByNameUnknown(t *testing.T) {
+	if _, err := BenchmarkByName("Nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestScalePreservesClasses(t *testing.T) {
+	spec, _ := BenchmarkByName("Yeast")
+	d := Generate(spec, 3)
+	s := d.Scale(0.05)
+	if len(s.Points) >= len(d.Points)/10 {
+		t.Errorf("scaled size %d not much smaller than %d", len(s.Points), len(d.Points))
+	}
+	seen := map[int]bool{}
+	for _, l := range s.Labels {
+		seen[l] = true
+	}
+	if len(seen) != spec.Classes {
+		t.Errorf("scaling lost classes: %d of %d", len(seen), spec.Classes)
+	}
+	if d.Scale(1.5) != d {
+		t.Error("frac >= 1 must return the receiver")
+	}
+}
+
+func TestPerDimStdPositive(t *testing.T) {
+	spec, _ := BenchmarkByName("Iris")
+	d := Generate(spec, 4)
+	for j, s := range d.PerDimStd() {
+		if s <= 0 || math.IsNaN(s) {
+			t.Errorf("dim %d std = %v", j, s)
+		}
+	}
+}
+
+func TestMicroarraySpecs(t *testing.T) {
+	specs := Microarrays()
+	if len(specs) != 2 {
+		t.Fatalf("%d microarray specs", len(specs))
+	}
+	if specs[0].Genes != 22282 || specs[0].Arrays != 14 {
+		t.Errorf("Neuroblastoma spec wrong: %+v", specs[0])
+	}
+	if specs[1].Genes != 22690 || specs[1].Arrays != 21 {
+		t.Errorf("Leukaemia spec wrong: %+v", specs[1])
+	}
+	if _, err := MicroarrayByName("Leukaemia"); err != nil {
+		t.Error(err)
+	}
+	if _, err := MicroarrayByName("X"); err == nil {
+		t.Error("unknown microarray accepted")
+	}
+}
+
+func TestGenerateMicroarray(t *testing.T) {
+	spec, _ := MicroarrayByName("Neuroblastoma")
+	ds := GenerateMicroarray(spec, 0.01, 5)
+	if len(ds) < 100 {
+		t.Fatalf("only %d genes at 1%% scale", len(ds))
+	}
+	if ds.Dims() != 14 {
+		t.Errorf("dims = %d", ds.Dims())
+	}
+	// Probe-level uncertainty must be present and heterogeneous.
+	var minVar, maxVar = math.Inf(1), 0.0
+	for _, o := range ds {
+		v := o.TotalVar()
+		if v <= 0 {
+			t.Fatal("gene without uncertainty")
+		}
+		minVar = math.Min(minVar, v)
+		maxVar = math.Max(maxVar, v)
+	}
+	if maxVar < 2*minVar {
+		t.Errorf("variances suspiciously homogeneous: [%v, %v]", minVar, maxVar)
+	}
+}
+
+func TestGenerateKDDShape(t *testing.T) {
+	d := GenerateKDD(5000, 9)
+	if len(d.Points) != 5000 || d.Dims() != 42 {
+		t.Fatalf("shape %dx%d", len(d.Points), d.Dims())
+	}
+	sizes := map[int]int{}
+	for _, l := range d.Labels {
+		sizes[l]++
+	}
+	if len(sizes) != 23 {
+		t.Fatalf("%d classes, want 23", len(sizes))
+	}
+	// The skew must be strong: the biggest class dwarfs the smallest.
+	min, max := 1<<30, 0
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max < 50*min {
+		t.Errorf("class skew too weak: min %d max %d", min, max)
+	}
+}
+
+func TestKDDMinimumSize(t *testing.T) {
+	d := GenerateKDD(1, 1)
+	if len(d.Points) != 23 {
+		t.Errorf("n below class count must clamp to 23, got %d", len(d.Points))
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	spec, _ := BenchmarkByName("Iris")
+	d := Generate(spec, 11).Scale(0.2)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "Iris", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(d.Points) || back.Dims() != d.Dims() {
+		t.Fatalf("round trip shape %dx%d vs %dx%d",
+			len(back.Points), back.Dims(), len(d.Points), d.Dims())
+	}
+	for i := range d.Points {
+		if back.Labels[i] != d.Labels[i] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for j := range d.Points[i] {
+			if back.Points[i][j] != d.Points[i][j] {
+				t.Fatalf("value mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVNoLabels(t *testing.T) {
+	in := strings.NewReader("1.5,2.5\n3.5,4.5\n")
+	d, err := ReadCSV(in, "x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dims() != 2 || len(d.Points) != 2 {
+		t.Fatalf("shape %dx%d", len(d.Points), d.Dims())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x", true); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,zz\n"), "x", true); err == nil {
+		t.Error("bad label accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2,0\n1,0\n"), "x", true); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,0\n"), "x", true); err == nil {
+		t.Error("non-numeric attribute accepted")
+	}
+}

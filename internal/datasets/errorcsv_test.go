@@ -1,0 +1,91 @@
+package datasets
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadErrorCSV(t *testing.T) {
+	in := strings.NewReader(
+		"1.5,0.2,3.0,0.5,0\n" +
+			"8.0,0.1,9.0,0.0,1\n")
+	ds, err := ReadErrorCSV(in, true, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 || ds.Dims() != 2 {
+		t.Fatalf("shape %dx%d", len(ds), ds.Dims())
+	}
+	if ds[0].Label != 0 || ds[1].Label != 1 {
+		t.Error("labels wrong")
+	}
+	// Means pinned at the values (symmetric truncation).
+	if math.Abs(ds[0].Mean()[0]-1.5) > 1e-9 || math.Abs(ds[0].Mean()[1]-3.0) > 1e-9 {
+		t.Errorf("object 0 mean %v", ds[0].Mean())
+	}
+	// Variance scales with the stated error.
+	if ds[0].VarVector()[1] <= ds[0].VarVector()[0] {
+		t.Errorf("larger error did not give larger variance: %v", ds[0].VarVector())
+	}
+	// Zero error becomes a point mass.
+	if ds[1].VarVector()[1] != 0 {
+		t.Errorf("zero-error attribute has variance %v", ds[1].VarVector()[1])
+	}
+}
+
+func TestReadErrorCSVNoLabels(t *testing.T) {
+	ds, err := ReadErrorCSV(strings.NewReader("1,0.1,2,0.2\n"), false, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds[0].Label != -1 {
+		t.Errorf("unlabeled object has label %d", ds[0].Label)
+	}
+	if ds.Dims() != 2 {
+		t.Errorf("dims = %d", ds.Dims())
+	}
+}
+
+func TestReadErrorCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		in        string
+		hasLabels bool
+		mass      float64
+	}{
+		"empty":          {"", false, 0.95},
+		"odd fields":     {"1,0.1,2\n", false, 0.95},
+		"bad value":      {"x,0.1\n", false, 0.95},
+		"bad error":      {"1,y\n", false, 0.95},
+		"negative error": {"1,-0.5\n", false, 0.95},
+		"bad label":      {"1,0.1,zz\n", true, 0.95},
+		"bad mass":       {"1,0.1\n", false, 1.5},
+		"label only":     {"3\n", true, 0.95},
+	}
+	for name, c := range cases {
+		if _, err := ReadErrorCSV(strings.NewReader(c.in), c.hasLabels, c.mass); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadErrorCSVClusterable(t *testing.T) {
+	// Two separated noisy groups straight from an error-bar CSV.
+	var b strings.Builder
+	for i := 0; i < 10; i++ {
+		b.WriteString("1.0,0.3,1.0,0.3,0\n")
+		b.WriteString("9.0,0.4,9.0,0.4,1\n")
+	}
+	ds, err := ReadErrorCSV(strings.NewReader(b.String()), true, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 20 {
+		t.Fatalf("%d objects", len(ds))
+	}
+	for _, o := range ds {
+		if o.TotalVar() <= 0 {
+			t.Fatal("object without uncertainty")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/uncertain"
+)
+
+// Uncertain CSV ("ucsv") is a plain-CSV serialization of uncertain
+// datasets: one row per object, one field per attribute, and a final
+// integer label field (-1 = unlabeled). Each attribute field encodes its
+// marginal distribution as colon-separated tokens:
+//
+//	P:x           point mass at x
+//	U:lo:hi       Uniform on [lo, hi]
+//	N:mu:sigma:lo:hi   Normal(mu, sigma²) truncated to [lo, hi]
+//	E:rate:shift:T     shifted Exponential truncated to [shift, shift+T]
+//
+// The format loses nothing for the four closed-form families used by the
+// uncertainty generator; Discrete marginals are serialized as their
+// supporting points: D:x1:w1:x2:w2:…
+
+// WriteUncertainCSV serializes ds to w.
+func WriteUncertainCSV(w io.Writer, ds uncertain.Dataset) error {
+	cw := csv.NewWriter(w)
+	for i, o := range ds {
+		row := make([]string, o.Dims()+1)
+		for j := 0; j < o.Dims(); j++ {
+			tok, err := encodeDist(o.Marginal(j))
+			if err != nil {
+				return fmt.Errorf("datasets: object %d dim %d: %w", i, j, err)
+			}
+			row[j] = tok
+		}
+		row[o.Dims()] = strconv.Itoa(o.Label)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("datasets: write object %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadUncertainCSV parses a dataset serialized by WriteUncertainCSV.
+func ReadUncertainCSV(r io.Reader) (uncertain.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var ds uncertain.Dataset
+	rowNum := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datasets: ucsv row %d: %w", rowNum, err)
+		}
+		rowNum++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("datasets: ucsv row %d has %d fields, want >= 2", rowNum, len(rec))
+		}
+		label, err := strconv.Atoi(rec[len(rec)-1])
+		if err != nil {
+			return nil, fmt.Errorf("datasets: ucsv row %d label %q: %w", rowNum, rec[len(rec)-1], err)
+		}
+		ms := make([]dist.Distribution, len(rec)-1)
+		for j := 0; j < len(rec)-1; j++ {
+			d, err := decodeDist(rec[j])
+			if err != nil {
+				return nil, fmt.Errorf("datasets: ucsv row %d dim %d: %w", rowNum, j, err)
+			}
+			ms[j] = d
+		}
+		ds = append(ds, uncertain.NewObject(rowNum-1, ms).WithLabel(label))
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("datasets: empty ucsv input")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func encodeDist(d dist.Distribution) (string, error) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	switch t := d.(type) {
+	case dist.PointMass:
+		return "P:" + f(t.X), nil
+	case dist.Uniform:
+		return "U:" + f(t.Lo) + ":" + f(t.Hi), nil
+	case dist.Normal:
+		// Untruncated Normals have no finite region; store their exact
+		// parameters with infinite bounds spelled out.
+		return "N:" + f(t.Mu) + ":" + f(t.Sigma) + ":-inf:+inf", nil
+	case dist.TruncNormal:
+		return "N:" + f(t.Mu) + ":" + f(t.Sigma) + ":" + f(t.Lo) + ":" + f(t.Hi), nil
+	case dist.Exponential:
+		return "E:" + f(t.Rate) + ":" + f(t.Shift) + ":+inf", nil
+	case dist.TruncExponential:
+		return "E:" + f(t.Rate) + ":" + f(t.Shift) + ":" + f(t.T), nil
+	case dist.Discrete:
+		var b strings.Builder
+		b.WriteString("D")
+		for p := 0.0; p < 1; p += 1 / float64(t.N()) {
+			x := t.Quantile(p + 0.5/float64(t.N()))
+			b.WriteString(":" + f(x) + ":" + f(1/float64(t.N())))
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unsupported marginal type %T", d)
+	}
+}
+
+func decodeDist(tok string) (dist.Distribution, error) {
+	parts := strings.Split(tok, ":")
+	nums := func(want int) ([]float64, error) {
+		if len(parts)-1 != want {
+			return nil, fmt.Errorf("token %q: %d params, want %d", tok, len(parts)-1, want)
+		}
+		out := make([]float64, want)
+		for i := 0; i < want; i++ {
+			s := parts[i+1]
+			switch s {
+			case "-inf":
+				out[i] = negInf
+				continue
+			case "+inf", "inf":
+				out[i] = posInf
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("token %q: bad number %q", tok, s)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch parts[0] {
+	case "P":
+		v, err := nums(1)
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewPointMass(v[0]), nil
+	case "U":
+		v, err := nums(2)
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewUniform(v[0], v[1]), nil
+	case "N":
+		v, err := nums(4)
+		if err != nil {
+			return nil, err
+		}
+		if v[2] == negInf && v[3] == posInf {
+			return dist.NewNormal(v[0], v[1]), nil
+		}
+		return dist.NewTruncNormal(v[0], v[1], v[2], v[3]), nil
+	case "E":
+		if len(parts)-1 == 3 {
+			v, err := nums(3)
+			if err != nil {
+				return nil, err
+			}
+			if v[2] == posInf {
+				return dist.NewExponential(v[0], v[1]), nil
+			}
+			return dist.NewTruncExponential(v[0], v[1], v[2]), nil
+		}
+		v, err := nums(2)
+		if err != nil {
+			return nil, err
+		}
+		return dist.NewExponential(v[0], v[1]), nil
+	case "D":
+		if (len(parts)-1)%2 != 0 || len(parts) == 1 {
+			return nil, fmt.Errorf("token %q: discrete needs x:w pairs", tok)
+		}
+		n := (len(parts) - 1) / 2
+		xs := make([]float64, n)
+		ws := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x, err := strconv.ParseFloat(parts[1+2*i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("token %q: bad number", tok)
+			}
+			w, err := strconv.ParseFloat(parts[2+2*i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("token %q: bad number", tok)
+			}
+			xs[i], ws[i] = x, w
+		}
+		return dist.NewDiscrete(xs, ws), nil
+	default:
+		return nil, fmt.Errorf("unknown marginal family %q in token %q", parts[0], tok)
+	}
+}
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)

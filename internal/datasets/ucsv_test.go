@@ -1,0 +1,148 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func mixedDataset() uncertain.Dataset {
+	return uncertain.Dataset{
+		uncertain.NewObject(0, []dist.Distribution{
+			dist.NewPointMass(1.5),
+			dist.NewUniform(-1, 2),
+			dist.NewTruncNormalCentral(3, 0.5, 0.95),
+		}).WithLabel(0),
+		uncertain.NewObject(1, []dist.Distribution{
+			dist.NewTruncExponentialMass(4, 1.5, 0.95),
+			dist.NewNormal(0, 2),
+			dist.NewExponential(2, -1),
+		}).WithLabel(1),
+		uncertain.NewObject(2, []dist.Distribution{
+			dist.NewDiscrete([]float64{1, 2, 3}, nil),
+			dist.NewUniform(0, 0),
+			dist.NewPointMass(-7),
+		}).WithLabel(-1),
+	}
+}
+
+func TestUCSVRoundTripMoments(t *testing.T) {
+	ds := mixedDataset()
+	var buf bytes.Buffer
+	if err := WriteUncertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ds) {
+		t.Fatalf("%d objects, want %d", len(back), len(ds))
+	}
+	for i, o := range ds {
+		b := back[i]
+		if b.Label != o.Label {
+			t.Errorf("object %d label %d, want %d", i, b.Label, o.Label)
+		}
+		for j := 0; j < o.Dims(); j++ {
+			if math.Abs(b.Mean()[j]-o.Mean()[j]) > 1e-9 {
+				t.Errorf("object %d dim %d mean %v, want %v", i, j, b.Mean()[j], o.Mean()[j])
+			}
+			if math.Abs(b.VarVector()[j]-o.VarVector()[j]) > 1e-9*(1+o.VarVector()[j]) {
+				t.Errorf("object %d dim %d var %v, want %v", i, j, b.VarVector()[j], o.VarVector()[j])
+			}
+			lo1, hi1 := o.Marginal(j).Support()
+			lo2, hi2 := b.Marginal(j).Support()
+			if lo1 != lo2 || hi1 != hi2 {
+				t.Errorf("object %d dim %d support [%v,%v], want [%v,%v]", i, j, lo2, hi2, lo1, hi1)
+			}
+		}
+	}
+}
+
+func TestUCSVRoundTripSampling(t *testing.T) {
+	// Sampling from the decoded objects must match the original moments.
+	ds := mixedDataset()
+	var buf bytes.Buffer
+	if err := WriteUncertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	o := back[1]
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += o.Sample(r)[0]
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.05 {
+		t.Errorf("decoded TruncExponential sample mean %v, want 4", mean)
+	}
+}
+
+func TestUCSVGeneratedDatasetRoundTrip(t *testing.T) {
+	spec, _ := MicroarrayByName("Neuroblastoma")
+	ds := GenerateMicroarray(spec, 0.005, 3)
+	var buf bytes.Buffer
+	if err := WriteUncertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds {
+		if math.Abs(back[i].TotalVar()-ds[i].TotalVar()) > 1e-9*(1+ds[i].TotalVar()) {
+			t.Fatalf("gene %d variance drifted: %v vs %v", i, back[i].TotalVar(), ds[i].TotalVar())
+		}
+	}
+}
+
+func TestUCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"one field":      "P:1\n",
+		"bad label":      "P:1,xx\n",
+		"unknown family": "Z:1,0\n",
+		"bad params":     "U:1,0\n",
+		"bad number":     "P:abc,0\n",
+		"ragged dims":    "P:1,P:2,0\nP:1,0\n",
+		"discrete odd":   "D:1:0.5:2,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadUncertainCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestUCSVUntruncatedFamilies(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.NewObject(0, []dist.Distribution{
+			dist.NewNormal(5, 3),
+			dist.NewExponential(0.5, 2),
+		}).WithLabel(4),
+	}
+	var buf bytes.Buffer
+	if err := WriteUncertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back[0].Marginal(0).(dist.Normal); !ok {
+		t.Errorf("untruncated Normal decoded as %T", back[0].Marginal(0))
+	}
+	if _, ok := back[0].Marginal(1).(dist.Exponential); !ok {
+		t.Errorf("untruncated Exponential decoded as %T", back[0].Marginal(1))
+	}
+}

@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+func labeledDataset(r *rng.RNG, k, per int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := []dist.Distribution{
+				dist.NewUniformAround(8*float64(g)+r.Normal(0, 0.3), 0.5),
+				dist.NewUniformAround(8*float64(g)+r.Normal(0, 0.3), 0.5),
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func perfectPartition(ds uncertain.Dataset, k int) clustering.Partition {
+	assign := make([]int, len(ds))
+	for i, o := range ds {
+		assign[i] = o.Label
+	}
+	return clustering.Partition{K: k, Assign: assign}
+}
+
+func TestFMeasurePerfect(t *testing.T) {
+	r := rng.New(1)
+	ds := labeledDataset(r, 3, 10)
+	if f := FMeasure(perfectPartition(ds, 3), ds.Labels()); math.Abs(f-1) > 1e-12 {
+		t.Errorf("perfect F = %v, want 1", f)
+	}
+}
+
+func TestFMeasureSingleCluster(t *testing.T) {
+	r := rng.New(2)
+	ds := labeledDataset(r, 2, 10)
+	assign := make([]int, len(ds))
+	p := clustering.Partition{K: 1, Assign: assign}
+	f := FMeasure(p, ds.Labels())
+	// One cluster over two balanced classes: per class P = 1/2, R = 1,
+	// F_uv = 2/3; weighted sum = 2/3.
+	if math.Abs(f-2.0/3) > 1e-12 {
+		t.Errorf("single-cluster F = %v, want 2/3", f)
+	}
+}
+
+func TestFMeasureRange(t *testing.T) {
+	r := rng.New(3)
+	ds := labeledDataset(r, 3, 8)
+	for trial := 0; trial < 20; trial++ {
+		assign := make([]int, len(ds))
+		for i := range assign {
+			assign[i] = r.Intn(3)
+		}
+		f := FMeasure(clustering.Partition{K: 3, Assign: assign}, ds.Labels())
+		if f < 0 || f > 1 {
+			t.Fatalf("F out of range: %v", f)
+		}
+	}
+}
+
+func TestFMeasureNoiseAsSingletons(t *testing.T) {
+	r := rng.New(4)
+	ds := labeledDataset(r, 2, 5)
+	// Perfect clustering but one object marked noise.
+	assign := make([]int, len(ds))
+	for i, o := range ds {
+		assign[i] = o.Label
+	}
+	assign[0] = clustering.Noise
+	f := FMeasure(clustering.Partition{K: 2, Assign: assign}, ds.Labels())
+	fPerfect := FMeasure(perfectPartition(ds, 2), ds.Labels())
+	if f >= fPerfect {
+		t.Errorf("noise demotion did not reduce F: %v vs %v", f, fPerfect)
+	}
+	if f <= 0 {
+		t.Errorf("F = %v", f)
+	}
+}
+
+func TestFMeasureMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	FMeasure(clustering.Partition{K: 1, Assign: []int{0, 0}}, []int{0})
+}
+
+func TestTheta(t *testing.T) {
+	if math.Abs(Theta(0.8, 0.5)-0.3) > 1e-12 {
+		t.Error("Theta arithmetic")
+	}
+	if math.Abs(Theta(0.2, 0.5)+0.3) > 1e-12 {
+		t.Error("Theta negative")
+	}
+}
+
+// Closed-form intra/inter must match the brute-force O(n²) reference.
+func TestIntraInterClosedFormVsBrute(t *testing.T) {
+	r := rng.New(5)
+	ds := labeledDataset(r, 3, 7)
+	for trial := 0; trial < 10; trial++ {
+		assign := make([]int, len(ds))
+		for i := range assign {
+			assign[i] = r.Intn(3)
+		}
+		p := clustering.Partition{K: 3, Assign: assign}
+		ia, ie := IntraInter(ds, p)
+		ba, be := IntraInterBrute(ds, p)
+		if math.Abs(ia-ba) > 1e-9*(1+ba) || math.Abs(ie-be) > 1e-9*(1+be) {
+			t.Fatalf("trial %d: closed (%v,%v) vs brute (%v,%v)", trial, ia, ie, ba, be)
+		}
+	}
+}
+
+func TestIntraInterWithNoise(t *testing.T) {
+	r := rng.New(6)
+	ds := labeledDataset(r, 2, 6)
+	assign := make([]int, len(ds))
+	for i, o := range ds {
+		assign[i] = o.Label
+	}
+	assign[3] = clustering.Noise
+	p := clustering.Partition{K: 2, Assign: assign}
+	ia, ie := IntraInter(ds, p)
+	ba, be := IntraInterBrute(ds, p)
+	if math.Abs(ia-ba) > 1e-9*(1+ba) || math.Abs(ie-be) > 1e-9*(1+be) {
+		t.Fatalf("noise handling differs: closed (%v,%v) vs brute (%v,%v)", ia, ie, ba, be)
+	}
+}
+
+// A good partition of well-separated data has Q > 0 and beats a random one.
+func TestQualityOrdersPartitions(t *testing.T) {
+	r := rng.New(7)
+	ds := labeledDataset(r, 3, 12)
+	good := Quality(ds, perfectPartition(ds, 3))
+	if good <= 0 {
+		t.Errorf("perfect partition Q = %v, want > 0", good)
+	}
+	assign := make([]int, len(ds))
+	for i := range assign {
+		assign[i] = r.Intn(3)
+	}
+	bad := Quality(ds, clustering.Partition{K: 3, Assign: assign})
+	if good <= bad {
+		t.Errorf("perfect Q %v not above random Q %v", good, bad)
+	}
+}
+
+func TestIntraInterBounds(t *testing.T) {
+	r := rng.New(8)
+	ds := labeledDataset(r, 2, 10)
+	intra, inter := IntraInter(ds, perfectPartition(ds, 2))
+	for _, v := range []float64{intra, inter} {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized criterion out of [0,1]: %v", v)
+		}
+	}
+}
+
+func TestSingletonClustersIntraZero(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}).WithLabel(0),
+		uncertain.FromPoint(1, vec.Vector{5, 5}).WithLabel(1),
+	}
+	intra, inter := IntraInter(ds, clustering.Partition{K: 2, Assign: []int{0, 1}})
+	if intra != 0 {
+		t.Errorf("singleton intra = %v", intra)
+	}
+	if inter <= 0 {
+		t.Errorf("inter = %v", inter)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	r := rng.New(9)
+	ds := labeledDataset(r, 2, 5)
+	if p := Purity(perfectPartition(ds, 2), ds.Labels()); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+}
+
+func TestARI(t *testing.T) {
+	r := rng.New(10)
+	ds := labeledDataset(r, 3, 8)
+	if a := AdjustedRandIndex(perfectPartition(ds, 3), ds.Labels()); math.Abs(a-1) > 1e-12 {
+		t.Errorf("perfect ARI = %v", a)
+	}
+	// Random labelings hover around 0.
+	var sum float64
+	const trials = 50
+	for i := 0; i < trials; i++ {
+		assign := make([]int, len(ds))
+		for j := range assign {
+			assign[j] = r.Intn(3)
+		}
+		sum += AdjustedRandIndex(clustering.Partition{K: 3, Assign: assign}, ds.Labels())
+	}
+	if avg := sum / trials; math.Abs(avg) > 0.1 {
+		t.Errorf("random ARI average = %v, want ~0", avg)
+	}
+}

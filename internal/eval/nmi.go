@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math"
+	"sort"
+
+	"ucpc/internal/clustering"
+)
+
+// NormalizedMutualInformation computes NMI between a partition and
+// reference labels with the arithmetic-mean normalization
+// NMI = 2·I(C;C̃) / (H(C)+H(C̃)), a standard secondary external criterion
+// complementing the paper's F-measure. Noise objects become singleton
+// clusters (as in FMeasure). Returns a value in [0, 1]; degenerate inputs
+// (a single class and a single cluster) score 1.
+func NormalizedMutualInformation(p clustering.Partition, labels []int) float64 {
+	n := len(p.Assign)
+	if n == 0 || n != len(labels) {
+		panic("eval: NMI length mismatch")
+	}
+	assign := make([]int, n)
+	next := p.K
+	for i, c := range p.Assign {
+		if c == clustering.Noise {
+			assign[i] = next
+			next++
+		} else {
+			assign[i] = c
+		}
+	}
+
+	clusterCount := map[int]float64{}
+	classCount := map[int]float64{}
+	joint := map[[2]int]float64{}
+	for i := 0; i < n; i++ {
+		clusterCount[assign[i]]++
+		classCount[labels[i]]++
+		joint[[2]int{assign[i], labels[i]}]++
+	}
+	fn := float64(n)
+
+	// Deterministic float accumulation: fold in sorted-key order.
+	keys := make([][2]int, 0, len(joint))
+	for k := range joint {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var mi float64
+	for _, key := range keys {
+		pij := joint[key] / fn
+		pi := clusterCount[key[0]] / fn
+		pj := classCount[key[1]] / fn
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	entropy := func(counts map[int]float64) float64 {
+		return sortedSum(counts, func(c float64) float64 {
+			p := c / fn
+			return -p * math.Log(p)
+		})
+	}
+	hc, hl := entropy(clusterCount), entropy(classCount)
+	if hc+hl == 0 {
+		return 1 // both sides are a single block: perfect trivial agreement
+	}
+	nmi := 2 * mi / (hc + hl)
+	// Clamp floating-point spill-over.
+	return math.Max(0, math.Min(1, nmi))
+}

@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+)
+
+func TestNMIPerfect(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	p := clustering.Partition{K: 3, Assign: []int{0, 0, 1, 1, 2, 2}}
+	if nmi := NormalizedMutualInformation(p, labels); math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("perfect NMI = %v", nmi)
+	}
+	// Relabeled clusters score identically.
+	q := clustering.Partition{K: 3, Assign: []int{2, 2, 0, 0, 1, 1}}
+	if nmi := NormalizedMutualInformation(q, labels); math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("relabeled NMI = %v", nmi)
+	}
+}
+
+func TestNMISingleCluster(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	p := clustering.Partition{K: 1, Assign: []int{0, 0, 0, 0}}
+	if nmi := NormalizedMutualInformation(p, labels); nmi != 0 {
+		t.Errorf("uninformative clustering NMI = %v, want 0", nmi)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	labels := []int{0, 0, 0}
+	p := clustering.Partition{K: 1, Assign: []int{0, 0, 0}}
+	if nmi := NormalizedMutualInformation(p, labels); nmi != 1 {
+		t.Errorf("trivial agreement NMI = %v, want 1", nmi)
+	}
+}
+
+func TestNMIRandomNearZero(t *testing.T) {
+	r := rng.New(5)
+	n := 600
+	labels := make([]int, n)
+	assign := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = r.Intn(3)
+		assign[i] = r.Intn(3)
+	}
+	nmi := NormalizedMutualInformation(clustering.Partition{K: 3, Assign: assign}, labels)
+	if nmi > 0.05 {
+		t.Errorf("random NMI = %v, want ~0", nmi)
+	}
+}
+
+func TestNMINoiseAsSingletons(t *testing.T) {
+	labels := []int{0, 0, 1, 1}
+	perfect := clustering.Partition{K: 2, Assign: []int{0, 0, 1, 1}}
+	withNoise := clustering.Partition{K: 2, Assign: []int{0, 0, 1, clustering.Noise}}
+	a := NormalizedMutualInformation(perfect, labels)
+	b := NormalizedMutualInformation(withNoise, labels)
+	if b >= a {
+		t.Errorf("noise demotion did not reduce NMI: %v vs %v", b, a)
+	}
+}
+
+func TestNMIRange(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + r.Intn(50)
+		labels := make([]int, n)
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			labels[i] = r.Intn(4)
+			assign[i] = r.Intn(5)
+		}
+		nmi := NormalizedMutualInformation(clustering.Partition{K: 5, Assign: assign}, labels)
+		if nmi < 0 || nmi > 1 {
+			t.Fatalf("NMI out of range: %v", nmi)
+		}
+	}
+}
+
+func TestNMIMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatch")
+		}
+	}()
+	NormalizedMutualInformation(clustering.Partition{K: 1, Assign: []int{0}}, []int{0, 1})
+}

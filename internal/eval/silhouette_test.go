@@ -1,0 +1,141 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// bruteSilhouette recomputes the coefficient by explicit O(n²) pair sums.
+func bruteSilhouette(ds uncertain.Dataset, p clustering.Partition) float64 {
+	members := p.Members()
+	var total float64
+	scored := 0
+	for i := range ds {
+		ci := p.Assign[i]
+		if ci < 0 {
+			continue
+		}
+		if len(members[ci]) <= 1 {
+			scored++
+			continue
+		}
+		var a float64
+		for _, j := range members[ci] {
+			if j != i {
+				a += uncertain.EED(ds[i], ds[j])
+			}
+		}
+		a /= float64(len(members[ci]) - 1)
+		b := math.Inf(1)
+		for cj, ms := range members {
+			if cj == ci || len(ms) == 0 {
+				continue
+			}
+			var d float64
+			for _, j := range ms {
+				d += uncertain.EED(ds[i], ds[j])
+			}
+			d /= float64(len(ms))
+			if d < b {
+				b = d
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+		scored++
+	}
+	if scored == 0 {
+		return 0
+	}
+	return total / float64(scored)
+}
+
+func TestSilhouetteMatchesBrute(t *testing.T) {
+	r := rng.New(11)
+	ds := labeledDataset(r, 3, 8)
+	for trial := 0; trial < 10; trial++ {
+		assign := make([]int, len(ds))
+		for i := range assign {
+			assign[i] = r.Intn(3)
+		}
+		p := clustering.Partition{K: 3, Assign: assign}
+		fast := Silhouette(ds, p)
+		brute := bruteSilhouette(ds, p)
+		if math.Abs(fast-brute) > 1e-9*(1+math.Abs(brute)) {
+			t.Fatalf("trial %d: closed form %v vs brute %v", trial, fast, brute)
+		}
+	}
+}
+
+func TestSilhouetteGoodVsBad(t *testing.T) {
+	r := rng.New(12)
+	ds := labeledDataset(r, 3, 12)
+	good := Silhouette(ds, perfectPartition(ds, 3))
+	if good <= 0.5 {
+		t.Errorf("perfect partition silhouette = %v, want well above 0.5", good)
+	}
+	assign := make([]int, len(ds))
+	for i := range assign {
+		assign[i] = r.Intn(3)
+	}
+	bad := Silhouette(ds, clustering.Partition{K: 3, Assign: assign})
+	if good <= bad {
+		t.Errorf("good %v not above random %v", good, bad)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	r := rng.New(13)
+	ds := labeledDataset(r, 2, 5)
+	if s := Silhouette(ds, clustering.Partition{K: 1, Assign: make([]int, len(ds))}); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, vec.Vector{0, 0}).WithLabel(0),
+		uncertain.FromPoint(1, vec.Vector{10, 0}).WithLabel(1),
+	}
+	// Two singleton clusters: everyone scores 0 by convention.
+	if s := Silhouette(ds, clustering.Partition{K: 2, Assign: []int{0, 1}}); s != 0 {
+		t.Errorf("singletons silhouette = %v", s)
+	}
+}
+
+func TestSilhouetteWithNoise(t *testing.T) {
+	r := rng.New(14)
+	ds := labeledDataset(r, 2, 6)
+	assign := make([]int, len(ds))
+	for i, o := range ds {
+		assign[i] = o.Label
+	}
+	assign[0] = clustering.Noise
+	p := clustering.Partition{K: 2, Assign: assign}
+	fast := Silhouette(ds, p)
+	brute := bruteSilhouette(ds, p)
+	if math.Abs(fast-brute) > 1e-9*(1+math.Abs(brute)) {
+		t.Errorf("noise handling differs: %v vs %v", fast, brute)
+	}
+}
+
+func TestSilhouetteRange(t *testing.T) {
+	r := rng.New(15)
+	ds := labeledDataset(r, 4, 6)
+	for trial := 0; trial < 20; trial++ {
+		assign := make([]int, len(ds))
+		for i := range assign {
+			assign[i] = r.Intn(4)
+		}
+		s := Silhouette(ds, clustering.Partition{K: 4, Assign: assign})
+		if s < -1-1e-9 || s > 1+1e-9 {
+			t.Fatalf("silhouette out of range: %v", s)
+		}
+	}
+}

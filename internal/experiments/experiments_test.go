@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ucpc/internal/uncgen"
+)
+
+// tinyConfig keeps experiment tests CI-fast.
+func tinyConfig() Config {
+	return Config{Seed: 7, Runs: 1, Scale: 0.01, MinObjects: 60}
+}
+
+func TestNewKnowsEveryAlgorithm(t *testing.T) {
+	ids := append(append([]AlgorithmID{}, AccuracyAlgorithms()...),
+		AlgBasicUKM, AlgMinMaxBB, AlgVDBiP)
+	for _, id := range ids {
+		alg := New(id)
+		if alg == nil {
+			t.Fatalf("New(%q) = nil", id)
+		}
+		// Pruning variants report the matching paper name.
+		switch id {
+		case AlgMinMaxBB, AlgVDBiP, AlgBasicUKM:
+			if AlgorithmID(alg.Name()) != id {
+				t.Errorf("New(%q).Name() = %q", id, alg.Name())
+			}
+		}
+	}
+}
+
+func TestNewUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown algorithm")
+		}
+	}()
+	New("nope")
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	res, err := Table2(tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Dataset != "Iris" || row.Model != uncgen.Uniform {
+		t.Errorf("row header %+v", row)
+	}
+	for _, id := range res.Algorithms {
+		cell, ok := row.Cells[id]
+		if !ok {
+			t.Fatalf("missing cell for %s", id)
+		}
+		if cell.Theta < -1 || cell.Theta > 1 {
+			t.Errorf("%s: Θ = %v out of range", id, cell.Theta)
+		}
+		if cell.Q < -1 || cell.Q > 1 {
+			t.Errorf("%s: Q = %v out of range", id, cell.Q)
+		}
+		if cell.FCase1 < 0 || cell.FCase1 > 1 || cell.FCase2 < 0 || cell.FCase2 > 1 {
+			t.Errorf("%s: F values out of range: %+v", id, cell)
+		}
+	}
+	out := RenderTable2(res)
+	for _, want := range []string{"Iris", "UCPC", "overall avg", "UCPC gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestTable2Deterministic(t *testing.T) {
+	a, err := Table2(tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table2(tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range a.Algorithms {
+		ca, cb := a.Rows[0].Cells[id], b.Rows[0].Cells[id]
+		if ca != cb {
+			t.Errorf("%s: non-deterministic cell %+v vs %+v", id, ca, cb)
+		}
+	}
+}
+
+func TestTable2UnknownDataset(t *testing.T) {
+	if _, err := Table2(tinyConfig(), []string{"Nope"}, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTable3SmallRun(t *testing.T) {
+	res, err := Table3(tinyConfig(), []string{"Leukaemia"}, []int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, id := range res.Algorithms {
+			q, ok := row.Q[id]
+			if !ok {
+				t.Fatalf("missing Q for %s", id)
+			}
+			if q < -1 || q > 1 {
+				t.Errorf("%s k=%d: Q = %v out of range", id, row.K, q)
+			}
+		}
+	}
+	out := RenderTable3(res)
+	for _, want := range []string{"Leukaemia", "overall avg", "UCPC gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestFig4SmallRun(t *testing.T) {
+	res, err := Fig4(tinyConfig(), []string{"Abalone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	for id, cell := range row.Cells {
+		if cell.Online <= 0 {
+			t.Errorf("%s: no online time recorded", id)
+		}
+	}
+	// The basic UK-means must do more expensive integrals than the
+	// pruning variants.
+	if row.Cells[AlgBasicUKM].EDComputations <= row.Cells[AlgMinMaxBB].EDComputations {
+		t.Errorf("MinMax-BB did not reduce ED computations: %v vs %v",
+			row.Cells[AlgMinMaxBB].EDComputations, row.Cells[AlgBasicUKM].EDComputations)
+	}
+	out := RenderFig4(res)
+	for _, want := range []string{"Abalone", "slower algorithms", "faster algorithms", "UCPC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered figure missing %q", want)
+		}
+	}
+	if s := SummarizeOrdering(row); !strings.Contains(s, "Abalone") {
+		t.Errorf("ordering summary: %q", s)
+	}
+}
+
+func TestFig5SmallRun(t *testing.T) {
+	cfg := Config{Seed: 7, Runs: 1, Scale: 0.0002} // 800 objects base
+	res, err := Fig5(cfg, []float64{0.25, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if res.Points[0].N >= res.Points[1].N {
+		t.Errorf("fractions not increasing: %d vs %d", res.Points[0].N, res.Points[1].N)
+	}
+	for _, p := range res.Points {
+		for _, id := range res.Algorithms {
+			if p.Times[id] <= 0 {
+				t.Errorf("%s at %v%%: no time", id, p.Fraction*100)
+			}
+		}
+	}
+	out := RenderFig5(res)
+	if !strings.Contains(out, "KDD") || !strings.Contains(out, "100%") {
+		t.Errorf("rendered figure incomplete:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != 3 || c.Scale != 0.08 || c.MinObjects != 60 || c.Progress == nil {
+		t.Errorf("defaults: %+v", c)
+	}
+	if f := c.scaleFor(100); f != 0.6 {
+		t.Errorf("scaleFor(100) = %v, want 0.6 (min-objects floor)", f)
+	}
+	if f := c.scaleFor(1_000_000); f != 0.08 {
+		t.Errorf("scaleFor(1e6) = %v", f)
+	}
+	if f := (Config{Scale: 5, MinObjects: 1, Runs: 1}).withDefaults().scaleFor(10); f != 1 {
+		t.Errorf("scale must clamp to 1, got %v", f)
+	}
+}

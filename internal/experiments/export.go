@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exports of the experiment results, for plotting with external tools.
+// Every export emits one header row and plain numeric cells.
+
+// Table2CSV renders the accuracy study as CSV: dataset, pdf, then Θ and Q
+// per algorithm.
+func Table2CSV(t *Table2Result) string {
+	var b strings.Builder
+	b.WriteString("dataset,pdf")
+	for _, id := range t.Algorithms {
+		fmt.Fprintf(&b, ",theta_%s", csvID(id))
+	}
+	for _, id := range t.Algorithms {
+		fmt.Fprintf(&b, ",q_%s", csvID(id))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%s,%s", row.Dataset, row.Model)
+		for _, id := range t.Algorithms {
+			fmt.Fprintf(&b, ",%.6f", row.Cells[id].Theta)
+		}
+		for _, id := range t.Algorithms {
+			fmt.Fprintf(&b, ",%.6f", row.Cells[id].Q)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Table3CSV renders the real-data study as CSV: dataset, k, Q per algorithm.
+func Table3CSV(t *Table3Result) string {
+	var b strings.Builder
+	b.WriteString("dataset,k")
+	for _, id := range t.Algorithms {
+		fmt.Fprintf(&b, ",q_%s", csvID(id))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d", row.Dataset, row.K)
+		for _, id := range t.Algorithms {
+			fmt.Fprintf(&b, ",%.6f", row.Q[id])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig4CSV renders the efficiency study as CSV: dataset, n, k, then the
+// online milliseconds of every measured algorithm (slow ∪ fast).
+func Fig4CSV(f *Fig4Result) string {
+	ids := unionIDs(f.Slow, f.Fast)
+	var b strings.Builder
+	b.WriteString("dataset,n,k")
+	for _, id := range ids {
+		fmt.Fprintf(&b, ",ms_%s", csvID(id))
+	}
+	b.WriteString("\n")
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d", row.Dataset, row.N, row.K)
+		for _, id := range ids {
+			fmt.Fprintf(&b, ",%.3f", ms(row.Cells[id].Online))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Fig5CSV renders the scalability series as CSV: fraction, n, then the
+// online milliseconds per algorithm — one line per size step, ready for a
+// line plot matching the paper's Figure 5.
+func Fig5CSV(f *Fig5Result) string {
+	var b strings.Builder
+	b.WriteString("fraction,n")
+	for _, id := range f.Algorithms {
+		fmt.Fprintf(&b, ",ms_%s", csvID(id))
+	}
+	b.WriteString("\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%.2f,%d", p.Fraction, p.N)
+		for _, id := range f.Algorithms {
+			fmt.Fprintf(&b, ",%.3f", ms(p.Times[id]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// csvID lowercases an algorithm id and strips characters awkward in column
+// names.
+func csvID(id AlgorithmID) string {
+	s := strings.ToLower(string(id))
+	return strings.ReplaceAll(s, "-", "_")
+}
+
+// unionIDs concatenates two lineups preserving order, without duplicates.
+func unionIDs(a, b []AlgorithmID) []AlgorithmID {
+	seen := map[AlgorithmID]bool{}
+	var out []AlgorithmID
+	for _, list := range [][]AlgorithmID{a, b} {
+		for _, id := range list {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}

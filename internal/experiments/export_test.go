@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ucpc/internal/uncgen"
+)
+
+func TestTable2CSV(t *testing.T) {
+	res, err := Table2(tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Normal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := Table2CSV(res)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	data := strings.Split(lines[1], ",")
+	if len(header) != len(data) {
+		t.Fatalf("header %d fields vs data %d", len(header), len(data))
+	}
+	if header[0] != "dataset" || !strings.Contains(lines[0], "theta_ucpc") || !strings.Contains(lines[0], "q_ucpc") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if data[0] != "Iris" || data[1] != "N" {
+		t.Errorf("data row: %q", lines[1])
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	res, err := Table3(tinyConfig(), []string{"Neuroblastoma"}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := Table3CSV(res)
+	if !strings.HasPrefix(csv, "dataset,k,") {
+		t.Errorf("header: %q", csv)
+	}
+	if !strings.Contains(csv, "Neuroblastoma,2,") {
+		t.Errorf("missing data row: %q", csv)
+	}
+}
+
+func TestFig4CSV(t *testing.T) {
+	res, err := Fig4(tinyConfig(), []string{"Letter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := Fig4CSV(res)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	// Union of the two lineups: UCPC must appear exactly once.
+	if strings.Count(lines[0], "ms_ucpc") != 1 {
+		t.Errorf("UCPC column duplicated or missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "ms_minmax_bb") {
+		t.Errorf("pruning column missing: %q", lines[0])
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	cfg := Config{Seed: 7, Runs: 1, Scale: 0.0002}
+	res, err := Fig5(cfg, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := Fig5CSV(res)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0.50,") || !strings.HasPrefix(lines[2], "1.00,") {
+		t.Errorf("fraction rows: %q / %q", lines[1], lines[2])
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/uncgen"
+)
+
+// Fig4Datasets are the efficiency-study datasets: the two largest
+// benchmarks (excluding KDDCup99) plus the two real collections, exactly as
+// in the paper's Figure 4.
+var Fig4Datasets = []string{"Abalone", "Letter", "Neuroblastoma", "Leukaemia"}
+
+// TimingCell is one (dataset, algorithm) efficiency measurement.
+type TimingCell struct {
+	// Online is the mean clustering time (the paper's reported quantity;
+	// off-line pruning/pre-computation time is excluded).
+	Online time.Duration
+	// Offline is the mean excluded pre-computation time, reported for
+	// transparency.
+	Offline time.Duration
+	// EDComputations is the mean number of expensive expected-distance
+	// integrals (meaningful for bUKM and the pruning variants).
+	EDComputations float64
+	// Iterations is the mean outer-iteration count.
+	Iterations float64
+}
+
+// Fig4Row holds all algorithm timings for one dataset.
+type Fig4Row struct {
+	Dataset string
+	N       int // objects actually clustered (after scaling)
+	K       int
+	Cells   map[AlgorithmID]TimingCell
+}
+
+// Fig4Result is the efficiency study.
+type Fig4Result struct {
+	Rows []Fig4Row
+	Slow []AlgorithmID
+	Fast []AlgorithmID
+}
+
+// fig4Dataset materializes one of the Figure 4 datasets as an uncertain
+// dataset plus its cluster count.
+func fig4Dataset(cfg Config, name string) (uncertain.Dataset, int, error) {
+	if spec, err := datasets.BenchmarkByName(name); err == nil {
+		d := datasets.Generate(spec, cfg.Seed).Scale(cfg.scaleFor(spec.N))
+		set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: cfg.Intensity}).Assign(d, rng.New(cfg.Seed^0xf16))
+		return set.Objects(d), spec.Classes, nil
+	}
+	spec, err := datasets.MicroarrayByName(name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fig4: unknown dataset %q", name)
+	}
+	ds := datasets.GenerateMicroarray(spec, cfg.scaleFor(spec.Genes), cfg.Seed)
+	return ds, 5, nil // the paper's real-data plots use a small fixed k
+}
+
+// Fig4 reproduces the paper's Figure 4: mean clustering runtimes of the
+// "slower" algorithms (UK-medoids, basic UK-means, UAHC, FOPTICS, FDBSCAN)
+// and the "faster" ones (MMVar, UK-means, MinMax-BB, VDBiP), each compared
+// against UCPC, on the two largest benchmarks and the two real datasets.
+func Fig4(cfg Config, names []string) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	if names == nil {
+		names = Fig4Datasets
+	}
+	res := &Fig4Result{Slow: SlowAlgorithms(), Fast: FastAlgorithms()}
+
+	// The union, measured once per dataset.
+	ids := map[AlgorithmID]bool{}
+	for _, id := range res.Slow {
+		ids[id] = true
+	}
+	for _, id := range res.Fast {
+		ids[id] = true
+	}
+
+	for di, name := range names {
+		ds, k, err := fig4Dataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig4Row{Dataset: name, N: len(ds), K: k, Cells: map[AlgorithmID]TimingCell{}}
+		for id := range ids {
+			var cell TimingCell
+			for run := 0; run < cfg.Runs; run++ {
+				seed := cfg.Seed ^ (uint64(di+1) << 32) ^ hashID(id) ^ uint64(run+1)
+				rep, err := runClock(id, ds, k, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s: %w", name, err)
+				}
+				cell.Online += rep.Online
+				cell.Offline += rep.Offline
+				cell.EDComputations += float64(rep.EDComputations)
+				cell.Iterations += float64(rep.Iterations)
+			}
+			cell.Online /= time.Duration(cfg.Runs)
+			cell.Offline /= time.Duration(cfg.Runs)
+			cell.EDComputations /= float64(cfg.Runs)
+			cell.Iterations /= float64(cfg.Runs)
+			row.Cells[id] = cell
+			cfg.Progress("fig4 %s %s: %v online", name, id, cell.Online)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Fig5Fractions are the paper's dataset-size steps for the scalability
+// study (5 % to 100 %).
+var Fig5Fractions = []float64{0.05, 0.10, 0.25, 0.50, 0.75, 1.00}
+
+// Fig5Point is one (fraction, algorithm) scalability measurement.
+type Fig5Point struct {
+	Fraction float64
+	N        int
+	Times    map[AlgorithmID]time.Duration
+}
+
+// Fig5Result is the scalability study on the KDD-Cup-'99-shaped workload.
+type Fig5Result struct {
+	BaseN      int
+	Points     []Fig5Point
+	Algorithms []AlgorithmID
+}
+
+// Fig5 reproduces the paper's Figure 5: the KDD Cup '99 collection is
+// clustered at increasing size fractions (k fixed to 23, every class
+// covered at every fraction) by the fast algorithms, and the mean
+// clustering time is reported per fraction.
+//
+// The base size is Config.Scale × 4M (default Scale 0.08 → 320k objects is
+// still heavy for CI, so Fig5 halves the default to 0.005 → 20k; pass an
+// explicit Scale for larger studies, up to 1.0 = the full 4M).
+func Fig5(cfg Config, fractions []float64) (*Fig5Result, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.005
+	}
+	cfg = cfg.withDefaults()
+	if fractions == nil {
+		fractions = Fig5Fractions
+	}
+	spec := datasets.KDD()
+	baseN := int(float64(spec.N) * cfg.Scale)
+	if baseN < spec.Classes*10 {
+		baseN = spec.Classes * 10
+	}
+	full := datasets.GenerateKDD(baseN, cfg.Seed)
+	set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: cfg.Intensity}).Assign(full, rng.New(cfg.Seed^0xf5))
+	fullObjs := set.Objects(full)
+
+	res := &Fig5Result{BaseN: baseN, Algorithms: ScalabilityAlgorithms()}
+	for _, frac := range fractions {
+		n := int(float64(baseN) * frac)
+		if n < spec.Classes {
+			n = spec.Classes
+		}
+		// GenerateKDD emits one object of every class first, so prefixes
+		// keep all 23 classes covered — mirroring the paper's setup.
+		ds := fullObjs[:n]
+		point := Fig5Point{Fraction: frac, N: n, Times: map[AlgorithmID]time.Duration{}}
+		for _, id := range res.Algorithms {
+			var total time.Duration
+			for run := 0; run < cfg.Runs; run++ {
+				seed := cfg.Seed ^ (uint64(frac*1000) << 20) ^ hashID(id) ^ uint64(run+1)
+				rep, err := runClock(id, ds, spec.Classes, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %.0f%%: %w", frac*100, err)
+				}
+				total += rep.Online
+			}
+			point.Times[id] = total / time.Duration(cfg.Runs)
+			cfg.Progress("fig5 %3.0f%% (n=%d) %s: %v", frac*100, n, id, point.Times[id])
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+func hashID(id AlgorithmID) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTable2 formats the benchmark accuracy study in the paper's Table 2
+// layout: one row per dataset × pdf, Θ columns then Q columns, followed by
+// the overall average scores and UCPC's overall average gains.
+func RenderTable2(t *Table2Result) string {
+	var b strings.Builder
+	algs := t.Algorithms
+	fmt.Fprintf(&b, "Table 2: accuracy on benchmark datasets — Θ = F(case2) − F(case1), Q = inter − intra\n\n")
+	fmt.Fprintf(&b, "%-10s %-3s |", "data", "pdf")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " Θ:%-9s", id)
+	}
+	fmt.Fprint(&b, "|")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " Q:%-9s", id)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 16+24*len(algs)))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-10s %-3s |", row.Dataset, row.Model)
+		for _, id := range algs {
+			fmt.Fprintf(&b, " %+.3f     ", row.Cells[id].Theta)
+		}
+		fmt.Fprint(&b, "|")
+		for _, id := range algs {
+			fmt.Fprintf(&b, " %+.3f     ", row.Cells[id].Q)
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 16+24*len(algs)))
+	fmt.Fprintf(&b, "%-14s |", "overall avg")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " %+.3f     ", t.AverageTheta(id))
+	}
+	fmt.Fprint(&b, "|")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " %+.3f     ", t.AverageQ(id))
+	}
+	fmt.Fprintln(&b)
+	gains := t.Gains()
+	fmt.Fprintf(&b, "%-14s |", "UCPC gain")
+	for _, id := range algs {
+		if id == AlgUCPC {
+			fmt.Fprintf(&b, " %-10s", "—")
+			continue
+		}
+		fmt.Fprintf(&b, " %+.3f     ", gains[id][0])
+	}
+	fmt.Fprint(&b, "|")
+	for _, id := range algs {
+		if id == AlgUCPC {
+			fmt.Fprintf(&b, " %-10s", "—")
+			continue
+		}
+		fmt.Fprintf(&b, " %+.3f     ", gains[id][1])
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// RenderTable3 formats the real-data accuracy study in the paper's Table 3
+// layout: one row per dataset × cluster count, Q per algorithm, then
+// per-dataset averages, overall averages, and UCPC gains.
+func RenderTable3(t *Table3Result) string {
+	var b strings.Builder
+	algs := t.Algorithms
+	fmt.Fprintf(&b, "Table 3: accuracy (Quality Q) on real microarray datasets\n\n")
+	fmt.Fprintf(&b, "%-14s %4s |", "data", "k")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " %-9s", id)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 22+10*len(algs)))
+	perDataset := map[string][]Table3Row{}
+	var order []string
+	for _, row := range t.Rows {
+		if _, seen := perDataset[row.Dataset]; !seen {
+			order = append(order, row.Dataset)
+		}
+		perDataset[row.Dataset] = append(perDataset[row.Dataset], row)
+		fmt.Fprintf(&b, "%-14s %4d |", row.Dataset, row.K)
+		for _, id := range algs {
+			fmt.Fprintf(&b, " %+.3f   ", row.Q[id])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 22+10*len(algs)))
+	for _, name := range order {
+		fmt.Fprintf(&b, "%-19s |", name+" avg")
+		rows := perDataset[name]
+		for _, id := range algs {
+			var s float64
+			for _, row := range rows {
+				s += row.Q[id]
+			}
+			fmt.Fprintf(&b, " %+.3f   ", s/float64(len(rows)))
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-19s |", "overall avg")
+	for _, id := range algs {
+		fmt.Fprintf(&b, " %+.3f   ", t.AverageQ(id))
+	}
+	fmt.Fprintln(&b)
+	gains := t.Gains()
+	fmt.Fprintf(&b, "%-19s |", "UCPC gain")
+	for _, id := range algs {
+		if id == AlgUCPC {
+			fmt.Fprintf(&b, " %-8s", "—")
+			continue
+		}
+		fmt.Fprintf(&b, " %+.3f   ", gains[id])
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// RenderFig4 formats the efficiency study as the paper's two plot groups
+// (slower vs faster algorithms) with runtimes in milliseconds.
+func RenderFig4(f *Fig4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: clustering runtimes (ms, online phase; off-line pre-computation excluded)\n")
+	group := func(title string, ids []AlgorithmID) {
+		fmt.Fprintf(&b, "\n[%s]\n%-16s %8s %4s |", title, "dataset", "n", "k")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %10s", id)
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintln(&b, strings.Repeat("-", 33+11*len(ids)))
+		for _, row := range f.Rows {
+			fmt.Fprintf(&b, "%-16s %8d %4d |", row.Dataset, row.N, row.K)
+			for _, id := range ids {
+				fmt.Fprintf(&b, " %10.2f", ms(row.Cells[id].Online))
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	group("slower algorithms (+ UCPC)", f.Slow)
+	group("faster algorithms (+ UCPC)", f.Fast)
+
+	// Auxiliary view: expected-distance computation counts, which explain
+	// the pruning variants' standing.
+	fmt.Fprintf(&b, "\n[expected-distance integrals per run]\n%-16s |", "dataset")
+	edIDs := []AlgorithmID{AlgBasicUKM, AlgMinMaxBB, AlgVDBiP}
+	for _, id := range edIDs {
+		fmt.Fprintf(&b, " %10s", id)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-16s |", row.Dataset)
+		for _, id := range edIDs {
+			fmt.Fprintf(&b, " %10.0f", row.Cells[id].EDComputations)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFig5 formats the scalability series: one row per dataset fraction,
+// one column per fast algorithm, runtimes in milliseconds.
+func RenderFig5(f *Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: scalability on the KDD Cup '99 workload (base n = %d, k = 23)\n\n", f.BaseN)
+	fmt.Fprintf(&b, "%6s %9s |", "frac", "n")
+	for _, id := range f.Algorithms {
+		fmt.Fprintf(&b, " %10s", id)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 19+11*len(f.Algorithms)))
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%5.0f%% %9d |", p.Fraction*100, p.N)
+		for _, id := range f.Algorithms {
+			fmt.Fprintf(&b, " %10.2f", ms(p.Times[id]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// SummarizeOrdering lists algorithms from fastest to slowest on a Fig4 row
+// (a compact check of the paper's "orders of magnitude" claims).
+func SummarizeOrdering(row Fig4Row) string {
+	type pair struct {
+		id AlgorithmID
+		t  time.Duration
+	}
+	var ps []pair
+	for id, cell := range row.Cells {
+		ps = append(ps, pair{id, cell.Online})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].t < ps[j].t })
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%s(%.2fms)", p.id, ms(p.t))
+	}
+	return row.Dataset + ": " + strings.Join(parts, " < ")
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/eval"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncgen"
+)
+
+// Table2Cell is one (dataset, pdf, algorithm) measurement: the paper's Θ
+// (F-measure gain of clustering with the uncertainty model over clustering
+// the perturbed deterministic data) and Q (internal quality of the Case-2
+// clustering), both averaged over Config.Runs.
+type Table2Cell struct {
+	Theta float64
+	Q     float64
+	// FCase1/FCase2 are the underlying mean F-measures.
+	FCase1, FCase2 float64
+}
+
+// Table2Row is one dataset × pdf configuration.
+type Table2Row struct {
+	Dataset string
+	Model   uncgen.Model
+	Cells   map[AlgorithmID]Table2Cell
+}
+
+// Table2Result is the full accuracy study on benchmark datasets.
+type Table2Result struct {
+	Rows       []Table2Row
+	Algorithms []AlgorithmID
+}
+
+// Table2 reproduces the paper's Table 2: for every benchmark dataset and
+// every pdf family, it builds the perturbed dataset D′ (Case 1) and the
+// uncertain dataset D″ (Case 2), clusters both with every algorithm, and
+// reports Θ = F(C″) − F(C′) and Q(C″), averaged over Config.Runs runs.
+//
+// datasetNames selects a subset of the benchmarks (nil = all 8), and
+// models a subset of pdf families (nil = U, N, E).
+func Table2(cfg Config, datasetNames []string, models []uncgen.Model) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	if datasetNames == nil {
+		for _, s := range datasets.Benchmarks() {
+			datasetNames = append(datasetNames, s.Name)
+		}
+	}
+	if models == nil {
+		models = uncgen.Models()
+	}
+	algs := AccuracyAlgorithms()
+	res := &Table2Result{Algorithms: algs}
+
+	root := rng.New(cfg.Seed)
+	for di, name := range datasetNames {
+		spec, err := datasets.BenchmarkByName(name)
+		if err != nil {
+			return nil, err
+		}
+		full := datasets.Generate(spec, cfg.Seed)
+		d := full.Scale(cfg.scaleFor(spec.N))
+		for mi, model := range models {
+			row := Table2Row{Dataset: name, Model: model, Cells: map[AlgorithmID]Table2Cell{}}
+			genRNG := root.Split(uint64(di)<<8 | uint64(mi))
+			set := (&uncgen.Generator{Model: model, Intensity: cfg.Intensity}).Assign(d, genRNG)
+			case2 := set.Objects(d)
+			for ai, id := range algs {
+				var cell Table2Cell
+				for run := 0; run < cfg.Runs; run++ {
+					seed := cfg.Seed ^ (uint64(di+1) << 40) ^ (uint64(mi+1) << 32) ^
+						(uint64(ai+1) << 16) ^ uint64(run+1)
+					// Case 1: cluster the perturbed deterministic data.
+					perturbed := set.Perturb(d, genRNG.Split(uint64(run)))
+					case1 := uncgen.AsPointObjects(perturbed)
+					rep1, err := runClock(id, case1, spec.Classes, seed)
+					if err != nil {
+						return nil, fmt.Errorf("table2 %s/%v case1: %w", name, model, err)
+					}
+					f1 := eval.FMeasure(rep1.Partition, d.Labels)
+
+					// Case 2: cluster the uncertain objects.
+					rep2, err := runClock(id, case2, spec.Classes, seed)
+					if err != nil {
+						return nil, fmt.Errorf("table2 %s/%v case2: %w", name, model, err)
+					}
+					f2 := eval.FMeasure(rep2.Partition, d.Labels)
+
+					cell.FCase1 += f1
+					cell.FCase2 += f2
+					cell.Theta += eval.Theta(f2, f1)
+					cell.Q += eval.Quality(case2, rep2.Partition)
+				}
+				inv := 1 / float64(cfg.Runs)
+				cell.FCase1 *= inv
+				cell.FCase2 *= inv
+				cell.Theta *= inv
+				cell.Q *= inv
+				row.Cells[id] = cell
+				cfg.Progress("table2 %s/%v %s: Θ=%+.3f Q=%+.3f", name, model, id, cell.Theta, cell.Q)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// AverageTheta returns the mean Θ of an algorithm over all rows (the
+// paper's "overall average score").
+func (t *Table2Result) AverageTheta(id AlgorithmID) float64 {
+	var s float64
+	for _, r := range t.Rows {
+		s += r.Cells[id].Theta
+	}
+	return s / float64(len(t.Rows))
+}
+
+// AverageQ returns the mean Q of an algorithm over all rows.
+func (t *Table2Result) AverageQ(id AlgorithmID) float64 {
+	var s float64
+	for _, r := range t.Rows {
+		s += r.Cells[id].Q
+	}
+	return s / float64(len(t.Rows))
+}
+
+// Gains returns the paper's "overall average gain" of UCPC against each
+// competing algorithm, for the Θ and Q criteria.
+func (t *Table2Result) Gains() map[AlgorithmID][2]float64 {
+	out := map[AlgorithmID][2]float64{}
+	ucpcTheta := t.AverageTheta(AlgUCPC)
+	ucpcQ := t.AverageQ(AlgUCPC)
+	for _, id := range t.Algorithms {
+		if id == AlgUCPC {
+			continue
+		}
+		out[id] = [2]float64{ucpcTheta - t.AverageTheta(id), ucpcQ - t.AverageQ(id)}
+	}
+	return out
+}

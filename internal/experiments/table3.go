@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/eval"
+)
+
+// Table3ClusterCounts is the paper's sweep of cluster numbers for the real
+// datasets.
+var Table3ClusterCounts = []int{2, 3, 5, 10, 15, 20, 25, 30}
+
+// Table3Row is one (dataset, #clusters) configuration with the mean Q of
+// every algorithm.
+type Table3Row struct {
+	Dataset string
+	K       int
+	Q       map[AlgorithmID]float64
+}
+
+// Table3Result is the accuracy study on the microarray datasets.
+type Table3Result struct {
+	Rows       []Table3Row
+	Algorithms []AlgorithmID
+}
+
+// Table3 reproduces the paper's Table 3: the two real microarray
+// collections are clustered with every algorithm for each cluster count,
+// and assessed with the internal criterion Q only (no reference
+// classification exists for these data).
+func Table3(cfg Config, datasetNames []string, ks []int) (*Table3Result, error) {
+	cfg = cfg.withDefaults()
+	if datasetNames == nil {
+		for _, s := range datasets.Microarrays() {
+			datasetNames = append(datasetNames, s.Name)
+		}
+	}
+	if ks == nil {
+		ks = Table3ClusterCounts
+	}
+	algs := AccuracyAlgorithms()
+	res := &Table3Result{Algorithms: algs}
+
+	for di, name := range datasetNames {
+		spec, err := datasets.MicroarrayByName(name)
+		if err != nil {
+			return nil, err
+		}
+		ds := datasets.GenerateMicroarray(spec, cfg.scaleFor(spec.Genes), cfg.Seed)
+		for _, k := range ks {
+			if k > len(ds) {
+				continue
+			}
+			row := Table3Row{Dataset: name, K: k, Q: map[AlgorithmID]float64{}}
+			for ai, id := range algs {
+				var q float64
+				for run := 0; run < cfg.Runs; run++ {
+					seed := cfg.Seed ^ (uint64(di+1) << 40) ^ (uint64(k) << 24) ^
+						(uint64(ai+1) << 16) ^ uint64(run+1)
+					rep, err := runClock(id, ds, k, seed)
+					if err != nil {
+						return nil, fmt.Errorf("table3 %s k=%d: %w", name, k, err)
+					}
+					q += eval.Quality(ds, rep.Partition)
+				}
+				row.Q[id] = q / float64(cfg.Runs)
+				cfg.Progress("table3 %s k=%d %s: Q=%+.3f", name, k, id, row.Q[id])
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// AverageQ returns the mean Q of an algorithm over all rows (the paper's
+// "overall average score").
+func (t *Table3Result) AverageQ(id AlgorithmID) float64 {
+	var s float64
+	for _, r := range t.Rows {
+		s += r.Q[id]
+	}
+	return s / float64(len(t.Rows))
+}
+
+// Gains returns the overall average gain of UCPC against each competitor.
+func (t *Table3Result) Gains() map[AlgorithmID]float64 {
+	out := map[AlgorithmID]float64{}
+	ucpc := t.AverageQ(AlgUCPC)
+	for _, id := range t.Algorithms {
+		if id != AlgUCPC {
+			out[id] = ucpc - t.AverageQ(id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package fdbscan
+
+import (
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func denseGroups(r *rng.RNG, k, per int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := []dist.Distribution{
+				dist.NewTruncNormalCentral(20*float64(g)+r.Normal(0, 0.5), 0.2, 0.95),
+				dist.NewTruncNormalCentral(20*float64(g)+r.Normal(0, 0.5), 0.2, 0.95),
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func TestFDBSCANFindsDenseGroups(t *testing.T) {
+	r := rng.New(1)
+	ds := denseGroups(r, 3, 20)
+	rep, err := (&FDBSCAN{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition.K < 2 {
+		t.Fatalf("found %d clusters, want >= 2", rep.Partition.K)
+	}
+	// No cluster may span two true groups.
+	groupOf := map[int]int{}
+	for i, o := range ds {
+		c := rep.Partition.Assign[i]
+		if c == clustering.Noise {
+			continue
+		}
+		if g, ok := groupOf[c]; ok && g != o.Label {
+			t.Fatalf("cluster %d spans groups %d and %d", c, g, o.Label)
+		}
+		groupOf[c] = o.Label
+	}
+}
+
+func TestFDBSCANIsolatedNoise(t *testing.T) {
+	r := rng.New(2)
+	ds := denseGroups(r, 2, 15)
+	// One far-away isolated object.
+	lone := uncertain.NewObject(len(ds), []dist.Distribution{
+		dist.NewTruncNormalCentral(500, 0.2, 0.95),
+		dist.NewTruncNormalCentral(500, 0.2, 0.95),
+	}).WithLabel(2)
+	ds = append(ds, lone)
+	rep, err := (&FDBSCAN{}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Partition.Assign[len(ds)-1]; got != clustering.Noise {
+		t.Errorf("isolated object assigned to cluster %d, want noise", got)
+	}
+}
+
+func TestFDBSCANExplicitEps(t *testing.T) {
+	r := rng.New(3)
+	ds := denseGroups(r, 2, 15)
+	rep, err := (&FDBSCAN{Eps: 3.0, MinPts: 3}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition.K != 2 {
+		t.Errorf("eps=3: found %d clusters, want 2", rep.Partition.K)
+	}
+	if rep.Partition.NoiseCount() > len(ds)/4 {
+		t.Errorf("too much noise: %d of %d", rep.Partition.NoiseCount(), len(ds))
+	}
+}
+
+func TestFDBSCANHugeEpsOneCluster(t *testing.T) {
+	r := rng.New(4)
+	ds := denseGroups(r, 2, 10)
+	rep, err := (&FDBSCAN{Eps: 1e6}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition.K != 1 || rep.Partition.NoiseCount() != 0 {
+		t.Errorf("huge eps: K=%d noise=%d, want one full cluster",
+			rep.Partition.K, rep.Partition.NoiseCount())
+	}
+}
+
+func TestFDBSCANTinyEpsAllNoise(t *testing.T) {
+	r := rng.New(5)
+	ds := denseGroups(r, 2, 10)
+	rep, err := (&FDBSCAN{Eps: 1e-9}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partition.NoiseCount() != len(ds) {
+		t.Errorf("tiny eps: %d noise of %d", rep.Partition.NoiseCount(), len(ds))
+	}
+}
+
+func TestFDBSCANEmptyDataset(t *testing.T) {
+	r := rng.New(6)
+	if _, err := (&FDBSCAN{}).Cluster(uncertain.Dataset{}, 1, r); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestCalibrateEpsPositive(t *testing.T) {
+	r := rng.New(7)
+	ds := denseGroups(r, 2, 10)
+	if eps := calibrateEps(ds, 4); eps <= 0 {
+		t.Errorf("calibrated eps = %v", eps)
+	}
+}
+
+var _ clustering.Algorithm = (*FDBSCAN)(nil)

@@ -1,0 +1,143 @@
+package foptics
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func denseGroups(r *rng.RNG, k, per int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := []dist.Distribution{
+				dist.NewTruncNormalCentral(20*float64(g)+r.Normal(0, 0.5), 0.2, 0.95),
+				dist.NewTruncNormalCentral(20*float64(g)+r.Normal(0, 0.5), 0.2, 0.95),
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func TestFOPTICSSeparatedGroups(t *testing.T) {
+	r := rng.New(1)
+	ds := denseGroups(r, 3, 15)
+	rep, err := (&FOPTICS{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No extracted cluster may span two true groups.
+	groupOf := map[int]int{}
+	for i, o := range ds {
+		c := rep.Partition.Assign[i]
+		if c == clustering.Noise {
+			continue
+		}
+		if g, ok := groupOf[c]; ok && g != o.Label {
+			t.Fatalf("cluster %d spans groups %d and %d", c, g, o.Label)
+		}
+		groupOf[c] = o.Label
+	}
+	if rep.Partition.K < 2 {
+		t.Errorf("extracted %d clusters, want close to 3", rep.Partition.K)
+	}
+}
+
+func TestOrderingCoversAllObjects(t *testing.T) {
+	r := rng.New(2)
+	ds := denseGroups(r, 2, 10)
+	ds.EnsureSamples(r.Split(1), 8)
+	dm := fuzzyDistances(ds)
+	ord := computeOrdering(len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	if len(ord.Order) != len(ds) {
+		t.Fatalf("ordering visits %d of %d objects", len(ord.Order), len(ds))
+	}
+	seen := make([]bool, len(ds))
+	for _, i := range ord.Order {
+		if seen[i] {
+			t.Fatalf("object %d visited twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+// Reachability of objects inside a dense group must be far below the jump
+// onto the next group: the ordering separates groups by construction.
+func TestReachabilityPlotHasJumps(t *testing.T) {
+	r := rng.New(3)
+	ds := denseGroups(r, 2, 12)
+	ds.EnsureSamples(r.Split(1), 8)
+	dm := fuzzyDistances(ds)
+	ord := computeOrdering(len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	var maxReach, secondMax float64
+	for _, rd := range ord.Reach {
+		if math.IsInf(rd, 1) {
+			continue
+		}
+		if rd > maxReach {
+			maxReach, secondMax = rd, maxReach
+		} else if rd > secondMax {
+			secondMax = rd
+		}
+	}
+	// The single inter-group jump should dominate everything else.
+	if maxReach < 5*secondMax {
+		t.Errorf("no clear reachability jump: max %v, second %v", maxReach, secondMax)
+	}
+}
+
+func TestFuzzyDistanceSymmetryAndSelf(t *testing.T) {
+	r := rng.New(4)
+	ds := denseGroups(r, 2, 6)
+	ds.EnsureSamples(r.Split(1), 8)
+	dm := fuzzyDistances(ds)
+	for i := range dm {
+		if dm[i][i] != 0 {
+			t.Errorf("self distance %v", dm[i][i])
+		}
+		for j := range dm {
+			if dm[i][j] != dm[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+			if dm[i][j] < 0 {
+				t.Errorf("negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestExtractKDegenerate(t *testing.T) {
+	// All-infinite reachability (n=1 walk seeds only).
+	ord := &Ordering{
+		Order: []int{0, 1},
+		Reach: []float64{math.Inf(1), math.Inf(1)},
+		CoreDist: []float64{
+			1, 1,
+		},
+	}
+	assign, clusters := ExtractK(ord, 2, 2)
+	if clusters < 1 || len(assign) != 2 {
+		t.Errorf("degenerate extraction: %d clusters, assign %v", clusters, assign)
+	}
+}
+
+func TestFOPTICSSmallDataset(t *testing.T) {
+	r := rng.New(5)
+	ds := denseGroups(r, 1, 3)
+	rep, err := (&FOPTICS{}).Cluster(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Partition.Assign) != 3 {
+		t.Error("wrong assignment length")
+	}
+}
+
+var _ clustering.Algorithm = (*FOPTICS)(nil)

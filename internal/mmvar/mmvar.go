@@ -1,0 +1,195 @@
+// Package mmvar implements the MMVar algorithm (Gullo, Ponti, Tagarelli,
+// ICDM 2010; paper §2.3): partitional clustering of uncertain objects that
+// minimizes Σ_C J_MM(C), where J_MM(C) = σ²(C_MM) is the variance of the
+// cluster's mixture-model centroid C_MM = (∪R, |C|⁻¹Σf).
+//
+// Like UCPC, MMVar is a local-search relocation heuristic with O(I·k·n·m)
+// complexity; by Proposition 2 its objective equals J_UK(C)/|C|, which this
+// implementation exploits through the shared closed-form cluster statistics.
+package mmvar
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/core"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// MMVar is the mixture-model variance minimization algorithm.
+type MMVar struct {
+	// MaxIter caps relocation passes (0 = default 100).
+	MaxIter int
+	// MinImprove is the minimum relative decrease for a relocation
+	// (0 = 1e-12), guarding termination against floating-point jitter.
+	MinImprove float64
+	// OnIteration, when non-nil, observes the objective after each pass.
+	OnIteration func(iter int, objective float64)
+}
+
+// Name implements clustering.Algorithm.
+func (a *MMVar) Name() string { return "MMV" }
+
+// Cluster partitions ds into k clusters by mixture-variance minimization.
+func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := len(ds), ds.Dims()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("mmvar: k=%d out of range for n=%d", k, n)
+	}
+	maxIter := a.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	minImprove := a.MinImprove
+	if minImprove == 0 {
+		minImprove = 1e-12
+	}
+	start := time.Now()
+
+	assign := clustering.RandomPartition(n, k, r)
+	stats := make([]*core.Stats, k)
+	for c := range stats {
+		stats[c] = core.NewStats(m)
+	}
+	for i, o := range ds {
+		stats[assign[i]].Add(o)
+	}
+	jCache := make([]float64, k)
+	for c := range stats {
+		jCache[c] = stats[c].JMM()
+	}
+	objective := func() float64 {
+		var v float64
+		for _, j := range jCache {
+			v += j
+		}
+		return v
+	}
+
+	iterations, converged := 0, false
+	for iterations < maxIter {
+		iterations++
+		moved := false
+		for i, o := range ds {
+			co := assign[i]
+			if stats[co].Size() == 1 {
+				continue
+			}
+			deltaRemove := stats[co].JMMIfRemove(o) - jCache[co]
+			best, bestDelta := co, 0.0
+			for c := 0; c < k; c++ {
+				if c == co {
+					continue
+				}
+				delta := deltaRemove + stats[c].JMMIfAdd(o) - jCache[c]
+				if delta < bestDelta {
+					bestDelta, best = delta, c
+				}
+			}
+			if best == co {
+				continue
+			}
+			scale := math.Abs(jCache[co]) + math.Abs(jCache[best]) + 1
+			if -bestDelta <= minImprove*scale {
+				continue
+			}
+			stats[co].Remove(o)
+			stats[best].Add(o)
+			jCache[co] = stats[co].JMM()
+			jCache[best] = stats[best].JMM()
+			assign[i] = best
+			moved = true
+		}
+		if a.OnIteration != nil {
+			a.OnIteration(iterations, objective())
+		}
+		if !moved {
+			converged = true
+			break
+		}
+	}
+
+	return &clustering.Report{
+		Partition:  clustering.Partition{K: k, Assign: assign},
+		Objective:  objective(),
+		Iterations: iterations,
+		Converged:  converged,
+		Online:     time.Since(start),
+	}, nil
+}
+
+// Centroid is the MMVar mixture-model centroid C_MM of a cluster: an
+// uncertain object whose region is the union of the member regions and
+// whose pdf is the average of the member pdfs (paper eq. 10).
+type Centroid struct {
+	members []*uncertain.Object
+	region  vec.Box
+	mu, mu2 vec.Vector
+}
+
+// NewCentroid builds the mixture centroid of a non-empty cluster.
+func NewCentroid(members []*uncertain.Object) *Centroid {
+	if len(members) == 0 {
+		panic("mmvar: centroid of empty cluster")
+	}
+	m := members[0].Dims()
+	n := float64(len(members))
+	c := &Centroid{
+		members: members,
+		region:  members[0].Region(),
+		mu:      vec.New(m),
+		mu2:     vec.New(m),
+	}
+	for i, o := range members {
+		if i > 0 {
+			c.region = c.region.Union(o.Region())
+		}
+		vec.AddInPlace(c.mu, o.Mean())
+		vec.AddInPlace(c.mu2, o.SecondMoment())
+	}
+	// Lemma 2: µ(C_MM) = |C|⁻¹Σµ(o), µ₂(C_MM) = |C|⁻¹Σµ₂(o).
+	vec.ScaleInPlace(c.mu, 1/n)
+	vec.ScaleInPlace(c.mu2, 1/n)
+	return c
+}
+
+// Region returns the union region R_MM.
+func (c *Centroid) Region() vec.Box { return c.region }
+
+// Mean returns µ(C_MM). Shared slice; do not modify.
+func (c *Centroid) Mean() vec.Vector { return c.mu }
+
+// SecondMoment returns µ₂(C_MM). Shared slice; do not modify.
+func (c *Centroid) SecondMoment() vec.Vector { return c.mu2 }
+
+// TotalVar returns σ²(C_MM) = Σ_j [(µ₂)_j − µ_j²], the MMVar cluster
+// compactness J_MM (paper eq. 11).
+func (c *Centroid) TotalVar() float64 {
+	var v float64
+	for j := range c.mu {
+		v += c.mu2[j] - c.mu[j]*c.mu[j]
+	}
+	return v
+}
+
+// PDF evaluates the mixture density f_MM(x) = |C|⁻¹ Σ f_o(x).
+func (c *Centroid) PDF(x vec.Vector) float64 {
+	var p float64
+	for _, o := range c.members {
+		p += o.PDF(x)
+	}
+	return p / float64(len(c.members))
+}
+
+// Sample draws one realization of the mixture: pick a member uniformly,
+// then sample it.
+func (c *Centroid) Sample(r *rng.RNG) vec.Vector {
+	return c.members[r.Intn(len(c.members))].Sample(r)
+}

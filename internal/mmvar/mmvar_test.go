@@ -1,0 +1,215 @@
+package mmvar
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/core"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+func separable(r *rng.RNG, k, per, m int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := make([]dist.Distribution, m)
+			for j := range ms {
+				center := 12*float64(g) + r.Normal(0, 0.4)
+				ms[j] = dist.NewTruncNormalCentral(center, 0.3, 0.95)
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func randomObjects(r *rng.RNG, n, m int) []*uncertain.Object {
+	objs := make([]*uncertain.Object, n)
+	for i := range objs {
+		ms := make([]dist.Distribution, m)
+		for j := range ms {
+			ms[j] = dist.NewUniformAround(r.Uniform(-5, 5), 0.2+r.Float64())
+		}
+		objs[i] = uncertain.NewObject(i, ms)
+	}
+	return objs
+}
+
+// MMVar is a local search from a random partition; like the real algorithm
+// it can land in local optima, so we require the best of a few restarts to
+// recover the well-separated groups (mirrors the paper's multi-run
+// averaging methodology).
+func TestMMVarRecoversClusters(t *testing.T) {
+	r := rng.New(10)
+	ds := separable(r, 3, 20, 2)
+	recovered := false
+	for seed := uint64(0); seed < 5 && !recovered; seed++ {
+		rep, err := (&MMVar{}).Cluster(ds, 3, rng.New(100+seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Converged {
+			t.Error("no convergence")
+		}
+		recovered = true
+		for g := 0; g < 3; g++ {
+			seen := map[int]bool{}
+			for i, o := range ds {
+				if o.Label == g {
+					seen[rep.Partition.Assign[i]] = true
+				}
+			}
+			if len(seen) != 1 {
+				recovered = false
+			}
+		}
+	}
+	if !recovered {
+		t.Error("no restart recovered the separated groups")
+	}
+}
+
+// Centroid moments must satisfy Lemma 2 and the TotalVar must equal the
+// closed-form J_MM from the shared statistics.
+func TestCentroidLemma2(t *testing.T) {
+	r := rng.New(20)
+	objs := randomObjects(r, 8, 3)
+	c := NewCentroid(objs)
+	n := float64(len(objs))
+	wantMu := vec.New(3)
+	wantM2 := vec.New(3)
+	for _, o := range objs {
+		vec.AddInPlace(wantMu, o.Mean())
+		vec.AddInPlace(wantM2, o.SecondMoment())
+	}
+	vec.ScaleInPlace(wantMu, 1/n)
+	vec.ScaleInPlace(wantM2, 1/n)
+	if !vec.ApproxEqual(c.Mean(), wantMu, 1e-12) {
+		t.Errorf("µ(C_MM) = %v, want %v", c.Mean(), wantMu)
+	}
+	if !vec.ApproxEqual(c.SecondMoment(), wantM2, 1e-12) {
+		t.Errorf("µ₂(C_MM) = %v, want %v", c.SecondMoment(), wantM2)
+	}
+	s := core.NewStatsOf(objs)
+	if math.Abs(c.TotalVar()-s.JMM()) > 1e-9*(1+s.JMM()) {
+		t.Errorf("σ²(C_MM) = %v vs J_MM = %v", c.TotalVar(), s.JMM())
+	}
+}
+
+// Mixture sampling must reproduce the mixture moments.
+func TestCentroidSampleMoments(t *testing.T) {
+	r := rng.New(30)
+	objs := randomObjects(r, 5, 2)
+	c := NewCentroid(objs)
+	const n = 200000
+	sum := vec.New(2)
+	sq := vec.New(2)
+	for i := 0; i < n; i++ {
+		x := c.Sample(r)
+		for j := range x {
+			sum[j] += x[j]
+			sq[j] += x[j] * x[j]
+		}
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(sum[j]/n-c.Mean()[j]) > 0.03 {
+			t.Errorf("dim %d: MC mean %v vs %v", j, sum[j]/n, c.Mean()[j])
+		}
+		if math.Abs(sq[j]/n-c.SecondMoment()[j]) > 0.05*(1+math.Abs(c.SecondMoment()[j])) {
+			t.Errorf("dim %d: MC µ₂ %v vs %v", j, sq[j]/n, c.SecondMoment()[j])
+		}
+	}
+}
+
+// Mixture pdf integrates to 1 over the union region (2-D grid).
+func TestCentroidPDFIntegrates(t *testing.T) {
+	r := rng.New(40)
+	objs := randomObjects(r, 3, 2)
+	c := NewCentroid(objs)
+	reg := c.Region()
+	const steps = 300
+	hx := (reg.Hi[0] - reg.Lo[0]) / steps
+	hy := (reg.Hi[1] - reg.Lo[1]) / steps
+	var integral float64
+	for i := 0; i < steps; i++ {
+		for j := 0; j < steps; j++ {
+			x := vec.Vector{reg.Lo[0] + (float64(i)+0.5)*hx, reg.Lo[1] + (float64(j)+0.5)*hy}
+			integral += c.PDF(x) * hx * hy
+		}
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Errorf("mixture pdf integrates to %v", integral)
+	}
+}
+
+// MMVar objective decreases monotonically (it is a local search like UCPC).
+func TestMMVarMonotone(t *testing.T) {
+	r := rng.New(50)
+	ds := uncertain.Dataset(randomObjects(r, 50, 2))
+	var history []float64
+	alg := &MMVar{OnIteration: func(_ int, v float64) { history = append(history, v) }}
+	rep, err := alg.Cluster(ds, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("no convergence")
+	}
+	for i := 1; i < len(history); i++ {
+		if history[i] > history[i-1]+1e-9*(1+math.Abs(history[i-1])) {
+			t.Fatalf("objective increased at pass %d", i)
+		}
+	}
+}
+
+// Proposition 2 at the algorithm level: for any partition, the MMVar total
+// objective equals Σ_C J_UK(C)/|C|.
+func TestMMVarObjectiveProp2(t *testing.T) {
+	r := rng.New(60)
+	ds := uncertain.Dataset(randomObjects(r, 30, 2))
+	rep, err := (&MMVar{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := rep.Partition.Members()
+	var want float64
+	for _, ms := range members {
+		objs := make([]*uncertain.Object, len(ms))
+		for i, idx := range ms {
+			objs[i] = ds[idx]
+		}
+		s := core.NewStatsOf(objs)
+		want += s.JUK() / float64(len(ms))
+	}
+	if math.Abs(rep.Objective-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("objective %v vs Σ J_UK/|C| = %v", rep.Objective, want)
+	}
+}
+
+func TestMMVarValidation(t *testing.T) {
+	r := rng.New(70)
+	ds := uncertain.Dataset(randomObjects(r, 5, 2))
+	if _, err := (&MMVar{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&MMVar{}).Cluster(ds, 6, r); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestCentroidEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty centroid")
+		}
+	}()
+	NewCentroid(nil)
+}
+
+var _ clustering.Algorithm = (*MMVar)(nil)

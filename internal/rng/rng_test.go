@@ -1,0 +1,191 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split streams with different labels coincide")
+	}
+	// Splitting must not advance the parent stream.
+	p1 := New(7)
+	if parent.Uint64() != p1.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split(5)
+	b := New(9).Split(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		sum += u
+		sq += u * u
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v, want ~%v", variance, 1.0/12)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	const rate = 2.5
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("negative exponential sample %v", x)
+		}
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Errorf("exp mean = %v, want ~%v", mean, 1/rate)
+	}
+	if math.Abs(variance-1/(rate*rate)) > 0.02 {
+		t.Errorf("exp variance = %v, want ~%v", variance, 1/(rate*rate))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(19)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 7; v++ {
+		if seen[v] == 0 {
+			t.Errorf("Intn never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := New(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleEmptyAndSingle(t *testing.T) {
+	r := New(29)
+	r.Shuffle(0, func(i, j int) { t.Fatal("swap called for n=0") })
+	r.Shuffle(1, func(i, j int) { t.Fatal("swap called for n=1") })
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 1000; i++ {
+		u := r.Uniform(-3, 5)
+		if u < -3 || u >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v out of range", u)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}

@@ -1,0 +1,67 @@
+package uahc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Dendrogram reconstructs the merge tree of a full agglomeration
+// (ClusterWithDendrogram with k=1) for inspection and export.
+type Dendrogram struct {
+	n      int
+	merges []Merge
+}
+
+// NewDendrogram wraps a complete merge sequence over n leaves. It returns
+// an error when the sequence cannot be a full agglomeration (must contain
+// exactly n−1 merges).
+func NewDendrogram(n int, merges []Merge) (*Dendrogram, error) {
+	if len(merges) != n-1 {
+		return nil, fmt.Errorf("uahc: %d merges cannot agglomerate %d leaves (want %d)", len(merges), n, n-1)
+	}
+	return &Dendrogram{n: n, merges: merges}, nil
+}
+
+// Newick serializes the merge tree in Newick format, with leaves named by
+// object index and branch lengths carrying each merge's linkage distance.
+// The output is consumable by standard phylogeny/plotting tools.
+func (d *Dendrogram) Newick() string {
+	// Each cluster id maps to its current subtree string; merges fold B
+	// into A (matching ClusterWithDendrogram's bookkeeping).
+	trees := make(map[int]string, d.n)
+	for i := 0; i < d.n; i++ {
+		trees[i] = strconv.Itoa(i)
+	}
+	for _, m := range d.merges {
+		dist := strconv.FormatFloat(m.Dist, 'g', 6, 64)
+		trees[m.A] = "(" + trees[m.A] + ":" + dist + "," + trees[m.B] + ":" + dist + ")"
+		delete(trees, m.B)
+	}
+	// Exactly one root remains.
+	for _, t := range trees {
+		return t + ";"
+	}
+	return ";"
+}
+
+// CutHeights returns the merge distances in agglomeration order — the
+// heights at which a horizontal dendrogram cut changes the cluster count.
+// Cutting between CutHeights[n-k-1] and CutHeights[n-k] yields k clusters.
+func (d *Dendrogram) CutHeights() []float64 {
+	hs := make([]float64, len(d.merges))
+	for i, m := range d.merges {
+		hs[i] = m.Dist
+	}
+	return hs
+}
+
+// String renders a compact text form: one line per merge.
+func (d *Dendrogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dendrogram over %d leaves:\n", d.n)
+	for i, m := range d.merges {
+		fmt.Fprintf(&b, "  step %3d: %d ← %d at %.6g\n", i+1, m.A, m.B, m.Dist)
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package uahc
+
+import (
+	"strings"
+	"testing"
+
+	"ucpc/internal/rng"
+)
+
+func TestDendrogramNewick(t *testing.T) {
+	r := rng.New(600)
+	ds := separable(r, 2, 4, 2)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDendrogram(len(ds), merges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := d.Newick()
+	if !strings.HasSuffix(nw, ";") {
+		t.Errorf("newick missing terminator: %q", nw)
+	}
+	// Every leaf index appears exactly once.
+	for i := 0; i < len(ds); i++ {
+		needle := strings.NewReplacer("(", " ", ")", " ", ",", " ", ":", " ").Replace(nw)
+		count := 0
+		for _, f := range strings.Fields(needle) {
+			if f == itoa(i) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("leaf %d appears %d times in %q", i, count, nw)
+		}
+	}
+	// Balanced parentheses.
+	depth := 0
+	for _, c := range nw {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth < 0 {
+			t.Fatalf("unbalanced newick: %q", nw)
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("unbalanced newick: %q", nw)
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i%10))
+}
+
+func TestDendrogramCutHeights(t *testing.T) {
+	r := rng.New(700)
+	ds := separable(r, 2, 5, 2)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDendrogram(len(ds), merges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := d.CutHeights()
+	if len(hs) != len(ds)-1 {
+		t.Fatalf("%d heights for %d leaves", len(hs), len(ds))
+	}
+	// The final merge (joining the two groups) dominates.
+	last := hs[len(hs)-1]
+	for _, h := range hs[:len(hs)-1] {
+		if h > last {
+			t.Errorf("non-final height %v above final %v", h, last)
+		}
+	}
+	if !strings.Contains(d.String(), "dendrogram over") {
+		t.Error("String() header missing")
+	}
+}
+
+func TestDendrogramWrongMergeCount(t *testing.T) {
+	if _, err := NewDendrogram(5, nil); err == nil {
+		t.Error("accepted empty merge list for 5 leaves")
+	}
+}

@@ -1,0 +1,127 @@
+package uahc
+
+import (
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func separable(r *rng.RNG, k, per, m int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := make([]dist.Distribution, m)
+			for j := range ms {
+				center := 15*float64(g) + r.Normal(0, 0.4)
+				ms[j] = dist.NewTruncNormalCentral(center, 0.3, 0.95)
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func checkGroups(t *testing.T, ds uncertain.Dataset, assign []int, k int) {
+	t.Helper()
+	for g := 0; g < k; g++ {
+		seen := map[int]bool{}
+		for i, o := range ds {
+			if o.Label == g {
+				seen[assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("group %d split across clusters %v", g, seen)
+		}
+	}
+}
+
+func TestUAHCAllLinkagesRecoverClusters(t *testing.T) {
+	for _, link := range []Linkage{LinkagePrototype, LinkageSingle, LinkageComplete, LinkageAverage} {
+		r := rng.New(100 + uint64(link))
+		ds := separable(r, 3, 12, 2)
+		rep, err := (&UAHC{Linkage: link}).Cluster(ds, 3, r)
+		if err != nil {
+			t.Fatalf("linkage %d: %v", link, err)
+		}
+		checkGroups(t, ds, rep.Partition.Assign, 3)
+		if !rep.Partition.NonEmpty() {
+			t.Errorf("linkage %d: empty cluster", link)
+		}
+	}
+}
+
+func TestDendrogramShape(t *testing.T) {
+	r := rng.New(200)
+	ds := separable(r, 2, 8, 2)
+	rep, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merges) != len(ds)-1 {
+		t.Errorf("%d merges for n=%d, k=1", len(merges), len(ds))
+	}
+	// Prototype (Ward-style) merge costs never go negative.
+	for i, m := range merges {
+		if m.Dist < -1e-9 {
+			t.Errorf("merge %d has negative cost %v", i, m.Dist)
+		}
+	}
+	// With k=1, everything lands in cluster 0.
+	for i, c := range rep.Partition.Assign {
+		if c != 0 {
+			t.Errorf("object %d in cluster %d, want 0", i, c)
+		}
+	}
+}
+
+// The two well-separated groups must be the last to merge: the final merge
+// cost dwarfs all earlier ones.
+func TestSeparatedGroupsMergeLast(t *testing.T) {
+	r := rng.New(300)
+	ds := separable(r, 2, 10, 2)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := merges[len(merges)-1].Dist
+	for _, m := range merges[:len(merges)-1] {
+		if m.Dist > last/10 {
+			t.Errorf("non-final merge cost %v not well below final %v", m.Dist, last)
+		}
+	}
+}
+
+func TestUAHCKEqualsN(t *testing.T) {
+	r := rng.New(400)
+	ds := separable(r, 2, 3, 2)
+	rep, err := (&UAHC{}).Cluster(ds, len(ds), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range rep.Partition.Assign {
+		if seen[c] {
+			t.Fatal("k=n must put every object in its own cluster")
+		}
+		seen[c] = true
+	}
+}
+
+func TestUAHCValidation(t *testing.T) {
+	r := rng.New(500)
+	ds := separable(r, 2, 3, 2)
+	if _, err := (&UAHC{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&UAHC{}).Cluster(ds, len(ds)+1, r); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+var _ clustering.Algorithm = (*UAHC)(nil)

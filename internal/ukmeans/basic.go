@@ -1,0 +1,323 @@
+package ukmeans
+
+import (
+	"math"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// Pruning selects the candidate-pruning strategy used by the basic
+// UK-means assignment step.
+type Pruning int
+
+const (
+	// PruneNone computes the expected distance to every candidate
+	// centroid (the basic UK-means of Chau et al. [4]).
+	PruneNone Pruning = iota
+	// PruneMinMaxBB prunes candidates whose MBR-based lower bound
+	// exceeds the smallest upper bound (MinMax-BB, Ngai et al. [16]).
+	PruneMinMaxBB
+	// PruneVDBiP prunes candidates dominated in a Voronoi bisector test
+	// against another candidate (VDBiP, Kao et al. [11]).
+	PruneVDBiP
+)
+
+// MetricKind selects the deterministic point metric d used inside the
+// expected distance ED_d. The two kinds cover the uncertain-clustering
+// literature: Euclidean (used by the pruning papers [11,16,17]; satisfies
+// the triangle inequality needed by cluster-shift) and squared Euclidean
+// (used by Lee et al.'s reduction [14]).
+type MetricKind int
+
+const (
+	// MetricEuclidean is d(x,y) = ‖x−y‖.
+	MetricEuclidean MetricKind = iota
+	// MetricSqEuclidean is d(x,y) = ‖x−y‖².
+	MetricSqEuclidean
+)
+
+func (m MetricKind) fn() uncertain.Metric {
+	if m == MetricSqEuclidean {
+		return uncertain.SqEuclidean
+	}
+	return uncertain.Euclidean
+}
+
+// triangle reports whether the metric satisfies the triangle inequality
+// (required by the cluster-shift bounds).
+func (m MetricKind) triangle() bool { return m == MetricEuclidean }
+
+// boxBounds returns min/max of d(x, c) over x in the box, in metric units.
+func (m MetricKind) boxBounds(box vec.Box, c vec.Vector) (lo, hi float64) {
+	minSq, maxSq := box.MinSqDist(c), box.MaxSqDist(c)
+	if m == MetricSqEuclidean {
+		return minSq, maxSq
+	}
+	return math.Sqrt(minSq), math.Sqrt(maxSq)
+}
+
+// Basic is the basic (sample-based) UK-means and its pruning variants. The
+// expected distance ED_d(o, c) = ∫ d(x,c) f(x) dx is approximated by
+// averaging the metric over each object's sample cloud, which is the
+// expensive integral the paper identifies as "a major bottleneck" (§2.2).
+type Basic struct {
+	// MaxIter caps Lloyd iterations (0 = default 100).
+	MaxIter int
+	// Samples is the per-object sample-cloud size S (0 = default 48).
+	Samples int
+	// Metric is the deterministic point metric d (default Euclidean, as
+	// in the pruning literature).
+	Metric MetricKind
+	// Prune selects the pruning strategy.
+	Prune Pruning
+	// ClusterShift, when true, tightens bounds across iterations using
+	// the centroid-movement technique of Ngai et al. [17]. It is ignored
+	// for metrics without the triangle inequality.
+	ClusterShift bool
+}
+
+// Name implements clustering.Algorithm.
+func (b *Basic) Name() string {
+	switch b.Prune {
+	case PruneMinMaxBB:
+		return "MinMax-BB"
+	case PruneVDBiP:
+		return "VDBiP"
+	default:
+		return "bUKM"
+	}
+}
+
+// Cluster runs the (possibly pruned) basic UK-means.
+func (b *Basic) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	if err := validate(ds, k); err != nil {
+		return nil, err
+	}
+	maxIter := b.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+	samples := b.Samples
+	if samples == 0 {
+		samples = 48
+	}
+	metric := b.Metric.fn()
+	shift := b.ClusterShift && b.Metric.triangle()
+
+	// Off-line phase: sample clouds and MBRs (the paper's Figure 4
+	// methodology excludes this from the clustering time).
+	offStart := time.Now()
+	ds.EnsureSamples(r.Split(0xbadc0de), samples)
+	boxes := make([]vec.Box, len(ds))
+	for i, o := range ds {
+		boxes[i] = o.Region()
+	}
+	offline := time.Since(offStart)
+
+	start := time.Now()
+	n := len(ds)
+	centers := initialCenters(ds, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	var edComputations, pruned int64
+	// Cluster-shift state: last exact ED per (object, centroid), the
+	// cumulative drift of each centroid, and the drift value at the time
+	// each ED was stored, so the bound uses exactly the movement since
+	// storage.
+	var lastED, edDrift [][]float64
+	var edValid [][]bool
+	drift := make([]float64, k)
+	if shift {
+		lastED = make([][]float64, n)
+		edDrift = make([][]float64, n)
+		edValid = make([][]bool, n)
+		for i := range lastED {
+			lastED[i] = make([]float64, k)
+			edDrift[i] = make([]float64, k)
+			edValid[i] = make([]bool, k)
+		}
+	}
+
+	alive := make([]bool, k)
+	lb := make([]float64, k)
+	ub := make([]float64, k)
+	var bis *bisectors
+
+	iterations, converged := 0, false
+	for iterations < maxIter {
+		iterations++
+		changed := false
+		if b.Prune == PruneVDBiP {
+			// The Voronoi bisector hyperplanes depend only on the
+			// centroids, so they are built once per iteration.
+			bis = newBisectors(centers)
+		}
+		for i, o := range ds {
+			// Bound computation (cheap, O(k·m)).
+			for c := 0; c < k; c++ {
+				alive[c] = true
+				lb[c], ub[c] = b.Metric.boxBounds(boxes[i], centers[c])
+				if shift && edValid[i][c] {
+					// Triangle inequality: |ED(o,c_now) − ED(o,c_stored)|
+					// ≤ centroid movement since the ED was stored.
+					moved := drift[c] - edDrift[i][c]
+					if l := lastED[i][c] - moved; l > lb[c] {
+						lb[c] = l
+					}
+					if u := lastED[i][c] + moved; u < ub[c] {
+						ub[c] = u
+					}
+				}
+			}
+			switch b.Prune {
+			case PruneMinMaxBB:
+				pruned += pruneMinMax(lb, ub, alive)
+			case PruneVDBiP:
+				pruned += bis.prune(boxes[i], alive)
+				pruned += pruneMinMax(lb, ub, alive)
+			}
+
+			// Expensive expected distances for the survivors.
+			best, bestD := -1, 0.0
+			aliveCount, lastAlive := 0, -1
+			for c := 0; c < k; c++ {
+				if alive[c] {
+					aliveCount++
+					lastAlive = c
+				}
+			}
+			if aliveCount == 1 {
+				// Sole survivor: assignment needs no integral at all.
+				best = lastAlive
+			} else {
+				for c := 0; c < k; c++ {
+					if !alive[c] {
+						continue
+					}
+					d := uncertain.EDSampled(o, centers[c], metric)
+					edComputations++
+					if shift {
+						lastED[i][c] = d
+						edDrift[i][c] = drift[c]
+						edValid[i][c] = true
+					}
+					if best == -1 || d < bestD {
+						best, bestD = c, d
+					}
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+		newCenters := clustering.MeansOf(ds, assign, k)
+		if shift {
+			for c := 0; c < k; c++ {
+				drift[c] += vec.Dist(newCenters[c], centers[c])
+			}
+		}
+		centers = newCenters
+	}
+
+	var objective float64
+	for i, o := range ds {
+		objective += uncertain.EDSampled(o, centers[assign[i]], metric)
+	}
+	return &clustering.Report{
+		Partition:        clustering.Partition{K: k, Assign: assign},
+		Objective:        objective,
+		Iterations:       iterations,
+		Converged:        converged,
+		Online:           time.Since(start),
+		Offline:          offline,
+		EDComputations:   edComputations,
+		PrunedCandidates: pruned,
+	}, nil
+}
+
+// pruneMinMax disables candidates whose lower bound exceeds the smallest
+// upper bound among the still-alive candidates (MinMax-BB core rule).
+func pruneMinMax(lb, ub []float64, alive []bool) int64 {
+	minUB := math.Inf(1)
+	for c := range ub {
+		if alive[c] && ub[c] < minUB {
+			minUB = ub[c]
+		}
+	}
+	var count int64
+	for c := range lb {
+		if alive[c] && lb[c] > minUB {
+			alive[c] = false
+			count++
+		}
+	}
+	return count
+}
+
+// bisectors caches the Voronoi bisector hyperplanes between every pair of
+// centroids for one iteration: candidate j is dominated by candidate i for
+// a box when max_{x∈box} w_ij·x < rhs_ij, with w_ij = 2(c_j−c_i) and
+// rhs_ij = ‖c_j‖² − ‖c_i‖². Point-wise dominance implies expected-distance
+// dominance for any non-decreasing metric of the Euclidean distance, so the
+// test is sound for both metric kinds.
+type bisectors struct {
+	k   int
+	w   []vec.Vector // w[i*k+j]
+	rhs []float64
+}
+
+// newBisectors precomputes the hyperplanes for the current centroids.
+func newBisectors(centers []vec.Vector) *bisectors {
+	k := len(centers)
+	b := &bisectors{k: k, w: make([]vec.Vector, k*k), rhs: make([]float64, k*k)}
+	norms := make([]float64, k)
+	for i, c := range centers {
+		norms[i] = vec.SqNorm(c)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			w := vec.Sub(centers[j], centers[i])
+			vec.ScaleInPlace(w, 2)
+			b.w[i*k+j] = w
+			b.rhs[i*k+j] = norms[j] - norms[i]
+		}
+	}
+	return b
+}
+
+// prune marks candidates dominated under the bisector test for the given
+// object box. Returns the number pruned.
+func (b *bisectors) prune(box vec.Box, alive []bool) int64 {
+	var count int64
+	for j := 0; j < b.k; j++ {
+		if !alive[j] {
+			continue
+		}
+		for i := 0; i < b.k && alive[j]; i++ {
+			if i == j || !alive[i] {
+				continue
+			}
+			idx := i*b.k + j
+			if box.MaxLinear(b.w[idx]) < b.rhs[idx] {
+				alive[j] = false
+				count++
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,232 @@
+package ukmeans
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// separable builds k well-separated uncertain groups.
+func separable(r *rng.RNG, k, per, m int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := make([]dist.Distribution, m)
+			for j := range ms {
+				center := 12*float64(g) + r.Normal(0, 0.4)
+				ms[j] = dist.NewTruncNormalCentral(center, 0.3, 0.95)
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func sameGrouping(t *testing.T, ds uncertain.Dataset, assign []int, k int) {
+	t.Helper()
+	for g := 0; g < k; g++ {
+		seen := map[int]bool{}
+		for i, o := range ds {
+			if o.Label == g {
+				seen[assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("true group %d split across clusters %v", g, seen)
+		}
+	}
+}
+
+func TestUKMeansRecoversClusters(t *testing.T) {
+	r := rng.New(10)
+	ds := separable(r, 3, 25, 3)
+	rep, err := (&UKMeans{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("no convergence")
+	}
+	sameGrouping(t, ds, rep.Partition.Assign, 3)
+}
+
+// The fast UK-means objective must equal Σ ED(o, centroid) recomputed from
+// the final partition's centroids (Lemma 1 consistency).
+func TestUKMeansObjectiveConsistent(t *testing.T) {
+	r := rng.New(20)
+	ds := separable(r, 2, 20, 2)
+	rep, err := (&UKMeans{}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := clustering.MeansOf(ds, rep.Partition.Assign, 2)
+	var want float64
+	for i, o := range ds {
+		want += uncertain.ED(o, centers[rep.Partition.Assign[i]])
+	}
+	if math.Abs(rep.Objective-want) > 1e-9*(1+want) {
+		t.Errorf("objective %v vs recomputed %v", rep.Objective, want)
+	}
+}
+
+// Equivalence: with the squared Euclidean metric and a large sample cloud,
+// the basic UK-means converges to the same grouping as the fast UK-means
+// (Lee et al.'s reduction).
+func TestBasicFastEquivalence(t *testing.T) {
+	r := rng.New(30)
+	ds := separable(r, 3, 15, 2)
+	fast, err := (&UKMeans{}).Cluster(ds, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	basic, err := (&Basic{Metric: MetricSqEuclidean, Samples: 256}).Cluster(ds, 3, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare groupings up to cluster relabeling via co-membership.
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			a := fast.Partition.Assign[i] == fast.Partition.Assign[j]
+			b := basic.Partition.Assign[i] == basic.Partition.Assign[j]
+			if a != b {
+				t.Fatalf("objects %d,%d grouped differently: fast %v, basic %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// Pruning soundness: MinMax-BB and VDBiP must produce exactly the same
+// assignments as the exhaustive basic UK-means for the same seed.
+func TestPruningEquivalence(t *testing.T) {
+	r := rng.New(40)
+	ds := separable(r, 4, 12, 2)
+	base, err := (&Basic{Prune: PruneNone, Samples: 32}).Cluster(ds, 4, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []*Basic{
+		{Prune: PruneMinMaxBB, Samples: 32},
+		{Prune: PruneMinMaxBB, Samples: 32, ClusterShift: true},
+		{Prune: PruneVDBiP, Samples: 32},
+		{Prune: PruneVDBiP, Samples: 32, ClusterShift: true},
+	} {
+		rep, err := cfg.Cluster(ds, 4, rng.New(9))
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		for i := range ds {
+			if rep.Partition.Assign[i] != base.Partition.Assign[i] {
+				t.Fatalf("%s(shift=%v): object %d assigned to %d, exhaustive gives %d",
+					cfg.Name(), cfg.ClusterShift, i, rep.Partition.Assign[i], base.Partition.Assign[i])
+			}
+		}
+		if rep.EDComputations >= base.EDComputations {
+			t.Errorf("%s(shift=%v): %d ED computations, exhaustive needed %d — no pruning benefit",
+				cfg.Name(), cfg.ClusterShift, rep.EDComputations, base.EDComputations)
+		}
+		if rep.PrunedCandidates == 0 {
+			t.Errorf("%s: pruned-candidate counter is zero", cfg.Name())
+		}
+	}
+}
+
+// Cluster-shift must strictly reduce ED computations versus plain MinMax-BB
+// on a workload with several iterations.
+func TestClusterShiftReducesWork(t *testing.T) {
+	r := rng.New(50)
+	ds := separable(r, 5, 30, 3)
+	plain, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16}).Cluster(ds, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16, ClusterShift: true}).Cluster(ds, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shifted.EDComputations > plain.EDComputations {
+		t.Errorf("cluster-shift increased ED computations: %d vs %d",
+			shifted.EDComputations, plain.EDComputations)
+	}
+}
+
+func TestBasicRecoversClusters(t *testing.T) {
+	r := rng.New(60)
+	ds := separable(r, 3, 15, 2)
+	rep, err := (&Basic{Samples: 24}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGrouping(t, ds, rep.Partition.Assign, 3)
+	if rep.EDComputations == 0 {
+		t.Error("basic UK-means reported zero expected-distance computations")
+	}
+	if rep.Offline <= 0 {
+		t.Error("offline phase not timed")
+	}
+}
+
+func TestUKMeansDeterministicForSeed(t *testing.T) {
+	r := rng.New(70)
+	ds := separable(r, 2, 20, 2)
+	a, _ := (&UKMeans{}).Cluster(ds, 2, rng.New(5))
+	b, _ := (&UKMeans{}).Cluster(ds, 2, rng.New(5))
+	for i := range a.Partition.Assign {
+		if a.Partition.Assign[i] != b.Partition.Assign[i] {
+			t.Fatal("same seed, different result")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := rng.New(80)
+	ds := separable(r, 2, 5, 2)
+	if _, err := (&UKMeans{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&UKMeans{}).Cluster(ds, 11, r); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := (&Basic{}).Cluster(uncertain.Dataset{}, 1, r); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&UKMeans{}).Name() != "UKM" {
+		t.Error("UKMeans name")
+	}
+	if (&Basic{}).Name() != "bUKM" {
+		t.Error("basic name")
+	}
+	if (&Basic{Prune: PruneMinMaxBB}).Name() != "MinMax-BB" {
+		t.Error("minmax name")
+	}
+	if (&Basic{Prune: PruneVDBiP}).Name() != "VDBiP" {
+		t.Error("vdbip name")
+	}
+}
+
+func TestMetricKinds(t *testing.T) {
+	x := []float64{0, 0}
+	y := []float64{3, 4}
+	if d := MetricEuclidean.fn()(x, y); d != 5 {
+		t.Errorf("euclidean = %v", d)
+	}
+	if d := MetricSqEuclidean.fn()(x, y); d != 25 {
+		t.Errorf("sq euclidean = %v", d)
+	}
+	if !MetricEuclidean.triangle() || MetricSqEuclidean.triangle() {
+		t.Error("triangle flags wrong")
+	}
+}
+
+var (
+	_ clustering.Algorithm = (*UKMeans)(nil)
+	_ clustering.Algorithm = (*Basic)(nil)
+)

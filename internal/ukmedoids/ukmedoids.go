@@ -1,0 +1,145 @@
+// Package ukmedoids implements UK-medoids (Gullo, Ponti, Tagarelli,
+// SUM 2008; paper ref. [7]): a PAM-style partitional algorithm for
+// uncertain objects in which every cluster is represented by one of its own
+// members (the medoid) and proximity is the squared expected distance ÊD
+// between uncertain objects.
+//
+// The pairwise ÊD matrix is precomputed in an off-line phase (the paper's
+// Figure 4 methodology excludes "distance pre-computation" from clustering
+// time); the online swap phase is then pure matrix lookups.
+package ukmedoids
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// UKMedoids is the uncertain K-medoids algorithm.
+type UKMedoids struct {
+	// MaxIter caps assignment/update rounds (0 = default 100).
+	MaxIter int
+}
+
+// Name implements clustering.Algorithm.
+func (a *UKMedoids) Name() string { return "UKmed" }
+
+// Cluster partitions ds into k clusters around object medoids.
+func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ds)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("ukmedoids: k=%d out of range for n=%d", k, n)
+	}
+	maxIter := a.MaxIter
+	if maxIter == 0 {
+		maxIter = 100
+	}
+
+	// Off-line phase: full pairwise ÊD matrix, O(n²·m).
+	offStart := time.Now()
+	dm := Matrix(ds)
+	offline := time.Since(offStart)
+
+	start := time.Now()
+	medoids := clustering.KMeansPPCenters(ds, k, r)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	iterations, converged := 0, false
+	for iterations < maxIter {
+		iterations++
+		changed := false
+		// Assignment: nearest medoid by ÊD.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dm.At(i, medoids[0])
+			for c := 1; c < k; c++ {
+				if d := dm.At(i, medoids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+		// Update: per cluster, the member minimizing the summed ÊD to
+		// its peers becomes the new medoid.
+		members := (clustering.Partition{K: k, Assign: assign}).Members()
+		for c, ms := range members {
+			if len(ms) == 0 {
+				continue // keep the previous medoid for an empty cluster
+			}
+			bestIdx, bestCost := medoids[c], math.Inf(1)
+			for _, cand := range ms {
+				var cost float64
+				for _, other := range ms {
+					cost += dm.At(cand, other)
+				}
+				if cost < bestCost {
+					bestIdx, bestCost = cand, cost
+				}
+			}
+			medoids[c] = bestIdx
+		}
+	}
+
+	var objective float64
+	for i := 0; i < n; i++ {
+		objective += dm.At(i, medoids[assign[i]])
+	}
+	return &clustering.Report{
+		Partition:  clustering.Partition{K: k, Assign: assign},
+		Objective:  objective,
+		Iterations: iterations,
+		Converged:  converged,
+		Online:     time.Since(start),
+		Offline:    offline,
+	}, nil
+}
+
+// DistMatrix is a symmetric pairwise distance matrix stored as the upper
+// triangle (including the diagonal) in row-major order.
+type DistMatrix struct {
+	n    int
+	data []float64
+}
+
+// Matrix computes the pairwise ÊD matrix of the dataset using the Lemma 3
+// closed form.
+func Matrix(ds uncertain.Dataset) *DistMatrix {
+	n := len(ds)
+	m := &DistMatrix{n: n, data: make([]float64, n*(n+1)/2)}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			m.data[m.index(i, j)] = uncertain.EED(ds[i], ds[j])
+		}
+	}
+	return m
+}
+
+func (m *DistMatrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row i starts after i rows of lengths n, n-1, …, n-i+1.
+	return i*m.n - i*(i-1)/2 + (j - i)
+}
+
+// At returns ÊD(ds[i], ds[j]).
+func (m *DistMatrix) At(i, j int) float64 { return m.data[m.index(i, j)] }
+
+// N returns the number of objects.
+func (m *DistMatrix) N() int { return m.n }

@@ -1,0 +1,153 @@
+package ukmedoids
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+func separable(r *rng.RNG, k, per, m int) uncertain.Dataset {
+	var ds uncertain.Dataset
+	id := 0
+	for g := 0; g < k; g++ {
+		for i := 0; i < per; i++ {
+			ms := make([]dist.Distribution, m)
+			for j := range ms {
+				center := 12*float64(g) + r.Normal(0, 0.4)
+				ms[j] = dist.NewTruncNormalCentral(center, 0.3, 0.95)
+			}
+			ds = append(ds, uncertain.NewObject(id, ms).WithLabel(g))
+			id++
+		}
+	}
+	return ds
+}
+
+func TestMatrixSymmetricConsistent(t *testing.T) {
+	r := rng.New(1)
+	ds := separable(r, 2, 10, 3)
+	dm := Matrix(ds)
+	if dm.N() != len(ds) {
+		t.Fatalf("N = %d", dm.N())
+	}
+	for i := 0; i < len(ds); i++ {
+		for j := 0; j < len(ds); j++ {
+			want := uncertain.EED(ds[i], ds[j])
+			if got := dm.At(i, j); math.Abs(got-want) > 1e-12*(1+want) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got, want)
+			}
+			if dm.At(i, j) != dm.At(j, i) {
+				t.Fatalf("matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestUKMedoidsRecoversClusters(t *testing.T) {
+	r := rng.New(2)
+	ds := separable(r, 3, 15, 2)
+	rep, err := (&UKMedoids{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Error("no convergence")
+	}
+	for g := 0; g < 3; g++ {
+		seen := map[int]bool{}
+		for i, o := range ds {
+			if o.Label == g {
+				seen[rep.Partition.Assign[i]] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Errorf("group %d split: %v", g, seen)
+		}
+	}
+}
+
+// Medoid optimality: at convergence no member of a cluster has a smaller
+// summed ÊD to its peers than the chosen medoid... we verify the weaker
+// invariant that every object is assigned to its nearest medoid.
+func TestAssignmentsNearestMedoid(t *testing.T) {
+	r := rng.New(3)
+	ds := separable(r, 3, 12, 2)
+	rep, err := (&UKMedoids{}).Cluster(ds, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := Matrix(ds)
+	// Recover medoids: per cluster, the member minimizing summed ÊD.
+	members := rep.Partition.Members()
+	medoids := make([]int, len(members))
+	for c, ms := range members {
+		best, bestCost := -1, math.Inf(1)
+		for _, cand := range ms {
+			var cost float64
+			for _, o := range ms {
+				cost += dm.At(cand, o)
+			}
+			if cost < bestCost {
+				best, bestCost = cand, cost
+			}
+		}
+		medoids[c] = best
+	}
+	for i := range ds {
+		assigned := rep.Partition.Assign[i]
+		dAssigned := dm.At(i, medoids[assigned])
+		for c := range medoids {
+			if dm.At(i, medoids[c]) < dAssigned-1e-9 {
+				t.Fatalf("object %d: medoid %d closer than assigned %d", i, c, assigned)
+			}
+		}
+	}
+}
+
+func TestUKMedoidsOfflinePhaseTimed(t *testing.T) {
+	r := rng.New(4)
+	ds := separable(r, 2, 20, 3)
+	rep, err := (&UKMedoids{}).Cluster(ds, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offline <= 0 {
+		t.Error("offline phase not recorded")
+	}
+}
+
+func TestUKMedoidsValidation(t *testing.T) {
+	r := rng.New(5)
+	ds := separable(r, 2, 5, 2)
+	if _, err := (&UKMedoids{}).Cluster(ds, 0, r); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := (&UKMedoids{}).Cluster(ds, len(ds)+1, r); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestDistMatrixIndexing(t *testing.T) {
+	// 3-object matrix: verify the triangular layout covers all pairs.
+	ds := uncertain.Dataset{
+		uncertain.FromPoint(0, []float64{0}),
+		uncertain.FromPoint(1, []float64{1}),
+		uncertain.FromPoint(2, []float64{3}),
+	}
+	dm := Matrix(ds)
+	cases := map[[2]int]float64{
+		{0, 0}: 0, {0, 1}: 1, {0, 2}: 9,
+		{1, 1}: 0, {1, 2}: 4, {2, 2}: 0,
+	}
+	for pair, want := range cases {
+		if got := dm.At(pair[0], pair[1]); got != want {
+			t.Errorf("At(%d,%d) = %v, want %v", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+var _ clustering.Algorithm = (*UKMedoids)(nil)

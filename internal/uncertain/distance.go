@@ -1,0 +1,177 @@
+package uncertain
+
+import (
+	"math"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+// ED returns the expected squared Euclidean distance between uncertain
+// object o and deterministic point y:
+//
+//	ED(o, y) = ∫ ‖x − y‖² f(x) dx = σ²(o) + ‖µ(o) − y‖²
+//
+// This is the closed form behind eq. (8) of the paper (Lee et al.'s
+// "reducing UK-means to K-means" identity): the first term is the constant
+// ED(o, µ(o)) = σ²(o), the second is the O(m) online part.
+func ED(o *Object, y vec.Vector) float64 {
+	return o.totalVar + vec.SqDist(o.mu, y)
+}
+
+// EED returns the squared expected distance ÊD between two uncertain
+// objects (paper eq. 13, Lemma 3):
+//
+//	ÊD(o, o′) = Σ_j [(µ₂)_j(o) − 2 µ_j(o) µ_j(o′) + (µ₂)_j(o′)]
+//	          = ‖µ(o) − µ(o′)‖² + σ²(o) + σ²(o′)
+func EED(o, p *Object) float64 {
+	return vec.SqDist(o.mu, p.mu) + o.totalVar + p.totalVar
+}
+
+// EEDLemma3 computes ÊD directly from the Lemma 3 component sum. It is
+// algebraically identical to EED and exists so tests can cross-check the
+// two readings of the formula.
+func EEDLemma3(o, p *Object) float64 {
+	var s float64
+	for j := 0; j < o.Dims(); j++ {
+		s += o.mu2[j] - 2*o.mu[j]*p.mu[j] + p.mu2[j]
+	}
+	return s
+}
+
+// Metric is a deterministic point-to-point distance. The basic UK-means is
+// defined for an arbitrary metric d (paper §2.2, ED_d).
+type Metric func(x, y vec.Vector) float64
+
+// SqEuclidean is the squared Euclidean norm metric ‖x−y‖².
+func SqEuclidean(x, y vec.Vector) float64 { return vec.SqDist(x, y) }
+
+// Euclidean is the Euclidean metric ‖x−y‖.
+func Euclidean(x, y vec.Vector) float64 { return vec.Dist(x, y) }
+
+// EDSampled approximates ED_d(o, y) = ∫ d(x, y) f(x) dx by averaging the
+// metric over the object's cached sample cloud. This is the expensive
+// integral approximation used by the basic UK-means (§2.2); callers must
+// have invoked EnsureSamples first.
+func EDSampled(o *Object, y vec.Vector, d Metric) float64 {
+	if len(o.samples) == 0 {
+		panic("uncertain: EDSampled without a sample cloud (call EnsureSamples)")
+	}
+	var s float64
+	for _, x := range o.samples {
+		s += d(x, y)
+	}
+	return s / float64(len(o.samples))
+}
+
+// EEDSampled approximates ÊD(o, p) by a Monte Carlo double sum over the two
+// cached sample clouds with the squared Euclidean metric. Used by tests to
+// verify Lemma 3 and by the density-based algorithms' distance
+// probabilities.
+func EEDSampled(o, p *Object) float64 {
+	if len(o.samples) == 0 || len(p.samples) == 0 {
+		panic("uncertain: EEDSampled without sample clouds")
+	}
+	var s float64
+	for _, x := range o.samples {
+		for _, y := range p.samples {
+			s += vec.SqDist(x, y)
+		}
+	}
+	return s / float64(len(o.samples)*len(p.samples))
+}
+
+// DistProbability estimates P(d(o, p) ≤ eps) — the fuzzy distance used by
+// FDBSCAN/FOPTICS — as the fraction of sample pairs within Euclidean
+// distance eps. Pairs are matched index-to-index after an implicit random
+// pairing (the clouds are i.i.d., so index pairing is an unbiased,
+// O(S) estimator; pass full=true for the exact O(S²) double sum).
+func DistProbability(o, p *Object, eps float64, full bool) float64 {
+	so, sp := o.samples, p.samples
+	if len(so) == 0 || len(sp) == 0 {
+		panic("uncertain: DistProbability without sample clouds")
+	}
+	eps2 := eps * eps
+	if !full {
+		n := len(so)
+		if len(sp) < n {
+			n = len(sp)
+		}
+		cnt := 0
+		for i := 0; i < n; i++ {
+			if vec.SqDist(so[i], sp[i]) <= eps2 {
+				cnt++
+			}
+		}
+		return float64(cnt) / float64(n)
+	}
+	cnt := 0
+	for _, x := range so {
+		for _, y := range sp {
+			if vec.SqDist(x, y) <= eps2 {
+				cnt++
+			}
+		}
+	}
+	return float64(cnt) / float64(len(so)*len(sp))
+}
+
+// MaxPairwiseEED returns max_{o≠p} ÊD(o,p) over the dataset, used to
+// normalize the intra/inter internal validity criteria into [0,1]
+// (paper §5.1). For n > sampleCap objects the maximum is estimated on a
+// deterministic subsample to keep the cost bounded; the normalizer only
+// needs to be a dataset-wide constant.
+func MaxPairwiseEED(ds Dataset, sampleCap int) float64 {
+	idx := make([]int, len(ds))
+	for i := range idx {
+		idx[i] = i
+	}
+	if sampleCap > 0 && len(ds) > sampleCap {
+		r := rng.New(uint64(len(ds)))
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:sampleCap]
+	}
+	maxD := 0.0
+	for a := 0; a < len(idx); a++ {
+		for b := a + 1; b < len(idx); b++ {
+			if d := EED(ds[idx[a]], ds[idx[b]]); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		return 1 // degenerate dataset; any constant normalizer works
+	}
+	return maxD
+}
+
+// EDMonteCarlo estimates ED(o, y) with n fresh samples (not the cached
+// cloud). Test helper for verifying the closed form.
+func EDMonteCarlo(o *Object, y vec.Vector, r *rng.RNG, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += vec.SqDist(o.Sample(r), y)
+	}
+	return s / float64(n)
+}
+
+// EEDMonteCarlo estimates ÊD(o, p) with n fresh independent sample pairs.
+func EEDMonteCarlo(o, p *Object, r *rng.RNG, n int) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += vec.SqDist(o.Sample(r), p.Sample(r))
+	}
+	return s / float64(n)
+}
+
+// NearestByEED returns the index in centers of the object minimizing
+// ÊD(o, centers[i]) and that minimal value.
+func NearestByEED(o *Object, centers []*Object) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, c := range centers {
+		if d := EED(o, c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

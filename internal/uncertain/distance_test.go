@@ -1,0 +1,189 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+func TestEDClosedFormVsMonteCarlo(t *testing.T) {
+	o := testObject(0)
+	y := vec.Vector{0.5, 0.5, 0.5}
+	exact := ED(o, y)
+	mc := EDMonteCarlo(o, y, rng.New(3), 200000)
+	if math.Abs(exact-mc) > 0.05*(1+exact) {
+		t.Errorf("ED closed form %v vs MC %v", exact, mc)
+	}
+}
+
+// Verifies the Lee et al. identity (paper eq. 8):
+// ED(o, y) = ED(o, µ(o)) + ‖y − µ(o)‖², with ED(o, µ(o)) = σ²(o).
+func TestEq8Identity(t *testing.T) {
+	o := testObject(0)
+	for _, y := range []vec.Vector{{0, 0, 0}, {2, -1, 4}, {-3, 7, 1.5}} {
+		lhs := ED(o, y)
+		rhs := ED(o, o.Mean()) + vec.SqDist(y, o.Mean())
+		if math.Abs(lhs-rhs) > 1e-9*(1+lhs) {
+			t.Errorf("eq. 8 violated at %v: %v vs %v", y, lhs, rhs)
+		}
+		if math.Abs(ED(o, o.Mean())-o.TotalVar()) > 1e-12 {
+			t.Errorf("ED(o,µ) = %v, want σ² = %v", ED(o, o.Mean()), o.TotalVar())
+		}
+	}
+}
+
+func TestEEDLemma3Equivalence(t *testing.T) {
+	a, b := testObject(0), NewObject(1, []dist.Distribution{
+		dist.NewUniformAround(-2, 3),
+		dist.NewTruncNormalCentral(4, 1, 0.95),
+		dist.NewUniformAround(0, 0.1),
+	})
+	d1 := EED(a, b)
+	d2 := EEDLemma3(a, b)
+	if math.Abs(d1-d2) > 1e-9*(1+d1) {
+		t.Errorf("EED %v vs Lemma 3 sum %v", d1, d2)
+	}
+}
+
+func TestEEDVsMonteCarlo(t *testing.T) {
+	a, b := testObject(0), testObject(1)
+	exact := EED(a, b)
+	mc := EEDMonteCarlo(a, b, rng.New(9), 200000)
+	if math.Abs(exact-mc) > 0.05*(1+exact) {
+		t.Errorf("EED closed form %v vs MC %v", exact, mc)
+	}
+}
+
+func TestEEDSymmetricAndSelf(t *testing.T) {
+	a, b := testObject(0), testObject(1)
+	if EED(a, b) != EED(b, a) {
+		t.Error("EED not symmetric")
+	}
+	// ÊD(o,o) = 2σ²(o): the expected squared distance between two
+	// independent realizations of the same object.
+	if math.Abs(EED(a, a)-2*a.TotalVar()) > 1e-12 {
+		t.Errorf("EED(o,o) = %v, want %v", EED(a, a), 2*a.TotalVar())
+	}
+}
+
+func TestEEDDeterministicReducesToSqDist(t *testing.T) {
+	a := FromPoint(0, vec.Vector{1, 2})
+	b := FromPoint(1, vec.Vector{4, 6})
+	if d := EED(a, b); d != 25 {
+		t.Errorf("EED between points = %v, want 25", d)
+	}
+}
+
+func TestEDSampledApproximatesClosedForm(t *testing.T) {
+	o := testObject(0)
+	o.EnsureSamples(rng.New(21), 20000)
+	y := vec.Vector{1, 1, 1}
+	approx := EDSampled(o, y, SqEuclidean)
+	exact := ED(o, y)
+	if math.Abs(approx-exact) > 0.05*(1+exact) {
+		t.Errorf("EDSampled %v vs exact %v", approx, exact)
+	}
+}
+
+func TestEDSampledEuclideanMetric(t *testing.T) {
+	// With the plain (non-squared) Euclidean metric there is no closed
+	// form; check against an independent MC estimate.
+	o := testObject(0)
+	o.EnsureSamples(rng.New(22), 20000)
+	y := vec.Vector{0, 0, 0}
+	approx := EDSampled(o, y, Euclidean)
+	r := rng.New(23)
+	var mc float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		mc += vec.Dist(o.Sample(r), y)
+	}
+	mc /= n
+	if math.Abs(approx-mc) > 0.05*(1+mc) {
+		t.Errorf("EDSampled(Euclidean) %v vs MC %v", approx, mc)
+	}
+}
+
+func TestEDSampledWithoutCloudPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without sample cloud")
+		}
+	}()
+	EDSampled(testObject(0), vec.Vector{0, 0, 0}, SqEuclidean)
+}
+
+func TestEEDSampledApproximatesClosedForm(t *testing.T) {
+	a, b := testObject(0), testObject(1)
+	a.EnsureSamples(rng.New(31), 300)
+	b.EnsureSamples(rng.New(32), 300)
+	approx := EEDSampled(a, b)
+	exact := EED(a, b)
+	if math.Abs(approx-exact) > 0.1*(1+exact) {
+		t.Errorf("EEDSampled %v vs exact %v", approx, exact)
+	}
+}
+
+func TestDistProbabilityExtremes(t *testing.T) {
+	a := FromPoint(0, vec.Vector{0, 0})
+	b := FromPoint(1, vec.Vector{3, 4})
+	a.EnsureSamples(rng.New(1), 100)
+	b.EnsureSamples(rng.New(2), 100)
+	if p := DistProbability(a, b, 5.0, true); p != 1 {
+		t.Errorf("P(d<=5) = %v, want 1 (distance is exactly 5)", p)
+	}
+	if p := DistProbability(a, b, 4.9, true); p != 0 {
+		t.Errorf("P(d<=4.9) = %v, want 0", p)
+	}
+	if p := DistProbability(a, b, 5.0, false); p != 1 {
+		t.Errorf("paired estimator P(d<=5) = %v, want 1", p)
+	}
+}
+
+func TestDistProbabilityMonotoneInEps(t *testing.T) {
+	a, b := testObject(0), testObject(1)
+	a.EnsureSamples(rng.New(41), 400)
+	b.EnsureSamples(rng.New(42), 400)
+	prev := 0.0
+	for _, eps := range []float64{0.1, 0.5, 1, 2, 4, 8, 16} {
+		p := DistProbability(a, b, eps, true)
+		if p < prev {
+			t.Fatalf("P(d<=%v) = %v < previous %v", eps, p, prev)
+		}
+		prev = p
+	}
+	if prev != 1 {
+		t.Errorf("P at large eps = %v, want 1", prev)
+	}
+}
+
+func TestMaxPairwiseEED(t *testing.T) {
+	ds := Dataset{
+		FromPoint(0, vec.Vector{0, 0}),
+		FromPoint(1, vec.Vector{1, 0}),
+		FromPoint(2, vec.Vector{10, 0}),
+	}
+	if m := MaxPairwiseEED(ds, 0); m != 100 {
+		t.Errorf("max pairwise EED = %v, want 100", m)
+	}
+	// With subsampling the value is still positive and bounded by the max.
+	if m := MaxPairwiseEED(ds, 2); m <= 0 || m > 100 {
+		t.Errorf("subsampled max = %v", m)
+	}
+}
+
+func TestNearestByEED(t *testing.T) {
+	o := FromPoint(0, vec.Vector{0, 0})
+	centers := []*Object{
+		FromPoint(1, vec.Vector{5, 0}),
+		FromPoint(2, vec.Vector{1, 1}),
+		FromPoint(3, vec.Vector{-4, 4}),
+	}
+	i, d := NearestByEED(o, centers)
+	if i != 1 || d != 2 {
+		t.Errorf("NearestByEED = (%d, %v), want (1, 2)", i, d)
+	}
+}

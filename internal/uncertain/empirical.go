@@ -1,0 +1,87 @@
+package uncertain
+
+import (
+	"fmt"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+// FromSamples builds an uncertain object from an empirical joint sample
+// cloud — the fully general form of Definition 1, where the pdf f need not
+// factor into independent marginals (dimensions may be correlated).
+//
+// The object's moments µ, µ₂, σ² are the cloud's empirical moments, its
+// region is the cloud's bounding box, and Sample resamples the cloud
+// uniformly. All closed-form machinery (ED of eq. 8, ÊD of Lemma 3, the
+// Ψ/Φ/Υ statistics of Theorem 3) depends only on per-dimension first and
+// second moments, so every clustering algorithm in this repository works
+// on empirical objects unchanged — including correlation-carrying ones.
+//
+// The per-dimension marginals exposed by Marginal are the empirical
+// (Discrete) projections; they reproduce the joint moments but not the
+// joint dependence, which lives only in the stored cloud.
+func FromSamples(id int, points []vec.Vector) *Object {
+	if len(points) == 0 {
+		panic("uncertain: FromSamples needs at least one point")
+	}
+	m := len(points[0])
+	cols := make([][]float64, m)
+	for j := range cols {
+		cols[j] = make([]float64, len(points))
+	}
+	for i, p := range points {
+		if len(p) != m {
+			panic(fmt.Sprintf("uncertain: sample %d has dim %d, want %d", i, len(p), m))
+		}
+		for j := 0; j < m; j++ {
+			cols[j][i] = p[j]
+		}
+	}
+	ms := make([]dist.Distribution, m)
+	for j := 0; j < m; j++ {
+		ms[j] = dist.NewDiscrete(cols[j], nil)
+	}
+	o := NewObject(id, ms)
+	// Preserve the joint dependence: the cached cloud holds the original
+	// points (copied), and resampling draws whole rows, not per-dimension
+	// independent values.
+	o.samples = make([]vec.Vector, len(points))
+	for i, p := range points {
+		o.samples[i] = vec.Clone(p)
+	}
+	o.joint = true
+	return o
+}
+
+// IsJoint reports whether the object carries an empirical joint cloud
+// (built with FromSamples) whose dimensions may be correlated.
+func (o *Object) IsJoint() bool { return o.joint }
+
+// SampleJoint draws one realization. For joint empirical objects it
+// resamples a full row of the original cloud (preserving correlations);
+// for product-form objects it falls back to Sample.
+func (o *Object) SampleJoint(r *rng.RNG) vec.Vector {
+	if !o.joint || len(o.samples) == 0 {
+		return o.Sample(r)
+	}
+	return vec.Clone(o.samples[r.Intn(len(o.samples))])
+}
+
+// Covariance returns the empirical covariance between dimensions a and b
+// for joint objects (0 for product-form objects, whose dimensions are
+// independent by construction).
+func (o *Object) Covariance(a, b int) float64 {
+	if a == b {
+		return o.sigma2[a]
+	}
+	if !o.joint || len(o.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range o.samples {
+		s += (p[a] - o.mu[a]) * (p[b] - o.mu[b])
+	}
+	return s / float64(len(o.samples))
+}

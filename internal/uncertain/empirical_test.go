@@ -1,0 +1,168 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+// correlatedCloud draws points with strong positive correlation between
+// the two dimensions.
+func correlatedCloud(r *rng.RNG, n int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		z := r.Norm()
+		pts[i] = vec.Vector{2 + z, -1 + 0.9*z + 0.1*r.Norm()}
+	}
+	return pts
+}
+
+func TestFromSamplesMoments(t *testing.T) {
+	r := rng.New(1)
+	pts := correlatedCloud(r, 5000)
+	o := FromSamples(0, pts)
+	// Empirical moments must match the cloud exactly.
+	want := vec.Mean(pts)
+	if !vec.ApproxEqual(o.Mean(), want, 1e-9) {
+		t.Errorf("mean %v, want %v", o.Mean(), want)
+	}
+	var m2 float64
+	for _, p := range pts {
+		m2 += p[0] * p[0]
+	}
+	m2 /= float64(len(pts))
+	if math.Abs(o.SecondMoment()[0]-m2) > 1e-9*(1+m2) {
+		t.Errorf("µ₂[0] = %v, want %v", o.SecondMoment()[0], m2)
+	}
+}
+
+func TestFromSamplesCovariance(t *testing.T) {
+	r := rng.New(2)
+	o := FromSamples(0, correlatedCloud(r, 5000))
+	cov := o.Covariance(0, 1)
+	if cov < 0.5 {
+		t.Errorf("covariance %v, want strongly positive (~0.9)", cov)
+	}
+	if o.Covariance(0, 0) != o.VarVector()[0] {
+		t.Error("Covariance(j,j) must equal the variance")
+	}
+	// Product-form objects report zero cross-covariance.
+	p := testObject(1)
+	if p.Covariance(0, 1) != 0 {
+		t.Error("product-form object reported non-zero covariance")
+	}
+	if p.IsJoint() {
+		t.Error("product-form object claims to be joint")
+	}
+}
+
+func TestFromSamplesJointResampling(t *testing.T) {
+	r := rng.New(3)
+	o := FromSamples(0, correlatedCloud(r, 2000))
+	if !o.IsJoint() {
+		t.Fatal("not marked joint")
+	}
+	// Joint resampling preserves the correlation...
+	var covJoint float64
+	mu := o.Mean()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		x := o.SampleJoint(r)
+		covJoint += (x[0] - mu[0]) * (x[1] - mu[1])
+	}
+	covJoint /= n
+	if covJoint < 0.5 {
+		t.Errorf("joint resampling lost correlation: %v", covJoint)
+	}
+	// ...while per-marginal sampling (product form) destroys it.
+	var covIndep float64
+	for i := 0; i < n; i++ {
+		x := o.Sample(r)
+		covIndep += (x[0] - mu[0]) * (x[1] - mu[1])
+	}
+	covIndep /= n
+	if math.Abs(covIndep) > 0.15 {
+		t.Errorf("independent sampling kept correlation: %v", covIndep)
+	}
+}
+
+func TestFromSamplesEnsureSamplesBootstraps(t *testing.T) {
+	r := rng.New(4)
+	o := FromSamples(0, correlatedCloud(r, 500))
+	cloud := o.EnsureSamples(r, 200)
+	if len(cloud) != 200 {
+		t.Fatalf("cloud size %d", len(cloud))
+	}
+	if !o.IsJoint() {
+		t.Fatal("bootstrap dropped the joint flag")
+	}
+	// Bootstrap rows preserve correlation.
+	mu := o.Mean()
+	var cov float64
+	for _, x := range cloud {
+		cov += (x[0] - mu[0]) * (x[1] - mu[1])
+	}
+	cov /= float64(len(cloud))
+	if cov < 0.4 {
+		t.Errorf("bootstrap lost correlation: %v", cov)
+	}
+}
+
+// The closed-form ÊD (Lemma 3) holds for joint objects too: it only needs
+// per-dimension moments. Verify against Monte Carlo over joint draws.
+func TestEEDJointObjects(t *testing.T) {
+	r := rng.New(5)
+	a := FromSamples(0, correlatedCloud(r, 3000))
+	b := FromSamples(1, correlatedCloud(r, 3000))
+	exact := EED(a, b)
+	var mc float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		mc += vec.SqDist(a.SampleJoint(r), b.SampleJoint(r))
+	}
+	mc /= n
+	if math.Abs(exact-mc) > 0.05*(1+exact) {
+		t.Errorf("EED %v vs joint MC %v", exact, mc)
+	}
+}
+
+func TestFromSamplesRegionIsBoundingBox(t *testing.T) {
+	pts := []vec.Vector{{0, 5}, {2, 1}, {-1, 3}}
+	o := FromSamples(0, pts)
+	reg := o.Region()
+	if !vec.Equal(reg.Lo, vec.Vector{-1, 1}) || !vec.Equal(reg.Hi, vec.Vector{2, 5}) {
+		t.Errorf("region %+v", reg)
+	}
+}
+
+func TestFromSamplesRejectsBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":  func() { FromSamples(0, nil) },
+		"ragged": func() { FromSamples(0, []vec.Vector{{1, 2}, {1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromSamplesClusterable(t *testing.T) {
+	// Joint objects must flow through the distance helpers used by all
+	// algorithms.
+	r := rng.New(6)
+	a := FromSamples(0, correlatedCloud(r, 100))
+	y := vec.Vector{0, 0}
+	if d := ED(a, y); d <= 0 || math.IsNaN(d) {
+		t.Errorf("ED = %v", d)
+	}
+	if i, _ := NearestByEED(a, []*Object{FromSamples(1, correlatedCloud(r, 50))}); i != 0 {
+		t.Errorf("NearestByEED = %d", i)
+	}
+}

@@ -1,0 +1,162 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+// testObject builds a 3-D object with one marginal of each family.
+func testObject(id int) *Object {
+	return NewObject(id, []dist.Distribution{
+		dist.NewUniformAround(2, 1),
+		dist.NewTruncNormalCentral(-1, 0.5, 0.95),
+		dist.NewTruncExponentialMass(4, 1.5, 0.95),
+	})
+}
+
+func TestObjectMoments(t *testing.T) {
+	o := testObject(0)
+	want := vec.Vector{2, -1, 4}
+	if !vec.ApproxEqual(o.Mean(), want, 1e-9) {
+		t.Errorf("Mean = %v, want %v", o.Mean(), want)
+	}
+	for j := 0; j < o.Dims(); j++ {
+		m, m2, v := o.Mean()[j], o.SecondMoment()[j], o.VarVector()[j]
+		if math.Abs(v-(m2-m*m)) > 1e-9 {
+			t.Errorf("dim %d: σ² = %v but µ₂−µ² = %v", j, v, m2-m*m)
+		}
+	}
+	if math.Abs(o.TotalVar()-vec.Sum(o.VarVector())) > 1e-12 {
+		t.Error("TotalVar is not the sum of the variance vector")
+	}
+}
+
+func TestObjectRegionMatchesSupports(t *testing.T) {
+	o := testObject(0)
+	r := o.Region()
+	for j := 0; j < o.Dims(); j++ {
+		lo, hi := o.Marginal(j).Support()
+		if r.Lo[j] != lo || r.Hi[j] != hi {
+			t.Errorf("dim %d: region [%v,%v] vs support [%v,%v]", j, r.Lo[j], r.Hi[j], lo, hi)
+		}
+	}
+}
+
+func TestObjectSampleInsideRegion(t *testing.T) {
+	o := testObject(0)
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		x := o.Sample(r)
+		if !o.Region().Contains(x) {
+			t.Fatalf("sample %v outside region", x)
+		}
+	}
+}
+
+func TestObjectSampleMomentsMatchClosedForm(t *testing.T) {
+	o := testObject(0)
+	r := rng.New(7)
+	const n = 100000
+	sum := vec.New(o.Dims())
+	sq := vec.New(o.Dims())
+	for i := 0; i < n; i++ {
+		x := o.Sample(r)
+		for j := range x {
+			sum[j] += x[j]
+			sq[j] += x[j] * x[j]
+		}
+	}
+	for j := 0; j < o.Dims(); j++ {
+		mean := sum[j] / n
+		m2 := sq[j] / n
+		if math.Abs(mean-o.Mean()[j]) > 0.02 {
+			t.Errorf("dim %d MC mean %v vs %v", j, mean, o.Mean()[j])
+		}
+		if math.Abs(m2-o.SecondMoment()[j]) > 0.05*(1+math.Abs(o.SecondMoment()[j])) {
+			t.Errorf("dim %d MC µ₂ %v vs %v", j, m2, o.SecondMoment()[j])
+		}
+	}
+}
+
+func TestFromPointDeterministic(t *testing.T) {
+	o := FromPoint(3, vec.Vector{1, 2, 3})
+	if !o.IsDeterministic() {
+		t.Error("point object not deterministic")
+	}
+	if o.TotalVar() != 0 {
+		t.Errorf("TotalVar = %v", o.TotalVar())
+	}
+	if !vec.Equal(o.Mean(), vec.Vector{1, 2, 3}) {
+		t.Errorf("Mean = %v", o.Mean())
+	}
+	r := rng.New(1)
+	if !vec.Equal(o.Sample(r), vec.Vector{1, 2, 3}) {
+		t.Error("deterministic sample differs from the point")
+	}
+}
+
+func TestPDFProductForm(t *testing.T) {
+	o := NewObject(0, []dist.Distribution{
+		dist.NewUniform(0, 2),
+		dist.NewUniform(0, 4),
+	})
+	// Inside: density = (1/2)·(1/4)
+	if p := o.PDF(vec.Vector{1, 1}); math.Abs(p-0.125) > 1e-12 {
+		t.Errorf("PDF inside = %v", p)
+	}
+	if p := o.PDF(vec.Vector{3, 1}); p != 0 {
+		t.Errorf("PDF outside = %v", p)
+	}
+}
+
+func TestEnsureSamplesCachesAndRefreshes(t *testing.T) {
+	o := testObject(0)
+	r := rng.New(11)
+	s1 := o.EnsureSamples(r, 50)
+	s2 := o.EnsureSamples(r, 50)
+	if &s1[0] != &s2[0] {
+		t.Error("EnsureSamples regenerated a cloud of the same size")
+	}
+	s3 := o.EnsureSamples(r, 100)
+	if len(s3) != 100 {
+		t.Errorf("refreshed cloud has %d samples", len(s3))
+	}
+	o.DropSamples()
+	if o.Samples() != nil {
+		t.Error("DropSamples did not clear the cloud")
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := Dataset{testObject(0), testObject(1)}
+	if err := ds.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+	bad := Dataset{testObject(0), FromPoint(1, vec.Vector{1})}
+	if err := bad.Validate(); err == nil {
+		t.Error("mixed-dimension dataset accepted")
+	}
+	if err := (Dataset{}).Validate(); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	a := testObject(0).WithLabel(2)
+	b := testObject(1).WithLabel(0)
+	ds := Dataset{a, b}
+	if ds.Dims() != 3 {
+		t.Errorf("Dims = %d", ds.Dims())
+	}
+	ls := ds.Labels()
+	if ls[0] != 2 || ls[1] != 0 {
+		t.Errorf("Labels = %v", ls)
+	}
+	if len(ds.Means()) != 2 {
+		t.Error("Means length wrong")
+	}
+}

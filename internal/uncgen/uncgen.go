@@ -1,0 +1,209 @@
+// Package uncgen implements the paper's uncertainty-generation strategy
+// (§5.1). Given a deterministic dataset D, it assigns every point w a pdf
+// f_w with expected value exactly w and randomly chosen spread parameters,
+// then derives:
+//
+//   - Case 1: a perturbed deterministic dataset D′, obtained by replacing
+//     each point with one realization of its pdf, sampled either by plain
+//     Monte Carlo or by Markov-Chain Monte Carlo (Metropolis–Hastings) —
+//     the two methods the paper names;
+//   - Case 2: an uncertain dataset D″ whose objects carry the pdfs
+//     restricted to the region holding most (95 %) of their probability
+//     mass.
+//
+// Uniform, Normal, and Exponential families are supported, "as they are
+// commonly encountered in real uncertain data scenarios" (§5.1).
+package uncgen
+
+import (
+	"fmt"
+	"math"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// Model is the pdf family assigned to the data points.
+type Model int
+
+const (
+	// Uniform assigns f_w = Uniform centered at w with random width.
+	Uniform Model = iota
+	// Normal assigns f_w = Normal(w, σ) with random σ, truncated to its
+	// central mass for Case 2.
+	Normal
+	// Exponential assigns a shifted Exponential with random rate whose
+	// (truncated) mean is pinned at w.
+	Exponential
+)
+
+// String returns the table abbreviation used in the paper (U/N/E).
+func (m Model) String() string {
+	switch m {
+	case Uniform:
+		return "U"
+	case Normal:
+		return "N"
+	case Exponential:
+		return "E"
+	default:
+		return "?"
+	}
+}
+
+// Models lists all supported families in the paper's Table 2 order.
+func Models() []Model { return []Model{Uniform, Normal, Exponential} }
+
+// Generator assigns pdfs to deterministic points.
+type Generator struct {
+	// Model selects the pdf family.
+	Model Model
+	// Mass is the probability mass retained inside each object's domain
+	// region (0 = the paper's example value 0.95).
+	Mass float64
+	// Intensity scales the random spread parameters relative to the
+	// per-dimension standard deviation of the dataset (0 = default 0.5).
+	// Each attribute's spread parameter is drawn uniformly from
+	// (0.1, 1] · Intensity · std_j, realizing the paper's "all other
+	// parameters were randomly chosen".
+	Intensity float64
+}
+
+// PDFSet is the per-point, per-dimension pdf assignment f_w for a dataset.
+type PDFSet struct {
+	Model Model
+	PDFs  [][]dist.Distribution // [point][dim]
+}
+
+// Assign builds the pdf f_w for every point of d, with µ(f_w) = w exactly.
+func (g *Generator) Assign(d *datasets.Deterministic, r *rng.RNG) *PDFSet {
+	mass := g.Mass
+	if mass == 0 {
+		mass = 0.95
+	}
+	intensity := g.Intensity
+	if intensity == 0 {
+		intensity = 0.5
+	}
+	std := d.PerDimStd()
+	m := d.Dims()
+	set := &PDFSet{Model: g.Model, PDFs: make([][]dist.Distribution, len(d.Points))}
+	for i, p := range d.Points {
+		row := make([]dist.Distribution, m)
+		for j := 0; j < m; j++ {
+			scale := r.Uniform(0.1, 1.0) * intensity * std[j]
+			if scale <= 0 {
+				scale = 1e-6
+			}
+			switch g.Model {
+			case Uniform:
+				// Width so that the uniform's std is `scale`:
+				// std = width/√12.
+				row[j] = dist.NewUniformAround(p[j], scale*3.4641016151377544)
+			case Normal:
+				row[j] = dist.NewTruncNormalCentral(p[j], scale, mass)
+			case Exponential:
+				// Rate so the exponential's std 1/λ is `scale`.
+				row[j] = dist.NewTruncExponentialMass(p[j], 1/scale, mass)
+			default:
+				panic(fmt.Sprintf("uncgen: unknown model %d", g.Model))
+			}
+		}
+		set.PDFs[i] = row
+	}
+	return set
+}
+
+// Perturb produces the Case-1 dataset D′ by classic Monte Carlo sampling:
+// each attribute of each point is replaced by one draw from its pdf.
+func (s *PDFSet) Perturb(d *datasets.Deterministic, r *rng.RNG) *datasets.Deterministic {
+	out := &datasets.Deterministic{Name: d.Name + "'", Classes: d.Classes}
+	out.Points = make([]vec.Vector, len(d.Points))
+	out.Labels = append([]int(nil), d.Labels...)
+	for i := range d.Points {
+		p := make(vec.Vector, len(s.PDFs[i]))
+		for j, f := range s.PDFs[i] {
+			p[j] = f.Sample(r)
+		}
+		out.Points[i] = p
+	}
+	return out
+}
+
+// PerturbMCMC produces D′ by Markov-Chain Monte Carlo: an independent
+// Metropolis–Hastings random walk per attribute, targeting f_w through
+// density evaluations only (burn-in `steps` moves, Gaussian proposal scaled
+// to the pdf's own standard deviation). Functionally equivalent to Perturb
+// but exercising the MCMC path the paper mentions.
+func (s *PDFSet) PerturbMCMC(d *datasets.Deterministic, r *rng.RNG, steps int) *datasets.Deterministic {
+	if steps <= 0 {
+		steps = 32
+	}
+	out := &datasets.Deterministic{Name: d.Name + "'", Classes: d.Classes}
+	out.Points = make([]vec.Vector, len(d.Points))
+	out.Labels = append([]int(nil), d.Labels...)
+	for i := range d.Points {
+		p := make(vec.Vector, len(s.PDFs[i]))
+		for j, f := range s.PDFs[i] {
+			p[j] = metropolis(f, d.Points[i][j], steps, r)
+		}
+		out.Points[i] = p
+	}
+	return out
+}
+
+// metropolis runs a 1-D Metropolis–Hastings chain targeting f, started at
+// the pdf's mean (x0), and returns the state after the given steps.
+func metropolis(f dist.Distribution, x0 float64, steps int, r *rng.RNG) float64 {
+	sd := f.Var()
+	if sd > 0 {
+		sd = math.Sqrt(sd)
+	} else {
+		return x0 // point mass
+	}
+	x := x0
+	px := f.PDF(x)
+	if px == 0 {
+		// Mean may sit on a zero-density point for exotic pdfs; nudge
+		// into the support.
+		lo, hi := f.Support()
+		x = (lo + hi) / 2
+		px = f.PDF(x)
+	}
+	for t := 0; t < steps; t++ {
+		cand := x + r.Normal(0, sd)
+		pc := f.PDF(cand)
+		if pc <= 0 {
+			continue
+		}
+		if pc >= px || r.Float64() < pc/px {
+			x, px = cand, pc
+		}
+	}
+	return x
+}
+
+// Objects produces the Case-2 uncertain dataset D″: one uncertain object
+// per point carrying the assigned (mass-truncated) pdfs and the reference
+// label.
+func (s *PDFSet) Objects(d *datasets.Deterministic) uncertain.Dataset {
+	ds := make(uncertain.Dataset, len(d.Points))
+	for i := range d.Points {
+		ds[i] = uncertain.NewObject(i, s.PDFs[i]).WithLabel(d.Labels[i])
+	}
+	return ds
+}
+
+// AsPointObjects converts a deterministic dataset into point-mass uncertain
+// objects so that the uncertain algorithms can cluster Case-1 data
+// unchanged (they collapse to their classical counterparts).
+func AsPointObjects(d *datasets.Deterministic) uncertain.Dataset {
+	ds := make(uncertain.Dataset, len(d.Points))
+	for i, p := range d.Points {
+		ds[i] = uncertain.FromPoint(i, p).WithLabel(d.Labels[i])
+	}
+	return ds
+}

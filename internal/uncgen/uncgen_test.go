@@ -1,0 +1,182 @@
+package uncgen
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/rng"
+)
+
+func smallDataset() *datasets.Deterministic {
+	spec, _ := datasets.BenchmarkByName("Iris")
+	return datasets.Generate(spec, 33).Scale(0.4)
+}
+
+func TestAssignPinsMeans(t *testing.T) {
+	d := smallDataset()
+	for _, model := range Models() {
+		g := &Generator{Model: model}
+		set := g.Assign(d, rng.New(1))
+		for i, row := range set.PDFs {
+			for j, f := range row {
+				if math.Abs(f.Mean()-d.Points[i][j]) > 1e-6 {
+					t.Fatalf("%v: pdf mean %v, want %v (point %d dim %d)",
+						model, f.Mean(), d.Points[i][j], i, j)
+				}
+				if f.Var() <= 0 {
+					t.Fatalf("%v: zero-variance pdf at (%d,%d)", model, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestAssignFiniteRegions(t *testing.T) {
+	d := smallDataset()
+	for _, model := range Models() {
+		set := (&Generator{Model: model}).Assign(d, rng.New(2))
+		for _, row := range set.PDFs {
+			for _, f := range row {
+				lo, hi := f.Support()
+				if math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo >= hi {
+					t.Fatalf("%v: non-finite support [%v,%v]", model, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPerturbChangesPointsKeepsLabels(t *testing.T) {
+	d := smallDataset()
+	set := (&Generator{Model: Normal}).Assign(d, rng.New(3))
+	p := set.Perturb(d, rng.New(4))
+	if len(p.Points) != len(d.Points) {
+		t.Fatal("size changed")
+	}
+	changed := 0
+	for i := range d.Points {
+		if p.Labels[i] != d.Labels[i] {
+			t.Fatal("labels changed")
+		}
+		for j := range d.Points[i] {
+			if p.Points[i][j] != d.Points[i][j] {
+				changed++
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("perturbation left every coordinate unchanged")
+	}
+}
+
+// Perturbation is unbiased: averaged over many draws, the perturbed value
+// recovers the original point.
+func TestPerturbUnbiased(t *testing.T) {
+	d := smallDataset()
+	set := (&Generator{Model: Exponential}).Assign(d, rng.New(5))
+	const reps = 400
+	sum := make([]float64, len(d.Points))
+	for rep := 0; rep < reps; rep++ {
+		p := set.Perturb(d, rng.New(uint64(100+rep)))
+		for i := range p.Points {
+			sum[i] += p.Points[i][0]
+		}
+	}
+	for i := range d.Points {
+		avg := sum[i] / reps
+		sd := math.Sqrt(set.PDFs[i][0].Var() / reps)
+		if math.Abs(avg-d.Points[i][0]) > 6*sd+1e-9 {
+			t.Fatalf("point %d: perturbed mean %v vs original %v (6σ=%v)",
+				i, avg, d.Points[i][0], 6*sd)
+		}
+	}
+}
+
+// The MCMC perturbation must target the same distribution as direct Monte
+// Carlo: compare first/second moments across repetitions for one point.
+func TestPerturbMCMCMatchesMonteCarlo(t *testing.T) {
+	d := smallDataset()
+	set := (&Generator{Model: Normal}).Assign(d, rng.New(6))
+	const reps = 3000
+	var mcSum, mcSq, mhSum, mhSq float64
+	for rep := 0; rep < reps; rep++ {
+		mc := set.Perturb(d, rng.New(uint64(1000+rep)))
+		mh := set.PerturbMCMC(d, rng.New(uint64(9000+rep)), 40)
+		mcSum += mc.Points[0][0]
+		mcSq += mc.Points[0][0] * mc.Points[0][0]
+		mhSum += mh.Points[0][0]
+		mhSq += mh.Points[0][0] * mh.Points[0][0]
+	}
+	mcMean, mhMean := mcSum/reps, mhSum/reps
+	mcVar := mcSq/reps - mcMean*mcMean
+	mhVar := mhSq/reps - mhMean*mhMean
+	sd := math.Sqrt(set.PDFs[0][0].Var())
+	if math.Abs(mcMean-mhMean) > 0.2*sd {
+		t.Errorf("MC mean %v vs MCMC mean %v (sd %v)", mcMean, mhMean, sd)
+	}
+	if mhVar < mcVar/3 || mhVar > mcVar*3 {
+		t.Errorf("MC var %v vs MCMC var %v", mcVar, mhVar)
+	}
+}
+
+func TestObjectsCase2(t *testing.T) {
+	d := smallDataset()
+	set := (&Generator{Model: Uniform}).Assign(d, rng.New(7))
+	ds := set.Objects(d)
+	if len(ds) != len(d.Points) {
+		t.Fatal("size mismatch")
+	}
+	for i, o := range ds {
+		if o.Label != d.Labels[i] {
+			t.Fatal("label mismatch")
+		}
+		// Expected value of the uncertain object equals the original point.
+		for j := 0; j < o.Dims(); j++ {
+			if math.Abs(o.Mean()[j]-d.Points[i][j]) > 1e-6 {
+				t.Fatalf("object %d dim %d mean %v, want %v", i, j, o.Mean()[j], d.Points[i][j])
+			}
+		}
+		if o.TotalVar() <= 0 {
+			t.Fatal("uncertain object with zero variance")
+		}
+	}
+}
+
+func TestAsPointObjects(t *testing.T) {
+	d := smallDataset()
+	ds := AsPointObjects(d)
+	for i, o := range ds {
+		if !o.IsDeterministic() {
+			t.Fatal("point object not deterministic")
+		}
+		if o.Label != d.Labels[i] {
+			t.Fatal("label mismatch")
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if Uniform.String() != "U" || Normal.String() != "N" || Exponential.String() != "E" {
+		t.Error("model abbreviations wrong")
+	}
+	if Model(99).String() != "?" {
+		t.Error("unknown model string")
+	}
+}
+
+func TestIntensityScalesVariance(t *testing.T) {
+	d := smallDataset()
+	low := (&Generator{Model: Normal, Intensity: 0.1}).Assign(d, rng.New(8))
+	high := (&Generator{Model: Normal, Intensity: 1.0}).Assign(d, rng.New(8))
+	var lowVar, highVar float64
+	for i := range low.PDFs {
+		for j := range low.PDFs[i] {
+			lowVar += low.PDFs[i][j].Var()
+			highVar += high.PDFs[i][j].Var()
+		}
+	}
+	if highVar < 10*lowVar {
+		t.Errorf("intensity scaling weak: %v vs %v", lowVar, highVar)
+	}
+}

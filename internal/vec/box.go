@@ -1,0 +1,158 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned m-dimensional rectangle [Lo[0],Hi[0]] × … ×
+// [Lo[m-1],Hi[m-1]]. It is the domain-region representation used by the
+// multivariate uncertainty model (paper Def. 1 with interval regions, as in
+// Theorem 1) and the minimum bounding rectangle (MBR) used by the
+// MinMax-BB and VDBiP pruning strategies.
+type Box struct {
+	Lo, Hi Vector
+}
+
+// NewBox returns a box with the given bounds. It panics if the dimensions
+// disagree or any Lo component exceeds the corresponding Hi component.
+func NewBox(lo, hi Vector) Box {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("vec: box dimension mismatch %d vs %d", len(lo), len(hi)))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("vec: inverted box bounds on dim %d: [%g,%g]", i, lo[i], hi[i]))
+		}
+	}
+	return Box{Lo: Clone(lo), Hi: Clone(hi)}
+}
+
+// Dims returns the dimensionality of the box.
+func (b Box) Dims() int { return len(b.Lo) }
+
+// Center returns the box midpoint.
+func (b Box) Center() Vector {
+	c := make(Vector, b.Dims())
+	for i := range c {
+		c[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return c
+}
+
+// Contains reports whether x lies inside the closed box.
+func (b Box) Contains(x Vector) bool {
+	if len(x) != b.Dims() {
+		return false
+	}
+	for i := range x {
+		if x[i] < b.Lo[i] || x[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the smallest box containing both b and o.
+func (b Box) Union(o Box) Box {
+	if b.Dims() != o.Dims() {
+		panic("vec: box union dimension mismatch")
+	}
+	lo := make(Vector, b.Dims())
+	hi := make(Vector, b.Dims())
+	for i := range lo {
+		lo[i] = math.Min(b.Lo[i], o.Lo[i])
+		hi[i] = math.Max(b.Hi[i], o.Hi[i])
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// MinSqDist returns the minimum squared Euclidean distance from point y to
+// any point of the box (0 if y is inside). Used by MinMax-BB pruning.
+func (b Box) MinSqDist(y Vector) float64 {
+	var s float64
+	for i := range y {
+		switch {
+		case y[i] < b.Lo[i]:
+			d := b.Lo[i] - y[i]
+			s += d * d
+		case y[i] > b.Hi[i]:
+			d := y[i] - b.Hi[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// MaxSqDist returns the maximum squared Euclidean distance from point y to
+// any point of the box (always attained at a corner). Used by MinMax-BB.
+func (b Box) MaxSqDist(y Vector) float64 {
+	var s float64
+	for i := range y {
+		dLo := math.Abs(y[i] - b.Lo[i])
+		dHi := math.Abs(y[i] - b.Hi[i])
+		d := math.Max(dLo, dHi)
+		s += d * d
+	}
+	return s
+}
+
+// MaxLinear returns max_{x in box} w·x, the maximum of a linear functional
+// over the box. The maximum of a separable linear function over a box is
+// attained by picking, per dimension, the bound matching the sign of the
+// coefficient. Used by the VDBiP bisector-side test.
+func (b Box) MaxLinear(w Vector) float64 {
+	var s float64
+	for i := range w {
+		if w[i] >= 0 {
+			s += w[i] * b.Hi[i]
+		} else {
+			s += w[i] * b.Lo[i]
+		}
+	}
+	return s
+}
+
+// MinLinear returns min_{x in box} w·x.
+func (b Box) MinLinear(w Vector) float64 {
+	var s float64
+	for i := range w {
+		if w[i] >= 0 {
+			s += w[i] * b.Lo[i]
+		} else {
+			s += w[i] * b.Hi[i]
+		}
+	}
+	return s
+}
+
+// Scale returns the box scaled by c about the origin (c >= 0).
+func (b Box) Scale(c float64) Box {
+	if c < 0 {
+		panic("vec: negative box scale")
+	}
+	return Box{Lo: Scale(b.Lo, c), Hi: Scale(b.Hi, c)}
+}
+
+// Translate returns the box shifted by t.
+func (b Box) Translate(t Vector) Box {
+	return Box{Lo: Add(b.Lo, t), Hi: Add(b.Hi, t)}
+}
+
+// Volume returns the box volume (product of side lengths).
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Lo {
+		v *= b.Hi[i] - b.Lo[i]
+	}
+	return v
+}
+
+// SideLengths returns the per-dimension extents Hi-Lo.
+func (b Box) SideLengths() Vector {
+	s := make(Vector, b.Dims())
+	for i := range s {
+		s[i] = b.Hi[i] - b.Lo[i]
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ucpc/internal/rng"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox(Vector{0, 0}, Vector{2, 4})
+	if !Equal(b.Center(), Vector{1, 2}) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.Volume() != 8 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if !Equal(b.SideLengths(), Vector{2, 4}) {
+		t.Errorf("SideLengths = %v", b.SideLengths())
+	}
+	if !b.Contains(Vector{1, 1}) || b.Contains(Vector{3, 1}) {
+		t.Error("Contains is wrong")
+	}
+	if b.Contains(Vector{1}) {
+		t.Error("Contains accepted wrong dimensionality")
+	}
+}
+
+func TestBoxInvertedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted box did not panic")
+		}
+	}()
+	NewBox(Vector{1}, Vector{0})
+}
+
+func TestBoxUnion(t *testing.T) {
+	a := NewBox(Vector{0, 0}, Vector{1, 1})
+	b := NewBox(Vector{-1, 0.5}, Vector{0.5, 3})
+	u := a.Union(b)
+	if !Equal(u.Lo, Vector{-1, 0}) || !Equal(u.Hi, Vector{1, 3}) {
+		t.Errorf("Union = %+v", u)
+	}
+}
+
+func TestMinMaxSqDistInsidePoint(t *testing.T) {
+	b := NewBox(Vector{0, 0}, Vector{2, 2})
+	if d := b.MinSqDist(Vector{1, 1}); d != 0 {
+		t.Errorf("MinSqDist inside = %v", d)
+	}
+	// farthest corner from (1,1) is any corner at squared distance 2
+	if d := b.MaxSqDist(Vector{1, 1}); d != 2 {
+		t.Errorf("MaxSqDist = %v", d)
+	}
+}
+
+func TestMinSqDistOutside(t *testing.T) {
+	b := NewBox(Vector{0, 0}, Vector{1, 1})
+	if d := b.MinSqDist(Vector{3, 0.5}); d != 4 {
+		t.Errorf("MinSqDist = %v, want 4", d)
+	}
+	if d := b.MaxSqDist(Vector{3, 0.5}); math.Abs(d-9.25) > 1e-12 {
+		t.Errorf("MaxSqDist = %v, want 9.25", d)
+	}
+}
+
+// Property: for random boxes and points, MinSqDist <= dist to any sampled
+// point of the box <= MaxSqDist.
+func TestMinMaxSqDistBracketProperty(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		lo := Vector{r.Uniform(-5, 5), r.Uniform(-5, 5), r.Uniform(-5, 5)}
+		hi := Vector{lo[0] + r.Float64()*4, lo[1] + r.Float64()*4, lo[2] + r.Float64()*4}
+		b := NewBox(lo, hi)
+		y := Vector{r.Uniform(-10, 10), r.Uniform(-10, 10), r.Uniform(-10, 10)}
+		minD, maxD := b.MinSqDist(y), b.MaxSqDist(y)
+		if minD > maxD {
+			t.Fatalf("min %v > max %v", minD, maxD)
+		}
+		for s := 0; s < 20; s++ {
+			x := Vector{r.Uniform(lo[0], hi[0]), r.Uniform(lo[1], hi[1]), r.Uniform(lo[2], hi[2])}
+			d := SqDist(x, y)
+			if d < minD-1e-9 || d > maxD+1e-9 {
+				t.Fatalf("sampled distance %v outside [%v,%v]", d, minD, maxD)
+			}
+		}
+	}
+}
+
+// Property: MaxLinear/MinLinear bracket w·x for any x in the box.
+func TestLinearBoundsProperty(t *testing.T) {
+	f := func(w1, w2, c1, c2, e1, e2 float64) bool {
+		w1, w2, c1, c2, e1, e2 = clamp(w1), clamp(w2), clamp(c1), clamp(c2), clamp(e1), clamp(e2)
+		lo := Vector{math.Min(c1, c1+e1), math.Min(c2, c2+e2)}
+		hi := Vector{math.Max(c1, c1+e1), math.Max(c2, c2+e2)}
+		b := NewBox(lo, hi)
+		w := Vector{w1, w2}
+		mid := b.Center()
+		v := Dot(w, mid)
+		return b.MinLinear(w) <= v+1e-9 && v <= b.MaxLinear(w)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxScaleTranslate(t *testing.T) {
+	b := NewBox(Vector{1, 2}, Vector{3, 4})
+	s := b.Scale(2)
+	if !Equal(s.Lo, Vector{2, 4}) || !Equal(s.Hi, Vector{6, 8}) {
+		t.Errorf("Scale = %+v", s)
+	}
+	tr := b.Translate(Vector{-1, -2})
+	if !Equal(tr.Lo, Vector{0, 0}) || !Equal(tr.Hi, Vector{2, 2}) {
+		t.Errorf("Translate = %+v", tr)
+	}
+}

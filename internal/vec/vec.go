@@ -1,0 +1,170 @@
+// Package vec provides small dense-vector and axis-aligned box utilities
+// used throughout the uncertain-clustering code base.
+//
+// Vectors are plain []float64 slices; all functions treat their arguments as
+// read-only unless documented otherwise. Dimensions of the operands must
+// match; mismatches are programming errors and panic.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is an m-dimensional point in Euclidean space.
+type Vector = []float64
+
+// New returns a zero vector of dimension m.
+func New(m int) Vector { return make(Vector, m) }
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add returns x + y as a new vector.
+func Add(x, y Vector) Vector {
+	checkDims(x, y)
+	out := make(Vector, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// AddInPlace sets x = x + y and returns x.
+func AddInPlace(x, y Vector) Vector {
+	checkDims(x, y)
+	for i := range x {
+		x[i] += y[i]
+	}
+	return x
+}
+
+// Sub returns x - y as a new vector.
+func Sub(x, y Vector) Vector {
+	checkDims(x, y)
+	out := make(Vector, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// SubInPlace sets x = x - y and returns x.
+func SubInPlace(x, y Vector) Vector {
+	checkDims(x, y)
+	for i := range x {
+		x[i] -= y[i]
+	}
+	return x
+}
+
+// Scale returns c*x as a new vector.
+func Scale(x Vector, c float64) Vector {
+	out := make(Vector, len(x))
+	for i := range x {
+		out[i] = c * x[i]
+	}
+	return out
+}
+
+// ScaleInPlace sets x = c*x and returns x.
+func ScaleInPlace(x Vector, c float64) Vector {
+	for i := range x {
+		x[i] *= c
+	}
+	return x
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y Vector) float64 {
+	checkDims(x, y)
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between x and y.
+func SqDist(x, y Vector) float64 {
+	checkDims(x, y)
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between x and y.
+func Dist(x, y Vector) float64 { return math.Sqrt(SqDist(x, y)) }
+
+// SqNorm returns the squared Euclidean norm of x.
+func SqNorm(x Vector) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * x[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of x.
+func Norm(x Vector) float64 { return math.Sqrt(SqNorm(x)) }
+
+// Sum returns the sum of the components of x (the L1 norm for non-negative
+// vectors; used for "global" variance, paper eq. 6).
+func Sum(x Vector) float64 {
+	var s float64
+	for i := range x {
+		s += x[i]
+	}
+	return s
+}
+
+// Mean returns the component-wise mean of the given vectors.
+func Mean(vs []Vector) Vector {
+	if len(vs) == 0 {
+		panic("vec: Mean of empty set")
+	}
+	out := make(Vector, len(vs[0]))
+	for _, v := range vs {
+		AddInPlace(out, v)
+	}
+	return ScaleInPlace(out, 1/float64(len(vs)))
+}
+
+// Equal reports whether x and y are identical component-wise.
+func Equal(x, y Vector) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether |x[i]-y[i]| <= tol for all i.
+func ApproxEqual(x, y Vector, tol float64) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func checkDims(x, y Vector) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(x), len(y)))
+	}
+}

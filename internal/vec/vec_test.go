@@ -1,0 +1,124 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddSub(t *testing.T) {
+	x := Vector{1, 2, 3}
+	y := Vector{4, -1, 0.5}
+	sum := Add(x, y)
+	if !Equal(sum, Vector{5, 1, 3.5}) {
+		t.Errorf("Add = %v", sum)
+	}
+	diff := Sub(sum, y)
+	if !ApproxEqual(diff, x, 1e-12) {
+		t.Errorf("Sub(Add(x,y),y) = %v, want %v", diff, x)
+	}
+}
+
+func TestInPlaceOpsAlias(t *testing.T) {
+	x := Vector{1, 2}
+	got := AddInPlace(x, Vector{3, 4})
+	if &got[0] != &x[0] {
+		t.Error("AddInPlace did not return the receiver slice")
+	}
+	if !Equal(x, Vector{4, 6}) {
+		t.Errorf("AddInPlace = %v", x)
+	}
+	SubInPlace(x, Vector{4, 6})
+	if !Equal(x, Vector{0, 0}) {
+		t.Errorf("SubInPlace = %v", x)
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	x := Vector{3, 4}
+	if Dot(x, x) != 25 {
+		t.Errorf("Dot = %v", Dot(x, x))
+	}
+	if Norm(x) != 5 {
+		t.Errorf("Norm = %v", Norm(x))
+	}
+	if SqDist(x, Vector{0, 0}) != 25 {
+		t.Errorf("SqDist = %v", SqDist(x, Vector{0, 0}))
+	}
+	if Dist(Vector{0, 0}, Vector{0, 1}) != 1 {
+		t.Errorf("Dist = %v", Dist(Vector{0, 0}, Vector{0, 1}))
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]Vector{{0, 0}, {2, 4}})
+	if !Equal(m, Vector{1, 2}) {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestMeanEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mean of empty set did not panic")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Add(Vector{1}, Vector{1, 2})
+}
+
+func TestScaleAndSum(t *testing.T) {
+	x := Scale(Vector{1, -2, 3}, 2)
+	if !Equal(x, Vector{2, -4, 6}) {
+		t.Errorf("Scale = %v", x)
+	}
+	if Sum(x) != 4 {
+		t.Errorf("Sum = %v", Sum(x))
+	}
+}
+
+// Property: squared distance is symmetric and non-negative, and
+// ||x-y||² = ||x||² - 2x·y + ||y||².
+func TestSqDistExpansionProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		// Fold unbounded quick inputs into a numerically safe range.
+		a, b, c = clamp(a), clamp(b), clamp(c)
+		x := Vector{a, b}
+		y := Vector{c, a + b}
+		lhs := SqDist(x, y)
+		rhs := SqNorm(x) - 2*Dot(x, y) + SqNorm(y)
+		return lhs >= 0 &&
+			math.Abs(lhs-SqDist(y, x)) < 1e-9 &&
+			math.Abs(lhs-rhs) <= 1e-9*(1+math.Abs(lhs))
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// clamp maps an arbitrary float64 (including ±Inf/NaN from testing/quick)
+// into [-1000, 1000] so products cannot overflow.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1000)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := Vector{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}

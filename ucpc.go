@@ -1,0 +1,210 @@
+// Package ucpc is the public API of this repository: a from-scratch Go
+// implementation of "Uncertain Centroid based Partitional Clustering of
+// Uncertain Data" (Gullo & Tagarelli, PVLDB 5(7), 2012) together with every
+// baseline the paper evaluates against.
+//
+// The central abstraction is the uncertain object o = (R, f): a
+// multidimensional box region R with a probability density f, represented
+// here by independent per-dimension marginal distributions with exact
+// closed-form moments. On top of it the package offers:
+//
+//   - UCPC, the paper's contribution: partitional clustering driven by the
+//     U-centroid compactness criterion J(C) = |C|⁻¹Σσ²(o) + J_UK(C)
+//     (Theorem 3), with O(m) incremental relocation scoring (Corollary 1);
+//   - the competing methods: UK-means (fast and basic), MinMax-BB, VDBiP,
+//     MMVar, UK-medoids, U-AHC, FDBSCAN, FOPTICS;
+//   - validity criteria (F-measure, Q), uncertainty generation, dataset
+//     synthesis, and the harness reproducing the paper's Tables 2–3 and
+//     Figures 4–5 (see cmd/uncbench).
+//
+// Quick start:
+//
+//	objs := ucpc.Dataset{
+//	    ucpc.NewNormalObject(0, []float64{1, 2}, []float64{0.3, 0.3}, 0.95),
+//	    ucpc.NewNormalObject(1, []float64{9, 8}, []float64{0.4, 0.2}, 0.95),
+//	    // ...
+//	}
+//	rep, err := ucpc.Cluster(objs, 2, ucpc.Options{Seed: 42})
+package ucpc
+
+import (
+	"fmt"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/core"
+	"ucpc/internal/dist"
+	"ucpc/internal/eval"
+	"ucpc/internal/fdbscan"
+	"ucpc/internal/foptics"
+	"ucpc/internal/mmvar"
+	"ucpc/internal/rng"
+	"ucpc/internal/uahc"
+	"ucpc/internal/ukmeans"
+	"ucpc/internal/ukmedoids"
+	"ucpc/internal/uncertain"
+)
+
+// Core model types, aliased from the internal packages so external callers
+// can name them.
+type (
+	// Object is a multivariate uncertain object (paper Def. 1).
+	Object = uncertain.Object
+	// Dataset is an ordered collection of uncertain objects.
+	Dataset = uncertain.Dataset
+	// Distribution is a univariate marginal with exact moments.
+	Distribution = dist.Distribution
+	// Partition maps object indexes to cluster ids.
+	Partition = clustering.Partition
+	// Report is the outcome of one clustering run.
+	Report = clustering.Report
+	// Algorithm is a complete clustering method.
+	Algorithm = clustering.Algorithm
+	// RNG is the deterministic random source used across the library.
+	RNG = rng.RNG
+	// UCentroid is the paper's uncertain cluster centroid (Theorem 1).
+	UCentroid = core.UCentroid
+)
+
+// Noise is the assignment value for objects outside every cluster.
+const Noise = clustering.Noise
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// UniformDist returns the Uniform distribution on [lo, hi].
+func UniformDist(lo, hi float64) Distribution { return dist.NewUniform(lo, hi) }
+
+// NormalDist returns a Normal(mu, sigma²) truncated to its central `mass`
+// (e.g. 0.95) so the object's domain region is finite; the mean stays mu.
+func NormalDist(mu, sigma, mass float64) Distribution {
+	return dist.NewTruncNormalCentral(mu, sigma, mass)
+}
+
+// ExponentialDist returns a shifted Exponential with the given rate,
+// truncated to its lower `mass` quantiles and re-shifted so the truncated
+// mean is exactly mean.
+func ExponentialDist(mean, rate, mass float64) Distribution {
+	return dist.NewTruncExponentialMass(mean, rate, mass)
+}
+
+// PointDist returns the degenerate distribution at x.
+func PointDist(x float64) Distribution { return dist.NewPointMass(x) }
+
+// NewObject builds an uncertain object from per-dimension marginals.
+func NewObject(id int, marginals []Distribution) *Object {
+	return uncertain.NewObject(id, marginals)
+}
+
+// NewPointObject builds a deterministic object (all point masses).
+func NewPointObject(id int, x []float64) *Object { return uncertain.FromPoint(id, x) }
+
+// NewUniformObject builds an object with Uniform marginals centered at
+// center with the given total widths.
+func NewUniformObject(id int, center, widths []float64) *Object {
+	ms := make([]Distribution, len(center))
+	for j := range center {
+		ms[j] = dist.NewUniformAround(center[j], widths[j])
+	}
+	return uncertain.NewObject(id, ms)
+}
+
+// NewNormalObject builds an object with truncated-Normal marginals centered
+// at center with the given sigmas, each restricted to its central mass
+// (e.g. 0.95).
+func NewNormalObject(id int, center, sigmas []float64, mass float64) *Object {
+	ms := make([]Distribution, len(center))
+	for j := range center {
+		ms[j] = dist.NewTruncNormalCentral(center[j], sigmas[j], mass)
+	}
+	return uncertain.NewObject(id, ms)
+}
+
+// NewUCentroid builds the U-centroid of a cluster of uncertain objects.
+func NewUCentroid(members []*Object) *UCentroid { return core.NewUCentroid(members) }
+
+// EED returns the squared expected distance ÊD between two uncertain
+// objects (paper Lemma 3).
+func EED(a, b *Object) float64 { return uncertain.EED(a, b) }
+
+// ED returns the expected squared distance between an uncertain object and
+// a deterministic point (paper eq. 8).
+func ED(o *Object, y []float64) float64 { return uncertain.ED(o, y) }
+
+// Options configures Cluster.
+type Options struct {
+	// Algorithm selects the method by its paper abbreviation: "UCPC"
+	// (default), "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed",
+	// "UAHC", "FDB", "FOPT".
+	Algorithm string
+	// Seed drives all of the run's randomness (default 1).
+	Seed uint64
+	// MaxIter caps the iterations of iterative methods (0 = per-method
+	// default).
+	MaxIter int
+}
+
+// AlgorithmNames lists the accepted Options.Algorithm values. "UCPC-Lloyd"
+// (batch ablation) and "UCPC-Bisect" (divisive hierarchical extension) are
+// this repository's additions; the other nine are the paper's lineup.
+func AlgorithmNames() []string {
+	return []string{"UCPC", "UCPC-Lloyd", "UCPC-Bisect", "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed", "UAHC", "FDB", "FOPT"}
+}
+
+// NewAlgorithm instantiates a clustering method by its paper abbreviation.
+func NewAlgorithm(name string, maxIter int) (Algorithm, error) {
+	switch name {
+	case "", "UCPC":
+		return &core.UCPC{MaxIter: maxIter}, nil
+	case "UCPC-Lloyd":
+		return &core.UCPCLloyd{MaxIter: maxIter}, nil
+	case "UCPC-Bisect":
+		return &core.BisectingUCPC{MaxIter: maxIter}, nil
+	case "UKM":
+		return &ukmeans.UKMeans{MaxIter: maxIter}, nil
+	case "bUKM":
+		return &ukmeans.Basic{MaxIter: maxIter}, nil
+	case "MinMax-BB":
+		return &ukmeans.Basic{MaxIter: maxIter, Prune: ukmeans.PruneMinMaxBB, ClusterShift: true}, nil
+	case "VDBiP":
+		return &ukmeans.Basic{MaxIter: maxIter, Prune: ukmeans.PruneVDBiP, ClusterShift: true}, nil
+	case "MMV":
+		return &mmvar.MMVar{MaxIter: maxIter}, nil
+	case "UKmed":
+		return &ukmedoids.UKMedoids{MaxIter: maxIter}, nil
+	case "UAHC":
+		return &uahc.UAHC{}, nil
+	case "FDB":
+		return &fdbscan.FDBSCAN{}, nil
+	case "FOPT":
+		return &foptics.FOPTICS{}, nil
+	default:
+		return nil, fmt.Errorf("ucpc: unknown algorithm %q (valid: %v)", name, AlgorithmNames())
+	}
+}
+
+// Cluster partitions the dataset into k clusters with the selected
+// algorithm (UCPC by default).
+func Cluster(ds Dataset, k int, opt Options) (*Report, error) {
+	alg, err := NewAlgorithm(opt.Algorithm, opt.MaxIter)
+	if err != nil {
+		return nil, err
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return alg.Cluster(ds, k, rng.New(seed))
+}
+
+// FMeasure scores a partition against reference labels (paper §5.1).
+func FMeasure(p Partition, labels []int) float64 { return eval.FMeasure(p, labels) }
+
+// Quality scores a partition with the internal criterion Q = inter − intra
+// (paper §5.1), in [−1, 1]; higher is better.
+func Quality(ds Dataset, p Partition) float64 { return eval.Quality(ds, p) }
+
+// Objective returns the UCPC objective Σ_C J(C) of an arbitrary assignment
+// (Theorem 3 closed form).
+func Objective(ds Dataset, assign []int, k int) float64 {
+	return core.Objective(ds, assign, k)
+}

@@ -1,0 +1,131 @@
+package ucpc_test
+
+import (
+	"math"
+	"testing"
+
+	"ucpc"
+)
+
+// twoBlobs builds two well-separated groups of uncertain objects.
+func twoBlobs() ucpc.Dataset {
+	r := ucpc.NewRNG(5)
+	var ds ucpc.Dataset
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 15; i++ {
+			c := []float64{15 * float64(g), 15 * float64(g)}
+			c[0] += r.Normal(0, 0.5)
+			c[1] += r.Normal(0, 0.5)
+			o := ucpc.NewNormalObject(g*15+i, c, []float64{0.3, 0.3}, 0.95)
+			o.Label = g
+			ds = append(ds, o)
+		}
+	}
+	return ds
+}
+
+func TestClusterDefaultUCPC(t *testing.T) {
+	ds := twoBlobs()
+	rep, err := ucpc.Cluster(ds, 2, ucpc.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]int, len(ds))
+	for i, o := range ds {
+		labels[i] = o.Label
+	}
+	if f := ucpc.FMeasure(rep.Partition, labels); f != 1 {
+		t.Errorf("F-measure = %v, want 1 on separated blobs", f)
+	}
+	if q := ucpc.Quality(ds, rep.Partition); q <= 0 {
+		t.Errorf("Q = %v, want > 0", q)
+	}
+}
+
+func TestClusterEveryAlgorithm(t *testing.T) {
+	ds := twoBlobs()
+	for _, name := range ucpc.AlgorithmNames() {
+		rep, err := ucpc.Cluster(ds, 2, ucpc.Options{Algorithm: name, Seed: 9})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Partition.Assign) != len(ds) {
+			t.Fatalf("%s: %d assignments", name, len(rep.Partition.Assign))
+		}
+	}
+}
+
+func TestClusterUnknownAlgorithm(t *testing.T) {
+	if _, err := ucpc.Cluster(twoBlobs(), 2, ucpc.Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestObjectConstructors(t *testing.T) {
+	u := ucpc.NewUniformObject(0, []float64{1, 2}, []float64{2, 4})
+	if u.Mean()[0] != 1 || u.Mean()[1] != 2 {
+		t.Errorf("uniform object mean %v", u.Mean())
+	}
+	n := ucpc.NewNormalObject(1, []float64{3}, []float64{0.5}, 0.95)
+	if math.Abs(n.Mean()[0]-3) > 1e-9 {
+		t.Errorf("normal object mean %v", n.Mean())
+	}
+	p := ucpc.NewPointObject(2, []float64{7, 8})
+	if !p.IsDeterministic() {
+		t.Error("point object not deterministic")
+	}
+	mixed := ucpc.NewObject(3, []ucpc.Distribution{
+		ucpc.UniformDist(0, 2),
+		ucpc.NormalDist(5, 1, 0.95),
+		ucpc.ExponentialDist(3, 2, 0.95),
+		ucpc.PointDist(9),
+	})
+	want := []float64{1, 5, 3, 9}
+	for j, w := range want {
+		if math.Abs(mixed.Mean()[j]-w) > 1e-9 {
+			t.Errorf("mixed dim %d mean %v, want %v", j, mixed.Mean()[j], w)
+		}
+	}
+}
+
+func TestDistanceHelpers(t *testing.T) {
+	a := ucpc.NewPointObject(0, []float64{0, 0})
+	b := ucpc.NewPointObject(1, []float64{3, 4})
+	if d := ucpc.EED(a, b); d != 25 {
+		t.Errorf("EED = %v", d)
+	}
+	if d := ucpc.ED(a, []float64{3, 4}); d != 25 {
+		t.Errorf("ED = %v", d)
+	}
+}
+
+func TestUCentroidFacade(t *testing.T) {
+	ds := twoBlobs()
+	u := ucpc.NewUCentroid(ds[:15])
+	if u.Size() != 15 {
+		t.Errorf("Size = %d", u.Size())
+	}
+	if u.TotalVar() <= 0 {
+		t.Error("U-centroid without variance")
+	}
+	// Theorem 2: σ²(C̄) = |C|⁻²Σσ².
+	var sum float64
+	for _, o := range ds[:15] {
+		sum += o.TotalVar()
+	}
+	if want := sum / (15 * 15); math.Abs(u.TotalVar()-want) > 1e-9*(1+want) {
+		t.Errorf("TotalVar %v, want %v", u.TotalVar(), want)
+	}
+}
+
+func TestObjectiveFacade(t *testing.T) {
+	ds := twoBlobs()
+	rep, err := ucpc.Cluster(ds, 2, ucpc.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ucpc.Objective(ds, rep.Partition.Assign, 2)
+	if math.Abs(v-rep.Objective) > 1e-6*(1+math.Abs(v)) {
+		t.Errorf("Objective %v vs report %v", v, rep.Objective)
+	}
+}
