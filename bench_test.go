@@ -9,6 +9,7 @@ import (
 
 	"ucpc"
 	"ucpc/internal/experiments"
+	"ucpc/internal/uncertain"
 	"ucpc/internal/uncgen"
 )
 
@@ -125,6 +126,97 @@ func BenchmarkEED(b *testing.B) {
 		_ = ucpc.EED(ds[0], ds[1])
 	}
 }
+
+// --- SoA moment store vs naive per-object baselines ---------------------
+//
+// The pair below compares an all-pairs ÊD sweep reading per-object moment
+// slices (pointer-chasing baseline) against the same sweep over the flat
+// structure-of-arrays Moments store. The store must be no slower; on real
+// hardware the contiguous rows win through cache locality.
+
+// BenchmarkEEDSweepNaive is the per-object baseline: n(n−1)/2 ÊD
+// evaluations through Object pointers, using the same SqDist+totalVar
+// closed form as the flat store so the pair isolates the memory layout.
+func BenchmarkEEDSweepNaive(b *testing.B) {
+	ds := benchDataset(500)
+	objs := []*uncertain.Object(ds)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var acc float64
+		for i := range objs {
+			for j := i + 1; j < len(objs); j++ {
+				acc += uncertain.EED(objs[i], objs[j])
+			}
+		}
+		sinkFloat = acc
+	}
+}
+
+// BenchmarkEEDSweepMoments is the same sweep over the flat Moments store.
+func BenchmarkEEDSweepMoments(b *testing.B) {
+	ds := benchDataset(500)
+	mom := uncertain.MomentsOf(ds)
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		var acc float64
+		n := mom.Len()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				acc += mom.EED(i, j)
+			}
+		}
+		sinkFloat = acc
+	}
+}
+
+var sinkFloat float64
+
+// --- UCPC assignment step: serial vs parallel ---------------------------
+//
+// One full batch assignment round of the UCPC-Lloyd engine (every object
+// re-scored against every U-centroid over the flat moment store), measured
+// with a single worker and with the full GOMAXPROCS pool. Same seed, same
+// partition — only the wall clock may differ.
+
+func benchAssignmentWorkload() ucpc.Dataset {
+	r := ucpc.NewRNG(17)
+	const n, m = 8000, 8
+	ds := make(ucpc.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % 8
+		c := make([]float64, m)
+		for j := range c {
+			c[j] = 6*float64(g) + r.Normal(0, 1)
+		}
+		sig := make([]float64, m)
+		for j := range sig {
+			sig[j] = 0.4
+		}
+		ds = append(ds, ucpc.NewNormalObject(i, c, sig, 0.95))
+	}
+	return ds
+}
+
+func benchUCPCAssign(b *testing.B, workers int) {
+	b.Helper()
+	ds := benchAssignmentWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ucpc.Cluster(ds, 8, ucpc.Options{
+			Algorithm: "UCPC-Lloyd", Seed: 5, MaxIter: 4, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = rep.Objective
+	}
+}
+
+// BenchmarkUCPCAssignSerial runs the assignment rounds on one worker.
+func BenchmarkUCPCAssignSerial(b *testing.B) { benchUCPCAssign(b, 1) }
+
+// BenchmarkUCPCAssignParallel runs the same rounds on the full pool.
+func BenchmarkUCPCAssignParallel(b *testing.B) { benchUCPCAssign(b, 0) }
 
 // BenchmarkUCentroid measures U-centroid construction (Theorem 1 region +
 // Lemma 5 moments) for a 100-object cluster.

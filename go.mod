@@ -1,0 +1,3 @@
+module ucpc
+
+go 1.24

@@ -220,29 +220,53 @@ func AssignToNearestMeans(ds uncertain.Dataset, centers []vec.Vector) []int {
 // clusters get a copy of the global mean.
 func MeansOf(ds uncertain.Dataset, assign []int, k int) []vec.Vector {
 	m := ds.Dims()
-	sums := make([]vec.Vector, k)
-	counts := make([]int, k)
-	for c := range sums {
-		sums[c] = vec.New(m)
+	centers := make([]vec.Vector, k)
+	for c := range centers {
+		centers[c] = vec.New(m)
 	}
-	for i, o := range ds {
+	meansInto(len(ds), func(i int) vec.Vector { return ds[i].Mean() }, assign, centers)
+	return centers
+}
+
+// MeansOfMoments fills centers (k pre-allocated m-vectors, reusable across
+// iterations) with the eq. 7 centroids read from the flat moment store.
+// Same empty-cluster policy as MeansOf: a copy of the global mean.
+func MeansOfMoments(mom *uncertain.Moments, assign []int, centers []vec.Vector) {
+	meansInto(mom.Len(), mom.Mu, assign, centers)
+}
+
+// meansInto is the shared centroid-refresh policy behind MeansOf and
+// MeansOfMoments: per-cluster averages of the µ rows served by mu, noise
+// assignments (< 0) skipped, empty clusters set to the global mean of all
+// n rows.
+func meansInto(n int, mu func(i int) vec.Vector, assign []int, centers []vec.Vector) {
+	counts := make([]int, len(centers))
+	for c := range centers {
+		for j := range centers[c] {
+			centers[c][j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
 		c := assign[i]
 		if c < 0 {
 			continue
 		}
-		vec.AddInPlace(sums[c], o.Mean())
+		vec.AddInPlace(centers[c], mu(i))
 		counts[c]++
 	}
 	var global vec.Vector
-	for c := range sums {
+	for c := range centers {
 		if counts[c] == 0 {
 			if global == nil {
-				global = vec.Mean(ds.Means())
+				global = vec.New(len(centers[c]))
+				for i := 0; i < n; i++ {
+					vec.AddInPlace(global, mu(i))
+				}
+				vec.ScaleInPlace(global, 1/float64(n))
 			}
-			sums[c] = vec.Clone(global)
+			copy(centers[c], global)
 			continue
 		}
-		vec.ScaleInPlace(sums[c], 1/float64(counts[c]))
+		vec.ScaleInPlace(centers[c], 1/float64(counts[c]))
 	}
-	return sums
 }

@@ -1,0 +1,95 @@
+package clustering
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values > 0 are taken as-is,
+// anything else means "one worker per available CPU" (GOMAXPROCS). Every
+// parallel code path in the repository sizes its pool through this function
+// so that Options.Workers has one meaning everywhere.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor runs body over the disjoint chunks of [0, n) using up to
+// `workers` goroutines and blocks until all chunks complete. Chunks are
+// contiguous index ranges, so each worker streams through adjacent rows of
+// any structure-of-arrays store — the access pattern the Moments layout is
+// designed for.
+//
+// Determinism contract: body(lo, hi) must only write state indexed by
+// i ∈ [lo, hi) and must not read state written by other chunks. Under that
+// contract the overall result is bit-identical for every worker count
+// (including 1), which is what lets Options.Workers vary freely without
+// changing a seeded run's partition.
+func ParallelFor(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelAny runs body like ParallelFor and reports whether any chunk
+// returned true (a parallel OR-reduction, used by assignment steps to
+// detect "did anything move this iteration").
+func ParallelAny(n, workers int, body func(lo, hi int) bool) bool {
+	if n <= 0 {
+		return false
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	results := make([]bool, (n+chunk-1)/chunk)
+	var wg sync.WaitGroup
+	slot := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			results[slot] = body(lo, hi)
+		}(slot, lo, hi)
+		slot++
+	}
+	wg.Wait()
+	for _, r := range results {
+		if r {
+			return true
+		}
+	}
+	return false
+}

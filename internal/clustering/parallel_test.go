@@ -1,0 +1,82 @@
+package clustering
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(3); w != 3 {
+		t.Errorf("Workers(3) = %d", w)
+	}
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-5); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d", w)
+	}
+}
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		ParallelFor(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestParallelForDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 512
+	run := func(workers int) []float64 {
+		out := make([]float64, n)
+		ParallelFor(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 13} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	called := false
+	ParallelFor(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body invoked for n=0")
+	}
+	sum := int32(0)
+	ParallelFor(2, 16, func(lo, hi int) { atomic.AddInt32(&sum, int32(hi-lo)) })
+	if sum != 2 {
+		t.Errorf("n=2 covered %d indexes", sum)
+	}
+}
+
+func TestParallelAny(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if ParallelAny(100, workers, func(lo, hi int) bool { return false }) {
+			t.Errorf("workers=%d: all-false reduced to true", workers)
+		}
+		if !ParallelAny(100, workers, func(lo, hi int) bool { return lo <= 42 && 42 < hi }) {
+			t.Errorf("workers=%d: single true lost", workers)
+		}
+	}
+}

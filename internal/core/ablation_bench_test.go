@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"ucpc/internal/clustering"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
 )
@@ -68,6 +69,25 @@ func BenchmarkUCPCLloydParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAssignStep isolates one UCPC-Lloyd assignment pass (the
+// embarrassingly parallel inner step) at several pool sizes over the flat
+// moment store: n=20000, m=8, k=8.
+func benchAssignStep(b *testing.B, workers int) {
+	b.Helper()
+	ds := uncertain.Dataset(benchCluster(20000, 8))
+	mom := uncertain.MomentsOf(ds)
+	assign := clustering.RandomPartition(len(ds), 8, rng.New(3))
+	cs := &centroidScores{k: 8, m: 8, mean: make([]float64, 8*8), bias: make([]float64, 8)}
+	cs.refresh(mom, assign)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cs.assignStep(mom, assign, workers)
+	}
+}
+
+func BenchmarkAssignStepSerial(b *testing.B)   { benchAssignStep(b, 1) }
+func BenchmarkAssignStepParallel(b *testing.B) { benchAssignStep(b, 0) }
 
 // BenchmarkUCentroidRealization measures one exact draw of X_C̄.
 func BenchmarkUCentroidRealization(b *testing.B) {

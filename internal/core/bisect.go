@@ -21,6 +21,8 @@ type BisectingUCPC struct {
 	// Restarts is the number of seeded restarts per split, keeping the
 	// best (0 = default 3).
 	Restarts int
+	// Workers is forwarded to the 2-way UCPC sub-runs (<= 0 = GOMAXPROCS).
+	Workers int
 }
 
 // Name implements clustering.Algorithm.
@@ -95,7 +97,7 @@ func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RN
 		var bestAssign []int
 		bestJ := 0.0
 		for rep := 0; rep < restarts; rep++ {
-			sub := &UCPC{MaxIter: b.MaxIter}
+			sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers}
 			report, err := sub.Cluster(members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
 			if err != nil {
 				return nil, nil, err

@@ -2,13 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"ucpc/internal/clustering"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
-	"ucpc/internal/vec"
 )
 
 // UCPCLloyd is a batch (Lloyd-style) variant of UCPC: instead of relocating
@@ -19,22 +17,141 @@ import (
 // embarrassingly parallel but, unlike Algorithm 1, the objective is not
 // guaranteed to decrease monotonically because ÊD is measured against the
 // centroid of the *previous* assignment.
+//
+// The assignment step runs on the flat Moments store across a worker pool:
+// each worker scans a contiguous row range, and because every object's
+// argmin is independent of the others, the resulting partition is
+// bit-identical for every worker count (the engine's determinism contract).
 type UCPCLloyd struct {
 	// MaxIter caps the assignment/update rounds (0 = default 100).
 	MaxIter int
-	// Workers parallelizes the assignment step with this many goroutines
-	// (0 or 1 = sequential).
+	// Workers sizes the assignment worker pool; <= 0 means GOMAXPROCS.
 	Workers int
 }
 
 // Name implements clustering.Algorithm.
 func (u *UCPCLloyd) Name() string { return "UCPC-Lloyd" }
 
-// centroidScore holds the per-cluster constants of the ÊD(o, C̄) argmin:
-// score(o, c) = bias_c − 2 µ(o)·mean_c, with bias_c = Σ_j (µ₂)_j(C̄_c).
-type centroidScore struct {
-	mean vec.Vector
-	bias float64
+// centroidScores holds the per-cluster constants of the ÊD(o, C̄) argmin in
+// flat form: score(o, c) = bias[c] − 2·µ(o)·mean[c·m:(c+1)·m], with
+// bias[c] = Σ_j (µ₂)_j(C̄_c). Minimizing the score over c is equivalent to
+// minimizing ÊD(o, C̄_c) because the µ₂(o) term is constant in c (Lemma 3).
+type centroidScores struct {
+	k, m int
+	mean []float64 // k*m, row-major U-centroid means
+	bias []float64 // k
+}
+
+// refresh recomputes every cluster's U-centroid mean and bias from the
+// moment store and the current assignment (Lemma 5 closed forms). Empty
+// clusters are reseeded on the object farthest from its own cluster's
+// current mean; the running sums are updated incrementally after each
+// reseed so every decision sees fresh state, and donors are restricted to
+// clusters with at least two members so a reseed can never create a new
+// empty cluster (or steal a just-reseeded object).
+func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) {
+	n, m, k := mom.Len(), cs.m, cs.k
+	counts := make([]int, k)
+	sumMu := make([]float64, k*m)   // Σ µ per cluster
+	sumMu2 := make([]float64, k*m)  // Σ µ₂ per cluster
+	sumMuSq := make([]float64, k*m) // Σ µ² per cluster
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		counts[c]++
+		mu, mu2 := mom.Mu(i), mom.Mu2(i)
+		row := c * m
+		for j := 0; j < m; j++ {
+			sumMu[row+j] += mu[j]
+			sumMu2[row+j] += mu2[j]
+			sumMuSq[row+j] += mu[j] * mu[j]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			continue
+		}
+		// Farthest object from its own cluster's mean (computed from the
+		// live sums), among clusters that can afford to lose a member.
+		// n >= k guarantees such a donor exists while any cluster is empty.
+		far, farD := -1, -1.0
+		for i := 0; i < n; i++ {
+			co := assign[i]
+			if counts[co] < 2 {
+				continue
+			}
+			row := co * m
+			mu := mom.Mu(i)
+			inv := 1 / float64(counts[co])
+			var d float64
+			for j := 0; j < m; j++ {
+				diff := mu[j] - sumMu[row+j]*inv
+				d += diff * diff
+			}
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		if far < 0 {
+			continue // unreachable for k <= n; keep the sums finite anyway
+		}
+		// Move the object from its donor cluster to c, updating the sums.
+		from := assign[far]
+		assign[far] = c
+		counts[from]--
+		counts[c]++
+		mu, mu2 := mom.Mu(far), mom.Mu2(far)
+		fromRow, toRow := from*m, c*m
+		for j := 0; j < m; j++ {
+			sumMu[fromRow+j] -= mu[j]
+			sumMu2[fromRow+j] -= mu2[j]
+			sumMuSq[fromRow+j] -= mu[j] * mu[j]
+			sumMu[toRow+j] += mu[j]
+			sumMu2[toRow+j] += mu2[j]
+			sumMuSq[toRow+j] += mu[j] * mu[j]
+		}
+	}
+	for c := 0; c < k; c++ {
+		inv := 1 / float64(counts[c])
+		row := c * m
+		var bias float64
+		for j := 0; j < m; j++ {
+			// Lemma 5: µ(C̄) = |C|⁻¹ Σ µ(o_i);
+			// µ₂(C̄) = |C|⁻²[ Σµ₂ + (Σµ)² − Σµ² ].
+			cs.mean[row+j] = sumMu[row+j] * inv
+			bias += (sumMu2[row+j] + sumMu[row+j]*sumMu[row+j] - sumMuSq[row+j]) * inv * inv
+		}
+		cs.bias[c] = bias
+	}
+}
+
+// assignStep reassigns every object to the cluster minimizing its centroid
+// score, fanning the scan over the worker pool, and reports whether any
+// assignment changed. Exported within the package for the assignment-step
+// benchmarks.
+func (cs *centroidScores) assignStep(mom *uncertain.Moments, assign []int, workers int) bool {
+	m, k := cs.m, cs.k
+	return clustering.ParallelAny(mom.Len(), workers, func(lo, hi int) bool {
+		changed := false
+		for i := lo; i < hi; i++ {
+			mu := mom.Mu(i)
+			best, bestScore := 0, 0.0
+			for c := 0; c < k; c++ {
+				row := c * m
+				var dot float64
+				for j := 0; j < m; j++ {
+					dot += mu[j] * cs.mean[row+j]
+				}
+				if s := cs.bias[c] - 2*dot; c == 0 || s < bestScore {
+					best, bestScore = c, s
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		return changed
+	})
 }
 
 // Cluster runs the batch variant.
@@ -50,102 +167,23 @@ func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 	if maxIter == 0 {
 		maxIter = 100
 	}
-	workers := u.Workers
-	if workers <= 0 {
-		workers = 1
-	}
+	workers := clustering.Workers(u.Workers)
 	start := time.Now()
 
+	mom := uncertain.MomentsOf(ds)
+	m := mom.Dims()
 	assign := clustering.RandomPartition(n, k, r)
-	scores := make([]centroidScore, k)
-	refresh := func() {
-		members := (clustering.Partition{K: k, Assign: assign}).Members()
-		for c, ms := range members {
-			if len(ms) == 0 {
-				// Reseed an empty cluster on the object farthest from
-				// its current centroid.
-				far, farD := 0, -1.0
-				for i, o := range ds {
-					if d := vec.SqDist(o.Mean(), scores[assign[i]].mean); d > farD {
-						far, farD = i, d
-					}
-				}
-				ms = []int{far}
-				assign[far] = c
-			}
-			objs := make([]*uncertain.Object, len(ms))
-			for i, idx := range ms {
-				objs[i] = ds[idx]
-			}
-			uc := NewUCentroid(objs)
-			scores[c] = centroidScore{mean: uc.Mean(), bias: vec.Sum(uc.SecondMoment())}
-		}
-	}
-	// Initial centroids from the random partition.
-	for c := range scores {
-		scores[c] = centroidScore{mean: vec.New(ds.Dims())}
-	}
-	refresh()
-
-	assignOne := func(i int) bool {
-		o := ds[i]
-		mu := o.Mean()
-		best, bestScore := 0, scores[0].bias-2*vec.Dot(mu, scores[0].mean)
-		for c := 1; c < k; c++ {
-			if s := scores[c].bias - 2*vec.Dot(mu, scores[c].mean); s < bestScore {
-				best, bestScore = c, s
-			}
-		}
-		if assign[i] != best {
-			assign[i] = best
-			return true
-		}
-		return false
-	}
+	cs := &centroidScores{k: k, m: m, mean: make([]float64, k*m), bias: make([]float64, k)}
+	cs.refresh(mom, assign)
 
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
-		changed := false
-		if workers == 1 {
-			for i := range ds {
-				if assignOne(i) {
-					changed = true
-				}
-			}
-		} else {
-			var wg sync.WaitGroup
-			changes := make([]bool, workers)
-			chunk := (n + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						if assignOne(i) {
-							changes[w] = true
-						}
-					}
-				}(w, lo, hi)
-			}
-			wg.Wait()
-			for _, c := range changes {
-				changed = changed || c
-			}
-		}
-		if !changed {
+		if !cs.assignStep(mom, assign, workers) {
 			converged = true
 			break
 		}
-		refresh()
+		cs.refresh(mom, assign)
 	}
 
 	return &clustering.Report{

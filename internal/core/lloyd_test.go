@@ -1,9 +1,11 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
 )
@@ -85,6 +87,33 @@ func TestLloydKeepsKClusters(t *testing.T) {
 		}
 		if !rep.Partition.NonEmpty() {
 			t.Errorf("k=%d: empty cluster", k)
+		}
+	}
+}
+
+// Regression test for the empty-cluster reseed path: a dataset of (near)
+// identical objects with large k makes the batch assignment collapse every
+// object into one cluster each round, so refresh must reseed many empty
+// clusters per call. The run must stay finite (no division by an empty
+// cluster's zero count) and produce a valid partition for every seed.
+func TestLloydManyEmptyClustersStayFinite(t *testing.T) {
+	coincident := make(uncertain.Dataset, 12)
+	for i := range coincident {
+		coincident[i] = uncertain.NewObject(i, []dist.Distribution{
+			dist.NewUniformAround(1, 0.01),
+			dist.NewUniformAround(-2, 0.01),
+		})
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		rep, err := (&UCPCLloyd{MaxIter: 6}).Cluster(coincident, 5, rng.New(seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.IsNaN(rep.Objective) || math.IsInf(rep.Objective, 0) {
+			t.Fatalf("seed %d: objective %v", seed, rep.Objective)
+		}
+		if err := rep.Partition.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 }

@@ -57,7 +57,13 @@ func (s *Stats) Dims() int { return s.m }
 
 // Add inserts object o into the cluster (Corollary 1, C⁺ update) in O(m).
 func (s *Stats) Add(o *uncertain.Object) {
-	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	s.AddRow(o.Mean(), o.SecondMoment(), o.VarVector())
+}
+
+// AddRow is Add reading the object's moment rows directly — the form the
+// relocation loops use against a Moments store, so the update streams
+// through four flat slices with no pointer chasing.
+func (s *Stats) AddRow(mu, m2, sig []float64) {
 	for j := 0; j < s.m; j++ {
 		s.psi[j] += sig[j]
 		s.phi[j] += m2[j]
@@ -68,10 +74,14 @@ func (s *Stats) Add(o *uncertain.Object) {
 
 // Remove deletes object o from the cluster (Corollary 1, C⁻ update) in O(m).
 func (s *Stats) Remove(o *uncertain.Object) {
+	s.RemoveRow(o.Mean(), o.SecondMoment(), o.VarVector())
+}
+
+// RemoveRow is Remove reading the object's moment rows directly.
+func (s *Stats) RemoveRow(mu, m2, sig []float64) {
 	if s.size == 0 {
 		panic("core: Remove from empty cluster")
 	}
-	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
 	for j := 0; j < s.m; j++ {
 		s.psi[j] -= sig[j]
 		s.phi[j] -= m2[j]
@@ -140,7 +150,11 @@ func (s *Stats) SumVariance() float64 {
 // JIfAdd returns J(C ∪ {o}) in O(m) without mutating the statistics
 // (Corollary 1, eq. 15).
 func (s *Stats) JIfAdd(o *uncertain.Object) float64 {
-	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
+	return s.JIfAddRow(o.Mean(), o.SecondMoment(), o.VarVector())
+}
+
+// JIfAddRow is JIfAdd reading the object's moment rows directly.
+func (s *Stats) JIfAddRow(mu, m2, sig []float64) float64 {
 	inv := 1 / float64(s.size+1)
 	var j float64
 	for d := 0; d < s.m; d++ {
@@ -155,13 +169,17 @@ func (s *Stats) JIfAdd(o *uncertain.Object) float64 {
 // JIfRemove returns J(C \ {o}) in O(m) without mutating the statistics
 // (Corollary 1, eq. 16). Removing the last member yields 0.
 func (s *Stats) JIfRemove(o *uncertain.Object) float64 {
+	return s.JIfRemoveRow(o.Mean(), o.SecondMoment(), o.VarVector())
+}
+
+// JIfRemoveRow is JIfRemove reading the object's moment rows directly.
+func (s *Stats) JIfRemoveRow(mu, m2, sig []float64) float64 {
 	if s.size == 0 {
 		panic("core: JIfRemove on empty cluster")
 	}
 	if s.size == 1 {
 		return 0
 	}
-	sig, m2, mu := o.VarVector(), o.SecondMoment(), o.Mean()
 	inv := 1 / float64(s.size-1)
 	var j float64
 	for d := 0; d < s.m; d++ {
@@ -175,7 +193,11 @@ func (s *Stats) JIfRemove(o *uncertain.Object) float64 {
 
 // JUKIfAdd returns J_UK(C ∪ {o}) in O(m) without mutating the statistics.
 func (s *Stats) JUKIfAdd(o *uncertain.Object) float64 {
-	m2, mu := o.SecondMoment(), o.Mean()
+	return s.JUKIfAddRow(o.Mean(), o.SecondMoment())
+}
+
+// JUKIfAddRow is JUKIfAdd reading the object's moment rows directly.
+func (s *Stats) JUKIfAddRow(mu, m2 []float64) float64 {
 	inv := 1 / float64(s.size+1)
 	var j float64
 	for d := 0; d < s.m; d++ {
@@ -189,13 +211,17 @@ func (s *Stats) JUKIfAdd(o *uncertain.Object) float64 {
 // JUKIfRemove returns J_UK(C \ {o}) in O(m) without mutating the
 // statistics. Removing the last member yields 0.
 func (s *Stats) JUKIfRemove(o *uncertain.Object) float64 {
+	return s.JUKIfRemoveRow(o.Mean(), o.SecondMoment())
+}
+
+// JUKIfRemoveRow is JUKIfRemove reading the object's moment rows directly.
+func (s *Stats) JUKIfRemoveRow(mu, m2 []float64) float64 {
 	if s.size == 0 {
 		panic("core: JUKIfRemove on empty cluster")
 	}
 	if s.size == 1 {
 		return 0
 	}
-	m2, mu := o.SecondMoment(), o.Mean()
 	inv := 1 / float64(s.size-1)
 	var j float64
 	for d := 0; d < s.m; d++ {
@@ -208,15 +234,25 @@ func (s *Stats) JUKIfRemove(o *uncertain.Object) float64 {
 
 // JMMIfAdd returns J_MM(C ∪ {o}) = J_UK(C ∪ {o})/(|C|+1) in O(m).
 func (s *Stats) JMMIfAdd(o *uncertain.Object) float64 {
-	return s.JUKIfAdd(o) / float64(s.size+1)
+	return s.JMMIfAddRow(o.Mean(), o.SecondMoment())
+}
+
+// JMMIfAddRow is JMMIfAdd reading the object's moment rows directly.
+func (s *Stats) JMMIfAddRow(mu, m2 []float64) float64 {
+	return s.JUKIfAddRow(mu, m2) / float64(s.size+1)
 }
 
 // JMMIfRemove returns J_MM(C \ {o}) in O(m).
 func (s *Stats) JMMIfRemove(o *uncertain.Object) float64 {
+	return s.JMMIfRemoveRow(o.Mean(), o.SecondMoment())
+}
+
+// JMMIfRemoveRow is JMMIfRemove reading the object's moment rows directly.
+func (s *Stats) JMMIfRemoveRow(mu, m2 []float64) float64 {
 	if s.size <= 1 {
 		return 0
 	}
-	return s.JUKIfRemove(o) / float64(s.size-1)
+	return s.JUKIfRemoveRow(mu, m2) / float64(s.size-1)
 }
 
 // Clone returns a deep copy of the statistics.

@@ -37,6 +37,12 @@ type UCPC struct {
 	// relocation to be applied; guards the convergence proof
 	// (Proposition 4) against floating-point jitter. 0 means 1e-12.
 	MinImprove float64
+	// Workers parallelizes the order-independent phases (the k-means++
+	// initial assignment); <= 0 means GOMAXPROCS. The relocation sweep
+	// itself is sequential by definition (each move updates the statistics
+	// the next decision reads), so the partition produced for a given seed
+	// is identical for every Workers value.
+	Workers int
 	// OnIteration, when non-nil, is invoked after every pass with the
 	// current pass index and objective value Σ_C J(C). Used by tests to
 	// verify Proposition 4 (monotone convergence).
@@ -66,19 +72,27 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 
 	start := time.Now()
 
+	// Pack the dataset's moments into a structure-of-arrays store once; the
+	// relocation passes below only touch these flat slices.
+	mom := uncertain.MomentsOf(ds)
+
 	// Line 1-3: initial partition and per-cluster statistics.
 	var assign []int
 	switch u.Init {
 	case InitKMeansPP:
 		seeds := clustering.KMeansPPCenters(ds, k, r)
-		centers := make([]*uncertain.Object, k)
-		for c, idx := range seeds {
-			centers[c] = ds[idx]
-		}
 		assign = make([]int, n)
-		for i, o := range ds {
-			assign[i], _ = uncertain.NearestByEED(o, centers)
-		}
+		clustering.ParallelFor(n, u.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, mom.EED(i, seeds[0])
+				for c := 1; c < k; c++ {
+					if d := mom.EED(i, seeds[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				assign[i] = best
+			}
+		})
 		assign = repairEmpty(assign, k, r)
 	default:
 		assign = clustering.RandomPartition(n, k, r)
@@ -88,8 +102,8 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 	for c := range stats {
 		stats[c] = NewStats(m)
 	}
-	for i, o := range ds {
-		stats[assign[i]].Add(o)
+	for i := 0; i < n; i++ {
+		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
 	}
 	jCache := make([]float64, k)
 	for c := range stats {
@@ -104,20 +118,24 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 		return v
 	}
 
-	// Lines 4-16: relocation passes until fixed point.
+	// Lines 4-16: relocation passes until fixed point. The sweep applies
+	// each improving move immediately (the paper's sequential local search),
+	// so passes are inherently ordered; the speed here comes from the O(m)
+	// Corollary-1 scoring reading contiguous moment rows.
 	iterations := 0
 	converged := false
 	for iterations < maxIter {
 		iterations++
 		moved := false
-		for i, o := range ds {
+		for i := 0; i < n; i++ {
 			co := assign[i]
 			if stats[co].Size() == 1 {
 				// Relocating the only member would empty the cluster;
 				// Algorithm 1 keeps k clusters, so skip.
 				continue
 			}
-			jCoRemoved := stats[co].JIfRemove(o)
+			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
+			jCoRemoved := stats[co].JIfRemoveRow(mu, mu2, sig)
 			deltaRemove := jCoRemoved - jCache[co]
 
 			best := co
@@ -126,7 +144,7 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 				if c == co {
 					continue
 				}
-				delta := deltaRemove + stats[c].JIfAdd(o) - jCache[c]
+				delta := deltaRemove + stats[c].JIfAddRow(mu, mu2, sig) - jCache[c]
 				if delta < bestDelta {
 					bestDelta = delta
 					best = c
@@ -143,8 +161,8 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 			}
 			// Lines 10-13: apply the relocation, updating statistics in
 			// O(m) (Corollary 1).
-			stats[co].Remove(o)
-			stats[best].Add(o)
+			stats[co].RemoveRow(mu, mu2, sig)
+			stats[best].AddRow(mu, mu2, sig)
 			jCache[co] = stats[co].J()
 			jCache[best] = stats[best].J()
 			assign[i] = best

@@ -1,0 +1,321 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/rng"
+)
+
+// Compile-time interface compliance for every family.
+var (
+	_ Distribution = Uniform{}
+	_ Distribution = PointMass{}
+	_ Distribution = Normal{}
+	_ Distribution = TruncNormal{}
+	_ Distribution = Exponential{}
+	_ Distribution = TruncExponential{}
+	_ Distribution = Discrete{}
+)
+
+// families returns one representative of every family, including awkward
+// parameterizations (negative means, tight truncations, duplicate atoms).
+func families() map[string]Distribution {
+	return map[string]Distribution{
+		"uniform":          NewUniform(-3, 7),
+		"uniform-around":   NewUniformAround(-2.5, 4),
+		"point":            NewPointMass(4.25),
+		"normal":           NewNormal(-1.5, 2.25),
+		"trunc-normal":     NewTruncNormal(2, 1.5, 0, 3),
+		"trunc-normal-c":   NewTruncNormalCentral(-4, 0.8, 0.95),
+		"exponential":      NewExponential(1.75, -2),
+		"trunc-exp":        NewTruncExponential(0.6, 1, 5),
+		"trunc-exp-mass":   NewTruncExponentialMass(-3, 1.5, 0.95),
+		"discrete-uniform": NewDiscrete([]float64{3, -1, 0.5, 3}, nil),
+		"discrete-weights": NewDiscrete([]float64{-2, 0, 2}, []float64{1, 2, 5}),
+	}
+}
+
+// TestMomentsAgainstMonteCarlo cross-checks every family's closed-form
+// Mean/SecondMoment/Var against a Monte Carlo estimate over Sample.
+func TestMomentsAgainstMonteCarlo(t *testing.T) {
+	const n = 200000
+	for name, d := range families() {
+		r := rng.New(42)
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := d.Sample(r)
+			sum += x
+			sq += x * x
+		}
+		mcMean := sum / n
+		mcM2 := sq / n
+		scale := 1 + math.Abs(d.Mean()) + math.Sqrt(math.Max(d.Var(), 0))
+		if diff := math.Abs(mcMean - d.Mean()); diff > 0.02*scale {
+			t.Errorf("%s: MC mean %v vs closed form %v", name, mcMean, d.Mean())
+		}
+		if diff := math.Abs(mcM2 - d.SecondMoment()); diff > 0.05*(1+math.Abs(d.SecondMoment())) {
+			t.Errorf("%s: MC µ₂ %v vs closed form %v", name, mcM2, d.SecondMoment())
+		}
+		if v := d.Var(); math.Abs(v-(d.SecondMoment()-d.Mean()*d.Mean())) > 1e-9*(1+math.Abs(v)) {
+			t.Errorf("%s: Var %v inconsistent with µ₂−µ² = %v", name, v, d.SecondMoment()-d.Mean()*d.Mean())
+		}
+		if v := d.Var(); v < 0 {
+			t.Errorf("%s: negative variance %v", name, v)
+		}
+	}
+}
+
+// TestSamplesInsideSupport verifies every draw lands in [Support()].
+func TestSamplesInsideSupport(t *testing.T) {
+	for name, d := range families() {
+		r := rng.New(7)
+		lo, hi := d.Support()
+		if lo > hi {
+			t.Fatalf("%s: inverted support [%v, %v]", name, lo, hi)
+		}
+		for i := 0; i < 5000; i++ {
+			x := d.Sample(r)
+			if x < lo || x > hi {
+				t.Fatalf("%s: sample %v outside support [%v, %v]", name, x, lo, hi)
+			}
+		}
+	}
+}
+
+// TestQuantileCDFRoundTrip checks CDF(Quantile(p)) ≈ p for continuous
+// families, and the Galois-connection version Quantile(CDF(x)) ≤ x ≤
+// right-continuity for atomic ones.
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	ps := []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}
+	for name, d := range families() {
+		switch d.(type) {
+		case PointMass, Discrete:
+			// Atomic families: Quantile(p) must be an atom with
+			// CDF(atom) ≥ p and CDF(atom⁻) < p.
+			for _, p := range ps {
+				x := d.Quantile(p)
+				if c := d.CDF(x); c < p-1e-12 {
+					t.Errorf("%s: CDF(Quantile(%v)) = %v < p", name, p, c)
+				}
+				if c := d.CDF(x - 1e-9); c >= p && p > c-1 { // left limit below p
+					t.Errorf("%s: Quantile(%v) = %v is not minimal (CDF(x⁻) = %v)", name, p, x, c)
+				}
+			}
+		default:
+			for _, p := range ps {
+				x := d.Quantile(p)
+				if c := d.CDF(x); math.Abs(c-p) > 1e-9 {
+					t.Errorf("%s: CDF(Quantile(%v)) = %v", name, p, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCDFMonotone checks the CDF is non-decreasing from 0 to 1 over a grid
+// spanning the support.
+func TestCDFMonotone(t *testing.T) {
+	for name, d := range families() {
+		lo, hi := d.Support()
+		loBounded, hiBounded := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
+		if !loBounded {
+			lo = d.Mean() - 10*math.Sqrt(d.Var()+1)
+		}
+		if !hiBounded {
+			hi = d.Mean() + 10*math.Sqrt(d.Var()+1)
+		}
+		prev := -1.0
+		for i := 0; i <= 200; i++ {
+			x := lo + (hi-lo)*float64(i)/200
+			c := d.CDF(x)
+			if c < prev-1e-12 {
+				t.Fatalf("%s: CDF decreases at %v: %v -> %v", name, x, prev, c)
+			}
+			if c < -1e-12 || c > 1+1e-12 {
+				t.Fatalf("%s: CDF(%v) = %v outside [0,1]", name, x, c)
+			}
+			prev = c
+		}
+		if c := d.CDF(hi + 1); hiBounded && c != 1 {
+			t.Errorf("%s: CDF beyond support = %v", name, c)
+		}
+		if c := d.CDF(lo - 1); loBounded && c != 0 {
+			t.Errorf("%s: CDF below support = %v", name, c)
+		}
+	}
+}
+
+// TestPDFIntegratesToOne numerically integrates the density of the
+// continuous families over their (effective) support.
+func TestPDFIntegratesToOne(t *testing.T) {
+	for name, d := range families() {
+		switch d.(type) {
+		case PointMass, Discrete:
+			continue
+		}
+		lo, hi := d.Support()
+		if math.IsInf(lo, -1) {
+			lo = d.Mean() - 12*math.Sqrt(d.Var())
+		}
+		if math.IsInf(hi, 1) {
+			hi = d.Mean() + 12*math.Sqrt(d.Var())
+		}
+		const steps = 20000
+		w := (hi - lo) / steps
+		var integral float64
+		for i := 0; i < steps; i++ {
+			integral += d.PDF(lo+(float64(i)+0.5)*w) * w
+		}
+		if math.Abs(integral-1) > 1e-3 {
+			t.Errorf("%s: PDF integrates to %v", name, integral)
+		}
+	}
+}
+
+// TestExactMeans pins the constructors that promise an exact mean.
+func TestExactMeans(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Distribution
+		want float64
+	}{
+		{"uniform-around", NewUniformAround(3.5, 2), 3.5},
+		{"trunc-normal-central", NewTruncNormalCentral(-1.25, 0.7, 0.95), -1.25},
+		{"trunc-exp-mass", NewTruncExponentialMass(4, 1.5, 0.95), 4},
+		{"trunc-exp-mass-neg", NewTruncExponentialMass(-2.5, 0.4, 0.9), -2.5},
+		{"point", NewPointMass(9), 9},
+	}
+	for _, c := range cases {
+		if got := c.d.Mean(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Mean = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestTruncNormalCentralMass verifies the truncation interval captures the
+// requested central mass of the parent Normal.
+func TestTruncNormalCentralMass(t *testing.T) {
+	for _, mass := range []float64{0.5, 0.9, 0.95, 0.99} {
+		tn := NewTruncNormalCentral(2, 1.5, mass)
+		parent := NewNormal(2, 1.5)
+		got := parent.CDF(tn.Hi) - parent.CDF(tn.Lo)
+		if math.Abs(got-mass) > 1e-9 {
+			t.Errorf("mass %v: interval captures %v", mass, got)
+		}
+	}
+}
+
+// TestTruncExponentialMassWindow verifies the T window of the mass
+// constructor captures the requested mass of the parent Exponential.
+func TestTruncExponentialMassWindow(t *testing.T) {
+	for _, mass := range []float64{0.5, 0.9, 0.95, 0.99} {
+		te := NewTruncExponentialMass(1, 2, mass)
+		parent := NewExponential(2, te.Shift)
+		got := parent.CDF(te.Shift + te.T)
+		if math.Abs(got-mass) > 1e-9 {
+			t.Errorf("mass %v: window captures %v", mass, got)
+		}
+	}
+}
+
+// TestStdQuantileAccuracy probes Φ⁻¹ against Φ across the unit interval,
+// including deep tails.
+func TestStdQuantileAccuracy(t *testing.T) {
+	n := NewNormal(0, 1)
+	for _, p := range []float64{1e-12, 1e-9, 1e-6, 1e-3, 0.02425, 0.3, 0.5, 0.7, 0.97575, 1 - 1e-6, 1 - 1e-9} {
+		z := n.Quantile(p)
+		if back := n.CDF(z); math.Abs(back-p) > 1e-12*(1+p/1e-6) && math.Abs(back-p)/p > 1e-9 {
+			t.Errorf("Φ(Φ⁻¹(%v)) = %v", p, back)
+		}
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("Normal quantile endpoints not ±Inf")
+	}
+}
+
+// TestDiscreteBasics pins Discrete bookkeeping: sorted atoms, weights,
+// exact moments, N.
+func TestDiscreteBasics(t *testing.T) {
+	d := NewDiscrete([]float64{2, -1, 5}, []float64{1, 1, 2})
+	if d.N() != 3 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if lo, hi := d.Support(); lo != -1 || hi != 5 {
+		t.Errorf("Support = [%v, %v]", lo, hi)
+	}
+	wantMean := (-1.0 + 2.0 + 2*5.0) / 4
+	if math.Abs(d.Mean()-wantMean) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", d.Mean(), wantMean)
+	}
+	if p := d.PDF(5); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("PDF(5) = %v", p)
+	}
+	if p := d.PDF(1.5); p != 0 {
+		t.Errorf("PDF off-atom = %v", p)
+	}
+	if c := d.CDF(2); math.Abs(c-0.5) > 1e-12 {
+		t.Errorf("CDF(2) = %v", c)
+	}
+	// Duplicate atoms accumulate mass.
+	dup := NewDiscrete([]float64{1, 1, 3}, nil)
+	if p := dup.PDF(1); math.Abs(p-2.0/3) > 1e-12 {
+		t.Errorf("duplicate-atom PDF = %v", p)
+	}
+}
+
+// TestConstructorPanics verifies the guard rails.
+func TestConstructorPanics(t *testing.T) {
+	cases := map[string]func(){
+		"uniform-inverted":    func() { NewUniform(2, 1) },
+		"uniform-neg-width":   func() { NewUniformAround(0, -1) },
+		"normal-neg-sigma":    func() { NewNormal(0, -1) },
+		"truncnorm-bad-sigma": func() { NewTruncNormal(0, 0, -1, 1) },
+		"truncnorm-bad-box":   func() { NewTruncNormal(0, 1, 1, 1) },
+		"truncnorm-bad-mass":  func() { NewTruncNormalCentral(0, 1, 1) },
+		"exp-bad-rate":        func() { NewExponential(0, 0) },
+		"truncexp-bad-rate":   func() { NewTruncExponential(-1, 0, 1) },
+		"truncexp-bad-window": func() { NewTruncExponential(1, 0, 0) },
+		"truncexp-bad-mass":   func() { NewTruncExponentialMass(0, 1, 0) },
+		"discrete-empty":      func() { NewDiscrete(nil, nil) },
+		"discrete-mismatch":   func() { NewDiscrete([]float64{1}, []float64{1, 2}) },
+		"discrete-neg-weight": func() { NewDiscrete([]float64{1}, []float64{-1}) },
+	}
+	for name, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSamplingDeterminism: same seed, same stream.
+func TestSamplingDeterminism(t *testing.T) {
+	for name, d := range families() {
+		a, b := rng.New(99), rng.New(99)
+		for i := 0; i < 100; i++ {
+			if d.Sample(a) != d.Sample(b) {
+				t.Fatalf("%s: non-deterministic sampling", name)
+			}
+		}
+	}
+}
+
+func BenchmarkTruncNormalSample(b *testing.B) {
+	d := NewTruncNormalCentral(0, 1, 0.95)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(r)
+	}
+}
+
+func BenchmarkStdQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = stdQuantile(float64(i%1000+1) / 1001)
+	}
+}

@@ -1,0 +1,225 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"ucpc/internal/rng"
+)
+
+// stdPDF is the standard normal density φ(z).
+func stdPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// stdCDF is the standard normal distribution function Φ(z), computed from
+// the complementary error function for full tail accuracy.
+func stdCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// stdQuantile is Φ⁻¹(p): Acklam's rational approximation (relative error
+// < 1.2e-9 over (0,1)) polished with one Halley step against stdCDF, which
+// brings the result to near machine precision.
+func stdQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	const (
+		pLow  = 0.02425
+		pHigh = 1 - pLow
+	)
+	var (
+		a = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+		b = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+		c = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+		d = [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	)
+	var z float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		z = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		z = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		z = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step: e = Φ(z) − p, u = e/φ(z),
+	// z ← z − u/(1 + z·u/2).
+	e := stdCDF(z) - p
+	u := e / stdPDF(z)
+	return z - u/(1+z*u/2)
+}
+
+// Normal is the (untruncated) Normal distribution with mean Mu and standard
+// deviation Sigma.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// NewNormal returns Normal(mu, sigma²). It panics if sigma < 0.
+func NewNormal(mu, sigma float64) Normal {
+	if sigma < 0 {
+		panic(fmt.Sprintf("dist: Normal with negative sigma %v", sigma))
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// SecondMoment returns Mu² + Sigma².
+func (n Normal) SecondMoment() float64 { return n.Mu*n.Mu + n.Sigma*n.Sigma }
+
+// Var returns Sigma².
+func (n Normal) Var() float64 { return n.Sigma * n.Sigma }
+
+// Support returns (−Inf, +Inf).
+func (n Normal) Support() (float64, float64) { return math.Inf(-1), math.Inf(1) }
+
+// Sample draws via the generator's Box–Muller transform.
+func (n Normal) Sample(r *rng.RNG) float64 { return r.Normal(n.Mu, n.Sigma) }
+
+// PDF returns the Gaussian density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x == n.Mu {
+			return 1
+		}
+		return 0
+	}
+	return stdPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// CDF returns Φ((x−Mu)/Sigma).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return stdCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile returns Mu + Sigma·Φ⁻¹(p).
+func (n Normal) Quantile(p float64) float64 {
+	if n.Sigma == 0 {
+		return n.Mu
+	}
+	return n.Mu + n.Sigma*stdQuantile(clamp01(p))
+}
+
+// TruncNormal is a Normal(Mu, Sigma²) restricted and renormalized to
+// [Lo, Hi].
+type TruncNormal struct {
+	Mu, Sigma float64
+	Lo, Hi    float64
+}
+
+// NewTruncNormal returns Normal(mu, sigma²) truncated to [lo, hi]. It
+// panics if sigma <= 0 or hi <= lo.
+func NewTruncNormal(mu, sigma, lo, hi float64) TruncNormal {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("dist: TruncNormal with non-positive sigma %v", sigma))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("dist: TruncNormal with hi %v <= lo %v", hi, lo))
+	}
+	return TruncNormal{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}
+}
+
+// NewTruncNormalCentral returns Normal(mu, sigma²) truncated to the
+// symmetric interval holding its central mass (e.g. 0.95), so the truncated
+// mean remains exactly mu. It panics if sigma <= 0 or mass ∉ (0, 1).
+func NewTruncNormalCentral(mu, sigma, mass float64) TruncNormal {
+	if mass <= 0 || mass >= 1 {
+		panic(fmt.Sprintf("dist: TruncNormalCentral with mass %v outside (0,1)", mass))
+	}
+	z := stdQuantile((1 + mass) / 2)
+	return NewTruncNormal(mu, sigma, mu-z*sigma, mu+z*sigma)
+}
+
+// bounds returns the standardized truncation points α, β and the captured
+// mass Z = Φ(β) − Φ(α).
+func (t TruncNormal) bounds() (alpha, beta, z float64) {
+	alpha = (t.Lo - t.Mu) / t.Sigma
+	beta = (t.Hi - t.Mu) / t.Sigma
+	return alpha, beta, stdCDF(beta) - stdCDF(alpha)
+}
+
+// Mean returns Mu + Sigma·(φ(α)−φ(β))/Z (the standard truncated-normal
+// closed form).
+func (t TruncNormal) Mean() float64 {
+	alpha, beta, z := t.bounds()
+	return t.Mu + t.Sigma*(stdPDF(alpha)-stdPDF(beta))/z
+}
+
+// Var returns Sigma²·[1 + (αφ(α)−βφ(β))/Z − ((φ(α)−φ(β))/Z)²].
+func (t TruncNormal) Var() float64 {
+	alpha, beta, z := t.bounds()
+	pa, pb := stdPDF(alpha), stdPDF(beta)
+	d := (pa - pb) / z
+	return t.Sigma * t.Sigma * (1 + (alpha*pa-beta*pb)/z - d*d)
+}
+
+// SecondMoment returns Var + Mean².
+func (t TruncNormal) SecondMoment() float64 {
+	m := t.Mean()
+	return t.Var() + m*m
+}
+
+// Support returns [Lo, Hi].
+func (t TruncNormal) Support() (float64, float64) { return t.Lo, t.Hi }
+
+// Sample draws by inverse-CDF transform, which stays exact in the tails and
+// consumes exactly one uniform variate per draw.
+func (t TruncNormal) Sample(r *rng.RNG) float64 {
+	return t.Quantile(r.Float64())
+}
+
+// PDF returns the renormalized Gaussian density inside [Lo, Hi].
+func (t TruncNormal) PDF(x float64) float64 {
+	if x < t.Lo || x > t.Hi {
+		return 0
+	}
+	_, _, z := t.bounds()
+	return stdPDF((x-t.Mu)/t.Sigma) / (t.Sigma * z)
+}
+
+// CDF returns (Φ((x−Mu)/Sigma) − Φ(α))/Z clamped to [0, 1].
+func (t TruncNormal) CDF(x float64) float64 {
+	if x <= t.Lo {
+		return 0
+	}
+	if x >= t.Hi {
+		return 1
+	}
+	alpha, _, z := t.bounds()
+	return (stdCDF((x-t.Mu)/t.Sigma) - stdCDF(alpha)) / z
+}
+
+// Quantile returns Mu + Sigma·Φ⁻¹(Φ(α) + p·Z), clamped to [Lo, Hi].
+func (t TruncNormal) Quantile(p float64) float64 {
+	p = clamp01(p)
+	alpha, _, z := t.bounds()
+	x := t.Mu + t.Sigma*stdQuantile(stdCDF(alpha)+p*z)
+	// Guard the endpoints against floating-point spill.
+	if x < t.Lo {
+		return t.Lo
+	}
+	if x > t.Hi {
+		return t.Hi
+	}
+	return x
+}

@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"fmt"
+
+	"ucpc/internal/rng"
+)
+
+// Uniform is the continuous uniform distribution on [Lo, Hi].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns the Uniform distribution on [lo, hi]. It panics if
+// hi < lo.
+func NewUniform(lo, hi float64) Uniform {
+	if hi < lo {
+		panic(fmt.Sprintf("dist: Uniform with hi %v < lo %v", hi, lo))
+	}
+	return Uniform{Lo: lo, Hi: hi}
+}
+
+// NewUniformAround returns the Uniform distribution centered at center with
+// total width width, i.e. on [center−width/2, center+width/2]. It panics if
+// width < 0.
+func NewUniformAround(center, width float64) Uniform {
+	if width < 0 {
+		panic(fmt.Sprintf("dist: UniformAround with negative width %v", width))
+	}
+	return Uniform{Lo: center - width/2, Hi: center + width/2}
+}
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// SecondMoment returns (Lo² + Lo·Hi + Hi²)/3.
+func (u Uniform) SecondMoment() float64 {
+	return (u.Lo*u.Lo + u.Lo*u.Hi + u.Hi*u.Hi) / 3
+}
+
+// Var returns (Hi−Lo)²/12.
+func (u Uniform) Var() float64 {
+	w := u.Hi - u.Lo
+	return w * w / 12
+}
+
+// Support returns [Lo, Hi].
+func (u Uniform) Support() (float64, float64) { return u.Lo, u.Hi }
+
+// Sample draws uniformly from [Lo, Hi).
+func (u Uniform) Sample(r *rng.RNG) float64 {
+	return u.Lo + (u.Hi-u.Lo)*r.Float64()
+}
+
+// PDF returns 1/(Hi−Lo) inside the support, 0 outside.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.Lo || x > u.Hi || u.Hi == u.Lo {
+		if u.Hi == u.Lo && x == u.Lo {
+			return 1 // degenerate uniform behaves like a point mass
+		}
+		return 0
+	}
+	return 1 / (u.Hi - u.Lo)
+}
+
+// CDF returns the linear ramp between Lo and Hi.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.Lo:
+		if u.Hi == u.Lo && x == u.Lo {
+			return 1
+		}
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile returns Lo + p·(Hi−Lo), clamping p to [0, 1].
+func (u Uniform) Quantile(p float64) float64 {
+	p = clamp01(p)
+	return u.Lo + p*(u.Hi-u.Lo)
+}
+
+// PointMass is the degenerate distribution concentrated at X.
+type PointMass struct {
+	X float64
+}
+
+// NewPointMass returns the degenerate distribution at x.
+func NewPointMass(x float64) PointMass { return PointMass{X: x} }
+
+// Mean returns X.
+func (p PointMass) Mean() float64 { return p.X }
+
+// SecondMoment returns X².
+func (p PointMass) SecondMoment() float64 { return p.X * p.X }
+
+// Var returns 0.
+func (p PointMass) Var() float64 { return 0 }
+
+// Support returns [X, X].
+func (p PointMass) Support() (float64, float64) { return p.X, p.X }
+
+// Sample returns X without consuming randomness.
+func (p PointMass) Sample(*rng.RNG) float64 { return p.X }
+
+// PDF returns the probability mass: 1 at X, 0 elsewhere.
+func (p PointMass) PDF(x float64) float64 {
+	if x == p.X {
+		return 1
+	}
+	return 0
+}
+
+// CDF returns the unit step at X.
+func (p PointMass) CDF(x float64) float64 {
+	if x < p.X {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns X for every p.
+func (p PointMass) Quantile(float64) float64 { return p.X }
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

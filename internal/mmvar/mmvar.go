@@ -53,13 +53,16 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 	}
 	start := time.Now()
 
+	// Flat moment store: the relocation passes below only read these
+	// contiguous rows (the J_MM scoring needs µ and µ₂ alone).
+	mom := uncertain.MomentsOf(ds)
 	assign := clustering.RandomPartition(n, k, r)
 	stats := make([]*core.Stats, k)
 	for c := range stats {
 		stats[c] = core.NewStats(m)
 	}
-	for i, o := range ds {
-		stats[assign[i]].Add(o)
+	for i := 0; i < n; i++ {
+		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
 	}
 	jCache := make([]float64, k)
 	for c := range stats {
@@ -77,18 +80,19 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 	for iterations < maxIter {
 		iterations++
 		moved := false
-		for i, o := range ds {
+		for i := 0; i < n; i++ {
 			co := assign[i]
 			if stats[co].Size() == 1 {
 				continue
 			}
-			deltaRemove := stats[co].JMMIfRemove(o) - jCache[co]
+			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
+			deltaRemove := stats[co].JMMIfRemoveRow(mu, mu2) - jCache[co]
 			best, bestDelta := co, 0.0
 			for c := 0; c < k; c++ {
 				if c == co {
 					continue
 				}
-				delta := deltaRemove + stats[c].JMMIfAdd(o) - jCache[c]
+				delta := deltaRemove + stats[c].JMMIfAddRow(mu, mu2) - jCache[c]
 				if delta < bestDelta {
 					bestDelta, best = delta, c
 				}
@@ -100,8 +104,8 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 			if -bestDelta <= minImprove*scale {
 				continue
 			}
-			stats[co].Remove(o)
-			stats[best].Add(o)
+			stats[co].RemoveRow(mu, mu2, sig)
+			stats[best].AddRow(mu, mu2, sig)
 			jCache[co] = stats[co].JMM()
 			jCache[best] = stats[best].JMM()
 			assign[i] = best

@@ -46,6 +46,9 @@ const (
 // UAHC is the agglomerative hierarchical algorithm.
 type UAHC struct {
 	Linkage Linkage
+	// Workers sizes the worker pool of the off-line ÊD matrix build
+	// (<= 0 means GOMAXPROCS).
+	Workers int
 }
 
 // Name implements clustering.Algorithm.
@@ -78,7 +81,7 @@ func (a *UAHC) ClusterWithDendrogram(ds uncertain.Dataset, k int, _ *rng.RNG) (*
 	offStart := time.Now()
 	var dm *ukmedoids.DistMatrix
 	if a.Linkage != LinkagePrototype {
-		dm = ukmedoids.Matrix(ds)
+		dm = ukmedoids.MatrixWorkers(ds, a.Workers)
 	}
 	offline := time.Since(offStart)
 

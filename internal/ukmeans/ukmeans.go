@@ -27,9 +27,15 @@ import (
 // term ED(o, µ(o)) = σ²(o) is constant across candidate centroids, the
 // online phase degenerates to Lloyd's K-means over the objects' expected
 // values; the objective it minimizes is J_UK (paper eq. 9).
+//
+// The assignment step reads the flat Moments store and fans out over a
+// worker pool; each object's argmin is independent, so the partition for a
+// given seed is identical for every worker count.
 type UKMeans struct {
 	// MaxIter caps Lloyd iterations (0 = default 100).
 	MaxIter int
+	// Workers sizes the assignment worker pool; <= 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Name implements clustering.Algorithm.
@@ -44,10 +50,12 @@ func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	if maxIter == 0 {
 		maxIter = 100
 	}
+	workers := clustering.Workers(u.Workers)
 	start := time.Now()
 
-	centers := initialCenters(ds, k, r)
 	n := len(ds)
+	mom := uncertain.MomentsOf(ds)
+	centers := initialCenters(ds, k, r)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -55,30 +63,30 @@ func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
-		changed := false
-		for i, o := range ds {
-			// argmin_c σ²(o)+‖µ(o)−c‖² = argmin_c ‖µ(o)−c‖².
-			best, bestD := 0, vec.SqDist(o.Mean(), centers[0])
-			for c := 1; c < k; c++ {
-				if d := vec.SqDist(o.Mean(), centers[c]); d < bestD {
-					best, bestD = c, d
+		// argmin_c ED(o, c) = argmin_c σ²(o)+‖µ(o)−c‖² (eq. 8).
+		changed := clustering.ParallelAny(n, workers, func(lo, hi int) bool {
+			ch := false
+			for i := lo; i < hi; i++ {
+				best, _ := mom.NearestByED(i, centers)
+				if assign[i] != best {
+					assign[i] = best
+					ch = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
+			return ch
+		})
 		if !changed {
 			converged = true
 			break
 		}
-		centers = clustering.MeansOf(ds, assign, k)
+		// Centroid refresh (eq. 7) from the flat store, reusing the
+		// centers allocation.
+		clustering.MeansOfMoments(mom, assign, centers)
 	}
 
 	var objective float64
-	for i, o := range ds {
-		objective += uncertain.ED(o, centers[assign[i]])
+	for i := 0; i < n; i++ {
+		objective += mom.ED(i, centers[assign[i]])
 	}
 	return &clustering.Report{
 		Partition:  clustering.Partition{K: k, Assign: assign},

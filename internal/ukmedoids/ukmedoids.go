@@ -23,6 +23,9 @@ import (
 type UKMedoids struct {
 	// MaxIter caps assignment/update rounds (0 = default 100).
 	MaxIter int
+	// Workers sizes the worker pool of the off-line ÊD matrix build
+	// (<= 0 means GOMAXPROCS).
+	Workers int
 }
 
 // Name implements clustering.Algorithm.
@@ -44,7 +47,7 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 
 	// Off-line phase: full pairwise ÊD matrix, O(n²·m).
 	offStart := time.Now()
-	dm := Matrix(ds)
+	dm := MatrixWorkers(ds, a.Workers)
 	offline := time.Since(offStart)
 
 	start := time.Now()
@@ -118,15 +121,35 @@ type DistMatrix struct {
 }
 
 // Matrix computes the pairwise ÊD matrix of the dataset using the Lemma 3
-// closed form.
+// closed form, reading the flat Moments store and fanning the rows over
+// the full worker pool (every entry is independent, so the result does not
+// depend on the worker count).
 func Matrix(ds uncertain.Dataset) *DistMatrix {
+	return MatrixWorkers(ds, 0)
+}
+
+// MatrixWorkers is Matrix with an explicit worker-pool size (<= 0 means
+// GOMAXPROCS). Row i of the upper triangle holds n−i entries, so the work
+// items are the balanced pairs (t, n−1−t): each pair costs ~n+1 entries,
+// keeping the chunks of the parallel loop even while writes stay disjoint.
+func MatrixWorkers(ds uncertain.Dataset, workers int) *DistMatrix {
 	n := len(ds)
+	mom := uncertain.MomentsOf(ds)
 	m := &DistMatrix{n: n, data: make([]float64, n*(n+1)/2)}
-	for i := 0; i < n; i++ {
+	fillRow := func(i int) {
+		row := m.data[m.index(i, i) : m.index(i, n-1)+1]
 		for j := i; j < n; j++ {
-			m.data[m.index(i, j)] = uncertain.EED(ds[i], ds[j])
+			row[j-i] = mom.EED(i, j)
 		}
 	}
+	clustering.ParallelFor((n+1)/2, workers, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			fillRow(t)
+			if mirror := n - 1 - t; mirror != t {
+				fillRow(mirror)
+			}
+		}
+	})
 	return m
 }
 

@@ -131,10 +131,18 @@ func MaxPairwiseEED(ds Dataset, sampleCap int) float64 {
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		idx = idx[:sampleCap]
 	}
+	// Pack only the sampled objects so the sweep below scans contiguous
+	// rows (and the O(n·m) packing cost tracks the sample, not the
+	// dataset).
+	sample := make(Dataset, len(idx))
+	for i, id := range idx {
+		sample[i] = ds[id]
+	}
+	mom := MomentsOf(sample)
 	maxD := 0.0
 	for a := 0; a < len(idx); a++ {
 		for b := a + 1; b < len(idx); b++ {
-			if d := EED(ds[idx[a]], ds[idx[b]]); d > maxD {
+			if d := mom.EED(a, b); d > maxD {
 				maxD = d
 			}
 		}
@@ -165,7 +173,9 @@ func EEDMonteCarlo(o, p *Object, r *rng.RNG, n int) float64 {
 }
 
 // NearestByEED returns the index in centers of the object minimizing
-// ÊD(o, centers[i]) and that minimal value.
+// ÊD(o, centers[i]) and that minimal value. It is the object-level
+// counterpart of (*Moments).NearestByED for callers holding Objects rather
+// than a flat moment store.
 func NearestByEED(o *Object, centers []*Object) (int, float64) {
 	best, bestD := -1, math.Inf(1)
 	for i, c := range centers {

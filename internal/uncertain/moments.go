@@ -1,0 +1,111 @@
+package uncertain
+
+import "fmt"
+
+// Moments is a structure-of-arrays view of a Dataset's closed-form moments:
+// the per-dimension expected values µ, raw second moments µ₂, and variances
+// σ² of every object, packed into three contiguous row-major float64 slices
+// (row i holds object i), plus the scalar total variances σ²(o) of eq. 6.
+//
+// The clustering hot paths — ÊD evaluations (Lemma 3), ED evaluations
+// (eq. 8), the Ψ/Φ/S statistics updates of Corollary 1, and the per-
+// iteration assignment loops — only ever need these numbers. Reading them
+// from one flat allocation instead of chasing per-object pointers keeps the
+// inner loops sequential in memory (hardware-prefetcher friendly) and makes
+// the assignment step trivially parallelizable: workers index disjoint row
+// ranges of immutable slices.
+//
+// A Moments view is immutable after construction and safe for concurrent
+// readers. Objects are immutable too (their moment caches are fixed at
+// construction), so a view never goes stale.
+type Moments struct {
+	n, m     int
+	mu       []float64 // n*m, row-major
+	mu2      []float64 // n*m, row-major
+	sigma2   []float64 // n*m, row-major
+	totalVar []float64 // n
+}
+
+// MomentsOf packs the moment vectors of every object of ds into a fresh
+// structure-of-arrays view. Cost: O(n·m) copies, three allocations.
+func MomentsOf(ds Dataset) *Moments {
+	n := len(ds)
+	m := ds.Dims()
+	mo := &Moments{
+		n:        n,
+		m:        m,
+		mu:       make([]float64, n*m),
+		mu2:      make([]float64, n*m),
+		sigma2:   make([]float64, n*m),
+		totalVar: make([]float64, n),
+	}
+	for i, o := range ds {
+		if o.Dims() != m {
+			panic(fmt.Sprintf("uncertain: MomentsOf object %d has dim %d, want %d", i, o.Dims(), m))
+		}
+		copy(mo.mu[i*m:(i+1)*m], o.mu)
+		copy(mo.mu2[i*m:(i+1)*m], o.mu2)
+		copy(mo.sigma2[i*m:(i+1)*m], o.sigma2)
+		mo.totalVar[i] = o.totalVar
+	}
+	return mo
+}
+
+// Len returns the number of objects n.
+func (mo *Moments) Len() int { return mo.n }
+
+// Dims returns the dimensionality m.
+func (mo *Moments) Dims() int { return mo.m }
+
+// Mu returns object i's expected-value row µ(o_i). The slice aliases the
+// store; callers must not modify it.
+func (mo *Moments) Mu(i int) []float64 { return mo.mu[i*mo.m : (i+1)*mo.m : (i+1)*mo.m] }
+
+// Mu2 returns object i's second-moment row µ₂(o_i). Shared; do not modify.
+func (mo *Moments) Mu2(i int) []float64 { return mo.mu2[i*mo.m : (i+1)*mo.m : (i+1)*mo.m] }
+
+// Sigma2 returns object i's variance row σ²(o_i). Shared; do not modify.
+func (mo *Moments) Sigma2(i int) []float64 { return mo.sigma2[i*mo.m : (i+1)*mo.m : (i+1)*mo.m] }
+
+// TotalVar returns the scalar total variance σ²(o_i) = Σ_j (σ²)_j(o_i).
+func (mo *Moments) TotalVar(i int) float64 { return mo.totalVar[i] }
+
+// EED returns the squared expected distance ÊD(o_i, o_j) of Lemma 3,
+// computed entirely from the flat store:
+//
+//	ÊD = ‖µ(o_i) − µ(o_j)‖² + σ²(o_i) + σ²(o_j)
+func (mo *Moments) EED(i, j int) float64 {
+	a := mo.mu[i*mo.m : (i+1)*mo.m]
+	b := mo.mu[j*mo.m : (j+1)*mo.m]
+	var s float64
+	for d := 0; d < mo.m; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s + mo.totalVar[i] + mo.totalVar[j]
+}
+
+// ED returns the expected squared distance ED(o_i, y) of eq. 8 to a
+// deterministic point y.
+func (mo *Moments) ED(i int, y []float64) float64 {
+	a := mo.mu[i*mo.m : (i+1)*mo.m]
+	var s float64
+	for d := 0; d < mo.m; d++ {
+		diff := a[d] - y[d]
+		s += diff * diff
+	}
+	return s + mo.totalVar[i]
+}
+
+// NearestByED returns the index in centers of the point minimizing
+// ED(o_i, centers[c]) and that minimal value, breaking ties toward the
+// lowest index so the result is order-deterministic.
+func (mo *Moments) NearestByED(i int, centers [][]float64) (int, float64) {
+	best, bestD := 0, mo.ED(i, centers[0])
+	for c := 1; c < len(centers); c++ {
+		if d := mo.ED(i, centers[c]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}

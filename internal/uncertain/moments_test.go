@@ -1,0 +1,104 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+func momentsDataset(n int) Dataset {
+	ds := make(Dataset, n)
+	for i := range ds {
+		ds[i] = testObject(i)
+	}
+	return ds
+}
+
+func TestMomentsMatchesObjects(t *testing.T) {
+	ds := momentsDataset(7)
+	mo := MomentsOf(ds)
+	if mo.Len() != 7 || mo.Dims() != 3 {
+		t.Fatalf("shape %dx%d", mo.Len(), mo.Dims())
+	}
+	for i, o := range ds {
+		if !vec.Equal(mo.Mu(i), o.Mean()) {
+			t.Errorf("object %d: Mu row %v vs %v", i, mo.Mu(i), o.Mean())
+		}
+		if !vec.Equal(mo.Mu2(i), o.SecondMoment()) {
+			t.Errorf("object %d: Mu2 row differs", i)
+		}
+		if !vec.Equal(mo.Sigma2(i), o.VarVector()) {
+			t.Errorf("object %d: Sigma2 row differs", i)
+		}
+		if mo.TotalVar(i) != o.TotalVar() {
+			t.Errorf("object %d: TotalVar %v vs %v", i, mo.TotalVar(i), o.TotalVar())
+		}
+	}
+}
+
+func TestMomentsEEDMatchesObjectEED(t *testing.T) {
+	ds := momentsDataset(6)
+	mo := MomentsOf(ds)
+	for i := range ds {
+		for j := range ds {
+			want := EED(ds[i], ds[j])
+			if got := mo.EED(i, j); math.Abs(got-want) > 1e-12*(1+want) {
+				t.Fatalf("EED(%d,%d) flat %v vs object %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMomentsEDMatchesObjectED(t *testing.T) {
+	ds := momentsDataset(5)
+	mo := MomentsOf(ds)
+	r := rng.New(31)
+	for i := range ds {
+		y := vec.Vector{r.Uniform(-5, 5), r.Uniform(-5, 5), r.Uniform(-5, 5)}
+		want := ED(ds[i], y)
+		if got := mo.ED(i, y); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("ED(%d) flat %v vs object %v", i, got, want)
+		}
+	}
+}
+
+func TestMomentsNearestByED(t *testing.T) {
+	ds := momentsDataset(4)
+	mo := MomentsOf(ds)
+	centers := [][]float64{ds[2].Mean(), ds[0].Mean(), ds[3].Mean()}
+	for i := range ds {
+		gotC, gotD := mo.NearestByED(i, centers)
+		wantC, wantD := 0, ED(ds[i], centers[0])
+		for c := 1; c < len(centers); c++ {
+			if d := ED(ds[i], centers[c]); d < wantD {
+				wantC, wantD = c, d
+			}
+		}
+		if gotC != wantC || math.Abs(gotD-wantD) > 1e-12*(1+wantD) {
+			t.Fatalf("object %d: nearest (%d, %v) vs (%d, %v)", i, gotC, gotD, wantC, wantD)
+		}
+	}
+}
+
+func TestMomentsRejectsMixedDims(t *testing.T) {
+	ds := Dataset{testObject(0), FromPoint(1, vec.Vector{1})}
+	defer func() {
+		if recover() == nil {
+			t.Error("MomentsOf accepted mixed dimensionality")
+		}
+	}()
+	MomentsOf(ds)
+}
+
+func TestMomentsRowsAreViews(t *testing.T) {
+	ds := momentsDataset(3)
+	mo := MomentsOf(ds)
+	// Rows are capped subslices: appending must not bleed into row i+1.
+	row := mo.Mu(0)
+	_ = append(row, 999)
+	if mo.Mu(1)[0] == 999 {
+		t.Error("append through a row view corrupted the next row")
+	}
+}

@@ -1,0 +1,56 @@
+package ucpc_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ucpc"
+)
+
+// TestPartitionInvariantUnderWorkerCount is the determinism contract of the
+// parallel engine: for a fixed Options.Seed, the produced Partition must be
+// bit-identical for every worker-pool size, because parallel phases only
+// ever cover order-independent per-object work.
+func TestPartitionInvariantUnderWorkerCount(t *testing.T) {
+	ds := benchDataset(400)
+	algorithms := []string{"UCPC", "UCPC-Lloyd", "UCPC-Bisect", "UKM"}
+	workerCounts := []int{1, 2, 3, 7, 0} // 0 = GOMAXPROCS
+	for _, alg := range algorithms {
+		var base []int
+		for _, w := range workerCounts {
+			rep, err := ucpc.Cluster(ds, 4, ucpc.Options{Algorithm: alg, Seed: 123, Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", alg, w, err)
+			}
+			if base == nil {
+				base = rep.Partition.Assign
+				continue
+			}
+			for i := range base {
+				if rep.Partition.Assign[i] != base[i] {
+					t.Fatalf("%s: workers=%d diverges from workers=%d at object %d",
+						alg, w, workerCounts[0], i)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDefaultIsUsable smoke-tests the GOMAXPROCS default on a
+// machine with however many CPUs CI gives us.
+func TestWorkersDefaultIsUsable(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Skip("no CPUs reported")
+	}
+	ds := benchDataset(100)
+	rep, err := ucpc.Cluster(ds, 4, ucpc.Options{Seed: 7}) // Workers: 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Partition.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partition.NonEmpty() {
+		t.Error("empty cluster with default worker pool")
+	}
+}

@@ -141,6 +141,11 @@ type Options struct {
 	// MaxIter caps the iterations of iterative methods (0 = per-method
 	// default).
 	MaxIter int
+	// Workers sizes the worker pool of the parallel assignment steps
+	// (0 = one worker per CPU). Parallel phases only cover order-
+	// independent work, so for a fixed Seed the resulting Partition is
+	// identical for every Workers value.
+	Workers int
 }
 
 // AlgorithmNames lists the accepted Options.Algorithm values. "UCPC-Lloyd"
@@ -188,6 +193,21 @@ func Cluster(ds Dataset, k int, opt Options) (*Report, error) {
 	alg, err := NewAlgorithm(opt.Algorithm, opt.MaxIter)
 	if err != nil {
 		return nil, err
+	}
+	// Forward the worker-pool size to the algorithms with parallel phases.
+	switch a := alg.(type) {
+	case *core.UCPC:
+		a.Workers = opt.Workers
+	case *core.UCPCLloyd:
+		a.Workers = opt.Workers
+	case *core.BisectingUCPC:
+		a.Workers = opt.Workers
+	case *ukmeans.UKMeans:
+		a.Workers = opt.Workers
+	case *ukmedoids.UKMedoids:
+		a.Workers = opt.Workers
+	case *uahc.UAHC:
+		a.Workers = opt.Workers
 	}
 	seed := opt.Seed
 	if seed == 0 {
