@@ -218,6 +218,41 @@ func BenchmarkUCPCAssignSerial(b *testing.B) { benchUCPCAssign(b, 1) }
 // BenchmarkUCPCAssignParallel runs the same rounds on the full pool.
 func BenchmarkUCPCAssignParallel(b *testing.B) { benchUCPCAssign(b, 0) }
 
+// --- Bound-based pruning engine vs exhaustive scans ---------------------
+//
+// BenchmarkPrunedAssign measures the exact pruning engine against the
+// bound-free baseline on the same multi-round assignment workloads. The
+// partitions are identical by construction (see TestPruningExactness); the
+// pruned variants must only be faster. `cmd/uncbench -exp bench` runs the
+// same comparison and emits machine-readable BENCH_PR2.json for CI.
+func BenchmarkPrunedAssign(b *testing.B) {
+	ds := benchAssignmentWorkload()
+	for _, alg := range []string{"UCPC-Lloyd", "UKM"} {
+		for _, mode := range []struct {
+			name string
+			p    ucpc.PruneMode
+		}{{"pruned", ucpc.PruneOn}, {"unpruned", ucpc.PruneOff}} {
+			b.Run(alg+"/"+mode.name, func(b *testing.B) {
+				var pruned, scanned int64
+				for i := 0; i < b.N; i++ {
+					rep, err := ucpc.Cluster(ds, 8, ucpc.Options{
+						Algorithm: alg, Seed: 5, MaxIter: 12, Workers: 1, Pruning: mode.p,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkFloat = rep.Objective
+					pruned += rep.PrunedCandidates
+					scanned += rep.ScannedCandidates
+				}
+				if total := pruned + scanned; total > 0 {
+					b.ReportMetric(float64(pruned)/float64(total), "pruned-frac")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkUCentroid measures U-centroid construction (Theorem 1 region +
 // Lemma 5 moments) for a 100-object cluster.
 func BenchmarkUCentroid(b *testing.B) {

@@ -17,7 +17,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"ucpc/internal/datasets"
 	"ucpc/internal/rng"
@@ -29,40 +31,63 @@ import (
 type datasetsUncertain = uncertain.Dataset
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status code, so tests can drive
+// the binary without os/exec. Malformed command lines (flag errors, stray
+// positional arguments, missing -name) print usage to stderr and return 2;
+// runtime failures return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name  = flag.String("name", "", "dataset name (see -list)")
-		scale = flag.Float64("scale", 1, "fraction of the published size")
-		seed  = flag.Uint64("seed", 1, "generator seed")
-		n     = flag.Int("n", 0, "explicit object count (KDDCup99 only; overrides -scale)")
-		out   = flag.String("out", "", "output file (default stdout)")
-		uncsv = flag.Bool("uncertain", false, "emit uncertain CSV with marginal tokens (microarrays keep probe-level pdfs)")
-		list  = flag.Bool("list", false, "list available datasets")
+		name  = fs.String("name", "", "dataset name (see -list)")
+		scale = fs.Float64("scale", 1, "fraction of the published size")
+		seed  = fs.Uint64("seed", 1, "generator seed")
+		n     = fs.Int("n", 0, "explicit object count (KDDCup99 only; overrides -scale)")
+		out   = fs.String("out", "", "output file (default stdout)")
+		uncsv = fs.Bool("uncertain", false, "emit uncertain CSV with marginal tokens (microarrays keep probe-level pdfs)")
+		list  = fs.Bool("list", false, "list available datasets")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "datagen: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
 
 	if *list {
-		fmt.Println("benchmark datasets (Table 1a):")
+		fmt.Fprintln(stdout, "benchmark datasets (Table 1a):")
 		for _, s := range datasets.Benchmarks() {
-			fmt.Printf("  %-8s n=%-6d attrs=%-3d classes=%d\n", s.Name, s.N, s.Dims, s.Classes)
+			fmt.Fprintf(stdout, "  %-8s n=%-6d attrs=%-3d classes=%d\n", s.Name, s.N, s.Dims, s.Classes)
 		}
 		k := datasets.KDD()
-		fmt.Printf("  %-8s n=%-7d attrs=%-3d classes=%d\n", "KDDCup99", k.N, k.Dims, k.Classes)
-		fmt.Println("microarray datasets (Table 1b, expected values exported):")
+		fmt.Fprintf(stdout, "  %-8s n=%-7d attrs=%-3d classes=%d\n", "KDDCup99", k.N, k.Dims, k.Classes)
+		fmt.Fprintln(stdout, "microarray datasets (Table 1b, expected values exported):")
 		for _, s := range datasets.Microarrays() {
-			fmt.Printf("  %-14s genes=%-6d arrays=%d\n", s.Name, s.Genes, s.Arrays)
+			fmt.Fprintf(stdout, "  %-14s genes=%-6d arrays=%d\n", s.Name, s.Genes, s.Arrays)
 		}
-		return
+		return 0
 	}
 	if *name == "" {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "datagen: -name is required (or -list)")
+		fs.Usage()
+		return 2
 	}
 
-	w := os.Stdout
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "datagen: "+format+"\n", args...)
+		return 1
+	}
+
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		defer f.Close()
 		w = f
@@ -71,25 +96,26 @@ func main() {
 	if *uncsv {
 		ds, err := buildUncertain(*name, *scale, *seed)
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		if err := datasets.WriteUncertainCSV(w, ds); err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "datagen: wrote %d uncertain objects × %d attributes\n",
+		fmt.Fprintf(stderr, "datagen: wrote %d uncertain objects × %d attributes\n",
 			len(ds), ds.Dims())
-		return
+		return 0
 	}
 
 	d, err := build(*name, *scale, *seed, *n)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	if err := datasets.WriteCSV(w, d); err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %d objects × %d attributes (%d classes)\n",
+	fmt.Fprintf(stderr, "datagen: wrote %d objects × %d attributes (%d classes)\n",
 		len(d.Points), d.Dims(), d.Classes)
+	return 0
 }
 
 // buildUncertain materializes a dataset as uncertain objects: microarrays
@@ -127,9 +153,4 @@ func build(name string, scale float64, seed uint64, n int) (*datasets.Determinis
 		return out, nil
 	}
 	return nil, fmt.Errorf("unknown dataset %q (try -list)", name)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
-	os.Exit(1)
 }

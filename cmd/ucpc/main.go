@@ -10,18 +10,20 @@
 // Usage:
 //
 //	ucpc -in data.csv -k 3 [-alg UCPC] [-model N] [-intensity 0.5]
-//	     [-labels] [-seed 1] [-assign out.csv]
+//	     [-labels] [-seed 1] [-pruning on|off] [-assign out.csv]
 //
-// The program prints the run summary (objective, iterations, time, and —
-// when labels are available — the F-measure) and optionally writes the
-// cluster assignment of every object to -assign.
+// The program prints the run summary (objective, iterations, time, pruning
+// hit rate, and — when labels are available — the F-measure) and optionally
+// writes the cluster assignment of every object to -assign.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"ucpc"
 	"ucpc/internal/datasets"
@@ -31,27 +33,62 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status code, so tests can drive
+// the binary without os/exec. Malformed command lines (flag errors, stray
+// positional arguments, missing required flags) print usage to stderr and
+// return 2; runtime failures return 1.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ucpc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in        = flag.String("in", "", "input CSV file (required)")
-		k         = flag.Int("k", 0, "number of clusters (required)")
-		alg       = flag.String("alg", "UCPC", "algorithm: UCPC|UKM|bUKM|MinMax-BB|VDBiP|MMV|UKmed|UAHC|FDB|FOPT")
-		model     = flag.String("model", "N", "uncertainty model for plain CSV input: U|N|E|none")
-		intensity = flag.Float64("intensity", 0.5, "uncertainty intensity relative to per-dim std")
-		hasLabels = flag.Bool("labels", false, "last CSV column is an integer class label")
-		uncsv     = flag.Bool("uncertain", false, "input is uncertain CSV (ucsv marginal tokens; see internal/datasets)")
-		errcsv    = flag.Bool("errors", false, "input columns alternate value,stderr (Normal uncertainty per measurement)")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		assignOut = flag.String("assign", "", "write object,cluster assignments to this CSV file")
+		in        = fs.String("in", "", "input CSV file (required)")
+		k         = fs.Int("k", 0, "number of clusters (required)")
+		alg       = fs.String("alg", "UCPC", "algorithm: UCPC|UKM|bUKM|MinMax-BB|VDBiP|MMV|UKmed|UAHC|FDB|FOPT")
+		model     = fs.String("model", "N", "uncertainty model for plain CSV input: U|N|E|none")
+		intensity = fs.Float64("intensity", 0.5, "uncertainty intensity relative to per-dim std")
+		hasLabels = fs.Bool("labels", false, "last CSV column is an integer class label")
+		uncsv     = fs.Bool("uncertain", false, "input is uncertain CSV (ucsv marginal tokens; see internal/datasets)")
+		errcsv    = fs.Bool("errors", false, "input columns alternate value,stderr (Normal uncertainty per measurement)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		pruning   = fs.String("pruning", "on", "exact bound-based pruning: on|off|auto (auto = on; results identical either way)")
+		assignOut = fs.String("assign", "", "write object,cluster assignments to this CSV file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ucpc: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
 	if *in == "" || *k <= 0 {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ucpc: -in and -k are required")
+		fs.Usage()
+		return 2
+	}
+	var prune ucpc.PruneMode
+	switch *pruning {
+	case "on", "auto":
+		prune = ucpc.PruneOn
+	case "off":
+		prune = ucpc.PruneOff
+	default:
+		fmt.Fprintf(stderr, "ucpc: invalid -pruning %q (valid: on, off, auto)\n", *pruning)
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "ucpc: "+format+"\n", args...)
+		return 1
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	var ds ucpc.Dataset
 	var labels []int
@@ -61,28 +98,28 @@ func main() {
 		ds, err = datasets.ReadUncertainCSV(f)
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		labels = ds.Labels()
 		labeled = allLabeled(labels)
-		fmt.Printf("loaded %d uncertain objects, %d attributes\n", len(ds), ds.Dims())
+		fmt.Fprintf(stdout, "loaded %d uncertain objects, %d attributes\n", len(ds), ds.Dims())
 	case *errcsv:
 		ds, err = datasets.ReadErrorCSV(f, *hasLabels, 0.95)
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		labels = ds.Labels()
 		labeled = *hasLabels && allLabeled(labels)
-		fmt.Printf("loaded %d measured objects (value±error), %d attributes\n", len(ds), ds.Dims())
+		fmt.Fprintf(stdout, "loaded %d measured objects (value±error), %d attributes\n", len(ds), ds.Dims())
 	default:
 		d, err := datasets.ReadCSV(f, *in, *hasLabels)
 		f.Close()
 		if err != nil {
-			fatalf("%v", err)
+			return fail("%v", err)
 		}
 		labels = d.Labels
-		fmt.Printf("loaded %d objects, %d attributes\n", len(d.Points), d.Dims())
+		fmt.Fprintf(stdout, "loaded %d objects, %d attributes\n", len(d.Points), d.Dims())
 		switch *model {
 		case "none":
 			ds = uncgen.AsPointObjects(d)
@@ -98,28 +135,34 @@ func main() {
 			}
 			set := (&uncgen.Generator{Model: m, Intensity: *intensity}).Assign(d, rng.New(*seed^0xa11))
 			ds = set.Objects(d)
-			fmt.Printf("attached %s uncertainty (intensity %.2f, 95%% regions)\n", m, *intensity)
+			fmt.Fprintf(stdout, "attached %s uncertainty (intensity %.2f, 95%% regions)\n", m, *intensity)
 		default:
-			fatalf("unknown model %q (valid: U, N, E, none)", *model)
+			fmt.Fprintf(stderr, "ucpc: unknown model %q (valid: U, N, E, none)\n", *model)
+			fs.Usage()
+			return 2
 		}
 	}
 
-	rep, err := ucpc.Cluster(ds, *k, ucpc.Options{Algorithm: *alg, Seed: *seed})
+	rep, err := ucpc.Cluster(ds, *k, ucpc.Options{Algorithm: *alg, Seed: *seed, Pruning: prune})
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 
-	fmt.Printf("algorithm:  %s\n", *alg)
-	fmt.Printf("clusters:   %d (noise: %d)\n", rep.Partition.K, rep.Partition.NoiseCount())
-	fmt.Printf("iterations: %d (converged: %v)\n", rep.Iterations, rep.Converged)
-	fmt.Printf("time:       %v online, %v offline\n", rep.Online, rep.Offline)
-	fmt.Printf("objective:  %.6g\n", rep.Objective)
-	fmt.Printf("quality Q:  %+.4f\n", eval.Quality(ds, rep.Partition))
+	fmt.Fprintf(stdout, "algorithm:  %s\n", *alg)
+	fmt.Fprintf(stdout, "clusters:   %d (noise: %d)\n", rep.Partition.K, rep.Partition.NoiseCount())
+	fmt.Fprintf(stdout, "iterations: %d (converged: %v)\n", rep.Iterations, rep.Converged)
+	fmt.Fprintf(stdout, "time:       %v online, %v offline\n", rep.Online, rep.Offline)
+	fmt.Fprintf(stdout, "objective:  %.6g\n", rep.Objective)
+	if total := rep.PrunedCandidates + rep.ScannedCandidates; total > 0 {
+		fmt.Fprintf(stdout, "pruning:    %.1f%% of %d candidate pairs skipped\n",
+			100*rep.PrunedFraction(), total)
+	}
+	fmt.Fprintf(stdout, "quality Q:  %+.4f\n", eval.Quality(ds, rep.Partition))
 	if labeled {
-		fmt.Printf("F-measure:  %.4f\n", eval.FMeasure(rep.Partition, labels))
+		fmt.Fprintf(stdout, "F-measure:  %.4f\n", eval.FMeasure(rep.Partition, labels))
 	}
 	for c, size := range rep.Partition.Sizes() {
-		fmt.Printf("  cluster %d: %d objects\n", c, size)
+		fmt.Fprintf(stdout, "  cluster %d: %d objects\n", c, size)
 	}
 
 	if *assignOut != "" {
@@ -131,10 +174,11 @@ func main() {
 			b = append(b, '\n')
 		}
 		if err := os.WriteFile(*assignOut, b, 0o644); err != nil {
-			fatalf("write %s: %v", *assignOut, err)
+			return fail("write %s: %v", *assignOut, err)
 		}
-		fmt.Printf("assignments written to %s\n", *assignOut)
+		fmt.Fprintf(stdout, "assignments written to %s\n", *assignOut)
 	}
+	return 0
 }
 
 // allLabeled reports whether every object carries a non-negative label.
@@ -145,9 +189,4 @@ func allLabeled(labels []int) bool {
 		}
 	}
 	return true
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "ucpc: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd drives run() and captures the streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeSeparableCSV writes a trivially separable two-cluster labeled CSV
+// and returns its path.
+func writeSeparableCSV(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "%.2f,%.2f,0\n", 1+0.01*float64(i), 2+0.01*float64(i))
+	}
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "%.2f,%.2f,1\n", 50+0.01*float64(i), 60+0.01*float64(i))
+	}
+	path := filepath.Join(t.TempDir(), "sep.csv")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestClusterSmoke runs the full pipeline on a separable dataset: the run
+// must succeed, recover the two groups perfectly, report its pruning hit
+// rate, and write one assignment row per object.
+func TestClusterSmoke(t *testing.T) {
+	in := writeSeparableCSV(t)
+	assign := filepath.Join(t.TempDir(), "assign.csv")
+	code, stdout, stderr := runCmd("-in", in, "-k", "2", "-labels", "-assign", assign)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"loaded 40 objects, 2 attributes",
+		"algorithm:  UCPC",
+		"clusters:   2 (noise: 0)",
+		"F-measure:  1.0000",
+		"pruning:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 40 {
+		t.Errorf("assignment file has %d rows, want 40", lines)
+	}
+}
+
+// TestPruningFlagEquivalence: -pruning off must reproduce the default
+// run's assignment file byte for byte (the engine's exactness guarantee,
+// observed through the CLI).
+func TestPruningFlagEquivalence(t *testing.T) {
+	in := writeSeparableCSV(t)
+	dir := t.TempDir()
+	aOn := filepath.Join(dir, "on.csv")
+	aOff := filepath.Join(dir, "off.csv")
+	if code, _, stderr := runCmd("-in", in, "-k", "2", "-labels", "-seed", "5", "-assign", aOn); code != 0 {
+		t.Fatalf("pruning on: exit %d, stderr: %s", code, stderr)
+	}
+	if code, _, stderr := runCmd("-in", in, "-k", "2", "-labels", "-seed", "5", "-pruning", "off", "-assign", aOff); code != 0 {
+		t.Fatalf("pruning off: exit %d, stderr: %s", code, stderr)
+	}
+	on, err := os.ReadFile(aOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := os.ReadFile(aOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(on, off) {
+		t.Error("assignments differ between -pruning on and -pruning off")
+	}
+}
+
+// TestExitCodes: malformed command lines must return non-zero and print
+// usage to stderr (the pre-refactor binary could exit 0 on bad input).
+func TestExitCodes(t *testing.T) {
+	in := writeSeparableCSV(t)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"missing required flags", []string{}, 2},
+		{"missing k", []string{"-in", in}, 2},
+		{"stray positional args", []string{"-in", in, "-k", "2", "junk"}, 2},
+		{"bad model", []string{"-in", in, "-k", "2", "-model", "X"}, 2},
+		{"bad pruning", []string{"-in", in, "-k", "2", "-pruning", "maybe"}, 2},
+		{"missing file", []string{"-in", filepath.Join(t.TempDir(), "nope.csv"), "-k", "2"}, 1},
+		{"bad algorithm", []string{"-in", in, "-k", "2", "-alg", "NOPE"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(tc.args...)
+			if code != tc.code {
+				t.Errorf("args %v: exit %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr)
+			}
+			if stderr == "" {
+				t.Errorf("args %v: nothing on stderr", tc.args)
+			}
+			if tc.code == 2 && !strings.Contains(stderr, "Usage") {
+				t.Errorf("args %v: usage not printed (stderr: %s)", tc.args, stderr)
+			}
+		})
+	}
+}

@@ -1,11 +1,11 @@
 // Command uncbench regenerates the paper's evaluation artifacts: Table 2
 // (accuracy on benchmark datasets), Table 3 (accuracy on real microarray
-// data), Figure 4 (efficiency), and Figure 5 (scalability on the KDD Cup
-// '99 workload).
+// data), Figure 4 (efficiency), Figure 5 (scalability on the KDD Cup '99
+// workload) — plus this repository's pruning-engine benchmark.
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|all [flags]
 //
 // Flags:
 //
@@ -16,12 +16,27 @@
 //	-datasets s  comma-separated dataset subset (table2/table3/fig4)
 //	-models s    comma-separated pdf families for table2: U,N,E
 //	-out path    also write the rendered output to a file
+//	-csv         emit machine-readable CSV instead of rendered tables
+//	-json        emit machine-readable JSON (bench mode only)
+//	-check       bench mode: exit non-zero if a gated algorithm is slower
+//	             with pruning than without, or pruned nothing
+//	-bn n        bench mode: object count (default 2000)
+//	-bk n        bench mode: cluster count (default 16)
+//	-workers n   bench mode: worker-pool size (default 1)
 //	-v           progress lines on stderr
+//
+// The bench mode measures the exact bound-based pruning engine against the
+// bound-free baseline and, with -json, emits the BENCH_PR2.json payload CI
+// archives for the performance trajectory:
+//
+//	uncbench -exp bench -json -out BENCH_PR2.json -check
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,24 +45,48 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and status code, so tests can drive
+// the binary without os/exec. Flag errors return 2 (usage already printed
+// to stderr by the FlagSet); experiment failures return 1; a failed -check
+// gate returns 3.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uncbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2|table3|fig4|fig5|all")
-		scale    = flag.Float64("scale", 0, "dataset scale fraction (0 = per-experiment default)")
-		runs     = flag.Int("runs", 0, "runs averaged per measurement (0 = default 3)")
-		seed     = flag.Uint64("seed", 1, "master seed")
-		datasets = flag.String("datasets", "", "comma-separated dataset subset")
-		models   = flag.String("models", "", "comma-separated pdf families (U,N,E)")
-		out      = flag.String("out", "", "also write output to this file")
-		csvOut   = flag.Bool("csv", false, "emit machine-readable CSV instead of rendered tables")
-		verbose  = flag.Bool("v", false, "progress to stderr")
+		exp      = fs.String("exp", "all", "experiment: table2|table3|fig4|fig5|bench|all")
+		scale    = fs.Float64("scale", 0, "dataset scale fraction (0 = per-experiment default)")
+		runs     = fs.Int("runs", 0, "runs averaged per measurement (0 = default 3)")
+		seed     = fs.Uint64("seed", 1, "master seed")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset")
+		models   = fs.String("models", "", "comma-separated pdf families (U,N,E)")
+		out      = fs.String("out", "", "also write output to this file")
+		csvOut   = fs.Bool("csv", false, "emit machine-readable CSV instead of rendered tables")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON (bench mode)")
+		check    = fs.Bool("check", false, "bench mode: fail if pruning regressed")
+		benchN   = fs.Int("bn", 0, "bench mode: object count (0 = default 2000)")
+		benchK   = fs.Int("bk", 0, "bench mode: cluster count (0 = default 16)")
+		workers  = fs.Int("workers", 0, "bench mode: worker-pool size (0 = default 1)")
+		verbose  = fs.Bool("v", false, "progress to stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "uncbench: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
 
 	cfg := experiments.Config{Seed: *seed, Runs: *runs, Scale: *scale}
+	var progress func(format string, args ...any)
 	if *verbose {
-		cfg.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+		cfg.Progress = progress
 	}
 
 	var names []string
@@ -65,44 +104,53 @@ func main() {
 			case "E":
 				mods = append(mods, uncgen.Exponential)
 			default:
-				fatalf("unknown model %q (valid: U, N, E)", s)
+				fmt.Fprintf(stderr, "uncbench: unknown model %q (valid: U, N, E)\n", s)
+				return 2
 			}
 		}
 	}
 
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "uncbench: "+format+"\n", args...)
+		return 1
+	}
+
 	var b strings.Builder
-	runTable2 := func() {
+	status := 0
+	runTable2 := func() int {
 		res, err := experiments.Table2(cfg, names, mods)
 		if err != nil {
-			fatalf("table2: %v", err)
+			return fail("table2: %v", err)
 		}
 		if *csvOut {
 			b.WriteString(experiments.Table2CSV(res))
-			return
+			return 0
 		}
 		b.WriteString(experiments.RenderTable2(res))
 		b.WriteString("\n")
+		return 0
 	}
-	runTable3 := func() {
+	runTable3 := func() int {
 		res, err := experiments.Table3(cfg, names, nil)
 		if err != nil {
-			fatalf("table3: %v", err)
+			return fail("table3: %v", err)
 		}
 		if *csvOut {
 			b.WriteString(experiments.Table3CSV(res))
-			return
+			return 0
 		}
 		b.WriteString(experiments.RenderTable3(res))
 		b.WriteString("\n")
+		return 0
 	}
-	runFig4 := func() {
+	runFig4 := func() int {
 		res, err := experiments.Fig4(cfg, names)
 		if err != nil {
-			fatalf("fig4: %v", err)
+			return fail("fig4: %v", err)
 		}
 		if *csvOut {
 			b.WriteString(experiments.Fig4CSV(res))
-			return
+			return 0
 		}
 		b.WriteString(experiments.RenderFig4(res))
 		b.WriteString("\nfastest-to-slowest per dataset:\n")
@@ -110,47 +158,78 @@ func main() {
 			b.WriteString("  " + experiments.SummarizeOrdering(row) + "\n")
 		}
 		b.WriteString("\n")
+		return 0
 	}
-	runFig5 := func() {
+	runFig5 := func() int {
 		res, err := experiments.Fig5(cfg, nil)
 		if err != nil {
-			fatalf("fig5: %v", err)
+			return fail("fig5: %v", err)
 		}
 		if *csvOut {
 			b.WriteString(experiments.Fig5CSV(res))
-			return
+			return 0
 		}
 		b.WriteString(experiments.RenderFig5(res))
 		b.WriteString("\n")
+		return 0
+	}
+	runBench := func() int {
+		res, err := experiments.PruneBench(experiments.PruneBenchConfig{
+			N: *benchN, K: *benchK, Runs: *runs, Workers: *workers,
+			Seed: *seed, Progress: progress,
+		})
+		if err != nil {
+			return fail("bench: %v", err)
+		}
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("bench: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderPruneBench(res))
+		}
+		if *check {
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		return 0
 	}
 
 	switch *exp {
 	case "table2":
-		runTable2()
+		status = runTable2()
 	case "table3":
-		runTable3()
+		status = runTable3()
 	case "fig4":
-		runFig4()
+		status = runFig4()
 	case "fig5":
-		runFig5()
+		status = runFig5()
+	case "bench":
+		status = runBench()
 	case "all":
-		runTable2()
-		runTable3()
-		runFig4()
-		runFig5()
+		for _, f := range []func() int{runTable2, runTable3, runFig4, runFig5} {
+			if status = f(); status != 0 {
+				break
+			}
+		}
 	default:
-		fatalf("unknown experiment %q (valid: table2, table3, fig4, fig5, all)", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, all)\n", *exp)
+		return 2
+	}
+	if status != 0 && status != 3 {
+		return status
 	}
 
-	fmt.Print(b.String())
+	fmt.Fprint(stdout, b.String())
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
-			fatalf("write %s: %v", *out, err)
+			return fail("write %s: %v", *out, err)
 		}
 	}
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "uncbench: "+format+"\n", args...)
-	os.Exit(1)
+	return status
 }

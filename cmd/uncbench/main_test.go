@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ucpc/internal/experiments"
+)
+
+// runCmd drives run() and captures the streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// benchArgs is a bench-mode invocation small enough for the test suite.
+var benchArgs = []string{"-exp", "bench", "-bn", "150", "-bk", "4", "-runs", "1"}
+
+// TestBenchJSON: the bench mode emits a parseable BENCH_PR2 payload with
+// every algorithm measured, pruning work recorded, and -out mirroring
+// stdout.
+func TestBenchJSON(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "BENCH_PR2.json")
+	args := append(append([]string{}, benchArgs...), "-json", "-out", outPath)
+	code, stdout, stderr := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res experiments.PruneBenchResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not the JSON payload: %v\n%s", err, stdout)
+	}
+	if res.Bench != "PrunedAssign" {
+		t.Errorf("bench name %q", res.Bench)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(res.Rows))
+	}
+	var gated, prunedSomething int
+	for _, row := range res.Rows {
+		if row.PrunedNsPerOp <= 0 || row.UnprunedNsPerOp <= 0 {
+			t.Errorf("%s: non-positive timings %d/%d", row.Algorithm, row.PrunedNsPerOp, row.UnprunedNsPerOp)
+		}
+		if row.Gate {
+			gated++
+		}
+		if row.PrunedFraction > 0 {
+			prunedSomething++
+		}
+	}
+	if gated == 0 {
+		t.Error("no gate rows for the CI regression check")
+	}
+	if prunedSomething == 0 {
+		t.Error("no algorithm recorded pruned work")
+	}
+	fileData, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fileData) != stdout {
+		t.Error("-out file differs from stdout payload")
+	}
+}
+
+// TestBenchRendered: without -json the bench mode prints the table form.
+func TestBenchRendered(t *testing.T) {
+	code, stdout, stderr := runCmd(benchArgs...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Pruning engine benchmark", "UCPC-Lloyd", "pruned-frac"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestExitCodes: malformed command lines return non-zero with usage on
+// stderr.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"unknown experiment", []string{"-exp", "table9"}, 2},
+		{"unknown model", []string{"-models", "Z"}, 2},
+		{"stray positional args", []string{"-exp", "bench", "junk"}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCmd(tc.args...)
+			if code != tc.code {
+				t.Errorf("args %v: exit %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr)
+			}
+			if stderr == "" {
+				t.Errorf("args %v: nothing on stderr", tc.args)
+			}
+		})
+	}
+}

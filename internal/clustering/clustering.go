@@ -118,6 +118,21 @@ type Report struct {
 	// PrunedCandidates counts candidate (object, centroid) pairs skipped
 	// thanks to pruning.
 	PrunedCandidates int64
+	// ScannedCandidates counts candidate (object, centroid) pairs whose
+	// distance (or objective delta) was actually evaluated. Together with
+	// PrunedCandidates it yields the prune hit rate
+	// PrunedCandidates / (PrunedCandidates + ScannedCandidates).
+	ScannedCandidates int64
+}
+
+// PrunedFraction returns the fraction of candidate pairs eliminated by the
+// pruning engine, in [0, 1]; 0 when no candidates were counted.
+func (r *Report) PrunedFraction() float64 {
+	total := r.PrunedCandidates + r.ScannedCandidates
+	if total == 0 {
+		return 0
+	}
+	return float64(r.PrunedCandidates) / float64(total)
 }
 
 // Algorithm is a complete uncertain-data clustering method. Implementations

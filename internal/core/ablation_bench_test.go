@@ -72,7 +72,9 @@ func BenchmarkUCPCLloydParallel(b *testing.B) {
 
 // BenchmarkAssignStep isolates one UCPC-Lloyd assignment pass (the
 // embarrassingly parallel inner step) at several pool sizes over the flat
-// moment store: n=20000, m=8, k=8.
+// moment store: n=20000, m=8, k=8. Pruning is off so the benchmark
+// measures the raw exhaustive scan; BenchmarkPrunedAssign (root package)
+// measures the bound-based engine against this baseline.
 func benchAssignStep(b *testing.B, workers int) {
 	b.Helper()
 	ds := uncertain.Dataset(benchCluster(20000, 8))
@@ -80,9 +82,12 @@ func benchAssignStep(b *testing.B, workers int) {
 	assign := clustering.RandomPartition(len(ds), 8, rng.New(3))
 	cs := &centroidScores{k: 8, m: 8, mean: make([]float64, 8*8), bias: make([]float64, 8)}
 	cs.refresh(mom, assign)
+	eng := NewAssigner(mom, 8, false)
+	adds := make([]float64, 8)
+	cs.install(eng, adds)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = cs.assignStep(mom, assign, workers)
+		_ = eng.Assign(assign, workers)
 	}
 }
 

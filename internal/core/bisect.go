@@ -23,6 +23,8 @@ type BisectingUCPC struct {
 	Restarts int
 	// Workers is forwarded to the 2-way UCPC sub-runs (<= 0 = GOMAXPROCS).
 	Workers int
+	// Pruning is forwarded to the 2-way UCPC sub-runs (default on).
+	Pruning clustering.PruneMode
 }
 
 // Name implements clustering.Algorithm.
@@ -97,7 +99,7 @@ func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RN
 		var bestAssign []int
 		bestJ := 0.0
 		for rep := 0; rep < restarts; rep++ {
-			sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers}
+			sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers, Pruning: b.Pruning}
 			report, err := sub.Cluster(members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
 			if err != nil {
 				return nil, nil, err

@@ -18,15 +18,22 @@ import (
 // guaranteed to decrease monotonically because ÊD is measured against the
 // centroid of the *previous* assignment.
 //
-// The assignment step runs on the flat Moments store across a worker pool:
-// each worker scans a contiguous row range, and because every object's
-// argmin is independent of the others, the resulting partition is
-// bit-identical for every worker count (the engine's determinism contract).
+// The assignment step runs on the flat Moments store across a worker pool
+// through the exact pruning engine (Assigner): ÊD(o, C̄_c) decomposes as
+// ‖µ(o) − µ(C̄_c)‖² + σ²(o) + σ²(C̄_c), i.e. a Euclidean distance plus a
+// per-centroid additive term, so Hamerly-style bounds skip most candidate
+// centroids without changing any decision. Each worker scans a contiguous
+// row range, and because every object's decision is independent of the
+// others, the resulting partition is bit-identical for every worker count
+// (the engine's determinism contract) and for pruning on vs. off.
 type UCPCLloyd struct {
 	// MaxIter caps the assignment/update rounds (0 = default 100).
 	MaxIter int
 	// Workers sizes the assignment worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Pruning toggles the exact bound-based assignment pruning (default
+	// on). Results are identical either way; only the arithmetic differs.
+	Pruning clustering.PruneMode
 }
 
 // Name implements clustering.Algorithm.
@@ -48,8 +55,9 @@ type centroidScores struct {
 // current mean; the running sums are updated incrementally after each
 // reseed so every decision sees fresh state, and donors are restricted to
 // clusters with at least two members so a reseed can never create a new
-// empty cluster (or steal a just-reseeded object).
-func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) {
+// empty cluster (or steal a just-reseeded object). It returns the indexes
+// of reseeded objects so the caller can invalidate their pruning bounds.
+func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseeded []int) {
 	n, m, k := mom.Len(), cs.m, cs.k
 	counts := make([]int, k)
 	sumMu := make([]float64, k*m)   // Σ µ per cluster
@@ -97,6 +105,7 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) {
 		// Move the object from its donor cluster to c, updating the sums.
 		from := assign[far]
 		assign[far] = c
+		reseeded = append(reseeded, far)
 		counts[from]--
 		counts[c]++
 		mu, mu2 := mom.Mu(far), mom.Mu2(far)
@@ -122,36 +131,23 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) {
 		}
 		cs.bias[c] = bias
 	}
+	return reseeded
 }
 
-// assignStep reassigns every object to the cluster minimizing its centroid
-// score, fanning the scan over the worker pool, and reports whether any
-// assignment changed. Exported within the package for the assignment-step
-// benchmarks.
-func (cs *centroidScores) assignStep(mom *uncertain.Moments, assign []int, workers int) bool {
-	m, k := cs.m, cs.k
-	return clustering.ParallelAny(mom.Len(), workers, func(lo, hi int) bool {
-		changed := false
-		for i := lo; i < hi; i++ {
-			mu := mom.Mu(i)
-			best, bestScore := 0, 0.0
-			for c := 0; c < k; c++ {
-				row := c * m
-				var dot float64
-				for j := 0; j < m; j++ {
-					dot += mu[j] * cs.mean[row+j]
-				}
-				if s := cs.bias[c] - 2*dot; c == 0 || s < bestScore {
-					best, bestScore = c, s
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+// install pushes the current U-centroid state into the pruning engine: the
+// centroid means are the Euclidean part of ÊD(o, C̄_c), and the additive
+// term is the centroid's total variance σ²(C̄_c) = Σ_j µ₂(C̄_c)_j −
+// ‖µ(C̄_c)‖² = bias_c − ‖mean_c‖² (scratch `adds` is reused across calls).
+func (cs *centroidScores) install(eng *Assigner, adds []float64) {
+	for c := 0; c < cs.k; c++ {
+		row := cs.mean[c*cs.m : (c+1)*cs.m]
+		var dot float64
+		for _, v := range row {
+			dot += v * v
 		}
-		return changed
-	})
+		adds[c] = cs.bias[c] - dot
+	}
+	eng.SetCenters(cs.mean, adds)
 }
 
 // Cluster runs the batch variant.
@@ -176,21 +172,33 @@ func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 	cs := &centroidScores{k: k, m: m, mean: make([]float64, k*m), bias: make([]float64, k)}
 	cs.refresh(mom, assign)
 
+	eng := NewAssigner(mom, k, u.Pruning.Enabled())
+	adds := make([]float64, k)
+	cs.install(eng, adds)
+
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
-		if !cs.assignStep(mom, assign, workers) {
+		if !eng.Assign(assign, workers) {
 			converged = true
 			break
 		}
-		cs.refresh(mom, assign)
+		for _, i := range cs.refresh(mom, assign) {
+			// A reseed moved the object behind the engine's back; its
+			// bounds no longer describe its assigned centroid.
+			eng.Invalidate(i)
+		}
+		cs.install(eng, adds)
 	}
 
+	pruned, scanned := eng.Counters()
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  Objective(ds, assign, k),
-		Iterations: iterations,
-		Converged:  converged,
-		Online:     time.Since(start),
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         Objective(ds, assign, k),
+		Iterations:        iterations,
+		Converged:         converged,
+		Online:            time.Since(start),
+		PrunedCandidates:  pruned,
+		ScannedCandidates: scanned,
 	}, nil
 }

@@ -1,0 +1,631 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// This file implements the exact bound-based pruning engine used by every
+// assignment-style hot loop in the repository. Two components:
+//
+//   - Assigner prunes nearest-centroid assignment steps (UK-means,
+//     UCPC-Lloyd, the UCPC k-means++ initial assignment). All of those
+//     minimize a distance of the form
+//
+//         D(o, c) = ‖µ(o) − y_c‖² + v_c
+//
+//     over centroids c, where y_c is a point and v_c an additive
+//     per-centroid variance term (Lemma 3 / eq. 8 decompose ÊD and ED this
+//     way). Because the µ-part is a genuine Euclidean distance, Hamerly-
+//     style triangle-inequality bounds on ‖µ(o) − y_c‖ remain *exact*:
+//     per-object upper/lower bounds relaxed by centroid drift, an
+//     inter-centroid half-distance filter, and a per-block bounding-box
+//     (vec.Box) min/max filter for the first pass, when no bounds exist yet.
+//
+//   - RelocFilter prunes the candidate-cluster scans of the relocation
+//     heuristics (UCPC Algorithm 1, MMVar). The O(m) Corollary-1 add-scores
+//     decompose as α_c + β_c·σ²(o) + γ_c·‖µ(o) − mean(C_c)‖² with γ_c > 0,
+//     so the reverse triangle inequality |‖µ(o)‖ − ‖mean(C_c)‖| ≤
+//     ‖µ(o) − mean(C_c)‖ yields an O(1) lower bound on each candidate's
+//     score; candidates whose bound cannot beat the current best move are
+//     skipped without touching their m-dimensional rows.
+//
+// Every skip test subtracts a relative slack (pruneSlack) so that the few-
+// ulp rounding of the bound arithmetic can never flip a comparison that the
+// exhaustive scan would decide the other way; the slack only *disables*
+// borderline skips, so pruned and unpruned runs produce byte-identical
+// partitions (asserted by the cross-check tests for every algorithm).
+
+const (
+	// pruneBlock is the number of consecutive moment-store rows covered by
+	// one bounding box in the Assigner's first pass. Blocks follow the
+	// store's row order, so box construction and the filtered scans stream
+	// through contiguous memory.
+	pruneBlock = 64
+	// pruneSlack is the relative safety margin applied to every bound
+	// comparison. It is ~10⁷ coarser than double rounding error and ~10⁹
+	// finer than any distance contrast that matters, so it costs
+	// essentially no pruning while making skips robust to the bound
+	// arithmetic's own rounding.
+	pruneSlack = 1e-9
+)
+
+// Assigner performs exact pruned nearest-centroid assignment over a flat
+// moment store for distances D(o,c) = ‖µ(o) − y_c‖² + v_c.
+//
+// Usage per iteration: SetCenters(...) once, then Assign(...) once. The
+// assignment rule is "sticky": an object keeps its current cluster unless
+// some other cluster is strictly closer (ties by lower index among strict
+// improvements); the first pass, where no assignment is trusted, picks the
+// lowest-index argmin. Both the pruned and the unpruned code paths apply
+// the same rule, so PruneOff runs reproduce PruneOn runs exactly.
+//
+// Assign is safe to fan over a worker pool: every object's decision is
+// independent, and the counters are order-independent sums.
+type Assigner struct {
+	mom     *uncertain.Moments
+	k, m    int
+	enabled bool
+
+	centers []float64 // k*m, row-major current centroid positions
+	add     []float64 // k, additive per-centroid terms v_c
+	prev    []float64 // k*m, positions at the previous SetCenters
+	hasPrev bool
+
+	drift    []float64 // k, per-centroid movement at the last SetCenters
+	maxDrift float64
+	half     []float64 // k, half distance to the nearest other centroid
+	cdist    []float64 // k*k, inter-centroid Euclidean distances
+
+	addMin, addMin2 float64 // smallest and second-smallest v_c
+	addMinIdx       int
+
+	upper, lower []float64 // n, per-object Euclidean bounds
+	ready        bool      // bounds initialized by a first pass
+
+	boxes []vec.Box // per-block bounding boxes over the µ rows
+
+	passes          int
+	pruned, scanned int64
+}
+
+// NewAssigner builds an assignment engine for k centroids over mom. When
+// enabled is false every bound test is bypassed and Assign degenerates to
+// the exhaustive scan (used as the exactness reference).
+func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
+	n, m := mom.Len(), mom.Dims()
+	a := &Assigner{
+		mom:     mom,
+		k:       k,
+		m:       m,
+		enabled: enabled,
+		centers: make([]float64, k*m),
+		add:     make([]float64, k),
+		prev:    make([]float64, k*m),
+	}
+	if enabled {
+		a.drift = make([]float64, k)
+		a.half = make([]float64, k)
+		a.cdist = make([]float64, k*k)
+		a.upper = make([]float64, n)
+		a.lower = make([]float64, n)
+		a.boxes = blockBoxes(mom)
+	}
+	return a
+}
+
+// blockBoxes covers the µ rows of mom with one bounding box per pruneBlock
+// consecutive objects.
+func blockBoxes(mom *uncertain.Moments) []vec.Box {
+	n, m := mom.Len(), mom.Dims()
+	nb := (n + pruneBlock - 1) / pruneBlock
+	boxes := make([]vec.Box, nb)
+	for b := 0; b < nb; b++ {
+		lo, hi := b*pruneBlock, (b+1)*pruneBlock
+		if hi > n {
+			hi = n
+		}
+		bl := vec.Clone(mom.Mu(lo))
+		bh := vec.Clone(mom.Mu(lo))
+		for i := lo + 1; i < hi; i++ {
+			mu := mom.Mu(i)
+			for j := 0; j < m; j++ {
+				if mu[j] < bl[j] {
+					bl[j] = mu[j]
+				}
+				if mu[j] > bh[j] {
+					bh[j] = mu[j]
+				}
+			}
+		}
+		boxes[b] = vec.Box{Lo: bl, Hi: bh}
+	}
+	return boxes
+}
+
+// SetCenters installs the centroid positions (flat k*m row-major) and the
+// additive terms v_c (nil means all zero), recording per-centroid drift and
+// refreshing the inter-centroid geometry used by the bound tests.
+func (a *Assigner) SetCenters(flat, add []float64) {
+	a.setCenters(func(dst []float64) { copy(dst, flat) }, add)
+}
+
+// SetCenterVecs is SetCenters for per-centroid vector slices.
+func (a *Assigner) SetCenterVecs(centers []vec.Vector, add []float64) {
+	a.setCenters(func(dst []float64) {
+		for c, y := range centers {
+			copy(dst[c*a.m:(c+1)*a.m], y)
+		}
+	}, add)
+}
+
+func (a *Assigner) setCenters(fill func(dst []float64), add []float64) {
+	a.prev, a.centers = a.centers, a.prev
+	fill(a.centers)
+	if add == nil {
+		for c := range a.add {
+			a.add[c] = 0
+		}
+	} else {
+		copy(a.add, add)
+	}
+	if !a.enabled {
+		return
+	}
+	// Per-centroid drift since the previous positions (upper bounds grow by
+	// the own centroid's drift, lower bounds shrink by the largest drift).
+	a.maxDrift = 0
+	for c := 0; c < a.k; c++ {
+		d := 0.0
+		if a.hasPrev {
+			d = math.Sqrt(rowDist2(a.prev, a.centers, c, a.m))
+		}
+		a.drift[c] = d
+		if d > a.maxDrift {
+			a.maxDrift = d
+		}
+	}
+	a.hasPrev = true
+	// Inter-centroid distances and half-gaps (O(k²m); k ≪ n).
+	for c := 0; c < a.k; c++ {
+		a.cdist[c*a.k+c] = 0
+		for o := c + 1; o < a.k; o++ {
+			dd := math.Sqrt(centerDist2(a.centers, c, o, a.m))
+			a.cdist[c*a.k+o] = dd
+			a.cdist[o*a.k+c] = dd
+		}
+	}
+	for c := 0; c < a.k; c++ {
+		s := math.Inf(1)
+		for o := 0; o < a.k; o++ {
+			if o != c && a.cdist[c*a.k+o] < s {
+				s = a.cdist[c*a.k+o]
+			}
+		}
+		a.half[c] = s / 2
+	}
+	// Smallest and second-smallest additive term, for min_{c≠a} v_c in O(1).
+	a.addMin, a.addMin2, a.addMinIdx = math.Inf(1), math.Inf(1), -1
+	for c, v := range a.add {
+		switch {
+		case v < a.addMin:
+			a.addMin2 = a.addMin
+			a.addMin, a.addMinIdx = v, c
+		case v < a.addMin2:
+			a.addMin2 = v
+		}
+	}
+}
+
+// rowDist2 returns the squared Euclidean distance between row c of two flat
+// k*m stores.
+func rowDist2(x, y []float64, c, m int) float64 {
+	var s float64
+	for j := c * m; j < (c+1)*m; j++ {
+		d := x[j] - y[j]
+		s += d * d
+	}
+	return s
+}
+
+// centerDist2 returns the squared Euclidean distance between rows c and o
+// of one flat store.
+func centerDist2(x []float64, c, o, m int) float64 {
+	a, b := x[c*m:(c+1)*m], x[o*m:(o+1)*m]
+	var s float64
+	for j := range a {
+		d := a[j] - b[j]
+		s += d * d
+	}
+	return s
+}
+
+// dist2 returns ‖µ(o_i) − y_c‖².
+func (a *Assigner) dist2(i, c int) float64 {
+	mu := a.mom.Mu(i)
+	row := a.centers[c*a.m : (c+1)*a.m]
+	var s float64
+	for j, v := range mu {
+		d := v - row[j]
+		s += d * d
+	}
+	return s
+}
+
+// Invalidate discards object i's bounds after an external reassignment
+// (e.g. an empty-cluster reseed moved the object), forcing the next pass to
+// evaluate it from scratch.
+func (a *Assigner) Invalidate(i int) {
+	if a.enabled && a.ready {
+		a.upper[i] = math.Inf(1)
+		a.lower[i] = 0
+	}
+}
+
+// Counters returns the cumulative (pruned, scanned) candidate-pair counts.
+func (a *Assigner) Counters() (pruned, scanned int64) {
+	return atomic.LoadInt64(&a.pruned), atomic.LoadInt64(&a.scanned)
+}
+
+// Assign reassigns every object to its nearest centroid under the current
+// SetCenters state, fanning over the worker pool, and reports whether any
+// assignment changed. assign entries may be -1 (unassigned) only on the
+// first pass.
+func (a *Assigner) Assign(assign []int, workers int) bool {
+	a.passes++
+	var changed bool
+	switch {
+	case !a.enabled:
+		changed = a.exhaustivePass(assign, workers, a.passes == 1)
+	case !a.ready:
+		changed = a.firstPass(assign, workers)
+		a.ready = true
+	default:
+		changed = a.boundedPass(assign, workers)
+	}
+	if a.enabled {
+		// Drift is consumed by exactly one relaxation; a second Assign
+		// without SetCenters must not relax again.
+		for c := range a.drift {
+			a.drift[c] = 0
+		}
+		a.maxDrift = 0
+	}
+	return changed
+}
+
+// exhaustivePass is the bound-free reference: evaluate every centroid. It
+// applies the same sticky tie rule as the pruned passes so that PruneOff
+// reproduces PruneOn bit for bit.
+func (a *Assigner) exhaustivePass(assign []int, workers int, fresh bool) bool {
+	n := a.mom.Len()
+	return clustering.ParallelAny(n, workers, func(lo, hi int) bool {
+		ch := false
+		var scanned int64
+		for i := lo; i < hi; i++ {
+			cur := assign[i]
+			var best int
+			var bestD float64
+			if fresh || cur < 0 {
+				best, bestD = 0, a.dist2(i, 0)+a.add[0]
+				for c := 1; c < a.k; c++ {
+					if d := a.dist2(i, c) + a.add[c]; d < bestD {
+						best, bestD = c, d
+					}
+				}
+			} else {
+				best, bestD = cur, a.dist2(i, cur)+a.add[cur]
+				for c := 0; c < a.k; c++ {
+					if c == cur {
+						continue
+					}
+					if d := a.dist2(i, c) + a.add[c]; d < bestD {
+						best, bestD = c, d
+					}
+				}
+			}
+			scanned += int64(a.k)
+			if assign[i] != best {
+				assign[i] = best
+				ch = true
+			}
+		}
+		atomic.AddInt64(&a.scanned, scanned)
+		return ch
+	})
+}
+
+// firstPass initializes the per-object bounds with a per-block bounding-box
+// filter: centroids whose minimum possible D over the whole block exceeds
+// the block's best guaranteed D cannot win for any member and are skipped.
+func (a *Assigner) firstPass(assign []int, workers int) bool {
+	n, k := a.mom.Len(), a.k
+	nb := len(a.boxes)
+	return clustering.ParallelAny(nb, workers, func(blo, bhi int) bool {
+		ch := false
+		var pruned, scanned int64
+		minD := make([]float64, k)  // block lower bound on D per centroid
+		eMin := make([]float64, k)  // block lower bound on ‖µ(o)−y_c‖²
+		cand := make([]int, 0, k)   // surviving centroids
+		candR := make([]float64, k) // exact Euclidean distance per candidate
+		for b := blo; b < bhi; b++ {
+			box := a.boxes[b]
+			bestMax := math.Inf(1)
+			for c := 0; c < k; c++ {
+				row := vec.Vector(a.centers[c*a.m : (c+1)*a.m])
+				e := box.MinSqDist(row)
+				eMin[c] = e
+				minD[c] = e + a.add[c]
+				if hi := box.MaxSqDist(row) + a.add[c]; hi < bestMax {
+					bestMax = hi
+				}
+			}
+			thresh := bestMax + pruneSlack*(math.Abs(bestMax)+1)
+			cand = cand[:0]
+			prunedLB := math.Inf(1)
+			for c := 0; c < k; c++ {
+				if minD[c] <= thresh {
+					cand = append(cand, c)
+				} else if s := math.Sqrt(eMin[c]); s < prunedLB {
+					prunedLB = s
+				}
+			}
+			lo, hi := b*pruneBlock, (b+1)*pruneBlock
+			if hi > n {
+				hi = n
+			}
+			pruned += int64(hi-lo) * int64(k-len(cand))
+			scanned += int64(hi-lo) * int64(len(cand))
+			for i := lo; i < hi; i++ {
+				bestCi := 0
+				bestD := math.Inf(1)
+				for ci, c := range cand {
+					r2 := a.dist2(i, c)
+					candR[ci] = math.Sqrt(r2)
+					if d := r2 + a.add[c]; d < bestD {
+						bestCi, bestD = ci, d
+					}
+				}
+				lower := prunedLB
+				for ci := range cand {
+					if ci != bestCi && candR[ci] < lower {
+						lower = candR[ci]
+					}
+				}
+				a.upper[i] = candR[bestCi]
+				a.lower[i] = lower
+				if best := cand[bestCi]; assign[i] != best {
+					assign[i] = best
+					ch = true
+				}
+			}
+		}
+		atomic.AddInt64(&a.pruned, pruned)
+		atomic.AddInt64(&a.scanned, scanned)
+		return ch
+	})
+}
+
+// boundedPass is the steady-state Hamerly-style pass: relax the stored
+// bounds by the centroid drift, skip objects whose assigned centroid
+// provably still wins, and fall back to a filtered exhaustive scan
+// otherwise.
+func (a *Assigner) boundedPass(assign []int, workers int) bool {
+	n, k := a.mom.Len(), a.k
+	return clustering.ParallelAny(n, workers, func(lo, hi int) bool {
+		ch := false
+		var pruned, scanned int64
+		for i := lo; i < hi; i++ {
+			cur := assign[i]
+			u := a.upper[i] + a.drift[cur]
+			l := a.lower[i] - a.maxDrift
+			if l < 0 {
+				l = 0
+			}
+			a.upper[i], a.lower[i] = u, l
+			va := a.add[cur]
+			vOther := a.addMin
+			if cur == a.addMinIdx {
+				vOther = a.addMin2
+			}
+			// z lower-bounds every other centroid's Euclidean distance:
+			// the relaxed lower bound, or the half-gap bound
+			// r_c ≥ 2·half[cur] − r_cur ≥ 2·half[cur] − u.
+			z := l
+			if hg := 2*a.half[cur] - u; hg > z {
+				z = hg
+			}
+			da := u*u + va
+			do := z*z + vOther
+			if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+				pruned += int64(k - 1)
+				continue
+			}
+			// Tighten the upper bound to the exact distance and re-test.
+			ra := math.Sqrt(a.dist2(i, cur))
+			u = ra
+			a.upper[i] = u
+			scanned++
+			if hg := 2*a.half[cur] - u; hg > z {
+				z = hg
+			}
+			da = u*u + va
+			do = z*z + vOther
+			if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+				pruned += int64(k - 1)
+				continue
+			}
+			// Filtered exhaustive scan (sticky rule: strict improvement
+			// only). The inter-centroid filter lower-bounds r_c by
+			// cdist(best, c) − r_best via the triangle inequality.
+			best, bestD, bestR := cur, u*u+va, u
+			minOther := math.Inf(1)
+			for c := 0; c < k; c++ {
+				if c == cur {
+					continue
+				}
+				if lb := a.cdist[best*k+c] - bestR; lb > 0 {
+					if d := lb*lb + a.add[c]; d-pruneSlack*(math.Abs(d)+math.Abs(bestD)+1) >= bestD {
+						if lb < minOther {
+							minOther = lb
+						}
+						pruned++
+						continue
+					}
+				}
+				r2 := a.dist2(i, c)
+				scanned++
+				r := math.Sqrt(r2)
+				if d := r2 + a.add[c]; d < bestD {
+					if bestR < minOther {
+						minOther = bestR
+					}
+					best, bestD, bestR = c, d, r
+				} else if r < minOther {
+					minOther = r
+				}
+			}
+			a.upper[i] = bestR
+			a.lower[i] = minOther
+			if assign[i] != best {
+				assign[i] = best
+				ch = true
+			}
+		}
+		atomic.AddInt64(&a.pruned, pruned)
+		atomic.AddInt64(&a.scanned, scanned)
+		return ch
+	})
+}
+
+// RelocKind selects the objective whose add-score a RelocFilter bounds.
+type RelocKind int
+
+const (
+	// RelocUCPC bounds ΔJ = J(C ∪ {o}) − J(C) (Theorem 3 / Corollary 1).
+	RelocUCPC RelocKind = iota
+	// RelocMMVar bounds ΔJ_MM = J_MM(C ∪ {o}) − J_MM(C) (Proposition 2).
+	RelocMMVar
+)
+
+// RelocFilter prunes candidate clusters in the sequential relocation sweeps
+// of UCPC and MMVar. Both add-scores decompose (see the package comment)
+// into α_c + β_c·σ²(o) + γ_c·r_c² with γ_c > 0 and r_c = ‖µ(o) − mean(C_c)‖,
+// so |‖µ(o)‖ − ‖mean(C_c)‖| ≤ r_c gives an O(1) lower bound per candidate.
+// Cluster constants are refreshed in O(m) only for the (at most two)
+// clusters an accepted move touches.
+//
+// RelocFilter is used by a single sequential sweep; it is not safe for
+// concurrent use.
+type RelocFilter struct {
+	enabled bool
+	kind    RelocKind
+	m       int
+	objNorm []float64 // ‖µ(o_i)‖, immutable
+	cNorm   []float64 // ‖mean(C_c)‖, maintained per accepted move
+	alpha   []float64
+	beta    []float64
+	gamma   []float64
+	jMag    []float64 // |J(C_c)| (resp. |J_MM|), anchors the fp slack
+
+	pruned, scanned int64
+}
+
+// NewRelocFilter builds a relocation candidate filter over mom for the
+// clusters described by stats. A disabled filter skips nothing (exhaustive
+// reference behavior).
+func NewRelocFilter(kind RelocKind, mom *uncertain.Moments, stats []*Stats, enabled bool) *RelocFilter {
+	f := &RelocFilter{enabled: enabled, kind: kind, m: mom.Dims()}
+	if !enabled {
+		return f
+	}
+	n := mom.Len()
+	f.objNorm = make([]float64, n)
+	for i := 0; i < n; i++ {
+		mu := mom.Mu(i)
+		var s float64
+		for _, v := range mu {
+			s += v * v
+		}
+		f.objNorm[i] = math.Sqrt(s)
+	}
+	k := len(stats)
+	f.cNorm = make([]float64, k)
+	f.alpha = make([]float64, k)
+	f.beta = make([]float64, k)
+	f.gamma = make([]float64, k)
+	f.jMag = make([]float64, k)
+	for c := range stats {
+		f.Refresh(c, stats[c])
+	}
+	return f
+}
+
+// Refresh recomputes cluster c's score constants from its statistics in
+// O(m). Call it for both clusters touched by every accepted relocation.
+func (f *RelocFilter) Refresh(c int, s *Stats) {
+	if !f.enabled {
+		return
+	}
+	n := float64(s.Size())
+	if n == 0 {
+		// Relocation never empties a cluster; keep the constants inert.
+		f.cNorm[c], f.alpha[c], f.beta[c], f.gamma[c] = 0, math.Inf(-1), 0, 0
+		return
+	}
+	sum := s.MeanSum()
+	var dot float64
+	for _, v := range sum {
+		q := v / n
+		dot += q * q
+	}
+	f.cNorm[c] = math.Sqrt(dot)
+	switch f.kind {
+	case RelocMMVar:
+		juk := s.JUK()
+		f.alpha[c] = -juk / (n * (n + 1))
+		f.beta[c] = 1 / (n + 1)
+		f.gamma[c] = n / ((n + 1) * (n + 1))
+		f.jMag[c] = math.Abs(s.JMM())
+	default: // RelocUCPC
+		psi := s.SumVariance()
+		f.alpha[c] = psi/(n+1) - psi/n
+		f.beta[c] = 1/(n+1) + 1
+		f.gamma[c] = n / (n + 1)
+		f.jMag[c] = math.Abs(s.J())
+	}
+}
+
+// Skip reports whether candidate cluster c can be skipped for object i:
+// true only when the lower bound on deltaRemove + addScore(c) provably
+// cannot beat bestDelta (the best strictly-improving move found so far).
+// sigma2o is the object's scalar total variance σ²(o); coMag is the
+// magnitude |J| (resp. |J_MM|) of the object's own cluster, which — with
+// the candidate's stored |J| — anchors the fp slack: the exhaustive scan's
+// deltas are differences of J-sized sums, so their rounding error scales
+// with the objectives' magnitudes, not with the (often tiny) deltas.
+func (f *RelocFilter) Skip(i, c int, sigma2o, deltaRemove, bestDelta, coMag float64) bool {
+	if !f.enabled {
+		f.scanned++
+		return false
+	}
+	d := f.objNorm[i] - f.cNorm[c]
+	glb := f.alpha[c] + f.beta[c]*sigma2o + f.gamma[c]*(d*d)
+	cand := deltaRemove + glb
+	slack := pruneSlack * (math.Abs(cand) + math.Abs(bestDelta) + f.jMag[c] + coMag + 1)
+	if cand-slack >= bestDelta {
+		f.pruned++
+		return true
+	}
+	f.scanned++
+	return false
+}
+
+// Counters returns the cumulative (pruned, scanned) candidate counts.
+func (f *RelocFilter) Counters() (pruned, scanned int64) {
+	return f.pruned, f.scanned
+}

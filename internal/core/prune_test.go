@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/vec"
+)
+
+// pruneTestMoments builds a moment store over nGroups well-separated groups
+// (the regime where pruning actually fires) with some overlap noise.
+func pruneTestMoments(seed uint64, nGroups, perGroup, m int) *uncertain.Moments {
+	r := rng.New(seed)
+	ds := separableDataset(r, nGroups, perGroup, m)
+	return uncertain.MomentsOf(ds)
+}
+
+// driftCenters moves every center a small random step, mimicking the
+// centroid updates between assignment passes.
+func driftCenters(r *rng.RNG, centers []float64, step float64) {
+	for j := range centers {
+		centers[j] += r.Normal(0, step)
+	}
+}
+
+// TestAssignerMatchesExhaustive drives a pruned and an unpruned Assigner
+// through identical multi-pass center sequences (including additive terms)
+// and requires bit-identical assignments and changed flags on every pass,
+// with a non-trivial amount of pruning.
+func TestAssignerMatchesExhaustive(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		k, m := 5, 3
+		mom := pruneTestMoments(seed, k, 40, m)
+		n := mom.Len()
+		r := rng.New(seed ^ 0xbeef)
+
+		centers := make([]float64, k*m)
+		adds := make([]float64, k)
+		for c := 0; c < k; c++ {
+			for j := 0; j < m; j++ {
+				centers[c*m+j] = 10*float64(c) + r.Normal(0, 1)
+			}
+			adds[c] = r.Float64() * 2
+		}
+
+		pruner := NewAssigner(mom, k, true)
+		exhaust := NewAssigner(mom, k, false)
+		ap := make([]int, n)
+		ae := make([]int, n)
+		for i := range ap {
+			ap[i], ae[i] = -1, -1
+		}
+
+		for pass := 0; pass < 8; pass++ {
+			pruner.SetCenters(centers, adds)
+			exhaust.SetCenters(centers, adds)
+			chP := pruner.Assign(ap, 3)
+			chE := exhaust.Assign(ae, 1)
+			if chP != chE {
+				t.Fatalf("seed %d pass %d: changed flags differ (pruned %v, exhaustive %v)", seed, pass, chP, chE)
+			}
+			for i := range ap {
+				if ap[i] != ae[i] {
+					t.Fatalf("seed %d pass %d object %d: pruned %d vs exhaustive %d", seed, pass, i, ap[i], ae[i])
+				}
+			}
+			driftCenters(r, centers, 0.2)
+			for c := range adds {
+				adds[c] = math.Abs(adds[c] + r.Normal(0, 0.05))
+			}
+		}
+		pruned, scanned := pruner.Counters()
+		if pruned == 0 {
+			t.Errorf("seed %d: no candidates pruned (scanned %d)", seed, scanned)
+		}
+		if scanned == 0 {
+			t.Errorf("seed %d: no candidates scanned", seed)
+		}
+	}
+}
+
+// TestAssignerWorkerInvariance: the pruned engine is deterministic across
+// worker-pool sizes, including its counters.
+func TestAssignerWorkerInvariance(t *testing.T) {
+	k, m := 4, 2
+	mom := pruneTestMoments(11, k, 50, m)
+	n := mom.Len()
+	r := rng.New(77)
+	centers := make([]float64, k*m)
+	for c := 0; c < k; c++ {
+		for j := 0; j < m; j++ {
+			centers[c*m+j] = 10*float64(c) + r.Normal(0, 1)
+		}
+	}
+
+	run := func(workers int) ([]int, int64, int64) {
+		eng := NewAssigner(mom, k, true)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+		cs := append([]float64(nil), centers...)
+		rr := rng.New(5)
+		for pass := 0; pass < 5; pass++ {
+			eng.SetCenters(cs, nil)
+			eng.Assign(assign, workers)
+			driftCenters(rr, cs, 0.1)
+		}
+		p, s := eng.Counters()
+		return assign, p, s
+	}
+
+	base, bp, bs := run(1)
+	for _, w := range []int{2, 5, 0} {
+		got, gp, gs := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: object %d differs", w, i)
+			}
+		}
+		if gp != bp || gs != bs {
+			t.Errorf("workers=%d: counters (%d,%d) vs (%d,%d)", w, gp, gs, bp, bs)
+		}
+	}
+}
+
+// TestAssignerInvalidate: an external reassignment (the Lloyd reseed path)
+// followed by Invalidate must not poison later passes.
+func TestAssignerInvalidate(t *testing.T) {
+	k, m := 3, 2
+	mom := pruneTestMoments(21, k, 30, m)
+	n := mom.Len()
+	centers := make([]float64, k*m)
+	for c := 0; c < k; c++ {
+		centers[c*m], centers[c*m+1] = 10*float64(c), 10*float64(c)
+	}
+
+	pruner := NewAssigner(mom, k, true)
+	exhaust := NewAssigner(mom, k, false)
+	ap := make([]int, n)
+	ae := make([]int, n)
+	pruner.SetCenters(centers, nil)
+	exhaust.SetCenters(centers, nil)
+	pruner.Assign(ap, 2)
+	exhaust.Assign(ae, 1)
+
+	// Externally move a few objects (both copies), as a reseed would.
+	r := rng.New(9)
+	for moves := 0; moves < 5; moves++ {
+		i := r.Intn(n)
+		c := r.Intn(k)
+		ap[i], ae[i] = c, c
+		pruner.Invalidate(i)
+	}
+	driftCenters(r, centers, 0.3)
+	pruner.SetCenters(centers, nil)
+	exhaust.SetCenters(centers, nil)
+	pruner.Assign(ap, 2)
+	exhaust.Assign(ae, 1)
+	for i := range ap {
+		if ap[i] != ae[i] {
+			t.Fatalf("object %d: pruned %d vs exhaustive %d after invalidate", i, ap[i], ae[i])
+		}
+	}
+}
+
+// TestRelocFilterBoundHolds verifies the filter's core invariant directly:
+// for random clusters and objects, the O(1) lower bound never exceeds the
+// exact Corollary-1 add-score it stands in for (modulo the slack, which
+// only weakens the bound).
+func TestRelocFilterBoundHolds(t *testing.T) {
+	r := rng.New(31)
+	ds := separableDataset(r, 4, 25, 3)
+	mom := uncertain.MomentsOf(ds)
+	n := mom.Len()
+	k := 4
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = r.Intn(k)
+	}
+	stats := make([]*Stats, k)
+	for c := range stats {
+		stats[c] = NewStats(mom.Dims())
+	}
+	for i := 0; i < n; i++ {
+		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
+	}
+
+	for _, kind := range []RelocKind{RelocUCPC, RelocMMVar} {
+		f := NewRelocFilter(kind, mom, stats, true)
+		for i := 0; i < n; i++ {
+			sigma2o := mom.TotalVar(i)
+			mu, mu2 := mom.Mu(i), mom.Mu2(i)
+			for c := 0; c < k; c++ {
+				var exact, jc float64
+				if kind == RelocUCPC {
+					jc = stats[c].J()
+					exact = stats[c].JIfAddRow(mu, mu2, mom.Sigma2(i)) - jc
+				} else {
+					jc = stats[c].JMM()
+					exact = stats[c].JMMIfAddRow(mu, mu2) - jc
+				}
+				d := f.objNorm[i] - f.cNorm[c]
+				glb := f.alpha[c] + f.beta[c]*sigma2o + f.gamma[c]*(d*d)
+				slack := 1e-9 * (math.Abs(glb) + math.Abs(exact) + 1)
+				if glb-slack > exact {
+					t.Fatalf("kind %d object %d cluster %d: lower bound %g exceeds exact add-score %g", kind, i, c, glb, exact)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockBoxesCoverRows: every µ row lies inside its block's box.
+func TestBlockBoxesCoverRows(t *testing.T) {
+	mom := pruneTestMoments(41, 3, 21, 4) // 63 objects: a ragged final block
+	boxes := blockBoxes(mom)
+	want := (mom.Len() + pruneBlock - 1) / pruneBlock
+	if len(boxes) != want {
+		t.Fatalf("%d boxes, want %d", len(boxes), want)
+	}
+	for i := 0; i < mom.Len(); i++ {
+		if !boxes[i/pruneBlock].Contains(vec.Vector(mom.Mu(i))) {
+			t.Errorf("object %d outside its block box", i)
+		}
+	}
+}

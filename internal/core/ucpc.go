@@ -43,6 +43,10 @@ type UCPC struct {
 	// the next decision reads), so the partition produced for a given seed
 	// is identical for every Workers value.
 	Workers int
+	// Pruning toggles the exact bound-based pruning of the k-means++
+	// initial assignment (Assigner) and of the relocation candidate scans
+	// (RelocFilter). Default on; the partition is identical either way.
+	Pruning clustering.PruneMode
 	// OnIteration, when non-nil, is invoked after every pass with the
 	// current pass index and objective value Σ_C J(C). Used by tests to
 	// verify Proposition 4 (monotone convergence).
@@ -76,23 +80,30 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 	// relocation passes below only touch these flat slices.
 	mom := uncertain.MomentsOf(ds)
 
-	// Line 1-3: initial partition and per-cluster statistics.
+	// Line 1-3: initial partition and per-cluster statistics. The
+	// k-means++ assignment runs through the pruning engine: ÊD(o, s_c) =
+	// ‖µ(o) − µ(s_c)‖² + σ²(o) + σ²(s_c) is a Euclidean distance plus a
+	// per-seed additive term (the σ²(o) part is constant across seeds), so
+	// the engine's bounding-box first pass skips hopeless seeds exactly.
 	var assign []int
+	var initPruned, initScanned int64
 	switch u.Init {
 	case InitKMeansPP:
 		seeds := clustering.KMeansPPCenters(ds, k, r)
 		assign = make([]int, n)
-		clustering.ParallelFor(n, u.Workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				best, bestD := 0, mom.EED(i, seeds[0])
-				for c := 1; c < k; c++ {
-					if d := mom.EED(i, seeds[c]); d < bestD {
-						best, bestD = c, d
-					}
-				}
-				assign[i] = best
-			}
-		})
+		for i := range assign {
+			assign[i] = -1
+		}
+		eng := NewAssigner(mom, k, u.Pruning.Enabled())
+		centers := make([]float64, k*m)
+		adds := make([]float64, k)
+		for c, s := range seeds {
+			copy(centers[c*m:(c+1)*m], mom.Mu(s))
+			adds[c] = mom.TotalVar(s)
+		}
+		eng.SetCenters(centers, adds)
+		eng.Assign(assign, u.Workers)
+		initPruned, initScanned = eng.Counters()
 		assign = repairEmpty(assign, k, r)
 	default:
 		assign = clustering.RandomPartition(n, k, r)
@@ -121,7 +132,10 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 	// Lines 4-16: relocation passes until fixed point. The sweep applies
 	// each improving move immediately (the paper's sequential local search),
 	// so passes are inherently ordered; the speed here comes from the O(m)
-	// Corollary-1 scoring reading contiguous moment rows.
+	// Corollary-1 scoring reading contiguous moment rows, and from the
+	// RelocFilter's O(1) lower bounds skipping candidate clusters that
+	// provably cannot beat the best move found so far.
+	filter := NewRelocFilter(RelocUCPC, mom, stats, u.Pruning.Enabled())
 	iterations := 0
 	converged := false
 	for iterations < maxIter {
@@ -135,13 +149,18 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 				continue
 			}
 			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
+			sigma2o := mom.TotalVar(i)
 			jCoRemoved := stats[co].JIfRemoveRow(mu, mu2, sig)
 			deltaRemove := jCoRemoved - jCache[co]
+			coMag := math.Abs(jCache[co])
 
 			best := co
 			bestDelta := 0.0
 			for c := 0; c < k; c++ {
 				if c == co {
+					continue
+				}
+				if filter.Skip(i, c, sigma2o, deltaRemove, bestDelta, coMag) {
 					continue
 				}
 				delta := deltaRemove + stats[c].JIfAddRow(mu, mu2, sig) - jCache[c]
@@ -165,6 +184,8 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 			stats[best].AddRow(mu, mu2, sig)
 			jCache[co] = stats[co].J()
 			jCache[best] = stats[best].J()
+			filter.Refresh(co, stats[co])
+			filter.Refresh(best, stats[best])
 			assign[i] = best
 			moved = true
 		}
@@ -177,12 +198,15 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 		}
 	}
 
+	pruned, scanned := filter.Counters()
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  objective(),
-		Iterations: iterations,
-		Converged:  converged,
-		Online:     time.Since(start),
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         objective(),
+		Iterations:        iterations,
+		Converged:         converged,
+		Online:            time.Since(start),
+		PrunedCandidates:  pruned + initPruned,
+		ScannedCandidates: scanned + initScanned,
 	}, nil
 }
 

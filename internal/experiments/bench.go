@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/core"
+	"ucpc/internal/datasets"
+	"ucpc/internal/mmvar"
+	"ucpc/internal/rng"
+	"ucpc/internal/ukmeans"
+	"ucpc/internal/ukmedoids"
+	"ucpc/internal/uncgen"
+)
+
+// PruneBench measures the exact bound-based pruning engine against the
+// bound-free baseline: every algorithm wired into the engine is run with
+// pruning on and off on the same seeded workload, and the minimum online
+// time over the repetitions is reported per mode. Because pruning is exact,
+// both modes walk the identical iteration sequence — the ratio isolates the
+// arithmetic saved by the bounds. `cmd/uncbench -exp bench` serializes the
+// result as BENCH_PR2.json so CI can regress against it.
+
+// PruneBenchConfig sizes the pruning benchmark. The zero value selects a
+// CI-friendly workload.
+type PruneBenchConfig struct {
+	// N is the number of objects (default 2000), drawn from the KDD-Cup-
+	// '99-shaped generator with Normal uncertainty so every class is
+	// represented.
+	N int
+	// K is the number of clusters (default 16; pruning leverage grows
+	// with k).
+	K int
+	// Runs is the number of repetitions per (algorithm, mode); the
+	// minimum time is kept (default 3).
+	Runs int
+	// Workers sizes the assignment worker pools (default 1, the most
+	// stable configuration for CI measurement).
+	Workers int
+	// Seed drives dataset synthesis and every clustering run (default 1).
+	Seed uint64
+	// Progress, when non-nil, receives one line per measured cell.
+	Progress func(format string, args ...any)
+}
+
+func (c PruneBenchConfig) withDefaults() PruneBenchConfig {
+	if c.N == 0 {
+		c.N = 2000
+	}
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// PruneBenchRow is one algorithm's pruned-vs-unpruned measurement.
+type PruneBenchRow struct {
+	Algorithm       string  `json:"algorithm"`
+	PrunedNsPerOp   int64   `json:"pruned_ns_per_op"`
+	UnprunedNsPerOp int64   `json:"unpruned_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	PrunedFraction  float64 `json:"pruned_fraction"`
+	Iterations      int     `json:"iterations"`
+	// Gate marks the rows the CI regression check enforces (the
+	// assignment-engine algorithms, i.e. BenchmarkPrunedAssign's lineup).
+	Gate bool `json:"gate"`
+}
+
+// PruneBenchResult is the machine-readable payload of BENCH_PR2.json.
+type PruneBenchResult struct {
+	Bench   string          `json:"bench"`
+	GOOS    string          `json:"goos"`
+	GOARCH  string          `json:"goarch"`
+	N       int             `json:"n"`
+	M       int             `json:"m"`
+	K       int             `json:"k"`
+	Runs    int             `json:"runs"`
+	Workers int             `json:"workers"`
+	Seed    uint64          `json:"seed"`
+	Rows    []PruneBenchRow `json:"rows"`
+}
+
+// pruneBenchAlgorithms is the measured lineup: name, constructor per mode,
+// and whether the row gates CI (assignment-engine rows do; the relocation
+// and medoid filters are reported for the trajectory but save too little on
+// small m to gate reliably).
+func pruneBenchAlgorithms(workers int, mode clustering.PruneMode) []struct {
+	name string
+	alg  clustering.Algorithm
+	gate bool
+} {
+	return []struct {
+		name string
+		alg  clustering.Algorithm
+		gate bool
+	}{
+		{"UCPC-Lloyd", &core.UCPCLloyd{Workers: workers, Pruning: mode}, true},
+		{"UKM", &ukmeans.UKMeans{Workers: workers, Pruning: mode}, true},
+		{"UCPC", &core.UCPC{Workers: workers, Pruning: mode}, false},
+		{"MMV", &mmvar.MMVar{Pruning: mode}, false},
+		{"UKmed", &ukmedoids.UKMedoids{Workers: workers, Pruning: mode}, false},
+	}
+}
+
+// PruneBench runs the pruned-vs-unpruned comparison.
+func PruneBench(cfg PruneBenchConfig) (*PruneBenchResult, error) {
+	cfg = cfg.withDefaults()
+	d := datasets.GenerateKDD(cfg.N, cfg.Seed)
+	set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: 1.0}).Assign(d, rng.New(cfg.Seed^0xbe))
+	ds := set.Objects(d)
+
+	res := &PruneBenchResult{
+		Bench:   "PrunedAssign",
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		N:       len(ds),
+		M:       ds.Dims(),
+		K:       cfg.K,
+		Runs:    cfg.Runs,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
+	}
+
+	type cell struct {
+		best            time.Duration // fastest run (the reported ns/op)
+		pruned, scanned int64         // accumulated over all runs
+		iters           []int         // per run index (seeded identically per mode)
+		name            string
+		gate            bool
+	}
+	measure := func(mode clustering.PruneMode) ([]cell, error) {
+		algs := pruneBenchAlgorithms(cfg.Workers, mode)
+		cells := make([]cell, len(algs))
+		for ai, a := range algs {
+			c := &cells[ai]
+			c.name, c.gate = a.name, a.gate
+			for run := 0; run < cfg.Runs; run++ {
+				rep, err := a.alg.Cluster(ds, cfg.K, rng.New(cfg.Seed+uint64(run)))
+				if err != nil {
+					return nil, fmt.Errorf("%s (pruning %s): %w", a.name, mode, err)
+				}
+				if run == 0 || rep.Online < c.best {
+					c.best = rep.Online
+				}
+				c.pruned += rep.PrunedCandidates
+				c.scanned += rep.ScannedCandidates
+				c.iters = append(c.iters, rep.Iterations)
+			}
+			cfg.Progress("bench %s pruning=%s: %v", a.name, mode, c.best)
+		}
+		return cells, nil
+	}
+
+	on, err := measure(clustering.PruneOn)
+	if err != nil {
+		return nil, err
+	}
+	off, err := measure(clustering.PruneOff)
+	if err != nil {
+		return nil, err
+	}
+	for i := range on {
+		// Exactness check per seeded run: run r of both modes uses the
+		// same seed, so the iteration sequences must match exactly. Fail
+		// loudly rather than report a meaningless ratio.
+		for r := range on[i].iters {
+			if on[i].iters[r] != off[i].iters[r] {
+				return nil, fmt.Errorf("%s run %d: pruned took %d iterations, unpruned %d (exactness violated)",
+					on[i].name, r, on[i].iters[r], off[i].iters[r])
+			}
+		}
+		row := PruneBenchRow{
+			Algorithm:       on[i].name,
+			PrunedNsPerOp:   on[i].best.Nanoseconds(),
+			UnprunedNsPerOp: off[i].best.Nanoseconds(),
+			Iterations:      on[i].iters[0],
+			Gate:            on[i].gate,
+		}
+		if total := on[i].pruned + on[i].scanned; total > 0 {
+			row.PrunedFraction = float64(on[i].pruned) / float64(total)
+		}
+		if on[i].best > 0 {
+			row.Speedup = float64(off[i].best) / float64(on[i].best)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Check enforces the CI regression gate: every gate row must have pruned
+// work (pruned_fraction > 0) and must not be slower than the unpruned
+// baseline of the same run. It returns nil when the gate holds.
+func (r *PruneBenchResult) Check() error {
+	var failures []string
+	for _, row := range r.Rows {
+		if !row.Gate {
+			continue
+		}
+		if row.PrunedFraction <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: pruned fraction is 0", row.Algorithm))
+		}
+		if row.Speedup < 1.0 {
+			failures = append(failures, fmt.Sprintf("%s: pruned %.3fx vs unpruned (slower)", row.Algorithm, row.Speedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("pruning bench regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// RenderPruneBench formats the result as a human-readable table.
+func RenderPruneBench(r *PruneBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pruning engine benchmark (n=%d, m=%d, k=%d, workers=%d, min of %d runs)\n\n",
+		r.N, r.M, r.K, r.Workers, r.Runs)
+	fmt.Fprintf(&b, "%-12s %14s %14s %8s %12s %6s\n",
+		"algorithm", "pruned ns/op", "unpruned ns/op", "speedup", "pruned-frac", "gate")
+	fmt.Fprintln(&b, strings.Repeat("-", 72))
+	for _, row := range r.Rows {
+		gate := ""
+		if row.Gate {
+			gate = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %14d %14d %7.2fx %11.1f%% %6s\n",
+			row.Algorithm, row.PrunedNsPerOp, row.UnprunedNsPerOp,
+			row.Speedup, 100*row.PrunedFraction, gate)
+	}
+	return b.String()
+}

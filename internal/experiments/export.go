@@ -52,7 +52,8 @@ func Table3CSV(t *Table3Result) string {
 }
 
 // Fig4CSV renders the efficiency study as CSV: dataset, n, k, then the
-// online milliseconds of every measured algorithm (slow ∪ fast).
+// online milliseconds and the pruning engine's hit rate of every measured
+// algorithm (slow ∪ fast).
 func Fig4CSV(f *Fig4Result) string {
 	ids := unionIDs(f.Slow, f.Fast)
 	var b strings.Builder
@@ -60,11 +61,17 @@ func Fig4CSV(f *Fig4Result) string {
 	for _, id := range ids {
 		fmt.Fprintf(&b, ",ms_%s", csvID(id))
 	}
+	for _, id := range ids {
+		fmt.Fprintf(&b, ",prunedfrac_%s", csvID(id))
+	}
 	b.WriteString("\n")
 	for _, row := range f.Rows {
 		fmt.Fprintf(&b, "%s,%d,%d", row.Dataset, row.N, row.K)
 		for _, id := range ids {
 			fmt.Fprintf(&b, ",%.3f", ms(row.Cells[id].Online))
+		}
+		for _, id := range ids {
+			fmt.Fprintf(&b, ",%.4f", row.Cells[id].PrunedFrac)
 		}
 		b.WriteString("\n")
 	}

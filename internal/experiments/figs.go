@@ -28,6 +28,11 @@ type TimingCell struct {
 	EDComputations float64
 	// Iterations is the mean outer-iteration count.
 	Iterations float64
+	// PrunedFrac is the bound-based pruning engine's hit rate: the
+	// fraction of candidate (object, centroid) pairs skipped by exact
+	// bounds, aggregated over the runs (0 for algorithms without pruned
+	// loops or with pruning disabled).
+	PrunedFrac float64
 }
 
 // Fig4Row holds all algorithm timings for one dataset.
@@ -89,6 +94,7 @@ func Fig4(cfg Config, names []string) (*Fig4Result, error) {
 		row := Fig4Row{Dataset: name, N: len(ds), K: k, Cells: map[AlgorithmID]TimingCell{}}
 		for id := range ids {
 			var cell TimingCell
+			var pruned, scanned int64
 			for run := 0; run < cfg.Runs; run++ {
 				seed := cfg.Seed ^ (uint64(di+1) << 32) ^ hashID(id) ^ uint64(run+1)
 				rep, err := runClock(id, ds, k, seed)
@@ -99,11 +105,16 @@ func Fig4(cfg Config, names []string) (*Fig4Result, error) {
 				cell.Offline += rep.Offline
 				cell.EDComputations += float64(rep.EDComputations)
 				cell.Iterations += float64(rep.Iterations)
+				pruned += rep.PrunedCandidates
+				scanned += rep.ScannedCandidates
 			}
 			cell.Online /= time.Duration(cfg.Runs)
 			cell.Offline /= time.Duration(cfg.Runs)
 			cell.EDComputations /= float64(cfg.Runs)
 			cell.Iterations /= float64(cfg.Runs)
+			if total := pruned + scanned; total > 0 {
+				cell.PrunedFrac = float64(pruned) / float64(total)
+			}
 			row.Cells[id] = cell
 			cfg.Progress("fig4 %s %s: %v online", name, id, cell.Online)
 		}

@@ -161,6 +161,23 @@ func RenderFig4(f *Fig4Result) string {
 		}
 		fmt.Fprintln(&b)
 	}
+
+	// Second auxiliary view: the exact pruning engine's hit rate (fraction
+	// of candidate pairs skipped by bounds) for the algorithms wired into
+	// it.
+	fmt.Fprintf(&b, "\n[pruned candidate fraction]\n%-16s |", "dataset")
+	prIDs := []AlgorithmID{AlgUKmed, AlgUKM, AlgMMV, AlgUCPC}
+	for _, id := range prIDs {
+		fmt.Fprintf(&b, " %10s", id)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range f.Rows {
+		fmt.Fprintf(&b, "%-16s |", row.Dataset)
+		for _, id := range prIDs {
+			fmt.Fprintf(&b, " %9.1f%%", 100*row.Cells[id].PrunedFrac)
+		}
+		fmt.Fprintln(&b)
+	}
 	return b.String()
 }
 

@@ -27,6 +27,11 @@ type MMVar struct {
 	// MinImprove is the minimum relative decrease for a relocation
 	// (0 = 1e-12), guarding termination against floating-point jitter.
 	MinImprove float64
+	// Pruning toggles the exact bound-based pruning of the relocation
+	// candidate scans (core.RelocFilter). Default on; by Proposition 2 the
+	// J_MM add-score decomposes like UCPC's, so the same O(1) lower bounds
+	// apply and the partition is identical either way.
+	Pruning clustering.PruneMode
 	// OnIteration, when non-nil, observes the objective after each pass.
 	OnIteration func(iter int, objective float64)
 }
@@ -76,6 +81,7 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 		return v
 	}
 
+	filter := core.NewRelocFilter(core.RelocMMVar, mom, stats, a.Pruning.Enabled())
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
@@ -86,10 +92,15 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 				continue
 			}
 			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
+			sigma2o := mom.TotalVar(i)
 			deltaRemove := stats[co].JMMIfRemoveRow(mu, mu2) - jCache[co]
+			coMag := math.Abs(jCache[co])
 			best, bestDelta := co, 0.0
 			for c := 0; c < k; c++ {
 				if c == co {
+					continue
+				}
+				if filter.Skip(i, c, sigma2o, deltaRemove, bestDelta, coMag) {
 					continue
 				}
 				delta := deltaRemove + stats[c].JMMIfAddRow(mu, mu2) - jCache[c]
@@ -108,6 +119,8 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 			stats[best].AddRow(mu, mu2, sig)
 			jCache[co] = stats[co].JMM()
 			jCache[best] = stats[best].JMM()
+			filter.Refresh(co, stats[co])
+			filter.Refresh(best, stats[best])
 			assign[i] = best
 			moved = true
 		}
@@ -120,12 +133,15 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 		}
 	}
 
+	pruned, scanned := filter.Counters()
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  objective(),
-		Iterations: iterations,
-		Converged:  converged,
-		Online:     time.Since(start),
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         objective(),
+		Iterations:        iterations,
+		Converged:         converged,
+		Online:            time.Since(start),
+		PrunedCandidates:  pruned,
+		ScannedCandidates: scanned,
 	}, nil
 }
 

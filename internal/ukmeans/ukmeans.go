@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ucpc/internal/clustering"
+	"ucpc/internal/core"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
 	"ucpc/internal/vec"
@@ -29,13 +30,20 @@ import (
 // values; the objective it minimizes is J_UK (paper eq. 9).
 //
 // The assignment step reads the flat Moments store and fans out over a
-// worker pool; each object's argmin is independent, so the partition for a
-// given seed is identical for every worker count.
+// worker pool through the exact pruning engine (core.Assigner): since
+// ED(o,c) = σ²(o) + ‖µ(o) − c‖² and σ²(o) is constant across centroids,
+// the argmin is a pure Euclidean nearest-center query, the best case for
+// Hamerly-style bounds. Each object's decision is independent, so the
+// partition for a given seed is identical for every worker count and for
+// pruning on vs. off.
 type UKMeans struct {
 	// MaxIter caps Lloyd iterations (0 = default 100).
 	MaxIter int
 	// Workers sizes the assignment worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Pruning toggles the exact bound-based assignment pruning (default
+	// on). Results are identical either way.
+	Pruning clustering.PruneMode
 }
 
 // Name implements clustering.Algorithm.
@@ -60,22 +68,14 @@ func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	for i := range assign {
 		assign[i] = -1
 	}
+	eng := core.NewAssigner(mom, k, u.Pruning.Enabled())
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
-		// argmin_c ED(o, c) = argmin_c σ²(o)+‖µ(o)−c‖² (eq. 8).
-		changed := clustering.ParallelAny(n, workers, func(lo, hi int) bool {
-			ch := false
-			for i := lo; i < hi; i++ {
-				best, _ := mom.NearestByED(i, centers)
-				if assign[i] != best {
-					assign[i] = best
-					ch = true
-				}
-			}
-			return ch
-		})
-		if !changed {
+		// argmin_c ED(o, c) = argmin_c σ²(o)+‖µ(o)−c‖² (eq. 8): a pure
+		// nearest-center query (no additive terms), pruned exactly.
+		eng.SetCenterVecs(centers, nil)
+		if !eng.Assign(assign, workers) {
 			converged = true
 			break
 		}
@@ -88,12 +88,15 @@ func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	for i := 0; i < n; i++ {
 		objective += mom.ED(i, centers[assign[i]])
 	}
+	pruned, scanned := eng.Counters()
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  objective,
-		Iterations: iterations,
-		Converged:  converged,
-		Online:     time.Since(start),
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         objective,
+		Iterations:        iterations,
+		Converged:         converged,
+		Online:            time.Since(start),
+		PrunedCandidates:  pruned,
+		ScannedCandidates: scanned,
 	}, nil
 }
 

@@ -26,6 +26,14 @@ type UKMedoids struct {
 	// Workers sizes the worker pool of the off-line ÊD matrix build
 	// (<= 0 means GOMAXPROCS).
 	Workers int
+	// Pruning toggles candidate filtering on the distance-matrix rows
+	// (default on): the assignment step skips clusters whose medoid did
+	// not move since the object's last evaluation, and the medoid update
+	// abandons candidates as soon as their partial cost exceeds the best.
+	// Both filters are exact — partial sums of the non-negative ÊD row
+	// entries are monotone in the shared summation order — so the
+	// partition is identical either way.
+	Pruning clustering.PruneMode
 }
 
 // Name implements clustering.Algorithm.
@@ -51,35 +59,72 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 	offline := time.Since(offStart)
 
 	start := time.Now()
+	pruning := a.Pruning.Enabled()
 	medoids := clustering.KMeansPPCenters(ds, k, r)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
+	// lastEval[c] is the medoid of cluster c at the previous assignment
+	// pass (-1 = never evaluated). If an object's own medoid is unchanged,
+	// the previous pass already proved every other unchanged medoid
+	// lexicographically worse — (distance, index) ascending — so only
+	// clusters whose medoid moved need a fresh matrix lookup.
+	lastEval := make([]int, k)
+	for c := range lastEval {
+		lastEval[c] = -1
+	}
+	var pruned, scanned int64
 
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		iterations++
 		changed := false
-		// Assignment: nearest medoid by ÊD.
+		// Assignment: nearest medoid by ÊD, ties to the lowest cluster
+		// index (the plain scan's strict-< rule gives exactly that).
 		for i := 0; i < n; i++ {
-			best, bestD := 0, dm.At(i, medoids[0])
-			for c := 1; c < k; c++ {
-				if d := dm.At(i, medoids[c]); d < bestD {
-					best, bestD = c, d
+			var best int
+			var bestD float64
+			if a0 := assign[i]; pruning && a0 >= 0 && medoids[a0] == lastEval[a0] {
+				best, bestD = a0, dm.At(i, medoids[a0])
+				scanned++
+				for c := 0; c < k; c++ {
+					if c == a0 {
+						continue
+					}
+					if medoids[c] == lastEval[c] {
+						pruned++
+						continue
+					}
+					scanned++
+					if d := dm.At(i, medoids[c]); d < bestD || (d == bestD && c < best) {
+						best, bestD = c, d
+					}
 				}
+			} else {
+				best, bestD = 0, dm.At(i, medoids[0])
+				for c := 1; c < k; c++ {
+					if d := dm.At(i, medoids[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				scanned += int64(k)
 			}
 			if assign[i] != best {
 				assign[i] = best
 				changed = true
 			}
 		}
+		copy(lastEval, medoids)
 		if !changed {
 			converged = true
 			break
 		}
 		// Update: per cluster, the member minimizing the summed ÊD to
-		// its peers becomes the new medoid.
+		// its peers becomes the new medoid. Candidates are abandoned as
+		// soon as their partial cost reaches the best cost: the row
+		// entries are non-negative and summed in the same order as the
+		// exhaustive scan, so the final cost could not have been smaller.
 		members := (clustering.Partition{K: k, Assign: assign}).Members()
 		for c, ms := range members {
 			if len(ms) == 0 {
@@ -88,9 +133,20 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 			bestIdx, bestCost := medoids[c], math.Inf(1)
 			for _, cand := range ms {
 				var cost float64
-				for _, other := range ms {
+				abandoned := false
+				for oi, other := range ms {
 					cost += dm.At(cand, other)
+					if pruning && cost >= bestCost {
+						pruned += int64(len(ms) - oi - 1)
+						scanned += int64(oi + 1)
+						abandoned = true
+						break
+					}
 				}
+				if abandoned {
+					continue
+				}
+				scanned += int64(len(ms))
 				if cost < bestCost {
 					bestIdx, bestCost = cand, cost
 				}
@@ -104,12 +160,14 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 		objective += dm.At(i, medoids[assign[i]])
 	}
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  objective,
-		Iterations: iterations,
-		Converged:  converged,
-		Online:     time.Since(start),
-		Offline:    offline,
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         objective,
+		Iterations:        iterations,
+		Converged:         converged,
+		Online:            time.Since(start),
+		Offline:           offline,
+		PrunedCandidates:  pruned,
+		ScannedCandidates: scanned,
 	}, nil
 }
 

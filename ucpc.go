@@ -146,7 +146,29 @@ type Options struct {
 	// independent work, so for a fixed Seed the resulting Partition is
 	// identical for every Workers value.
 	Workers int
+	// Pruning toggles the exact bound-based pruning engine in the
+	// assignment and relocation hot loops (default PruneAuto = on).
+	// Pruning is provably exact: for a fixed Seed the resulting Partition
+	// is identical with pruning on or off; only the amount of distance
+	// arithmetic differs. Report.PrunedCandidates / ScannedCandidates
+	// expose the engine's hit rate. Set PruneOff for bound-free baseline
+	// measurements.
+	Pruning PruneMode
 }
+
+// PruneMode selects whether the exact pruning engine is active; see
+// Options.Pruning.
+type PruneMode = clustering.PruneMode
+
+// The accepted Options.Pruning values.
+const (
+	// PruneAuto (zero value) means pruning on.
+	PruneAuto = clustering.PruneAuto
+	// PruneOn forces pruning on.
+	PruneOn = clustering.PruneOn
+	// PruneOff disables all bound tests (exhaustive scans).
+	PruneOff = clustering.PruneOff
+)
 
 // AlgorithmNames lists the accepted Options.Algorithm values. "UCPC-Lloyd"
 // (batch ablation) and "UCPC-Bisect" (divisive hierarchical extension) are
@@ -194,18 +216,21 @@ func Cluster(ds Dataset, k int, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Forward the worker-pool size to the algorithms with parallel phases.
+	// Forward the worker-pool size and pruning mode to the algorithms with
+	// parallel phases and/or pruned hot loops.
 	switch a := alg.(type) {
 	case *core.UCPC:
-		a.Workers = opt.Workers
+		a.Workers, a.Pruning = opt.Workers, opt.Pruning
 	case *core.UCPCLloyd:
-		a.Workers = opt.Workers
+		a.Workers, a.Pruning = opt.Workers, opt.Pruning
 	case *core.BisectingUCPC:
-		a.Workers = opt.Workers
+		a.Workers, a.Pruning = opt.Workers, opt.Pruning
 	case *ukmeans.UKMeans:
-		a.Workers = opt.Workers
+		a.Workers, a.Pruning = opt.Workers, opt.Pruning
 	case *ukmedoids.UKMedoids:
-		a.Workers = opt.Workers
+		a.Workers, a.Pruning = opt.Workers, opt.Pruning
+	case *mmvar.MMVar:
+		a.Pruning = opt.Pruning
 	case *uahc.UAHC:
 		a.Workers = opt.Workers
 	}
