@@ -5,6 +5,7 @@
 package ucpc_test
 
 import (
+	"context"
 	"testing"
 
 	"ucpc"
@@ -21,7 +22,7 @@ func benchConfig() experiments.Config {
 // (accuracy, Θ and Q, all seven algorithms) per iteration.
 func BenchmarkTable2Iris(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(benchConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform}); err != nil {
+		if _, err := experiments.Table2(context.Background(), benchConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -30,7 +31,7 @@ func BenchmarkTable2Iris(b *testing.B) {
 // BenchmarkTable2AllModels covers the three pdf families on one dataset.
 func BenchmarkTable2AllModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table2(benchConfig(), []string{"Glass"}, nil); err != nil {
+		if _, err := experiments.Table2(context.Background(), benchConfig(), []string{"Glass"}, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -40,7 +41,7 @@ func BenchmarkTable2AllModels(b *testing.B) {
 // microarray data, internal criterion Q).
 func BenchmarkTable3Leukaemia(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table3(benchConfig(), []string{"Leukaemia"}, []int{2, 5}); err != nil {
+		if _, err := experiments.Table3(context.Background(), benchConfig(), []string{"Leukaemia"}, []int{2, 5}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -50,7 +51,7 @@ func BenchmarkTable3Leukaemia(b *testing.B) {
 // algorithms on one dataset).
 func BenchmarkFig4Abalone(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4(benchConfig(), []string{"Abalone"}); err != nil {
+		if _, err := experiments.Fig4(context.Background(), benchConfig(), []string{"Abalone"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -61,7 +62,7 @@ func BenchmarkFig4Abalone(b *testing.B) {
 func BenchmarkFig5KDD(b *testing.B) {
 	cfg := experiments.Config{Seed: 11, Runs: 1, Scale: 0.0002}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(cfg, []float64{0.5, 1.0}); err != nil {
+		if _, err := experiments.Fig5(context.Background(), cfg, []float64{0.5, 1.0}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,423 @@
+package ucpc_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"ucpc"
+)
+
+// blobs builds g well-separated groups of sz uncertain objects each.
+func blobs(g, sz int, seed uint64) ucpc.Dataset {
+	r := ucpc.NewRNG(seed)
+	var ds ucpc.Dataset
+	for b := 0; b < g; b++ {
+		for i := 0; i < sz; i++ {
+			c := []float64{20 * float64(b), 15 * float64(b%2)}
+			c[0] += r.Normal(0, 0.5)
+			c[1] += r.Normal(0, 0.5)
+			o := ucpc.NewNormalObject(b*sz+i, c, []float64{0.3, 0.3}, 0.95)
+			o.Label = b
+			ds = append(ds, o)
+		}
+	}
+	return ds
+}
+
+// TestRegistrySelfConsistent is the registry self-test: AlgorithmNames()
+// must list exactly the registered factories (every name constructable, no
+// extra construction paths), each constructed algorithm must report the
+// name it was registered under, and the lineup order must match the paper.
+func TestRegistrySelfConsistent(t *testing.T) {
+	want := []string{"UCPC", "UCPC-Lloyd", "UCPC-Bisect", "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed", "UAHC", "FDB", "FOPT"}
+	got := ucpc.AlgorithmNames()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AlgorithmNames() = %v, want %v", got, want)
+	}
+	for _, name := range got {
+		alg, err := ucpc.NewAlgorithm(name, ucpc.Config{})
+		if err != nil {
+			t.Fatalf("NewAlgorithm(%q): %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Errorf("NewAlgorithm(%q).Name() = %q: registry name and algorithm name drifted", name, alg.Name())
+		}
+	}
+	// The empty name is the documented UCPC default.
+	alg, err := ucpc.NewAlgorithm("", ucpc.Config{})
+	if err != nil || alg.Name() != "UCPC" {
+		t.Fatalf(`NewAlgorithm("") = %v, %v; want UCPC`, alg, err)
+	}
+	if _, err := ucpc.NewAlgorithm("nope", ucpc.Config{}); err == nil {
+		t.Fatal("NewAlgorithm accepted an unregistered name")
+	}
+}
+
+// TestTypedValidationErrors exercises every typed error from both entry
+// points (satellite: validate inputs up front, no panics or late failures).
+func TestTypedValidationErrors(t *testing.T) {
+	ds := blobs(2, 10, 3)
+	cl := &ucpc.Clusterer{}
+	ctx := context.Background()
+
+	if _, err := cl.Fit(ctx, nil, 2); !errors.Is(err, ucpc.ErrEmptyDataset) {
+		t.Errorf("Fit(nil ds) = %v, want ErrEmptyDataset", err)
+	}
+	if _, err := ucpc.Cluster(ucpc.Dataset{}, 2, ucpc.Options{}); !errors.Is(err, ucpc.ErrEmptyDataset) {
+		t.Errorf("Cluster(empty ds) = %v, want ErrEmptyDataset", err)
+	}
+	for _, k := range []int{0, -3, len(ds) + 1} {
+		if _, err := cl.Fit(ctx, ds, k); !errors.Is(err, ucpc.ErrBadK) {
+			t.Errorf("Fit(k=%d) = %v, want ErrBadK", k, err)
+		}
+	}
+	// Every registered algorithm must reject a bad k the same typed way —
+	// except the density-based methods, for which k is only a calibration
+	// hint (the historical contract): k > n stays legal, k < 1 does not.
+	for _, name := range ucpc.AlgorithmNames() {
+		_, err := ucpc.Cluster(ds, len(ds)+1, ucpc.Options{Algorithm: name})
+		if name == "FDB" || name == "FOPT" {
+			if err != nil {
+				t.Errorf("%s: Cluster(k=n+1) = %v, want nil (k is a hint)", name, err)
+			}
+		} else if !errors.Is(err, ucpc.ErrBadK) {
+			t.Errorf("%s: Cluster(k=n+1) = %v, want ErrBadK", name, err)
+		}
+		if _, err := ucpc.Cluster(ds, 0, ucpc.Options{Algorithm: name}); !errors.Is(err, ucpc.ErrBadK) {
+			t.Errorf("%s: Cluster(k=0) = %v, want ErrBadK", name, err)
+		}
+	}
+	mixed := append(append(ucpc.Dataset{}, ds[:4]...), ucpc.NewPointObject(99, []float64{1, 2, 3}))
+	if _, err := cl.Fit(ctx, mixed, 2); !errors.Is(err, ucpc.ErrDimMismatch) {
+		t.Errorf("Fit(mixed dims) = %v, want ErrDimMismatch", err)
+	}
+
+	model, err := cl.Fit(ctx, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Assign(ctx, ucpc.Dataset{ucpc.NewPointObject(0, []float64{1, 2, 3})}); !errors.Is(err, ucpc.ErrDimMismatch) {
+		t.Errorf("Assign(wrong dims) = %v, want ErrDimMismatch", err)
+	}
+	if ids, err := model.Assign(ctx, ucpc.Dataset{}); err != nil || len(ids) != 0 || ids == nil {
+		t.Errorf("Assign(empty) = %v, %v; want empty non-nil slice", ids, err)
+	}
+}
+
+// TestClusterMatchesClusterer proves the compat wrapper: the one-shot
+// Cluster and an explicit Clusterer.Fit produce identical partitions,
+// objectives, and iteration counts for every algorithm and several seeds —
+// and both match driving the registry-constructed algorithm by hand with
+// the same seed, so no entry point smuggles in extra configuration.
+func TestClusterMatchesClusterer(t *testing.T) {
+	ds := blobs(3, 12, 7)
+	for _, name := range ucpc.AlgorithmNames() {
+		for _, seed := range []uint64{1, 42} {
+			opt := ucpc.Options{Algorithm: name, Seed: seed}
+			rep, err := ucpc.Cluster(ds, 3, opt)
+			if err != nil {
+				t.Fatalf("%s seed %d: Cluster: %v", name, seed, err)
+			}
+			cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{Seed: seed}}
+			model, err := cl.Fit(context.Background(), ds, 3)
+			if err != nil {
+				t.Fatalf("%s seed %d: Fit: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(rep.Partition, model.Partition()) {
+				t.Errorf("%s seed %d: Cluster and Fit partitions differ", name, seed)
+			}
+			alg, err := ucpc.NewAlgorithm(name, ucpc.Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := alg.Cluster(context.Background(), ds, 3, ucpc.NewRNG(seed))
+			if err != nil {
+				t.Fatalf("%s seed %d: raw: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(rep.Partition, raw.Partition) {
+				t.Errorf("%s seed %d: wrapper partition differs from raw algorithm partition", name, seed)
+			}
+			if rep.Iterations != raw.Iterations {
+				t.Errorf("%s seed %d: wrapper %d iterations vs raw %d", name, seed, rep.Iterations, raw.Iterations)
+			}
+			if !(math.IsNaN(rep.Objective) && math.IsNaN(raw.Objective)) && rep.Objective != raw.Objective {
+				t.Errorf("%s seed %d: wrapper objective %v vs raw %v", name, seed, rep.Objective, raw.Objective)
+			}
+		}
+	}
+}
+
+// TestSeedZeroMeansDefaultSeed locks the documented default-seed contract:
+// Seed 0 and Seed DefaultSeed are the same run, and DefaultSeed is 1 (the
+// historical behavior, now an explicit constant instead of a silent remap).
+func TestSeedZeroMeansDefaultSeed(t *testing.T) {
+	if ucpc.DefaultSeed != 1 {
+		t.Fatalf("DefaultSeed = %d, want 1", ucpc.DefaultSeed)
+	}
+	ds := blobs(2, 12, 5)
+	zero, err := ucpc.Cluster(ds, 2, ucpc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := ucpc.Cluster(ds, 2, ucpc.Options{Seed: ucpc.DefaultSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zero.Partition, def.Partition) {
+		t.Error("Seed 0 and Seed DefaultSeed produced different partitions")
+	}
+}
+
+// TestFitCancellation: a context cancelled mid-run must surface as ctx.Err()
+// promptly, for a pre-cancelled context and for one cancelled from the
+// Progress callback during the first iteration.
+func TestFitCancellation(t *testing.T) {
+	ds := blobs(4, 25, 11)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range ucpc.AlgorithmNames() {
+		cl := &ucpc.Clusterer{Algorithm: name}
+		if _, err := cl.Fit(pre, ds, 4); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Fit with pre-cancelled ctx = %v, want context.Canceled", name, err)
+		}
+	}
+
+	// Cancel from inside the run: the Progress callback fires after
+	// iteration 1, the iteration-loop ctx check must stop the fit there.
+	for _, name := range []string{"UCPC", "UCPC-Lloyd", "UKM", "MMV", "UKmed", "bUKM"} {
+		ctx, cancelRun := context.WithCancel(context.Background())
+		iters := 0
+		cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{
+			Progress: func(ev ucpc.ProgressEvent) {
+				iters = ev.Iteration
+				cancelRun()
+			},
+		}}
+		_, err := cl.Fit(ctx, ds, 4)
+		cancelRun()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: Fit cancelled mid-run = %v, want context.Canceled", name, err)
+		}
+		if iters > 1 {
+			t.Errorf("%s: ran %d iterations after cancellation, want stop after 1", name, iters)
+		}
+	}
+}
+
+// TestAssignTrainingEquivalence is the assignment-equivalence satellite:
+// for UCPC, UKM, and UKmed fitted to convergence on separated data,
+// Model.Assign on the training set must reproduce the final Fit partition
+// byte for byte (the frozen prototypes are exactly the converged state).
+func TestAssignTrainingEquivalence(t *testing.T) {
+	ds := blobs(3, 20, 17)
+	for _, name := range []string{"UCPC", "UKM", "UKmed"} {
+		for _, seed := range []uint64{1, 9, 33} {
+			cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{Seed: seed}}
+			model, err := cl.Fit(context.Background(), ds, 3)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if !model.Report().Converged {
+				t.Fatalf("%s seed %d: did not converge", name, seed)
+			}
+			got, err := model.Assign(context.Background(), ds)
+			if err != nil {
+				t.Fatalf("%s seed %d: Assign: %v", name, seed, err)
+			}
+			if !reflect.DeepEqual(got, model.Partition().Assign) {
+				t.Errorf("%s seed %d: Assign(training set) differs from Fit partition", name, seed)
+			}
+		}
+	}
+}
+
+// TestAssignAllNoiseModel: a density-based fit whose training partition is
+// all noise has no winnable prototype, so Assign serves Noise — never a
+// phantom empty cluster.
+func TestAssignAllNoiseModel(t *testing.T) {
+	// Four isolated objects: n <= FDBSCAN's default MinPts pins ε to 1,
+	// the 10⁴-scale gaps make every distance probability 0, so no object
+	// is a core and the whole training partition is noise.
+	var ds ucpc.Dataset
+	for i := 0; i < 4; i++ {
+		ds = append(ds, ucpc.NewNormalObject(i, []float64{1e4 * float64(i), -3e3 * float64(i)}, []float64{0.1, 0.1}, 0.95))
+	}
+	model, err := (&ucpc.Clusterer{Algorithm: "FDB"}).Fit(context.Background(), ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Partition().NoiseCount() != len(ds) {
+		t.Fatalf("expected an all-noise training partition, got %v", model.Partition().Assign)
+	}
+	ids, err := model.Assign(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != ucpc.Noise {
+			t.Errorf("object %d assigned to %d, want Noise (model has no non-empty cluster)", i, id)
+		}
+	}
+}
+
+// TestModelCentroids checks the frozen prototypes against first principles.
+func TestModelCentroids(t *testing.T) {
+	ds := blobs(2, 15, 23)
+	ctx := context.Background()
+
+	ucpcModel, err := (&ucpc.Clusterer{Algorithm: "UCPC"}).Fit(ctx, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for c, cent := range ucpcModel.Centroids() {
+		total += cent.Size
+		if cent.Medoid != -1 {
+			t.Errorf("UCPC centroid %d has medoid %d, want -1", c, cent.Medoid)
+		}
+		if cent.Size == 0 || cent.Var <= 0 {
+			t.Errorf("UCPC centroid %d: size %d, Var %v", c, cent.Size, cent.Var)
+		}
+		// Theorem 2: σ²(C̄) = |C|⁻² Σ σ²(o), recomputed independently.
+		members := make([]int, 0)
+		for i, a := range ucpcModel.Partition().Assign {
+			if a == c {
+				members = append(members, i)
+			}
+		}
+		var sum float64
+		for _, i := range members {
+			sum += ds[i].TotalVar()
+		}
+		want := sum / float64(len(members)*len(members))
+		if math.Abs(cent.Var-want) > 1e-12*(1+want) {
+			t.Errorf("UCPC centroid %d: Var %v, want σ²(C̄) = %v", c, cent.Var, want)
+		}
+	}
+	if total != len(ds) {
+		t.Errorf("centroid sizes sum to %d, want %d", total, len(ds))
+	}
+
+	ukmModel, err := (&ucpc.Clusterer{Algorithm: "UKM"}).Fit(ctx, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cent := range ukmModel.Centroids() {
+		if cent.Var != 0 {
+			t.Errorf("UKM centroid %d: Var %v, want 0 (ED scoring)", c, cent.Var)
+		}
+	}
+
+	medModel, err := (&ucpc.Clusterer{Algorithm: "UKmed"}).Fit(ctx, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cent := range medModel.Centroids() {
+		if cent.Medoid < 0 || cent.Medoid >= len(ds) {
+			t.Fatalf("UKmed centroid %d: medoid index %d out of range", c, cent.Medoid)
+		}
+		mu := ds[cent.Medoid].Mean()
+		for j := range mu {
+			if cent.Mean[j] != mu[j] {
+				t.Errorf("UKmed centroid %d: Mean is not the medoid's µ", c)
+				break
+			}
+		}
+		if cent.Var != ds[cent.Medoid].TotalVar() {
+			t.Errorf("UKmed centroid %d: Var %v, want medoid σ² %v", c, cent.Var, ds[cent.Medoid].TotalVar())
+		}
+	}
+}
+
+// TestFitFrom exercises the warm-start path: a model fitted on a sample
+// refits on the full dataset without losing the learned structure, and the
+// unsupported algorithms fail with the typed error.
+func TestFitFrom(t *testing.T) {
+	full := blobs(3, 30, 41)
+	sample := append(append(append(ucpc.Dataset{}, full[:10]...), full[30:40]...), full[60:70]...)
+	ctx := context.Background()
+
+	for _, name := range []string{"UCPC", "UCPC-Lloyd", "UKM", "MMV", "UKmed"} {
+		cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{Seed: 3}}
+		seedModel, err := cl.Fit(ctx, sample, 3)
+		if err != nil {
+			t.Fatalf("%s: fit sample: %v", name, err)
+		}
+		warm, err := cl.FitFrom(ctx, seedModel, full)
+		if err != nil {
+			t.Fatalf("%s: FitFrom: %v", name, err)
+		}
+		if warm.K() != 3 || len(warm.Partition().Assign) != len(full) {
+			t.Fatalf("%s: warm model k=%d n=%d", name, warm.K(), len(warm.Partition().Assign))
+		}
+		if err := warm.Partition().Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Separated blobs: the warm refit must recover the reference
+		// grouping exactly, like a cold fit would.
+		if f := ucpc.FMeasure(warm.Partition(), full.Labels()); f != 1 {
+			t.Errorf("%s: warm-start F-measure %v, want 1", name, f)
+		}
+	}
+
+	for _, name := range []string{"UAHC", "FDB", "FOPT", "UCPC-Bisect", "bUKM"} {
+		cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{Seed: 3}}
+		seedModel, err := cl.Fit(ctx, sample, 3)
+		if err != nil {
+			t.Fatalf("%s: fit sample: %v", name, err)
+		}
+		if _, err := cl.FitFrom(ctx, seedModel, full); !errors.Is(err, ucpc.ErrWarmStartUnsupported) {
+			t.Errorf("%s: FitFrom = %v, want ErrWarmStartUnsupported", name, err)
+		}
+	}
+
+	// Algorithm mismatch between clusterer and model is rejected.
+	ucpcModel, err := (&ucpc.Clusterer{Algorithm: "UCPC"}).Fit(ctx, sample, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&ucpc.Clusterer{Algorithm: "UKM"}).FitFrom(ctx, ucpcModel, full); err == nil {
+		t.Error("FitFrom accepted a model fitted with a different algorithm")
+	}
+}
+
+// TestAssignFreshObjects: out-of-sample objects land in the geometrically
+// correct cluster for every prototype kind.
+func TestAssignFreshObjects(t *testing.T) {
+	ds := blobs(3, 20, 29)
+	ctx := context.Background()
+	for _, name := range ucpc.AlgorithmNames() {
+		cl := &ucpc.Clusterer{Algorithm: name, Config: ucpc.Config{Seed: 2}}
+		model, err := cl.Fit(ctx, ds, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// One fresh object near each blob center.
+		fresh := ucpc.Dataset{
+			ucpc.NewNormalObject(1000, []float64{0.3, 0.2}, []float64{0.3, 0.3}, 0.95),
+			ucpc.NewNormalObject(1001, []float64{20.2, 15.1}, []float64{0.3, 0.3}, 0.95),
+			ucpc.NewNormalObject(1002, []float64{39.8, -0.1}, []float64{0.3, 0.3}, 0.95),
+		}
+		ids, err := model.Assign(ctx, fresh)
+		if err != nil {
+			t.Fatalf("%s: Assign: %v", name, err)
+		}
+		// Each fresh object must agree with the training assignment of its
+		// blob (cluster ids are arbitrary but consistent). Density methods
+		// may have labelled a blob as noise; skip those pairings.
+		assign := model.Partition().Assign
+		for b, id := range ids {
+			trainID := assign[b*20] // first training object of blob b
+			if trainID == ucpc.Noise {
+				continue
+			}
+			if id != trainID {
+				t.Errorf("%s: fresh object near blob %d assigned to %d, training blob is %d", name, b, id, trainID)
+			}
+		}
+	}
+}

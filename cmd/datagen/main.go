@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"ucpc"
 
 	"ucpc/internal/datasets"
 	"ucpc/internal/rng"
@@ -44,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		name  = fs.String("name", "", "dataset name (see -list)")
 		scale = fs.Float64("scale", 1, "fraction of the published size")
-		seed  = fs.Uint64("seed", 1, "generator seed")
+		seed  = fs.Uint64("seed", ucpc.DefaultSeed, "generator seed")
 		n     = fs.Int("n", 0, "explicit object count (KDDCup99 only; overrides -scale)")
 		out   = fs.String("out", "", "output file (default stdout)")
 		uncsv = fs.Bool("uncertain", false, "emit uncertain CSV with marginal tokens (microarrays keep probe-level pdfs)")

@@ -11,6 +11,11 @@
 //
 //	ucpc -in data.csv -k 3 [-alg UCPC] [-model N] [-intensity 0.5]
 //	     [-labels] [-seed 1] [-pruning on|off] [-assign out.csv]
+//	     [-timeout 30s] [-progress]
+//
+// -timeout bounds the clustering wall clock (iterative methods stop
+// promptly, mid-iteration, and the run exits non-zero); -progress streams
+// one line per iteration (objective and move count) to stderr.
 //
 // The program prints the run summary (objective, iterations, time, pruning
 // hit rate, and — when labels are available — the F-measure) and optionally
@@ -18,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hasLabels = fs.Bool("labels", false, "last CSV column is an integer class label")
 		uncsv     = fs.Bool("uncertain", false, "input is uncertain CSV (ucsv marginal tokens; see internal/datasets)")
 		errcsv    = fs.Bool("errors", false, "input columns alternate value,stderr (Normal uncertainty per measurement)")
-		seed      = fs.Uint64("seed", 1, "random seed")
+		seed      = fs.Uint64("seed", ucpc.DefaultSeed, "random seed")
+		timeout   = fs.Duration("timeout", 0, "wall-clock budget for the clustering run (0 = none)")
+		progFlag  = fs.Bool("progress", false, "stream per-iteration progress (objective, moves) to stderr")
 		pruning   = fs.String("pruning", "on", "exact bound-based pruning: on|off|auto (auto = on; results identical either way)")
 		assignOut = fs.String("assign", "", "write object,cluster assignments to this CSV file")
 	)
@@ -143,10 +151,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	rep, err := ucpc.Cluster(ds, *k, ucpc.Options{Algorithm: *alg, Seed: *seed, Pruning: prune})
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	clusterer := &ucpc.Clusterer{
+		Algorithm: *alg,
+		Config:    ucpc.Config{Seed: *seed, Pruning: prune},
+	}
+	if *progFlag {
+		clusterer.Config.Progress = func(ev ucpc.ProgressEvent) {
+			fmt.Fprintf(stderr, "%s iter %3d: objective %.6g, %d moves\n",
+				ev.Algorithm, ev.Iteration, ev.Objective, ev.Moves)
+		}
+	}
+	fitted, err := clusterer.Fit(ctx, ds, *k)
 	if err != nil {
 		return fail("%v", err)
 	}
+	rep := fitted.Report()
 
 	fmt.Fprintf(stdout, "algorithm:  %s\n", *alg)
 	fmt.Fprintf(stdout, "clusters:   %d (noise: %d)\n", rep.Partition.K, rep.Partition.NoiseCount())

@@ -64,6 +64,35 @@ func TestClusterSmoke(t *testing.T) {
 	}
 }
 
+// TestProgressFlag: -progress streams per-iteration lines to stderr while
+// the summary on stdout is unchanged.
+func TestProgressFlag(t *testing.T) {
+	in := writeSeparableCSV(t)
+	code, stdout, stderr := runCmd("-in", in, "-k", "2", "-labels", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "UCPC iter") || !strings.Contains(stderr, "moves") {
+		t.Errorf("stderr missing per-iteration progress lines:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "F-measure:  1.0000") {
+		t.Errorf("summary lost with -progress:\n%s", stdout)
+	}
+}
+
+// TestTimeoutExpired: an already-expired -timeout makes the run fail with
+// the context error instead of producing a partition.
+func TestTimeoutExpired(t *testing.T) {
+	in := writeSeparableCSV(t)
+	code, stdout, stderr := runCmd("-in", in, "-k", "2", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout: %s)", code, stdout)
+	}
+	if !strings.Contains(stderr, "deadline") {
+		t.Errorf("stderr does not mention the deadline: %s", stderr)
+	}
+}
+
 // TestPruningFlagEquivalence: -pruning off must reproduce the default
 // run's assignment file byte for byte (the engine's exactness guarantee,
 // observed through the CLI).

@@ -12,7 +12,9 @@
 //	-scale f     dataset scale fraction (default 0.08; fig5 default 0.005,
 //	             interpreted against the 4M-row KDD collection)
 //	-runs n      repetitions averaged per measurement (paper: 50; default 3)
-//	-seed n      master seed (default 1)
+//	-seed n      master seed (default ucpc.DefaultSeed = 1)
+//	-timeout d   wall-clock budget for the whole run (0 = none); on expiry
+//	             the run stops promptly and exits non-zero
 //	-datasets s  comma-separated dataset subset (table2/table3/fig4)
 //	-models s    comma-separated pdf families for table2: U,N,E
 //	-out path    also write the rendered output to a file
@@ -26,13 +28,15 @@
 //	-v           progress lines on stderr
 //
 // The bench mode measures the exact bound-based pruning engine against the
-// bound-free baseline and, with -json, emits the BENCH_PR2.json payload CI
+// bound-free baseline, plus the context-check overhead of the Model.Assign
+// serving path, and, with -json, emits the BENCH_PR3.json payload CI
 // archives for the performance trajectory:
 //
-//	uncbench -exp bench -json -out BENCH_PR2.json -check
+//	uncbench -exp bench -json -out BENCH_PR3.json -check
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +44,7 @@ import (
 	"os"
 	"strings"
 
+	"ucpc"
 	"ucpc/internal/experiments"
 	"ucpc/internal/uncgen"
 )
@@ -59,7 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		exp      = fs.String("exp", "all", "experiment: table2|table3|fig4|fig5|bench|all")
 		scale    = fs.Float64("scale", 0, "dataset scale fraction (0 = per-experiment default)")
 		runs     = fs.Int("runs", 0, "runs averaged per measurement (0 = default 3)")
-		seed     = fs.Uint64("seed", 1, "master seed")
+		seed     = fs.Uint64("seed", ucpc.DefaultSeed, "master seed")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 		datasets = fs.String("datasets", "", "comma-separated dataset subset")
 		models   = fs.String("models", "", "comma-separated pdf families (U,N,E)")
 		out      = fs.String("out", "", "also write output to this file")
@@ -78,6 +84,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "uncbench: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
 		fs.Usage()
 		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := experiments.Config{Seed: *seed, Runs: *runs, Scale: *scale}
@@ -118,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var b strings.Builder
 	status := 0
 	runTable2 := func() int {
-		res, err := experiments.Table2(cfg, names, mods)
+		res, err := experiments.Table2(ctx, cfg, names, mods)
 		if err != nil {
 			return fail("table2: %v", err)
 		}
@@ -131,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	runTable3 := func() int {
-		res, err := experiments.Table3(cfg, names, nil)
+		res, err := experiments.Table3(ctx, cfg, names, nil)
 		if err != nil {
 			return fail("table3: %v", err)
 		}
@@ -144,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	runFig4 := func() int {
-		res, err := experiments.Fig4(cfg, names)
+		res, err := experiments.Fig4(ctx, cfg, names)
 		if err != nil {
 			return fail("fig4: %v", err)
 		}
@@ -161,7 +174,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	runFig5 := func() int {
-		res, err := experiments.Fig5(cfg, nil)
+		res, err := experiments.Fig5(ctx, cfg, nil)
 		if err != nil {
 			return fail("fig5: %v", err)
 		}
@@ -174,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	runBench := func() int {
-		res, err := experiments.PruneBench(experiments.PruneBenchConfig{
+		res, err := experiments.PruneBench(ctx, experiments.PruneBenchConfig{
 			N: *benchN, K: *benchK, Runs: *runs, Workers: *workers,
 			Seed: *seed, Progress: progress,
 		})

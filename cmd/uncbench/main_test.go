@@ -59,6 +59,15 @@ func TestBenchJSON(t *testing.T) {
 	if prunedSomething == 0 {
 		t.Error("no algorithm recorded pruned work")
 	}
+	if res.CtxOverhead == nil {
+		t.Fatal("payload missing the ctx_overhead section")
+	}
+	if res.CtxOverhead.Budget != 0.02 {
+		t.Errorf("ctx overhead budget %v, want 0.02", res.CtxOverhead.Budget)
+	}
+	if res.CtxOverhead.ServingNsPerOp <= 0 || res.CtxOverhead.BaselineNsPerOp <= 0 {
+		t.Errorf("non-positive ctx-overhead timings: %+v", res.CtxOverhead)
+	}
 	fileData, err := os.ReadFile(outPath)
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +87,18 @@ func TestBenchRendered(t *testing.T) {
 		if !strings.Contains(stdout, want) {
 			t.Errorf("rendered output missing %q:\n%s", want, stdout)
 		}
+	}
+}
+
+// TestTimeoutExpired: an already-expired -timeout aborts the experiment
+// with a runtime failure (exit 1), not a usage error.
+func TestTimeoutExpired(t *testing.T) {
+	code, _, stderr := runCmd("-exp", "fig4", "-timeout", "1ns")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "deadline") {
+		t.Errorf("stderr does not mention the deadline: %s", stderr)
 	}
 }
 

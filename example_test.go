@@ -1,0 +1,97 @@
+package ucpc_test
+
+import (
+	"context"
+	"fmt"
+
+	"ucpc"
+)
+
+// exampleDataset builds two tight, well-separated groups of uncertain
+// objects so the example output is deterministic.
+func exampleDataset() ucpc.Dataset {
+	var ds ucpc.Dataset
+	for i := 0; i < 5; i++ {
+		ds = append(ds, ucpc.NewNormalObject(i, []float64{float64(i) * 0.1, 0}, []float64{0.2, 0.2}, 0.95))
+	}
+	for i := 0; i < 5; i++ {
+		ds = append(ds, ucpc.NewNormalObject(5+i, []float64{10 + float64(i)*0.1, 8}, []float64{0.2, 0.2}, 0.95))
+	}
+	return ds
+}
+
+// ExampleClusterer_Fit fits UCPC once and inspects the frozen model.
+func ExampleClusterer_Fit() {
+	clusterer := &ucpc.Clusterer{Algorithm: "UCPC", Config: ucpc.Config{Seed: 42}}
+	model, err := clusterer.Fit(context.Background(), exampleDataset(), 2)
+	if err != nil {
+		panic(err)
+	}
+	sizes := model.Partition().Sizes()
+	fmt.Println("clusters:", model.K())
+	fmt.Println("sizes:", sizes[0], "and", sizes[1])
+	fmt.Println("converged:", model.Report().Converged)
+	// Output:
+	// clusters: 2
+	// sizes: 5 and 5
+	// converged: true
+}
+
+// ExampleModel_Assign scores fresh uncertain objects against the frozen
+// U-centroids of a fitted model — the serving path: no refit, the model is
+// immutable and safe for concurrent Assign calls.
+func ExampleModel_Assign() {
+	ds := exampleDataset()
+	model, err := (&ucpc.Clusterer{Config: ucpc.Config{Seed: 42}}).Fit(context.Background(), ds, 2)
+	if err != nil {
+		panic(err)
+	}
+
+	// Two fresh objects, one near each training group.
+	fresh := ucpc.Dataset{
+		ucpc.NewNormalObject(100, []float64{0.3, 0.1}, []float64{0.2, 0.2}, 0.95),
+		ucpc.NewNormalObject(101, []float64{10.1, 7.9}, []float64{0.2, 0.2}, 0.95),
+	}
+	ids, err := model.Assign(context.Background(), fresh)
+	if err != nil {
+		panic(err)
+	}
+	train := model.Partition().Assign
+	fmt.Println("first joins the cluster of object 0:", ids[0] == train[0])
+	fmt.Println("second joins the cluster of object 5:", ids[1] == train[5])
+	// Output:
+	// first joins the cluster of object 0: true
+	// second joins the cluster of object 5: true
+}
+
+// ExampleCluster is the one-shot compatibility path: a single call, no
+// session, identical partitions to Clusterer.Fit with the same Options.
+func ExampleCluster() {
+	rep, err := ucpc.Cluster(exampleDataset(), 2, ucpc.Options{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", rep.Partition.K)
+	fmt.Println("noise:", rep.Partition.NoiseCount())
+	// Output:
+	// clusters: 2
+	// noise: 0
+}
+
+// ExampleClusterer_FitFrom warm-starts a refit on grown data from an
+// existing model instead of a fresh random initialization.
+func ExampleClusterer_FitFrom() {
+	ds := exampleDataset()
+	clusterer := &ucpc.Clusterer{Algorithm: "UCPC", Config: ucpc.Config{Seed: 42}}
+	model, err := clusterer.Fit(context.Background(), ds[:8], 2)
+	if err != nil {
+		panic(err)
+	}
+	warm, err := clusterer.FitFrom(context.Background(), model, ds)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("refitted on", len(warm.Partition().Assign), "objects into", warm.K(), "clusters")
+	// Output:
+	// refitted on 10 objects into 2 clusters
+}

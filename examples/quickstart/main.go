@@ -1,5 +1,6 @@
-// Quickstart: build a handful of uncertain objects by hand, cluster them
-// with UCPC, and inspect the U-centroids of the resulting clusters.
+// Quickstart: build a handful of uncertain objects by hand, fit UCPC once,
+// inspect the U-centroids of the resulting clusters, and assign a fresh
+// object to the fitted model without re-clustering.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"ucpc"
@@ -27,10 +29,14 @@ func main() {
 		ucpc.NewNormalObject(5, []float64{7.7, 8.3}, []float64{0.4, 0.4}, 0.95),
 	}
 
-	report, err := ucpc.Cluster(objects, 2, ucpc.Options{Seed: 42})
+	// Fit once; the model freezes the learned U-centroids for serving.
+	ctx := context.Background()
+	clusterer := &ucpc.Clusterer{Algorithm: "UCPC", Config: ucpc.Config{Seed: 42}}
+	model, err := clusterer.Fit(ctx, objects, 2)
 	if err != nil {
 		panic(err)
 	}
+	report := model.Report()
 
 	fmt.Printf("UCPC converged in %d iterations (objective %.4f)\n\n",
 		report.Iterations, report.Objective)
@@ -61,4 +67,14 @@ func main() {
 			fmt.Printf("  realization %d: (%.3f, %.3f)\n", t, x[0], x[1])
 		}
 	}
+
+	// Serving: score a fresh uncertain measurement against the frozen
+	// U-centroids (expected-distance scoring, no refit).
+	fresh := ucpc.Dataset{ucpc.NewNormalObject(6, []float64{7.9, 7.8}, []float64{0.3, 0.3}, 0.95)}
+	ids, err := model.Assign(ctx, fresh)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nfresh object mean=(%.1f, %.1f) -> cluster %d\n",
+		fresh[0].Mean()[0], fresh[0].Mean()[1], ids[0])
 }

@@ -1,0 +1,128 @@
+// Serving: the fit-once / assign-many workflow a server embeds — the
+// ROADMAP's "heavy traffic" path. A model is trained once on a bounded
+// budget (context timeout, per-iteration progress), then serves batches of
+// fresh uncertain objects from many goroutines against the frozen
+// U-centroids, and is periodically refreshed with a warm start (FitFrom)
+// when enough new data has accumulated.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ucpc"
+)
+
+const (
+	groups    = 4
+	trainSize = 50 // objects per group in the training set
+	batchSize = 64 // fresh objects per serving batch
+	batches   = 8
+)
+
+// sensor synthesizes one uncertain object near its group center.
+func sensor(r *ucpc.RNG, id, g int) *ucpc.Object {
+	cx := []float64{25 * float64(g%2), 25 * float64(g/2)}
+	center := []float64{cx[0] + r.Normal(0, 1.2), cx[1] + r.Normal(0, 1.2)}
+	sigmas := []float64{0.3 + 0.4*r.Float64(), 0.3 + 0.4*r.Float64()}
+	o := ucpc.NewNormalObject(id, center, sigmas, 0.95)
+	o.Label = g
+	return o
+}
+
+func main() {
+	r := ucpc.NewRNG(99)
+	var train ucpc.Dataset
+	for g := 0; g < groups; g++ {
+		for i := 0; i < trainSize; i++ {
+			train = append(train, sensor(r, len(train), g))
+		}
+	}
+
+	// Train under a wall-clock budget, streaming per-iteration progress.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	clusterer := &ucpc.Clusterer{
+		Algorithm: "UCPC",
+		Config: ucpc.Config{
+			Seed: 7,
+			Progress: func(ev ucpc.ProgressEvent) {
+				fmt.Printf("  fit %s iter %d: objective %.3f, %d moves\n",
+					ev.Algorithm, ev.Iteration, ev.Objective, ev.Moves)
+			},
+		},
+	}
+	model, err := clusterer.Fit(ctx, train, groups)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fitted %d clusters on %d objects (F=%.3f)\n\n",
+		model.K(), len(train), ucpc.FMeasure(model.Partition(), train.Labels()))
+
+	// Serve concurrent batches against the immutable model.
+	var wg sync.WaitGroup
+	correct := make([]int, batches)
+	fresh := make([]ucpc.Dataset, batches)
+	for b := range fresh {
+		br := ucpc.NewRNG(uint64(1000 + b))
+		for i := 0; i < batchSize; i++ {
+			fresh[b] = append(fresh[b], sensor(br, i, br.Intn(groups)))
+		}
+	}
+	// Map cluster ids to majority training labels once.
+	clusterLabel := make(map[int]int)
+	counts := make(map[[2]int]int)
+	for i, c := range model.Partition().Assign {
+		counts[[2]int{c, train[i].Label}]++
+	}
+	for key, n := range counts {
+		if best, ok := clusterLabel[key[0]]; !ok || n > counts[[2]int{key[0], best}] {
+			clusterLabel[key[0]] = key[1]
+		}
+	}
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			ids, err := model.Assign(ctx, fresh[b])
+			if err != nil {
+				panic(err)
+			}
+			for i, c := range ids {
+				if clusterLabel[c] == fresh[b][i].Label {
+					correct[b]++
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	total, right := batches*batchSize, 0
+	for _, c := range correct {
+		right += c
+	}
+	fmt.Printf("served %d fresh objects across %d concurrent batches: %.1f%% routed to their true group\n\n",
+		total, batches, 100*float64(right)/float64(total))
+
+	// Periodic refresh: fold the served batches into the training set and
+	// warm-start from the current model instead of refitting from scratch.
+	grown := append(ucpc.Dataset{}, train...)
+	for _, batch := range fresh {
+		grown = append(grown, batch...)
+	}
+	for i, o := range grown {
+		o.ID = i
+	}
+	refreshed, err := clusterer.FitFrom(ctx, model, grown)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("warm-started refresh on %d objects: %d iterations, F=%.3f\n",
+		len(grown), refreshed.Report().Iterations,
+		ucpc.FMeasure(refreshed.Partition(), grown.Labels()))
+}

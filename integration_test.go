@@ -2,6 +2,7 @@ package ucpc_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -108,16 +109,16 @@ func TestUncertaintyHelpsOnNoisyData(t *testing.T) {
 // the public harness, as cmd/uncbench would.
 func TestExperimentHarnessSmoke(t *testing.T) {
 	cfg := experiments.Config{Seed: 2, Runs: 1, Scale: 0.01, MinObjects: 60}
-	if _, err := experiments.Table2(cfg, []string{"Wine"}, []uncgen.Model{uncgen.Exponential}); err != nil {
+	if _, err := experiments.Table2(context.Background(), cfg, []string{"Wine"}, []uncgen.Model{uncgen.Exponential}); err != nil {
 		t.Errorf("table2: %v", err)
 	}
-	if _, err := experiments.Table3(cfg, []string{"Neuroblastoma"}, []int{3}); err != nil {
+	if _, err := experiments.Table3(context.Background(), cfg, []string{"Neuroblastoma"}, []int{3}); err != nil {
 		t.Errorf("table3: %v", err)
 	}
-	if _, err := experiments.Fig4(cfg, []string{"Letter"}); err != nil {
+	if _, err := experiments.Fig4(context.Background(), cfg, []string{"Letter"}); err != nil {
 		t.Errorf("fig4: %v", err)
 	}
-	if _, err := experiments.Fig5(experiments.Config{Seed: 2, Runs: 1, Scale: 0.0001}, []float64{1.0}); err != nil {
+	if _, err := experiments.Fig5(context.Background(), experiments.Config{Seed: 2, Runs: 1, Scale: 0.0001}, []float64{1.0}); err != nil {
 		t.Errorf("fig5: %v", err)
 	}
 }

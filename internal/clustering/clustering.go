@@ -6,6 +6,7 @@
 package clustering
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -123,6 +124,11 @@ type Report struct {
 	// PrunedCandidates it yields the prune hit rate
 	// PrunedCandidates / (PrunedCandidates + ScannedCandidates).
 	ScannedCandidates int64
+	// Medoids, for medoid-based methods, holds the dataset index of the
+	// object representing each cluster at termination (nil for every other
+	// method). These are the frozen prototypes a fitted model scores new
+	// objects against.
+	Medoids []int
 }
 
 // PrunedFraction returns the fraction of candidate pairs eliminated by the
@@ -144,7 +150,21 @@ type Algorithm interface {
 	// Cluster partitions ds into k groups. Density-based algorithms may
 	// produce a different number of clusters and noise; k is then only a
 	// hint used for parameter calibration.
-	Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*Report, error)
+	//
+	// Iterative methods check ctx between iterations (and inside long
+	// sweeps) and return ctx.Err() promptly after cancellation; a nil ctx
+	// means context.Background(). Cancellation never corrupts state — the
+	// run simply ends with the context's error instead of a Report.
+	Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*Report, error)
+}
+
+// WarmStarter is implemented by the iterative methods that can resume from
+// a caller-supplied initial assignment instead of their own initialization
+// (the public API's FitFrom). init must satisfy ValidateInit; clusters left
+// empty by init are repaired deterministically from r before iterating.
+type WarmStarter interface {
+	Algorithm
+	ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*Report, error)
 }
 
 // RandomPartition assigns each object to a uniform random cluster while
@@ -163,6 +183,30 @@ func RandomPartition(n, k int, r *rng.RNG) []int {
 	}
 	for i := k; i < n; i++ {
 		assign[perm[i]] = r.Intn(k)
+	}
+	return assign
+}
+
+// RepairEmpty reassigns one random object into each empty cluster so every
+// cluster is non-empty (donors are taken from clusters with >1 member).
+// Used after k-means++ seeding and before warm-started relocation sweeps,
+// which both require complete partitions. Requires k <= n.
+func RepairEmpty(assign []int, k int, r *rng.RNG) []int {
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	for c := 0; c < k; c++ {
+		for sizes[c] == 0 {
+			i := r.Intn(len(assign))
+			from := assign[i]
+			if sizes[from] <= 1 {
+				continue
+			}
+			sizes[from]--
+			assign[i] = c
+			sizes[c]++
+		}
 	}
 	return assign
 }

@@ -1,0 +1,81 @@
+package clustering
+
+import "context"
+
+// DefaultSeed is the seed used by every entry point when the caller leaves
+// Config.Seed (or Options.Seed) at its zero value. Seed 0 itself is not a
+// valid run seed — the deterministic RNG reserves it — so the zero value of
+// a configuration explicitly means "use DefaultSeed". The cmd/ binaries
+// default their -seed flags to this same constant, so a flagless CLI run
+// and a zero-valued library run are the same run.
+const DefaultSeed uint64 = 1
+
+// Config is the run configuration shared by every clustering algorithm. It
+// is threaded through each algorithm's registered constructor (see
+// Register), so a single Config value has one meaning for every method —
+// there is no per-algorithm field mapping to get wrong.
+type Config struct {
+	// Workers sizes the worker pool of the parallel phases (assignment
+	// steps, distance-matrix builds). 0 means one worker per CPU
+	// (GOMAXPROCS). Parallel phases only cover order-independent work, so
+	// for a fixed Seed the resulting Partition is identical for every
+	// Workers value.
+	Workers int
+	// Pruning toggles the exact bound-based pruning engine in the
+	// assignment and relocation hot loops (default PruneAuto = on).
+	// Pruning is provably exact: the partition is identical either way.
+	Pruning PruneMode
+	// MaxIter caps the iterations of iterative methods (0 = per-method
+	// default, typically 100).
+	MaxIter int
+	// Seed drives all of the run's randomness. 0 means DefaultSeed; every
+	// other value is used verbatim.
+	Seed uint64
+	// Progress, when non-nil, is invoked after every outer iteration of
+	// the iterative methods with the pass index, the current objective
+	// value (NaN where the method defines none), and the number of objects
+	// that changed cluster during the pass. The callback runs on the
+	// clustering goroutine: keep it cheap, and do not retain the event's
+	// slices (there are none) or call back into the model.
+	Progress ProgressFunc
+}
+
+// SeedOrDefault resolves Config.Seed: 0 means DefaultSeed.
+func (c Config) SeedOrDefault() uint64 {
+	if c.Seed == 0 {
+		return DefaultSeed
+	}
+	return c.Seed
+}
+
+// ProgressEvent is one per-iteration report of an iterative algorithm.
+type ProgressEvent struct {
+	// Algorithm is the reporting method's short name (e.g. "UCPC").
+	Algorithm string
+	// Iteration is the 1-based outer iteration (pass) index.
+	Iteration int
+	// Objective is the algorithm's own objective after the pass (NaN when
+	// the method defines none, e.g. the sample-based basic UK-means).
+	Objective float64
+	// Moves is the number of objects that changed cluster during the pass.
+	Moves int
+}
+
+// ProgressFunc observes per-iteration progress; see Config.Progress.
+type ProgressFunc func(ProgressEvent)
+
+// Emit invokes the callback if it is non-nil.
+func (f ProgressFunc) Emit(algorithm string, iteration int, objective float64, moves int) {
+	if f != nil {
+		f(ProgressEvent{Algorithm: algorithm, Iteration: iteration, Objective: objective, Moves: moves})
+	}
+}
+
+// Ctx normalizes a caller-supplied context: nil means context.Background(),
+// so algorithm loops can check ctx.Err() unconditionally.
+func Ctx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,41 @@
+package clustering
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadK marks a cluster count outside [1, n]. Every algorithm validates k
+// up front and wraps this sentinel, so callers can test errors.Is(err,
+// ErrBadK) regardless of which method produced the failure.
+var ErrBadK = errors.New("k out of range")
+
+// ErrWarmStartUnsupported marks an algorithm that cannot resume from an
+// initial assignment (FitFrom in the public API): the single-shot methods
+// (UAHC, FDBSCAN, FOPTICS), the sample-based UK-means variants, and the
+// divisive UCPC-Bisect.
+var ErrWarmStartUnsupported = errors.New("algorithm does not support warm starts")
+
+// ValidateK returns a wrapped ErrBadK unless 1 <= k <= n. prefix names the
+// reporting algorithm in the message.
+func ValidateK(prefix string, k, n int) error {
+	if k <= 0 || k > n {
+		return fmt.Errorf("%s: k=%d for n=%d: %w", prefix, k, n, ErrBadK)
+	}
+	return nil
+}
+
+// ValidateInit checks a warm-start assignment: one entry per object, every
+// entry a cluster id in [0, k). (Noise entries are not valid starting
+// points; callers assign noise objects before warm-starting.)
+func ValidateInit(prefix string, init []int, n, k int) error {
+	if len(init) != n {
+		return fmt.Errorf("%s: warm-start assignment has %d entries for n=%d objects", prefix, len(init), n)
+	}
+	for i, c := range init {
+		if c < 0 || c >= k {
+			return fmt.Errorf("%s: warm-start assignment maps object %d to invalid cluster %d (k=%d)", prefix, i, c, k)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package clustering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a fresh, stateless-across-runs algorithm instance wired to
+// the shared Config. Every registered method consumes the Config fields it
+// understands (Workers, Pruning, MaxIter, Progress) and ignores the rest;
+// Seed is consumed by the caller, which turns it into the *rng.RNG handed
+// to Cluster.
+type Factory func(cfg Config) Algorithm
+
+// Prototype classifies how a fitted model of the algorithm represents its
+// clusters for out-of-sample assignment (Model.Assign in the public API).
+// All kinds score a fresh object o against cluster c with the same rule,
+//
+//	score(o, c) = ‖µ(o) − mean_c‖² + add_c  (+ σ²(o), constant in c),
+//
+// through the exact pruned assignment engine; the kind only determines how
+// (mean_c, add_c) are frozen from the training partition.
+type Prototype int
+
+const (
+	// ProtoUCentroid freezes the paper's U-centroid per cluster:
+	// mean_c = |C|⁻¹Σµ(o), add_c = σ²(C̄_c) = |C|⁻²Σσ²(o) (Theorem 2),
+	// so score(o,c) recovers ÊD(o, C̄_c) up to the constant σ²(o).
+	ProtoUCentroid Prototype = iota
+	// ProtoMean freezes the UK-means centroid point (eq. 7): mean_c is
+	// the cluster mean, add_c = 0, so score(o,c) recovers ED(o, y_c) up
+	// to the constant σ²(o).
+	ProtoMean
+	// ProtoMixture freezes the MMVar mixture-model centroid (Lemma 2):
+	// mean_c = |C|⁻¹Σµ(o), add_c = σ²(C_MM), so score(o,c) recovers
+	// ÊD(o, C_MM) up to the constant σ²(o).
+	ProtoMixture
+	// ProtoMedoid freezes the final medoid object of each cluster:
+	// mean_c = µ(medoid_c), add_c = σ²(medoid_c), so score(o,c) recovers
+	// ÊD(o, medoid_c) up to the constant σ²(o). Requires Report.Medoids.
+	ProtoMedoid
+)
+
+// Registration describes one clustering method to the registry.
+type Registration struct {
+	// Name is the method's paper abbreviation ("UCPC", "UKM", ...). It is
+	// the key accepted by NewAlgorithm and listed by AlgorithmNames.
+	Name string
+	// Rank orders AlgorithmNames (the paper's lineup order). Ties break
+	// by name.
+	Rank int
+	// Prototype selects the frozen-centroid representation used for
+	// out-of-sample assignment.
+	Prototype Prototype
+	// KIsHint marks the density-based methods for which k only calibrates
+	// parameters (the cluster count is data-driven): validation then
+	// requires k >= 1 but not k <= n.
+	KIsHint bool
+	// New constructs a fresh instance wired to a Config.
+	New Factory
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]Registration
+}{byName: make(map[string]Registration)}
+
+// Register records a clustering method. Each algorithm package registers
+// itself from an init function, so the set of valid names and the set of
+// constructable methods cannot drift apart. Register panics on an empty
+// name, a nil factory, or a duplicate name — all programmer errors that
+// must fail at process start, not at first use.
+func Register(reg Registration) {
+	if reg.Name == "" {
+		panic("clustering: Register with empty name")
+	}
+	if reg.New == nil {
+		panic(fmt.Sprintf("clustering: Register(%q) with nil factory", reg.Name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.byName[reg.Name]; dup {
+		panic(fmt.Sprintf("clustering: Register(%q) called twice", reg.Name))
+	}
+	registry.byName[reg.Name] = reg
+}
+
+// Lookup returns the registration for name. The empty name resolves to
+// "UCPC", the paper's contribution and the library default.
+func Lookup(name string) (Registration, bool) {
+	if name == "" {
+		name = "UCPC"
+	}
+	registry.RLock()
+	defer registry.RUnlock()
+	reg, ok := registry.byName[name]
+	return reg, ok
+}
+
+// NewAlgorithm instantiates a registered method by its paper abbreviation
+// ("" means "UCPC"), wiring cfg through the method's constructor.
+func NewAlgorithm(name string, cfg Config) (Algorithm, error) {
+	reg, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("clustering: unknown algorithm %q (valid: %v)", name, AlgorithmNames())
+	}
+	return reg.New(cfg), nil
+}
+
+// AlgorithmNames lists every registered method, ordered by Registration
+// rank (the paper's lineup order). Exactly the names NewAlgorithm accepts.
+func AlgorithmNames() []string {
+	registry.RLock()
+	regs := make([]Registration, 0, len(registry.byName))
+	for _, reg := range registry.byName {
+		regs = append(regs, reg)
+	}
+	registry.RUnlock()
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Rank != regs[j].Rank {
+			return regs[i].Rank < regs[j].Rank
+		}
+		return regs[i].Name < regs[j].Name
+	})
+	names := make([]string, len(regs))
+	for i, reg := range regs {
+		names[i] = reg.Name
+	}
+	return names
+}

@@ -1,0 +1,79 @@
+package clustering
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+type stubAlg struct{ name string }
+
+func (s *stubAlg) Name() string { return s.name }
+func (s *stubAlg) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*Report, error) {
+	return &Report{Partition: NewPartition(len(ds), k)}, nil
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterValidation(t *testing.T) {
+	factory := func(cfg Config) Algorithm { return &stubAlg{name: "stub-a"} }
+	mustPanic(t, "empty name", func() { Register(Registration{New: factory}) })
+	mustPanic(t, "nil factory", func() { Register(Registration{Name: "stub-nilfactory"}) })
+
+	Register(Registration{Name: "stub-a", Rank: 9000, New: factory})
+	mustPanic(t, "called twice", func() { Register(Registration{Name: "stub-a", Rank: 9001, New: factory}) })
+
+	reg, ok := Lookup("stub-a")
+	if !ok || reg.Rank != 9000 {
+		t.Fatalf("Lookup(stub-a) = %+v, %v", reg, ok)
+	}
+	alg, err := NewAlgorithm("stub-a", Config{})
+	if err != nil || alg.Name() != "stub-a" {
+		t.Fatalf("NewAlgorithm(stub-a) = %v, %v", alg, err)
+	}
+	if _, err := NewAlgorithm("stub-unknown", Config{}); err == nil {
+		t.Fatal("NewAlgorithm accepted an unregistered name")
+	}
+
+	// The stub (rank 9000) must sort last in the name list.
+	names := AlgorithmNames()
+	if names[len(names)-1] != "stub-a" {
+		t.Fatalf("AlgorithmNames() = %v: rank ordering broken", names)
+	}
+}
+
+func TestConfigSeedOrDefault(t *testing.T) {
+	if got := (Config{}).SeedOrDefault(); got != DefaultSeed {
+		t.Fatalf("zero Config seed resolves to %d, want DefaultSeed=%d", got, DefaultSeed)
+	}
+	if got := (Config{Seed: 77}).SeedOrDefault(); got != 77 {
+		t.Fatalf("explicit seed resolves to %d, want 77", got)
+	}
+}
+
+func TestProgressEmitNilSafe(t *testing.T) {
+	var f ProgressFunc
+	f.Emit("X", 1, 0, 0) // must not panic
+	var got ProgressEvent
+	f = func(ev ProgressEvent) { got = ev }
+	f.Emit("UCPC", 3, 1.5, 7)
+	want := ProgressEvent{Algorithm: "UCPC", Iteration: 3, Objective: 1.5, Moves: 7}
+	if got != want {
+		t.Fatalf("Emit delivered %+v, want %+v", got, want)
+	}
+}

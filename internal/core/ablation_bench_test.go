@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"ucpc/internal/clustering"
@@ -42,7 +43,7 @@ func BenchmarkUCPCRelocation(b *testing.B) {
 	ds := uncertain.Dataset(benchCluster(512, 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (&UCPC{}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+		if _, err := (&UCPC{}).Cluster(context.Background(), ds, 6, rng.New(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +54,7 @@ func BenchmarkUCPCLloyd(b *testing.B) {
 	ds := uncertain.Dataset(benchCluster(512, 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (&UCPCLloyd{}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+		if _, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, 6, rng.New(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +65,7 @@ func BenchmarkUCPCLloydParallel(b *testing.B) {
 	ds := uncertain.Dataset(benchCluster(512, 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := (&UCPCLloyd{Workers: 4}).Cluster(ds, 6, rng.New(uint64(i+1))); err != nil {
+		if _, err := (&UCPCLloyd{Workers: 4}).Cluster(context.Background(), ds, 6, rng.New(uint64(i+1))); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,10 @@ type BisectingUCPC struct {
 	Workers int
 	// Pruning is forwarded to the 2-way UCPC sub-runs (default on).
 	Pruning clustering.PruneMode
+	// Progress, when non-nil, observes every completed split with the
+	// running total objective Σ_C J(C) and the size of the newly created
+	// cluster as the move count.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
@@ -38,19 +43,20 @@ type Split struct {
 }
 
 // Cluster divisively partitions ds into k clusters.
-func (b *BisectingUCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
-	rep, _, err := b.ClusterWithSplits(ds, k, r)
+func (b *BisectingUCPC) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	rep, _, err := b.ClusterWithSplits(ctx, ds, k, r)
 	return rep, err
 }
 
 // ClusterWithSplits is Cluster plus the split history.
-func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, []Split, error) {
+func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, []Split, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, nil, err
 	}
 	n := len(ds)
-	if k <= 0 || k > n {
-		return nil, nil, fmt.Errorf("ucpc-bisect: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("ucpc-bisect", k, n); err != nil {
+		return nil, nil, err
 	}
 	restarts := b.Restarts
 	if restarts <= 0 {
@@ -65,6 +71,9 @@ func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RN
 	iterations := 0
 
 	for clusters := 1; clusters < k; clusters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Pick the cluster with the largest J; ties by size so singleton
 		// clusters (J = 2σ² but unsplittable) are never chosen over
 		// splittable ones.
@@ -100,7 +109,7 @@ func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RN
 		bestJ := 0.0
 		for rep := 0; rep < restarts; rep++ {
 			sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers, Pruning: b.Pruning}
-			report, err := sub.Cluster(members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
+			report, err := sub.Cluster(ctx, members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -124,6 +133,19 @@ func (b *BisectingUCPC) ClusterWithSplits(ds uncertain.Dataset, k int, r *rng.RN
 		jOf = append(jOf, 0)
 		jOf[worst] = objectiveOf(ds, assign, worst)
 		jOf[newID] = objectiveOf(ds, assign, newID)
+		if b.Progress != nil {
+			var total float64
+			for _, j := range jOf {
+				total += j
+			}
+			newSize := 0
+			for _, c := range assign {
+				if c == newID {
+					newSize++
+				}
+			}
+			b.Progress.Emit(b.Name(), clusters, total, newSize)
+		}
 	}
 
 	var total float64

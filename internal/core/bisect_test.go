@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 func TestBisectRecoversSeparatedClusters(t *testing.T) {
 	r := rng.New(4000)
 	ds := separableDataset(r, 4, 15, 2)
-	rep, splits, err := (&BisectingUCPC{}).ClusterWithSplits(ds, 4, r)
+	rep, splits, err := (&BisectingUCPC{}).ClusterWithSplits(context.Background(), ds, 4, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestBisectSplitsReduceObjective(t *testing.T) {
 	ds := uncertain.Dataset(randomCluster(r, 40, 3))
 	prev := math.Inf(1)
 	for k := 1; k <= 6; k++ {
-		rep, err := (&BisectingUCPC{}).Cluster(ds, k, rng.New(9))
+		rep, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, k, rng.New(9))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestBisectSplitsReduceObjective(t *testing.T) {
 func TestBisectObjectiveConsistent(t *testing.T) {
 	r := rng.New(4200)
 	ds := uncertain.Dataset(randomCluster(r, 30, 2))
-	rep, err := (&BisectingUCPC{}).Cluster(ds, 3, r)
+	rep, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestBisectObjectiveConsistent(t *testing.T) {
 func TestBisectSplitHistoryWellFormed(t *testing.T) {
 	r := rng.New(4300)
 	ds := uncertain.Dataset(randomCluster(r, 25, 2))
-	_, splits, err := (&BisectingUCPC{}).ClusterWithSplits(ds, 5, r)
+	_, splits, err := (&BisectingUCPC{}).ClusterWithSplits(context.Background(), ds, 5, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestBisectSplitHistoryWellFormed(t *testing.T) {
 func TestBisectKEqualsNAndOne(t *testing.T) {
 	r := rng.New(4400)
 	ds := uncertain.Dataset(randomCluster(r, 8, 2))
-	rep, err := (&BisectingUCPC{}).Cluster(ds, 8, r)
+	rep, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, 8, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestBisectKEqualsNAndOne(t *testing.T) {
 		}
 		seen[c] = true
 	}
-	rep1, err := (&BisectingUCPC{}).Cluster(ds, 1, r)
+	rep1, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +115,10 @@ func TestBisectKEqualsNAndOne(t *testing.T) {
 func TestBisectValidation(t *testing.T) {
 	r := rng.New(4500)
 	ds := uncertain.Dataset(randomCluster(r, 5, 2))
-	if _, err := (&BisectingUCPC{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&BisectingUCPC{}).Cluster(ds, 6, r); err == nil {
+	if _, err := (&BisectingUCPC{}).Cluster(context.Background(), ds, 6, r); err == nil {
 		t.Error("k>n accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ucpc/internal/rng"
@@ -42,7 +43,7 @@ func ChooseK(ds uncertain.Dataset, kMin, kMax, restarts int, seed uint64) (*KSwe
 			// D²-weighted seeding: random partitions routinely leave two
 			// far-apart groups merged (no single-object relocation can
 			// cross the gap profitably), which would corrupt the sweep.
-			report, err := (&UCPC{Init: InitKMeansPP}).Cluster(ds, k, r)
+			report, err := (&UCPC{Init: InitKMeansPP}).Cluster(context.Background(), ds, k, r)
 			if err != nil {
 				return nil, err
 			}

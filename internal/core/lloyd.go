@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"ucpc/internal/clustering"
@@ -34,6 +34,11 @@ type UCPCLloyd struct {
 	// Pruning toggles the exact bound-based assignment pruning (default
 	// on). Results are identical either way; only the arithmetic differs.
 	Pruning clustering.PruneMode
+	// Progress, when non-nil, observes every round with the objective
+	// Σ_C J(C) and the number of objects that changed cluster. Both are
+	// computed only when the callback is set (the objective recompute and
+	// the pre-round assignment snapshot are not free).
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
@@ -151,13 +156,27 @@ func (cs *centroidScores) install(eng *Assigner, adds []float64) {
 }
 
 // Cluster runs the batch variant.
-func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (u *UCPCLloyd) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	return u.cluster(ctx, ds, k, nil, r)
+}
+
+// ClusterFrom implements clustering.WarmStarter: the first centroid refresh
+// reads the given assignment instead of a random partition.
+func (u *UCPCLloyd) ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	if err := clustering.ValidateInit("ucpc-lloyd", init, len(ds), k); err != nil {
+		return nil, err
+	}
+	return u.cluster(ctx, ds, k, init, r)
+}
+
+func (u *UCPCLloyd) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(ds)
-	if k <= 0 || k > n {
-		return nil, fmt.Errorf("ucpc-lloyd: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("ucpc-lloyd", k, n); err != nil {
+		return nil, err
 	}
 	maxIter := u.MaxIter
 	if maxIter == 0 {
@@ -168,7 +187,15 @@ func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 
 	mom := uncertain.MomentsOf(ds)
 	m := mom.Dims()
-	assign := clustering.RandomPartition(n, k, r)
+	var assign []int
+	if init != nil {
+		// WarmStarter contract: empty init clusters are repaired from r
+		// (the same rule as every other warm-startable method) rather
+		// than left to the refresh step's farthest-object reseed.
+		assign = clustering.RepairEmpty(append([]int(nil), init...), k, r)
+	} else {
+		assign = clustering.RandomPartition(n, k, r)
+	}
 	cs := &centroidScores{k: k, m: m, mean: make([]float64, k*m), bias: make([]float64, k)}
 	cs.refresh(mom, assign)
 
@@ -176,10 +203,30 @@ func (u *UCPCLloyd) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 	adds := make([]float64, k)
 	cs.install(eng, adds)
 
+	var prev []int // pre-round snapshot, kept only for Progress
+	if u.Progress != nil {
+		prev = make([]int, n)
+	}
 	iterations, converged := 0, false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
-		if !eng.Assign(assign, workers) {
+		if prev != nil {
+			copy(prev, assign)
+		}
+		changed := eng.Assign(assign, workers)
+		if prev != nil {
+			moves := 0
+			for i := range assign {
+				if assign[i] != prev[i] {
+					moves++
+				}
+			}
+			u.Progress.Emit(u.Name(), iterations, Objective(ds, assign, k), moves)
+		}
+		if !changed {
 			converged = true
 			break
 		}

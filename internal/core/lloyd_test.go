@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 func TestLloydRecoversSeparatedClusters(t *testing.T) {
 	r := rng.New(3000)
 	ds := separableDataset(r, 3, 25, 2)
-	rep, err := (&UCPCLloyd{}).Cluster(ds, 3, r)
+	rep, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func TestLloydRecoversSeparatedClusters(t *testing.T) {
 func TestLloydParallelMatchesSequential(t *testing.T) {
 	r := rng.New(3100)
 	ds := separableDataset(r, 4, 20, 3)
-	seq, err := (&UCPCLloyd{Workers: 1}).Cluster(ds, 4, rng.New(5))
+	seq, err := (&UCPCLloyd{Workers: 1}).Cluster(context.Background(), ds, 4, rng.New(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := (&UCPCLloyd{Workers: 4}).Cluster(ds, 4, rng.New(5))
+	par, err := (&UCPCLloyd{Workers: 4}).Cluster(context.Background(), ds, 4, rng.New(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestLloydParallelMatchesSequential(t *testing.T) {
 func TestLloydMatchesRelocationOnSeparableData(t *testing.T) {
 	r := rng.New(3200)
 	ds := separableDataset(r, 3, 20, 2)
-	batch, err := (&UCPCLloyd{}).Cluster(ds, 3, rng.New(11))
+	batch, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, 3, rng.New(11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	reloc, err := (&UCPC{}).Cluster(ds, 3, rng.New(11))
+	reloc, err := (&UCPC{}).Cluster(context.Background(), ds, 3, rng.New(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestLloydKeepsKClusters(t *testing.T) {
 	r := rng.New(3300)
 	ds := uncertain.Dataset(randomCluster(r, 30, 2))
 	for _, k := range []int{1, 3, 7} {
-		rep, err := (&UCPCLloyd{}).Cluster(ds, k, r)
+		rep, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, k, r)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -105,7 +106,7 @@ func TestLloydManyEmptyClustersStayFinite(t *testing.T) {
 		})
 	}
 	for seed := uint64(1); seed <= 10; seed++ {
-		rep, err := (&UCPCLloyd{MaxIter: 6}).Cluster(coincident, 5, rng.New(seed))
+		rep, err := (&UCPCLloyd{MaxIter: 6}).Cluster(context.Background(), coincident, 5, rng.New(seed))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -121,10 +122,10 @@ func TestLloydManyEmptyClustersStayFinite(t *testing.T) {
 func TestLloydValidation(t *testing.T) {
 	r := rng.New(3400)
 	ds := uncertain.Dataset(randomCluster(r, 5, 2))
-	if _, err := (&UCPCLloyd{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&UCPCLloyd{}).Cluster(ds, 9, r); err == nil {
+	if _, err := (&UCPCLloyd{}).Cluster(context.Background(), ds, 9, r); err == nil {
 		t.Error("k>n accepted")
 	}
 }

@@ -1,0 +1,28 @@
+package core
+
+import "ucpc/internal/clustering"
+
+// The UCPC family self-registers with the shared algorithm registry, so the
+// public API's name list and constructors are always in sync with what this
+// package actually provides. Ranks follow the paper's lineup order (see
+// ucpc.AlgorithmNames).
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "UCPC", Rank: 10, Prototype: clustering.ProtoUCentroid,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &UCPC{MaxIter: cfg.MaxIter, Workers: cfg.Workers, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+	clustering.Register(clustering.Registration{
+		Name: "UCPC-Lloyd", Rank: 20, Prototype: clustering.ProtoUCentroid,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &UCPCLloyd{MaxIter: cfg.MaxIter, Workers: cfg.Workers, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+	clustering.Register(clustering.Registration{
+		Name: "UCPC-Bisect", Rank: 30, Prototype: clustering.ProtoUCentroid,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &BisectingUCPC{MaxIter: cfg.MaxIter, Workers: cfg.Workers, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"time"
 
@@ -21,6 +21,12 @@ const (
 	// each object to its nearest seed.
 	InitKMeansPP
 )
+
+// ctxCheckStride is how many inner-loop objects a sequential sweep handles
+// between context checks: frequent enough that cancellation lands mid-pass
+// on large datasets, sparse enough that the check (an atomic load and a
+// branch) is invisible next to the O(k·m) work per object.
+const ctxCheckStride = 4096
 
 // UCPC is the U-Centroid-based Partitional Clustering algorithm
 // (paper Algorithm 1): a local-search heuristic that relocates one object
@@ -47,23 +53,38 @@ type UCPC struct {
 	// initial assignment (Assigner) and of the relocation candidate scans
 	// (RelocFilter). Default on; the partition is identical either way.
 	Pruning clustering.PruneMode
-	// OnIteration, when non-nil, is invoked after every pass with the
-	// current pass index and objective value Σ_C J(C). Used by tests to
-	// verify Proposition 4 (monotone convergence).
-	OnIteration func(iter int, objective float64)
+	// Progress, when non-nil, observes every pass: iteration index, the
+	// objective Σ_C J(C), and the number of relocations applied. The
+	// monotone-convergence tests (Proposition 4) hang off this callback.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
 func (u *UCPC) Name() string { return "UCPC" }
 
 // Cluster partitions ds into k clusters (Algorithm 1).
-func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (u *UCPC) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	return u.cluster(ctx, ds, k, nil, r)
+}
+
+// ClusterFrom implements clustering.WarmStarter: it runs Algorithm 1 from
+// the given initial assignment instead of the Init strategy. Clusters left
+// empty by init are repaired from r before the first pass.
+func (u *UCPC) ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	if err := clustering.ValidateInit("ucpc", init, len(ds), k); err != nil {
+		return nil, err
+	}
+	return u.cluster(ctx, ds, k, init, r)
+}
+
+func (u *UCPC) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	n, m := len(ds), ds.Dims()
-	if k <= 0 || k > n {
-		return nil, fmt.Errorf("ucpc: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("ucpc", k, n); err != nil {
+		return nil, err
 	}
 	maxIter := u.MaxIter
 	if maxIter == 0 {
@@ -87,8 +108,10 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 	// the engine's bounding-box first pass skips hopeless seeds exactly.
 	var assign []int
 	var initPruned, initScanned int64
-	switch u.Init {
-	case InitKMeansPP:
+	switch {
+	case init != nil:
+		assign = clustering.RepairEmpty(append([]int(nil), init...), k, r)
+	case u.Init == InitKMeansPP:
 		seeds := clustering.KMeansPPCenters(ds, k, r)
 		assign = make([]int, n)
 		for i := range assign {
@@ -104,7 +127,7 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 		eng.SetCenters(centers, adds)
 		eng.Assign(assign, u.Workers)
 		initPruned, initScanned = eng.Counters()
-		assign = repairEmpty(assign, k, r)
+		assign = clustering.RepairEmpty(assign, k, r)
 	default:
 		assign = clustering.RandomPartition(n, k, r)
 	}
@@ -139,9 +162,17 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 	iterations := 0
 	converged := false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
-		moved := false
+		moves := 0
 		for i := 0; i < n; i++ {
+			if i%ctxCheckStride == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			co := assign[i]
 			if stats[co].Size() == 1 {
 				// Relocating the only member would empty the cluster;
@@ -187,12 +218,10 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 			filter.Refresh(co, stats[co])
 			filter.Refresh(best, stats[best])
 			assign[i] = best
-			moved = true
+			moves++
 		}
-		if u.OnIteration != nil {
-			u.OnIteration(iterations, objective())
-		}
-		if !moved {
+		u.Progress.Emit(u.Name(), iterations, objective(), moves)
+		if moves == 0 {
 			converged = true
 			break
 		}
@@ -208,28 +237,6 @@ func (u *UCPC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Rep
 		PrunedCandidates:  pruned + initPruned,
 		ScannedCandidates: scanned + initScanned,
 	}, nil
-}
-
-// repairEmpty reassigns one random object into each empty cluster so every
-// cluster is non-empty (donors are taken from clusters with >1 member).
-func repairEmpty(assign []int, k int, r *rng.RNG) []int {
-	sizes := make([]int, k)
-	for _, c := range assign {
-		sizes[c]++
-	}
-	for c := 0; c < k; c++ {
-		for sizes[c] == 0 {
-			i := r.Intn(len(assign))
-			from := assign[i]
-			if sizes[from] <= 1 {
-				continue
-			}
-			sizes[from]--
-			assign[i] = c
-			sizes[c]++
-		}
-	}
-	return assign
 }
 
 // Objective returns Σ_C J(C) for an arbitrary assignment, recomputed from

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestUCPCRecoversSeparatedClusters(t *testing.T) {
 	r := rng.New(2000)
 	ds := separableDataset(r, 3, 30, 2)
 	alg := &UCPC{}
-	rep, err := alg.Cluster(ds, 3, r)
+	rep, err := alg.Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,8 +61,8 @@ func TestProp4MonotoneConvergence(t *testing.T) {
 	r := rng.New(2100)
 	ds := uncertain.Dataset(randomCluster(r, 60, 3))
 	var history []float64
-	alg := &UCPC{OnIteration: func(_ int, v float64) { history = append(history, v) }}
-	rep, err := alg.Cluster(ds, 4, r)
+	alg := &UCPC{Progress: func(ev clustering.ProgressEvent) { history = append(history, ev.Objective) }}
+	rep, err := alg.Cluster(context.Background(), ds, 4, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestLocalOptimality(t *testing.T) {
 	r := rng.New(2200)
 	ds := uncertain.Dataset(randomCluster(r, 40, 2))
 	alg := &UCPC{}
-	rep, err := alg.Cluster(ds, 3, r)
+	rep, err := alg.Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,13 +122,13 @@ func TestLocalOptimality(t *testing.T) {
 func TestUCPCDeterministicForSeed(t *testing.T) {
 	r1 := rng.New(2300)
 	ds1 := separableDataset(r1, 2, 20, 2)
-	rep1, err := (&UCPC{}).Cluster(ds1, 2, rng.New(77))
+	rep1, err := (&UCPC{}).Cluster(context.Background(), ds1, 2, rng.New(77))
 	if err != nil {
 		t.Fatal(err)
 	}
 	r2 := rng.New(2300)
 	ds2 := separableDataset(r2, 2, 20, 2)
-	rep2, err := (&UCPC{}).Cluster(ds2, 2, rng.New(77))
+	rep2, err := (&UCPC{}).Cluster(context.Background(), ds2, 2, rng.New(77))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestUCPCKeepsKClusters(t *testing.T) {
 	r := rng.New(2400)
 	ds := uncertain.Dataset(randomCluster(r, 25, 2))
 	for _, k := range []int{1, 2, 5, 10, 25} {
-		rep, err := (&UCPC{}).Cluster(ds, k, r)
+		rep, err := (&UCPC{}).Cluster(context.Background(), ds, k, r)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -158,7 +159,7 @@ func TestUCPCKeepsKClusters(t *testing.T) {
 func TestUCPCKMeansPPInit(t *testing.T) {
 	r := rng.New(2500)
 	ds := separableDataset(r, 4, 15, 3)
-	rep, err := (&UCPC{Init: InitKMeansPP}).Cluster(ds, 4, r)
+	rep, err := (&UCPC{Init: InitKMeansPP}).Cluster(context.Background(), ds, 4, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,13 +171,13 @@ func TestUCPCKMeansPPInit(t *testing.T) {
 func TestUCPCRejectsBadK(t *testing.T) {
 	r := rng.New(2600)
 	ds := uncertain.Dataset(randomCluster(r, 5, 2))
-	if _, err := (&UCPC{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&UCPC{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&UCPC{}).Cluster(ds, 6, r); err == nil {
+	if _, err := (&UCPC{}).Cluster(context.Background(), ds, 6, r); err == nil {
 		t.Error("k>n accepted")
 	}
-	if _, err := (&UCPC{}).Cluster(uncertain.Dataset{}, 1, r); err == nil {
+	if _, err := (&UCPC{}).Cluster(context.Background(), uncertain.Dataset{}, 1, r); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }
@@ -220,13 +221,13 @@ func TestIterationAccounting(t *testing.T) {
 	r := rng.New(2700)
 	ds := uncertain.Dataset(randomCluster(r, 30, 2))
 	calls := 0
-	alg := &UCPC{OnIteration: func(iter int, _ float64) {
+	alg := &UCPC{Progress: func(ev clustering.ProgressEvent) {
 		calls++
-		if iter != calls {
-			t.Fatalf("iteration numbering: got %d at call %d", iter, calls)
+		if ev.Iteration != calls {
+			t.Fatalf("iteration numbering: got %d at call %d", ev.Iteration, calls)
 		}
 	}}
-	rep, err := alg.Cluster(ds, 3, r)
+	rep, err := alg.Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestIterationAccounting(t *testing.T) {
 func TestRepairEmpty(t *testing.T) {
 	r := rng.New(2800)
 	assign := []int{0, 0, 0, 0, 0}
-	out := repairEmpty(assign, 3, r)
+	out := clustering.RepairEmpty(assign, 3, r)
 	sizes := make([]int, 3)
 	for _, c := range out {
 		sizes[c]++

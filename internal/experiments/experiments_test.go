@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestNewUnknownPanics(t *testing.T) {
 }
 
 func TestTable2SmallRun(t *testing.T) {
-	res, err := Table2(tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform})
+	res, err := Table2(context.Background(), tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Uniform})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,11 +76,11 @@ func TestTable2SmallRun(t *testing.T) {
 }
 
 func TestTable2Deterministic(t *testing.T) {
-	a, err := Table2(tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
+	a, err := Table2(context.Background(), tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Table2(tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
+	b, err := Table2(context.Background(), tinyConfig(), []string{"Wine"}, []uncgen.Model{uncgen.Normal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +93,13 @@ func TestTable2Deterministic(t *testing.T) {
 }
 
 func TestTable2UnknownDataset(t *testing.T) {
-	if _, err := Table2(tinyConfig(), []string{"Nope"}, nil); err == nil {
+	if _, err := Table2(context.Background(), tinyConfig(), []string{"Nope"}, nil); err == nil {
 		t.Fatal("unknown dataset accepted")
 	}
 }
 
 func TestTable3SmallRun(t *testing.T) {
-	res, err := Table3(tinyConfig(), []string{"Leukaemia"}, []int{2, 5})
+	res, err := Table3(context.Background(), tinyConfig(), []string{"Leukaemia"}, []int{2, 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestTable3SmallRun(t *testing.T) {
 }
 
 func TestFig4SmallRun(t *testing.T) {
-	res, err := Fig4(tinyConfig(), []string{"Abalone"})
+	res, err := Fig4(context.Background(), tinyConfig(), []string{"Abalone"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFig4SmallRun(t *testing.T) {
 
 func TestFig5SmallRun(t *testing.T) {
 	cfg := Config{Seed: 7, Runs: 1, Scale: 0.0002} // 800 objects base
-	res, err := Fig5(cfg, []float64{0.25, 1.0})
+	res, err := Fig5(context.Background(), cfg, []float64{0.25, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

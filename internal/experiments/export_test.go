@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,7 +9,7 @@ import (
 )
 
 func TestTable2CSV(t *testing.T) {
-	res, err := Table2(tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Normal})
+	res, err := Table2(context.Background(), tinyConfig(), []string{"Iris"}, []uncgen.Model{uncgen.Normal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestTable2CSV(t *testing.T) {
 }
 
 func TestTable3CSV(t *testing.T) {
-	res, err := Table3(tinyConfig(), []string{"Neuroblastoma"}, []int{2})
+	res, err := Table3(context.Background(), tinyConfig(), []string{"Neuroblastoma"}, []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestTable3CSV(t *testing.T) {
 }
 
 func TestFig4CSV(t *testing.T) {
-	res, err := Fig4(tinyConfig(), []string{"Letter"})
+	res, err := Fig4(context.Background(), tinyConfig(), []string{"Letter"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestFig4CSV(t *testing.T) {
 
 func TestFig5CSV(t *testing.T) {
 	cfg := Config{Seed: 7, Runs: 1, Scale: 0.0002}
-	res, err := Fig5(cfg, []float64{0.5, 1.0})
+	res, err := Fig5(context.Background(), cfg, []float64{0.5, 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"ucpc/internal/clustering"
 	"ucpc/internal/datasets"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
@@ -70,7 +72,8 @@ func fig4Dataset(cfg Config, name string) (uncertain.Dataset, int, error) {
 // "slower" algorithms (UK-medoids, basic UK-means, UAHC, FOPTICS, FDBSCAN)
 // and the "faster" ones (MMVar, UK-means, MinMax-BB, VDBiP), each compared
 // against UCPC, on the two largest benchmarks and the two real datasets.
-func Fig4(cfg Config, names []string) (*Fig4Result, error) {
+func Fig4(ctx context.Context, cfg Config, names []string) (*Fig4Result, error) {
+	ctx = clustering.Ctx(ctx)
 	cfg = cfg.withDefaults()
 	if names == nil {
 		names = Fig4Datasets
@@ -97,7 +100,7 @@ func Fig4(cfg Config, names []string) (*Fig4Result, error) {
 			var pruned, scanned int64
 			for run := 0; run < cfg.Runs; run++ {
 				seed := cfg.Seed ^ (uint64(di+1) << 32) ^ hashID(id) ^ uint64(run+1)
-				rep, err := runClock(id, ds, k, seed)
+				rep, err := runClock(ctx, id, ds, k, seed)
 				if err != nil {
 					return nil, fmt.Errorf("fig4 %s: %w", name, err)
 				}
@@ -149,7 +152,8 @@ type Fig5Result struct {
 // The base size is Config.Scale × 4M (default Scale 0.08 → 320k objects is
 // still heavy for CI, so Fig5 halves the default to 0.005 → 20k; pass an
 // explicit Scale for larger studies, up to 1.0 = the full 4M).
-func Fig5(cfg Config, fractions []float64) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config, fractions []float64) (*Fig5Result, error) {
+	ctx = clustering.Ctx(ctx)
 	if cfg.Scale == 0 {
 		cfg.Scale = 0.005
 	}
@@ -180,7 +184,7 @@ func Fig5(cfg Config, fractions []float64) (*Fig5Result, error) {
 			var total time.Duration
 			for run := 0; run < cfg.Runs; run++ {
 				seed := cfg.Seed ^ (uint64(frac*1000) << 20) ^ hashID(id) ^ uint64(run+1)
-				rep, err := runClock(id, ds, spec.Classes, seed)
+				rep, err := runClock(ctx, id, ds, spec.Classes, seed)
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %.0f%%: %w", frac*100, err)
 				}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -149,11 +150,11 @@ func ScalabilityAlgorithms() []AlgorithmID {
 // runClock runs an algorithm and returns the report; failures in an
 // individual run surface as errors to the caller (experiments fail loudly,
 // never silently skip a cell).
-func runClock(id AlgorithmID, ds uncertain.Dataset, k int, seed uint64) (*clustering.Report, error) {
+func runClock(ctx context.Context, id AlgorithmID, ds uncertain.Dataset, k int, seed uint64) (*clustering.Report, error) {
 	alg := New(id)
 	r := rng.New(seed)
 	start := time.Now()
-	rep, err := alg.Cluster(ds, k, r)
+	rep, err := alg.Cluster(ctx, ds, k, r)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"ucpc/internal/clustering"
 	"ucpc/internal/datasets"
 	"ucpc/internal/eval"
 	"ucpc/internal/rng"
@@ -40,7 +42,8 @@ type Table2Result struct {
 //
 // datasetNames selects a subset of the benchmarks (nil = all 8), and
 // models a subset of pdf families (nil = U, N, E).
-func Table2(cfg Config, datasetNames []string, models []uncgen.Model) (*Table2Result, error) {
+func Table2(ctx context.Context, cfg Config, datasetNames []string, models []uncgen.Model) (*Table2Result, error) {
+	ctx = clustering.Ctx(ctx)
 	cfg = cfg.withDefaults()
 	if datasetNames == nil {
 		for _, s := range datasets.Benchmarks() {
@@ -74,14 +77,14 @@ func Table2(cfg Config, datasetNames []string, models []uncgen.Model) (*Table2Re
 					// Case 1: cluster the perturbed deterministic data.
 					perturbed := set.Perturb(d, genRNG.Split(uint64(run)))
 					case1 := uncgen.AsPointObjects(perturbed)
-					rep1, err := runClock(id, case1, spec.Classes, seed)
+					rep1, err := runClock(ctx, id, case1, spec.Classes, seed)
 					if err != nil {
 						return nil, fmt.Errorf("table2 %s/%v case1: %w", name, model, err)
 					}
 					f1 := eval.FMeasure(rep1.Partition, d.Labels)
 
 					// Case 2: cluster the uncertain objects.
-					rep2, err := runClock(id, case2, spec.Classes, seed)
+					rep2, err := runClock(ctx, id, case2, spec.Classes, seed)
 					if err != nil {
 						return nil, fmt.Errorf("table2 %s/%v case2: %w", name, model, err)
 					}

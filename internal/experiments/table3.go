@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"ucpc/internal/clustering"
 	"ucpc/internal/datasets"
 	"ucpc/internal/eval"
 )
@@ -29,7 +31,8 @@ type Table3Result struct {
 // collections are clustered with every algorithm for each cluster count,
 // and assessed with the internal criterion Q only (no reference
 // classification exists for these data).
-func Table3(cfg Config, datasetNames []string, ks []int) (*Table3Result, error) {
+func Table3(ctx context.Context, cfg Config, datasetNames []string, ks []int) (*Table3Result, error) {
+	ctx = clustering.Ctx(ctx)
 	cfg = cfg.withDefaults()
 	if datasetNames == nil {
 		for _, s := range datasets.Microarrays() {
@@ -58,7 +61,7 @@ func Table3(cfg Config, datasetNames []string, ks []int) (*Table3Result, error) 
 				for run := 0; run < cfg.Runs; run++ {
 					seed := cfg.Seed ^ (uint64(di+1) << 40) ^ (uint64(k) << 24) ^
 						(uint64(ai+1) << 16) ^ uint64(run+1)
-					rep, err := runClock(id, ds, k, seed)
+					rep, err := runClock(ctx, id, ds, k, seed)
 					if err != nil {
 						return nil, fmt.Errorf("table3 %s k=%d: %w", name, k, err)
 					}

@@ -11,7 +11,7 @@
 package fdbscan
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -20,6 +20,15 @@ import (
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
 )
+
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "FDB", Rank: 110, Prototype: clustering.ProtoUCentroid, KIsHint: true,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &FDBSCAN{}
+		},
+	})
+}
 
 // FDBSCAN is the fuzzy density-based clustering algorithm.
 type FDBSCAN struct {
@@ -43,14 +52,12 @@ func (a *FDBSCAN) Name() string { return "FDB" }
 // Cluster runs FDBSCAN. k is used only to calibrate ε when Eps is zero;
 // the number of produced clusters is data-driven and unassigned objects
 // keep the Noise label.
-func (a *FDBSCAN) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (a *FDBSCAN) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(ds)
-	if n == 0 {
-		return nil, fmt.Errorf("fdbscan: empty dataset")
-	}
 	minPts := a.MinPts
 	if minPts == 0 {
 		minPts = 4
@@ -80,6 +87,11 @@ func (a *FDBSCAN) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	}
 	expected := make([]float64, n)
 	for i := 0; i < n; i++ {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := i + 1; j < n; j++ {
 			p := uncertain.DistProbability(ds[i], ds[j], eps, true)
 			prob[i][j], prob[j][i] = p, p

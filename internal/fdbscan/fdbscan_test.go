@@ -1,6 +1,7 @@
 package fdbscan
 
 import (
+	"context"
 	"testing"
 
 	"ucpc/internal/clustering"
@@ -28,7 +29,7 @@ func denseGroups(r *rng.RNG, k, per int) uncertain.Dataset {
 func TestFDBSCANFindsDenseGroups(t *testing.T) {
 	r := rng.New(1)
 	ds := denseGroups(r, 3, 20)
-	rep, err := (&FDBSCAN{}).Cluster(ds, 3, r)
+	rep, err := (&FDBSCAN{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestFDBSCANIsolatedNoise(t *testing.T) {
 		dist.NewTruncNormalCentral(500, 0.2, 0.95),
 	}).WithLabel(2)
 	ds = append(ds, lone)
-	rep, err := (&FDBSCAN{}).Cluster(ds, 2, r)
+	rep, err := (&FDBSCAN{}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFDBSCANIsolatedNoise(t *testing.T) {
 func TestFDBSCANExplicitEps(t *testing.T) {
 	r := rng.New(3)
 	ds := denseGroups(r, 2, 15)
-	rep, err := (&FDBSCAN{Eps: 3.0, MinPts: 3}).Cluster(ds, 2, r)
+	rep, err := (&FDBSCAN{Eps: 3.0, MinPts: 3}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFDBSCANExplicitEps(t *testing.T) {
 func TestFDBSCANHugeEpsOneCluster(t *testing.T) {
 	r := rng.New(4)
 	ds := denseGroups(r, 2, 10)
-	rep, err := (&FDBSCAN{Eps: 1e6}).Cluster(ds, 2, r)
+	rep, err := (&FDBSCAN{Eps: 1e6}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFDBSCANHugeEpsOneCluster(t *testing.T) {
 func TestFDBSCANTinyEpsAllNoise(t *testing.T) {
 	r := rng.New(5)
 	ds := denseGroups(r, 2, 10)
-	rep, err := (&FDBSCAN{Eps: 1e-9}).Cluster(ds, 2, r)
+	rep, err := (&FDBSCAN{Eps: 1e-9}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestFDBSCANTinyEpsAllNoise(t *testing.T) {
 
 func TestFDBSCANEmptyDataset(t *testing.T) {
 	r := rng.New(6)
-	if _, err := (&FDBSCAN{}).Cluster(uncertain.Dataset{}, 1, r); err == nil {
+	if _, err := (&FDBSCAN{}).Cluster(context.Background(), uncertain.Dataset{}, 1, r); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }

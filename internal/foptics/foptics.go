@@ -11,6 +11,7 @@
 package foptics
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -21,6 +22,15 @@ import (
 	"ucpc/internal/uncertain"
 	"ucpc/internal/vec"
 )
+
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "FOPT", Rank: 120, Prototype: clustering.ProtoUCentroid, KIsHint: true,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &FOPTICS{}
+		},
+	})
+}
 
 // FOPTICS is the fuzzy OPTICS algorithm.
 type FOPTICS struct {
@@ -44,7 +54,8 @@ type Ordering struct {
 
 // Cluster computes the cluster ordering and extracts the flat partition
 // whose cluster count is closest to k.
-func (a *FOPTICS) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (a *FOPTICS) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -67,11 +78,17 @@ func (a *FOPTICS) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 	// Off-line: clouds and the fuzzy distance matrix.
 	offStart := time.Now()
 	ds.EnsureSamples(r.Split(0xf0b7), samples)
-	dm := fuzzyDistances(ds)
+	dm, err := fuzzyDistances(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
 	offline := time.Since(offStart)
 
 	start := time.Now()
-	ord := computeOrdering(n, minPts, func(i, j int) float64 { return dm[i][j] })
+	ord, err := computeOrdering(ctx, n, minPts, func(i, j int) float64 { return dm[i][j] })
+	if err != nil {
+		return nil, err
+	}
 	assign, clusters := ExtractK(ord, k, n)
 	online := time.Since(start)
 
@@ -90,13 +107,18 @@ func (a *FOPTICS) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 
 // fuzzyDistances estimates E[d(o_i, o_j)] (Euclidean) by averaging over
 // paired cloud samples.
-func fuzzyDistances(ds uncertain.Dataset) [][]float64 {
+func fuzzyDistances(ctx context.Context, ds uncertain.Dataset) ([][]float64, error) {
 	n := len(ds)
 	dm := make([][]float64, n)
 	for i := range dm {
 		dm[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		si := ds[i].Samples()
 		for j := i + 1; j < n; j++ {
 			sj := ds[j].Samples()
@@ -112,15 +134,20 @@ func fuzzyDistances(ds uncertain.Dataset) [][]float64 {
 			dm[i][j], dm[j][i] = d, d
 		}
 	}
-	return dm
+	return dm, nil
 }
 
 // computeOrdering is the standard OPTICS loop (no spatial index, O(n²)),
 // parameterized by a distance oracle.
-func computeOrdering(n, minPts int, dist func(i, j int) float64) *Ordering {
+func computeOrdering(ctx context.Context, n, minPts int, dist func(i, j int) float64) (*Ordering, error) {
 	coreDist := make([]float64, n)
 	tmp := make([]float64, 0, n-1)
 	for i := 0; i < n; i++ {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tmp = tmp[:0]
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -148,6 +175,11 @@ func computeOrdering(n, minPts int, dist func(i, j int) float64) *Ordering {
 		cur := start
 		curReach := math.Inf(1)
 		for cur >= 0 {
+			if len(order)%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			processed[cur] = true
 			order = append(order, cur)
 			orderReach = append(orderReach, curReach)
@@ -172,7 +204,7 @@ func computeOrdering(n, minPts int, dist func(i, j int) float64) *Ordering {
 			cur, curReach = next, nextReach
 		}
 	}
-	return &Ordering{Order: order, Reach: orderReach, CoreDist: orderCore}
+	return &Ordering{Order: order, Reach: orderReach, CoreDist: orderCore}, nil
 }
 
 // ExtractK extracts a flat clustering from the ordering by scanning

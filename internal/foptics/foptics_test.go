@@ -1,6 +1,7 @@
 package foptics
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func denseGroups(r *rng.RNG, k, per int) uncertain.Dataset {
 func TestFOPTICSSeparatedGroups(t *testing.T) {
 	r := rng.New(1)
 	ds := denseGroups(r, 3, 15)
-	rep, err := (&FOPTICS{}).Cluster(ds, 3, r)
+	rep, err := (&FOPTICS{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,8 +55,14 @@ func TestOrderingCoversAllObjects(t *testing.T) {
 	r := rng.New(2)
 	ds := denseGroups(r, 2, 10)
 	ds.EnsureSamples(r.Split(1), 8)
-	dm := fuzzyDistances(ds)
-	ord := computeOrdering(len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	dm, err := fuzzyDistances(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := computeOrdering(context.Background(), len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ord.Order) != len(ds) {
 		t.Fatalf("ordering visits %d of %d objects", len(ord.Order), len(ds))
 	}
@@ -74,8 +81,14 @@ func TestReachabilityPlotHasJumps(t *testing.T) {
 	r := rng.New(3)
 	ds := denseGroups(r, 2, 12)
 	ds.EnsureSamples(r.Split(1), 8)
-	dm := fuzzyDistances(ds)
-	ord := computeOrdering(len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	dm, err := fuzzyDistances(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := computeOrdering(context.Background(), len(ds), 4, func(i, j int) float64 { return dm[i][j] })
+	if err != nil {
+		t.Fatal(err)
+	}
 	var maxReach, secondMax float64
 	for _, rd := range ord.Reach {
 		if math.IsInf(rd, 1) {
@@ -97,7 +110,10 @@ func TestFuzzyDistanceSymmetryAndSelf(t *testing.T) {
 	r := rng.New(4)
 	ds := denseGroups(r, 2, 6)
 	ds.EnsureSamples(r.Split(1), 8)
-	dm := fuzzyDistances(ds)
+	dm, err := fuzzyDistances(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range dm {
 		if dm[i][i] != 0 {
 			t.Errorf("self distance %v", dm[i][i])
@@ -131,7 +147,7 @@ func TestExtractKDegenerate(t *testing.T) {
 func TestFOPTICSSmallDataset(t *testing.T) {
 	r := rng.New(5)
 	ds := denseGroups(r, 1, 3)
-	rep, err := (&FOPTICS{}).Cluster(ds, 1, r)
+	rep, err := (&FOPTICS{}).Cluster(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}

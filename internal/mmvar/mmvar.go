@@ -9,7 +9,7 @@
 package mmvar
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"time"
 
@@ -32,21 +32,37 @@ type MMVar struct {
 	// J_MM add-score decomposes like UCPC's, so the same O(1) lower bounds
 	// apply and the partition is identical either way.
 	Pruning clustering.PruneMode
-	// OnIteration, when non-nil, observes the objective after each pass.
-	OnIteration func(iter int, objective float64)
+	// Progress, when non-nil, observes every pass with the objective
+	// Σ_C J_MM(C) and the number of relocations applied.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
 func (a *MMVar) Name() string { return "MMV" }
 
 // Cluster partitions ds into k clusters by mixture-variance minimization.
-func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (a *MMVar) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	return a.cluster(ctx, ds, k, nil, r)
+}
+
+// ClusterFrom implements clustering.WarmStarter: the relocation passes
+// start from the given assignment (empty clusters repaired from r) instead
+// of a random partition.
+func (a *MMVar) ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	if err := clustering.ValidateInit("mmvar", init, len(ds), k); err != nil {
+		return nil, err
+	}
+	return a.cluster(ctx, ds, k, init, r)
+}
+
+func (a *MMVar) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	n, m := len(ds), ds.Dims()
-	if k <= 0 || k > n {
-		return nil, fmt.Errorf("mmvar: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("mmvar", k, n); err != nil {
+		return nil, err
 	}
 	maxIter := a.MaxIter
 	if maxIter == 0 {
@@ -61,7 +77,12 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 	// Flat moment store: the relocation passes below only read these
 	// contiguous rows (the J_MM scoring needs µ and µ₂ alone).
 	mom := uncertain.MomentsOf(ds)
-	assign := clustering.RandomPartition(n, k, r)
+	var assign []int
+	if init != nil {
+		assign = clustering.RepairEmpty(append([]int(nil), init...), k, r)
+	} else {
+		assign = clustering.RandomPartition(n, k, r)
+	}
 	stats := make([]*core.Stats, k)
 	for c := range stats {
 		stats[c] = core.NewStats(m)
@@ -84,9 +105,17 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 	filter := core.NewRelocFilter(core.RelocMMVar, mom, stats, a.Pruning.Enabled())
 	iterations, converged := 0, false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
-		moved := false
+		moves := 0
 		for i := 0; i < n; i++ {
+			if i%4096 == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			co := assign[i]
 			if stats[co].Size() == 1 {
 				continue
@@ -122,12 +151,10 @@ func (a *MMVar) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 			filter.Refresh(co, stats[co])
 			filter.Refresh(best, stats[best])
 			assign[i] = best
-			moved = true
+			moves++
 		}
-		if a.OnIteration != nil {
-			a.OnIteration(iterations, objective())
-		}
-		if !moved {
+		a.Progress.Emit(a.Name(), iterations, objective(), moves)
+		if moves == 0 {
 			converged = true
 			break
 		}

@@ -1,6 +1,7 @@
 package mmvar
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestMMVarRecoversClusters(t *testing.T) {
 	ds := separable(r, 3, 20, 2)
 	recovered := false
 	for seed := uint64(0); seed < 5 && !recovered; seed++ {
-		rep, err := (&MMVar{}).Cluster(ds, 3, rng.New(100+seed))
+		rep, err := (&MMVar{}).Cluster(context.Background(), ds, 3, rng.New(100+seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,8 +154,8 @@ func TestMMVarMonotone(t *testing.T) {
 	r := rng.New(50)
 	ds := uncertain.Dataset(randomObjects(r, 50, 2))
 	var history []float64
-	alg := &MMVar{OnIteration: func(_ int, v float64) { history = append(history, v) }}
-	rep, err := alg.Cluster(ds, 4, r)
+	alg := &MMVar{Progress: func(ev clustering.ProgressEvent) { history = append(history, ev.Objective) }}
+	rep, err := alg.Cluster(context.Background(), ds, 4, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestMMVarMonotone(t *testing.T) {
 func TestMMVarObjectiveProp2(t *testing.T) {
 	r := rng.New(60)
 	ds := uncertain.Dataset(randomObjects(r, 30, 2))
-	rep, err := (&MMVar{}).Cluster(ds, 3, r)
+	rep, err := (&MMVar{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,10 +196,10 @@ func TestMMVarObjectiveProp2(t *testing.T) {
 func TestMMVarValidation(t *testing.T) {
 	r := rng.New(70)
 	ds := uncertain.Dataset(randomObjects(r, 5, 2))
-	if _, err := (&MMVar{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&MMVar{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&MMVar{}).Cluster(ds, 6, r); err == nil {
+	if _, err := (&MMVar{}).Cluster(context.Background(), ds, 6, r); err == nil {
 		t.Error("k>n accepted")
 	}
 }

@@ -1,0 +1,12 @@
+package mmvar
+
+import "ucpc/internal/clustering"
+
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "MMV", Rank: 80, Prototype: clustering.ProtoMixture,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &MMVar{MaxIter: cfg.MaxIter, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+}

@@ -1,6 +1,7 @@
 package uahc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,7 +11,7 @@ import (
 func TestDendrogramNewick(t *testing.T) {
 	r := rng.New(600)
 	ds := separable(r, 2, 4, 2)
-	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func itoa(i int) string {
 func TestDendrogramCutHeights(t *testing.T) {
 	r := rng.New(700)
 	ds := separable(r, 2, 5, 2)
-	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}

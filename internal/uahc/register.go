@@ -1,0 +1,12 @@
+package uahc
+
+import "ucpc/internal/clustering"
+
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "UAHC", Rank: 100, Prototype: clustering.ProtoUCentroid,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &UAHC{Workers: cfg.Workers}
+		},
+	})
+}

@@ -16,7 +16,7 @@
 package uahc
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"time"
 
@@ -62,19 +62,20 @@ type Merge struct {
 }
 
 // Cluster merges bottom-up until k clusters remain.
-func (a *UAHC) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
-	rep, _, err := a.ClusterWithDendrogram(ds, k, r)
+func (a *UAHC) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	rep, _, err := a.ClusterWithDendrogram(ctx, ds, k, r)
 	return rep, err
 }
 
 // ClusterWithDendrogram is Cluster plus the sequence of merges performed.
-func (a *UAHC) ClusterWithDendrogram(ds uncertain.Dataset, k int, _ *rng.RNG) (*clustering.Report, []Merge, error) {
+func (a *UAHC) ClusterWithDendrogram(ctx context.Context, ds uncertain.Dataset, k int, _ *rng.RNG) (*clustering.Report, []Merge, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, nil, err
 	}
 	n := len(ds)
-	if k <= 0 || k > n {
-		return nil, nil, fmt.Errorf("uahc: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("uahc", k, n); err != nil {
+		return nil, nil, err
 	}
 
 	// Off-line phase: the pairwise ÊD matrix for the classic linkages.
@@ -155,6 +156,9 @@ func (a *UAHC) ClusterWithDendrogram(ds uncertain.Dataset, k int, _ *rng.RNG) (*
 
 	merges := make([]Merge, 0, n-k)
 	for remaining := n; remaining > k; remaining-- {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// Global best pair from the NN cache.
 		best, bestD := -1, math.Inf(1)
 		for i := 0; i < n; i++ {

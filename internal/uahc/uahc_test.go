@@ -1,6 +1,7 @@
 package uahc
 
 import (
+	"context"
 	"testing"
 
 	"ucpc/internal/clustering"
@@ -45,7 +46,7 @@ func TestUAHCAllLinkagesRecoverClusters(t *testing.T) {
 	for _, link := range []Linkage{LinkagePrototype, LinkageSingle, LinkageComplete, LinkageAverage} {
 		r := rng.New(100 + uint64(link))
 		ds := separable(r, 3, 12, 2)
-		rep, err := (&UAHC{Linkage: link}).Cluster(ds, 3, r)
+		rep, err := (&UAHC{Linkage: link}).Cluster(context.Background(), ds, 3, r)
 		if err != nil {
 			t.Fatalf("linkage %d: %v", link, err)
 		}
@@ -59,7 +60,7 @@ func TestUAHCAllLinkagesRecoverClusters(t *testing.T) {
 func TestDendrogramShape(t *testing.T) {
 	r := rng.New(200)
 	ds := separable(r, 2, 8, 2)
-	rep, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	rep, merges, err := (&UAHC{}).ClusterWithDendrogram(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestDendrogramShape(t *testing.T) {
 func TestSeparatedGroupsMergeLast(t *testing.T) {
 	r := rng.New(300)
 	ds := separable(r, 2, 10, 2)
-	_, merges, err := (&UAHC{}).ClusterWithDendrogram(ds, 1, r)
+	_, merges, err := (&UAHC{}).ClusterWithDendrogram(context.Background(), ds, 1, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestSeparatedGroupsMergeLast(t *testing.T) {
 func TestUAHCKEqualsN(t *testing.T) {
 	r := rng.New(400)
 	ds := separable(r, 2, 3, 2)
-	rep, err := (&UAHC{}).Cluster(ds, len(ds), r)
+	rep, err := (&UAHC{}).Cluster(context.Background(), ds, len(ds), r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,10 +117,10 @@ func TestUAHCKEqualsN(t *testing.T) {
 func TestUAHCValidation(t *testing.T) {
 	r := rng.New(500)
 	ds := separable(r, 2, 3, 2)
-	if _, err := (&UAHC{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&UAHC{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&UAHC{}).Cluster(ds, len(ds)+1, r); err == nil {
+	if _, err := (&UAHC{}).Cluster(context.Background(), ds, len(ds)+1, r); err == nil {
 		t.Error("k>n accepted")
 	}
 }

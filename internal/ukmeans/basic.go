@@ -1,6 +1,7 @@
 package ukmeans
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -78,6 +79,10 @@ type Basic struct {
 	// the centroid-movement technique of Ngai et al. [17]. It is ignored
 	// for metrics without the triangle inequality.
 	ClusterShift bool
+	// Progress, when non-nil, observes every Lloyd round with the number
+	// of objects that changed cluster. The sample-based objective is too
+	// expensive to recompute per round, so the event's Objective is NaN.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
@@ -93,7 +98,8 @@ func (b *Basic) Name() string {
 }
 
 // Cluster runs the (possibly pruned) basic UK-means.
-func (b *Basic) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (b *Basic) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := validate(ds, k); err != nil {
 		return nil, err
 	}
@@ -152,14 +158,22 @@ func (b *Basic) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 
 	iterations, converged := 0, false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
-		changed := false
+		moves := 0
 		if b.Prune == PruneVDBiP {
 			// The Voronoi bisector hyperplanes depend only on the
 			// centroids, so they are built once per iteration.
 			bis = newBisectors(centers)
 		}
 		for i, o := range ds {
+			if i%1024 == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			// Bound computation (cheap, O(k·m)).
 			for c := 0; c < k; c++ {
 				alive[c] = true
@@ -215,10 +229,11 @@ func (b *Basic) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Re
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				moves++
 			}
 		}
-		if !changed {
+		b.Progress.Emit(b.Name(), iterations, math.NaN(), moves)
+		if moves == 0 {
 			converged = true
 			break
 		}

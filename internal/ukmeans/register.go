@@ -1,0 +1,35 @@
+package ukmeans
+
+import "ucpc/internal/clustering"
+
+// The UK-means family self-registers with the shared algorithm registry.
+// The sample-based variants keep their published configurations (metric,
+// pruning strategy, cluster-shift) fixed; the shared Config only sizes
+// MaxIter for them, while the fast UK-means also consumes Workers, the
+// exact pruning engine toggle, and Progress.
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "UKM", Rank: 40, Prototype: clustering.ProtoMean,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &UKMeans{MaxIter: cfg.MaxIter, Workers: cfg.Workers, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+	clustering.Register(clustering.Registration{
+		Name: "bUKM", Rank: 50, Prototype: clustering.ProtoMean,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &Basic{MaxIter: cfg.MaxIter, Progress: cfg.Progress}
+		},
+	})
+	clustering.Register(clustering.Registration{
+		Name: "MinMax-BB", Rank: 60, Prototype: clustering.ProtoMean,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &Basic{MaxIter: cfg.MaxIter, Prune: PruneMinMaxBB, ClusterShift: true, Progress: cfg.Progress}
+		},
+	})
+	clustering.Register(clustering.Registration{
+		Name: "VDBiP", Rank: 70, Prototype: clustering.ProtoMean,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &Basic{MaxIter: cfg.MaxIter, Prune: PruneVDBiP, ClusterShift: true, Progress: cfg.Progress}
+		},
+	})
+}

@@ -14,7 +14,7 @@
 package ukmeans
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"ucpc/internal/clustering"
@@ -44,13 +44,32 @@ type UKMeans struct {
 	// Pruning toggles the exact bound-based assignment pruning (default
 	// on). Results are identical either way.
 	Pruning clustering.PruneMode
+	// Progress, when non-nil, observes every Lloyd round with the J_UK
+	// objective and the number of objects that changed cluster; both are
+	// computed only when the callback is set.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
 func (u *UKMeans) Name() string { return "UKM" }
 
 // Cluster runs the fast UK-means.
-func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (u *UKMeans) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	return u.cluster(ctx, ds, k, nil, r)
+}
+
+// ClusterFrom implements clustering.WarmStarter: the first assignment step
+// scores against the centroids (eq. 7) of the given partition instead of
+// k-means++ seeds.
+func (u *UKMeans) ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	if err := clustering.ValidateInit("ukmeans", init, len(ds), k); err != nil {
+		return nil, err
+	}
+	return u.cluster(ctx, ds, k, init, r)
+}
+
+func (u *UKMeans) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := validate(ds, k); err != nil {
 		return nil, err
 	}
@@ -63,19 +82,55 @@ func (u *UKMeans) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.
 
 	n := len(ds)
 	mom := uncertain.MomentsOf(ds)
-	centers := initialCenters(ds, k, r)
+	var centers []vec.Vector
 	assign := make([]int, n)
-	for i := range assign {
-		assign[i] = -1
+	if init != nil {
+		// Warm start: repair empty clusters first (the WarmStarter
+		// contract — every cluster starts with at least one member), then
+		// score against the centroids of the repaired partition.
+		warm := clustering.RepairEmpty(append([]int(nil), init...), k, r)
+		centers = make([]vec.Vector, k)
+		for c := range centers {
+			centers[c] = vec.New(mom.Dims())
+		}
+		clustering.MeansOfMoments(mom, warm, centers)
+		copy(assign, warm)
+	} else {
+		centers = initialCenters(ds, k, r)
+		for i := range assign {
+			assign[i] = -1
+		}
 	}
 	eng := core.NewAssigner(mom, k, u.Pruning.Enabled())
+	var prev []int // pre-round snapshot, kept only for Progress
+	if u.Progress != nil {
+		prev = make([]int, n)
+	}
 	iterations, converged := 0, false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
 		// argmin_c ED(o, c) = argmin_c σ²(o)+‖µ(o)−c‖² (eq. 8): a pure
 		// nearest-center query (no additive terms), pruned exactly.
 		eng.SetCenterVecs(centers, nil)
-		if !eng.Assign(assign, workers) {
+		if prev != nil {
+			copy(prev, assign)
+		}
+		changed := eng.Assign(assign, workers)
+		if prev != nil {
+			moves := 0
+			var obj float64
+			for i := range assign {
+				if assign[i] != prev[i] {
+					moves++
+				}
+				obj += mom.ED(i, centers[assign[i]])
+			}
+			u.Progress.Emit(u.Name(), iterations, obj, moves)
+		}
+		if !changed {
 			converged = true
 			break
 		}
@@ -115,8 +170,5 @@ func validate(ds uncertain.Dataset, k int) error {
 	if err := ds.Validate(); err != nil {
 		return err
 	}
-	if k <= 0 || k > len(ds) {
-		return fmt.Errorf("ukmeans: k=%d out of range for n=%d", k, len(ds))
-	}
-	return nil
+	return clustering.ValidateK("ukmeans", k, len(ds))
 }

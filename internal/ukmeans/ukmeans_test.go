@@ -1,6 +1,7 @@
 package ukmeans
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -46,7 +47,7 @@ func sameGrouping(t *testing.T, ds uncertain.Dataset, assign []int, k int) {
 func TestUKMeansRecoversClusters(t *testing.T) {
 	r := rng.New(10)
 	ds := separable(r, 3, 25, 3)
-	rep, err := (&UKMeans{}).Cluster(ds, 3, r)
+	rep, err := (&UKMeans{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestUKMeansRecoversClusters(t *testing.T) {
 func TestUKMeansObjectiveConsistent(t *testing.T) {
 	r := rng.New(20)
 	ds := separable(r, 2, 20, 2)
-	rep, err := (&UKMeans{}).Cluster(ds, 2, r)
+	rep, err := (&UKMeans{}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestUKMeansObjectiveConsistent(t *testing.T) {
 func TestBasicFastEquivalence(t *testing.T) {
 	r := rng.New(30)
 	ds := separable(r, 3, 15, 2)
-	fast, err := (&UKMeans{}).Cluster(ds, 3, rng.New(7))
+	fast, err := (&UKMeans{}).Cluster(context.Background(), ds, 3, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	basic, err := (&Basic{Metric: MetricSqEuclidean, Samples: 256}).Cluster(ds, 3, rng.New(7))
+	basic, err := (&Basic{Metric: MetricSqEuclidean, Samples: 256}).Cluster(context.Background(), ds, 3, rng.New(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestBasicFastEquivalence(t *testing.T) {
 func TestPruningEquivalence(t *testing.T) {
 	r := rng.New(40)
 	ds := separable(r, 4, 12, 2)
-	base, err := (&Basic{Prune: PruneNone, Samples: 32}).Cluster(ds, 4, rng.New(9))
+	base, err := (&Basic{Prune: PruneNone, Samples: 32}).Cluster(context.Background(), ds, 4, rng.New(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestPruningEquivalence(t *testing.T) {
 		{Prune: PruneVDBiP, Samples: 32},
 		{Prune: PruneVDBiP, Samples: 32, ClusterShift: true},
 	} {
-		rep, err := cfg.Cluster(ds, 4, rng.New(9))
+		rep, err := cfg.Cluster(context.Background(), ds, 4, rng.New(9))
 		if err != nil {
 			t.Fatalf("%s: %v", cfg.Name(), err)
 		}
@@ -141,11 +142,11 @@ func TestPruningEquivalence(t *testing.T) {
 func TestClusterShiftReducesWork(t *testing.T) {
 	r := rng.New(50)
 	ds := separable(r, 5, 30, 3)
-	plain, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16}).Cluster(ds, 5, rng.New(3))
+	plain, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16}).Cluster(context.Background(), ds, 5, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	shifted, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16, ClusterShift: true}).Cluster(ds, 5, rng.New(3))
+	shifted, err := (&Basic{Prune: PruneMinMaxBB, Samples: 16, ClusterShift: true}).Cluster(context.Background(), ds, 5, rng.New(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestClusterShiftReducesWork(t *testing.T) {
 func TestBasicRecoversClusters(t *testing.T) {
 	r := rng.New(60)
 	ds := separable(r, 3, 15, 2)
-	rep, err := (&Basic{Samples: 24}).Cluster(ds, 3, r)
+	rep, err := (&Basic{Samples: 24}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +175,8 @@ func TestBasicRecoversClusters(t *testing.T) {
 func TestUKMeansDeterministicForSeed(t *testing.T) {
 	r := rng.New(70)
 	ds := separable(r, 2, 20, 2)
-	a, _ := (&UKMeans{}).Cluster(ds, 2, rng.New(5))
-	b, _ := (&UKMeans{}).Cluster(ds, 2, rng.New(5))
+	a, _ := (&UKMeans{}).Cluster(context.Background(), ds, 2, rng.New(5))
+	b, _ := (&UKMeans{}).Cluster(context.Background(), ds, 2, rng.New(5))
 	for i := range a.Partition.Assign {
 		if a.Partition.Assign[i] != b.Partition.Assign[i] {
 			t.Fatal("same seed, different result")
@@ -186,13 +187,13 @@ func TestUKMeansDeterministicForSeed(t *testing.T) {
 func TestValidation(t *testing.T) {
 	r := rng.New(80)
 	ds := separable(r, 2, 5, 2)
-	if _, err := (&UKMeans{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&UKMeans{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&UKMeans{}).Cluster(ds, 11, r); err == nil {
+	if _, err := (&UKMeans{}).Cluster(context.Background(), ds, 11, r); err == nil {
 		t.Error("k>n accepted")
 	}
-	if _, err := (&Basic{}).Cluster(uncertain.Dataset{}, 1, r); err == nil {
+	if _, err := (&Basic{}).Cluster(context.Background(), uncertain.Dataset{}, 1, r); err == nil {
 		t.Error("empty dataset accepted")
 	}
 }

@@ -1,0 +1,12 @@
+package ukmedoids
+
+import "ucpc/internal/clustering"
+
+func init() {
+	clustering.Register(clustering.Registration{
+		Name: "UKmed", Rank: 90, Prototype: clustering.ProtoMedoid,
+		New: func(cfg clustering.Config) clustering.Algorithm {
+			return &UKMedoids{MaxIter: cfg.MaxIter, Workers: cfg.Workers, Pruning: cfg.Pruning, Progress: cfg.Progress}
+		},
+	})
+}

@@ -10,7 +10,7 @@
 package ukmedoids
 
 import (
-	"fmt"
+	"context"
 	"math"
 	"time"
 
@@ -34,19 +34,38 @@ type UKMedoids struct {
 	// entries are monotone in the shared summation order — so the
 	// partition is identical either way.
 	Pruning clustering.PruneMode
+	// Progress, when non-nil, observes every round with the medoid-cost
+	// objective and the number of objects that changed cluster.
+	Progress clustering.ProgressFunc
 }
 
 // Name implements clustering.Algorithm.
 func (a *UKMedoids) Name() string { return "UKmed" }
 
 // Cluster partitions ds into k clusters around object medoids.
-func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+func (a *UKMedoids) Cluster(ctx context.Context, ds uncertain.Dataset, k int, r *rng.RNG) (*clustering.Report, error) {
+	return a.cluster(ctx, ds, k, nil, r)
+}
+
+// ClusterFrom implements clustering.WarmStarter: the initial medoids are
+// the cost-minimizing members of the given partition's clusters instead of
+// k-means++ seeds. Empty init clusters are repaired from r first, so every
+// cluster has a medoid.
+func (a *UKMedoids) ClusterFrom(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	if err := clustering.ValidateInit("ukmedoids", init, len(ds), k); err != nil {
+		return nil, err
+	}
+	return a.cluster(ctx, ds, k, init, r)
+}
+
+func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []int, r *rng.RNG) (*clustering.Report, error) {
+	ctx = clustering.Ctx(ctx)
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(ds)
-	if k <= 0 || k > n {
-		return nil, fmt.Errorf("ukmedoids: k=%d out of range for n=%d", k, n)
+	if err := clustering.ValidateK("ukmedoids", k, n); err != nil {
+		return nil, err
 	}
 	maxIter := a.MaxIter
 	if maxIter == 0 {
@@ -60,8 +79,19 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 
 	start := time.Now()
 	pruning := a.Pruning.Enabled()
-	medoids := clustering.KMeansPPCenters(ds, k, r)
+	var medoids []int
 	assign := make([]int, n)
+	if init != nil {
+		warm := clustering.RepairEmpty(append([]int(nil), init...), k, r)
+		medoids = make([]int, k)
+		for c := range medoids {
+			medoids[c] = -1
+		}
+		var scratch int64
+		updateMedoids(dm, (clustering.Partition{K: k, Assign: warm}).Members(), medoids, pruning, &scratch, &scratch)
+	} else {
+		medoids = clustering.KMeansPPCenters(ds, k, r)
+	}
 	for i := range assign {
 		assign[i] = -1
 	}
@@ -78,11 +108,19 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 
 	iterations, converged := 0, false
 	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iterations++
-		changed := false
+		moves := 0
 		// Assignment: nearest medoid by ÊD, ties to the lowest cluster
 		// index (the plain scan's strict-< rule gives exactly that).
 		for i := 0; i < n; i++ {
+			if i%4096 == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			var best int
 			var bestD float64
 			if a0 := assign[i]; pruning && a0 >= 0 && medoids[a0] == lastEval[a0] {
@@ -112,47 +150,22 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				moves++
 			}
 		}
 		copy(lastEval, medoids)
-		if !changed {
+		if a.Progress != nil {
+			var obj float64
+			for i := 0; i < n; i++ {
+				obj += dm.At(i, medoids[assign[i]])
+			}
+			a.Progress.Emit(a.Name(), iterations, obj, moves)
+		}
+		if moves == 0 {
 			converged = true
 			break
 		}
-		// Update: per cluster, the member minimizing the summed ÊD to
-		// its peers becomes the new medoid. Candidates are abandoned as
-		// soon as their partial cost reaches the best cost: the row
-		// entries are non-negative and summed in the same order as the
-		// exhaustive scan, so the final cost could not have been smaller.
-		members := (clustering.Partition{K: k, Assign: assign}).Members()
-		for c, ms := range members {
-			if len(ms) == 0 {
-				continue // keep the previous medoid for an empty cluster
-			}
-			bestIdx, bestCost := medoids[c], math.Inf(1)
-			for _, cand := range ms {
-				var cost float64
-				abandoned := false
-				for oi, other := range ms {
-					cost += dm.At(cand, other)
-					if pruning && cost >= bestCost {
-						pruned += int64(len(ms) - oi - 1)
-						scanned += int64(oi + 1)
-						abandoned = true
-						break
-					}
-				}
-				if abandoned {
-					continue
-				}
-				scanned += int64(len(ms))
-				if cost < bestCost {
-					bestIdx, bestCost = cand, cost
-				}
-			}
-			medoids[c] = bestIdx
-		}
+		updateMedoids(dm, (clustering.Partition{K: k, Assign: assign}).Members(), medoids, pruning, &pruned, &scanned)
 	}
 
 	var objective float64
@@ -168,7 +181,44 @@ func (a *UKMedoids) Cluster(ds uncertain.Dataset, k int, r *rng.RNG) (*clusterin
 		Offline:           offline,
 		PrunedCandidates:  pruned,
 		ScannedCandidates: scanned,
+		Medoids:           append([]int(nil), medoids...),
 	}, nil
+}
+
+// updateMedoids makes the member minimizing the summed ÊD to its peers the
+// new medoid of each cluster (empty clusters keep their previous medoid).
+// With pruning, candidates are abandoned as soon as their partial cost
+// reaches the best cost: the row entries are non-negative and summed in the
+// same order as the exhaustive scan, so the final cost could not have been
+// smaller.
+func updateMedoids(dm *DistMatrix, members [][]int, medoids []int, pruning bool, pruned, scanned *int64) {
+	for c, ms := range members {
+		if len(ms) == 0 {
+			continue
+		}
+		bestIdx, bestCost := medoids[c], math.Inf(1)
+		for _, cand := range ms {
+			var cost float64
+			abandoned := false
+			for oi, other := range ms {
+				cost += dm.At(cand, other)
+				if pruning && cost >= bestCost {
+					*pruned += int64(len(ms) - oi - 1)
+					*scanned += int64(oi + 1)
+					abandoned = true
+					break
+				}
+			}
+			if abandoned {
+				continue
+			}
+			*scanned += int64(len(ms))
+			if cost < bestCost {
+				bestIdx, bestCost = cand, cost
+			}
+		}
+		medoids[c] = bestIdx
+	}
 }
 
 // DistMatrix is a symmetric pairwise distance matrix stored as the upper

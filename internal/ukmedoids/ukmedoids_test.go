@@ -1,6 +1,7 @@
 package ukmedoids
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -50,7 +51,7 @@ func TestMatrixSymmetricConsistent(t *testing.T) {
 func TestUKMedoidsRecoversClusters(t *testing.T) {
 	r := rng.New(2)
 	ds := separable(r, 3, 15, 2)
-	rep, err := (&UKMedoids{}).Cluster(ds, 3, r)
+	rep, err := (&UKMedoids{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestUKMedoidsRecoversClusters(t *testing.T) {
 func TestAssignmentsNearestMedoid(t *testing.T) {
 	r := rng.New(3)
 	ds := separable(r, 3, 12, 2)
-	rep, err := (&UKMedoids{}).Cluster(ds, 3, r)
+	rep, err := (&UKMedoids{}).Cluster(context.Background(), ds, 3, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestAssignmentsNearestMedoid(t *testing.T) {
 func TestUKMedoidsOfflinePhaseTimed(t *testing.T) {
 	r := rng.New(4)
 	ds := separable(r, 2, 20, 3)
-	rep, err := (&UKMedoids{}).Cluster(ds, 2, r)
+	rep, err := (&UKMedoids{}).Cluster(context.Background(), ds, 2, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +124,10 @@ func TestUKMedoidsOfflinePhaseTimed(t *testing.T) {
 func TestUKMedoidsValidation(t *testing.T) {
 	r := rng.New(5)
 	ds := separable(r, 2, 5, 2)
-	if _, err := (&UKMedoids{}).Cluster(ds, 0, r); err == nil {
+	if _, err := (&UKMedoids{}).Cluster(context.Background(), ds, 0, r); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := (&UKMedoids{}).Cluster(ds, len(ds)+1, r); err == nil {
+	if _, err := (&UKMedoids{}).Cluster(context.Background(), ds, len(ds)+1, r); err == nil {
 		t.Error("k>n accepted")
 	}
 }

@@ -12,12 +12,22 @@
 package uncertain
 
 import (
+	"errors"
 	"fmt"
 
 	"ucpc/internal/dist"
 	"ucpc/internal/rng"
 	"ucpc/internal/vec"
 )
+
+// ErrEmptyDataset marks a dataset with no objects. Dataset.Validate (and
+// through it every clustering entry point) wraps this sentinel so callers
+// can test errors.Is(err, ErrEmptyDataset).
+var ErrEmptyDataset = errors.New("empty dataset")
+
+// ErrDimMismatch marks objects of differing dimensionality, either within
+// one dataset or between a fitted model and the objects scored against it.
+var ErrDimMismatch = errors.New("dimensionality mismatch")
 
 // Object is a multivariate uncertain object. Construct with NewObject or
 // FromPoint; the moment caches make Objects immutable after construction
@@ -213,15 +223,16 @@ func (ds Dataset) EnsureSamples(r *rng.RNG, n int) {
 	}
 }
 
-// Validate checks that all objects share one dimensionality.
+// Validate checks that the dataset is non-empty and that all objects share
+// one dimensionality, wrapping ErrEmptyDataset / ErrDimMismatch.
 func (ds Dataset) Validate() error {
 	if len(ds) == 0 {
-		return fmt.Errorf("uncertain: empty dataset")
+		return fmt.Errorf("uncertain: %w", ErrEmptyDataset)
 	}
 	m := ds[0].Dims()
 	for i, o := range ds {
 		if o.Dims() != m {
-			return fmt.Errorf("uncertain: object %d has dim %d, want %d", i, o.Dims(), m)
+			return fmt.Errorf("uncertain: object %d has dim %d, want %d: %w", i, o.Dims(), m, ErrDimMismatch)
 		}
 	}
 	return nil

@@ -17,7 +17,7 @@
 //     synthesis, and the harness reproducing the paper's Tables 2–3 and
 //     Figures 4–5 (see cmd/uncbench).
 //
-// Quick start:
+// Quick start (one-shot):
 //
 //	objs := ucpc.Dataset{
 //	    ucpc.NewNormalObject(0, []float64{1, 2}, []float64{0.3, 0.3}, 0.95),
@@ -25,23 +25,34 @@
 //	    // ...
 //	}
 //	rep, err := ucpc.Cluster(objs, 2, ucpc.Options{Seed: 42})
+//
+// Fit once, assign many (the serving path — see Clusterer and Model):
+//
+//	clusterer := &ucpc.Clusterer{Algorithm: "UCPC", Config: ucpc.Config{Seed: 42}}
+//	model, err := clusterer.Fit(ctx, objs, 2)
+//	ids, err := model.Assign(ctx, freshObjs) // frozen U-centroids, pruned EED scoring
 package ucpc
 
 import (
-	"fmt"
+	"context"
 
 	"ucpc/internal/clustering"
 	"ucpc/internal/core"
 	"ucpc/internal/dist"
 	"ucpc/internal/eval"
-	"ucpc/internal/fdbscan"
-	"ucpc/internal/foptics"
-	"ucpc/internal/mmvar"
 	"ucpc/internal/rng"
-	"ucpc/internal/uahc"
-	"ucpc/internal/ukmeans"
-	"ucpc/internal/ukmedoids"
 	"ucpc/internal/uncertain"
+
+	// The algorithm packages register themselves with the shared registry
+	// (clustering.Register) from init functions; importing them here is
+	// what makes every method constructable through NewAlgorithm and
+	// listed by AlgorithmNames.
+	_ "ucpc/internal/fdbscan"
+	_ "ucpc/internal/foptics"
+	_ "ucpc/internal/mmvar"
+	_ "ucpc/internal/uahc"
+	_ "ucpc/internal/ukmeans"
+	_ "ucpc/internal/ukmedoids"
 )
 
 // Core model types, aliased from the internal packages so external callers
@@ -130,13 +141,17 @@ func EED(a, b *Object) float64 { return uncertain.EED(a, b) }
 // a deterministic point (paper eq. 8).
 func ED(o *Object, y []float64) float64 { return uncertain.ED(o, y) }
 
-// Options configures Cluster.
+// Options configures the one-shot Cluster call. It is the flat, historical
+// form of (Algorithm, Config): Cluster forwards every field into a
+// Clusterer, so the two entry points are interchangeable.
 type Options struct {
 	// Algorithm selects the method by its paper abbreviation: "UCPC"
 	// (default), "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed",
-	// "UAHC", "FDB", "FOPT".
+	// "UAHC", "FDB", "FOPT" — see AlgorithmNames for the full list.
 	Algorithm string
-	// Seed drives all of the run's randomness (default 1).
+	// Seed drives all of the run's randomness. The zero value means
+	// DefaultSeed (seed 0 itself is not a valid run seed); every other
+	// value is used verbatim.
 	Seed uint64
 	// MaxIter caps the iterations of iterative methods (0 = per-method
 	// default).
@@ -154,6 +169,21 @@ type Options struct {
 	// expose the engine's hit rate. Set PruneOff for bound-free baseline
 	// measurements.
 	Pruning PruneMode
+	// Progress, when non-nil, observes every outer iteration of the
+	// iterative methods (objective value and move count); see
+	// Config.Progress.
+	Progress ProgressFunc
+}
+
+// config converts the flat Options into the shared Config.
+func (o Options) config() Config {
+	return Config{
+		Workers:  o.Workers,
+		Pruning:  o.Pruning,
+		MaxIter:  o.MaxIter,
+		Seed:     o.Seed,
+		Progress: o.Progress,
+	}
 }
 
 // PruneMode selects whether the exact pruning engine is active; see
@@ -170,75 +200,32 @@ const (
 	PruneOff = clustering.PruneOff
 )
 
-// AlgorithmNames lists the accepted Options.Algorithm values. "UCPC-Lloyd"
-// (batch ablation) and "UCPC-Bisect" (divisive hierarchical extension) are
-// this repository's additions; the other nine are the paper's lineup.
-func AlgorithmNames() []string {
-	return []string{"UCPC", "UCPC-Lloyd", "UCPC-Bisect", "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed", "UAHC", "FDB", "FOPT"}
-}
+// AlgorithmNames lists the accepted algorithm names, in the paper's lineup
+// order. "UCPC-Lloyd" (batch ablation) and "UCPC-Bisect" (divisive
+// hierarchical extension) are this repository's additions; the other nine
+// are the paper's lineup. The list is read from the self-registering
+// algorithm registry, so it is exactly the set NewAlgorithm constructs —
+// names and constructors cannot drift apart.
+func AlgorithmNames() []string { return clustering.AlgorithmNames() }
 
-// NewAlgorithm instantiates a clustering method by its paper abbreviation.
-func NewAlgorithm(name string, maxIter int) (Algorithm, error) {
-	switch name {
-	case "", "UCPC":
-		return &core.UCPC{MaxIter: maxIter}, nil
-	case "UCPC-Lloyd":
-		return &core.UCPCLloyd{MaxIter: maxIter}, nil
-	case "UCPC-Bisect":
-		return &core.BisectingUCPC{MaxIter: maxIter}, nil
-	case "UKM":
-		return &ukmeans.UKMeans{MaxIter: maxIter}, nil
-	case "bUKM":
-		return &ukmeans.Basic{MaxIter: maxIter}, nil
-	case "MinMax-BB":
-		return &ukmeans.Basic{MaxIter: maxIter, Prune: ukmeans.PruneMinMaxBB, ClusterShift: true}, nil
-	case "VDBiP":
-		return &ukmeans.Basic{MaxIter: maxIter, Prune: ukmeans.PruneVDBiP, ClusterShift: true}, nil
-	case "MMV":
-		return &mmvar.MMVar{MaxIter: maxIter}, nil
-	case "UKmed":
-		return &ukmedoids.UKMedoids{MaxIter: maxIter}, nil
-	case "UAHC":
-		return &uahc.UAHC{}, nil
-	case "FDB":
-		return &fdbscan.FDBSCAN{}, nil
-	case "FOPT":
-		return &foptics.FOPTICS{}, nil
-	default:
-		return nil, fmt.Errorf("ucpc: unknown algorithm %q (valid: %v)", name, AlgorithmNames())
-	}
+// NewAlgorithm instantiates a clustering method by its paper abbreviation
+// ("" means "UCPC"), threading the shared Config through the method's
+// registered constructor.
+func NewAlgorithm(name string, cfg Config) (Algorithm, error) {
+	return clustering.NewAlgorithm(name, cfg)
 }
 
 // Cluster partitions the dataset into k clusters with the selected
-// algorithm (UCPC by default).
+// algorithm (UCPC by default). It is a thin wrapper over Clusterer.Fit with
+// a background context: for cancellation, per-iteration progress, or
+// fit-once/assign-many serving, use Clusterer directly. The partitions the
+// two entry points produce are identical for identical configurations.
 func Cluster(ds Dataset, k int, opt Options) (*Report, error) {
-	alg, err := NewAlgorithm(opt.Algorithm, opt.MaxIter)
+	model, err := (&Clusterer{Algorithm: opt.Algorithm, Config: opt.config()}).Fit(context.Background(), ds, k)
 	if err != nil {
 		return nil, err
 	}
-	// Forward the worker-pool size and pruning mode to the algorithms with
-	// parallel phases and/or pruned hot loops.
-	switch a := alg.(type) {
-	case *core.UCPC:
-		a.Workers, a.Pruning = opt.Workers, opt.Pruning
-	case *core.UCPCLloyd:
-		a.Workers, a.Pruning = opt.Workers, opt.Pruning
-	case *core.BisectingUCPC:
-		a.Workers, a.Pruning = opt.Workers, opt.Pruning
-	case *ukmeans.UKMeans:
-		a.Workers, a.Pruning = opt.Workers, opt.Pruning
-	case *ukmedoids.UKMedoids:
-		a.Workers, a.Pruning = opt.Workers, opt.Pruning
-	case *mmvar.MMVar:
-		a.Pruning = opt.Pruning
-	case *uahc.UAHC:
-		a.Workers = opt.Workers
-	}
-	seed := opt.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return alg.Cluster(ds, k, rng.New(seed))
+	return model.Report(), nil
 }
 
 // FMeasure scores a partition against reference labels (paper §5.1).
