@@ -21,18 +21,25 @@
 //	-csv         emit machine-readable CSV instead of rendered tables
 //	-json        emit machine-readable JSON (bench mode only)
 //	-check       bench mode: exit non-zero if a gated algorithm is slower
-//	             with pruning than without, or pruned nothing
+//	             with pruning than without, a steady-state sweep pass
+//	             allocates, or the ctx-check budget is exceeded
+//	-baseline f  bench mode: compare against a previous bench JSON and exit
+//	             non-zero if any algorithm's pruned ns/op regressed by more
+//	             than 10%
 //	-bn n        bench mode: object count (default 2000)
 //	-bk n        bench mode: cluster count (default 16)
 //	-workers n   bench mode: worker-pool size (default 1)
+//	-cpuprofile f  write a pprof CPU profile of the whole run to f
+//	-memprofile f  write a pprof heap profile (post-run) to f
 //	-v           progress lines on stderr
 //
 // The bench mode measures the exact bound-based pruning engine against the
-// bound-free baseline, plus the context-check overhead of the Model.Assign
-// serving path, and, with -json, emits the BENCH_PR3.json payload CI
-// archives for the performance trajectory:
+// bound-free baseline, the steady-state allocations of every sweep pass,
+// and the context-check overhead of the Model.Assign serving path; with
+// -json it emits the BENCH_PR4.json payload CI archives for the
+// performance trajectory:
 //
-//	uncbench -exp bench -json -out BENCH_PR3.json -check
+//	uncbench -exp bench -json -out BENCH_PR4.json -check -baseline BENCH_PR3.json
 package main
 
 import (
@@ -42,6 +49,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ucpc"
@@ -71,10 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out      = fs.String("out", "", "also write output to this file")
 		csvOut   = fs.Bool("csv", false, "emit machine-readable CSV instead of rendered tables")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON (bench mode)")
-		check    = fs.Bool("check", false, "bench mode: fail if pruning regressed")
+		check    = fs.Bool("check", false, "bench mode: fail if pruning regressed or a sweep pass allocates")
+		baseline = fs.String("baseline", "", "bench mode: fail if pruned ns/op regressed >10% vs this bench JSON")
 		benchN   = fs.Int("bn", 0, "bench mode: object count (0 = default 2000)")
 		benchK   = fs.Int("bk", 0, "bench mode: cluster count (0 = default 16)")
 		workers  = fs.Int("workers", 0, "bench mode: worker-pool size (0 = default 1)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 		verbose  = fs.Bool("v", false, "progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +138,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(stderr, "uncbench: "+format+"\n", args...)
 		return 1
+	}
+
+	// pprof evidence for perf PRs: the CPU profile brackets the whole run;
+	// the heap profile is written after it (with a GC first, so it shows
+	// retained state rather than transient garbage).
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		// Create the file up front so an unwritable path fails the run
+		// (exit 1) instead of silently producing no profile; the heap
+		// snapshot itself is written after the run.
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fail("memprofile: %v", err)
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "uncbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	var b strings.Builder
@@ -207,6 +253,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *check {
 			if err := res.Check(); err != nil {
 				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		if *baseline != "" {
+			raw, err := os.ReadFile(*baseline)
+			if err != nil {
+				return fail("baseline: %v", err)
+			}
+			var base experiments.PruneBenchResult
+			if err := json.Unmarshal(raw, &base); err != nil {
+				return fail("baseline %s: %v", *baseline, err)
+			}
+			if err := res.CompareBaseline(&base, 0.10); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v (baseline %s)\n", err, *baseline)
 				return 3
 			}
 		}

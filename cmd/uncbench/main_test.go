@@ -127,3 +127,125 @@ func TestExitCodes(t *testing.T) {
 		})
 	}
 }
+
+// TestBenchAllocsReported: every bench row carries the steady-state
+// allocs_per_op measurement, and the engines hold the zero-allocation
+// contract even on the small test workload.
+func TestBenchAllocsReported(t *testing.T) {
+	args := append(append([]string{}, benchArgs...), "-json")
+	code, stdout, stderr := runCmd(args...)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res experiments.PruneBenchResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.AllocsPerOp != 0 {
+			t.Errorf("%s: %g allocs per steady-state pass, want 0", row.Algorithm, row.AllocsPerOp)
+		}
+	}
+}
+
+// TestBaselineCompare: -baseline passes against an equal-or-slower
+// baseline, fails (exit 3, after writing output) against a much faster
+// one, and errors cleanly (exit 1) on unreadable or malformed files.
+func TestBaselineCompare(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "new.json")
+	args := append(append([]string{}, benchArgs...), "-json", "-out", jsonPath)
+	if code, _, stderr := runCmd(args...); code != 0 {
+		t.Fatalf("bench exit %d, stderr: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res experiments.PruneBenchResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+
+	write := func(name string, mutate func(*experiments.PruneBenchResult)) string {
+		cp := res
+		cp.Rows = append([]experiments.PruneBenchRow(nil), res.Rows...)
+		mutate(&cp)
+		enc, err := json.Marshal(&cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	slower := write("slower.json", func(r *experiments.PruneBenchResult) {
+		for i := range r.Rows {
+			r.Rows[i].PrunedNsPerOp *= 100
+		}
+	})
+	faster := write("faster.json", func(r *experiments.PruneBenchResult) {
+		for i := range r.Rows {
+			r.Rows[i].PrunedNsPerOp = 1
+		}
+	})
+
+	args = append(append([]string{}, benchArgs...), "-baseline", slower)
+	if code, _, stderr := runCmd(args...); code != 0 {
+		t.Errorf("vs slower baseline: exit %d, stderr: %s", code, stderr)
+	}
+	args = append(append([]string{}, benchArgs...), "-baseline", faster)
+	code, stdout, stderr := runCmd(args...)
+	if code != 3 {
+		t.Errorf("vs faster baseline: exit %d, want 3 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("stderr does not mention the regression: %s", stderr)
+	}
+	if !strings.Contains(stdout, "Pruning engine benchmark") {
+		t.Error("output not written before the baseline gate failed")
+	}
+	args = append(append([]string{}, benchArgs...), "-baseline", filepath.Join(dir, "missing.json"))
+	if code, _, _ := runCmd(args...); code != 1 {
+		t.Errorf("missing baseline: exit %d, want 1", code)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args = append(append([]string{}, benchArgs...), "-baseline", bad)
+	if code, _, _ := runCmd(args...); code != 1 {
+		t.Errorf("malformed baseline: exit %d, want 1", code)
+	}
+}
+
+// TestProfilesWritten: -cpuprofile and -memprofile produce non-empty
+// pprof files; unwritable paths exit 1.
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	args := append(append([]string{}, benchArgs...), "-cpuprofile", cpu, "-memprofile", mem)
+	if code, _, stderr := runCmd(args...); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	args = append(append([]string{}, benchArgs...), "-cpuprofile", filepath.Join(dir, "no", "such", "dir.pprof"))
+	if code, _, _ := runCmd(args...); code != 1 {
+		t.Errorf("unwritable cpuprofile: exit %d, want 1", code)
+	}
+	args = append(append([]string{}, benchArgs...), "-memprofile", filepath.Join(dir, "no", "such", "dir.pprof"))
+	if code, _, _ := runCmd(args...); code != 1 {
+		t.Errorf("unwritable memprofile: exit %d, want 1", code)
+	}
+}

@@ -69,6 +69,13 @@ func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Data
 	jOf[0] = Objective(ds, assign, 1)
 	splits := make([]Split, 0, k-1)
 	iterations := 0
+	var pruned, scanned int64
+
+	// Per-split scratch, reused across the k−1 splits.
+	sizes := make([]int, k)
+	memberIdx := make([]int, 0, n)
+	members := make(uncertain.Dataset, 0, n)
+	sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers, Pruning: b.Pruning}
 
 	for clusters := 1; clusters < k; clusters++ {
 		if err := ctx.Err(); err != nil {
@@ -78,7 +85,9 @@ func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Data
 		// clusters (J = 2σ² but unsplittable) are never chosen over
 		// splittable ones.
 		worst, worstJ, worstSize := -1, -1.0, 0
-		sizes := make([]int, clusters)
+		for c := 0; c < clusters; c++ {
+			sizes[c] = 0
+		}
 		for _, c := range assign {
 			sizes[c]++
 		}
@@ -95,8 +104,8 @@ func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Data
 		}
 
 		// Collect the members of the victim cluster.
-		var memberIdx []int
-		var members uncertain.Dataset
+		memberIdx = memberIdx[:0]
+		members = members[:0]
 		for i, c := range assign {
 			if c == worst {
 				memberIdx = append(memberIdx, i)
@@ -108,12 +117,13 @@ func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Data
 		var bestAssign []int
 		bestJ := 0.0
 		for rep := 0; rep < restarts; rep++ {
-			sub := &UCPC{MaxIter: b.MaxIter, Workers: b.Workers, Pruning: b.Pruning}
 			report, err := sub.Cluster(ctx, members, 2, r.Split(uint64(clusters)<<8|uint64(rep)))
 			if err != nil {
 				return nil, nil, err
 			}
 			iterations += report.Iterations
+			pruned += report.PrunedCandidates
+			scanned += report.ScannedCandidates
 			if bestAssign == nil || report.Objective < bestJ {
 				bestJ = report.Objective
 				bestAssign = append(bestAssign[:0], report.Partition.Assign...)
@@ -153,11 +163,13 @@ func (b *BisectingUCPC) ClusterWithSplits(ctx context.Context, ds uncertain.Data
 		total += j
 	}
 	return &clustering.Report{
-		Partition:  clustering.Partition{K: k, Assign: assign},
-		Objective:  total,
-		Iterations: iterations,
-		Converged:  true,
-		Online:     time.Since(start),
+		Partition:         clustering.Partition{K: k, Assign: assign},
+		Objective:         total,
+		Iterations:        iterations,
+		Converged:         true,
+		Online:            time.Since(start),
+		PrunedCandidates:  pruned,
+		ScannedCandidates: scanned,
 	}, splits, nil
 }
 

@@ -48,28 +48,95 @@ func (u *UCPCLloyd) Name() string { return "UCPC-Lloyd" }
 // flat form: score(o, c) = bias[c] − 2·µ(o)·mean[c·m:(c+1)·m], with
 // bias[c] = Σ_j (µ₂)_j(C̄_c). Minimizing the score over c is equivalent to
 // minimizing ÊD(o, C̄_c) because the µ₂(o) term is constant in c (Lemma 3).
+//
+// The per-cluster running sums are incremental statistics maintained across
+// refreshes: a refresh rebuilds only the *dirty* clusters — those whose
+// membership changed since the previous refresh — by re-accumulating their
+// members in dataset order, exactly as a from-scratch build would. Clean
+// clusters keep their previous sums, which were produced by the same
+// in-order accumulation over the same membership, so the resulting state is
+// bit-identical to a full rebuild while costing O(n + Σ_dirty |C|·m)
+// instead of O(n·m). All scratch is allocated once, so steady-state
+// iterations perform no heap allocations.
 type centroidScores struct {
 	k, m int
 	mean []float64 // k*m, row-major U-centroid means
 	bias []float64 // k
+
+	counts   []int
+	sumMu    []float64 // k*m, Σ µ per cluster
+	sumMu2   []float64 // k*m, Σ µ₂ per cluster
+	sumMuSq  []float64 // k*m, Σ µ² per cluster
+	prev     []int     // n, assignment as of the previous refresh (post-reseed)
+	dirty    []bool    // k, scratch: clusters to rebuild this refresh
+	stale    []bool    // k, clusters reseed-adjusted since their last rebuild
+	reseeded []int     // scratch for the return value
+	moves    int       // objects that changed cluster since the last refresh
+	built    bool
+	// forceFull disables the dirty-cluster optimization so tests can prove
+	// the incremental path bit-identical to a full rebuild.
+	forceFull bool
+}
+
+func newCentroidScores(k, m, n int) *centroidScores {
+	return &centroidScores{
+		k:       k,
+		m:       m,
+		mean:    make([]float64, k*m),
+		bias:    make([]float64, k),
+		counts:  make([]int, k),
+		sumMu:   make([]float64, k*m),
+		sumMu2:  make([]float64, k*m),
+		sumMuSq: make([]float64, k*m),
+		prev:    make([]int, n),
+		dirty:   make([]bool, k),
+		stale:   make([]bool, k),
+	}
 }
 
 // refresh recomputes every cluster's U-centroid mean and bias from the
-// moment store and the current assignment (Lemma 5 closed forms). Empty
+// moment store and the current assignment (Lemma 5 closed forms),
+// rebuilding only dirty clusters' sums (see the type comment). Empty
 // clusters are reseeded on the object farthest from its own cluster's
 // current mean; the running sums are updated incrementally after each
-// reseed so every decision sees fresh state, and donors are restricted to
-// clusters with at least two members so a reseed can never create a new
-// empty cluster (or steal a just-reseeded object). It returns the indexes
-// of reseeded objects so the caller can invalidate their pruning bounds.
+// reseed so every decision sees fresh state (the touched clusters are
+// marked stale and rebuilt from scratch on the next refresh), and donors
+// are restricted to clusters with at least two members so a reseed can
+// never create a new empty cluster (or steal a just-reseeded object). It
+// returns the indexes of reseeded objects so the caller can invalidate
+// their pruning bounds.
 func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseeded []int) {
 	n, m, k := mom.Len(), cs.m, cs.k
-	counts := make([]int, k)
-	sumMu := make([]float64, k*m)   // Σ µ per cluster
-	sumMu2 := make([]float64, k*m)  // Σ µ₂ per cluster
-	sumMuSq := make([]float64, k*m) // Σ µ² per cluster
+	counts, sumMu, sumMu2, sumMuSq := cs.counts, cs.sumMu, cs.sumMu2, cs.sumMuSq
+	cs.moves = 0
+	for c := 0; c < k; c++ {
+		cs.dirty[c] = !cs.built || cs.stale[c] || cs.forceFull
+		cs.stale[c] = false
+	}
+	if cs.built {
+		for i := 0; i < n; i++ {
+			if c := assign[i]; c != cs.prev[i] {
+				cs.dirty[c] = true
+				cs.dirty[cs.prev[i]] = true
+				cs.moves++
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		if !cs.dirty[c] {
+			continue
+		}
+		counts[c] = 0
+		row := c * m
+		for j := 0; j < m; j++ {
+			sumMu[row+j], sumMu2[row+j], sumMuSq[row+j] = 0, 0, 0
+		}
+	}
 	for i := 0; i < n; i++ {
 		c := assign[i]
+		if !cs.dirty[c] {
+			continue
+		}
 		counts[c]++
 		mu, mu2 := mom.Mu(i), mom.Mu2(i)
 		row := c * m
@@ -79,6 +146,8 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseede
 			sumMuSq[row+j] += mu[j] * mu[j]
 		}
 	}
+	cs.built = true
+	cs.reseeded = cs.reseeded[:0]
 	for c := 0; c < k; c++ {
 		if counts[c] > 0 {
 			continue
@@ -108,9 +177,13 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseede
 			continue // unreachable for k <= n; keep the sums finite anyway
 		}
 		// Move the object from its donor cluster to c, updating the sums.
+		// The incremental -=/+= adjustment leaves different low-order bits
+		// than an in-order rebuild would, so both touched clusters are
+		// marked stale and rebuilt from scratch on the next refresh.
 		from := assign[far]
 		assign[far] = c
-		reseeded = append(reseeded, far)
+		cs.reseeded = append(cs.reseeded, far)
+		cs.stale[from], cs.stale[c] = true, true
 		counts[from]--
 		counts[c]++
 		mu, mu2 := mom.Mu(far), mom.Mu2(far)
@@ -124,6 +197,7 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseede
 			sumMuSq[toRow+j] += mu[j] * mu[j]
 		}
 	}
+	copy(cs.prev, assign)
 	for c := 0; c < k; c++ {
 		inv := 1 / float64(counts[c])
 		row := c * m
@@ -136,14 +210,33 @@ func (cs *centroidScores) refresh(mom *uncertain.Moments, assign []int) (reseede
 		}
 		cs.bias[c] = bias
 	}
-	return reseeded
+	return cs.reseeded
 }
 
-// install pushes the current U-centroid state into the pruning engine: the
-// centroid means are the Euclidean part of ÊD(o, C̄_c), and the additive
-// term is the centroid's total variance σ²(C̄_c) = Σ_j µ₂(C̄_c)_j −
-// ‖µ(C̄_c)‖² = bias_c − ‖mean_c‖² (scratch `adds` is reused across calls).
-func (cs *centroidScores) install(eng *Assigner, adds []float64) {
+// objective returns Σ_C J(C) of the assignment the sums describe, computed
+// from the maintained per-cluster statistics in O(k·m) instead of a full
+// O(n·m) re-accumulation: Ψ^{(j)} = Σµ₂ − Σµ², Φ^{(j)} = Σµ₂, S^{(j)} = Σµ
+// (Theorem 3).
+func (cs *centroidScores) objective() float64 {
+	var total float64
+	for c := 0; c < cs.k; c++ {
+		if cs.counts[c] == 0 {
+			continue
+		}
+		inv := 1 / float64(cs.counts[c])
+		row := c * cs.m
+		for j := 0; j < cs.m; j++ {
+			psi := cs.sumMu2[row+j] - cs.sumMuSq[row+j]
+			total += psi*inv + cs.sumMu2[row+j] - cs.sumMu[row+j]*cs.sumMu[row+j]*inv
+		}
+	}
+	return total
+}
+
+// addTerms fills adds (k, reused across calls) with the per-centroid
+// additive terms of ÊD(o, C̄_c): the centroid's total variance σ²(C̄_c) =
+// Σ_j µ₂(C̄_c)_j − ‖µ(C̄_c)‖² = bias_c − ‖mean_c‖².
+func (cs *centroidScores) addTerms(adds []float64) {
 	for c := 0; c < cs.k; c++ {
 		row := cs.mean[c*cs.m : (c+1)*cs.m]
 		var dot float64
@@ -152,7 +245,26 @@ func (cs *centroidScores) install(eng *Assigner, adds []float64) {
 		}
 		adds[c] = cs.bias[c] - dot
 	}
+}
+
+// install pushes the current U-centroid state into the pruning engine: the
+// centroid means are the Euclidean part of ÊD(o, C̄_c) plus the addTerms
+// additive parts.
+func (cs *centroidScores) install(eng *Assigner, adds []float64) {
+	cs.addTerms(adds)
 	eng.SetCenters(cs.mean, adds)
+}
+
+// UCentroidAssignState fills centers (flat k*m, row-major) and adds (k)
+// with the U-centroid means and total variances σ²(C̄) of the given
+// partition — the ÊD scoring state UCPC-Lloyd's assignment step installs
+// into the pruning engine each round. Exported for the bench harness's
+// steady-state measurements; assign must describe k non-empty clusters.
+func UCentroidAssignState(mom *uncertain.Moments, assign []int, k int, centers, adds []float64) {
+	cs := newCentroidScores(k, mom.Dims(), mom.Len())
+	cs.refresh(mom, append([]int(nil), assign...))
+	copy(centers, cs.mean)
+	cs.addTerms(adds)
 }
 
 // Cluster runs the batch variant.
@@ -196,44 +308,34 @@ func (u *UCPCLloyd) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 	} else {
 		assign = clustering.RandomPartition(n, k, r)
 	}
-	cs := &centroidScores{k: k, m: m, mean: make([]float64, k*m), bias: make([]float64, k)}
+	cs := newCentroidScores(k, m, n)
 	cs.refresh(mom, assign)
 
 	eng := NewAssigner(mom, k, u.Pruning.Enabled())
 	adds := make([]float64, k)
 	cs.install(eng, adds)
 
-	var prev []int // pre-round snapshot, kept only for Progress
-	if u.Progress != nil {
-		prev = make([]int, n)
-	}
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		iterations++
-		if prev != nil {
-			copy(prev, assign)
-		}
 		changed := eng.Assign(assign, workers)
-		if prev != nil {
-			moves := 0
-			for i := range assign {
-				if assign[i] != prev[i] {
-					moves++
-				}
-			}
-			u.Progress.Emit(u.Name(), iterations, Objective(ds, assign, k), moves)
-		}
-		if !changed {
-			converged = true
-			break
-		}
+		// The refresh diffs the assignment against its previous snapshot,
+		// rebuilding only the clusters whose membership changed; it is a
+		// no-op on the final (converged) round.
 		for _, i := range cs.refresh(mom, assign) {
 			// A reseed moved the object behind the engine's back; its
 			// bounds no longer describe its assigned centroid.
 			eng.Invalidate(i)
+		}
+		if u.Progress != nil {
+			u.Progress.Emit(u.Name(), iterations, cs.objective(), cs.moves)
+		}
+		if !changed {
+			converged = true
+			break
 		}
 		cs.install(eng, adds)
 	}
@@ -241,7 +343,7 @@ func (u *UCPCLloyd) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 	pruned, scanned := eng.Counters()
 	return &clustering.Report{
 		Partition:         clustering.Partition{K: k, Assign: assign},
-		Objective:         Objective(ds, assign, k),
+		Objective:         cs.objective(),
 		Iterations:        iterations,
 		Converged:         converged,
 		Online:            time.Since(start),

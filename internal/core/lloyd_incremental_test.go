@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// TestCentroidScoresIncrementalBitIdentical proves the dirty-cluster
+// refresh exactly behavior-preserving: an incremental centroidScores and a
+// force-full one driven through the same assignment trajectory — including
+// emptied clusters that trigger the reseed path — produce bit-identical
+// means, biases and objectives after every refresh.
+func TestCentroidScoresIncrementalBitIdentical(t *testing.T) {
+	r := rng.New(314)
+	ds := uncertain.Dataset(randomCluster(r, 80, 3))
+	mom := uncertain.MomentsOf(ds)
+	n, m, k := mom.Len(), mom.Dims(), 5
+
+	inc := newCentroidScores(k, m, n)
+	full := newCentroidScores(k, m, n)
+	full.forceFull = true
+
+	aInc := clustering.RandomPartition(n, k, rng.New(9))
+	aFull := append([]int(nil), aInc...)
+
+	check := func(round int) {
+		t.Helper()
+		for i := range aInc {
+			if aInc[i] != aFull[i] {
+				t.Fatalf("round %d: post-reseed assignments diverge at object %d", round, i)
+			}
+		}
+		for j := range inc.mean {
+			if inc.mean[j] != full.mean[j] {
+				t.Fatalf("round %d: mean[%d] = %v (incremental) vs %v (full)", round, j, inc.mean[j], full.mean[j])
+			}
+		}
+		for c := range inc.bias {
+			if inc.bias[c] != full.bias[c] {
+				t.Fatalf("round %d: bias[%d] = %v (incremental) vs %v (full)", round, c, inc.bias[c], full.bias[c])
+			}
+		}
+		if inc.objective() != full.objective() {
+			t.Fatalf("round %d: objective %v (incremental) vs %v (full)", round, inc.objective(), full.objective())
+		}
+	}
+
+	inc.refresh(mom, aInc)
+	full.refresh(mom, aFull)
+	check(0)
+
+	for round := 1; round <= 12; round++ {
+		// Perturb: move a handful of random objects; every third round,
+		// empty one cluster entirely to force the reseed path.
+		rr := rng.New(uint64(round) * 77)
+		for moves := 0; moves < 5; moves++ {
+			aInc[rr.Intn(n)] = rr.Intn(k)
+		}
+		if round%3 == 0 {
+			victim := rr.Intn(k)
+			for i := range aInc {
+				if aInc[i] == victim {
+					aInc[i] = (victim + 1) % k
+				}
+			}
+		}
+		copy(aFull, aInc)
+		inc.refresh(mom, aInc)
+		full.refresh(mom, aFull)
+		check(round)
+	}
+}
+
+// TestLloydObjectiveFromSums is UCPC-Lloyd's part of the incremental-
+// objective property test: for every iteration count (i.e. after every
+// pass), the objective reported from the maintained per-cluster sums
+// matches a from-scratch recomputation of the returned partition within
+// 1e-9 relative — across 3 seeds and 2 datasets.
+func TestLloydObjectiveFromSums(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 977} {
+		for _, tc := range relocTestCases(seed) {
+			for maxIter := 1; maxIter <= 6; maxIter++ {
+				rep, err := (&UCPCLloyd{MaxIter: maxIter, Workers: 1}).Cluster(context.Background(), tc.ds, tc.k, rng.New(seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := Objective(tc.ds, rep.Partition.Assign, tc.k)
+				if rel := math.Abs(rep.Objective-want) / (math.Abs(want) + 1); rel > 1e-9 {
+					t.Fatalf("%s seed %d maxIter %d: sums objective %g vs from-scratch %g (rel %g)",
+						tc.name, seed, maxIter, rep.Objective, want, rel)
+				}
+				if rep.Converged {
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestUCentroidAssignState cross-checks the exported bench helper against
+// first principles: the centers must be the per-cluster mean of µ rows and
+// the adds the U-centroid total variances σ²(C̄) of Lemma 5 / Theorem 2.
+func TestUCentroidAssignState(t *testing.T) {
+	r := rng.New(202)
+	ds := uncertain.Dataset(randomCluster(r, 40, 2))
+	mom := uncertain.MomentsOf(ds)
+	k := 3
+	assign := clustering.RandomPartition(mom.Len(), k, rng.New(4))
+	centers := make([]float64, k*mom.Dims())
+	adds := make([]float64, k)
+	UCentroidAssignState(mom, assign, k, centers, adds)
+
+	members := (clustering.Partition{K: k, Assign: assign}).Members()
+	for c := 0; c < k; c++ {
+		objs := make([]*uncertain.Object, len(members[c]))
+		for i, idx := range members[c] {
+			objs[i] = ds[idx]
+		}
+		u := NewUCentroid(objs)
+		for j, v := range u.Mean() {
+			if diff := math.Abs(centers[c*mom.Dims()+j] - v); diff > 1e-12*(math.Abs(v)+1) {
+				t.Errorf("cluster %d mean[%d]: %v vs U-centroid %v", c, j, centers[c*mom.Dims()+j], v)
+			}
+		}
+		if want := u.TotalVar(); math.Abs(adds[c]-want) > 1e-9*(math.Abs(want)+1) {
+			t.Errorf("cluster %d add: %v vs σ²(C̄) %v", c, adds[c], want)
+		}
+	}
+}

@@ -9,8 +9,10 @@ import (
 	"ucpc/internal/vec"
 )
 
-// This file implements the exact bound-based pruning engine used by every
-// assignment-style hot loop in the repository. Two components:
+// This file implements the exact bound-based pruning engine for the
+// nearest-centroid assignment hot loops (the relocation-sweep counterpart —
+// O(1) bound tests on stale dot-cache entries — lives in the RelocEngine of
+// reloc.go):
 //
 //   - Assigner prunes nearest-centroid assignment steps (UK-means,
 //     UCPC-Lloyd, the UCPC k-means++ initial assignment). All of those
@@ -25,14 +27,6 @@ import (
 //     per-object upper/lower bounds relaxed by centroid drift, an
 //     inter-centroid half-distance filter, and a per-block bounding-box
 //     (vec.Box) min/max filter for the first pass, when no bounds exist yet.
-//
-//   - RelocFilter prunes the candidate-cluster scans of the relocation
-//     heuristics (UCPC Algorithm 1, MMVar). The O(m) Corollary-1 add-scores
-//     decompose as α_c + β_c·σ²(o) + γ_c·‖µ(o) − mean(C_c)‖² with γ_c > 0,
-//     so the reverse triangle inequality |‖µ(o)‖ − ‖mean(C_c)‖| ≤
-//     ‖µ(o) − mean(C_c)‖ yields an O(1) lower bound on each candidate's
-//     score; candidates whose bound cannot beat the current best move are
-//     skipped without touching their m-dimensional rows.
 //
 // Every skip test subtracts a relative slack (pruneSlack) so that the few-
 // ulp rounding of the bound arithmetic can never flip a comparison that the
@@ -91,6 +85,17 @@ type Assigner struct {
 
 	passes          int
 	pruned, scanned int64
+
+	// Per-pass state threaded to the prebuilt chunk bodies below instead
+	// of being captured by fresh closures: creating a capturing closure per
+	// Assign call heap-allocates it, and the steady-state sweep loops are
+	// gated at zero allocations per pass.
+	curAssign []int
+	fresh     bool
+
+	exhaustBody func(lo, hi int) bool
+	firstBody   func(lo, hi int) bool
+	boundedBody func(lo, hi int) bool
 }
 
 // NewAssigner builds an assignment engine for k centroids over mom. When
@@ -115,6 +120,11 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 		a.lower = make([]float64, n)
 		a.boxes = blockBoxes(mom)
 	}
+	// Bind the chunk bodies once; each bind allocates a method value here
+	// so that no Assign call allocates later.
+	a.exhaustBody = a.exhaustChunk
+	a.firstBody = a.firstChunk
+	a.boundedBody = a.boundedChunk
 	return a
 }
 
@@ -277,16 +287,19 @@ func (a *Assigner) Counters() (pruned, scanned int64) {
 // first pass.
 func (a *Assigner) Assign(assign []int, workers int) bool {
 	a.passes++
+	a.curAssign = assign
 	var changed bool
 	switch {
 	case !a.enabled:
-		changed = a.exhaustivePass(assign, workers, a.passes == 1)
+		a.fresh = a.passes == 1
+		changed = clustering.ParallelAny(a.mom.Len(), workers, a.exhaustBody)
 	case !a.ready:
-		changed = a.firstPass(assign, workers)
+		changed = clustering.ParallelAny(len(a.boxes), workers, a.firstBody)
 		a.ready = true
 	default:
-		changed = a.boundedPass(assign, workers)
+		changed = clustering.ParallelAny(a.mom.Len(), workers, a.boundedBody)
 	}
+	a.curAssign = nil
 	if a.enabled {
 		// Drift is consumed by exactly one relaxation; a second Assign
 		// without SetCenters must not relax again.
@@ -298,334 +311,203 @@ func (a *Assigner) Assign(assign []int, workers int) bool {
 	return changed
 }
 
-// exhaustivePass is the bound-free reference: evaluate every centroid. It
+// exhaustChunk is the bound-free reference: evaluate every centroid. It
 // applies the same sticky tie rule as the pruned passes so that PruneOff
 // reproduces PruneOn bit for bit.
-func (a *Assigner) exhaustivePass(assign []int, workers int, fresh bool) bool {
-	n := a.mom.Len()
-	return clustering.ParallelAny(n, workers, func(lo, hi int) bool {
-		ch := false
-		var scanned int64
-		for i := lo; i < hi; i++ {
-			cur := assign[i]
-			var best int
-			var bestD float64
-			if fresh || cur < 0 {
-				best, bestD = 0, a.dist2(i, 0)+a.add[0]
-				for c := 1; c < a.k; c++ {
-					if d := a.dist2(i, c) + a.add[c]; d < bestD {
-						best, bestD = c, d
-					}
-				}
-			} else {
-				best, bestD = cur, a.dist2(i, cur)+a.add[cur]
-				for c := 0; c < a.k; c++ {
-					if c == cur {
-						continue
-					}
-					if d := a.dist2(i, c) + a.add[c]; d < bestD {
-						best, bestD = c, d
-					}
+func (a *Assigner) exhaustChunk(lo, hi int) bool {
+	assign, fresh := a.curAssign, a.fresh
+	ch := false
+	var scanned int64
+	for i := lo; i < hi; i++ {
+		cur := assign[i]
+		var best int
+		var bestD float64
+		if fresh || cur < 0 {
+			best, bestD = 0, a.dist2(i, 0)+a.add[0]
+			for c := 1; c < a.k; c++ {
+				if d := a.dist2(i, c) + a.add[c]; d < bestD {
+					best, bestD = c, d
 				}
 			}
-			scanned += int64(a.k)
-			if assign[i] != best {
-				assign[i] = best
-				ch = true
-			}
-		}
-		atomic.AddInt64(&a.scanned, scanned)
-		return ch
-	})
-}
-
-// firstPass initializes the per-object bounds with a per-block bounding-box
-// filter: centroids whose minimum possible D over the whole block exceeds
-// the block's best guaranteed D cannot win for any member and are skipped.
-func (a *Assigner) firstPass(assign []int, workers int) bool {
-	n, k := a.mom.Len(), a.k
-	nb := len(a.boxes)
-	return clustering.ParallelAny(nb, workers, func(blo, bhi int) bool {
-		ch := false
-		var pruned, scanned int64
-		minD := make([]float64, k)  // block lower bound on D per centroid
-		eMin := make([]float64, k)  // block lower bound on ‖µ(o)−y_c‖²
-		cand := make([]int, 0, k)   // surviving centroids
-		candR := make([]float64, k) // exact Euclidean distance per candidate
-		for b := blo; b < bhi; b++ {
-			box := a.boxes[b]
-			bestMax := math.Inf(1)
-			for c := 0; c < k; c++ {
-				row := vec.Vector(a.centers[c*a.m : (c+1)*a.m])
-				e := box.MinSqDist(row)
-				eMin[c] = e
-				minD[c] = e + a.add[c]
-				if hi := box.MaxSqDist(row) + a.add[c]; hi < bestMax {
-					bestMax = hi
-				}
-			}
-			thresh := bestMax + pruneSlack*(math.Abs(bestMax)+1)
-			cand = cand[:0]
-			prunedLB := math.Inf(1)
-			for c := 0; c < k; c++ {
-				if minD[c] <= thresh {
-					cand = append(cand, c)
-				} else if s := math.Sqrt(eMin[c]); s < prunedLB {
-					prunedLB = s
-				}
-			}
-			lo, hi := b*pruneBlock, (b+1)*pruneBlock
-			if hi > n {
-				hi = n
-			}
-			pruned += int64(hi-lo) * int64(k-len(cand))
-			scanned += int64(hi-lo) * int64(len(cand))
-			for i := lo; i < hi; i++ {
-				bestCi := 0
-				bestD := math.Inf(1)
-				for ci, c := range cand {
-					r2 := a.dist2(i, c)
-					candR[ci] = math.Sqrt(r2)
-					if d := r2 + a.add[c]; d < bestD {
-						bestCi, bestD = ci, d
-					}
-				}
-				lower := prunedLB
-				for ci := range cand {
-					if ci != bestCi && candR[ci] < lower {
-						lower = candR[ci]
-					}
-				}
-				a.upper[i] = candR[bestCi]
-				a.lower[i] = lower
-				if best := cand[bestCi]; assign[i] != best {
-					assign[i] = best
-					ch = true
-				}
-			}
-		}
-		atomic.AddInt64(&a.pruned, pruned)
-		atomic.AddInt64(&a.scanned, scanned)
-		return ch
-	})
-}
-
-// boundedPass is the steady-state Hamerly-style pass: relax the stored
-// bounds by the centroid drift, skip objects whose assigned centroid
-// provably still wins, and fall back to a filtered exhaustive scan
-// otherwise.
-func (a *Assigner) boundedPass(assign []int, workers int) bool {
-	n, k := a.mom.Len(), a.k
-	return clustering.ParallelAny(n, workers, func(lo, hi int) bool {
-		ch := false
-		var pruned, scanned int64
-		for i := lo; i < hi; i++ {
-			cur := assign[i]
-			u := a.upper[i] + a.drift[cur]
-			l := a.lower[i] - a.maxDrift
-			if l < 0 {
-				l = 0
-			}
-			a.upper[i], a.lower[i] = u, l
-			va := a.add[cur]
-			vOther := a.addMin
-			if cur == a.addMinIdx {
-				vOther = a.addMin2
-			}
-			// z lower-bounds every other centroid's Euclidean distance:
-			// the relaxed lower bound, or the half-gap bound
-			// r_c ≥ 2·half[cur] − r_cur ≥ 2·half[cur] − u.
-			z := l
-			if hg := 2*a.half[cur] - u; hg > z {
-				z = hg
-			}
-			da := u*u + va
-			do := z*z + vOther
-			if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
-				pruned += int64(k - 1)
-				continue
-			}
-			// Tighten the upper bound to the exact distance and re-test.
-			ra := math.Sqrt(a.dist2(i, cur))
-			u = ra
-			a.upper[i] = u
-			scanned++
-			if hg := 2*a.half[cur] - u; hg > z {
-				z = hg
-			}
-			da = u*u + va
-			do = z*z + vOther
-			if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
-				pruned += int64(k - 1)
-				continue
-			}
-			// Filtered exhaustive scan (sticky rule: strict improvement
-			// only). The inter-centroid filter lower-bounds r_c by
-			// cdist(best, c) − r_best via the triangle inequality.
-			best, bestD, bestR := cur, u*u+va, u
-			minOther := math.Inf(1)
-			for c := 0; c < k; c++ {
+		} else {
+			best, bestD = cur, a.dist2(i, cur)+a.add[cur]
+			for c := 0; c < a.k; c++ {
 				if c == cur {
 					continue
 				}
-				if lb := a.cdist[best*k+c] - bestR; lb > 0 {
-					if d := lb*lb + a.add[c]; d-pruneSlack*(math.Abs(d)+math.Abs(bestD)+1) >= bestD {
-						if lb < minOther {
-							minOther = lb
-						}
-						pruned++
-						continue
-					}
-				}
-				r2 := a.dist2(i, c)
-				scanned++
-				r := math.Sqrt(r2)
-				if d := r2 + a.add[c]; d < bestD {
-					if bestR < minOther {
-						minOther = bestR
-					}
-					best, bestD, bestR = c, d, r
-				} else if r < minOther {
-					minOther = r
+				if d := a.dist2(i, c) + a.add[c]; d < bestD {
+					best, bestD = c, d
 				}
 			}
-			a.upper[i] = bestR
-			a.lower[i] = minOther
-			if assign[i] != best {
+		}
+		scanned += int64(a.k)
+		if assign[i] != best {
+			assign[i] = best
+			ch = true
+		}
+	}
+	atomic.AddInt64(&a.scanned, scanned)
+	return ch
+}
+
+// firstChunk initializes the per-object bounds with a per-block bounding-
+// box filter: centroids whose minimum possible D over the whole block
+// exceeds the block's best guaranteed D cannot win for any member and are
+// skipped. It runs once per engine (the first pass), so its per-chunk
+// scratch (needed for worker independence) may allocate.
+func (a *Assigner) firstChunk(blo, bhi int) bool {
+	assign := a.curAssign
+	n, k := a.mom.Len(), a.k
+	ch := false
+	var pruned, scanned int64
+	minD := make([]float64, k)  // block lower bound on D per centroid
+	eMin := make([]float64, k)  // block lower bound on ‖µ(o)−y_c‖²
+	cand := make([]int, 0, k)   // surviving centroids
+	candR := make([]float64, k) // exact Euclidean distance per candidate
+	for b := blo; b < bhi; b++ {
+		box := a.boxes[b]
+		bestMax := math.Inf(1)
+		for c := 0; c < k; c++ {
+			row := vec.Vector(a.centers[c*a.m : (c+1)*a.m])
+			e := box.MinSqDist(row)
+			eMin[c] = e
+			minD[c] = e + a.add[c]
+			if hi := box.MaxSqDist(row) + a.add[c]; hi < bestMax {
+				bestMax = hi
+			}
+		}
+		thresh := bestMax + pruneSlack*(math.Abs(bestMax)+1)
+		cand = cand[:0]
+		prunedLB := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if minD[c] <= thresh {
+				cand = append(cand, c)
+			} else if s := math.Sqrt(eMin[c]); s < prunedLB {
+				prunedLB = s
+			}
+		}
+		lo, hi := b*pruneBlock, (b+1)*pruneBlock
+		if hi > n {
+			hi = n
+		}
+		pruned += int64(hi-lo) * int64(k-len(cand))
+		scanned += int64(hi-lo) * int64(len(cand))
+		for i := lo; i < hi; i++ {
+			bestCi := 0
+			bestD := math.Inf(1)
+			for ci, c := range cand {
+				r2 := a.dist2(i, c)
+				candR[ci] = math.Sqrt(r2)
+				if d := r2 + a.add[c]; d < bestD {
+					bestCi, bestD = ci, d
+				}
+			}
+			lower := prunedLB
+			for ci := range cand {
+				if ci != bestCi && candR[ci] < lower {
+					lower = candR[ci]
+				}
+			}
+			a.upper[i] = candR[bestCi]
+			a.lower[i] = lower
+			if best := cand[bestCi]; assign[i] != best {
 				assign[i] = best
 				ch = true
 			}
 		}
-		atomic.AddInt64(&a.pruned, pruned)
-		atomic.AddInt64(&a.scanned, scanned)
-		return ch
-	})
-}
-
-// RelocKind selects the objective whose add-score a RelocFilter bounds.
-type RelocKind int
-
-const (
-	// RelocUCPC bounds ΔJ = J(C ∪ {o}) − J(C) (Theorem 3 / Corollary 1).
-	RelocUCPC RelocKind = iota
-	// RelocMMVar bounds ΔJ_MM = J_MM(C ∪ {o}) − J_MM(C) (Proposition 2).
-	RelocMMVar
-)
-
-// RelocFilter prunes candidate clusters in the sequential relocation sweeps
-// of UCPC and MMVar. Both add-scores decompose (see the package comment)
-// into α_c + β_c·σ²(o) + γ_c·r_c² with γ_c > 0 and r_c = ‖µ(o) − mean(C_c)‖,
-// so |‖µ(o)‖ − ‖mean(C_c)‖| ≤ r_c gives an O(1) lower bound per candidate.
-// Cluster constants are refreshed in O(m) only for the (at most two)
-// clusters an accepted move touches.
-//
-// RelocFilter is used by a single sequential sweep; it is not safe for
-// concurrent use.
-type RelocFilter struct {
-	enabled bool
-	kind    RelocKind
-	m       int
-	objNorm []float64 // ‖µ(o_i)‖, immutable
-	cNorm   []float64 // ‖mean(C_c)‖, maintained per accepted move
-	alpha   []float64
-	beta    []float64
-	gamma   []float64
-	jMag    []float64 // |J(C_c)| (resp. |J_MM|), anchors the fp slack
-
-	pruned, scanned int64
-}
-
-// NewRelocFilter builds a relocation candidate filter over mom for the
-// clusters described by stats. A disabled filter skips nothing (exhaustive
-// reference behavior).
-func NewRelocFilter(kind RelocKind, mom *uncertain.Moments, stats []*Stats, enabled bool) *RelocFilter {
-	f := &RelocFilter{enabled: enabled, kind: kind, m: mom.Dims()}
-	if !enabled {
-		return f
 	}
-	n := mom.Len()
-	f.objNorm = make([]float64, n)
-	for i := 0; i < n; i++ {
-		mu := mom.Mu(i)
-		var s float64
-		for _, v := range mu {
-			s += v * v
+	atomic.AddInt64(&a.pruned, pruned)
+	atomic.AddInt64(&a.scanned, scanned)
+	return ch
+}
+
+// boundedChunk is the steady-state Hamerly-style pass: relax the stored
+// bounds by the centroid drift, skip objects whose assigned centroid
+// provably still wins, and fall back to a filtered exhaustive scan
+// otherwise.
+func (a *Assigner) boundedChunk(lo, hi int) bool {
+	assign := a.curAssign
+	k := a.k
+	ch := false
+	var pruned, scanned int64
+	for i := lo; i < hi; i++ {
+		cur := assign[i]
+		u := a.upper[i] + a.drift[cur]
+		l := a.lower[i] - a.maxDrift
+		if l < 0 {
+			l = 0
 		}
-		f.objNorm[i] = math.Sqrt(s)
+		a.upper[i], a.lower[i] = u, l
+		va := a.add[cur]
+		vOther := a.addMin
+		if cur == a.addMinIdx {
+			vOther = a.addMin2
+		}
+		// z lower-bounds every other centroid's Euclidean distance:
+		// the relaxed lower bound, or the half-gap bound
+		// r_c ≥ 2·half[cur] − r_cur ≥ 2·half[cur] − u.
+		z := l
+		if hg := 2*a.half[cur] - u; hg > z {
+			z = hg
+		}
+		da := u*u + va
+		do := z*z + vOther
+		if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+			pruned += int64(k - 1)
+			continue
+		}
+		// Tighten the upper bound to the exact distance and re-test.
+		ra := math.Sqrt(a.dist2(i, cur))
+		u = ra
+		a.upper[i] = u
+		scanned++
+		if hg := 2*a.half[cur] - u; hg > z {
+			z = hg
+		}
+		da = u*u + va
+		do = z*z + vOther
+		if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+			pruned += int64(k - 1)
+			continue
+		}
+		// Filtered exhaustive scan (sticky rule: strict improvement
+		// only). The inter-centroid filter lower-bounds r_c by
+		// cdist(best, c) − r_best via the triangle inequality.
+		best, bestD, bestR := cur, u*u+va, u
+		minOther := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == cur {
+				continue
+			}
+			if lb := a.cdist[best*k+c] - bestR; lb > 0 {
+				if d := lb*lb + a.add[c]; d-pruneSlack*(math.Abs(d)+math.Abs(bestD)+1) >= bestD {
+					if lb < minOther {
+						minOther = lb
+					}
+					pruned++
+					continue
+				}
+			}
+			r2 := a.dist2(i, c)
+			scanned++
+			r := math.Sqrt(r2)
+			if d := r2 + a.add[c]; d < bestD {
+				if bestR < minOther {
+					minOther = bestR
+				}
+				best, bestD, bestR = c, d, r
+			} else if r < minOther {
+				minOther = r
+			}
+		}
+		a.upper[i] = bestR
+		a.lower[i] = minOther
+		if assign[i] != best {
+			assign[i] = best
+			ch = true
+		}
 	}
-	k := len(stats)
-	f.cNorm = make([]float64, k)
-	f.alpha = make([]float64, k)
-	f.beta = make([]float64, k)
-	f.gamma = make([]float64, k)
-	f.jMag = make([]float64, k)
-	for c := range stats {
-		f.Refresh(c, stats[c])
-	}
-	return f
-}
-
-// Refresh recomputes cluster c's score constants from its statistics in
-// O(m). Call it for both clusters touched by every accepted relocation.
-func (f *RelocFilter) Refresh(c int, s *Stats) {
-	if !f.enabled {
-		return
-	}
-	n := float64(s.Size())
-	if n == 0 {
-		// Relocation never empties a cluster; keep the constants inert.
-		f.cNorm[c], f.alpha[c], f.beta[c], f.gamma[c] = 0, math.Inf(-1), 0, 0
-		return
-	}
-	sum := s.MeanSum()
-	var dot float64
-	for _, v := range sum {
-		q := v / n
-		dot += q * q
-	}
-	f.cNorm[c] = math.Sqrt(dot)
-	switch f.kind {
-	case RelocMMVar:
-		juk := s.JUK()
-		f.alpha[c] = -juk / (n * (n + 1))
-		f.beta[c] = 1 / (n + 1)
-		f.gamma[c] = n / ((n + 1) * (n + 1))
-		f.jMag[c] = math.Abs(s.JMM())
-	default: // RelocUCPC
-		psi := s.SumVariance()
-		f.alpha[c] = psi/(n+1) - psi/n
-		f.beta[c] = 1/(n+1) + 1
-		f.gamma[c] = n / (n + 1)
-		f.jMag[c] = math.Abs(s.J())
-	}
-}
-
-// Skip reports whether candidate cluster c can be skipped for object i:
-// true only when the lower bound on deltaRemove + addScore(c) provably
-// cannot beat bestDelta (the best strictly-improving move found so far).
-// sigma2o is the object's scalar total variance σ²(o); coMag is the
-// magnitude |J| (resp. |J_MM|) of the object's own cluster, which — with
-// the candidate's stored |J| — anchors the fp slack: the exhaustive scan's
-// deltas are differences of J-sized sums, so their rounding error scales
-// with the objectives' magnitudes, not with the (often tiny) deltas.
-func (f *RelocFilter) Skip(i, c int, sigma2o, deltaRemove, bestDelta, coMag float64) bool {
-	if !f.enabled {
-		f.scanned++
-		return false
-	}
-	d := f.objNorm[i] - f.cNorm[c]
-	glb := f.alpha[c] + f.beta[c]*sigma2o + f.gamma[c]*(d*d)
-	cand := deltaRemove + glb
-	slack := pruneSlack * (math.Abs(cand) + math.Abs(bestDelta) + f.jMag[c] + coMag + 1)
-	if cand-slack >= bestDelta {
-		f.pruned++
-		return true
-	}
-	f.scanned++
-	return false
-}
-
-// Counters returns the cumulative (pruned, scanned) candidate counts.
-func (f *RelocFilter) Counters() (pruned, scanned int64) {
-	return f.pruned, f.scanned
+	atomic.AddInt64(&a.pruned, pruned)
+	atomic.AddInt64(&a.scanned, scanned)
+	return ch
 }

@@ -166,11 +166,12 @@ func TestAssignerInvalidate(t *testing.T) {
 	}
 }
 
-// TestRelocFilterBoundHolds verifies the filter's core invariant directly:
-// for random clusters and objects, the O(1) lower bound never exceeds the
-// exact Corollary-1 add-score it stands in for (modulo the slack, which
-// only weakens the bound).
-func TestRelocFilterBoundHolds(t *testing.T) {
+// TestRelocBoundHolds verifies the relocation engine's skip bound directly:
+// for random clusters and objects, the O(1) reverse-triangle lower bound
+// never exceeds the exact Corollary-1 add-score it stands in for — neither
+// the engine's own scalar-form score nor the row-form reference (modulo the
+// slack, which only weakens the bound).
+func TestRelocBoundHolds(t *testing.T) {
 	r := rng.New(31)
 	ds := separableDataset(r, 4, 25, 3)
 	mom := uncertain.MomentsOf(ds)
@@ -180,33 +181,38 @@ func TestRelocFilterBoundHolds(t *testing.T) {
 	for i := range assign {
 		assign[i] = r.Intn(k)
 	}
-	stats := make([]*Stats, k)
-	for c := range stats {
-		stats[c] = NewStats(mom.Dims())
-	}
-	for i := 0; i < n; i++ {
-		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
-	}
 
 	for _, kind := range []RelocKind{RelocUCPC, RelocMMVar} {
-		f := NewRelocFilter(kind, mom, stats, true)
+		stats := make([]*Stats, k)
+		for c := range stats {
+			stats[c] = NewStats(mom.Dims())
+		}
+		for i := 0; i < n; i++ {
+			stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
+		}
+		e := NewRelocEngine(kind, mom, stats, true)
 		for i := 0; i < n; i++ {
 			sigma2o := mom.TotalVar(i)
+			m2t, mun2 := mom.Mu2Tot(i), mom.MuNorm2(i)
 			mu, mu2 := mom.Mu(i), mom.Mu2(i)
 			for c := 0; c < k; c++ {
-				var exact, jc float64
+				var rowForm float64
 				if kind == RelocUCPC {
-					jc = stats[c].J()
-					exact = stats[c].JIfAddRow(mu, mu2, mom.Sigma2(i)) - jc
+					rowForm = stats[c].JIfAddRow(mu, mu2, mom.Sigma2(i)) - stats[c].J()
 				} else {
-					jc = stats[c].JMM()
-					exact = stats[c].JMMIfAddRow(mu, mu2) - jc
+					rowForm = stats[c].JMMIfAddRow(mu, mu2) - stats[c].JMM()
 				}
-				d := f.objNorm[i] - f.cNorm[c]
-				glb := f.alpha[c] + f.beta[c]*sigma2o + f.gamma[c]*(d*d)
-				slack := 1e-9 * (math.Abs(glb) + math.Abs(exact) + 1)
-				if glb-slack > exact {
-					t.Fatalf("kind %d object %d cluster %d: lower bound %g exceeds exact add-score %g", kind, i, c, glb, exact)
+				scalarForm := e.addScore(c, sigma2o, m2t, mun2, e.dot(i, c)) - e.jCache[c]
+				d := mom.MuNorm(i) - e.cNorm[c]
+				glb := e.alpha[c] + e.beta[c]*sigma2o + e.gamma[c]*(d*d)
+				for _, exact := range []float64{rowForm, scalarForm} {
+					slack := 1e-9 * (math.Abs(glb) + math.Abs(exact) + 1)
+					if glb-slack > exact {
+						t.Fatalf("kind %d object %d cluster %d: lower bound %g exceeds exact add-score %g", kind, i, c, glb, exact)
+					}
+				}
+				if rel := math.Abs(scalarForm-rowForm) / (math.Abs(rowForm) + 1); rel > 1e-9 {
+					t.Fatalf("kind %d object %d cluster %d: scalar add-score %g vs row-form %g (rel %g)", kind, i, c, scalarForm, rowForm, rel)
 				}
 			}
 		}

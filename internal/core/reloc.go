@@ -1,0 +1,400 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"ucpc/internal/uncertain"
+)
+
+// This file implements the incremental-statistics relocation engine behind
+// UCPC (Algorithm 1) and MMVar. The key observation is that the Theorem-3 /
+// Corollary-1 objective of a cluster depends on its per-dimension sums only
+// through three scalars,
+//
+//	Ψ = Σ_j Ψ^{(j)}   (total variance sum)
+//	Φ = Σ_j Φ^{(j)}   (total second-moment sum)
+//	‖S‖² = Σ_j (S^{(j)})²   (squared norm of the mean sum)
+//
+// because J(C) = Ψ/|C| + Φ − ‖S‖²/|C| (and J_UK, J_MM likewise). The add
+// and remove scores then reduce to
+//
+//	J(C ∪ {o}) = (Ψ + σ²(o))/(|C|+1) + Φ + φ(o)
+//	             − (‖S‖² + 2·µ(o)·S + ‖µ(o)‖²)/(|C|+1)
+//	J(C \ {o}) = (Ψ − σ²(o))/(|C|−1) + Φ − φ(o)
+//	             − (‖S‖² − 2·µ(o)·S + ‖µ(o)‖²)/(|C|−1)
+//
+// with φ(o) = Σ_j (µ₂)_j(o). Every term except the dot product µ(o)·S is a
+// precomputed per-object scalar (Moments.TotalVar/Mu2Tot/MuNorm2) or a
+// per-cluster scalar maintained by the engine — so scoring a candidate
+// cluster costs O(1) once µ(o)·S is known.
+//
+// The dot products are cached in an n×k table stamped with per-cluster
+// version counters: a cluster's version bumps whenever a relocation changes
+// its statistics, and a cached dot is valid exactly when its stamp matches
+// the cluster's current version. A candidate evaluation is therefore O(1)
+// when the cluster is unchanged since the object's last scan and O(m) (one
+// dot product) only on version mismatch. As the local search converges,
+// moves — and hence invalidations — become rare, and whole passes run at
+// O(n·k) instead of O(n·k·m).
+//
+// The engine maintains the global objective Σ_C J(C) by applying each
+// accepted move's delta instead of re-summing per pass; tests bound the
+// drift of this running value against a from-scratch recomputation at 1e-9
+// relative after every pass.
+//
+// All scratch (scalar snapshots, the dot table, bound constants) is
+// allocated once in NewRelocEngine; Pass performs no heap allocations, so
+// steady-state sweeps are allocation-free (gated by the bench harness).
+
+// RelocKind selects the objective a RelocEngine scores and bounds.
+type RelocKind int
+
+const (
+	// RelocUCPC scores ΔJ = J(C ∪ {o}) − J(C) (Theorem 3 / Corollary 1).
+	RelocUCPC RelocKind = iota
+	// RelocMMVar scores ΔJ_MM = J_MM(C ∪ {o}) − J_MM(C) (Proposition 2).
+	RelocMMVar
+)
+
+// relocDotCacheMax caps the dot cache at 1<<26 object×cluster entries
+// (768 MB of dots + stamps). Above it the engine degrades to computing
+// dots on demand rather than changing the process's memory footprint
+// class; the partition is identical either way.
+const relocDotCacheMax = 1 << 26
+
+// RelocEngine runs the sequential relocation sweeps of UCPC and MMVar over
+// a flat moment store with incremental O(1) candidate scoring.
+//
+// With pruning enabled, candidates whose cached dot product is stale are
+// first tested against the O(1) reverse-triangle lower bound on their
+// add-score (the same α + β·σ²(o) + γ·r² decomposition the PR2 RelocFilter
+// used): a stale candidate that provably cannot beat the best move found so
+// far is skipped without paying the O(m) dot product. Candidates with a
+// fresh cached dot are scored directly — the exact score is as cheap as the
+// bound. The bound only disables work, never decides a comparison the
+// exhaustive scan would decide differently (a relative slack absorbs the
+// bound arithmetic's rounding), so pruned and unpruned runs produce
+// byte-identical partitions.
+//
+// A RelocEngine drives a single sequential sweep; it is not safe for
+// concurrent use.
+type RelocEngine struct {
+	kind    RelocKind
+	mom     *uncertain.Moments
+	stats   []*Stats
+	n, m, k int
+	pruning bool
+
+	// Per-cluster scalar snapshot, recomputed in O(m) by refresh for the
+	// (at most two) clusters an accepted move touches.
+	ver    []uint32  // version counter; bumps on every refresh
+	psiTot []float64 // Ψ
+	phiTot []float64 // Φ
+	sumSq  []float64 // ‖S‖²
+	jCache []float64 // J (RelocUCPC) resp. J_MM (RelocMMVar)
+
+	// Pruning bound constants (see skip), refreshed alongside the snapshot.
+	cNorm []float64 // ‖S/|C|‖
+	alpha []float64
+	beta  []float64
+	gamma []float64
+	jMag  []float64
+
+	// Dot-product cache: dots[i*k+c] = µ(o_i)·S_c, valid iff
+	// dotVer[i*k+c] == ver[c]. cached is false when n·k exceeds
+	// relocDotCacheMax — then every dot is computed on demand (the PR3
+	// cost profile, O(n+k) scratch) instead of growing the footprint to
+	// O(n·k). A fresh and a cached dot have identical bits, so the two
+	// modes produce identical partitions.
+	cached bool
+	dots   []float64
+	dotVer []uint32
+
+	// Bound-test targeting: verPass snapshots ver at the start of each
+	// pass, and active[c] records whether cluster c's statistics changed
+	// during the previous pass. Bound skips are only attempted against
+	// active clusters — a settled cluster's dot is computed once and then
+	// served from cache forever, which beats re-proving the same skip with
+	// an O(1) bound on every pass. This is what makes the filter pay for
+	// itself instead of fighting the cache.
+	verPass []uint32
+	active  []bool
+
+	// Auto-disable: a failed bound test costs about half of the dot
+	// product it tries to avoid, so the bound only pays while its hit rate
+	// stays high. Pass tracks per-pass tested/pruned counts and switches
+	// the bound off for the rest of the run once fewer than half the tests
+	// succeed — the bound is exact, so the partition is unaffected.
+	boundOff bool
+	tested   int64
+
+	totalJ float64 // Σ_C J(C), maintained by applied move deltas
+
+	pruned, scanned int64
+}
+
+// NewRelocEngine builds the engine over mom for the clusters described by
+// stats (which must reflect the caller's current assignment and stay owned
+// by the engine afterwards). With pruning false no bound test ever fires
+// and every candidate is scored (the exhaustive-reference behavior).
+func NewRelocEngine(kind RelocKind, mom *uncertain.Moments, stats []*Stats, pruning bool) *RelocEngine {
+	n, m, k := mom.Len(), mom.Dims(), len(stats)
+	e := &RelocEngine{
+		kind:    kind,
+		mom:     mom,
+		stats:   stats,
+		n:       n,
+		m:       m,
+		k:       k,
+		pruning: pruning,
+		ver:     make([]uint32, k),
+		psiTot:  make([]float64, k),
+		phiTot:  make([]float64, k),
+		sumSq:   make([]float64, k),
+		jCache:  make([]float64, k),
+		cNorm:   make([]float64, k),
+		alpha:   make([]float64, k),
+		beta:    make([]float64, k),
+		gamma:   make([]float64, k),
+		jMag:    make([]float64, k),
+		cached:  n <= relocDotCacheMax/k,
+		verPass: make([]uint32, k),
+		active:  make([]bool, k),
+	}
+	if e.cached {
+		e.dots = make([]float64, n*k)
+		e.dotVer = make([]uint32, n*k)
+	}
+	for c := range stats {
+		e.refresh(c)
+	}
+	for c := range stats {
+		e.totalJ += e.jCache[c]
+	}
+	return e
+}
+
+// refresh recomputes cluster c's scalar snapshot (and bound constants) from
+// its per-dimension statistics in O(m) and bumps the cluster's version,
+// invalidating every cached dot product against it.
+func (e *RelocEngine) refresh(c int) {
+	s := e.stats[c]
+	var psi, phi, ss float64
+	for _, v := range s.psi {
+		psi += v
+	}
+	for _, v := range s.phi {
+		phi += v
+	}
+	for _, v := range s.sum {
+		ss += v * v
+	}
+	e.psiTot[c], e.phiTot[c], e.sumSq[c] = psi, phi, ss
+	e.ver[c]++
+
+	if s.size == 0 {
+		// Relocation never empties a cluster; keep the snapshot inert.
+		e.jCache[c] = 0
+		e.cNorm[c], e.alpha[c], e.beta[c], e.gamma[c], e.jMag[c] = 0, math.Inf(-1), 0, 0, 0
+		return
+	}
+	n := float64(s.size)
+	inv := 1 / n
+	juk := phi - ss*inv
+	switch e.kind {
+	case RelocMMVar:
+		e.jCache[c] = juk * inv
+	default: // RelocUCPC
+		e.jCache[c] = psi*inv + juk
+	}
+	if !e.pruning {
+		return
+	}
+	e.cNorm[c] = math.Sqrt(ss) * inv
+	switch e.kind {
+	case RelocMMVar:
+		e.alpha[c] = -juk / (n * (n + 1))
+		e.beta[c] = 1 / (n + 1)
+		e.gamma[c] = n / ((n + 1) * (n + 1))
+	default: // RelocUCPC
+		e.alpha[c] = psi/(n+1) - psi/n
+		e.beta[c] = 1/(n+1) + 1
+		e.gamma[c] = n / (n + 1)
+	}
+	e.jMag[c] = math.Abs(e.jCache[c])
+}
+
+// dot returns µ(o_i)·S_c from the cache, recomputing and re-stamping it on
+// version mismatch (or always, when the cache is size-capped away).
+func (e *RelocEngine) dot(i, c int) float64 {
+	if !e.cached {
+		return e.mom.MuDot(i, e.stats[c].sum)
+	}
+	idx := i*e.k + c
+	if e.dotVer[idx] != e.ver[c] {
+		e.dots[idx] = e.mom.MuDot(i, e.stats[c].sum)
+		e.dotVer[idx] = e.ver[c]
+	}
+	return e.dots[idx]
+}
+
+// addScore returns J(C_c ∪ {o}) (resp. J_MM) in O(1) from the scalar
+// snapshot and the object scalars.
+func (e *RelocEngine) addScore(c int, sig2o, m2t, mun2, dot float64) float64 {
+	inv := 1 / (float64(e.stats[c].size) + 1)
+	uk := (e.phiTot[c] + m2t) - (e.sumSq[c]+2*dot+mun2)*inv
+	if e.kind == RelocMMVar {
+		return uk * inv
+	}
+	return (e.psiTot[c]+sig2o)*inv + uk
+}
+
+// removeScore returns J(C_c \ {o}) (resp. J_MM) in O(1); the caller
+// guarantees |C_c| ≥ 2.
+func (e *RelocEngine) removeScore(c int, sig2o, m2t, mun2, dot float64) float64 {
+	inv := 1 / (float64(e.stats[c].size) - 1)
+	uk := (e.phiTot[c] - m2t) - (e.sumSq[c]-2*dot+mun2)*inv
+	if e.kind == RelocMMVar {
+		return uk * inv
+	}
+	return (e.psiTot[c]-sig2o)*inv + uk
+}
+
+// skip reports whether stale candidate c can be skipped for object i: true
+// only when the O(1) lower bound on deltaRemove + addScore(c) provably
+// cannot beat bestDelta. The slack is anchored on the magnitudes of the two
+// involved objectives (coMag, jMag[c]) because the exact deltas are
+// differences of J-sized sums whose rounding scales with those magnitudes.
+func (e *RelocEngine) skip(i, c int, sig2o, deltaRemove, bestDelta, coMag float64) bool {
+	d := e.mom.MuNorm(i) - e.cNorm[c]
+	glb := e.alpha[c] + e.beta[c]*sig2o + e.gamma[c]*(d*d)
+	cand := deltaRemove + glb
+	slack := pruneSlack * (math.Abs(cand) + math.Abs(bestDelta) + e.jMag[c] + coMag + 1)
+	return cand-slack >= bestDelta
+}
+
+// Pass runs one full relocation sweep (Algorithm 1, Lines 5-15): each
+// object is tentatively moved to the candidate cluster with the most
+// negative total delta, moves are applied immediately (the paper's
+// sequential local search), and the running objective is updated by each
+// applied delta. It returns the number of relocations applied. minImprove
+// guards termination: a move is applied only when its improvement exceeds
+// minImprove relative to the magnitude of the clusters involved.
+func (e *RelocEngine) Pass(ctx context.Context, assign []int, minImprove float64) (int, error) {
+	// A cluster is an eligible bound-skip target this pass iff its version
+	// moved during the previous pass (first pass: everything is active,
+	// nothing is cached yet).
+	for c := 0; c < e.k; c++ {
+		e.active[c] = e.ver[c] != e.verPass[c]
+		e.verPass[c] = e.ver[c]
+	}
+	testedBefore, prunedBefore := e.tested, e.pruned
+	moves := 0
+	for i := 0; i < e.n; i++ {
+		if i%ctxCheckStride == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				return moves, err
+			}
+		}
+		co := assign[i]
+		if e.stats[co].size == 1 {
+			// Relocating the only member would empty the cluster;
+			// Algorithm 1 keeps k clusters, so skip.
+			continue
+		}
+		sig2o := e.mom.TotalVar(i)
+		m2t := e.mom.Mu2Tot(i)
+		mun2 := e.mom.MuNorm2(i)
+		jCoRemoved := e.removeScore(co, sig2o, m2t, mun2, e.dot(i, co))
+		deltaRemove := jCoRemoved - e.jCache[co]
+		coMag := math.Abs(e.jCache[co])
+
+		best := co
+		bestDelta := 0.0
+		base := i * e.k
+		for c := 0; c < e.k; c++ {
+			if c == co {
+				continue
+			}
+			var dot float64
+			if e.cached && e.dotVer[base+c] == e.ver[c] {
+				dot = e.dots[base+c]
+			} else {
+				// Active = changed during the previous pass or already
+				// during this one; only those are worth bound-testing (a
+				// settled cluster's dot is computed once and cached).
+				// Without a cache there is nothing to forfeit, so every
+				// cluster is bound-testable.
+				if e.pruning && !e.boundOff && (!e.cached || e.active[c] || e.ver[c] != e.verPass[c]) {
+					e.tested++
+					if e.skip(i, c, sig2o, deltaRemove, bestDelta, coMag) {
+						e.pruned++
+						continue
+					}
+				}
+				dot = e.dot(i, c) // computes and, when cached, re-stamps
+			}
+			e.scanned++
+			delta := deltaRemove + e.addScore(c, sig2o, m2t, mun2, dot) - e.jCache[c]
+			if delta < bestDelta {
+				bestDelta = delta
+				best = c
+			}
+		}
+		if best == co {
+			continue
+		}
+		// Require a real improvement, relative to the magnitude of the
+		// involved terms, to guarantee termination (Proposition 4).
+		scale := math.Abs(e.jCache[co]) + math.Abs(e.jCache[best]) + 1
+		if -bestDelta <= minImprove*scale {
+			continue
+		}
+		// Apply the relocation: O(m) statistics updates (Corollary 1) and
+		// O(m) snapshot refreshes for the two touched clusters only.
+		mu, mu2, sig := e.mom.Mu(i), e.mom.Mu2(i), e.mom.Sigma2(i)
+		oldJ := e.jCache[co] + e.jCache[best]
+		e.stats[co].RemoveRow(mu, mu2, sig)
+		e.stats[best].AddRow(mu, mu2, sig)
+		e.refresh(co)
+		e.refresh(best)
+		e.totalJ += e.jCache[co] + e.jCache[best] - oldJ
+		assign[i] = best
+		moves++
+	}
+	if !e.boundOff {
+		if tested := e.tested - testedBefore; tested > 0 && 2*(e.pruned-prunedBefore) < tested {
+			e.boundOff = true
+		}
+	}
+	return moves, nil
+}
+
+// Objective returns the delta-maintained global objective Σ_C J(C)
+// (resp. Σ_C J_MM(C)).
+func (e *RelocEngine) Objective() float64 { return e.totalJ }
+
+// RecomputeObjective re-derives the global objective from the per-cluster
+// statistics (O(k·m)); tests use it to bound the drift of the
+// delta-maintained value.
+func (e *RelocEngine) RecomputeObjective() float64 {
+	var v float64
+	for c := range e.stats {
+		switch e.kind {
+		case RelocMMVar:
+			v += e.stats[c].JMM()
+		default:
+			v += e.stats[c].J()
+		}
+	}
+	return v
+}
+
+// Size returns |C_c|.
+func (e *RelocEngine) Size(c int) int { return e.stats[c].size }
+
+// Counters returns the cumulative (pruned, scanned) candidate counts.
+func (e *RelocEngine) Counters() (pruned, scanned int64) {
+	return e.pruned, e.scanned
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math"
 	"time"
 
 	"ucpc/internal/clustering"
@@ -51,7 +50,7 @@ type UCPC struct {
 	Workers int
 	// Pruning toggles the exact bound-based pruning of the k-means++
 	// initial assignment (Assigner) and of the relocation candidate scans
-	// (RelocFilter). Default on; the partition is identical either way.
+	// (RelocEngine). Default on; the partition is identical either way.
 	Pruning clustering.PruneMode
 	// Progress, when non-nil, observes every pass: iteration index, the
 	// objective Σ_C J(C), and the number of relocations applied. The
@@ -139,26 +138,14 @@ func (u *UCPC) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []
 	for i := 0; i < n; i++ {
 		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
 	}
-	jCache := make([]float64, k)
-	for c := range stats {
-		jCache[c] = stats[c].J()
-	}
 
-	objective := func() float64 {
-		var v float64
-		for c := range jCache {
-			v += jCache[c]
-		}
-		return v
-	}
-
-	// Lines 4-16: relocation passes until fixed point. The sweep applies
-	// each improving move immediately (the paper's sequential local search),
-	// so passes are inherently ordered; the speed here comes from the O(m)
-	// Corollary-1 scoring reading contiguous moment rows, and from the
-	// RelocFilter's O(1) lower bounds skipping candidate clusters that
-	// provably cannot beat the best move found so far.
-	filter := NewRelocFilter(RelocUCPC, mom, stats, u.Pruning.Enabled())
+	// Lines 4-16: relocation passes until fixed point, run by the
+	// incremental-statistics engine (reloc.go): per-cluster scalar
+	// sufficient statistics with version counters and a cached µ(o)·S dot
+	// table make a candidate evaluation O(1) whenever the cluster is
+	// unchanged since the object's last scan, and O(m) only on version
+	// mismatch; the objective Σ_C J(C) is maintained by applied deltas.
+	eng := NewRelocEngine(RelocUCPC, mom, stats, u.Pruning.Enabled())
 	iterations := 0
 	converged := false
 	for iterations < maxIter {
@@ -166,71 +153,21 @@ func (u *UCPC) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []
 			return nil, err
 		}
 		iterations++
-		moves := 0
-		for i := 0; i < n; i++ {
-			if i%ctxCheckStride == 0 && i > 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			co := assign[i]
-			if stats[co].Size() == 1 {
-				// Relocating the only member would empty the cluster;
-				// Algorithm 1 keeps k clusters, so skip.
-				continue
-			}
-			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
-			sigma2o := mom.TotalVar(i)
-			jCoRemoved := stats[co].JIfRemoveRow(mu, mu2, sig)
-			deltaRemove := jCoRemoved - jCache[co]
-			coMag := math.Abs(jCache[co])
-
-			best := co
-			bestDelta := 0.0
-			for c := 0; c < k; c++ {
-				if c == co {
-					continue
-				}
-				if filter.Skip(i, c, sigma2o, deltaRemove, bestDelta, coMag) {
-					continue
-				}
-				delta := deltaRemove + stats[c].JIfAddRow(mu, mu2, sig) - jCache[c]
-				if delta < bestDelta {
-					bestDelta = delta
-					best = c
-				}
-			}
-			if best == co {
-				continue
-			}
-			// Require a real improvement, relative to the magnitude of
-			// the involved terms, to guarantee termination.
-			scale := math.Abs(jCache[co]) + math.Abs(jCache[best]) + 1
-			if -bestDelta <= minImprove*scale {
-				continue
-			}
-			// Lines 10-13: apply the relocation, updating statistics in
-			// O(m) (Corollary 1).
-			stats[co].RemoveRow(mu, mu2, sig)
-			stats[best].AddRow(mu, mu2, sig)
-			jCache[co] = stats[co].J()
-			jCache[best] = stats[best].J()
-			filter.Refresh(co, stats[co])
-			filter.Refresh(best, stats[best])
-			assign[i] = best
-			moves++
+		moves, err := eng.Pass(ctx, assign, minImprove)
+		if err != nil {
+			return nil, err
 		}
-		u.Progress.Emit(u.Name(), iterations, objective(), moves)
+		u.Progress.Emit(u.Name(), iterations, eng.Objective(), moves)
 		if moves == 0 {
 			converged = true
 			break
 		}
 	}
 
-	pruned, scanned := filter.Counters()
+	pruned, scanned := eng.Counters()
 	return &clustering.Report{
 		Partition:         clustering.Partition{K: k, Assign: assign},
-		Objective:         objective(),
+		Objective:         eng.Objective(),
 		Iterations:        iterations,
 		Converged:         converged,
 		Online:            time.Since(start),

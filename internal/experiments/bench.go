@@ -24,11 +24,13 @@ import (
 // pruning on and off on the same seeded workload, and the minimum online
 // time over the repetitions is reported per mode. Because pruning is exact,
 // both modes walk the identical iteration sequence — the ratio isolates the
-// arithmetic saved by the bounds. It also measures the context-aware
+// arithmetic saved by the bounds. It also measures the steady-state
+// allocations of every sweep pass (gated at zero) and the context-aware
 // serving path (Model.Assign, which checks ctx between chunks) against a
 // raw engine pass with no context checks, gating the check overhead in the
 // assignment hot loop. `cmd/uncbench -exp bench` serializes the result as
-// BENCH_PR3.json so CI can regress against it.
+// BENCH_PR4.json so CI can regress against it and against the committed
+// BENCH_PR3.json baseline.
 
 // PruneBenchConfig sizes the pruning benchmark. The zero value selects a
 // CI-friendly workload.
@@ -82,8 +84,15 @@ type PruneBenchRow struct {
 	Speedup         float64 `json:"speedup"`
 	PrunedFraction  float64 `json:"pruned_fraction"`
 	Iterations      int     `json:"iterations"`
-	// Gate marks the rows the CI regression check enforces (the
-	// assignment-engine algorithms, i.e. BenchmarkPrunedAssign's lineup).
+	// AllocsPerOp is the number of heap allocations one steady-state sweep
+	// pass performs at convergence (assignment pass and, where the
+	// algorithm has one, relocation/medoid-update pass combined), measured
+	// with GOMAXPROCS(1) over the pruned configuration. The sweep loops
+	// preallocate all scratch, so Check gates this at exactly zero.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Gate marks the rows whose speedup the CI regression check enforces
+	// (the assignment-engine algorithms plus UK-medoids, whose closed-form
+	// medoid filter replaced the PR3 early-abandon that ran at 0.95×).
 	Gate bool `json:"gate"`
 }
 
@@ -120,8 +129,9 @@ type CtxOverheadRow struct {
 	Budget float64 `json:"budget"`
 }
 
-// PruneBenchResult is the machine-readable payload of BENCH_PR3.json
-// (PR2 carried the same rows without the ctx_overhead section).
+// PruneBenchResult is the machine-readable payload of BENCH_PR4.json
+// (PR2 carried the same rows without the ctx_overhead section; PR3 added
+// it; PR4 added allocs_per_op and gated UK-medoids).
 type PruneBenchResult struct {
 	Bench       string          `json:"bench"`
 	GOOS        string          `json:"goos"`
@@ -141,9 +151,11 @@ type PruneBenchResult struct {
 const ctxOverheadBudget = 0.02
 
 // pruneBenchAlgorithms is the measured lineup: name, constructor per mode,
-// and whether the row gates CI (assignment-engine rows do; the relocation
-// and medoid filters are reported for the trajectory but save too little on
-// small m to gate reliably).
+// and whether the row gates CI. Gated: the assignment-engine rows and
+// UK-medoids (its closed-form medoid filter saves ~3×). Ungated: the
+// relocation rows (UCPC, MMV), whose dot cache — always on — absorbed the
+// arithmetic the bounds used to save, leaving a pruned-vs-unpruned ratio
+// of ~1.0 that sits inside the measurement noise of shared runners.
 func pruneBenchAlgorithms(workers int, mode clustering.PruneMode) []struct {
 	name string
 	alg  clustering.Algorithm
@@ -158,7 +170,7 @@ func pruneBenchAlgorithms(workers int, mode clustering.PruneMode) []struct {
 		{"UKM", &ukmeans.UKMeans{Workers: workers, Pruning: mode}, true},
 		{"UCPC", &core.UCPC{Workers: workers, Pruning: mode}, false},
 		{"MMV", &mmvar.MMVar{Pruning: mode}, false},
-		{"UKmed", &ukmedoids.UKMedoids{Workers: workers, Pruning: mode}, false},
+		{"UKmed", &ukmedoids.UKMedoids{Workers: workers, Pruning: mode}, true},
 	}
 }
 
@@ -245,6 +257,21 @@ func PruneBench(ctx context.Context, cfg PruneBenchConfig) (*PruneBenchResult, e
 			row.Speedup = float64(off[i].best) / float64(on[i].best)
 		}
 		res.Rows = append(res.Rows, row)
+	}
+
+	allocs, err := measureSteadyAllocs(ctx, cfg, ds)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Rows {
+		a, ok := allocs[res.Rows[i].Algorithm]
+		if !ok {
+			// A missing measurement must not read as "0 allocs": the gate
+			// would pass vacuously for an algorithm that was never measured.
+			return nil, fmt.Errorf("no steady-state allocs measurement for %s (extend measureSteadyAllocs)", res.Rows[i].Algorithm)
+		}
+		res.Rows[i].AllocsPerOp = a
+		cfg.Progress("bench %s steady-state allocs/op: %g", res.Rows[i].Algorithm, a)
 	}
 
 	ctxRow, err := measureCtxOverhead(ctx, cfg, ds)
@@ -376,11 +403,15 @@ func ctxCheckCost() float64 {
 
 // Check enforces the CI regression gate: every gate row must have pruned
 // work (pruned_fraction > 0) and must not be slower than the unpruned
-// baseline of the same run, and the serving path's context-check overhead
-// must stay within its budget. It returns nil when the gate holds.
+// baseline of the same run, every row's steady-state sweep pass must
+// perform zero heap allocations, and the serving path's context-check
+// overhead must stay within its budget. It returns nil when the gate holds.
 func (r *PruneBenchResult) Check() error {
 	var failures []string
 	for _, row := range r.Rows {
+		if row.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %g allocs per steady-state pass (want 0)", row.Algorithm, row.AllocsPerOp))
+		}
 		if !row.Gate {
 			continue
 		}
@@ -401,22 +432,49 @@ func (r *PruneBenchResult) Check() error {
 	return nil
 }
 
+// CompareBaseline enforces the cross-PR trajectory gate: for every
+// algorithm present in both results, the new pruned_ns_per_op must not
+// exceed the baseline's by more than maxRegress (e.g. 0.10 for 10%).
+// Algorithms absent from the baseline are skipped, so the lineup can grow.
+func (r *PruneBenchResult) CompareBaseline(base *PruneBenchResult, maxRegress float64) error {
+	old := make(map[string]int64, len(base.Rows))
+	for _, row := range base.Rows {
+		old[row.Algorithm] = row.PrunedNsPerOp
+	}
+	var failures []string
+	for _, row := range r.Rows {
+		prev, ok := old[row.Algorithm]
+		if !ok || prev <= 0 {
+			continue
+		}
+		limit := float64(prev) * (1 + maxRegress)
+		if float64(row.PrunedNsPerOp) > limit {
+			failures = append(failures, fmt.Sprintf("%s: pruned %dns/op vs baseline %dns/op (>%.0f%% regression)",
+				row.Algorithm, row.PrunedNsPerOp, prev, 100*maxRegress))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench baseline regression: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
 // RenderPruneBench formats the result as a human-readable table.
 func RenderPruneBench(r *PruneBenchResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Pruning engine benchmark (n=%d, m=%d, k=%d, workers=%d, min of %d runs)\n\n",
 		r.N, r.M, r.K, r.Workers, r.Runs)
-	fmt.Fprintf(&b, "%-12s %14s %14s %8s %12s %6s\n",
-		"algorithm", "pruned ns/op", "unpruned ns/op", "speedup", "pruned-frac", "gate")
-	fmt.Fprintln(&b, strings.Repeat("-", 72))
+	fmt.Fprintf(&b, "%-12s %14s %14s %8s %12s %10s %6s\n",
+		"algorithm", "pruned ns/op", "unpruned ns/op", "speedup", "pruned-frac", "allocs/op", "gate")
+	fmt.Fprintln(&b, strings.Repeat("-", 83))
 	for _, row := range r.Rows {
 		gate := ""
 		if row.Gate {
 			gate = "yes"
 		}
-		fmt.Fprintf(&b, "%-12s %14d %14d %7.2fx %11.1f%% %6s\n",
+		fmt.Fprintf(&b, "%-12s %14d %14d %7.2fx %11.1f%% %10g %6s\n",
 			row.Algorithm, row.PrunedNsPerOp, row.UnprunedNsPerOp,
-			row.Speedup, 100*row.PrunedFraction, gate)
+			row.Speedup, 100*row.PrunedFraction, row.AllocsPerOp, gate)
 	}
 	if c := r.CtxOverhead; c != nil {
 		fmt.Fprintf(&b, "\nctx-check overhead (%s serving path): %dns vs %dns baseline = %+.2f%% (budget %.0f%%)\n",

@@ -10,7 +10,6 @@ package mmvar
 
 import (
 	"context"
-	"math"
 	"time"
 
 	"ucpc/internal/clustering"
@@ -28,7 +27,7 @@ type MMVar struct {
 	// (0 = 1e-12), guarding termination against floating-point jitter.
 	MinImprove float64
 	// Pruning toggles the exact bound-based pruning of the relocation
-	// candidate scans (core.RelocFilter). Default on; by Proposition 2 the
+	// candidate scans (core.RelocEngine). Default on; by Proposition 2 the
 	// J_MM add-score decomposes like UCPC's, so the same O(1) lower bounds
 	// apply and the partition is identical either way.
 	Pruning clustering.PruneMode
@@ -90,80 +89,33 @@ func (a *MMVar) cluster(ctx context.Context, ds uncertain.Dataset, k int, init [
 	for i := 0; i < n; i++ {
 		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
 	}
-	jCache := make([]float64, k)
-	for c := range stats {
-		jCache[c] = stats[c].JMM()
-	}
-	objective := func() float64 {
-		var v float64
-		for _, j := range jCache {
-			v += j
-		}
-		return v
-	}
 
-	filter := core.NewRelocFilter(core.RelocMMVar, mom, stats, a.Pruning.Enabled())
+	// The relocation passes run on the shared incremental-statistics engine
+	// (core.RelocEngine): by Proposition 2 the J_MM scores reduce to the
+	// same per-cluster scalars as UCPC's, so candidate evaluation is O(1)
+	// on a dot-cache hit and the objective is maintained by applied deltas.
+	eng := core.NewRelocEngine(core.RelocMMVar, mom, stats, a.Pruning.Enabled())
 	iterations, converged := 0, false
 	for iterations < maxIter {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		iterations++
-		moves := 0
-		for i := 0; i < n; i++ {
-			if i%4096 == 0 && i > 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			co := assign[i]
-			if stats[co].Size() == 1 {
-				continue
-			}
-			mu, mu2, sig := mom.Mu(i), mom.Mu2(i), mom.Sigma2(i)
-			sigma2o := mom.TotalVar(i)
-			deltaRemove := stats[co].JMMIfRemoveRow(mu, mu2) - jCache[co]
-			coMag := math.Abs(jCache[co])
-			best, bestDelta := co, 0.0
-			for c := 0; c < k; c++ {
-				if c == co {
-					continue
-				}
-				if filter.Skip(i, c, sigma2o, deltaRemove, bestDelta, coMag) {
-					continue
-				}
-				delta := deltaRemove + stats[c].JMMIfAddRow(mu, mu2) - jCache[c]
-				if delta < bestDelta {
-					bestDelta, best = delta, c
-				}
-			}
-			if best == co {
-				continue
-			}
-			scale := math.Abs(jCache[co]) + math.Abs(jCache[best]) + 1
-			if -bestDelta <= minImprove*scale {
-				continue
-			}
-			stats[co].RemoveRow(mu, mu2, sig)
-			stats[best].AddRow(mu, mu2, sig)
-			jCache[co] = stats[co].JMM()
-			jCache[best] = stats[best].JMM()
-			filter.Refresh(co, stats[co])
-			filter.Refresh(best, stats[best])
-			assign[i] = best
-			moves++
+		moves, err := eng.Pass(ctx, assign, minImprove)
+		if err != nil {
+			return nil, err
 		}
-		a.Progress.Emit(a.Name(), iterations, objective(), moves)
+		a.Progress.Emit(a.Name(), iterations, eng.Objective(), moves)
 		if moves == 0 {
 			converged = true
 			break
 		}
 	}
 
-	pruned, scanned := filter.Counters()
+	pruned, scanned := eng.Counters()
 	return &clustering.Report{
 		Partition:         clustering.Partition{K: k, Assign: assign},
-		Objective:         objective(),
+		Objective:         eng.Objective(),
 		Iterations:        iterations,
 		Converged:         converged,
 		Online:            time.Since(start),

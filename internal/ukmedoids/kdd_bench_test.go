@@ -1,0 +1,40 @@
+package ukmedoids
+
+import (
+	"context"
+	"testing"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncgen"
+)
+
+// kddState reproduces the uncbench workload state (n=2000, k=16, seed 1)
+// at convergence, for realistic pass micro-benchmarks.
+func kddState(b *testing.B) (*DistMatrix, [][]int, []int, []int) {
+	b.Helper()
+	d := datasets.GenerateKDD(2000, 1)
+	set := (&uncgen.Generator{Model: uncgen.Normal, Intensity: 1.0}).Assign(d, rng.New(1^0xbe))
+	ds := set.Objects(d)
+	rep, err := (&UKMedoids{Workers: 1}).Cluster(context.Background(), ds, 16, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm := Matrix(ds)
+	assign := append([]int(nil), rep.Partition.Assign...)
+	return dm, rep.Partition.Members(), append([]int(nil), rep.Medoids...), assign
+}
+
+func benchKDDUpdate(b *testing.B, pruning bool) {
+	dm, members, medoids, _ := kddState(b)
+	var ctr Counters
+	scratch := make([]int, len(medoids))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, medoids)
+		UpdateMedoids(dm, members, scratch, pruning, &ctr)
+	}
+}
+
+func BenchmarkKDDUpdatePruned(b *testing.B)   { benchKDDUpdate(b, true) }
+func BenchmarkKDDUpdateUnpruned(b *testing.B) { benchKDDUpdate(b, false) }

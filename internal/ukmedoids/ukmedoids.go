@@ -28,8 +28,11 @@ type UKMedoids struct {
 	Workers int
 	// Pruning toggles candidate filtering on the distance-matrix rows
 	// (default on): the assignment step skips clusters whose medoid did
-	// not move since the object's last evaluation, and the medoid update
-	// abandons candidates as soon as their partial cost exceeds the best.
+	// not move since the object's last evaluation (auto-disabled for the
+	// rest of the run if a pass where it was applicable pruned nothing —
+	// then it is pure overhead), and the medoid update abandons candidates
+	// once their partial cost reaches the best, tested per batch of row
+	// entries so the branch stays out of the innermost accumulation.
 	// Both filters are exact — partial sums of the non-negative ÊD row
 	// entries are monotone in the shared summation order — so the
 	// partition is identical either way.
@@ -79,6 +82,8 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 
 	start := time.Now()
 	pruning := a.Pruning.Enabled()
+	updater := NewUpdater(dm)
+	var ctr Counters
 	var medoids []int
 	assign := make([]int, n)
 	if init != nil {
@@ -87,8 +92,8 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 		for c := range medoids {
 			medoids[c] = -1
 		}
-		var scratch int64
-		updateMedoids(dm, (clustering.Partition{K: k, Assign: warm}).Members(), medoids, pruning, &scratch, &scratch)
+		var scratch Counters
+		updater.Update((clustering.Partition{K: k, Assign: warm}).Members(), medoids, pruning, &scratch)
 	} else {
 		medoids = clustering.KMeansPPCenters(ds, k, r)
 	}
@@ -96,15 +101,24 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 		assign[i] = -1
 	}
 	// lastEval[c] is the medoid of cluster c at the previous assignment
-	// pass (-1 = never evaluated). If an object's own medoid is unchanged,
-	// the previous pass already proved every other unchanged medoid
-	// lexicographically worse — (distance, index) ascending — so only
-	// clusters whose medoid moved need a fresh matrix lookup.
+	// pass (-1 = never evaluated); see AssignPass.
 	lastEval := make([]int, k)
 	for c := range lastEval {
 		lastEval[c] = -1
 	}
-	var pruned, scanned int64
+
+	// rowFilter starts as the pruning flag and auto-disables: once a pass
+	// in which the filter was genuinely applicable — at least one medoid
+	// stable since the previous pass, so the per-candidate compares were
+	// actually paid — prunes nothing, every later pass would re-pay that
+	// overhead for the same zero savings, so it is switched off for the
+	// remainder of the run. Passes with no stable medoid (e.g. the churn
+	// right after seeding, when the first update replaces every medoid)
+	// don't count against the filter: they cost one integer compare per
+	// object and carry no evidence. The decision depends only on
+	// deterministic counters, and the filter is exact, so the partition is
+	// identical with the filter on, off, or auto-disabled mid-run.
+	rowFilter := pruning
 
 	iterations, converged := 0, false
 	for iterations < maxIter {
@@ -112,46 +126,36 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 			return nil, err
 		}
 		iterations++
-		moves := 0
-		// Assignment: nearest medoid by ÊD, ties to the lowest cluster
-		// index (the plain scan's strict-< rule gives exactly that).
-		for i := 0; i < n; i++ {
-			if i%4096 == 0 && i > 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
+		// A prune needs an object's own medoid stable AND some other
+		// stable medoid to skip, so the filter is only applicable — and
+		// only judged — when at least two medoids held still and at
+		// least one stable medoid leads a non-empty cluster (an empty
+		// cluster's medoid is trivially stable but owns no objects, so
+		// its stability proves nothing about the filter's usefulness).
+		applicable := false
+		if rowFilter {
+			stable, stableOwned := 0, false
+			for c := 0; c < k; c++ {
+				if medoids[c] == lastEval[c] {
+					stable++
 				}
 			}
-			var best int
-			var bestD float64
-			if a0 := assign[i]; pruning && a0 >= 0 && medoids[a0] == lastEval[a0] {
-				best, bestD = a0, dm.At(i, medoids[a0])
-				scanned++
-				for c := 0; c < k; c++ {
-					if c == a0 {
-						continue
-					}
-					if medoids[c] == lastEval[c] {
-						pruned++
-						continue
-					}
-					scanned++
-					if d := dm.At(i, medoids[c]); d < bestD || (d == bestD && c < best) {
-						best, bestD = c, d
+			if stable >= 2 {
+				for i := 0; i < n && !stableOwned; i++ {
+					if a0 := assign[i]; a0 >= 0 && medoids[a0] == lastEval[a0] {
+						stableOwned = true
 					}
 				}
-			} else {
-				best, bestD = 0, dm.At(i, medoids[0])
-				for c := 1; c < k; c++ {
-					if d := dm.At(i, medoids[c]); d < bestD {
-						best, bestD = c, d
-					}
-				}
-				scanned += int64(k)
 			}
-			if assign[i] != best {
-				assign[i] = best
-				moves++
-			}
+			applicable = stable >= 2 && stableOwned
+		}
+		prunedBefore := ctr.Pruned
+		moves, err := AssignPass(ctx, dm, medoids, lastEval, assign, rowFilter, &ctr)
+		if err != nil {
+			return nil, err
+		}
+		if rowFilter && applicable && ctr.Pruned == prunedBefore {
+			rowFilter = false
 		}
 		copy(lastEval, medoids)
 		if a.Progress != nil {
@@ -165,7 +169,7 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 			converged = true
 			break
 		}
-		updateMedoids(dm, (clustering.Partition{K: k, Assign: assign}).Members(), medoids, pruning, &pruned, &scanned)
+		updater.Update((clustering.Partition{K: k, Assign: assign}).Members(), medoids, pruning, &ctr)
 	}
 
 	var objective float64
@@ -179,53 +183,227 @@ func (a *UKMedoids) cluster(ctx context.Context, ds uncertain.Dataset, k int, in
 		Converged:         converged,
 		Online:            time.Since(start),
 		Offline:           offline,
-		PrunedCandidates:  pruned,
-		ScannedCandidates: scanned,
+		PrunedCandidates:  ctr.Pruned,
+		ScannedCandidates: ctr.Scanned,
 		Medoids:           append([]int(nil), medoids...),
 	}, nil
 }
 
-// updateMedoids makes the member minimizing the summed ÊD to its peers the
-// new medoid of each cluster (empty clusters keep their previous medoid).
-// With pruning, candidates are abandoned as soon as their partial cost
-// reaches the best cost: the row entries are non-negative and summed in the
-// same order as the exhaustive scan, so the final cost could not have been
-// smaller.
-func updateMedoids(dm *DistMatrix, members [][]int, medoids []int, pruning bool, pruned, scanned *int64) {
+// Counters accumulates (pruned, scanned) candidate-pair counts across the
+// UK-medoids sweep passes.
+type Counters struct {
+	Pruned, Scanned int64
+}
+
+// AssignPass reassigns every object to its nearest medoid by ÊD
+// (ties to the lowest cluster index, the plain scan's strict-< rule) and
+// reports how many objects changed cluster. It is one online sweep of the
+// PAM loop: pure matrix-row lookups, no heap allocations.
+//
+// lastEval[c] is cluster c's medoid at the previous pass (-1 = never
+// evaluated). With rowFilter, an object whose own medoid is unchanged skips
+// every other unchanged medoid: the previous pass already proved them
+// lexicographically worse — (distance, index) ascending — so only clusters
+// whose medoid moved need a fresh lookup. The filter is exact; it only
+// skips lookups whose outcome is known.
+func AssignPass(ctx context.Context, dm *DistMatrix, medoids, lastEval, assign []int, rowFilter bool, ctr *Counters) (int, error) {
+	n, k := len(assign), len(medoids)
+	moves := 0
+	var pruned, scanned int64
+	for i := 0; i < n; i++ {
+		if i%4096 == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				ctr.Pruned += pruned
+				ctr.Scanned += scanned
+				return moves, err
+			}
+		}
+		var best int
+		var bestD float64
+		if a0 := assign[i]; rowFilter && a0 >= 0 && medoids[a0] == lastEval[a0] {
+			best, bestD = a0, dm.At(i, medoids[a0])
+			scanned++
+			for c := 0; c < k; c++ {
+				if c == a0 {
+					continue
+				}
+				if medoids[c] == lastEval[c] {
+					pruned++
+					continue
+				}
+				scanned++
+				if d := dm.At(i, medoids[c]); d < bestD || (d == bestD && c < best) {
+					best, bestD = c, d
+				}
+			}
+		} else {
+			best, bestD = 0, dm.At(i, medoids[0])
+			for c := 1; c < k; c++ {
+				if d := dm.At(i, medoids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			scanned += int64(k)
+		}
+		if assign[i] != best {
+			assign[i] = best
+			moves++
+		}
+	}
+	ctr.Pruned += pruned
+	ctr.Scanned += scanned
+	return moves, nil
+}
+
+// updateSlack is the relative safety margin of the closed-form medoid
+// filter, anchored on the gross (pre-cancellation) magnitudes of the sums
+// it compares — ~10⁴ coarser than the worst-case accumulated rounding of
+// either scoring path, so a borderline candidate is always verified by the
+// exact matrix scan rather than dropped.
+const updateSlack = 1e-9
+
+// Updater runs the medoid-update step with preallocated scratch, so
+// steady-state sweeps perform no heap allocations.
+type Updater struct {
+	dm     *DistMatrix
+	mean   []float64
+	scores []float64
+	kept   []int
+}
+
+// NewUpdater returns an update engine over dm.
+func NewUpdater(dm *DistMatrix) *Updater {
+	return &Updater{
+		dm:     dm,
+		mean:   make([]float64, dm.mom.Dims()),
+		scores: make([]float64, dm.n),
+		kept:   make([]int, 0, dm.n),
+	}
+}
+
+// Update makes the member minimizing the summed ÊD to its peers the new
+// medoid of each cluster (empty clusters keep their previous medoid).
+//
+// The exhaustive scan walks each cluster's members in ascending index order
+// summing full matrix rows and keeps the first strict minimum — its winner
+// is the lexicographic minimum over (cost, index), at O(|C|²) lookups per
+// cluster. With pruning, the scan is filtered through the König–Huygens
+// decomposition of the medoid cost: since every entry is the Lemma-3 form
+// ÊD(x, o) = ‖µ(x) − µ(o)‖² + σ²(x) + σ²(o),
+//
+//	cost(x) = Σ_{o∈C} ÊD(x, o)
+//	        = |C|·( ‖µ(x) − mean(C)‖² + σ²(x) ) + K_C
+//
+// where mean(C) and K_C do not depend on the candidate x. One O(|C|·m)
+// scoring pass therefore ranks all candidates exactly up to floating-point
+// rounding; only candidates whose score lies within a small slack of the
+// minimum are verified with real matrix-row sums, and the winner among
+// those is selected by the same lexicographic rule as the exhaustive scan.
+// The plain winner always survives the filter (the slack over-covers the
+// rounding of both scoring paths), so the selected medoids are identical
+// with pruning on or off. The work drops from O(|C|²) to O(|C|·m) plus a
+// handful of row sums — this is what fixed the PR3 regression, where the
+// per-entry early-abandon cost more than the lookups it saved (0.95×).
+func (u *Updater) Update(members [][]int, medoids []int, pruning bool, ctr *Counters) {
+	var pruned, scanned int64
+	mom := u.dm.mom
+	m := len(u.mean)
 	for c, ms := range members {
 		if len(ms) == 0 {
 			continue
 		}
-		bestIdx, bestCost := medoids[c], math.Inf(1)
-		for _, cand := range ms {
-			var cost float64
-			abandoned := false
-			for oi, other := range ms {
-				cost += dm.At(cand, other)
-				if pruning && cost >= bestCost {
-					*pruned += int64(len(ms) - oi - 1)
-					*scanned += int64(oi + 1)
-					abandoned = true
-					break
+		cands := ms
+		if pruning && len(ms) > 1 {
+			nC := float64(len(ms))
+			// Closed-form scoring pass: cluster mean, then per-candidate
+			// score ‖µ(x) − mean‖² + σ²(x) (the |C|·score + K_C constant
+			// offsets cancel in comparisons and only enter the slack).
+			mean := u.mean
+			for j := 0; j < m; j++ {
+				mean[j] = 0
+			}
+			var normSum, varSum float64
+			for _, o := range ms {
+				mu := mom.Mu(o)
+				for j := 0; j < m; j++ {
+					mean[j] += mu[j]
+				}
+				normSum += mom.MuNorm2(o)
+				varSum += mom.TotalVar(o)
+			}
+			var meanNorm2 float64
+			for j := 0; j < m; j++ {
+				mean[j] /= nC
+				meanNorm2 += mean[j] * mean[j]
+			}
+			minScore := math.Inf(1)
+			for mi, cand := range ms {
+				s := u.score(cand, mean)
+				u.scores[mi] = s
+				if s < minScore {
+					minScore = s
 				}
 			}
-			if abandoned {
-				continue
+			// Gross-magnitude slack anchor: covers the rounding of the
+			// closed-form evaluation (including the Σ‖µ‖² − |C|‖mean‖²
+			// cancellation for off-center data) and of the |C|-term matrix
+			// row sums it stands in for.
+			slack := updateSlack * (nC*minScore + normSum + nC*meanNorm2 + varSum + 1)
+			u.kept = u.kept[:0]
+			for mi, cand := range ms {
+				if nC*(u.scores[mi]-minScore) <= slack {
+					u.kept = append(u.kept, cand)
+				}
 			}
-			*scanned += int64(len(ms))
+			pruned += int64(len(ms)-len(u.kept)) * int64(len(ms))
+			cands = u.kept
+		}
+		bestIdx, bestCost := medoids[c], math.Inf(1)
+		for _, cand := range cands {
+			var cost float64
+			for _, other := range ms {
+				cost += u.dm.At(cand, other)
+			}
+			scanned += int64(len(ms))
 			if cost < bestCost {
 				bestIdx, bestCost = cand, cost
 			}
 		}
 		medoids[c] = bestIdx
 	}
+	ctr.Pruned += pruned
+	ctr.Scanned += scanned
+}
+
+// score returns ‖µ(cand) − mean‖² + σ²(cand), the candidate-dependent part
+// of the König–Huygens medoid cost.
+func (u *Updater) score(cand int, mean []float64) float64 {
+	mu := u.dm.mom.Mu(cand)
+	var d2 float64
+	for j, v := range mu {
+		diff := v - mean[j]
+		d2 += diff * diff
+	}
+	return d2 + u.dm.mom.TotalVar(cand)
+}
+
+// UpdateMedoids is a convenience wrapper around Updater.Update for one-off
+// calls (the warm-start medoid seeding).
+func UpdateMedoids(dm *DistMatrix, members [][]int, medoids []int, pruning bool, ctr *Counters) {
+	NewUpdater(dm).Update(members, medoids, pruning, ctr)
 }
 
 // DistMatrix is a symmetric pairwise distance matrix stored as the upper
-// triangle (including the diagonal) in row-major order.
+// triangle (including the diagonal) in row-major order. rowBase caches the
+// per-row offsets so that the At hot path (the innermost loop of every
+// medoid sweep) is a table lookup and an add instead of two multiplies.
 type DistMatrix struct {
-	n    int
-	data []float64
+	n       int
+	data    []float64
+	rowBase []int // rowBase[i] + j indexes entry (i, j) for i <= j
+	// mom is the flat moment store the entries were computed from; the
+	// medoid update's closed-form filter scores candidates against it.
+	mom *uncertain.Moments
 }
 
 // Matrix computes the pairwise ÊD matrix of the dataset using the Lemma 3
@@ -243,7 +421,12 @@ func Matrix(ds uncertain.Dataset) *DistMatrix {
 func MatrixWorkers(ds uncertain.Dataset, workers int) *DistMatrix {
 	n := len(ds)
 	mom := uncertain.MomentsOf(ds)
-	m := &DistMatrix{n: n, data: make([]float64, n*(n+1)/2)}
+	m := &DistMatrix{n: n, data: make([]float64, n*(n+1)/2), rowBase: make([]int, n), mom: mom}
+	for i := 0; i < n; i++ {
+		// Row i starts after i rows of lengths n, n-1, …, n-i+1, and its
+		// first entry is (i, i): base = i·n − i·(i−1)/2 − i.
+		m.rowBase[i] = i*n - i*(i-1)/2 - i
+	}
 	fillRow := func(i int) {
 		row := m.data[m.index(i, i) : m.index(i, n-1)+1]
 		for j := i; j < n; j++ {
@@ -265,8 +448,7 @@ func (m *DistMatrix) index(i, j int) int {
 	if i > j {
 		i, j = j, i
 	}
-	// Row i starts after i rows of lengths n, n-1, …, n-i+1.
-	return i*m.n - i*(i-1)/2 + (j - i)
+	return m.rowBase[i] + j
 }
 
 // At returns ÊD(ds[i], ds[j]).

@@ -1,0 +1,41 @@
+package ukmedoids
+
+import (
+	"context"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+)
+
+// benchState builds a converged-ish medoid state over a bench-shaped
+// dataset for the pass micro-benchmarks.
+func benchState(b *testing.B, n, k int) (*DistMatrix, [][]int, []int, []int) {
+	b.Helper()
+	ds := separable(rng.New(7), k, (n+k-1)/k, 8)
+	dm := Matrix(ds)
+	medoids := clustering.KMeansPPCenters(ds, k, rng.New(3))
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var ctr Counters
+	if _, err := AssignPass(context.Background(), dm, medoids, make([]int, k), assign, false, &ctr); err != nil {
+		b.Fatal(err)
+	}
+	return dm, (clustering.Partition{K: k, Assign: assign}).Members(), medoids, assign
+}
+
+func benchUpdateMedoids(b *testing.B, pruning bool) {
+	dm, members, medoids, _ := benchState(b, 1200, 12)
+	var ctr Counters
+	scratch := make([]int, len(medoids))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, medoids)
+		UpdateMedoids(dm, members, scratch, pruning, &ctr)
+	}
+}
+
+func BenchmarkUpdateMedoidsPruned(b *testing.B)   { benchUpdateMedoids(b, true) }
+func BenchmarkUpdateMedoidsUnpruned(b *testing.B) { benchUpdateMedoids(b, false) }

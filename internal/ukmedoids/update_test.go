@@ -1,0 +1,104 @@
+package ukmedoids
+
+import (
+	"context"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// TestUpdaterMatchesExhaustive: the closed-form König–Huygens filter must
+// select exactly the medoids of the exhaustive O(|C|²) scan, for random
+// partitions of noisy data across seeds.
+func TestUpdaterMatchesExhaustive(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 977} {
+		r := rng.New(seed)
+		ds := separable(r, 4, 30, 3)
+		dm := Matrix(ds)
+		n := len(ds)
+		for trial := 0; trial < 5; trial++ {
+			k := 2 + trial
+			assign := clustering.RandomPartition(n, k, rng.New(seed+uint64(trial)*13))
+			members := (clustering.Partition{K: k, Assign: assign}).Members()
+			seedMedoids := make([]int, k)
+			for c := range seedMedoids {
+				seedMedoids[c] = -1
+			}
+			var ctrOn, ctrOff Counters
+			pruned := append([]int(nil), seedMedoids...)
+			plain := append([]int(nil), seedMedoids...)
+			upd := NewUpdater(dm)
+			upd.Update(members, pruned, true, &ctrOn)
+			upd.Update(members, plain, false, &ctrOff)
+			for c := range plain {
+				if pruned[c] != plain[c] {
+					t.Fatalf("seed %d trial %d cluster %d: filtered medoid %d vs exhaustive %d",
+						seed, trial, c, pruned[c], plain[c])
+				}
+			}
+			if ctrOn.Pruned == 0 {
+				t.Errorf("seed %d trial %d: filter pruned nothing", seed, trial)
+			}
+			if ctrOff.Pruned != 0 {
+				t.Errorf("seed %d trial %d: exhaustive scan reports pruning", seed, trial)
+			}
+		}
+	}
+}
+
+// TestUpdaterDegenerateTies: duplicate zero-variance objects make several
+// candidates share the exact minimal cost; the filter must still pick the
+// exhaustive scan's winner (the lowest-index minimum).
+func TestUpdaterDegenerateTies(t *testing.T) {
+	mk := func(id int, x float64) *uncertain.Object {
+		return uncertain.NewObject(id, []dist.Distribution{dist.NewPointMass(x), dist.NewPointMass(x)})
+	}
+	// Objects 0-3 identical, 4-5 identical elsewhere: every cluster member
+	// of the first group ties exactly.
+	ds := uncertain.Dataset{mk(0, 1), mk(1, 1), mk(2, 1), mk(3, 1), mk(4, 9), mk(5, 9)}
+	dm := Matrix(ds)
+	members := [][]int{{0, 1, 2, 3}, {4, 5}}
+	for _, start := range [][]int{{-1, -1}, {3, 5}, {2, 4}} {
+		var ctr Counters
+		pruned := append([]int(nil), start...)
+		plain := append([]int(nil), start...)
+		NewUpdater(dm).Update(members, pruned, true, &ctr)
+		NewUpdater(dm).Update(members, plain, false, &ctr)
+		for c := range plain {
+			if pruned[c] != plain[c] {
+				t.Fatalf("start %v cluster %d: filtered medoid %d vs exhaustive %d", start, c, pruned[c], plain[c])
+			}
+		}
+	}
+}
+
+// TestMedoidSweepZeroAllocs gates the zero-allocation contract of the
+// UK-medoids online sweeps: at convergence, an assignment pass plus a
+// medoid update through the preallocated engines allocates nothing.
+func TestMedoidSweepZeroAllocs(t *testing.T) {
+	ds := separable(rng.New(3), 4, 25, 3)
+	rep, err := (&UKMedoids{Workers: 1}).Cluster(context.Background(), ds, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := Matrix(ds)
+	assign := append([]int(nil), rep.Partition.Assign...)
+	medoids := append([]int(nil), rep.Medoids...)
+	lastEval := append([]int(nil), rep.Medoids...)
+	members := rep.Partition.Members()
+	upd := NewUpdater(dm)
+	var ctr Counters
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := AssignPass(ctx, dm, medoids, lastEval, assign, true, &ctr); err != nil {
+			t.Fatal(err)
+		}
+		upd.Update(members, medoids, true, &ctr)
+	})
+	if allocs != 0 {
+		t.Errorf("%g allocs per steady-state medoid sweep, want 0", allocs)
+	}
+}

@@ -1,6 +1,9 @@
 package uncertain
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Moments is a structure-of-arrays view of a Dataset's closed-form moments:
 // the per-dimension expected values µ, raw second moments µ₂, and variances
@@ -24,6 +27,14 @@ type Moments struct {
 	mu2      []float64 // n*m, row-major
 	sigma2   []float64 // n*m, row-major
 	totalVar []float64 // n
+
+	// Precomputed per-object scalars consumed by the incremental relocation
+	// scoring engine (internal/core.RelocEngine): with these, a candidate
+	// add/remove score needs only one µ(o)·S dot product beyond O(1) work —
+	// and none at all when the dot is cached.
+	muNorm2 []float64 // n, ‖µ(o_i)‖²
+	muNorm  []float64 // n, ‖µ(o_i)‖
+	mu2Tot  []float64 // n, Σ_j (µ₂)_j(o_i)
 }
 
 // MomentsOf packs the moment vectors of every object of ds into a fresh
@@ -38,6 +49,9 @@ func MomentsOf(ds Dataset) *Moments {
 		mu2:      make([]float64, n*m),
 		sigma2:   make([]float64, n*m),
 		totalVar: make([]float64, n),
+		muNorm2:  make([]float64, n),
+		muNorm:   make([]float64, n),
+		mu2Tot:   make([]float64, n),
 	}
 	for i, o := range ds {
 		if o.Dims() != m {
@@ -47,6 +61,14 @@ func MomentsOf(ds Dataset) *Moments {
 		copy(mo.mu2[i*m:(i+1)*m], o.mu2)
 		copy(mo.sigma2[i*m:(i+1)*m], o.sigma2)
 		mo.totalVar[i] = o.totalVar
+		var nrm2, m2t float64
+		for j := 0; j < m; j++ {
+			nrm2 += o.mu[j] * o.mu[j]
+			m2t += o.mu2[j]
+		}
+		mo.muNorm2[i] = nrm2
+		mo.muNorm[i] = math.Sqrt(nrm2)
+		mo.mu2Tot[i] = m2t
 	}
 	return mo
 }
@@ -69,6 +91,28 @@ func (mo *Moments) Sigma2(i int) []float64 { return mo.sigma2[i*mo.m : (i+1)*mo.
 
 // TotalVar returns the scalar total variance σ²(o_i) = Σ_j (σ²)_j(o_i).
 func (mo *Moments) TotalVar(i int) float64 { return mo.totalVar[i] }
+
+// MuNorm2 returns ‖µ(o_i)‖², precomputed at construction.
+func (mo *Moments) MuNorm2(i int) float64 { return mo.muNorm2[i] }
+
+// MuNorm returns ‖µ(o_i)‖, precomputed at construction.
+func (mo *Moments) MuNorm(i int) float64 { return mo.muNorm[i] }
+
+// Mu2Tot returns the scalar raw second moment Σ_j (µ₂)_j(o_i), precomputed
+// at construction.
+func (mo *Moments) Mu2Tot(i int) float64 { return mo.mu2Tot[i] }
+
+// MuDot returns the dot product µ(o_i)·y of object i's mean row with an
+// arbitrary m-vector (the one O(m) term of the incremental Corollary-1
+// scoring; everything else is precomputed scalars).
+func (mo *Moments) MuDot(i int, y []float64) float64 {
+	a := mo.mu[i*mo.m : (i+1)*mo.m]
+	var s float64
+	for j, v := range a {
+		s += v * y[j]
+	}
+	return s
+}
 
 // EED returns the squared expected distance ÊD(o_i, o_j) of Lemma 3,
 // computed entirely from the flat store:

@@ -21,10 +21,12 @@ func pruningDataset(name string, scale float64, seed uint64) ucpc.Dataset {
 	return set.Objects(d)
 }
 
-// TestPruningExactness is the engine's headline guarantee: for every
-// algorithm wired into the pruning engine and several seeds, pruning on
-// vs. off produces byte-identical partitions, identical iteration counts,
-// and identical objectives — while actually pruning work.
+// TestPruningExactness is the engines' headline guarantee: for every
+// algorithm wired into a pruning engine — the bound-based Assigner, the
+// incremental-statistics RelocEngine (UCPC, MMV, and UCPC-Bisect's 2-way
+// sub-runs), and the UK-medoids closed-form medoid filter — and several
+// seeds, pruning on vs. off produces byte-identical partitions, identical
+// iteration counts, and identical objectives — while actually pruning work.
 func TestPruningExactness(t *testing.T) {
 	cases := []struct {
 		ds   ucpc.Dataset
@@ -34,7 +36,7 @@ func TestPruningExactness(t *testing.T) {
 		{pruningDataset("Iris", 1, 3), "Iris", 3},
 		{pruningDataset("Ecoli", 0.6, 5), "Ecoli", 8},
 	}
-	algorithms := []string{"UCPC", "UCPC-Lloyd", "UKM", "MMV", "UKmed"}
+	algorithms := []string{"UCPC", "UCPC-Lloyd", "UCPC-Bisect", "UKM", "MMV", "UKmed"}
 	seeds := []uint64{1, 42, 977}
 
 	for _, tc := range cases {
