@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|bench|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|scale|all [flags]
 //
 // Flags:
 //
@@ -26,9 +26,12 @@
 //	-baseline f  bench mode: compare against a previous bench JSON and exit
 //	             non-zero if any algorithm's pruned ns/op regressed by more
 //	             than 10%
-//	-bn n        bench mode: object count (default 2000)
-//	-bk n        bench mode: cluster count (default 16)
-//	-workers n   bench mode: worker-pool size (default 1)
+//	-bn n        bench mode: object count (default 2000);
+//	             scale mode: streamed object count (default 1,000,000)
+//	-bk n        bench mode: cluster count (default 16);
+//	             scale mode: cluster count (default 23)
+//	-batch n     scale mode: streaming mini-batch size (default 8192)
+//	-workers n   bench/scale mode: worker-pool size (bench default 1)
 //	-cpuprofile f  write a pprof CPU profile of the whole run to f
 //	-memprofile f  write a pprof heap profile (post-run) to f
 //	-v           progress lines on stderr
@@ -39,7 +42,17 @@
 // -json it emits the BENCH_PR4.json payload CI archives for the
 // performance trajectory:
 //
-//	uncbench -exp bench -json -out BENCH_PR4.json -check -baseline BENCH_PR3.json
+//	uncbench -exp bench -json -out BENCH_PR5.json -check -baseline BENCH_PR4.json
+//
+// The scale mode measures the out-of-core streaming path (StreamClusterer):
+// it fits a KDD-shaped uncertain stream in mini-batches — one batch of
+// moment rows resident at a time — and reports objects/sec, the resident
+// moment-store footprint and its growth per 100k-object window, a peak-heap
+// proxy, and the final quality against a batch UCPC-Lloyd fit on a 50k
+// subsample; with -check it gates the ≤5% quality gap and the ≤64 MB/100k
+// resident-growth contract:
+//
+//	uncbench -exp scale -bn 1000000 -json -check
 package main
 
 import (
@@ -82,9 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON (bench mode)")
 		check    = fs.Bool("check", false, "bench mode: fail if pruning regressed or a sweep pass allocates")
 		baseline = fs.String("baseline", "", "bench mode: fail if pruned ns/op regressed >10% vs this bench JSON")
-		benchN   = fs.Int("bn", 0, "bench mode: object count (0 = default 2000)")
-		benchK   = fs.Int("bk", 0, "bench mode: cluster count (0 = default 16)")
-		workers  = fs.Int("workers", 0, "bench mode: worker-pool size (0 = default 1)")
+		benchN   = fs.Int("bn", 0, "bench/scale mode: object count (0 = per-mode default)")
+		benchK   = fs.Int("bk", 0, "bench/scale mode: cluster count (0 = per-mode default)")
+		batch    = fs.Int("batch", 0, "scale mode: streaming mini-batch size (0 = default 8192)")
+		workers  = fs.Int("workers", 0, "bench/scale mode: worker-pool size (0 = per-mode default)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 		verbose  = fs.Bool("v", false, "progress to stderr")
@@ -273,6 +287,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	runScale := func() int {
+		res, err := experiments.Scale(ctx, experiments.ScaleConfig{
+			N: *benchN, K: *benchK, BatchSize: *batch,
+			Workers: *workers, Seed: *seed, Progress: progress,
+		})
+		if err != nil {
+			return fail("scale: %v", err)
+		}
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("scale: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderScale(res))
+		}
+		if *check {
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		return 0
+	}
+
 	switch *exp {
 	case "table2":
 		status = runTable2()
@@ -284,6 +325,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = runFig5()
 	case "bench":
 		status = runBench()
+	case "scale":
+		status = runScale()
 	case "all":
 		for _, f := range []func() int{runTable2, runTable3, runFig4, runFig5} {
 			if status = f(); status != 0 {
@@ -291,7 +334,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	default:
-		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, all)\n", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, scale, all)\n", *exp)
 		return 2
 	}
 	if status != 0 && status != 3 {

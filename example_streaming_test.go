@@ -1,0 +1,61 @@
+package ucpc_test
+
+import (
+	"context"
+	"fmt"
+
+	"ucpc"
+)
+
+// Example_streaming fits a dataset it never holds in full: objects arrive
+// in portions through StreamFit.Observe, and Snapshot freezes the current
+// centroids as a regular Model whenever a serving copy is needed.
+func Example_streaming() {
+	ctx := context.Background()
+	sc := &ucpc.StreamClusterer{Config: ucpc.StreamConfig{BatchSize: 64, Seed: 42}}
+	fit, err := sc.Begin(ctx, 2)
+	if err != nil {
+		panic(err)
+	}
+
+	// The producer side: batches of uncertain objects around two sites.
+	r := ucpc.NewRNG(3)
+	for batch := 0; batch < 10; batch++ {
+		objs := make(ucpc.Dataset, 64)
+		for i := range objs {
+			c := []float64{0, 0}
+			if i%2 == 1 {
+				c = []float64{9, 9}
+			}
+			c[0] += r.Normal(0, 0.4)
+			c[1] += r.Normal(0, 0.4)
+			objs[i] = ucpc.NewNormalObject(i, c, []float64{0.3, 0.3}, 0.95)
+		}
+		if err := fit.Observe(ctx, objs); err != nil {
+			panic(err)
+		}
+	}
+
+	// Freeze a model and serve assignments from it; the stream could keep
+	// flowing in the background.
+	model, err := fit.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	probes := ucpc.Dataset{
+		ucpc.NewNormalObject(0, []float64{0.5, -0.5}, []float64{0.2, 0.2}, 0.95),
+		ucpc.NewNormalObject(1, []float64{8.5, 9.5}, []float64{0.2, 0.2}, 0.95),
+	}
+	ids, err := model.Assign(ctx, probes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("observed %d objects in %d mini-batches\n", fit.Seen(), fit.Batches())
+	fmt.Printf("probes in same cluster: %v\n", ids[0] == ids[1])
+	sizes := model.Centroids()
+	fmt.Printf("cluster sizes: %d + %d = %d\n", sizes[0].Size, sizes[1].Size, sizes[0].Size+sizes[1].Size)
+	// Output:
+	// observed 640 objects in 10 mini-batches
+	// probes in same cluster: false
+	// cluster sizes: 320 + 320 = 640
+}

@@ -48,6 +48,58 @@ func (c Config) SeedOrDefault() uint64 {
 	return c.Seed
 }
 
+// StreamConfig configures the mini-batch streaming engine behind
+// ucpc.StreamClusterer. Like Config, one StreamConfig value has a single
+// meaning everywhere it is threaded.
+type StreamConfig struct {
+	// BatchSize is the mini-batch chunk size Observe splits its input
+	// into (default 4096). Each chunk is scored against the current
+	// centroids as one unit and then folded into the per-cluster
+	// statistics.
+	BatchSize int
+	// Decay is the per-batch exponential forgetting rate in [0, 1):
+	// before a batch is folded in, every cluster's sufficient statistics
+	// are scaled by (1 − Decay). 0 means no forgetting — centroids
+	// converge to the cumulative weighted mean, the classic mini-batch
+	// k-means 1/n_c learning-rate schedule. Positive values bound the
+	// effective memory to about 1/Decay batches, letting centroids track
+	// drifting streams at the cost of extra variance.
+	Decay float64
+	// MaxBatches caps the number of mini-batches a stream fit ingests
+	// over its lifetime (0 = unlimited). Once the cap is reached, Observe
+	// rejects further input with a wrapped ErrStreamBudget.
+	MaxBatches int
+	// Workers sizes the per-batch assignment worker pool (0 = one worker
+	// per CPU). As with Config.Workers, parallel phases cover only
+	// order-independent work, so the fitted centroids are identical for
+	// every worker count. The zero-allocation steady-state guarantee of
+	// Observe holds for Workers = 1 (the pool spawn itself allocates).
+	Workers int
+	// Pruning toggles the exact bound-based first-pass pruning of the
+	// per-batch assignment scans (default on; results identical either
+	// way).
+	Pruning PruneMode
+	// Seed drives the k-means++ seeding of the initial centroids
+	// (0 = DefaultSeed).
+	Seed uint64
+}
+
+// BatchSizeOrDefault resolves BatchSize: 0 means 4096.
+func (c StreamConfig) BatchSizeOrDefault() int {
+	if c.BatchSize <= 0 {
+		return 4096
+	}
+	return c.BatchSize
+}
+
+// SeedOrDefault resolves Seed: 0 means DefaultSeed.
+func (c StreamConfig) SeedOrDefault() uint64 {
+	if c.Seed == 0 {
+		return DefaultSeed
+	}
+	return c.Seed
+}
+
 // ProgressEvent is one per-iteration report of an iterative algorithm.
 type ProgressEvent struct {
 	// Algorithm is the reporting method's short name (e.g. "UCPC").

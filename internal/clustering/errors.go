@@ -16,6 +16,14 @@ var ErrBadK = errors.New("k out of range")
 // divisive UCPC-Bisect.
 var ErrWarmStartUnsupported = errors.New("algorithm does not support warm starts")
 
+// ErrStreamBudget marks a stream fit whose StreamConfig.MaxBatches budget
+// is exhausted: Observe rejects the batch that would exceed the cap.
+var ErrStreamBudget = errors.New("stream batch budget exhausted")
+
+// ErrStreamCold marks a stream fit that has not yet observed enough objects
+// to seed its k centroids; Snapshot cannot freeze a model before that.
+var ErrStreamCold = errors.New("stream has not observed k objects yet")
+
 // ValidateK returns a wrapped ErrBadK unless 1 <= k <= n. prefix names the
 // reporting algorithm in the message.
 func ValidateK(prefix string, k, n int) error {

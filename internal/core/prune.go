@@ -81,7 +81,20 @@ type Assigner struct {
 	upper, lower []float64 // n, per-object Euclidean bounds
 	ready        bool      // bounds initialized by a first pass
 
-	boxes []vec.Box // per-block bounding boxes over the µ rows
+	boxes        []vec.Box // per-block bounding boxes over the µ rows
+	boxLo, boxHi []float64 // flat nb*m backing for the box corners, reused
+	// across Rebind calls so per-batch rebuilds do
+	// not allocate once capacity has warmed up
+
+	// First-pass scratch pool: firstChunk needs four k-sized slices per
+	// concurrent chunk body. ParallelAny runs at most `workers` chunk
+	// bodies per pass, so Assign sizes the pool to the worker count and
+	// each body claims a distinct slot through scratchNext — allocation-
+	// free after the pool has warmed up, which is what lets the streaming
+	// engine run a box-filtered first pass on every mini-batch without
+	// breaking its zero-allocation Observe gate.
+	scratchPool []firstScratch
+	scratchNext int32
 
 	passes          int
 	pruned, scanned int64
@@ -118,7 +131,7 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 		a.cdist = make([]float64, k*k)
 		a.upper = make([]float64, n)
 		a.lower = make([]float64, n)
-		a.boxes = blockBoxes(mom)
+		a.rebuildBoxes()
 	}
 	// Bind the chunk bodies once; each bind allocates a method value here
 	// so that no Assign call allocates later.
@@ -128,21 +141,48 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 	return a
 }
 
-// blockBoxes covers the µ rows of mom with one bounding box per pruneBlock
-// consecutive objects.
-func blockBoxes(mom *uncertain.Moments) []vec.Box {
-	n, m := mom.Len(), mom.Dims()
+// firstScratch is one chunk body's worth of first-pass scratch (all slices
+// k-sized); see Assigner.scratchPool.
+type firstScratch struct {
+	minD  []float64 // block lower bound on D per centroid
+	eMin  []float64 // block lower bound on ‖µ(o)−y_c‖²
+	cand  []int     // surviving centroids
+	candR []float64 // exact Euclidean distance per candidate
+}
+
+// growFloats returns s resliced to length n, reusing capacity and
+// zero-extending only when the backing array must grow.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]float64, n-cap(s))...)
+}
+
+// rebuildBoxes covers the µ rows of mom with one bounding box per
+// pruneBlock consecutive objects, reusing the flat corner backing across
+// calls.
+func (a *Assigner) rebuildBoxes() {
+	n, m := a.mom.Len(), a.m
 	nb := (n + pruneBlock - 1) / pruneBlock
-	boxes := make([]vec.Box, nb)
+	a.boxLo = growFloats(a.boxLo, nb*m)
+	a.boxHi = growFloats(a.boxHi, nb*m)
+	if cap(a.boxes) >= nb {
+		a.boxes = a.boxes[:nb]
+	} else {
+		a.boxes = append(a.boxes[:cap(a.boxes)], make([]vec.Box, nb-cap(a.boxes))...)
+	}
 	for b := 0; b < nb; b++ {
 		lo, hi := b*pruneBlock, (b+1)*pruneBlock
 		if hi > n {
 			hi = n
 		}
-		bl := vec.Clone(mom.Mu(lo))
-		bh := vec.Clone(mom.Mu(lo))
+		bl := a.boxLo[b*m : (b+1)*m : (b+1)*m]
+		bh := a.boxHi[b*m : (b+1)*m : (b+1)*m]
+		copy(bl, a.mom.Mu(lo))
+		copy(bh, a.mom.Mu(lo))
 		for i := lo + 1; i < hi; i++ {
-			mu := mom.Mu(i)
+			mu := a.mom.Mu(i)
 			for j := 0; j < m; j++ {
 				if mu[j] < bl[j] {
 					bl[j] = mu[j]
@@ -152,9 +192,42 @@ func blockBoxes(mom *uncertain.Moments) []vec.Box {
 				}
 			}
 		}
-		boxes[b] = vec.Box{Lo: bl, Hi: bh}
+		a.boxes[b] = vec.Box{Lo: bl, Hi: bh}
 	}
-	return boxes
+}
+
+// Rebind re-derives the engine's per-object state after the underlying
+// Moments store changed — grew, shrank, or was refilled with a fresh
+// window of rows (the streaming mini-batch path recycles one resident
+// store across batches). All cross-pass memory is discarded: the next
+// Assign is a first pass again, with bounds and first-pass boxes rebuilt
+// over the current rows. Every backing array is reused, so a steady-state
+// Rebind+SetCenters+Assign cycle performs no heap allocations once
+// capacities have warmed up to the largest window seen.
+func (a *Assigner) Rebind() {
+	a.hasPrev = false
+	a.passes = 0
+	a.maxDrift = 0
+	if !a.enabled {
+		return
+	}
+	n := a.mom.Len()
+	a.upper = growFloats(a.upper, n)
+	a.lower = growFloats(a.lower, n)
+	a.ready = false
+	a.rebuildBoxes()
+}
+
+// ensureScratch sizes the first-pass scratch pool to at least `need` slots.
+func (a *Assigner) ensureScratch(need int) {
+	for len(a.scratchPool) < need {
+		a.scratchPool = append(a.scratchPool, firstScratch{
+			minD:  make([]float64, a.k),
+			eMin:  make([]float64, a.k),
+			cand:  make([]int, 0, a.k),
+			candR: make([]float64, a.k),
+		})
+	}
 }
 
 // SetCenters installs the centroid positions (flat k*m row-major) and the
@@ -294,6 +367,8 @@ func (a *Assigner) Assign(assign []int, workers int) bool {
 		a.fresh = a.passes == 1
 		changed = clustering.ParallelAny(a.mom.Len(), workers, a.exhaustBody)
 	case !a.ready:
+		a.ensureScratch(clustering.Workers(workers))
+		atomic.StoreInt32(&a.scratchNext, 0)
 		changed = clustering.ParallelAny(len(a.boxes), workers, a.firstBody)
 		a.ready = true
 	default:
@@ -353,17 +428,18 @@ func (a *Assigner) exhaustChunk(lo, hi int) bool {
 // firstChunk initializes the per-object bounds with a per-block bounding-
 // box filter: centroids whose minimum possible D over the whole block
 // exceeds the block's best guaranteed D cannot win for any member and are
-// skipped. It runs once per engine (the first pass), so its per-chunk
-// scratch (needed for worker independence) may allocate.
+// skipped. Its per-chunk scratch (needed for worker independence) comes
+// from the preallocated pool: ParallelAny runs at most Workers(workers)
+// chunk bodies per pass, so claiming slots through an atomic counter hands
+// every body a distinct slot without allocating.
 func (a *Assigner) firstChunk(blo, bhi int) bool {
 	assign := a.curAssign
 	n, k := a.mom.Len(), a.k
 	ch := false
 	var pruned, scanned int64
-	minD := make([]float64, k)  // block lower bound on D per centroid
-	eMin := make([]float64, k)  // block lower bound on ‖µ(o)−y_c‖²
-	cand := make([]int, 0, k)   // surviving centroids
-	candR := make([]float64, k) // exact Euclidean distance per candidate
+	sc := &a.scratchPool[atomic.AddInt32(&a.scratchNext, 1)-1]
+	minD, eMin, candR := sc.minD, sc.eMin, sc.candR
+	cand := sc.cand[:0]
 	for b := blo; b < bhi; b++ {
 		box := a.boxes[b]
 		bestMax := math.Inf(1)

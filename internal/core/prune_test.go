@@ -222,7 +222,7 @@ func TestRelocBoundHolds(t *testing.T) {
 // TestBlockBoxesCoverRows: every µ row lies inside its block's box.
 func TestBlockBoxesCoverRows(t *testing.T) {
 	mom := pruneTestMoments(41, 3, 21, 4) // 63 objects: a ragged final block
-	boxes := blockBoxes(mom)
+	boxes := NewAssigner(mom, 3, true).boxes
 	want := (mom.Len() + pruneBlock - 1) / pruneBlock
 	if len(boxes) != want {
 		t.Fatalf("%d boxes, want %d", len(boxes), want)

@@ -97,6 +97,22 @@ func (s *Stats) RemoveRow(mu, m2, sig []float64) {
 	}
 }
 
+// AccumulateStats folds every row of mom into the statistics of its
+// assigned cluster (noise rows, assign[i] < 0, are skipped) — the batch
+// entry point shared by the relocation-engine setup, warm starts, and the
+// streaming engine's exact-rebuild checks. Equivalent to calling AddRow per
+// object in row order, so the result is bit-identical to the incremental
+// path.
+func AccumulateStats(mom *uncertain.Moments, assign []int, stats []*Stats) {
+	for i := 0; i < mom.Len(); i++ {
+		c := assign[i]
+		if c < 0 {
+			continue
+		}
+		stats[c].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
+	}
+}
+
 // J returns the U-centroid compactness objective of Theorem 3:
 //
 //	J(C) = Σ_j [ Ψ^{(j)}/|C| + Φ^{(j)} − Υ^{(j)}/|C| ]

@@ -135,9 +135,7 @@ func (u *UCPC) cluster(ctx context.Context, ds uncertain.Dataset, k int, init []
 	for c := range stats {
 		stats[c] = NewStats(m)
 	}
-	for i := 0; i < n; i++ {
-		stats[assign[i]].AddRow(mom.Mu(i), mom.Mu2(i), mom.Sigma2(i))
-	}
+	AccumulateStats(mom, assign, stats)
 
 	// Lines 4-16: relocation passes until fixed point, run by the
 	// incremental-statistics engine (reloc.go): per-cluster scalar

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+
+	"ucpc/internal/uncertain"
+)
+
+// WStats maintains, for k clusters, the *weighted* generalization of the
+// Theorem-3 sufficient statistics that drives the mini-batch streaming
+// engine (internal/stream):
+//
+//	W_c = Σ w_o                (effective member weight)
+//	S_c = Σ w_o µ(o)           (weighted mean sum, k×m)
+//	Ψ_c = Σ w_o σ²(o)          (weighted total-variance sum, scalar)
+//	Φ_c = Σ w_o Σ_j (µ₂)_j(o)  (weighted second-moment sum, scalar)
+//
+// Fresh observations enter with weight 1 (AddAssigned); Scale(λ) multiplies
+// every statistic by λ, which is how the stream's per-batch exponential
+// forgetting is realized. With λ = 1 the statistics are the plain
+// cumulative sums, so the centroid read-out
+//
+//	mean_c = S_c / W_c,   add_c = Ψ_c / W_c²   (Theorem 2, weighted)
+//
+// reduces exactly to the batch U-centroid of the observed members — the
+// classic mini-batch k-means 1/n_c learning-rate schedule falls out of the
+// same sums. All state is allocated once in NewWStats; Scale, AddAssigned,
+// and CentersInto perform no heap allocations.
+type WStats struct {
+	k, m int
+	w    []float64 // k, W_c
+	sum  []float64 // k*m, S_c row-major
+	psi  []float64 // k, Ψ_c
+	phi  []float64 // k, Φ_c
+}
+
+// NewWStats returns empty weighted statistics for k clusters of
+// m-dimensional objects.
+func NewWStats(k, m int) *WStats {
+	return &WStats{
+		k:   k,
+		m:   m,
+		w:   make([]float64, k),
+		sum: make([]float64, k*m),
+		psi: make([]float64, k),
+		phi: make([]float64, k),
+	}
+}
+
+// K returns the cluster count.
+func (ws *WStats) K() int { return ws.k }
+
+// Dims returns the dimensionality m.
+func (ws *WStats) Dims() int { return ws.m }
+
+// Weight returns cluster c's effective member weight W_c.
+func (ws *WStats) Weight(c int) float64 { return ws.w[c] }
+
+// Zero clears every statistic. The streaming engine's seed-refinement loop
+// rebuilds the seeding window's statistics from scratch each Lloyd
+// iteration; Zero is that rebuild's starting point.
+func (ws *WStats) Zero() {
+	for c := range ws.w {
+		ws.w[c], ws.psi[c], ws.phi[c] = 0, 0, 0
+	}
+	for i := range ws.sum {
+		ws.sum[i] = 0
+	}
+}
+
+// CopyFrom overwrites every statistic with o's (same k and m required) —
+// the seed-restart machinery snapshots and restores candidate states with
+// it.
+func (ws *WStats) CopyFrom(o *WStats) {
+	if ws.k != o.k || ws.m != o.m {
+		panic("core: WStats.CopyFrom shape mismatch")
+	}
+	copy(ws.w, o.w)
+	copy(ws.sum, o.sum)
+	copy(ws.psi, o.psi)
+	copy(ws.phi, o.phi)
+}
+
+// Scale multiplies every cluster's statistics by lambda — the per-batch
+// exponential forgetting step (lambda = 1 − Decay).
+func (ws *WStats) Scale(lambda float64) {
+	for c := range ws.w {
+		ws.w[c] *= lambda
+		ws.psi[c] *= lambda
+		ws.phi[c] *= lambda
+	}
+	for i := range ws.sum {
+		ws.sum[i] *= lambda
+	}
+}
+
+// AddAssigned folds every resident row of mom into its assigned cluster
+// with weight 1 (noise rows, assign[i] < 0, are skipped) — the batch-update
+// entry point the streaming engine calls once per mini-batch.
+func (ws *WStats) AddAssigned(mom *uncertain.Moments, assign []int) {
+	m := ws.m
+	for i := 0; i < mom.Len(); i++ {
+		c := assign[i]
+		if c < 0 {
+			continue
+		}
+		mu := mom.Mu(i)
+		row := ws.sum[c*m : (c+1)*m]
+		for j, v := range mu {
+			row[j] += v
+		}
+		ws.w[c]++
+		ws.psi[c] += mom.TotalVar(i)
+		ws.phi[c] += mom.Mu2Tot(i)
+	}
+}
+
+// SeedCluster installs cluster c's statistics directly (warm starts from a
+// frozen model): weight W_c, mean sum = weight·mean, Ψ_c = sumVar. A
+// frozen model does not carry the within-cluster dispersion of member
+// means, so Φ_c is reconstructed as if the seed were W objects sitting at
+// the mean with per-object variance Ψ/W (Φ = W·‖mean‖² + Ψ) — the unique
+// choice consistent with the seeded S, W, and Ψ; the objective estimate
+// therefore counts the seed's variance mass but not its (unrecoverable)
+// mean spread. The caller is responsible for keeping its own
+// authoritative copy of the seed centroid — re-deriving mean from S_c/W_c
+// rounds differently than the seed's own bits (see the streaming engine's
+// touched-cluster policy).
+func (ws *WStats) SeedCluster(c int, mean []float64, weight, sumVar float64) {
+	row := ws.sum[c*ws.m : (c+1)*ws.m]
+	var nrm2 float64
+	for j, v := range mean {
+		row[j] = v * weight
+		nrm2 += v * v
+	}
+	ws.w[c] = weight
+	ws.psi[c] = sumVar
+	ws.phi[c] = weight*nrm2 + sumVar
+}
+
+// CentersInto fills the flat centroid state the assignment engine scores
+// against: mean_c = S_c/W_c and add_c = Ψ_c/W_c² (the weighted Theorem-2
+// U-centroid variance). Clusters with zero weight keep their previous
+// means/adds entries untouched — the streaming engine leaves them at their
+// last known position so a temporarily starved cluster can still win
+// objects later instead of dying with an infinite additive term.
+func (ws *WStats) CentersInto(means, adds []float64) {
+	m := ws.m
+	for c := 0; c < ws.k; c++ {
+		if ws.w[c] <= 0 {
+			continue
+		}
+		inv := 1 / ws.w[c]
+		row := ws.sum[c*m : (c+1)*m]
+		dst := means[c*m : (c+1)*m]
+		for j, v := range row {
+			dst[j] = v * inv
+		}
+		adds[c] = ws.psi[c] * inv * inv
+	}
+}
+
+// EstimateJ returns the weighted analogue of the Theorem-3 objective,
+//
+//	Σ_c [ Ψ_c/W_c + Φ_c − ‖S_c‖²/W_c ],
+//
+// which for λ = 1 equals Σ_C J(C) of the observed members exactly. Clusters
+// with zero weight contribute 0.
+func (ws *WStats) EstimateJ() float64 {
+	m := ws.m
+	var total float64
+	for c := 0; c < ws.k; c++ {
+		if ws.w[c] <= 0 {
+			continue
+		}
+		inv := 1 / ws.w[c]
+		row := ws.sum[c*m : (c+1)*m]
+		var ss float64
+		for _, v := range row {
+			ss += v * v
+		}
+		total += ws.psi[c]*inv + ws.phi[c] - ss*inv
+	}
+	return total
+}
+
+// Sizes fills dst (k) with the rounded effective weights — the cluster
+// cardinalities a frozen snapshot reports. With no forgetting these are the
+// exact member counts.
+func (ws *WStats) Sizes(dst []int) {
+	for c, w := range ws.w {
+		dst[c] = int(math.Round(w))
+	}
+}

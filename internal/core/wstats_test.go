@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ucpc/internal/dist"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// wstatsDataset builds a small uncertain dataset with varied moments.
+func wstatsDataset(n, m int, seed uint64) uncertain.Dataset {
+	r := rng.New(seed)
+	ds := make(uncertain.Dataset, n)
+	for i := range ds {
+		ms := make([]dist.Distribution, m)
+		for j := range ms {
+			ms[j] = dist.NewTruncNormalCentral(r.Normal(0, 5), 0.2+r.Float64(), 0.95)
+		}
+		ds[i] = uncertain.NewObject(i, ms)
+	}
+	return ds
+}
+
+// TestWStatsMatchesBatchStats: with no forgetting (λ = 1), the weighted
+// read-out must agree with the batch Stats/Theorem-2 closed forms on the
+// same partition.
+func TestWStatsMatchesBatchStats(t *testing.T) {
+	ds := wstatsDataset(120, 3, 7)
+	mom := uncertain.MomentsOf(ds)
+	k, m := 4, mom.Dims()
+	assign := make([]int, mom.Len())
+	r := rng.New(99)
+	for i := range assign {
+		assign[i] = r.Intn(k)
+	}
+
+	ws := NewWStats(k, m)
+	ws.AddAssigned(mom, assign)
+
+	stats := make([]*Stats, k)
+	for c := range stats {
+		stats[c] = NewStats(m)
+	}
+	AccumulateStats(mom, assign, stats)
+
+	means := make([]float64, k*m)
+	adds := make([]float64, k)
+	ws.CentersInto(means, adds)
+
+	var wantJ float64
+	for c := 0; c < k; c++ {
+		n := float64(stats[c].Size())
+		if got := ws.Weight(c); got != n {
+			t.Fatalf("cluster %d: weight %v, want %v", c, got, n)
+		}
+		sum := stats[c].MeanSum()
+		inv := 1 / n
+		for j := 0; j < m; j++ {
+			want := sum[j] * inv // the engine's reciprocal-multiply idiom
+			if got := means[c*m+j]; got != want {
+				t.Fatalf("cluster %d dim %d: mean %v, want %v", c, j, got, want)
+			}
+		}
+		wantAdd := stats[c].SumVariance() / (n * n)
+		if rel := math.Abs(adds[c]-wantAdd) / (math.Abs(wantAdd) + 1); rel > 1e-12 {
+			t.Fatalf("cluster %d: add %v, want %v", c, adds[c], wantAdd)
+		}
+		wantJ += stats[c].J()
+	}
+	if rel := math.Abs(ws.EstimateJ()-wantJ) / (math.Abs(wantJ) + 1); rel > 1e-9 {
+		t.Fatalf("EstimateJ %v, want %v", ws.EstimateJ(), wantJ)
+	}
+}
+
+// TestWStatsScale: forgetting multiplies every statistic, so the centroid
+// read-out (a ratio) is invariant under Scale while the weight decays.
+func TestWStatsScale(t *testing.T) {
+	ds := wstatsDataset(50, 2, 11)
+	mom := uncertain.MomentsOf(ds)
+	k, m := 2, mom.Dims()
+	assign := make([]int, mom.Len())
+	for i := range assign {
+		assign[i] = i % k
+	}
+	ws := NewWStats(k, m)
+	ws.AddAssigned(mom, assign)
+
+	means := make([]float64, k*m)
+	adds := make([]float64, k)
+	ws.CentersInto(means, adds)
+	w0 := ws.Weight(0)
+
+	ws.Scale(0.5)
+	if got := ws.Weight(0); math.Abs(got-0.5*w0) > 1e-12 {
+		t.Fatalf("scaled weight %v, want %v", got, 0.5*w0)
+	}
+	means2 := make([]float64, k*m)
+	adds2 := make([]float64, k)
+	ws.CentersInto(means2, adds2)
+	for i := range means {
+		if rel := math.Abs(means2[i]-means[i]) / (math.Abs(means[i]) + 1); rel > 1e-12 {
+			t.Fatalf("mean %d moved under Scale: %v vs %v", i, means2[i], means[i])
+		}
+	}
+	// adds = Ψ/W² doubles when every statistic halves.
+	for c := range adds {
+		if rel := math.Abs(adds2[c]-2*adds[c]) / (adds[c] + 1); rel > 1e-12 {
+			t.Fatalf("add %d: %v, want %v", c, adds2[c], 2*adds[c])
+		}
+	}
+}
+
+// TestWStatsSeedAndEmpty: seeded clusters report their seed state; clusters
+// with zero weight leave the read-out untouched.
+func TestWStatsSeedAndEmpty(t *testing.T) {
+	k, m := 3, 2
+	ws := NewWStats(k, m)
+	ws.SeedCluster(0, []float64{2, -1}, 5, 1.25)
+
+	means := []float64{9, 9, 9, 9, 9, 9}
+	adds := []float64{9, 9, 9}
+	ws.CentersInto(means, adds)
+	if means[0] != 2 || means[1] != -1 {
+		t.Fatalf("seeded mean read-out %v", means[:2])
+	}
+	if want := 1.25 / 25; adds[0] != want {
+		t.Fatalf("seeded add %v, want %v", adds[0], want)
+	}
+	// Untouched clusters keep their previous entries.
+	if means[2] != 9 || means[4] != 9 || adds[1] != 9 || adds[2] != 9 {
+		t.Fatalf("zero-weight clusters disturbed: means %v adds %v", means, adds)
+	}
+
+	sizes := make([]int, k)
+	ws.Sizes(sizes)
+	if sizes[0] != 5 || sizes[1] != 0 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}

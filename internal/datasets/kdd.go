@@ -1,9 +1,6 @@
 package datasets
 
 import (
-	"math"
-
-	"ucpc/internal/rng"
 	"ucpc/internal/vec"
 )
 
@@ -21,61 +18,24 @@ func KDD() KDDSpec { return KDDSpec{N: 4_000_000, Dims: 42, Classes: 23} }
 // GenerateKDD synthesizes n records shaped like the KDD Cup '99 data: 23
 // Gaussian classes in 42 dimensions whose prior follows the published heavy
 // skew, with every class guaranteed at least one record (the paper's
-// scalability study "ensured that all 23 classes were covered"). The
-// generator is O(n) and streams record-by-record, so the full 4 M size is
-// reachable when desired.
+// scalability study "ensured that all 23 classes were covered"). It
+// collects n records from a KDDStream, so the batch experiments and the
+// out-of-core streaming experiment (-exp scale) consume the exact same
+// record sequence for a given seed; use NewKDDStream directly when the
+// records should not all be resident at once.
 func GenerateKDD(n int, seed uint64) *Deterministic {
 	spec := KDD()
 	if n < spec.Classes {
 		n = spec.Classes
 	}
-	r := rng.New(seed).Split(hashName("KDDCup99"))
-
-	// Class priors: geometric-style decay normalized to 1, approximating
-	// the real 57%/22%/19%/... skew.
-	priors := make([]float64, spec.Classes)
-	total := 0.0
-	for c := range priors {
-		priors[c] = math.Pow(0.45, float64(c))
-		total += priors[c]
-	}
-	cum := make([]float64, spec.Classes)
-	acc := 0.0
-	for c := range priors {
-		acc += priors[c] / total
-		cum[c] = acc
-	}
-
-	centers := make([]vec.Vector, spec.Classes)
-	for c := range centers {
-		centers[c] = make(vec.Vector, spec.Dims)
-		for j := 0; j < spec.Dims; j++ {
-			centers[c][j] = r.Normal(0, 3)
-		}
-	}
-
+	s := NewKDDStream(seed)
 	out := &Deterministic{Name: "KDDCup99", Classes: spec.Classes}
 	out.Points = make([]vec.Vector, 0, n)
 	out.Labels = make([]int, 0, n)
-	// One guaranteed record per class first.
-	emit := func(c int) {
+	for i := 0; i < n; i++ {
 		p := make(vec.Vector, spec.Dims)
-		for j := 0; j < spec.Dims; j++ {
-			p[j] = centers[c][j] + r.Normal(0, 1)
-		}
+		out.Labels = append(out.Labels, s.Next(p))
 		out.Points = append(out.Points, p)
-		out.Labels = append(out.Labels, c)
-	}
-	for c := 0; c < spec.Classes; c++ {
-		emit(c)
-	}
-	for i := spec.Classes; i < n; i++ {
-		u := r.Float64()
-		c := 0
-		for c < spec.Classes-1 && u > cum[c] {
-			c++
-		}
-		emit(c)
 	}
 	return out
 }

@@ -33,6 +33,32 @@ type Spec struct {
 	Imbalance float64
 }
 
+// Validate checks that the spec describes a generatable dataset: at least
+// one class, at least as many objects as classes, at least one dimension,
+// a finite non-negative Separation of sane magnitude (huge separations
+// overflow the class-center random walk into non-finite coordinates), and
+// an Imbalance in [0, 1). Generate requires a valid spec; fuzzed or
+// user-assembled specs should be validated first. Failures wrap
+// ErrMalformed.
+func (s Spec) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("datasets: spec %q: "+format+": %w", append(append([]any{s.Name}, args...), ErrMalformed)...)
+	}
+	switch {
+	case s.Classes < 1:
+		return bad("%d classes", s.Classes)
+	case s.N < s.Classes:
+		return bad("%d objects for %d classes", s.N, s.Classes)
+	case s.Dims < 1:
+		return bad("%d dims", s.Dims)
+	case math.IsNaN(s.Separation) || s.Separation < 0 || s.Separation > 1e6:
+		return bad("separation %v outside [0, 1e6]", s.Separation)
+	case math.IsNaN(s.Imbalance) || s.Imbalance < 0 || s.Imbalance >= 1:
+		return bad("imbalance %v outside [0, 1)", s.Imbalance)
+	}
+	return nil
+}
+
 // Benchmarks returns the specs mirroring Table 1(a) (KDDCup99 excluded;
 // see KDDSpec). Separation/imbalance are tuned per dataset to reflect the
 // qualitative difficulty visible in the paper's Table 2 (e.g. Iris is easy,
@@ -205,15 +231,32 @@ func classSizes(n, k int, imbalance float64, r *rng.RNG) []int {
 	// Distribute the rounding remainder (or trim overflow) on class 0.
 	sizes[0] += n - assigned
 	if sizes[0] < 1 {
-		// Borrow from the largest class.
-		largest := 0
-		for c := range sizes {
-			if sizes[c] > sizes[largest] {
-				largest = c
-			}
-		}
-		sizes[largest] += sizes[0] - 1
+		// The min-1 clamps overshot n (k close to n with heavy skew): pay
+		// the deficit back from the largest classes, never taking any class
+		// below 1. Σ sizes = n + deficit and every class holds ≥ 1 except
+		// class 0 (reset to 1 here), so n ≥ k guarantees the loop drains
+		// the deficit. A single unbounded borrow used to leave a *negative*
+		// class size here, silently generating more than n objects (found
+		// by FuzzSpecGenerate).
+		deficit := 1 - sizes[0]
 		sizes[0] = 1
+		for deficit > 0 {
+			largest := 0
+			for c := range sizes {
+				if sizes[c] > sizes[largest] {
+					largest = c
+				}
+			}
+			take := sizes[largest] - 1
+			if take <= 0 {
+				panic("datasets: classSizes cannot satisfy n >= k")
+			}
+			if take > deficit {
+				take = deficit
+			}
+			sizes[largest] -= take
+			deficit -= take
+		}
 	}
 	return sizes
 }

@@ -1,0 +1,35 @@
+package datasets
+
+import "testing"
+
+// TestKDDStreamMatchesGenerate: the record stream and the batch generator
+// must produce the identical sequence for a seed — the contract that puts
+// the batch and streaming experiments on the same data.
+func TestKDDStreamMatchesGenerate(t *testing.T) {
+	const n = 200
+	d := GenerateKDD(n, 42)
+	s := NewKDDStream(42)
+	if s.Dims() != KDD().Dims || s.Classes() != KDD().Classes {
+		t.Fatalf("stream shape %d/%d", s.Dims(), s.Classes())
+	}
+	p := make([]float64, s.Dims())
+	for i := 0; i < n; i++ {
+		label := s.Next(p)
+		if label != d.Labels[i] {
+			t.Fatalf("record %d: stream label %d, batch label %d", i, label, d.Labels[i])
+		}
+		for j := range p {
+			if p[j] != d.Points[i][j] {
+				t.Fatalf("record %d dim %d: stream %v, batch %v", i, j, p[j], d.Points[i][j])
+			}
+		}
+	}
+	// Every class covered within the first Classes records.
+	seen := map[int]bool{}
+	for _, l := range d.Labels[:s.Classes()] {
+		seen[l] = true
+	}
+	if len(seen) != s.Classes() {
+		t.Fatalf("first %d records cover %d classes", s.Classes(), len(seen))
+	}
+}

@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -11,6 +12,15 @@ import (
 	"ucpc/internal/dist"
 	"ucpc/internal/uncertain"
 )
+
+// ErrMalformed marks unparseable or semantically invalid dataset input
+// (bad CSV structure, unknown marginal families, non-finite or
+// out-of-domain distribution parameters). Every parser in this package
+// wraps it, so callers can test errors.Is(err, ErrMalformed) regardless of
+// which reader produced the failure. Malformed rows always surface as
+// errors, never as panics — the dist constructors' panic domains are
+// validated away before construction.
+var ErrMalformed = errors.New("malformed dataset input")
 
 // Uncertain CSV ("ucsv") is a plain-CSV serialization of uncertain
 // datasets: one row per object, one field per attribute, and a final
@@ -59,15 +69,15 @@ func ReadUncertainCSV(r io.Reader) (uncertain.Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("datasets: ucsv row %d: %w", rowNum, err)
+			return nil, fmt.Errorf("datasets: ucsv row %d: %v: %w", rowNum, err, ErrMalformed)
 		}
 		rowNum++
 		if len(rec) < 2 {
-			return nil, fmt.Errorf("datasets: ucsv row %d has %d fields, want >= 2", rowNum, len(rec))
+			return nil, fmt.Errorf("datasets: ucsv row %d has %d fields, want >= 2: %w", rowNum, len(rec), ErrMalformed)
 		}
 		label, err := strconv.Atoi(rec[len(rec)-1])
 		if err != nil {
-			return nil, fmt.Errorf("datasets: ucsv row %d label %q: %w", rowNum, rec[len(rec)-1], err)
+			return nil, fmt.Errorf("datasets: ucsv row %d label %q: %w", rowNum, rec[len(rec)-1], ErrMalformed)
 		}
 		ms := make([]dist.Distribution, len(rec)-1)
 		for j := 0; j < len(rec)-1; j++ {
@@ -80,7 +90,7 @@ func ReadUncertainCSV(r io.Reader) (uncertain.Dataset, error) {
 		ds = append(ds, uncertain.NewObject(rowNum-1, ms).WithLabel(label))
 	}
 	if len(ds) == 0 {
-		return nil, fmt.Errorf("datasets: empty ucsv input")
+		return nil, fmt.Errorf("datasets: empty ucsv input: %w", ErrMalformed)
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -118,11 +128,32 @@ func encodeDist(d dist.Distribution) (string, error) {
 	}
 }
 
+// finite reports whether v is a usable parameter value (not NaN, not ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// checkMoments rejects a decoded marginal whose closed-form moments are not
+// finite numbers — parameters can be individually finite yet combine into
+// overflow (e.g. a Uniform spanning the whole float range) or an empty
+// truncation region (NaN moments). Letting such objects through would make
+// every downstream distance NaN without any error.
+func checkMoments(d dist.Distribution, tok string) (dist.Distribution, error) {
+	if !finite(d.Mean()) || !finite(d.SecondMoment()) || !finite(d.Var()) || d.Var() < 0 {
+		return nil, fmt.Errorf("token %q: parameters yield non-finite moments: %w", tok, ErrMalformed)
+	}
+	return d, nil
+}
+
+// decodeDist parses one marginal token. Every panic domain of the dist
+// constructors is validated away first, so malformed tokens always return a
+// wrapped ErrMalformed.
 func decodeDist(tok string) (dist.Distribution, error) {
 	parts := strings.Split(tok, ":")
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("token %q: "+format+": %w", append(append([]any{tok}, args...), ErrMalformed)...)
+	}
 	nums := func(want int) ([]float64, error) {
 		if len(parts)-1 != want {
-			return nil, fmt.Errorf("token %q: %d params, want %d", tok, len(parts)-1, want)
+			return nil, bad("%d params, want %d", len(parts)-1, want)
 		}
 		out := make([]float64, want)
 		for i := 0; i < want; i++ {
@@ -136,8 +167,8 @@ func decodeDist(tok string) (dist.Distribution, error) {
 				continue
 			}
 			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return nil, fmt.Errorf("token %q: bad number %q", tok, s)
+			if err != nil || math.IsNaN(v) {
+				return nil, bad("bad number %q", s)
 			}
 			out[i] = v
 		}
@@ -149,59 +180,85 @@ func decodeDist(tok string) (dist.Distribution, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !finite(v[0]) {
+			return nil, bad("non-finite point mass %v", v[0])
+		}
 		return dist.NewPointMass(v[0]), nil
 	case "U":
 		v, err := nums(2)
 		if err != nil {
 			return nil, err
 		}
-		return dist.NewUniform(v[0], v[1]), nil
+		if !finite(v[0]) || !finite(v[1]) || v[1] < v[0] {
+			return nil, bad("invalid uniform bounds [%v, %v]", v[0], v[1])
+		}
+		return checkMoments(dist.NewUniform(v[0], v[1]), tok)
 	case "N":
 		v, err := nums(4)
 		if err != nil {
 			return nil, err
 		}
-		if v[2] == negInf && v[3] == posInf {
-			return dist.NewNormal(v[0], v[1]), nil
+		if !finite(v[0]) || !finite(v[1]) || v[1] < 0 {
+			return nil, bad("invalid normal location/scale (%v, %v)", v[0], v[1])
 		}
-		return dist.NewTruncNormal(v[0], v[1], v[2], v[3]), nil
+		if v[2] == negInf && v[3] == posInf {
+			return checkMoments(dist.NewNormal(v[0], v[1]), tok)
+		}
+		if !finite(v[2]) || !finite(v[3]) || v[3] <= v[2] || v[1] == 0 {
+			return nil, bad("invalid truncation [%v, %v] for sigma %v", v[2], v[3], v[1])
+		}
+		return checkMoments(dist.NewTruncNormal(v[0], v[1], v[2], v[3]), tok)
 	case "E":
 		if len(parts)-1 == 3 {
 			v, err := nums(3)
 			if err != nil {
 				return nil, err
 			}
-			if v[2] == posInf {
-				return dist.NewExponential(v[0], v[1]), nil
+			if !finite(v[0]) || v[0] <= 0 || !finite(v[1]) {
+				return nil, bad("invalid exponential rate/shift (%v, %v)", v[0], v[1])
 			}
-			return dist.NewTruncExponential(v[0], v[1], v[2]), nil
+			if v[2] == posInf {
+				return checkMoments(dist.NewExponential(v[0], v[1]), tok)
+			}
+			if !finite(v[2]) || v[2] <= 0 {
+				return nil, bad("invalid exponential window %v", v[2])
+			}
+			return checkMoments(dist.NewTruncExponential(v[0], v[1], v[2]), tok)
 		}
 		v, err := nums(2)
 		if err != nil {
 			return nil, err
 		}
-		return dist.NewExponential(v[0], v[1]), nil
+		if !finite(v[0]) || v[0] <= 0 || !finite(v[1]) {
+			return nil, bad("invalid exponential rate/shift (%v, %v)", v[0], v[1])
+		}
+		return checkMoments(dist.NewExponential(v[0], v[1]), tok)
 	case "D":
 		if (len(parts)-1)%2 != 0 || len(parts) == 1 {
-			return nil, fmt.Errorf("token %q: discrete needs x:w pairs", tok)
+			return nil, bad("discrete needs x:w pairs")
 		}
 		n := (len(parts) - 1) / 2
 		xs := make([]float64, n)
 		ws := make([]float64, n)
+		var total float64
 		for i := 0; i < n; i++ {
 			x, err := strconv.ParseFloat(parts[1+2*i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("token %q: bad number", tok)
+			if err != nil || !finite(x) {
+				return nil, bad("bad support point %q", parts[1+2*i])
 			}
 			w, err := strconv.ParseFloat(parts[2+2*i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("token %q: bad number", tok)
+			if err != nil || !finite(w) || w < 0 {
+				return nil, bad("bad weight %q", parts[2+2*i])
 			}
 			xs[i], ws[i] = x, w
+			total += w
 		}
-		return dist.NewDiscrete(xs, ws), nil
+		if total <= 0 || !finite(total) {
+			return nil, bad("discrete weights sum to %v", total)
+		}
+		return checkMoments(dist.NewDiscrete(xs, ws), tok)
 	default:
-		return nil, fmt.Errorf("unknown marginal family %q in token %q", parts[0], tok)
+		return nil, bad("unknown marginal family %q", parts[0])
 	}
 }
 

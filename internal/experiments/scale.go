@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"ucpc"
+	"ucpc/internal/datasets"
+	"ucpc/internal/eval"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+	"ucpc/internal/uncgen"
+	"ucpc/internal/vec"
+)
+
+// Scale is the out-of-core streaming experiment behind `cmd/uncbench -exp
+// scale`: synthesize a KDD-Cup-'99-shaped stream of uncertain objects (the
+// record sequence of datasets.KDDStream with §5.1 Normal uncertainty
+// attached record by record), fit it through ucpc.StreamClusterer in
+// mini-batches — no more than one batch of moment rows resident at a time —
+// and compare the final frozen model against a batch UCPC-Lloyd fit on a
+// subsample both can hold in memory. It reports ingest throughput, the
+// resident moment-store footprint (and its growth per 100k-object window:
+// the out-of-core contract is that this growth is ~0), a peak-heap proxy,
+// and the internal quality (eval.Quality) of both fits on the subsample.
+
+// ScaleConfig sizes the streaming scalability experiment. The zero value
+// selects the full 1M-object workload; CI smoke runs pass a small N.
+type ScaleConfig struct {
+	// N is the number of objects streamed (default 1,000,000).
+	N int
+	// K is the number of clusters (default 23, the KDD class count).
+	K int
+	// BatchSize is the streaming mini-batch size (default 8192).
+	BatchSize int
+	// Subsample is the comparison subsample size (default 50,000, clamped
+	// to N): the stream's first Subsample objects, regenerated
+	// deterministically, on which both models are scored and the batch
+	// reference is fitted.
+	Subsample int
+	// Workers sizes both fits' worker pools (0 = one per CPU).
+	Workers int
+	// Seed drives the record stream, the uncertainty generator, and both
+	// fits (0 = 1).
+	Seed uint64
+	// Progress, when non-nil, receives one line per reporting interval.
+	Progress func(format string, args ...any)
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.N == 0 {
+		c.N = 1_000_000
+	}
+	if c.K == 0 {
+		c.K = datasets.KDD().Classes
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8192
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 50_000
+	}
+	if c.Subsample > c.N {
+		c.Subsample = c.N
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// ScaleResult is the JSON payload of the streaming scalability experiment.
+type ScaleResult struct {
+	N         int `json:"n"`
+	K         int `json:"k"`
+	BatchSize int `json:"batch_size"`
+	Subsample int `json:"subsample"`
+	Workers   int `json:"workers"`
+	Batches   int `json:"batches"`
+
+	// StreamSeconds is the time spent inside Observe (scoring + statistics
+	// updates), excluding object synthesis; ObjectsPerSec = N/StreamSeconds.
+	StreamSeconds float64 `json:"stream_seconds"`
+	ObjectsPerSec float64 `json:"objects_per_sec"`
+
+	// ResidentMomentBytes is the high-water footprint of the streaming
+	// moment store; ResidentGrowthPer100K is how much it grew per
+	// 100k-object window after the first window (the out-of-core gate:
+	// ≤ 64 MB, in practice ~0 because the window is recycled).
+	ResidentMomentBytes   int64 `json:"resident_moment_bytes"`
+	ResidentGrowthPer100K int64 `json:"resident_growth_per_100k"`
+	// PeakHeapBytes is the largest live-heap size sampled between batches
+	// (whole process, so it includes the chunk objects being synthesized).
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+
+	// StreamQuality and BatchQuality are eval.Quality (inter − intra, in
+	// [−1, 1]) of the stream fit's and the batch UCPC-Lloyd fit's
+	// partitions of the subsample; BatchSeconds is the batch fit time.
+	StreamQuality float64 `json:"stream_quality"`
+	BatchQuality  float64 `json:"batch_quality"`
+	BatchSeconds  float64 `json:"batch_seconds"`
+}
+
+// scaleSource generates the uncertain-object stream: KDD records with §5.1
+// Normal uncertainty attached point by point. Per-dimension spread of the
+// record distribution is √(3²+1²) (class centers N(0,3), within-class
+// N(0,1)), the quantity Assign would derive from a materialized dataset.
+type scaleSource struct {
+	src  *datasets.KDDStream
+	gen  *uncgen.Generator
+	r    *rng.RNG
+	std  vec.Vector
+	next int
+}
+
+func newScaleSource(seed uint64) *scaleSource {
+	src := datasets.NewKDDStream(seed)
+	std := make(vec.Vector, src.Dims())
+	for j := range std {
+		std[j] = math.Sqrt(10)
+	}
+	return &scaleSource{
+		src: src,
+		gen: &uncgen.Generator{Model: uncgen.Normal},
+		r:   rng.New(seed ^ 0xdead),
+		std: std,
+	}
+}
+
+// take appends n fresh uncertain objects to dst and returns it.
+func (s *scaleSource) take(dst uncertain.Dataset, n int) uncertain.Dataset {
+	for i := 0; i < n; i++ {
+		p := make(vec.Vector, s.src.Dims())
+		label := s.src.Next(p)
+		dst = append(dst, uncertain.NewObject(s.next, s.gen.AssignPoint(p, s.std, s.r)).WithLabel(label))
+		s.next++
+	}
+	return dst
+}
+
+// Scale runs the streaming scalability experiment.
+func Scale(ctx context.Context, cfg ScaleConfig) (*ScaleResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ScaleResult{
+		N: cfg.N, K: cfg.K, BatchSize: cfg.BatchSize,
+		Subsample: cfg.Subsample, Workers: cfg.Workers,
+	}
+
+	sf, err := (&ucpc.StreamClusterer{Config: ucpc.StreamConfig{
+		BatchSize: cfg.BatchSize,
+		Workers:   cfg.Workers,
+		Seed:      cfg.Seed,
+	}}).Begin(ctx, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	src := newScaleSource(cfg.Seed)
+	chunk := make(uncertain.Dataset, 0, cfg.BatchSize)
+	var (
+		streamed       int
+		observe        time.Duration
+		residentAt100K int64
+		ms             runtime.MemStats
+	)
+	for streamed < cfg.N {
+		n := cfg.BatchSize
+		if rest := cfg.N - streamed; n > rest {
+			n = rest
+		}
+		chunk = src.take(chunk[:0], n)
+		t0 := time.Now()
+		if err := sf.Observe(ctx, chunk); err != nil {
+			return nil, err
+		}
+		observe += time.Since(t0)
+		streamed += n
+		if residentAt100K == 0 && streamed >= 100_000 {
+			residentAt100K = sf.ResidentBytes()
+		}
+		if sf.Batches()%16 == 1 || streamed == cfg.N {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > res.PeakHeapBytes {
+				res.PeakHeapBytes = ms.HeapAlloc
+			}
+			cfg.Progress("scale: %d/%d objects, %d batches, resident %d B, heap %d B",
+				streamed, cfg.N, sf.Batches(), sf.ResidentBytes(), ms.HeapAlloc)
+		}
+	}
+	res.Batches = sf.Batches()
+	res.StreamSeconds = observe.Seconds()
+	if res.StreamSeconds > 0 {
+		res.ObjectsPerSec = float64(cfg.N) / res.StreamSeconds
+	}
+	res.ResidentMomentBytes = sf.ResidentBytes()
+	if windows := (cfg.N - 100_000) / 100_000; windows > 0 && residentAt100K > 0 {
+		res.ResidentGrowthPer100K = (res.ResidentMomentBytes - residentAt100K) / int64(windows)
+	}
+
+	snap, err := sf.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	// Regenerate the stream's first Subsample objects (the source is
+	// deterministic) and score both models on them.
+	sub := newScaleSource(cfg.Seed).take(make(uncertain.Dataset, 0, cfg.Subsample), cfg.Subsample)
+	assign, err := snap.Assign(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	res.StreamQuality = eval.Quality(sub, ucpc.Partition{K: snap.K(), Assign: assign})
+
+	cfg.Progress("scale: batch UCPC-Lloyd reference fit on %d objects", len(sub))
+	t0 := time.Now()
+	batch, err := (&ucpc.Clusterer{Algorithm: "UCPC-Lloyd", Config: ucpc.Config{
+		Workers: cfg.Workers, Seed: cfg.Seed,
+	}}).Fit(ctx, sub, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	res.BatchSeconds = time.Since(t0).Seconds()
+	res.BatchQuality = eval.Quality(sub, batch.Partition())
+	return res, nil
+}
+
+// RenderScale formats the result for terminal output.
+func RenderScale(r *ScaleResult) string {
+	return fmt.Sprintf(`streaming scalability (-exp scale)
+  stream:     n=%d k=%d batch=%d workers=%d (%d mini-batches)
+  throughput: %.0f objects/sec (%.2fs inside Observe)
+  footprint:  resident moment store %d B (growth %d B per 100k objects), peak heap %d B
+  quality:    stream %.4f vs batch UCPC-Lloyd %.4f on %d-object subsample (batch fit %.2fs)
+`,
+		r.N, r.K, r.BatchSize, r.Workers, r.Batches,
+		r.ObjectsPerSec, r.StreamSeconds,
+		r.ResidentMomentBytes, r.ResidentGrowthPer100K, r.PeakHeapBytes,
+		r.StreamQuality, r.BatchQuality, r.Subsample, r.BatchSeconds)
+}
+
+// Check applies the streaming acceptance gates: the stream fit's subsample
+// quality must be within 5% of the batch fit's (one-sided — landing in a
+// *better* optimum passes), and the resident moment store must grow by at
+// most 64 MB per 100k-object window (in practice it does not grow at all:
+// the window is recycled).
+func (r *ScaleResult) Check() error {
+	if r.StreamQuality < r.BatchQuality-0.05*math.Abs(r.BatchQuality) {
+		return fmt.Errorf("scale: stream quality %.4f more than 5%% below batch quality %.4f",
+			r.StreamQuality, r.BatchQuality)
+	}
+	const limit = 64 << 20
+	if r.ResidentGrowthPer100K > limit {
+		return fmt.Errorf("scale: resident moment store grows %d B per 100k objects (limit %d)",
+			r.ResidentGrowthPer100K, int64(limit))
+	}
+	return nil
+}

@@ -18,9 +18,16 @@ import (
 // the assignment step trivially parallelizable: workers index disjoint row
 // ranges of immutable slices.
 //
-// A Moments view is immutable after construction and safe for concurrent
-// readers. Objects are immutable too (their moment caches are fixed at
-// construction), so a view never goes stale.
+// A Moments view built by MomentsOf is immutable after construction and
+// safe for concurrent readers. Objects are immutable too (their moment
+// caches are fixed at construction), so a view never goes stale.
+//
+// A store built by NewMoments is *growable*: Append adds rows and Reset
+// drops them while keeping the backing capacity, which is what the
+// mini-batch streaming engine (internal/stream) uses to recycle one
+// resident window across batches without per-batch allocations. A growable
+// store is owned by a single writer; it must not be mutated while another
+// goroutine reads it.
 type Moments struct {
 	n, m     int
 	mu       []float64 // n*m, row-major
@@ -35,6 +42,61 @@ type Moments struct {
 	muNorm2 []float64 // n, ‖µ(o_i)‖²
 	muNorm  []float64 // n, ‖µ(o_i)‖
 	mu2Tot  []float64 // n, Σ_j (µ₂)_j(o_i)
+}
+
+// NewMoments returns an empty, growable store for m-dimensional rows.
+func NewMoments(m int) *Moments {
+	if m <= 0 {
+		panic(fmt.Sprintf("uncertain: NewMoments with dim %d", m))
+	}
+	return &Moments{m: m}
+}
+
+// Append packs o's moment vectors as the store's next row and returns that
+// row's index. Rows keep their indices for the lifetime of the resident
+// window (until Reset); growth is amortized allocation-free once the
+// backing capacity has warmed up to the largest window seen.
+func (mo *Moments) Append(o *Object) int {
+	if o.Dims() != mo.m {
+		panic(fmt.Sprintf("uncertain: Append object with dim %d, want %d", o.Dims(), mo.m))
+	}
+	i := mo.n
+	mo.mu = append(mo.mu, o.mu...)
+	mo.mu2 = append(mo.mu2, o.mu2...)
+	mo.sigma2 = append(mo.sigma2, o.sigma2...)
+	mo.totalVar = append(mo.totalVar, o.totalVar)
+	var nrm2, m2t float64
+	for j := 0; j < mo.m; j++ {
+		nrm2 += o.mu[j] * o.mu[j]
+		m2t += o.mu2[j]
+	}
+	mo.muNorm2 = append(mo.muNorm2, nrm2)
+	mo.muNorm = append(mo.muNorm, math.Sqrt(nrm2))
+	mo.mu2Tot = append(mo.mu2Tot, m2t)
+	mo.n++
+	return i
+}
+
+// Reset drops every resident row while keeping the backing capacity, so the
+// next window's Appends reuse the same memory.
+func (mo *Moments) Reset() {
+	mo.n = 0
+	mo.mu = mo.mu[:0]
+	mo.mu2 = mo.mu2[:0]
+	mo.sigma2 = mo.sigma2[:0]
+	mo.totalVar = mo.totalVar[:0]
+	mo.muNorm2 = mo.muNorm2[:0]
+	mo.muNorm = mo.muNorm[:0]
+	mo.mu2Tot = mo.mu2Tot[:0]
+}
+
+// Bytes returns the resident footprint of the backing arrays (capacity, not
+// length) in bytes — the peak-RSS proxy the scale experiment reports for
+// the streaming moment store.
+func (mo *Moments) Bytes() int64 {
+	c := cap(mo.mu) + cap(mo.mu2) + cap(mo.sigma2) +
+		cap(mo.totalVar) + cap(mo.muNorm2) + cap(mo.muNorm) + cap(mo.mu2Tot)
+	return int64(c) * 8
 }
 
 // MomentsOf packs the moment vectors of every object of ds into a fresh

@@ -78,43 +78,59 @@ type PDFSet struct {
 	PDFs  [][]dist.Distribution // [point][dim]
 }
 
-// Assign builds the pdf f_w for every point of d, with µ(f_w) = w exactly.
-func (g *Generator) Assign(d *datasets.Deterministic, r *rng.RNG) *PDFSet {
-	mass := g.Mass
+// resolved returns the Mass and Intensity with defaults applied.
+func (g *Generator) resolved() (mass, intensity float64) {
+	mass = g.Mass
 	if mass == 0 {
 		mass = 0.95
 	}
-	intensity := g.Intensity
+	intensity = g.Intensity
 	if intensity == 0 {
 		intensity = 0.5
 	}
+	return mass, intensity
+}
+
+// Assign builds the pdf f_w for every point of d, with µ(f_w) = w exactly.
+func (g *Generator) Assign(d *datasets.Deterministic, r *rng.RNG) *PDFSet {
 	std := d.PerDimStd()
-	m := d.Dims()
 	set := &PDFSet{Model: g.Model, PDFs: make([][]dist.Distribution, len(d.Points))}
 	for i, p := range d.Points {
-		row := make([]dist.Distribution, m)
-		for j := 0; j < m; j++ {
-			scale := r.Uniform(0.1, 1.0) * intensity * std[j]
-			if scale <= 0 {
-				scale = 1e-6
-			}
-			switch g.Model {
-			case Uniform:
-				// Width so that the uniform's std is `scale`:
-				// std = width/√12.
-				row[j] = dist.NewUniformAround(p[j], scale*3.4641016151377544)
-			case Normal:
-				row[j] = dist.NewTruncNormalCentral(p[j], scale, mass)
-			case Exponential:
-				// Rate so the exponential's std 1/λ is `scale`.
-				row[j] = dist.NewTruncExponentialMass(p[j], 1/scale, mass)
-			default:
-				panic(fmt.Sprintf("uncgen: unknown model %d", g.Model))
-			}
-		}
-		set.PDFs[i] = row
+		set.PDFs[i] = g.AssignPoint(p, std, r)
 	}
 	return set
+}
+
+// AssignPoint builds the pdf row f_w for a single point, with µ(f_w) = w
+// exactly, scaling the random spread parameters by the given per-dimension
+// data spread std. This is the streaming entry point: chunk generators
+// (cmd/uncbench -exp scale) attach uncertainty record by record with a
+// known spread instead of materializing a whole Deterministic dataset for
+// PerDimStd. Assign is AssignPoint over every point, so the two paths draw
+// identical pdfs for identical RNG states.
+func (g *Generator) AssignPoint(p vec.Vector, std vec.Vector, r *rng.RNG) []dist.Distribution {
+	mass, intensity := g.resolved()
+	row := make([]dist.Distribution, len(p))
+	for j := range p {
+		scale := r.Uniform(0.1, 1.0) * intensity * std[j]
+		if scale <= 0 {
+			scale = 1e-6
+		}
+		switch g.Model {
+		case Uniform:
+			// Width so that the uniform's std is `scale`:
+			// std = width/√12.
+			row[j] = dist.NewUniformAround(p[j], scale*3.4641016151377544)
+		case Normal:
+			row[j] = dist.NewTruncNormalCentral(p[j], scale, mass)
+		case Exponential:
+			// Rate so the exponential's std 1/λ is `scale`.
+			row[j] = dist.NewTruncExponentialMass(p[j], 1/scale, mass)
+		default:
+			panic(fmt.Sprintf("uncgen: unknown model %d", g.Model))
+		}
+	}
+	return row
 }
 
 // Perturb produces the Case-1 dataset D′ by classic Monte Carlo sampling:

@@ -1,0 +1,167 @@
+package ucpc_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"ucpc"
+	"ucpc/internal/eval"
+)
+
+// Metamorphic invariance tests: known input transformations with known
+// output relations, checked across 4 algorithms × 2 seeds. Unlike golden
+// tests, these hold for *any* correct implementation, so they catch silent
+// structural bugs (index mix-ups, order dependence, stale statistics) that
+// value-level assertions cannot.
+//
+// The randomized initializations are order-dependent by construction (a
+// permuted dataset draws a different random partition), so the permutation
+// and duplication properties are checked through the warm-start path: both
+// runs start from the same fitted model's frozen centroids, whose
+// per-object assignment is order-covariant.
+
+var (
+	metamorphicAlgorithms = []string{"UCPC", "UCPC-Lloyd", "UKM", "MMV"}
+	metamorphicSeeds      = []uint64{3, 17}
+)
+
+// metamorphicBlobs builds 4 well-separated uncertain groups, n objects.
+func metamorphicBlobs(n int, seed uint64, shift []float64) ucpc.Dataset {
+	r := ucpc.NewRNG(seed)
+	ds := make(ucpc.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		g := i % 4
+		c := []float64{14 * float64(g%2), 14 * float64(g/2), 3 * float64(g)}
+		for j := range c {
+			c[j] += r.Normal(0, 0.7)
+			if shift != nil {
+				c[j] += shift[j]
+			}
+		}
+		o := ucpc.NewNormalObject(i, c, []float64{0.35, 0.35, 0.35}, 0.95)
+		o.Label = g
+		ds = append(ds, o)
+	}
+	return ds
+}
+
+// fitWarm fits alg on ds, then re-fits from the model's frozen centroids —
+// the deterministic, order-covariant trajectory the invariance checks need.
+func fitWarm(t *testing.T, alg string, seed uint64, ds ucpc.Dataset) (*ucpc.Model, *ucpc.Model) {
+	t.Helper()
+	ctx := context.Background()
+	cl := &ucpc.Clusterer{Algorithm: alg, Config: ucpc.Config{Seed: seed}}
+	base, err := cl.Fit(ctx, ds, 4)
+	if err != nil {
+		t.Fatalf("%s seed %d: fit: %v", alg, seed, err)
+	}
+	refit, err := cl.FitFrom(ctx, base, ds)
+	if err != nil {
+		t.Fatalf("%s seed %d: warm refit: %v", alg, seed, err)
+	}
+	return base, refit
+}
+
+func forEachCase(t *testing.T, body func(t *testing.T, alg string, seed uint64)) {
+	for _, alg := range metamorphicAlgorithms {
+		for _, seed := range metamorphicSeeds {
+			t.Run(fmt.Sprintf("%s/seed%d", alg, seed), func(t *testing.T) {
+				body(t, alg, seed)
+			})
+		}
+	}
+}
+
+// TestMetamorphicPermutationInvariance: reordering the objects must not
+// change the partition (up to cluster relabeling). Both runs warm-start
+// from the same fitted model, so the only difference is object order; the
+// adjusted Rand index between the two partitions (mapped back to the
+// original object identity) must be exactly 1.
+func TestMetamorphicPermutationInvariance(t *testing.T) {
+	ctx := context.Background()
+	forEachCase(t, func(t *testing.T, alg string, seed uint64) {
+		ds := metamorphicBlobs(240, seed, nil)
+		base, refit := fitWarm(t, alg, seed, ds)
+
+		perm := ucpc.NewRNG(seed + 1000).Perm(len(ds))
+		permuted := make(ucpc.Dataset, len(ds))
+		for i, p := range perm {
+			permuted[i] = ds[p]
+		}
+		cl := &ucpc.Clusterer{Algorithm: alg, Config: ucpc.Config{Seed: seed}}
+		refitP, err := cl.FitFrom(ctx, base, permuted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map the permuted run's assignment back to original object order.
+		labels := make([]int, len(ds))
+		for i, p := range perm {
+			labels[p] = refitP.Partition().Assign[i]
+		}
+		if ari := eval.AdjustedRandIndex(refit.Partition(), labels); math.Abs(ari-1) > 1e-12 {
+			t.Fatalf("ARI %v after permutation, want exactly 1", ari)
+		}
+	})
+}
+
+// TestMetamorphicTranslationInvariance: translating every object by a
+// constant vector leaves the UCPC/UKM/MMV objectives unchanged (they are
+// functions of centered moments only) and the partition identical up to
+// relabeling.
+func TestMetamorphicTranslationInvariance(t *testing.T) {
+	shift := []float64{250, -120, 75}
+	forEachCase(t, func(t *testing.T, alg string, seed uint64) {
+		ds := metamorphicBlobs(240, seed, nil)
+		dsT := metamorphicBlobs(240, seed, shift) // same draws, shifted centers
+		_, refit := fitWarm(t, alg, seed, ds)
+		_, refitT := fitWarm(t, alg, seed, dsT)
+
+		o1, o2 := refit.Report().Objective, refitT.Report().Objective
+		if rel := math.Abs(o1-o2) / (math.Abs(o1) + 1); rel > 1e-6 {
+			t.Fatalf("objective %v became %v under translation (rel %g)", o1, o2, rel)
+		}
+		if ari := eval.AdjustedRandIndex(refit.Partition(), refitT.Partition().Assign); math.Abs(ari-1) > 1e-12 {
+			t.Fatalf("ARI %v after translation, want exactly 1", ari)
+		}
+	})
+}
+
+// TestMetamorphicDuplicateConsistency: duplicated objects are
+// indistinguishable, so (a) a fitted model must assign both copies of every
+// object to the same cluster, and (b) re-fitting on the duplicated dataset
+// from that model must keep every duplicate pair co-assigned.
+func TestMetamorphicDuplicateConsistency(t *testing.T) {
+	ctx := context.Background()
+	forEachCase(t, func(t *testing.T, alg string, seed uint64) {
+		ds := metamorphicBlobs(240, seed, nil)
+		base, _ := fitWarm(t, alg, seed, ds)
+
+		dup := make(ucpc.Dataset, 0, 2*len(ds))
+		dup = append(dup, ds...)
+		dup = append(dup, ds...)
+
+		assign, err := base.Assign(ctx, dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ds {
+			if assign[i] != assign[i+len(ds)] {
+				t.Fatalf("serving path split duplicate %d: %d vs %d", i, assign[i], assign[i+len(ds)])
+			}
+		}
+
+		cl := &ucpc.Clusterer{Algorithm: alg, Config: ucpc.Config{Seed: seed}}
+		refitD, err := cl.FitFrom(ctx, base, dup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := refitD.Partition().Assign
+		for i := range ds {
+			if a[i] != a[i+len(ds)] {
+				t.Fatalf("refit split duplicate %d: %d vs %d", i, a[i], a[i+len(ds)])
+			}
+		}
+	})
+}
