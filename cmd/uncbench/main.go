@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|bench|scale|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|all [flags]
 //
 // Flags:
 //
@@ -43,6 +43,13 @@
 // performance trajectory:
 //
 //	uncbench -exp bench -json -out BENCH_PR5.json -check -baseline BENCH_PR4.json
+//
+// The kernel mode microbenchmarks the blocked flat kernels of internal/vec
+// against the scalar baselines they replaced (ns per moment-store row,
+// blocked and scalar passes interleaved in-process); with -json it emits
+// the artifact CI archives next to the pruning bench JSON:
+//
+//	uncbench -exp kernel -json -out KERNEL_PR6.json
 //
 // The scale mode measures the out-of-core streaming path (StreamClusterer):
 // it fits a KDD-shaped uncertain stream in mini-batches — one batch of
@@ -279,10 +286,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err := json.Unmarshal(raw, &base); err != nil {
 				return fail("baseline %s: %v", *baseline, err)
 			}
-			if err := res.CompareBaseline(&base, 0.10); err != nil {
+			notice, err := res.CompareBaseline(&base, 0.10)
+			if err != nil {
 				fmt.Fprintf(stderr, "uncbench: %v (baseline %s)\n", err, *baseline)
 				return 3
 			}
+			if notice != "" {
+				fmt.Fprintf(stderr, "uncbench: %s (baseline %s)\n", notice, *baseline)
+			}
+		}
+		return 0
+	}
+
+	runKernel := func() int {
+		res := experiments.KernelBench(experiments.KernelBenchConfig{Seed: *seed})
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("kernel: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderKernelBench(res))
 		}
 		return 0
 	}
@@ -325,6 +351,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = runFig5()
 	case "bench":
 		status = runBench()
+	case "kernel":
+		status = runKernel()
 	case "scale":
 		status = runScale()
 	case "all":
@@ -334,7 +362,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	default:
-		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, scale, all)\n", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, all)\n", *exp)
 		return 2
 	}
 	if status != 0 && status != 3 {

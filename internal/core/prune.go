@@ -22,17 +22,51 @@ import (
 //
 //     over centroids c, where y_c is a point and v_c an additive
 //     per-centroid variance term (Lemma 3 / eq. 8 decompose ÊD and ED this
-//     way). Because the µ-part is a genuine Euclidean distance, Hamerly-
-//     style triangle-inequality bounds on ‖µ(o) − y_c‖ remain *exact*:
-//     per-object upper/lower bounds relaxed by centroid drift, an
-//     inter-centroid half-distance filter, and a per-block bounding-box
-//     (vec.Box) min/max filter for the first pass, when no bounds exist yet.
+//     way). Because the µ-part is a genuine Euclidean distance, triangle-
+//     inequality bounds on ‖µ(o) − y_c‖ remain *exact*. Two bound regimes
+//     are layered on that observation:
+//
+//     Elkan mode (the default; requires an n×k bound table within
+//     elkanPairsMax entries): one upper bound per object plus one lower
+//     bound per (object, centroid) pair, each relaxed by that centroid's
+//     cumulative drift, combined with the Hamerly global half-gap test and
+//     the moving inter-centroid filter. Per-pair bounds survive centroid
+//     moves individually, so a centroid that drifted far cannot wipe out
+//     the bounds against the k−1 centroids that barely moved — which is
+//     precisely what the previous single-lower-bound filter did, and why
+//     it pruned ~1% on algorithms whose centroids jump early.
+//
+//     Hamerly fallback (tables larger than elkanPairsMax): the previous
+//     scheme — per-object upper/lower bounds with the lower bound shared
+//     across all non-assigned centroids, relaxed by the maximum drift.
+//
+//     Both regimes bootstrap from a per-block bounding-box (vec.Box)
+//     min/max filter on the first pass, when no bounds exist yet.
+//
+//   - On top of the bounds, candidates that still need O(m) work are first
+//     scored through the reduced (CK-means) form of the distance,
+//     ‖µ(o)‖² − 2·µ(o)·y_c + ‖y_c‖², using the moment store's precomputed
+//     ‖µ‖² row norms and the per-iteration ‖y_c‖² Gram diagonal (the
+//     König–Huygens decomposition: the per-object spread constant is the
+//     same for every centroid, so it cannot change the argmin). The
+//     reduced value equals the direct kernel distance up to a rounding
+//     margin proportional to the moment scale; candidates that lose by
+//     more than that margin are discarded — and still refresh their Elkan
+//     bound — without ever running the subtract-square scan. Decisions are
+//     only ever made from the direct vec.SqDistBlock value, so the reduced
+//     filter can disable a skip but never flip a comparison.
 //
 // Every skip test subtracts a relative slack (pruneSlack) so that the few-
 // ulp rounding of the bound arithmetic can never flip a comparison that the
 // exhaustive scan would decide the other way; the slack only *disables*
 // borderline skips, so pruned and unpruned runs produce byte-identical
 // partitions (asserted by the cross-check tests for every algorithm).
+//
+// Counter conservation: every (object, centroid) pair of every pass is
+// counted exactly once, as either pruned (decided without an O(m) row scan)
+// or scanned (an O(m) row evaluation ran, direct or reduced), so
+// pruned + scanned == n·k·passes on every code path. Block-level box skips
+// and whole-object bound skips credit every pair they cover.
 
 const (
 	// pruneBlock is the number of consecutive moment-store rows covered by
@@ -46,6 +80,11 @@ const (
 	// essentially no pruning while making skips robust to the bound
 	// arithmetic's own rounding.
 	pruneSlack = 1e-9
+	// elkanPairsMax caps the per-(object, centroid) lower-bound table at
+	// 512 MiB of float64 (mirroring the relocation engine's dot-cache
+	// budget). Larger problems fall back to the shared-lower-bound Hamerly
+	// pass, which needs only O(n) state.
+	elkanPairsMax = 1 << 26
 )
 
 // Assigner performs exact pruned nearest-centroid assignment over a flat
@@ -74,6 +113,7 @@ type Assigner struct {
 	maxDrift float64
 	half     []float64 // k, half distance to the nearest other centroid
 	cdist    []float64 // k*k, inter-centroid Euclidean distances
+	cNorm2   []float64 // k, ‖y_c‖² Gram diagonal for the reduced form
 
 	addMin, addMin2 float64 // smallest and second-smallest v_c
 	addMinIdx       int
@@ -81,12 +121,23 @@ type Assigner struct {
 	upper, lower []float64 // n, per-object Euclidean bounds
 	ready        bool      // bounds initialized by a first pass
 
+	// Elkan state: lb[i*k+c] stores a lower bound on ‖µ(o_i) − y_c‖ in
+	// "absolute decay" form — the bound plus driftTot[c] at write time, so
+	// the current bound is lb[i*k+c] − driftTot[c] with no per-entry
+	// timestamps. driftTot[c] is centroid c's cumulative drift since the
+	// bounds were (re)seeded; it is reset only on Rebind, when the next
+	// first pass rewrites every entry anyway.
+	full     bool // per-pair bound table in use (n*k within elkanPairsMax)
+	lb       []float64
+	driftTot []float64
+	reduced  bool // score survivors through the König–Huygens form first
+
 	boxes        []vec.Box // per-block bounding boxes over the µ rows
 	boxLo, boxHi []float64 // flat nb*m backing for the box corners, reused
 	// across Rebind calls so per-batch rebuilds do
 	// not allocate once capacity has warmed up
 
-	// First-pass scratch pool: firstChunk needs four k-sized slices per
+	// First-pass scratch pool: firstChunk needs a few k-sized slices per
 	// concurrent chunk body. ParallelAny runs at most `workers` chunk
 	// bodies per pass, so Assign sizes the pool to the worker count and
 	// each body claims a distinct slot through scratchNext — allocation-
@@ -109,6 +160,7 @@ type Assigner struct {
 	exhaustBody func(lo, hi int) bool
 	firstBody   func(lo, hi int) bool
 	boundedBody func(lo, hi int) bool
+	elkanBody   func(lo, hi int) bool
 }
 
 // NewAssigner builds an assignment engine for k centroids over mom. When
@@ -129,8 +181,15 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 		a.drift = make([]float64, k)
 		a.half = make([]float64, k)
 		a.cdist = make([]float64, k*k)
+		a.cNorm2 = make([]float64, k)
+		a.driftTot = make([]float64, k)
 		a.upper = make([]float64, n)
 		a.lower = make([]float64, n)
+		a.full = k > 0 && n <= elkanPairsMax/k
+		if a.full {
+			a.lb = make([]float64, n*k)
+		}
+		a.reduced = reducedDefault
 		a.rebuildBoxes()
 	}
 	// Bind the chunk bodies once; each bind allocates a method value here
@@ -138,6 +197,7 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 	a.exhaustBody = a.exhaustChunk
 	a.firstBody = a.firstChunk
 	a.boundedBody = a.boundedChunk
+	a.elkanBody = a.elkanChunk
 	return a
 }
 
@@ -146,8 +206,9 @@ func NewAssigner(mom *uncertain.Moments, k int, enabled bool) *Assigner {
 type firstScratch struct {
 	minD  []float64 // block lower bound on D per centroid
 	eMin  []float64 // block lower bound on ‖µ(o)−y_c‖²
+	eMinR []float64 // √eMin for the box-pruned centroids (Elkan seeds)
 	cand  []int     // surviving centroids
-	candR []float64 // exact Euclidean distance per candidate
+	candR []float64 // Euclidean distance (or lower bound) per candidate
 }
 
 // growFloats returns s resliced to length n, reusing capacity and
@@ -200,10 +261,10 @@ func (a *Assigner) rebuildBoxes() {
 // Moments store changed — grew, shrank, or was refilled with a fresh
 // window of rows (the streaming mini-batch path recycles one resident
 // store across batches). All cross-pass memory is discarded: the next
-// Assign is a first pass again, with bounds and first-pass boxes rebuilt
-// over the current rows. Every backing array is reused, so a steady-state
-// Rebind+SetCenters+Assign cycle performs no heap allocations once
-// capacities have warmed up to the largest window seen.
+// Assign is a first pass again, with bounds, Elkan tables, and first-pass
+// boxes rebuilt over the current rows. Every backing array is reused, so a
+// steady-state Rebind+SetCenters+Assign cycle performs no heap allocations
+// once capacities have warmed up to the largest window seen.
 func (a *Assigner) Rebind() {
 	a.hasPrev = false
 	a.passes = 0
@@ -214,6 +275,15 @@ func (a *Assigner) Rebind() {
 	n := a.mom.Len()
 	a.upper = growFloats(a.upper, n)
 	a.lower = growFloats(a.lower, n)
+	a.full = a.k > 0 && n <= elkanPairsMax/a.k
+	if a.full {
+		// No zeroing needed: the next first pass rewrites every (i,c)
+		// entry, and driftTot restarts with it.
+		a.lb = growFloats(a.lb, n*a.k)
+	}
+	for c := range a.driftTot {
+		a.driftTot[c] = 0
+	}
 	a.ready = false
 	a.rebuildBoxes()
 }
@@ -224,6 +294,7 @@ func (a *Assigner) ensureScratch(need int) {
 		a.scratchPool = append(a.scratchPool, firstScratch{
 			minD:  make([]float64, a.k),
 			eMin:  make([]float64, a.k),
+			eMinR: make([]float64, a.k),
 			cand:  make([]int, 0, a.k),
 			candR: make([]float64, a.k),
 		})
@@ -260,7 +331,9 @@ func (a *Assigner) setCenters(fill func(dst []float64), add []float64) {
 		return
 	}
 	// Per-centroid drift since the previous positions (upper bounds grow by
-	// the own centroid's drift, lower bounds shrink by the largest drift).
+	// the own centroid's drift, per-pair lower bounds shrink by that
+	// centroid's cumulative drift, the shared fallback lower bound by the
+	// largest drift). cNorm2 feeds the reduced-form scoring.
 	a.maxDrift = 0
 	for c := 0; c < a.k; c++ {
 		d := 0.0
@@ -271,6 +344,8 @@ func (a *Assigner) setCenters(fill func(dst []float64), add []float64) {
 		if d > a.maxDrift {
 			a.maxDrift = d
 		}
+		a.driftTot[c] += d
+		a.cNorm2[c] = vec.SqNormBlock(a.centers[c*a.m : (c+1)*a.m])
 	}
 	a.hasPrev = true
 	// Inter-centroid distances and half-gaps (O(k²m); k ≪ n).
@@ -307,41 +382,27 @@ func (a *Assigner) setCenters(fill func(dst []float64), add []float64) {
 // rowDist2 returns the squared Euclidean distance between row c of two flat
 // k*m stores.
 func rowDist2(x, y []float64, c, m int) float64 {
-	var s float64
-	for j := c * m; j < (c+1)*m; j++ {
-		d := x[j] - y[j]
-		s += d * d
-	}
-	return s
+	return vec.SqDistBlock(x[c*m:(c+1)*m], y[c*m:(c+1)*m])
 }
 
 // centerDist2 returns the squared Euclidean distance between rows c and o
 // of one flat store.
 func centerDist2(x []float64, c, o, m int) float64 {
-	a, b := x[c*m:(c+1)*m], x[o*m:(o+1)*m]
-	var s float64
-	for j := range a {
-		d := a[j] - b[j]
-		s += d * d
-	}
-	return s
+	return vec.SqDistBlock(x[c*m:(c+1)*m], x[o*m:(o+1)*m])
 }
 
-// dist2 returns ‖µ(o_i) − y_c‖².
+// dist2 returns ‖µ(o_i) − y_c‖². All decision paths — exhaustive, first
+// pass, Hamerly, Elkan — funnel through the same blocked kernel, so its
+// reassociated rounding is identical everywhere and cannot break the
+// byte-identity between pruned and unpruned runs.
 func (a *Assigner) dist2(i, c int) float64 {
-	mu := a.mom.Mu(i)
-	row := a.centers[c*a.m : (c+1)*a.m]
-	var s float64
-	for j, v := range mu {
-		d := v - row[j]
-		s += d * d
-	}
-	return s
+	return vec.SqDistBlock(a.mom.Mu(i), a.centers[c*a.m:(c+1)*a.m])
 }
 
 // Invalidate discards object i's bounds after an external reassignment
 // (e.g. an empty-cluster reseed moved the object), forcing the next pass to
-// evaluate it from scratch.
+// evaluate it from scratch. The per-pair Elkan bounds stay: they bound
+// ‖µ(o_i) − y_c‖ regardless of which cluster the object sits in.
 func (a *Assigner) Invalidate(i int) {
 	if a.enabled && a.ready {
 		a.upper[i] = math.Inf(1)
@@ -353,6 +414,33 @@ func (a *Assigner) Invalidate(i int) {
 func (a *Assigner) Counters() (pruned, scanned int64) {
 	return atomic.LoadInt64(&a.pruned), atomic.LoadInt64(&a.scanned)
 }
+
+// Passes returns the number of Assign passes run since construction (or the
+// last Rebind), for counter-conservation checks: pruned + scanned always
+// equals n·k·Passes().
+func (a *Assigner) Passes() int { return a.passes }
+
+// reducedDefault is the package-wide default for the König–Huygens
+// reduced-form pre-filter of newly built Assigners. It exists so the
+// exactness suite can run entire algorithms — which construct their
+// Assigners internally — with the filter disabled and prove the filter is
+// decision-neutral.
+var reducedDefault = true
+
+// SetReducedDefault sets whether new Assigners start with the reduced-form
+// pre-filter active and returns the previous default. Not safe to flip
+// concurrently with running algorithms; intended for tests and ablation
+// harnesses.
+func SetReducedDefault(on bool) (prev bool) {
+	prev = reducedDefault
+	reducedDefault = on
+	return prev
+}
+
+// SetReduced toggles the König–Huygens reduced-form pre-filter (on by
+// default when pruning is enabled); the exactness tests flip it to prove
+// reduced-on and reduced-off runs are byte-identical.
+func (a *Assigner) SetReduced(on bool) { a.reduced = on && a.enabled }
 
 // Assign reassigns every object to its nearest centroid under the current
 // SetCenters state, fanning over the worker pool, and reports whether any
@@ -371,6 +459,8 @@ func (a *Assigner) Assign(assign []int, workers int) bool {
 		atomic.StoreInt32(&a.scratchNext, 0)
 		changed = clustering.ParallelAny(len(a.boxes), workers, a.firstBody)
 		a.ready = true
+	case a.full:
+		changed = clustering.ParallelAny(a.mom.Len(), workers, a.elkanBody)
 	default:
 		changed = clustering.ParallelAny(a.mom.Len(), workers, a.boundedBody)
 	}
@@ -428,23 +518,30 @@ func (a *Assigner) exhaustChunk(lo, hi int) bool {
 // firstChunk initializes the per-object bounds with a per-block bounding-
 // box filter: centroids whose minimum possible D over the whole block
 // exceeds the block's best guaranteed D cannot win for any member and are
-// skipped. Its per-chunk scratch (needed for worker independence) comes
-// from the preallocated pool: ParallelAny runs at most Workers(workers)
-// chunk bodies per pass, so claiming slots through an atomic counter hands
-// every body a distinct slot without allocating.
+// skipped (their pairs are counted as pruned for every member). Surviving
+// candidates are scored through the reduced form first when it applies;
+// candidates that clearly lose keep the reduced-form value as their
+// Euclidean lower bound instead of an exact distance — sufficient for
+// bound seeding, and never consulted for the argmin. In Elkan mode the
+// full lb row of every object is seeded here: box-pruned centroids get the
+// block's box bound, survivors their per-object value. Its per-chunk
+// scratch (needed for worker independence) comes from the preallocated
+// pool: ParallelAny runs at most Workers(workers) chunk bodies per pass,
+// so claiming slots through an atomic counter hands every body a distinct
+// slot without allocating.
 func (a *Assigner) firstChunk(blo, bhi int) bool {
 	assign := a.curAssign
-	n, k := a.mom.Len(), a.k
+	n, k, m := a.mom.Len(), a.k, a.m
 	ch := false
 	var pruned, scanned int64
 	sc := &a.scratchPool[atomic.AddInt32(&a.scratchNext, 1)-1]
-	minD, eMin, candR := sc.minD, sc.eMin, sc.candR
+	minD, eMin, eMinR, candR := sc.minD, sc.eMin, sc.eMinR, sc.candR
 	cand := sc.cand[:0]
 	for b := blo; b < bhi; b++ {
 		box := a.boxes[b]
 		bestMax := math.Inf(1)
 		for c := 0; c < k; c++ {
-			row := vec.Vector(a.centers[c*a.m : (c+1)*a.m])
+			row := vec.Vector(a.centers[c*m : (c+1)*m])
 			e := box.MinSqDist(row)
 			eMin[c] = e
 			minD[c] = e + a.add[c]
@@ -458,8 +555,13 @@ func (a *Assigner) firstChunk(blo, bhi int) bool {
 		for c := 0; c < k; c++ {
 			if minD[c] <= thresh {
 				cand = append(cand, c)
-			} else if s := math.Sqrt(eMin[c]); s < prunedLB {
-				prunedLB = s
+				eMinR[c] = 0
+			} else {
+				s := math.Sqrt(eMin[c])
+				eMinR[c] = s
+				if s < prunedLB {
+					prunedLB = s
+				}
 			}
 		}
 		lo, hi := b*pruneBlock, (b+1)*pruneBlock
@@ -469,10 +571,27 @@ func (a *Assigner) firstChunk(blo, bhi int) bool {
 		pruned += int64(hi-lo) * int64(k-len(cand))
 		scanned += int64(hi-lo) * int64(len(cand))
 		for i := lo; i < hi; i++ {
+			mu := a.mom.Mu(i)
+			mun2 := a.mom.MuNorm2(i)
 			bestCi := 0
 			bestD := math.Inf(1)
 			for ci, c := range cand {
-				r2 := a.dist2(i, c)
+				row := a.centers[c*m : (c+1)*m]
+				if a.reduced && !math.IsInf(bestD, 1) {
+					// Reduced-form pre-filter; see elkanChunk for the
+					// soundness margin.
+					dred := mun2 - 2*vec.DotBlock(mu, row) + a.cNorm2[c]
+					margin := pruneSlack * (mun2 + a.cNorm2[c] + math.Abs(bestD) + 1)
+					if dred+a.add[c]-margin >= bestD {
+						if r2 := dred - margin; r2 > 0 {
+							candR[ci] = math.Sqrt(r2)
+						} else {
+							candR[ci] = 0
+						}
+						continue
+					}
+				}
+				r2 := vec.SqDistBlock(mu, row)
 				candR[ci] = math.Sqrt(r2)
 				if d := r2 + a.add[c]; d < bestD {
 					bestCi, bestD = ci, d
@@ -486,6 +605,15 @@ func (a *Assigner) firstChunk(blo, bhi int) bool {
 			}
 			a.upper[i] = candR[bestCi]
 			a.lower[i] = lower
+			if a.full {
+				base := i * k
+				for c := 0; c < k; c++ {
+					a.lb[base+c] = eMinR[c] + a.driftTot[c]
+				}
+				for ci, c := range cand {
+					a.lb[base+c] = candR[ci] + a.driftTot[c]
+				}
+			}
 			if best := cand[bestCi]; assign[i] != best {
 				assign[i] = best
 				ch = true
@@ -497,10 +625,138 @@ func (a *Assigner) firstChunk(blo, bhi int) bool {
 	return ch
 }
 
-// boundedChunk is the steady-state Hamerly-style pass: relax the stored
-// bounds by the centroid drift, skip objects whose assigned centroid
-// provably still wins, and fall back to a filtered exhaustive scan
-// otherwise.
+// elkanChunk is the steady-state full-bound pass: per-object upper bound,
+// per-(object, centroid) lower bounds decayed by each centroid's own
+// cumulative drift, the Hamerly global half-gap test for whole-object
+// skips, the moving inter-centroid filter, and the reduced-form pre-filter
+// on whatever survives. Every exact or reduced evaluation refreshes the
+// corresponding lb entry, so bounds tighten as a side effect of the scans
+// the bounds failed to prevent.
+func (a *Assigner) elkanChunk(lo, hi int) bool {
+	assign := a.curAssign
+	k, m := a.k, a.m
+	ch := false
+	var pruned, scanned int64
+	for i := lo; i < hi; i++ {
+		cur := assign[i]
+		u := a.upper[i] + a.drift[cur]
+		l := a.lower[i] - a.maxDrift
+		if l < 0 {
+			l = 0
+		}
+		a.upper[i], a.lower[i] = u, l
+		va := a.add[cur]
+		vOther := a.addMin
+		if cur == a.addMinIdx {
+			vOther = a.addMin2
+		}
+		// Whole-object skip from the cached upper bound: z lower-bounds
+		// every other centroid's Euclidean distance via the relaxed shared
+		// lower bound or the half-gap bound r_c ≥ 2·half[cur] − r_cur.
+		z := l
+		if hg := 2*a.half[cur] - u; hg > z {
+			z = hg
+		}
+		da := u*u + va
+		do := z*z + vOther
+		if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+			pruned += int64(k)
+			continue
+		}
+		// Tighten the upper bound to the exact distance (refreshing the
+		// assigned centroid's own lb entry) and re-test.
+		base := i * k
+		mu := a.mom.Mu(i)
+		ra := math.Sqrt(vec.SqDistBlock(mu, a.centers[cur*m:(cur+1)*m]))
+		u = ra
+		a.upper[i] = u
+		a.lb[base+cur] = ra + a.driftTot[cur]
+		scanned++
+		if hg := 2*a.half[cur] - u; hg > z {
+			z = hg
+		}
+		da = u*u + va
+		do = z*z + vOther
+		if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
+			pruned += int64(k - 1)
+			continue
+		}
+		// Per-candidate Elkan pass (sticky rule: strict improvement only).
+		// Each candidate's lower bound is the better of its decayed lb
+		// entry and the moving inter-centroid bound cdist(best, c) − r_best.
+		best, bestD, bestR := cur, u*u+va, u
+		mun2 := a.mom.MuNorm2(i)
+		minOther := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == cur {
+				continue
+			}
+			lbc := a.lb[base+c] - a.driftTot[c]
+			if hg := a.cdist[best*k+c] - bestR; hg > lbc {
+				lbc = hg
+			}
+			if lbc > 0 {
+				if d := lbc*lbc + a.add[c]; d-pruneSlack*(math.Abs(d)+math.Abs(bestD)+1) >= bestD {
+					if lbc < minOther {
+						minOther = lbc
+					}
+					pruned++
+					continue
+				}
+			}
+			row := a.centers[c*m : (c+1)*m]
+			scanned++
+			if a.reduced {
+				// Reduced (König–Huygens) form as a pre-filter. The margin
+				// dominates the ‖µ‖²−2µ·y+‖y‖² cancellation error (a few
+				// hundred ulps of the moment scale for any realistic m), so
+				// a candidate it discards can never beat bestD under the
+				// direct kernel — and dred − margin under-estimates r², so
+				// its root is a sound Elkan bound refresh.
+				dred := mun2 - 2*vec.DotBlock(mu, row) + a.cNorm2[c]
+				margin := pruneSlack * (mun2 + a.cNorm2[c] + math.Abs(bestD) + 1)
+				if dred+a.add[c]-margin >= bestD {
+					lbr := 0.0
+					if r2 := dred - margin; r2 > 0 {
+						lbr = math.Sqrt(r2)
+					}
+					if lbr+a.driftTot[c] > a.lb[base+c] {
+						a.lb[base+c] = lbr + a.driftTot[c]
+					}
+					if lbr < minOther {
+						minOther = lbr
+					}
+					continue
+				}
+			}
+			r2 := vec.SqDistBlock(mu, row)
+			r := math.Sqrt(r2)
+			a.lb[base+c] = r + a.driftTot[c]
+			if d := r2 + a.add[c]; d < bestD {
+				if bestR < minOther {
+					minOther = bestR
+				}
+				best, bestD, bestR = c, d, r
+			} else if r < minOther {
+				minOther = r
+			}
+		}
+		a.upper[i] = bestR
+		a.lower[i] = minOther
+		if assign[i] != best {
+			assign[i] = best
+			ch = true
+		}
+	}
+	atomic.AddInt64(&a.pruned, pruned)
+	atomic.AddInt64(&a.scanned, scanned)
+	return ch
+}
+
+// boundedChunk is the Hamerly-style fallback for problems whose n×k bound
+// table would exceed elkanPairsMax: relax the stored per-object bounds by
+// the centroid drift, skip objects whose assigned centroid provably still
+// wins, and fall back to a filtered exhaustive scan otherwise.
 func (a *Assigner) boundedChunk(lo, hi int) bool {
 	assign := a.curAssign
 	k := a.k
@@ -529,7 +785,9 @@ func (a *Assigner) boundedChunk(lo, hi int) bool {
 		da := u*u + va
 		do := z*z + vOther
 		if da+pruneSlack*(math.Abs(da)+math.Abs(do)+1) <= do {
-			pruned += int64(k - 1)
+			// The whole object is decided without any row scan: all k
+			// pairs — the assigned centroid's included — count as pruned.
+			pruned += int64(k)
 			continue
 		}
 		// Tighten the upper bound to the exact distance and re-test.

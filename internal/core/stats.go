@@ -64,10 +64,15 @@ func (s *Stats) Add(o *uncertain.Object) {
 // relocation loops use against a Moments store, so the update streams
 // through four flat slices with no pointer chasing.
 func (s *Stats) AddRow(mu, m2, sig []float64) {
-	for j := 0; j < s.m; j++ {
-		s.psi[j] += sig[j]
-		s.phi[j] += m2[j]
-		s.sum[j] += mu[j]
+	// Local re-slices let the compiler keep the slice headers in registers
+	// and drop the per-element bounds checks (it cannot prove the element
+	// stores don't alias the headers through the receiver).
+	psi, phi, sum := s.psi[:s.m], s.phi[:s.m], s.sum[:s.m]
+	mu, m2, sig = mu[:s.m], m2[:s.m], sig[:s.m]
+	for j := range sum {
+		psi[j] += sig[j]
+		phi[j] += m2[j]
+		sum[j] += mu[j]
 	}
 	s.size++
 }
@@ -82,10 +87,12 @@ func (s *Stats) RemoveRow(mu, m2, sig []float64) {
 	if s.size == 0 {
 		panic("core: Remove from empty cluster")
 	}
-	for j := 0; j < s.m; j++ {
-		s.psi[j] -= sig[j]
-		s.phi[j] -= m2[j]
-		s.sum[j] -= mu[j]
+	psi, phi, sum := s.psi[:s.m], s.phi[:s.m], s.sum[:s.m]
+	mu, m2, sig = mu[:s.m], m2[:s.m], sig[:s.m]
+	for j := range sum {
+		psi[j] -= sig[j]
+		phi[j] -= m2[j]
+		sum[j] -= mu[j]
 	}
 	s.size--
 	if s.size == 0 {

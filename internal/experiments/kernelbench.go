@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ucpc/internal/rng"
+	"ucpc/internal/vec"
+)
+
+// This file implements the `-exp kernel` microbench: the blocked flat
+// kernels of internal/vec (DotBlock, SqDistBlock, SqNormBlock, DotRows)
+// against the scalar vec.Dot/SqDist/SqNorm baselines they replaced in the
+// hot loops, reported as ns per moment-store row. The measurement follows
+// the same discipline as the pruning bench: blocked and scalar passes are
+// interleaved rep by rep within one process and each side keeps its
+// minimum, so slow-clock drift between invocations cannot land on one side
+// of a ratio.
+
+// KernelBenchConfig parameterizes the kernel microbench.
+type KernelBenchConfig struct {
+	// M is the row dimensionality (default 42, the standard bench's m).
+	M int
+	// Rows is the number of rows per timed pass (default 4096).
+	Rows int
+	// Reps is the number of interleaved measurement pairs (default 9).
+	Reps int
+	// Seed drives the deterministic row contents (default 1).
+	Seed uint64
+}
+
+// KernelBenchRow is one kernel's blocked-vs-scalar measurement.
+type KernelBenchRow struct {
+	// Kernel names the blocked entry point measured.
+	Kernel string `json:"kernel"`
+	// BlockedNsPerRow is the blocked kernel's cost per row (min over reps).
+	BlockedNsPerRow float64 `json:"blocked_ns_per_row"`
+	// ScalarNsPerRow is the scalar baseline's cost per row (min over reps).
+	ScalarNsPerRow float64 `json:"scalar_ns_per_row"`
+	// Speedup is ScalarNsPerRow / BlockedNsPerRow.
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelBenchResult is the `-exp kernel` artifact CI archives next to the
+// pruning bench JSON; the host header fields make cross-run comparisons
+// interpretable.
+type KernelBenchResult struct {
+	M    int `json:"m"`
+	Rows int `json:"rows"`
+	Reps int `json:"reps"`
+
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOAMD64       string `json:"goamd64,omitempty"`
+	CPUModel      string `json:"cpu_model,omitempty"`
+	KernelVariant string `json:"kernel_variant"`
+
+	Table []KernelBenchRow `json:"kernels"`
+}
+
+// kernelSink keeps the timed loops' results observable so the compiler
+// cannot discard them.
+var kernelSink float64
+
+// KernelBench measures the blocked vec kernels against their scalar
+// baselines on row-major slabs shaped like the standard bench's moment
+// store.
+func KernelBench(cfg KernelBenchConfig) *KernelBenchResult {
+	m := cfg.M
+	if m <= 0 {
+		m = 42
+	}
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = 4096
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 9
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	r := rng.New(seed)
+	a := make([]float64, rows*m)
+	b := make([]float64, rows*m)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	// DotRows streams one x row against k contiguous rows; use the standard
+	// bench's k=16 and report per scored row.
+	const k = 16
+	dst := make([]float64, k)
+
+	type pair struct {
+		name            string
+		blocked, scalar func() float64
+	}
+	pairs := []pair{
+		{"DotBlock", func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.DotBlock(a[i*m:(i+1)*m], b[i*m:(i+1)*m])
+			}
+			return s
+		}, func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.Dot(a[i*m:(i+1)*m], b[i*m:(i+1)*m])
+			}
+			return s
+		}},
+		{"SqDistBlock", func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.SqDistBlock(a[i*m:(i+1)*m], b[i*m:(i+1)*m])
+			}
+			return s
+		}, func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.SqDist(a[i*m:(i+1)*m], b[i*m:(i+1)*m])
+			}
+			return s
+		}},
+		{"SqNormBlock", func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.SqNormBlock(a[i*m : (i+1)*m])
+			}
+			return s
+		}, func() float64 {
+			var s float64
+			for i := 0; i < rows; i++ {
+				s += vec.SqNorm(a[i*m : (i+1)*m])
+			}
+			return s
+		}},
+		{"DotRows", func() float64 {
+			var s float64
+			for i := 0; i+k <= rows; i += k {
+				vec.DotRows(dst, a[i*m:(i+1)*m], b[i*m:(i+k)*m], m)
+				s += dst[0] + dst[k-1]
+			}
+			return s
+		}, func() float64 {
+			var s float64
+			for i := 0; i+k <= rows; i += k {
+				x := a[i*m : (i+1)*m]
+				for c := 0; c < k; c++ {
+					dst[c] = vec.Dot(x, b[(i+c)*m:(i+c+1)*m])
+				}
+				s += dst[0] + dst[k-1]
+			}
+			return s
+		}},
+	}
+
+	res := &KernelBenchResult{
+		M: m, Rows: rows, Reps: reps,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GOAMD64:       buildGOAMD64(),
+		CPUModel:      hostCPUModel(),
+		KernelVariant: vec.KernelVariant,
+	}
+	for _, p := range pairs {
+		// Warm both paths once so first-touch effects hit neither side.
+		kernelSink += p.blocked() + p.scalar()
+		var bBest, sBest time.Duration
+		for rep := 0; rep < reps; rep++ {
+			order := []func() float64{p.blocked, p.scalar}
+			first := &bBest
+			second := &sBest
+			if rep%2 == 1 {
+				order[0], order[1] = order[1], order[0]
+				first, second = second, first
+			}
+			t0 := time.Now()
+			kernelSink += order[0]()
+			d0 := time.Since(t0)
+			t1 := time.Now()
+			kernelSink += order[1]()
+			d1 := time.Since(t1)
+			if *first == 0 || d0 < *first {
+				*first = d0
+			}
+			if *second == 0 || d1 < *second {
+				*second = d1
+			}
+		}
+		bNs := float64(bBest.Nanoseconds()) / float64(rows)
+		sNs := float64(sBest.Nanoseconds()) / float64(rows)
+		res.Table = append(res.Table, KernelBenchRow{
+			Kernel:          p.name,
+			BlockedNsPerRow: bNs,
+			ScalarNsPerRow:  sNs,
+			Speedup:         sNs / bNs,
+		})
+	}
+	return res
+}
+
+// RenderKernelBench formats the microbench as an aligned text table.
+func RenderKernelBench(r *KernelBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Flat-kernel microbench (m=%d, %d rows/pass, min over %d interleaved pairs)\n",
+		r.M, r.Rows, r.Reps)
+	fmt.Fprintf(&b, "host: %s/%s GOAMD64=%s kernels=%s cpu=%q\n\n",
+		r.GOOS, r.GOARCH, r.GOAMD64, r.KernelVariant, r.CPUModel)
+	fmt.Fprintf(&b, "%-14s %14s %14s %9s\n", "kernel", "blocked ns/row", "scalar ns/row", "speedup")
+	b.WriteString(strings.Repeat("-", 55) + "\n")
+	for _, row := range r.Table {
+		fmt.Fprintf(&b, "%-14s %14.1f %14.1f %8.2fx\n",
+			row.Kernel, row.BlockedNsPerRow, row.ScalarNsPerRow, row.Speedup)
+	}
+	return b.String()
+}

@@ -3,6 +3,8 @@ package uncertain
 import (
 	"fmt"
 	"math"
+
+	"ucpc/internal/vec"
 )
 
 // Moments is a structure-of-arrays view of a Dataset's closed-form moments:
@@ -65,9 +67,9 @@ func (mo *Moments) Append(o *Object) int {
 	mo.mu2 = append(mo.mu2, o.mu2...)
 	mo.sigma2 = append(mo.sigma2, o.sigma2...)
 	mo.totalVar = append(mo.totalVar, o.totalVar)
-	var nrm2, m2t float64
+	nrm2 := vec.SqNormBlock(o.mu)
+	var m2t float64
 	for j := 0; j < mo.m; j++ {
-		nrm2 += o.mu[j] * o.mu[j]
 		m2t += o.mu2[j]
 	}
 	mo.muNorm2 = append(mo.muNorm2, nrm2)
@@ -104,16 +106,23 @@ func (mo *Moments) Bytes() int64 {
 func MomentsOf(ds Dataset) *Moments {
 	n := len(ds)
 	m := ds.Dims()
+	// One backing slab for the three row stores and one for the scalar
+	// columns: a view is built on every Cluster call's online path, and a
+	// single zeroed allocation faults far fewer fresh pages than seven.
+	// Full slice expressions keep the caps disjoint so Bytes() still sums
+	// the true footprint.
+	rows := make([]float64, 3*n*m)
+	scal := make([]float64, 4*n)
 	mo := &Moments{
 		n:        n,
 		m:        m,
-		mu:       make([]float64, n*m),
-		mu2:      make([]float64, n*m),
-		sigma2:   make([]float64, n*m),
-		totalVar: make([]float64, n),
-		muNorm2:  make([]float64, n),
-		muNorm:   make([]float64, n),
-		mu2Tot:   make([]float64, n),
+		mu:       rows[0 : n*m : n*m],
+		mu2:      rows[n*m : 2*n*m : 2*n*m],
+		sigma2:   rows[2*n*m : 3*n*m : 3*n*m],
+		totalVar: scal[0:n:n],
+		muNorm2:  scal[n : 2*n : 2*n],
+		muNorm:   scal[2*n : 3*n : 3*n],
+		mu2Tot:   scal[3*n : 4*n : 4*n],
 	}
 	for i, o := range ds {
 		if o.Dims() != m {
@@ -123,9 +132,9 @@ func MomentsOf(ds Dataset) *Moments {
 		copy(mo.mu2[i*m:(i+1)*m], o.mu2)
 		copy(mo.sigma2[i*m:(i+1)*m], o.sigma2)
 		mo.totalVar[i] = o.totalVar
-		var nrm2, m2t float64
+		nrm2 := vec.SqNormBlock(o.mu)
+		var m2t float64
 		for j := 0; j < m; j++ {
-			nrm2 += o.mu[j] * o.mu[j]
 			m2t += o.mu2[j]
 		}
 		mo.muNorm2[i] = nrm2
@@ -166,14 +175,10 @@ func (mo *Moments) Mu2Tot(i int) float64 { return mo.mu2Tot[i] }
 
 // MuDot returns the dot product µ(o_i)·y of object i's mean row with an
 // arbitrary m-vector (the one O(m) term of the incremental Corollary-1
-// scoring; everything else is precomputed scalars).
+// scoring; everything else is precomputed scalars). Routed through the
+// blocked kernel so every code path accumulates in the same order.
 func (mo *Moments) MuDot(i int, y []float64) float64 {
-	a := mo.mu[i*mo.m : (i+1)*mo.m]
-	var s float64
-	for j, v := range a {
-		s += v * y[j]
-	}
-	return s
+	return vec.DotBlock(mo.mu[i*mo.m:(i+1)*mo.m], y)
 }
 
 // EED returns the squared expected distance ÊD(o_i, o_j) of Lemma 3,
@@ -183,24 +188,13 @@ func (mo *Moments) MuDot(i int, y []float64) float64 {
 func (mo *Moments) EED(i, j int) float64 {
 	a := mo.mu[i*mo.m : (i+1)*mo.m]
 	b := mo.mu[j*mo.m : (j+1)*mo.m]
-	var s float64
-	for d := 0; d < mo.m; d++ {
-		diff := a[d] - b[d]
-		s += diff * diff
-	}
-	return s + mo.totalVar[i] + mo.totalVar[j]
+	return vec.SqDistBlock(a, b) + mo.totalVar[i] + mo.totalVar[j]
 }
 
 // ED returns the expected squared distance ED(o_i, y) of eq. 8 to a
 // deterministic point y.
 func (mo *Moments) ED(i int, y []float64) float64 {
-	a := mo.mu[i*mo.m : (i+1)*mo.m]
-	var s float64
-	for d := 0; d < mo.m; d++ {
-		diff := a[d] - y[d]
-		s += diff * diff
-	}
-	return s + mo.totalVar[i]
+	return vec.SqDistBlock(mo.mu[i*mo.m:(i+1)*mo.m], y) + mo.totalVar[i]
 }
 
 // NearestByED returns the index in centers of the point minimizing

@@ -1,0 +1,125 @@
+package vec
+
+// Blocked flat kernels for the row-major []float64 slabs the clustering hot
+// loops stream through (the moment store's µ rows, the assignment engine's
+// centroid blocks). Each kernel processes four elements per step with four
+// independent accumulators — enough instruction-level parallelism to keep a
+// scalar FPU pipeline full — and re-slices its operands once up front
+// (`y = y[:len(x)]`) so the compiler proves every index in range and emits
+// no bounds checks inside the loop (the gonum idiom). None of them allocate.
+//
+// The unrolled kernels sum in a different association order than a plain
+// sequential loop, so their results may differ from Dot/SqDist in the last
+// few ulps. Call sites that require bit-reproducibility across code paths
+// must therefore use the same kernel on every path — which is how the
+// pruning engines use them: both the pruned and the exhaustive scans score
+// through the identical kernel, so partitions stay byte-identical with the
+// bounds on or off.
+
+// KernelVariant names the kernel implementation compiled into this build;
+// the bench JSON header records it so cross-run comparisons know which
+// inner loops produced the numbers.
+const KernelVariant = "blocked-unroll4"
+
+// DotBlock returns the inner product of x and y using four independent
+// accumulators. Panics if len(y) < len(x); extra trailing elements of y are
+// ignored (callers pass equal-length rows).
+func DotBlock(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * y[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqDistBlock returns the squared Euclidean distance between x and y using
+// four independent accumulators. Panics if len(y) < len(x).
+func SqDistBlock(x, y []float64) float64 {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		d0 := x[i] - y[i]
+		d1 := x[i+1] - y[i+1]
+		d2 := x[i+2] - y[i+2]
+		d3 := x[i+3] - y[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(x); i++ {
+		d := x[i] - y[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// SqNormBlock returns ‖x‖² with the same accumulation order as DotBlock(x, x).
+func SqNormBlock(x []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		s0 += x[i] * x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// DotRows fills dst[r] with DotBlock(x, rows[r*m:(r+1)*m]) for every
+// complete m-sized row of rows and returns dst. len(dst) rows are computed;
+// rows must hold at least len(dst)*m elements and m must equal len(x).
+// A zero-length dst (or m == 0) is a no-op.
+func DotRows(dst, x, rows []float64, m int) []float64 {
+	if len(dst) == 0 || m == 0 {
+		return dst
+	}
+	_ = rows[len(dst)*m-1]
+	for r := range dst {
+		dst[r] = DotBlock(x, rows[r*m:(r+1)*m])
+	}
+	return dst
+}
+
+// SqDistRows fills dst[r] with SqDistBlock(x, rows[r*m:(r+1)*m]) for every
+// complete m-sized row of rows and returns dst; the same shape contract as
+// DotRows.
+func SqDistRows(dst, x, rows []float64, m int) []float64 {
+	if len(dst) == 0 || m == 0 {
+		return dst
+	}
+	_ = rows[len(dst)*m-1]
+	for r := range dst {
+		dst[r] = SqDistBlock(x, rows[r*m:(r+1)*m])
+	}
+	return dst
+}
+
+// ArgminRow returns the index and value of the smallest element of xs,
+// breaking ties toward the lowest index (the engines' deterministic rule).
+// An empty xs returns (-1, +Inf-free zero): index -1 and value 0.
+func ArgminRow(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		return -1, 0
+	}
+	best, bestV := 0, xs[0]
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < bestV {
+			best, bestV = i, xs[i]
+		}
+	}
+	return best, bestV
+}

@@ -1,0 +1,172 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// kernelLengths exercises every unroll shape: empty, sub-block lengths,
+// exact multiples of the 4-wide step, and every tail remainder.
+var kernelLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 11, 12, 13, 15, 16, 17, 42, 64, 65}
+
+func kernelVec(n int, seed float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		x := seed + float64(i)
+		v[i] = math.Sin(x)*3 + math.Cos(2*x)
+	}
+	return v
+}
+
+// relClose compares kernel output against the sequential scalar reference:
+// the blocked kernels reassociate the sum, so equality is up to a few ulps
+// relative to the accumulated magnitude, not bitwise.
+func relClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12*(math.Abs(a)+math.Abs(b)+1)
+}
+
+func TestDotBlockMatchesScalar(t *testing.T) {
+	for _, n := range kernelLengths {
+		x, y := kernelVec(n, 0.3), kernelVec(n, 7.1)
+		got := DotBlock(x, y)
+		want := Dot(x, y)
+		if !relClose(got, want) {
+			t.Errorf("n=%d: DotBlock %g vs scalar %g", n, got, want)
+		}
+	}
+}
+
+func TestSqDistBlockMatchesScalar(t *testing.T) {
+	for _, n := range kernelLengths {
+		x, y := kernelVec(n, 1.9), kernelVec(n, 4.4)
+		got := SqDistBlock(x, y)
+		want := SqDist(x, y)
+		if !relClose(got, want) {
+			t.Errorf("n=%d: SqDistBlock %g vs scalar %g", n, got, want)
+		}
+		if SqDistBlock(x, x) != 0 {
+			t.Errorf("n=%d: SqDistBlock(x,x) != 0", n)
+		}
+	}
+}
+
+func TestSqNormBlockMatchesDotBlock(t *testing.T) {
+	for _, n := range kernelLengths {
+		x := kernelVec(n, 2.2)
+		// Same accumulation order by construction: bitwise equality.
+		if got, want := SqNormBlock(x), DotBlock(x, x); got != want {
+			t.Errorf("n=%d: SqNormBlock %g vs DotBlock(x,x) %g", n, got, want)
+		}
+	}
+}
+
+func TestRowKernels(t *testing.T) {
+	for _, m := range kernelLengths {
+		for _, rows := range []int{0, 1, 2, 5} {
+			slab := kernelVec(rows*m, 0.7)
+			x := kernelVec(m, 3.3)
+			dd := DotRows(make([]float64, rows), x, slab, m)
+			sd := SqDistRows(make([]float64, rows), x, slab, m)
+			for r := 0; r < rows; r++ {
+				row := slab[r*m : (r+1)*m]
+				if got, want := dd[r], DotBlock(x, row); got != want {
+					t.Errorf("m=%d row %d: DotRows %g vs DotBlock %g", m, r, got, want)
+				}
+				if got, want := sd[r], SqDistBlock(x, row); got != want {
+					t.Errorf("m=%d row %d: SqDistRows %g vs SqDistBlock %g", m, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestArgminRow(t *testing.T) {
+	cases := []struct {
+		xs  []float64
+		idx int
+		val float64
+	}{
+		{nil, -1, 0},
+		{[]float64{}, -1, 0},
+		{[]float64{4}, 0, 4},
+		{[]float64{3, 1, 2}, 1, 1},
+		{[]float64{2, 1, 1, 5}, 1, 1}, // tie: lowest index wins
+		{[]float64{math.Inf(1), 7}, 1, 7},
+		{[]float64{-1, -1, -2, -2}, 2, -2},
+	}
+	for _, tc := range cases {
+		idx, val := ArgminRow(tc.xs)
+		if idx != tc.idx || val != tc.val {
+			t.Errorf("ArgminRow(%v) = (%d, %g), want (%d, %g)", tc.xs, idx, val, tc.idx, tc.val)
+		}
+	}
+}
+
+// TestKernelZeroAllocs gates every kernel at zero heap allocations — they
+// sit inside the assignment loops whose steady-state passes are gated
+// allocation-free.
+func TestKernelZeroAllocs(t *testing.T) {
+	x, y := kernelVec(42, 0.1), kernelVec(42, 0.9)
+	slab := kernelVec(5*42, 1.7)
+	dst := make([]float64, 5)
+	var sink float64
+	for name, fn := range map[string]func(){
+		"DotBlock":    func() { sink += DotBlock(x, y) },
+		"SqDistBlock": func() { sink += SqDistBlock(x, y) },
+		"SqNormBlock": func() { sink += SqNormBlock(x) },
+		"DotRows":     func() { DotRows(dst, x, slab, 42) },
+		"SqDistRows":  func() { SqDistRows(dst, x, slab, 42) },
+		"ArgminRow":   func() { _, v := ArgminRow(dst); sink += v },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s: %g allocs per run, want 0", name, allocs)
+		}
+	}
+	_ = sink
+}
+
+func TestMeanEmptyReturnsNil(t *testing.T) {
+	if got := Mean(nil); got != nil {
+		t.Errorf("Mean(nil) = %v, want nil", got)
+	}
+	if got := Mean([]Vector{}); got != nil {
+		t.Errorf("Mean(empty) = %v, want nil", got)
+	}
+	// Non-empty unchanged.
+	got := Mean([]Vector{{1, 3}, {3, 5}})
+	if !Equal(got, Vector{2, 4}) {
+		t.Errorf("Mean = %v, want [2 4]", got)
+	}
+}
+
+func TestCheckDimsMessage(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Dot", func() { Dot(Vector{1}, Vector{1, 2}) }},
+		{"SqDist", func() { SqDist(Vector{1, 2, 3}, Vector{1}) }},
+		{"Add", func() { Add(Vector{1}, nil) }},
+		{"Mean-ragged", func() { Mean([]Vector{{1, 2}, {1}}) }},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: no panic on dimension mismatch", tc.name)
+					return
+				}
+				msg, ok := r.(string)
+				if !ok {
+					t.Errorf("%s: panic value %T, want the vec diagnostic string", tc.name, r)
+					return
+				}
+				if want := "vec: dimension mismatch"; len(msg) < len(want) || msg[:len(want)] != want {
+					t.Errorf("%s: panic %q lacks the vec diagnostic prefix", tc.name, msg)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

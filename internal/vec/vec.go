@@ -125,10 +125,13 @@ func Sum(x Vector) float64 {
 	return s
 }
 
-// Mean returns the component-wise mean of the given vectors.
+// Mean returns the component-wise mean of the given vectors, or nil for an
+// empty set (the defined zero value — there is no dimension to average
+// over, and callers that forward possibly-empty slices should not have to
+// guard against a panic).
 func Mean(vs []Vector) Vector {
 	if len(vs) == 0 {
-		panic("vec: Mean of empty set")
+		return nil
 	}
 	out := make(Vector, len(vs[0]))
 	for _, v := range vs {
@@ -163,8 +166,12 @@ func ApproxEqual(x, y Vector, tol float64) bool {
 	return true
 }
 
+// checkDims panics with a defined, diagnosable message on operand dimension
+// mismatch — a programming error by the vec contract. Every binary vec
+// operation funnels through it, so a mismatch can never surface as a bare
+// index-out-of-range panic from inside a kernel loop.
 func checkDims(x, y Vector) {
 	if len(x) != len(y) {
-		panic(fmt.Sprintf("vec: dimension mismatch %d vs %d", len(x), len(y)))
+		panic(fmt.Sprintf("vec: dimension mismatch: %d-vector vs %d-vector", len(x), len(y)))
 	}
 }
