@@ -42,6 +42,10 @@ var (
 	// resume from an initial assignment (the single-shot methods UAHC,
 	// FDB, FOPT; the sample-based UK-means variants; UCPC-Bisect).
 	ErrWarmStartUnsupported = clustering.ErrWarmStartUnsupported
+	// ErrBadConfig marks an invalid run configuration — a negative worker
+	// or shard count, a Decay outside [0, 1), a partitioner returning an
+	// out-of-range shard (see Config.Validate and StreamConfig.Validate).
+	ErrBadConfig = clustering.ErrBadConfig
 )
 
 // Clusterer is a reusable clustering session: an algorithm choice plus the
@@ -74,6 +78,9 @@ type Clusterer struct {
 // context.Background().
 func (c *Clusterer) Fit(ctx context.Context, ds Dataset, k int) (*Model, error) {
 	ctx = clustering.Ctx(ctx)
+	if err := c.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ucpc: %w", err)
+	}
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
@@ -116,6 +123,9 @@ func (c *Clusterer) FitFrom(ctx context.Context, model *Model, ds Dataset) (*Mod
 	if c.Algorithm != "" && c.Algorithm != model.algorithm {
 		return nil, fmt.Errorf("ucpc: FitFrom algorithm mismatch: clusterer wants %q, model was fitted with %q",
 			c.Algorithm, model.algorithm)
+	}
+	if err := c.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ucpc: %w", err)
 	}
 	if err := ds.Validate(); err != nil {
 		return nil, err

@@ -421,3 +421,30 @@ func TestAssignFreshObjects(t *testing.T) {
 		}
 	}
 }
+
+// TestFitRejectsBadConfig checks that every fitting entry point validates
+// its configuration up front with a typed ErrBadConfig.
+func TestFitRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	ds := twoBlobs()
+	c := ucpc.Clusterer{Config: ucpc.Config{Workers: -2}}
+	if _, err := c.Fit(ctx, ds, 2); !errors.Is(err, ucpc.ErrBadConfig) {
+		t.Fatalf("Fit(Workers: -2) = %v, want ErrBadConfig", err)
+	}
+	model, err := (&ucpc.Clusterer{Config: ucpc.Config{Seed: 4}}).Fit(ctx, ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ucpc.Clusterer{Config: ucpc.Config{MaxIter: -1}}
+	if _, err := bad.FitFrom(ctx, model, ds); !errors.Is(err, ucpc.ErrBadConfig) {
+		t.Fatalf("FitFrom(MaxIter: -1) = %v, want ErrBadConfig", err)
+	}
+	sc := ucpc.StreamClusterer{Config: ucpc.StreamConfig{Decay: 1.5}}
+	if _, err := sc.Begin(ctx, 2); !errors.Is(err, ucpc.ErrBadConfig) {
+		t.Fatalf("Begin(Decay: 1.5) = %v, want ErrBadConfig", err)
+	}
+	sh := ucpc.ShardedClusterer{Config: ucpc.StreamConfig{BatchSize: -3}, Shards: 2}
+	if _, err := sh.Begin(ctx, 2); !errors.Is(err, ucpc.ErrBadConfig) {
+		t.Fatalf("sharded Begin(BatchSize: -3) = %v, want ErrBadConfig", err)
+	}
+}

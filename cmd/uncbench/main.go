@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|shard|all [flags]
 //
 // Flags:
 //
@@ -30,7 +30,8 @@
 //	             scale mode: streamed object count (default 1,000,000)
 //	-bk n        bench mode: cluster count (default 16);
 //	             scale mode: cluster count (default 23)
-//	-batch n     scale mode: streaming mini-batch size (default 8192)
+//	-batch n     scale/shard mode: streaming mini-batch size (default 8192)
+//	-shards n    shard mode: parallel shard count (default 4)
 //	-workers n   bench/scale mode: worker-pool size (bench default 1)
 //	-cpuprofile f  write a pprof CPU profile of the whole run to f
 //	-memprofile f  write a pprof heap profile (post-run) to f
@@ -60,6 +61,14 @@
 // resident-growth contract:
 //
 //	uncbench -exp scale -bn 1000000 -json -check
+//
+// The shard mode measures the shard-parallel fit path (ShardedClusterer):
+// it streams the same KDD-shaped workload through 1 shard and through
+// -shards parallel shards, and reports both fits' ingest throughput and
+// subsample quality; with -check it gates the ≤2% quality gap and the
+// core-aware throughput floor (≥2.5× at 4 shards on a ≥4-core machine):
+//
+//	uncbench -exp shard -bn 1000000 -shards 4 -json -check
 package main
 
 import (
@@ -104,7 +113,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline = fs.String("baseline", "", "bench mode: fail if pruned ns/op regressed >10% vs this bench JSON")
 		benchN   = fs.Int("bn", 0, "bench/scale mode: object count (0 = per-mode default)")
 		benchK   = fs.Int("bk", 0, "bench/scale mode: cluster count (0 = per-mode default)")
-		batch    = fs.Int("batch", 0, "scale mode: streaming mini-batch size (0 = default 8192)")
+		batch    = fs.Int("batch", 0, "scale/shard mode: streaming mini-batch size (0 = default 8192)")
+		shards   = fs.Int("shards", 0, "shard mode: parallel shard count (0 = default 4)")
 		workers  = fs.Int("workers", 0, "bench/scale mode: worker-pool size (0 = per-mode default)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
@@ -340,6 +350,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	runShard := func() int {
+		res, err := experiments.Shard(ctx, experiments.ShardConfig{
+			N: *benchN, K: *benchK, Shards: *shards, BatchSize: *batch,
+			Seed: *seed, Progress: progress,
+		})
+		if err != nil {
+			return fail("shard: %v", err)
+		}
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("shard: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderShard(res))
+		}
+		if *check {
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		return 0
+	}
+
 	switch *exp {
 	case "table2":
 		status = runTable2()
@@ -355,6 +392,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = runKernel()
 	case "scale":
 		status = runScale()
+	case "shard":
+		status = runShard()
 	case "all":
 		for _, f := range []func() int{runTable2, runTable3, runFig4, runFig5} {
 			if status = f(); status != 0 {
@@ -362,7 +401,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	default:
-		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, all)\n", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, shard, all)\n", *exp)
 		return 2
 	}
 	if status != 0 && status != 3 {

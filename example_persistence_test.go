@@ -1,0 +1,61 @@
+package ucpc_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"ucpc"
+)
+
+// Example_persistence fits a model, ships it through the versioned binary
+// wire format with SaveModel/LoadModel, and serves assignments from the
+// loaded copy — the train-here, serve-there workflow. The encoding is
+// deterministic (one byte string per model), so saved artifacts can be
+// diffed or content-addressed.
+func Example_persistence() {
+	ctx := context.Background()
+	ds := make(ucpc.Dataset, 40)
+	r := ucpc.NewRNG(7)
+	for i := range ds {
+		c := []float64{0, 0}
+		if i%2 == 1 {
+			c = []float64{10, 10}
+		}
+		c[0] += r.Normal(0, 0.4)
+		c[1] += r.Normal(0, 0.4)
+		ds[i] = ucpc.NewNormalObject(i, c, []float64{0.3, 0.3}, 0.95)
+	}
+	c := ucpc.Clusterer{Algorithm: "UCPC", Config: ucpc.Config{Seed: 42}}
+	model, err := c.Fit(ctx, ds, 2)
+	if err != nil {
+		panic(err)
+	}
+
+	// "Save" to any io.Writer — a file, a network conn, here a buffer.
+	var artifact bytes.Buffer
+	if err := ucpc.SaveModel(&artifact, model); err != nil {
+		panic(err)
+	}
+
+	// Elsewhere: load and serve. The loaded model assigns new objects
+	// exactly as the original would; only the training ledger (per-object
+	// partition) is not carried over.
+	loaded, err := ucpc.LoadModel(&artifact)
+	if err != nil {
+		panic(err)
+	}
+	probes := ucpc.Dataset{
+		ucpc.NewNormalObject(0, []float64{0.5, -0.5}, []float64{0.2, 0.2}, 0.95),
+		ucpc.NewNormalObject(1, []float64{9.5, 10.5}, []float64{0.2, 0.2}, 0.95),
+	}
+	ids, err := loaded.Assign(ctx, probes)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("algorithm:", loaded.Algorithm())
+	fmt.Println("same cluster:", ids[0] == ids[1])
+	// Output:
+	// algorithm: UCPC
+	// same cluster: false
+}

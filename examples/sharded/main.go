@@ -1,0 +1,118 @@
+// Command sharded demonstrates the distributed fit workflow: a
+// shard-parallel fit over mergeable sufficient statistics
+// (ucpc.ShardedClusterer), folding in a simulated out-of-process shard
+// through the versioned WStats wire format (StreamFit.ExportStats →
+// ShardedFit.AddRemoteStats), and persisting the merged model with
+// ucpc.SaveModel / ucpc.LoadModel.
+//
+// The scenario: three ingest sites observe uncertain 2-D readings from the
+// same five emitters. Two sites stream into a local sharded fit; the third
+// runs its own independent stream fit and ships only its statistics —
+// 13 + 8·k·(m+3) bytes, never the objects — to the coordinator. The merged
+// model is saved, reloaded, and used to serve assignments.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"ucpc"
+)
+
+// emitters are the five ground-truth sites all ingest locations observe.
+var emitters = [][]float64{
+	{0, 0}, {12, 0}, {0, 12}, {12, 12}, {6, 6},
+}
+
+// readings synthesizes n uncertain readings around the emitters.
+func readings(r *ucpc.RNG, n int) ucpc.Dataset {
+	ds := make(ucpc.Dataset, 0, n)
+	for i := 0; i < n; i++ {
+		e := emitters[r.Intn(len(emitters))]
+		mu := []float64{e[0] + r.Normal(0, 0.8), e[1] + r.Normal(0, 0.8)}
+		ds = append(ds, ucpc.NewNormalObject(i, mu, []float64{0.3, 0.3}, 0.95))
+	}
+	return ds
+}
+
+func main() {
+	ctx := context.Background()
+	const k = 5
+
+	// The local coordinator: two shards ingesting concurrently.
+	sc := ucpc.ShardedClusterer{
+		Config: ucpc.StreamConfig{BatchSize: 512, Seed: 42},
+		Shards: 2,
+	}
+	fit, err := sc.Begin(ctx, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local := ucpc.NewRNG(7)
+	for round := 0; round < 8; round++ {
+		if err := fit.Observe(ctx, readings(local, 2048)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("local shards: %d engines, %d objects, %d mini-batches\n",
+		fit.Shards(), fit.Seen(), fit.Batches())
+
+	// The remote site: an independent single-engine stream fit whose
+	// statistics — not its objects — are shipped to the coordinator.
+	remote, err := (&ucpc.StreamClusterer{
+		Config: ucpc.StreamConfig{BatchSize: 512, Seed: 42},
+	}).Begin(ctx, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rsrc := ucpc.NewRNG(99)
+	for round := 0; round < 4; round++ {
+		if err := remote.Observe(ctx, readings(rsrc, 2048)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	payload, err := remote.ExportStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote site:  %d objects exported as %d bytes of statistics\n",
+		remote.Seen(), len(payload))
+	if err := fit.AddRemoteStats(payload); err != nil {
+		log.Fatal(err)
+	}
+
+	// Snapshot the merged model and persist it.
+	model, err := fit.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ucpc.SaveModel(&buf, model); err != nil {
+		log.Fatal(err)
+	}
+	artifactLen := buf.Len()
+	loaded, err := ucpc.LoadModel(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged model: %d clusters over %d objects, %d-byte artifact\n",
+		loaded.K(), int(fit.Seen())+int(remote.Seen()), artifactLen)
+
+	// Serve from the reloaded model: probe one reading near each emitter.
+	probes := make(ucpc.Dataset, 0, len(emitters))
+	for i, e := range emitters {
+		probes = append(probes, ucpc.NewNormalObject(i, []float64{e[0], e[1]}, []float64{0.3, 0.3}, 0.95))
+	}
+	ids, err := loaded.Assign(ctx, probes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, c := range ids {
+		distinct[c] = true
+	}
+	fmt.Printf("serving:      %d emitter probes land in %d distinct clusters\n",
+		len(probes), len(distinct))
+}

@@ -1,6 +1,10 @@
 package clustering
 
-import "context"
+import (
+	"context"
+	"fmt"
+	"math"
+)
 
 // DefaultSeed is the seed used by every entry point when the caller leaves
 // Config.Seed (or Options.Seed) at its zero value. Seed 0 itself is not a
@@ -38,6 +42,23 @@ type Config struct {
 	// clustering goroutine: keep it cheap, and do not retain the event's
 	// slices (there are none) or call back into the model.
 	Progress ProgressFunc
+}
+
+// Validate checks the configuration for values no run could mean: negative
+// counts and unknown enum values. Zero values are always valid (they mean
+// "default"). Violations return a wrapped ErrBadConfig naming the field;
+// every fitting entry point calls this before touching data.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("clustering: negative Workers %d: %w", c.Workers, ErrBadConfig)
+	}
+	if c.MaxIter < 0 {
+		return fmt.Errorf("clustering: negative MaxIter %d: %w", c.MaxIter, ErrBadConfig)
+	}
+	if c.Pruning < PruneAuto || c.Pruning > PruneOff {
+		return fmt.Errorf("clustering: unknown Pruning mode %d: %w", c.Pruning, ErrBadConfig)
+	}
+	return nil
 }
 
 // SeedOrDefault resolves Config.Seed: 0 means DefaultSeed.
@@ -82,6 +103,29 @@ type StreamConfig struct {
 	// Seed drives the k-means++ seeding of the initial centroids
 	// (0 = DefaultSeed).
 	Seed uint64
+}
+
+// Validate checks the streaming configuration: a negative BatchSize,
+// MaxBatches, or Workers, an unknown Pruning mode, or a Decay outside
+// [0, 1) returns a wrapped ErrBadConfig naming the field. Zero values are
+// always valid (they mean "default").
+func (c StreamConfig) Validate() error {
+	if c.BatchSize < 0 {
+		return fmt.Errorf("clustering: negative BatchSize %d: %w", c.BatchSize, ErrBadConfig)
+	}
+	if c.Decay < 0 || c.Decay >= 1 || math.IsNaN(c.Decay) {
+		return fmt.Errorf("clustering: Decay %v outside [0, 1): %w", c.Decay, ErrBadConfig)
+	}
+	if c.MaxBatches < 0 {
+		return fmt.Errorf("clustering: negative MaxBatches %d: %w", c.MaxBatches, ErrBadConfig)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("clustering: negative Workers %d: %w", c.Workers, ErrBadConfig)
+	}
+	if c.Pruning < PruneAuto || c.Pruning > PruneOff {
+		return fmt.Errorf("clustering: unknown Pruning mode %d: %w", c.Pruning, ErrBadConfig)
+	}
+	return nil
 }
 
 // BatchSizeOrDefault resolves BatchSize: 0 means 4096.

@@ -24,6 +24,23 @@ var ErrStreamBudget = errors.New("stream batch budget exhausted")
 // to seed its k centroids; Snapshot cannot freeze a model before that.
 var ErrStreamCold = errors.New("stream has not observed k objects yet")
 
+// ErrBadConfig marks a configuration with an out-of-range field (negative
+// Workers, Decay outside [0, 1), an unknown PruneMode, ...). Every entry
+// point validates its configuration up front and wraps this sentinel.
+var ErrBadConfig = errors.New("invalid configuration")
+
+// ErrBadModelFormat marks wire-format input (a serialized Model or WStats
+// payload) that is not a well-formed encoding: wrong magic, truncated or
+// oversized body, out-of-range shape fields, or non-finite values where the
+// format requires finite ones. Decoders reject such input without panicking
+// and without unbounded allocation.
+var ErrBadModelFormat = errors.New("malformed model wire format")
+
+// ErrModelVersion marks wire-format input whose magic is recognized but
+// whose format-version byte is not one this build can decode — the payload
+// was written by an incompatible (newer) library version.
+var ErrModelVersion = errors.New("unsupported model wire-format version")
+
 // ValidateK returns a wrapped ErrBadK unless 1 <= k <= n. prefix names the
 // reporting algorithm in the message.
 func ValidateK(prefix string, k, n int) error {

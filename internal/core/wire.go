@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ucpc/internal/clustering"
+)
+
+// Wire format for weighted sufficient statistics (WStats), the payload a
+// shard ships to its coordinator. The encoding is deterministic — one valid
+// byte string per state, fixed field order, fixed-width little-endian
+// scalars, float64 values written bit-exactly — so round-tripping is
+// byte-identical and coordinators can compare or deduplicate payloads by
+// hash.
+//
+//	offset  size        field
+//	0       4           magic "UCWS"
+//	4       1           format version (1)
+//	5       4           k   (uint32, number of clusters)
+//	9       4           m   (uint32, dimensionality)
+//	13      8·k         W_c   effective member weights
+//	·       8·k·m       S_c   weighted mean sums, row-major
+//	·       8·k         Ψ_c   weighted total-variance sums
+//	·       8·k         Φ_c   weighted second-moment sums
+//
+// Total length: 13 + 8·k·(m+3) bytes, enforced exactly (no trailing bytes).
+// Decoding rejects unknown magic, unknown versions, shape fields outside
+// [1, wireMaxSide] or products beyond wireMaxFloats, and non-finite or
+// negative-where-impossible values, all without panicking and without
+// allocating more than the input's own size implies.
+
+// wstatsMagic identifies a WStats payload; wstatsVersion is the current
+// format version. Bump the version — never reuse it — on any layout change.
+const (
+	wstatsVersion = 1
+
+	// wireMaxSide caps each shape field (k, m) and wireMaxFloats caps the
+	// total float64 payload (128 MiB) — sanity limits far above any real
+	// configuration that bound what a hostile length prefix can make a
+	// decoder allocate.
+	wireMaxSide   = 1 << 20
+	wireMaxFloats = 1 << 24
+)
+
+var wstatsMagic = [4]byte{'U', 'C', 'W', 'S'}
+
+// wstatsWireLen returns the exact encoded size for shape (k, m).
+func wstatsWireLen(k, m int) int { return 13 + 8*k*(m+3) }
+
+// MarshalBinary encodes the statistics in the versioned deterministic wire
+// format above. It never fails for a live WStats; the error return exists
+// to satisfy encoding.BinaryMarshaler.
+func (ws *WStats) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, wstatsWireLen(ws.k, ws.m))
+	buf = append(buf, wstatsMagic[:]...)
+	buf = append(buf, wstatsVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ws.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ws.m))
+	for _, s := range [][]float64{ws.w, ws.sum, ws.psi, ws.phi} {
+		for _, v := range s {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalWStats decodes a payload produced by WStats.MarshalBinary,
+// validating shape, length, and value ranges. Errors wrap
+// clustering.ErrBadModelFormat (malformed input) or clustering.
+// ErrModelVersion (well-formed magic, unknown version).
+func UnmarshalWStats(data []byte) (*WStats, error) {
+	k, m, err := wireHeader(data, wstatsMagic, wstatsVersion, "WStats")
+	if err != nil {
+		return nil, err
+	}
+	if want := wstatsWireLen(k, m); len(data) != want {
+		return nil, fmt.Errorf("core: WStats payload is %d bytes, shape k=%d m=%d needs %d: %w",
+			len(data), k, m, want, clustering.ErrBadModelFormat)
+	}
+	ws := NewWStats(k, m)
+	off := 13
+	for _, dst := range [][]float64{ws.w, ws.sum, ws.psi, ws.phi} {
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	// Value validation: weights and the scalar sums are sums of nonnegative
+	// terms, so they must be finite and ≥ 0; mean sums must be finite.
+	for c := 0; c < k; c++ {
+		if !nonNegFinite(ws.w[c]) || !nonNegFinite(ws.psi[c]) || !nonNegFinite(ws.phi[c]) {
+			return nil, fmt.Errorf("core: WStats cluster %d carries non-finite or negative scalars (W=%v Ψ=%v Φ=%v): %w",
+				c, ws.w[c], ws.psi[c], ws.phi[c], clustering.ErrBadModelFormat)
+		}
+	}
+	for i, v := range ws.sum {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("core: WStats mean sum entry %d is %v: %w", i, v, clustering.ErrBadModelFormat)
+		}
+	}
+	return ws, nil
+}
+
+// wireHeader validates the shared 13-byte header (magic, version, k, m) of
+// a wire payload and returns the decoded shape.
+func wireHeader(data []byte, magic [4]byte, version byte, kind string) (k, m int, err error) {
+	if len(data) < 13 {
+		return 0, 0, fmt.Errorf("core: %s payload truncated at %d bytes (header is 13): %w",
+			kind, len(data), clustering.ErrBadModelFormat)
+	}
+	if [4]byte(data[:4]) != magic {
+		return 0, 0, fmt.Errorf("core: %s payload has magic %q, want %q: %w",
+			kind, data[:4], magic[:], clustering.ErrBadModelFormat)
+	}
+	if data[4] != version {
+		return 0, 0, fmt.Errorf("core: %s payload has format version %d, this build reads %d: %w",
+			kind, data[4], version, clustering.ErrModelVersion)
+	}
+	ku := binary.LittleEndian.Uint32(data[5:])
+	mu := binary.LittleEndian.Uint32(data[9:])
+	if ku < 1 || ku > wireMaxSide || mu < 1 || mu > wireMaxSide ||
+		uint64(ku)*uint64(mu+3) > wireMaxFloats {
+		return 0, 0, fmt.Errorf("core: %s payload declares shape k=%d m=%d outside format limits: %w",
+			kind, ku, mu, clustering.ErrBadModelFormat)
+	}
+	return int(ku), int(mu), nil
+}
+
+// nonNegFinite reports whether v is a finite value ≥ 0.
+func nonNegFinite(v float64) bool {
+	return v >= 0 && !math.IsInf(v, 1) && !math.IsNaN(v)
+}

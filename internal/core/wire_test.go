@@ -1,0 +1,278 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/rng"
+	"ucpc/internal/uncertain"
+)
+
+// randomWStats builds statistics from a random assignment of a random
+// dataset, so every field carries non-trivial values.
+func randomWStats(t testing.TB, k, m, n int, seed uint64) *WStats {
+	t.Helper()
+	mom := uncertain.MomentsOf(wstatsDataset(n, m, seed))
+	assign := make([]int, n)
+	r := rng.New(seed ^ 0xabcd)
+	for i := range assign {
+		assign[i] = r.Intn(k)
+	}
+	ws := NewWStats(k, m)
+	ws.AddAssigned(mom, assign)
+	return ws
+}
+
+// TestWStatsWireRoundTrip: decode(encode(ws)) restores every statistic
+// bit-for-bit, and re-encoding is byte-identical.
+func TestWStatsWireRoundTrip(t *testing.T) {
+	ws := randomWStats(t, 5, 3, 200, 17)
+	enc, err := ws.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := wstatsWireLen(5, 3); len(enc) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), want)
+	}
+	dec, err := UnmarshalWStats(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.k != ws.k || dec.m != ws.m {
+		t.Fatalf("decoded shape %dx%d, want %dx%d", dec.k, dec.m, ws.k, ws.m)
+	}
+	for c := 0; c < ws.k; c++ {
+		if dec.w[c] != ws.w[c] || dec.psi[c] != ws.psi[c] || dec.phi[c] != ws.phi[c] {
+			t.Fatalf("cluster %d scalars differ after round trip", c)
+		}
+	}
+	for i := range ws.sum {
+		if dec.sum[i] != ws.sum[i] {
+			t.Fatalf("sum[%d] differs after round trip", i)
+		}
+	}
+	enc2, err := dec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding a decoded payload is not byte-identical")
+	}
+}
+
+// TestWStatsWireRejects: malformed payloads come back as wrapped
+// ErrBadModelFormat / ErrModelVersion, never as panics.
+func TestWStatsWireRejects(t *testing.T) {
+	ws := randomWStats(t, 3, 2, 60, 5)
+	good, err := ws.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, clustering.ErrBadModelFormat},
+		{"truncated header", good[:7], clustering.ErrBadModelFormat},
+		{"truncated body", good[:len(good)-3], clustering.ErrBadModelFormat},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), clustering.ErrBadModelFormat},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), clustering.ErrBadModelFormat},
+		{"future version", corrupt(func(b []byte) []byte { b[4] = 99; return b }), clustering.ErrModelVersion},
+		{"oversized k", corrupt(func(b []byte) []byte {
+			b[5], b[6], b[7], b[8] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}), clustering.ErrBadModelFormat},
+		{"zero m", corrupt(func(b []byte) []byte {
+			b[9], b[10], b[11], b[12] = 0, 0, 0, 0
+			return b
+		}), clustering.ErrBadModelFormat},
+		{"NaN weight", corrupt(func(b []byte) []byte {
+			putF64(b[13:], math.NaN())
+			return b
+		}), clustering.ErrBadModelFormat},
+		{"negative weight", corrupt(func(b []byte) []byte {
+			putF64(b[13:], -1)
+			return b
+		}), clustering.ErrBadModelFormat},
+		{"Inf mean sum", corrupt(func(b []byte) []byte {
+			putF64(b[13+8*3:], math.Inf(1))
+			return b
+		}), clustering.ErrBadModelFormat},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalWStats(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// putF64 overwrites the first 8 bytes of b with v's little-endian bits.
+func putF64(b []byte, v float64) {
+	bits := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(bits >> (8 * i))
+	}
+}
+
+// TestWStatsMergeMatchesSingle: splitting a dataset into random parts,
+// accumulating per-part statistics, and tree-merging them must reproduce
+// the single-accumulator read-out within floating-point reassociation
+// slack (1e-9 relative) — the correctness core of the sharded fit.
+func TestWStatsMergeMatchesSingle(t *testing.T) {
+	for _, parts := range []int{2, 3, 5, 8} {
+		for _, seed := range []uint64{3, 41} {
+			k, m, n := 6, 4, 400
+			ds := wstatsDataset(n, m, seed)
+			mom := uncertain.MomentsOf(ds)
+			assign := make([]int, n)
+			r := rng.New(seed * 1313)
+			for i := range assign {
+				assign[i] = r.Intn(k)
+			}
+
+			single := NewWStats(k, m)
+			single.AddAssigned(mom, assign)
+
+			// Rows round-robin into `parts` accumulators (each part gets its
+			// own Moments window, as shards would).
+			shards := make([]*WStats, parts)
+			for p := range shards {
+				w := uncertain.NewMoments(m)
+				var pa []int
+				for i := 0; i < n; i++ {
+					if i%parts == p {
+						w.Append(ds[i])
+						pa = append(pa, assign[i])
+					}
+				}
+				shards[p] = NewWStats(k, m)
+				shards[p].AddAssigned(w, pa)
+			}
+			// A second operand list in reversed order checks commutativity:
+			// merging the same parts in a different order must land on the
+			// same read-out (up to reassociation slack).
+			rev := make([]*WStats, parts)
+			for p := range rev {
+				rev[p] = NewWStats(k, m)
+				rev[p].CopyFrom(shards[parts-1-p])
+			}
+			// Deterministic pairwise tree reduction.
+			reduce := func(ops []*WStats) *WStats {
+				for len(ops) > 1 {
+					var next []*WStats
+					for i := 0; i < len(ops); i += 2 {
+						if i+1 < len(ops) {
+							ops[i].Merge(ops[i+1])
+						}
+						next = append(next, ops[i])
+					}
+					ops = next
+				}
+				return ops[0]
+			}
+			merged := reduce(shards)
+			revMerged := reduce(rev)
+
+			sm := make([]float64, k*m)
+			sa := make([]float64, k)
+			mm := make([]float64, k*m)
+			ma := make([]float64, k)
+			single.CentersInto(sm, sa)
+			merged.CentersInto(mm, ma)
+			for i := range sm {
+				if rel := math.Abs(mm[i]-sm[i]) / (math.Abs(sm[i]) + 1); rel > 1e-9 {
+					t.Fatalf("parts=%d seed=%d: merged mean[%d]=%v vs single %v", parts, seed, i, mm[i], sm[i])
+				}
+			}
+			for c := range sa {
+				if rel := math.Abs(ma[c]-sa[c]) / (math.Abs(sa[c]) + 1); rel > 1e-9 {
+					t.Fatalf("parts=%d seed=%d: merged add[%d]=%v vs single %v", parts, seed, c, ma[c], sa[c])
+				}
+			}
+			if rel := math.Abs(merged.EstimateJ()-single.EstimateJ()) / (math.Abs(single.EstimateJ()) + 1); rel > 1e-9 {
+				t.Fatalf("parts=%d seed=%d: merged J %v vs single %v", parts, seed, merged.EstimateJ(), single.EstimateJ())
+			}
+			rm := make([]float64, k*m)
+			ra := make([]float64, k)
+			revMerged.CentersInto(rm, ra)
+			for i := range mm {
+				if rel := math.Abs(rm[i]-mm[i]) / (math.Abs(mm[i]) + 1); rel > 1e-9 {
+					t.Fatalf("parts=%d seed=%d: reversed-order mean[%d]=%v vs forward %v", parts, seed, i, rm[i], mm[i])
+				}
+			}
+			for c := range ma {
+				if rel := math.Abs(ra[c]-ma[c]) / (math.Abs(ma[c]) + 1); rel > 1e-9 {
+					t.Fatalf("parts=%d seed=%d: reversed-order add[%d]=%v vs forward %v", parts, seed, c, ra[c], ma[c])
+				}
+			}
+		}
+	}
+}
+
+// TestWStatsMergeMapped: merging under a permutation lands each source
+// cluster's statistics in the mapped slot exactly.
+func TestWStatsMergeMapped(t *testing.T) {
+	a := randomWStats(t, 4, 2, 80, 9)
+	b := randomWStats(t, 4, 2, 80, 10)
+	perm := []int{2, 0, 3, 1}
+
+	merged := NewWStats(4, 2)
+	merged.CopyFrom(a)
+	merged.MergeMapped(b, perm)
+	for c := 0; c < 4; c++ {
+		d := perm[c]
+		if got, want := merged.w[d], a.w[d]+b.w[c]; got != want {
+			t.Fatalf("cluster %d→%d: weight %v, want %v", c, d, got, want)
+		}
+		for j := 0; j < 2; j++ {
+			if got, want := merged.sum[d*2+j], a.sum[d*2+j]+b.sum[c*2+j]; got != want {
+				t.Fatalf("cluster %d→%d dim %d: sum %v, want %v", c, d, j, got, want)
+			}
+		}
+	}
+}
+
+// FuzzUnmarshalWStats: arbitrary bytes must either be rejected with a
+// typed sentinel or decode to statistics whose re-encoding is
+// byte-identical to the accepted input — never a panic, never an
+// unbounded allocation.
+func FuzzUnmarshalWStats(f *testing.F) {
+	ws := randomWStats(f, 4, 3, 120, 21)
+	good, err := ws.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-5])
+	f.Add(append(append([]byte(nil), good...), 7))
+	bad := append([]byte(nil), good...)
+	bad[4] = 9
+	f.Add(bad)
+	f.Add([]byte("UCWS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := UnmarshalWStats(data)
+		if err != nil {
+			if !errors.Is(err, clustering.ErrBadModelFormat) && !errors.Is(err, clustering.ErrModelVersion) {
+				t.Fatalf("rejection is not a typed sentinel: %v", err)
+			}
+			return
+		}
+		re, err := dec.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encoding an accepted payload failed: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatal("accepted payload does not re-encode byte-identically")
+		}
+	})
+}

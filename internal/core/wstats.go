@@ -81,6 +81,60 @@ func (ws *WStats) CopyFrom(o *WStats) {
 	copy(ws.phi, o.phi)
 }
 
+// Merge folds o's statistics into ws cluster-by-cluster: every statistic of
+// o's cluster c is added to ws's cluster c (same k and m required). Because
+// the statistics are plain sums, Merge is the exact combiner for a sharded
+// fit — merging the per-shard sums and reading the centroids out is the
+// same arithmetic as accumulating every object in one engine, up to
+// floating-point reassociation. Identity-mapped; see MergeMapped for the
+// reconciled form.
+func (ws *WStats) Merge(o *WStats) {
+	ws.MergeMapped(o, nil)
+}
+
+// MergeMapped folds o's statistics into ws under a cluster correspondence:
+// o's cluster c lands in ws's cluster onto[c] (nil onto = identity). The
+// shard coordinator computes onto by greedy centroid matching so that
+// shards which discovered the same structure under different label orders
+// merge structure-to-structure rather than label-to-label. onto must be a
+// permutation of [0, k); entries are trusted (internal API — the
+// coordinator constructs them).
+func (ws *WStats) MergeMapped(o *WStats, onto []int) {
+	if ws.k != o.k || ws.m != o.m {
+		panic("core: WStats.MergeMapped shape mismatch")
+	}
+	m := ws.m
+	for c := 0; c < o.k; c++ {
+		d := c
+		if onto != nil {
+			d = onto[c]
+		}
+		ws.w[d] += o.w[c]
+		ws.psi[d] += o.psi[c]
+		ws.phi[d] += o.phi[c]
+		src := o.sum[c*m : (c+1)*m]
+		dst := ws.sum[d*m : (d+1)*m]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+}
+
+// MeanInto writes cluster c's read-out mean S_c/W_c into dst and reports
+// whether the cluster has any weight (a zero-weight cluster has no read-out
+// position; dst is left untouched).
+func (ws *WStats) MeanInto(c int, dst []float64) bool {
+	if ws.w[c] <= 0 {
+		return false
+	}
+	inv := 1 / ws.w[c]
+	row := ws.sum[c*ws.m : (c+1)*ws.m]
+	for j, v := range row {
+		dst[j] = v * inv
+	}
+	return true
+}
+
 // Scale multiplies every cluster's statistics by lambda — the per-batch
 // exponential forgetting step (lambda = 1 − Decay).
 func (ws *WStats) Scale(lambda float64) {

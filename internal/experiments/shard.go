@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"ucpc"
+	"ucpc/internal/datasets"
+	"ucpc/internal/eval"
+	"ucpc/internal/uncertain"
+)
+
+// Shard is the shard-parallel fit experiment behind `cmd/uncbench -exp
+// shard`: stream the KDD-shaped uncertain workload of the scale experiment
+// through ucpc.ShardedClusterer twice — once with 1 shard (the
+// single-engine reference, bit-identical to StreamClusterer) and once with
+// P shards ingesting concurrently — and compare ingest throughput and
+// final quality. The merged statistics describe the same objects either
+// way, so the quality gate is tight (within 2% of the single-engine fit);
+// the throughput gate scales with the cores actually available, reaching
+// the headline ≥2.5× at 4 shards only on machines with ≥4 cores.
+
+// ShardConfig sizes the shard-parallel fit experiment. The zero value
+// selects the full 1M-object × 4-shard workload; CI smoke runs pass a
+// small N.
+type ShardConfig struct {
+	// N is the number of objects streamed through each fit (default
+	// 1,000,000).
+	N int
+	// K is the number of clusters (default 23, the KDD class count).
+	K int
+	// Shards is the parallel shard count P (default 4).
+	Shards int
+	// BatchSize is the per-shard mini-batch size (default 8192).
+	BatchSize int
+	// Subsample is the comparison subsample size (default 50,000, clamped
+	// to N) on which both models are scored.
+	Subsample int
+	// Seed drives the record stream, the uncertainty generator, and both
+	// fits (0 = 1).
+	Seed uint64
+	// Progress, when non-nil, receives one line per reporting interval.
+	Progress func(format string, args ...any)
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.N == 0 {
+		c.N = 1_000_000
+	}
+	if c.K == 0 {
+		c.K = datasets.KDD().Classes
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 8192
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 50_000
+	}
+	if c.Subsample > c.N {
+		c.Subsample = c.N
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// ShardResult is the JSON payload of the shard-parallel fit experiment
+// (SHARD_PR7.json).
+type ShardResult struct {
+	N         int `json:"n"`
+	K         int `json:"k"`
+	Shards    int `json:"shards"`
+	BatchSize int `json:"batch_size"`
+	Subsample int `json:"subsample"`
+	// EffectiveCores is GOMAXPROCS at run time — the parallelism actually
+	// available to the shards, and the scale for the throughput gate.
+	EffectiveCores int `json:"effective_cores"`
+
+	// SingleSeconds/ShardSeconds are the times spent inside Observe
+	// (scoring + statistics updates, object synthesis excluded) for the
+	// 1-shard and P-shard fits; the ObjectsPerSec figures are N over them.
+	SingleSeconds       float64 `json:"single_seconds"`
+	SingleObjectsPerSec float64 `json:"single_objects_per_sec"`
+	ShardSeconds        float64 `json:"shard_seconds"`
+	ShardObjectsPerSec  float64 `json:"shard_objects_per_sec"`
+	// Speedup is ShardObjectsPerSec / SingleObjectsPerSec.
+	Speedup float64 `json:"speedup"`
+
+	// SingleQuality/ShardQuality are eval.Quality (inter − intra, in
+	// [−1, 1]) of each fit's assignment of the subsample.
+	SingleQuality float64 `json:"single_quality"`
+	ShardQuality  float64 `json:"shard_quality"`
+}
+
+// shardFit streams n objects through a fit with the given shard count and
+// returns the snapshot, the time spent inside Observe, and the quality on
+// the regenerated subsample.
+func shardFit(ctx context.Context, cfg ShardConfig, shards int) (float64, float64, error) {
+	// Workers: 1 per shard — ingest parallelism is the shard fan-out, so
+	// the 1-shard reference is a genuinely single-threaded baseline.
+	sc := ucpc.ShardedClusterer{
+		Config: ucpc.StreamConfig{BatchSize: cfg.BatchSize, Workers: 1, Seed: cfg.Seed},
+		Shards: shards,
+	}
+	fit, err := sc.Begin(ctx, cfg.K)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Feed in portions of Shards×BatchSize regardless of the shard count,
+	// so both fits see identical Observe call boundaries and every shard
+	// of the P-shard fit receives one full mini-batch per call.
+	portion := cfg.BatchSize * cfg.Shards
+	src := newScaleSource(cfg.Seed)
+	chunk := make(uncertain.Dataset, 0, portion)
+	var (
+		streamed int
+		observe  time.Duration
+	)
+	for streamed < cfg.N {
+		n := portion
+		if rest := cfg.N - streamed; n > rest {
+			n = rest
+		}
+		chunk = src.take(chunk[:0], n)
+		t0 := time.Now()
+		if err := fit.Observe(ctx, chunk); err != nil {
+			return 0, 0, err
+		}
+		observe += time.Since(t0)
+		streamed += n
+		if fit.Batches()%64 == shards || streamed == cfg.N {
+			cfg.Progress("shard: P=%d: %d/%d objects, %d batches", shards, streamed, cfg.N, fit.Batches())
+		}
+	}
+	snap, err := fit.Snapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	sub := newScaleSource(cfg.Seed).take(make(uncertain.Dataset, 0, cfg.Subsample), cfg.Subsample)
+	assign, err := snap.Assign(ctx, sub)
+	if err != nil {
+		return 0, 0, err
+	}
+	q := eval.Quality(sub, ucpc.Partition{K: snap.K(), Assign: assign})
+	return observe.Seconds(), q, nil
+}
+
+// Shard runs the shard-parallel fit experiment.
+func Shard(ctx context.Context, cfg ShardConfig) (*ShardResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ShardResult{
+		N: cfg.N, K: cfg.K, Shards: cfg.Shards, BatchSize: cfg.BatchSize,
+		Subsample: cfg.Subsample, EffectiveCores: runtime.GOMAXPROCS(0),
+	}
+	cfg.Progress("shard: single-engine reference fit (P=1)")
+	var err error
+	if res.SingleSeconds, res.SingleQuality, err = shardFit(ctx, cfg, 1); err != nil {
+		return nil, err
+	}
+	cfg.Progress("shard: sharded fit (P=%d)", cfg.Shards)
+	if res.ShardSeconds, res.ShardQuality, err = shardFit(ctx, cfg, cfg.Shards); err != nil {
+		return nil, err
+	}
+	if res.SingleSeconds > 0 {
+		res.SingleObjectsPerSec = float64(cfg.N) / res.SingleSeconds
+	}
+	if res.ShardSeconds > 0 {
+		res.ShardObjectsPerSec = float64(cfg.N) / res.ShardSeconds
+	}
+	if res.SingleObjectsPerSec > 0 {
+		res.Speedup = res.ShardObjectsPerSec / res.SingleObjectsPerSec
+	}
+	return res, nil
+}
+
+// RenderShard formats the result for terminal output.
+func RenderShard(r *ShardResult) string {
+	return fmt.Sprintf(`shard-parallel fit (-exp shard)
+  stream:     n=%d k=%d batch=%d, P=%d shards on %d cores
+  throughput: 1 shard %.0f objects/sec (%.2fs), %d shards %.0f objects/sec (%.2fs) — %.2fx
+  quality:    sharded %.4f vs single-engine %.4f on %d-object subsample
+`,
+		r.N, r.K, r.BatchSize, r.Shards, r.EffectiveCores,
+		r.SingleObjectsPerSec, r.SingleSeconds,
+		r.Shards, r.ShardObjectsPerSec, r.ShardSeconds, r.Speedup,
+		r.ShardQuality, r.SingleQuality, r.Subsample)
+}
+
+// RequiredSpeedup is the core-aware throughput floor: the headline 2.5×
+// (for 4 shards) is demanded only when the machine has at least 4 cores to
+// run them on; with fewer cores the floor scales as 0.625× per effective
+// core, bottoming out at 0.5× on a single core (sharding must never cost
+// more than half the single-engine throughput, even with all shards
+// time-slicing one core).
+func (r *ShardResult) RequiredSpeedup() float64 {
+	cores := r.EffectiveCores
+	if cores > r.Shards {
+		cores = r.Shards
+	}
+	req := 0.625 * float64(cores)
+	if req < 0.5 {
+		req = 0.5
+	}
+	return req
+}
+
+// Check applies the shard acceptance gates: quality within 2% of the
+// single-engine fit (one-sided — landing in a *better* optimum passes),
+// and throughput at least RequiredSpeedup times the single-engine fit.
+func (r *ShardResult) Check() error {
+	if r.ShardQuality < r.SingleQuality-0.02*math.Abs(r.SingleQuality) {
+		return fmt.Errorf("shard: sharded quality %.4f more than 2%% below single-engine quality %.4f",
+			r.ShardQuality, r.SingleQuality)
+	}
+	if req := r.RequiredSpeedup(); r.Speedup < req {
+		return fmt.Errorf("shard: %d-shard speedup %.2fx below the %.2fx floor for %d effective cores",
+			r.Shards, r.Speedup, req, r.EffectiveCores)
+	}
+	return nil
+}

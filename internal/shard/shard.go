@@ -1,0 +1,609 @@
+// Package shard implements the shard-parallel fitting coordinator behind
+// ucpc.ShardedClusterer: P independent mini-batch stream engines
+// (internal/stream) each consume a partition of the input, and a
+// coordinator merges their weighted sufficient statistics (core.WStats)
+// into one global centroid state.
+//
+// The design rests on the paper's Theorem-2/Theorem-3 read-out: every
+// quantity a fit needs — centroid means S_c/W_c, additive variance terms
+// Ψ_c/W_c², the objective estimate — is a function of *additive* per-cluster
+// sums, so per-shard sums merge by plain addition. Addition is only
+// meaningful when the shards describe the same cluster structure, which
+// rests on four mechanisms:
+//
+//   - Broadcast alignment. Independent seeding would let every shard
+//     converge to its own local optimum, and merging unrelated optima
+//     averages structure away. So (for P > 1) the coordinator buffers the
+//     first seed window, fits it once with the base seed, and warm-starts
+//     every shard engine from the resulting centroids — positions only,
+//     with zero statistical mass, so merged weights still account for
+//     exactly the observed objects.
+//
+//   - Parameter-server re-sync. After every ingest round (for P > 1) the
+//     coordinator tree-reduces the shards' statistics and broadcasts the
+//     merged centroid read-out back to every engine (Engine.SyncCenters),
+//     so the next round's assignments on every shard score against
+//     globally informed positions instead of each shard's drifting local
+//     trajectory. Only the scoring centers are synchronized — each
+//     shard's statistics stay its own partition's sums, so the merge
+//     still accounts for every object exactly once.
+//
+//   - Cluster correspondence. Each shard labels its k clusters in its own
+//     arbitrary order. Before adding, the coordinator reconciles labels by
+//     greedy centroid matching on the read-out means (globally smallest
+//     pairwise distance first, ties broken toward the lowest index pair —
+//     deterministic), so shards that discovered the same structure merge
+//     structure-to-structure.
+//
+//   - Determinism under stragglers. Merging is a deterministic pairwise
+//     tree reduction over the shard list in index order. A merge may run
+//     with any subset of shards ready (the others contribute nothing yet);
+//     because every merge re-reduces from the per-shard statistics — the
+//     reduction over k·(m+3) scalars per shard costs microseconds — a late
+//     shard is incorporated by simply merging again, and the final result
+//     never depends on arrival order.
+//
+// Shards may live in other processes: AddRemote accepts a shard's
+// statistics in the versioned WStats wire format (core.UnmarshalWStats)
+// and folds it into every subsequent merge.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"ucpc/internal/clustering"
+	"ucpc/internal/core"
+	"ucpc/internal/stream"
+	"ucpc/internal/uncertain"
+)
+
+// PartitionFunc routes one observed object to a shard in [0, shards). seq
+// is the object's global arrival sequence number (0-based), so the default
+// round-robin rule is simply seq % shards. A partitioner must be
+// deterministic in (o, seq) for reproducible fits.
+type PartitionFunc func(o *uncertain.Object, seq int64, shards int) int
+
+// RoundRobin is the default partitioner: object seq goes to shard
+// seq % shards, which spreads any arrival order evenly.
+func RoundRobin(_ *uncertain.Object, seq int64, shards int) int {
+	return int(seq % int64(shards))
+}
+
+// seedStride dissociates the per-shard RNG streams: shard i runs on
+// seed + i·seedStride (an odd 64-bit constant, so the walk never collides
+// with itself within any realistic shard count). Shard 0 keeps the base
+// seed unchanged — a 1-shard coordinator is bit-identical to a single
+// stream engine on the same configuration.
+const seedStride = 0x9E3779B97F4A7C15
+
+// Coordinator fans observed objects out to P stream engines and merges
+// their statistics on demand. Observe calls serialize behind one mutex
+// (the per-shard ingest inside an Observe still runs in parallel).
+type Coordinator struct {
+	mu   sync.Mutex
+	k, p int
+	cfg  clustering.StreamConfig
+	part PartitionFunc
+
+	engines []*stream.Engine
+	bufs    []uncertain.Dataset // per-shard partition buffers, recycled
+	seq     int64               // global arrival sequence
+
+	// Broadcast alignment (P > 1 only): shards must track the same cluster
+	// structure for their statistics to merge structure-to-structure, so
+	// the coordinator routes the whole first seed window through shard 0
+	// alone — which runs the base seed, so it replays a standalone
+	// engine's seeding and early trajectory bit for bit — and then
+	// warm-starts every other engine from shard 0's exported centroids,
+	// positions only with zero statistical mass, so merged weights still
+	// account for exactly the observed objects. Until the window is full,
+	// observed objects wait in pending (arrival order; routes are still
+	// computed eagerly so partitioner misbehavior surfaces immediately).
+	aligned bool
+	pending uncertain.Dataset
+
+	remotes []*core.WStats // out-of-process shard statistics, arrival order
+}
+
+// New returns a coordinator for k clusters over `shards` engines. part nil
+// means RoundRobin. Shard i runs on the base seed advanced by i·seedStride,
+// so shard RNG streams are disjoint but the whole fit is reproducible from
+// one StreamConfig.
+func New(k, shards int, cfg clustering.StreamConfig, part PartitionFunc) (*Coordinator, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: %d shards: %w", shards, clustering.ErrBadConfig)
+	}
+	if part == nil {
+		part = RoundRobin
+	}
+	co := &Coordinator{
+		k:       k,
+		p:       shards,
+		cfg:     cfg,
+		part:    part,
+		engines: make([]*stream.Engine, shards),
+		bufs:    make([]uncertain.Dataset, shards),
+	}
+	base := cfg.SeedOrDefault()
+	for i := range co.engines {
+		scfg := cfg
+		scfg.Seed = base + uint64(i)*seedStride
+		if scfg.Seed == 0 { // the RNG reserves seed 0
+			scfg.Seed = clustering.DefaultSeed
+		}
+		eng, err := stream.New(k, scfg)
+		if err != nil {
+			return nil, err
+		}
+		co.engines[i] = eng
+	}
+	// A 1-shard coordinator needs no broadcast alignment — its only engine
+	// seeds itself exactly like a standalone stream engine (bit-identical).
+	co.aligned = shards == 1
+	return co, nil
+}
+
+// Shards returns the number of local shard engines.
+func (co *Coordinator) Shards() int { return co.p }
+
+// Observe partitions objs across the shards and ingests every shard's
+// portion concurrently. ctx is plumbed to each shard's engine (which checks
+// it between mini-batches); the first shard failure cancels the remaining
+// shards' ingest and is returned (lowest shard index wins when several fail
+// together, so the reported error is deterministic).
+func (co *Coordinator) Observe(ctx context.Context, objs uncertain.Dataset) error {
+	ctx = clustering.Ctx(ctx)
+	if len(objs) == 0 {
+		return nil
+	}
+	if err := objs.Validate(); err != nil {
+		return err
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+
+	if !co.aligned {
+		// Buffer toward the broadcast seed window, routes computed (and
+		// discarded — the window is consumed centrally by shard 0) so
+		// partitioner misbehavior surfaces immediately. Arrivals beyond
+		// the window fall through to the normal fan-out below once
+		// alignment has run, so the sequential prefix stays one window
+		// long no matter how large the first Observe call is.
+		for len(objs) > 0 && len(co.pending) < co.alignWindow() {
+			if _, err := co.routeLocked(objs[0]); err != nil {
+				return err
+			}
+			co.pending = append(co.pending, objs[0])
+			objs = objs[1:]
+		}
+		if len(co.pending) < co.alignWindow() {
+			return nil
+		}
+		if err := co.alignLocked(ctx); err != nil {
+			return err
+		}
+		if len(objs) == 0 {
+			return nil
+		}
+	}
+
+	for i := range co.bufs {
+		co.bufs[i] = co.bufs[i][:0]
+	}
+	for _, o := range objs {
+		s, err := co.routeLocked(o)
+		if err != nil {
+			return err
+		}
+		co.bufs[s] = append(co.bufs[s], o)
+	}
+	return co.runLocked(ctx)
+}
+
+// routeLocked assigns the next arrival to a shard, advancing the global
+// sequence number; an out-of-range route is rejected as ErrBadConfig.
+func (co *Coordinator) routeLocked(o *uncertain.Object) (int, error) {
+	s := co.part(o, co.seq, co.p)
+	if s < 0 || s >= co.p {
+		return 0, fmt.Errorf("shard: partitioner routed object %d to shard %d of %d: %w",
+			co.seq, s, co.p, clustering.ErrBadConfig)
+	}
+	co.seq++
+	return s, nil
+}
+
+// alignWindow is the broadcast seed-window size: one mini-batch, and never
+// fewer than k objects.
+func (co *Coordinator) alignWindow() int {
+	if bs := co.cfg.BatchSizeOrDefault(); bs > co.k {
+		return bs
+	}
+	return co.k
+}
+
+// alignLocked performs the broadcast alignment: shard 0 — which runs the
+// base seed, so it is bit-identical to a standalone engine on the same
+// configuration — consumes the buffered seed window (replaying exactly the
+// best-of-two seeding and Lloyd window refinement a single engine runs on
+// its first window, and keeping the refined statistics), and every other
+// shard engine is then warm-started from shard 0's exported centroids with
+// zero statistical mass. From here on every shard scores arrivals against
+// the same structure, so the per-shard statistics describe corresponding
+// clusters and the merge is structure-to-structure instead of averaging
+// unrelated local optima.
+//
+// That shard 0 keeps the window's refined statistics — rather than every
+// shard re-scoring the window in one pass from zero mass — matters: with
+// cumulative (Decay 0) statistics the early trajectory dominates the final
+// read-out, and discarding the refinement bakes a permanent quality
+// deficit into the fan-out. The sequential prefix is exactly one window,
+// so the fan-out's Amdahl ceiling stays high.
+func (co *Coordinator) alignLocked(ctx context.Context) error {
+	if err := co.engines[0].Observe(ctx, co.pending); err != nil {
+		return fmt.Errorf("shard 0: %w", err)
+	}
+	st, err := co.engines[0].ExportStats()
+	if err != nil {
+		return err
+	}
+	m := st.WS.Dims()
+	zero := make([]float64, co.k)
+	base := co.cfg.SeedOrDefault()
+	for i := 1; i < co.p; i++ {
+		ecfg := co.cfg
+		ecfg.Seed = base + uint64(i)*seedStride
+		if ecfg.Seed == 0 { // the RNG reserves seed 0
+			ecfg.Seed = clustering.DefaultSeed
+		}
+		eng, err := stream.NewFrom(co.k, m, st.Means, st.Adds, zero, ecfg)
+		if err != nil {
+			return err
+		}
+		co.engines[i] = eng
+	}
+	co.aligned = true
+	co.pending = nil
+	return nil
+}
+
+// runLocked drains the partition buffers into the shard engines, all
+// shards ingesting concurrently.
+func (co *Coordinator) runLocked(ctx context.Context) error {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, co.p)
+	var wg sync.WaitGroup
+	for i := 0; i < co.p; i++ {
+		if len(co.bufs[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := co.engines[i].Observe(sctx, co.bufs[i]); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if co.p > 1 {
+		return co.syncLocked()
+	}
+	return nil
+}
+
+// AddRemote folds an out-of-process shard's statistics — a payload produced
+// by core.WStats.MarshalBinary on the remote side — into every subsequent
+// merge. The payload is decoded and validated up front (wrapped
+// ErrBadModelFormat / ErrModelVersion on malformed input) and must match
+// the coordinator's k; its dimensionality fixes the coordinator's if no
+// local shard has observed anything yet, and must match otherwise.
+func (co *Coordinator) AddRemote(payload []byte) error {
+	ws, err := core.UnmarshalWStats(payload)
+	if err != nil {
+		return err
+	}
+	if ws.K() != co.k {
+		return fmt.Errorf("shard: remote statistics carry k=%d, coordinator fits k=%d: %w",
+			ws.K(), co.k, clustering.ErrBadModelFormat)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, prev := range co.remotes {
+		if prev.Dims() != ws.Dims() {
+			return fmt.Errorf("shard: remote statistics dim %d vs %d: %w",
+				ws.Dims(), prev.Dims(), uncertain.ErrDimMismatch)
+		}
+		break
+	}
+	co.remotes = append(co.remotes, ws)
+	return nil
+}
+
+// node is one merge-tree operand: statistics plus the authoritative
+// centroid read-out (frozen positions survive for zero-weight clusters,
+// which the statistics alone cannot place).
+type node struct {
+	ws          *core.WStats
+	means, adds []float64
+}
+
+// nodeOf wraps a shard's exported state. Remote shards have no frozen
+// read-out, so their node derives means/adds from the statistics (dead
+// clusters sit at the origin with an infinite additive term and never
+// attract a match ahead of a live cluster).
+func nodeOf(ws *core.WStats, means, adds []float64) *node {
+	k, m := ws.K(), ws.Dims()
+	n := &node{ws: ws}
+	if means != nil {
+		n.means = append([]float64(nil), means...)
+		n.adds = append([]float64(nil), adds...)
+		return n
+	}
+	n.means = make([]float64, k*m)
+	n.adds = make([]float64, k)
+	for c := 0; c < k; c++ {
+		n.adds[c] = math.Inf(1)
+	}
+	ws.CentersInto(n.means, n.adds)
+	return n
+}
+
+// mergeNodes folds right into left under the greedy centroid
+// correspondence and refreshes left's read-out. left is mutated and
+// returned.
+func mergeNodes(left, right *node) *node {
+	onto := matchClusters(left, right)
+	left.ws.MergeMapped(right.ws, onto)
+	// Refresh the read-out: clusters with merged weight keep the exact
+	// S/W read-out; weightless clusters keep left's frozen position (or
+	// adopt right's, when only right has one — e.g. left never revived a
+	// dead cluster that right re-seeded position-only).
+	for c := 0; c < left.ws.K(); c++ {
+		if left.ws.Weight(c) > 0 {
+			continue
+		}
+		if math.IsInf(left.adds[c], 1) {
+			for rc, d := range onto {
+				if d == c && !math.IsInf(right.adds[rc], 1) {
+					copy(left.means[c*left.ws.Dims():(c+1)*left.ws.Dims()], right.means[rc*left.ws.Dims():(rc+1)*left.ws.Dims()])
+					left.adds[c] = right.adds[rc]
+					break
+				}
+			}
+		}
+	}
+	left.ws.CentersInto(left.means, left.adds)
+	return left
+}
+
+// matchClusters computes the cluster correspondence onto[c] = left slot for
+// right's cluster c, by greedy matching on squared distance between the
+// nodes' centroid means: the globally closest unmatched (left, right) pair
+// is fixed first, ties broken toward the lowest left index, then the lowest
+// right index — fully deterministic. Pairs where either side has no weight
+// score +Inf and are matched last, by the same index rule, so dead clusters
+// absorb dead clusters instead of displacing live structure.
+func matchClusters(left, right *node) []int {
+	k, m := left.ws.K(), left.ws.Dims()
+	cost := make([]float64, k*k) // cost[l*k+r]
+	for l := 0; l < k; l++ {
+		for r := 0; r < k; r++ {
+			if left.ws.Weight(l) <= 0 || right.ws.Weight(r) <= 0 {
+				cost[l*k+r] = math.Inf(1)
+				continue
+			}
+			var d float64
+			lm, rm := left.means[l*m:(l+1)*m], right.means[r*m:(r+1)*m]
+			for j := 0; j < m; j++ {
+				diff := lm[j] - rm[j]
+				d += diff * diff
+			}
+			cost[l*k+r] = d
+		}
+	}
+	onto := make([]int, k)
+	usedL := make([]bool, k)
+	usedR := make([]bool, k)
+	for step := 0; step < k; step++ {
+		bestL, bestR, bestD := -1, -1, math.Inf(1)
+		for l := 0; l < k; l++ {
+			if usedL[l] {
+				continue
+			}
+			for r := 0; r < k; r++ {
+				if usedR[r] {
+					continue
+				}
+				if d := cost[l*k+r]; d < bestD {
+					bestL, bestR, bestD = l, r, d
+				}
+			}
+		}
+		if bestL < 0 {
+			// Only +Inf pairs remain: pair leftover indexes in order.
+			for l := 0; l < k; l++ {
+				if usedL[l] {
+					continue
+				}
+				for r := 0; r < k; r++ {
+					if !usedR[r] {
+						onto[r] = l
+						usedL[l], usedR[r] = true, true
+						break
+					}
+				}
+			}
+			break
+		}
+		onto[bestR] = bestL
+		usedL[bestL], usedR[bestR] = true, true
+	}
+	return onto
+}
+
+// Merge tree-reduces the ready shards' statistics into one global centroid
+// state. Local shards that are still cold (fewer than k objects observed)
+// are skipped — merge what's ready; a later Merge call re-reduces from
+// scratch and picks them up. With no ready shard at all it fails with a
+// wrapped ErrStreamCold.
+//
+// The reduction is a deterministic pairwise tree over the operand list
+// (local shards in index order, then remote payloads in arrival order):
+// rounds of merging operand 2i+1 into operand 2i. Identical operand states
+// produce identical results regardless of when each shard became ready.
+func (co *Coordinator) Merge() (*stream.Frozen, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	// A stream shorter than one seed window never filled the broadcast
+	// alignment buffer: align on demand from whatever is buffered, the
+	// same way a single engine seeds on demand when snapshotted early.
+	if !co.aligned && len(co.pending) >= co.k {
+		if err := co.alignLocked(context.Background()); err != nil {
+			return nil, err
+		}
+	}
+	return co.mergeLocked()
+}
+
+// rootLocked collects the ready shards' states (local engines in index
+// order, then remote payloads in arrival order) and tree-reduces them to
+// one root node, returning it with the summed seen/batches counters.
+func (co *Coordinator) rootLocked() (root *node, seen int64, batches int, hasMembers bool, err error) {
+	var nodes []*node
+	for _, eng := range co.engines {
+		st, err := eng.ExportStats()
+		if err != nil {
+			// A cold shard is "not ready": merge without it. Anything else
+			// is a real failure.
+			if errors.Is(err, clustering.ErrStreamCold) {
+				continue
+			}
+			return nil, 0, 0, false, err
+		}
+		nodes = append(nodes, nodeOf(st.WS, st.Means, st.Adds))
+		seen += st.Seen
+		batches += st.Batches
+		hasMembers = hasMembers || st.HasMembers
+	}
+	for _, ws := range co.remotes {
+		cp := core.NewWStats(ws.K(), ws.Dims())
+		cp.CopyFrom(ws)
+		nodes = append(nodes, nodeOf(cp, nil, nil))
+		hasMembers = true
+	}
+	if len(nodes) == 0 {
+		return nil, 0, 0, false, fmt.Errorf("shard: no shard has observed %d objects yet: %w", co.k, clustering.ErrStreamCold)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].ws.Dims() != nodes[0].ws.Dims() {
+			return nil, 0, 0, false, fmt.Errorf("shard: shard dim %d vs %d: %w",
+				nodes[i].ws.Dims(), nodes[0].ws.Dims(), uncertain.ErrDimMismatch)
+		}
+	}
+
+	for len(nodes) > 1 {
+		next := nodes[:0:len(nodes)]
+		for i := 0; i < len(nodes); i += 2 {
+			if i+1 < len(nodes) {
+				nodes[i] = mergeNodes(nodes[i], nodes[i+1])
+			}
+			next = append(next, nodes[i])
+		}
+		nodes = next
+	}
+	return nodes[0], seen, batches, hasMembers, nil
+}
+
+// syncLocked broadcasts the merged centroid read-out back to every shard
+// engine — the parameter-server step run after each ingest round, so all
+// shards score their next batches against globally informed positions
+// instead of drifting on their own trajectories.
+func (co *Coordinator) syncLocked() error {
+	root, _, _, _, err := co.rootLocked()
+	if err != nil {
+		return err
+	}
+	for _, eng := range co.engines {
+		if err := eng.SyncCenters(root.means, root.adds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (co *Coordinator) mergeLocked() (*stream.Frozen, error) {
+	root, seen, batches, hasMembers, err := co.rootLocked()
+	if err != nil {
+		return nil, err
+	}
+
+	k, m := root.ws.K(), root.ws.Dims()
+	fz := &stream.Frozen{
+		K:             k,
+		Dims:          m,
+		Means:         append([]float64(nil), root.means...),
+		Adds:          append([]float64(nil), root.adds...),
+		Sizes:         make([]int, k),
+		Weights:       make([]float64, k),
+		HasMembers:    hasMembers,
+		Seen:          seen,
+		Batches:       batches,
+		Objective:     root.ws.EstimateJ(),
+		ResidentBytes: co.residentLocked(),
+	}
+	root.ws.Sizes(fz.Sizes)
+	for c := 0; c < k; c++ {
+		fz.Weights[c] = root.ws.Weight(c)
+	}
+	return fz, nil
+}
+
+// Seen returns the total number of objects folded into any shard so far
+// (objects still buffered by cold shards are not counted).
+func (co *Coordinator) Seen() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var total int64
+	for _, eng := range co.engines {
+		total += eng.Seen()
+	}
+	return total
+}
+
+// Batches returns the total number of mini-batches processed across shards.
+func (co *Coordinator) Batches() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	total := 0
+	for _, eng := range co.engines {
+		total += eng.Batches()
+	}
+	return total
+}
+
+// ResidentBytes returns the summed high-water resident footprint of the
+// shard engines' moment windows.
+func (co *Coordinator) ResidentBytes() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.residentLocked()
+}
+
+func (co *Coordinator) residentLocked() int64 {
+	var total int64
+	for _, eng := range co.engines {
+		total += eng.ResidentBytes()
+	}
+	return total
+}

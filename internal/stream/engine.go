@@ -84,11 +84,8 @@ func New(k int, cfg clustering.StreamConfig) (*Engine, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("stream: k=%d: %w", k, clustering.ErrBadK)
 	}
-	if cfg.Decay < 0 || cfg.Decay >= 1 || math.IsNaN(cfg.Decay) {
-		return nil, fmt.Errorf("stream: decay %v outside [0, 1)", cfg.Decay)
-	}
-	if cfg.MaxBatches < 0 {
-		return nil, fmt.Errorf("stream: negative MaxBatches %d", cfg.MaxBatches)
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 	return &Engine{
 		k:   k,
@@ -497,6 +494,70 @@ func (e *Engine) Snapshot() (*Frozen, error) {
 		fz.Weights[c] = e.ws.Weight(c)
 	}
 	return fz, nil
+}
+
+// Stats is an independent copy of an engine's mergeable state: the weighted
+// sufficient statistics plus the authoritative frozen centroid read-out
+// (means/adds keep the engine's exact bits, including the positions of
+// zero-weight clusters that the statistics alone cannot reproduce). A Stats
+// value is what a shard ships to its coordinator — WS serializes through
+// core's versioned wire format when the shard lives in another process.
+type Stats struct {
+	WS         *core.WStats
+	Means      []float64 // k*m, row-major (copy)
+	Adds       []float64 // k additive variance terms (copy)
+	HasMembers bool
+	Seen       int64
+	Batches    int
+}
+
+// ExportStats freezes the engine's mergeable state. Like Snapshot, a cold
+// engine that has buffered at least k objects is seeded on demand; with
+// fewer it fails with a wrapped ErrStreamCold (the coordinator treats such
+// a shard as not ready and merges without it).
+func (e *Engine) ExportStats() (*Stats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seeded {
+		if e.store == nil || e.store.Len() < e.k {
+			return nil, fmt.Errorf("stream: %w", clustering.ErrStreamCold)
+		}
+		e.seedResident()
+	}
+	ws := core.NewWStats(e.k, e.m)
+	ws.CopyFrom(e.ws)
+	return &Stats{
+		WS:         ws,
+		Means:      append([]float64(nil), e.means...),
+		Adds:       append([]float64(nil), e.adds...),
+		HasMembers: e.hasMembers,
+		Seen:       e.seen,
+		Batches:    e.batches,
+	}, nil
+}
+
+// SyncCenters replaces the engine's authoritative centroid read-out — the
+// positions and additive terms the next mini-batch is scored against —
+// leaving the accumulated statistics untouched. The shard coordinator
+// broadcasts globally merged centroids between ingest rounds with it:
+// per-shard statistics keep accounting for exactly the shard's own
+// objects, while assignments follow the global structure. The shard's next
+// processed batch refreshes the read-out from its own statistics again
+// (CentersInto skips zero-weight clusters, so a synced position survives
+// on clusters the shard has never fed).
+func (e *Engine) SyncCenters(means, adds []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seeded || e.m == 0 {
+		return fmt.Errorf("stream: %w", clustering.ErrStreamCold)
+	}
+	if len(means) != e.k*e.m || len(adds) != e.k {
+		return fmt.Errorf("stream: sync state sized %d/%d for k=%d m=%d",
+			len(means), len(adds), e.k, e.m)
+	}
+	copy(e.means, means)
+	copy(e.adds, adds)
+	return nil
 }
 
 // Seen returns the number of objects folded into the statistics so far.

@@ -1,0 +1,283 @@
+package ucpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ucpc/internal/clustering"
+)
+
+// Model wire format — the serving surface of a fitted model (algorithm,
+// prototype kind, configuration, per-cluster prototypes) in a versioned,
+// deterministic binary encoding: one valid byte string per model, fixed
+// field order, fixed-width little-endian scalars, float64 values written
+// bit-exactly. Round-tripping is byte-identical, so payloads can be
+// compared, cached, or content-addressed by hash. The training ledger
+// (per-object partition, timings, pruning counters) is deliberately NOT
+// serialized: a loaded model serves Assign and seeds FitFrom/BeginFrom,
+// but Partition() reports an empty training assignment — persist the
+// training report separately if you need it.
+//
+//	offset  size       field
+//	0       4          magic "UCPM"
+//	4       1          format version (1)
+//	5       1          flags: bit0 = hasMembers, bit1 = medoids present
+//	6       1          prototype kind
+//	7       1          pruning mode
+//	8       1          L, algorithm-name length
+//	9       L          algorithm name (UTF-8)
+//	+0      4          k       (uint32)
+//	+4      4          dims    (uint32)
+//	+8      4          workers (uint32)
+//	+12     4          maxIter (uint32)
+//	+16     8          seed    (uint64)
+//	+24     4          iterations (uint32)
+//	+28     8          objective (float64 bits; NaN preserved — some
+//	                   methods define no objective)
+//	+36     8·k·dims   means, row-major
+//	·       8·k        adds (+Inf marks a memberless cluster)
+//	·       8·k        sizes (uint64)
+//	·       8·k        medoids (int64, −1 = none) — only when flag bit1
+//
+// Total length is enforced exactly; decoding rejects unknown magic
+// (ErrBadModelFormat), unknown versions (ErrModelVersion), truncated or
+// oversized input, out-of-range shape fields, and non-finite values where
+// the format requires finite ones — without panicking and without
+// allocating more than the input's own size implies.
+
+// The typed wire-format errors; test with errors.Is. They follow the
+// ErrBadK/ErrEmptyDataset sentinel style: every decode path wraps one of
+// them with a message locating the defect.
+var (
+	// ErrBadModelFormat marks serialized input that is not a well-formed
+	// model (or statistics) payload.
+	ErrBadModelFormat = clustering.ErrBadModelFormat
+	// ErrModelVersion marks a payload written by an incompatible (newer)
+	// wire-format version.
+	ErrModelVersion = clustering.ErrModelVersion
+)
+
+const (
+	modelWireVersion = 1
+
+	modelFlagMembers = 1 << 0
+	modelFlagMedoids = 1 << 1
+
+	// modelMaxSide caps k and dims; modelMaxFloats caps k·dims. Far above
+	// any real model, they bound what a hostile length prefix can make the
+	// decoder allocate.
+	modelMaxSide   = 1 << 20
+	modelMaxFloats = 1 << 24
+	// modelMaxCount caps sizes and medoid indexes (2⁵³, the contiguous
+	// integer range of float64 — sizes beyond it could not have come from
+	// a real fit).
+	modelMaxCount = 1 << 53
+)
+
+var modelMagic = [4]byte{'U', 'C', 'P', 'M'}
+
+// modelWireLen returns the exact encoded size for the given shape.
+func modelWireLen(algLen, k, dims int, medoids bool) int {
+	n := 9 + algLen + 36 + 8*(k*dims+2*k)
+	if medoids {
+		n += 8 * k
+	}
+	return n
+}
+
+// MarshalBinary encodes the model in the versioned deterministic wire
+// format above (encoding.BinaryMarshaler). It fails only when a field
+// cannot be represented (an algorithm name longer than 255 bytes).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	if len(m.algorithm) > 255 {
+		return nil, fmt.Errorf("ucpc: algorithm name %d bytes long (format caps it at 255): %w",
+			len(m.algorithm), ErrBadModelFormat)
+	}
+	var flags byte
+	if m.hasMembers {
+		flags |= modelFlagMembers
+	}
+	if m.medoids != nil {
+		flags |= modelFlagMedoids
+	}
+	buf := make([]byte, 0, modelWireLen(len(m.algorithm), m.k, m.dims, m.medoids != nil))
+	buf = append(buf, modelMagic[:]...)
+	buf = append(buf, modelWireVersion, flags, byte(m.proto), byte(m.cfg.Pruning), byte(len(m.algorithm)))
+	buf = append(buf, m.algorithm...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(max(m.cfg.Workers, 0)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(max(m.cfg.MaxIter, 0)))
+	buf = binary.LittleEndian.AppendUint64(buf, m.cfg.Seed)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(max(m.report.Iterations, 0)))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(m.report.Objective))
+	for _, v := range m.means {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, v := range m.adds {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	for _, s := range m.sizes {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(s))
+	}
+	for _, idx := range m.medoids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(idx)))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a payload produced by MarshalBinary into m,
+// replacing its state (encoding.BinaryUnmarshaler). Malformed input is
+// rejected with a wrapped ErrBadModelFormat, an unknown format version
+// with a wrapped ErrModelVersion; on error m is left unchanged.
+func (m *Model) UnmarshalBinary(data []byte) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("ucpc: "+format+": %w", append(args, ErrBadModelFormat)...)
+	}
+	if len(data) < 9 {
+		return bad("model payload truncated at %d bytes (header is 9)", len(data))
+	}
+	if [4]byte(data[:4]) != modelMagic {
+		return bad("model payload has magic %q, want %q", data[:4], modelMagic[:])
+	}
+	if data[4] != modelWireVersion {
+		return fmt.Errorf("ucpc: model payload has format version %d, this build reads %d: %w",
+			data[4], modelWireVersion, ErrModelVersion)
+	}
+	flags, proto, pruning, algLen := data[5], data[6], data[7], int(data[8])
+	if flags&^byte(modelFlagMembers|modelFlagMedoids) != 0 {
+		return bad("model payload sets unknown flag bits %#x", flags)
+	}
+	if clustering.Prototype(proto) > clustering.ProtoMedoid {
+		return bad("model payload declares unknown prototype kind %d", proto)
+	}
+	hasMedoids := flags&modelFlagMedoids != 0
+	if hasMedoids != (clustering.Prototype(proto) == clustering.ProtoMedoid) {
+		return bad("model payload medoid flag %v disagrees with prototype kind %d", hasMedoids, proto)
+	}
+	if PruneMode(pruning) > clustering.PruneOff {
+		return bad("model payload declares unknown pruning mode %d", pruning)
+	}
+	if len(data) < 9+algLen+36 {
+		return bad("model payload truncated at %d bytes (fixed fields need %d)", len(data), 9+algLen+36)
+	}
+	alg := string(data[9 : 9+algLen])
+	off := 9 + algLen
+	k := int(binary.LittleEndian.Uint32(data[off:]))
+	dims := int(binary.LittleEndian.Uint32(data[off+4:]))
+	if k < 1 || k > modelMaxSide || dims < 1 || dims > modelMaxSide || k*dims > modelMaxFloats {
+		return bad("model payload declares shape k=%d dims=%d outside format limits", k, dims)
+	}
+	if want := modelWireLen(algLen, k, dims, hasMedoids); len(data) != want {
+		return bad("model payload is %d bytes, shape k=%d dims=%d needs %d", len(data), k, dims, want)
+	}
+	cfg := Config{
+		Workers: int(binary.LittleEndian.Uint32(data[off+8:])),
+		MaxIter: int(binary.LittleEndian.Uint32(data[off+12:])),
+		Pruning: PruneMode(pruning),
+		Seed:    binary.LittleEndian.Uint64(data[off+16:]),
+	}
+	iterations := int(binary.LittleEndian.Uint32(data[off+24:]))
+	objective := math.Float64frombits(binary.LittleEndian.Uint64(data[off+28:]))
+	off += 36
+
+	means := make([]float64, k*dims)
+	for i := range means {
+		means[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		if math.IsNaN(means[i]) || math.IsInf(means[i], 0) {
+			return bad("model payload mean entry %d is %v", i, means[i])
+		}
+	}
+	adds := make([]float64, k)
+	for c := range adds {
+		adds[c] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		// +Inf is the memberless-cluster marker; NaN and -Inf can never
+		// come from a real fit.
+		if math.IsNaN(adds[c]) || math.IsInf(adds[c], -1) {
+			return bad("model payload additive term %d is %v", c, adds[c])
+		}
+	}
+	sizes := make([]int, k)
+	for c := range sizes {
+		s := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if s > modelMaxCount {
+			return bad("model payload cluster size %d out of range", s)
+		}
+		sizes[c] = int(s)
+	}
+	var medoids []int
+	if hasMedoids {
+		medoids = make([]int, k)
+		for c := range medoids {
+			idx := int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+			if idx < -1 || idx > modelMaxCount {
+				return bad("model payload medoid index %d out of range", idx)
+			}
+			medoids[c] = int(idx)
+		}
+	}
+
+	*m = Model{
+		algorithm: alg,
+		proto:     clustering.Prototype(proto),
+		cfg:       cfg,
+		k:         k,
+		dims:      dims,
+		report: &clustering.Report{
+			Partition:  clustering.Partition{K: k, Assign: []int{}},
+			Objective:  objective,
+			Iterations: iterations,
+		},
+		means:      means,
+		adds:       adds,
+		sizes:      sizes,
+		medoids:    medoids,
+		hasMembers: flags&modelFlagMembers != 0,
+	}
+	return nil
+}
+
+// modelWireReadCap bounds how many bytes LoadModel will read: the largest
+// size modelWireLen can describe within the format limits, rounded up.
+const modelWireReadCap = 9 + 255 + 36 + 8*(modelMaxFloats+3*modelMaxSide) + 1
+
+// SaveModel writes m's wire encoding (MarshalBinary) to w — the
+// persistence convenience for checkpointing a fitted model or shipping it
+// to a serving process.
+func SaveModel(w io.Writer, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("ucpc: SaveModel with nil model: %w", ErrBadModelFormat)
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(enc)
+	return err
+}
+
+// LoadModel reads one wire-encoded model from r (everything until EOF must
+// be the payload). Reading is capped at the format's maximum encodable
+// size, so a hostile or corrupt source cannot force unbounded allocation;
+// malformed payloads are rejected with wrapped ErrBadModelFormat /
+// ErrModelVersion.
+func LoadModel(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(io.LimitReader(r, modelWireReadCap))
+	if err != nil {
+		return nil, fmt.Errorf("ucpc: LoadModel: %w", err)
+	}
+	if len(data) >= modelWireReadCap {
+		return nil, fmt.Errorf("ucpc: LoadModel input exceeds the format's maximum size: %w", ErrBadModelFormat)
+	}
+	m := new(Model)
+	if err := m.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,223 @@
+package ucpc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ucpc"
+)
+
+// fitModel fits twoBlobs with the named algorithm and returns the model.
+func fitModel(t testing.TB, algorithm string) *ucpc.Model {
+	t.Helper()
+	c := ucpc.Clusterer{Algorithm: algorithm, Config: ucpc.Config{Seed: 11}}
+	m, err := c.Fit(context.Background(), twoBlobs(), 2)
+	if err != nil {
+		t.Fatalf("%s: %v", algorithm, err)
+	}
+	return m
+}
+
+// TestModelWireRoundTrip marshals a fitted model of every registered
+// algorithm, unmarshals it, and checks (a) the decoded model serves the
+// same assignments and exposes the same centroids, and (b) re-encoding is
+// byte-identical — the determinism contract of the wire format.
+func TestModelWireRoundTrip(t *testing.T) {
+	ds := twoBlobs()
+	for _, name := range ucpc.AlgorithmNames() {
+		m := fitModel(t, name)
+		enc, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var got ucpc.Model
+		if err := got.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if got.Algorithm() != m.Algorithm() || got.K() != m.K() || got.Dims() != m.Dims() {
+			t.Fatalf("%s: decoded identity %s/%d/%d, want %s/%d/%d", name,
+				got.Algorithm(), got.K(), got.Dims(), m.Algorithm(), m.K(), m.Dims())
+		}
+		reenc, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: re-marshal: %v", name, err)
+		}
+		if !bytes.Equal(enc, reenc) {
+			t.Fatalf("%s: re-encoded payload differs from original (%d vs %d bytes)",
+				name, len(reenc), len(enc))
+		}
+		wantCents, gotCents := m.Centroids(), got.Centroids()
+		if len(wantCents) != len(gotCents) {
+			t.Fatalf("%s: %d centroids decoded, want %d", name, len(gotCents), len(wantCents))
+		}
+		for c := range wantCents {
+			for j := range wantCents[c].Mean {
+				if gotCents[c].Mean[j] != wantCents[c].Mean[j] {
+					t.Fatalf("%s: centroid %d mean differs after round trip", name, c)
+				}
+			}
+		}
+		wantAsg, err := m.Assign(context.Background(), ds)
+		if err != nil {
+			t.Fatalf("%s: assign original: %v", name, err)
+		}
+		gotAsg, err := got.Assign(context.Background(), ds)
+		if err != nil {
+			t.Fatalf("%s: assign decoded: %v", name, err)
+		}
+		for i := range wantAsg {
+			if gotAsg[i] != wantAsg[i] {
+				t.Fatalf("%s: object %d assigned to %d by the decoded model, %d by the original",
+					name, i, gotAsg[i], wantAsg[i])
+			}
+		}
+	}
+}
+
+// TestSaveLoadModel drives the io.Writer/io.Reader persistence layer over
+// the same round-trip contract.
+func TestSaveLoadModel(t *testing.T) {
+	m := fitModel(t, "UCPC")
+	var buf bytes.Buffer
+	if err := ucpc.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]byte(nil), buf.Bytes()...)
+	got, err := ucpc.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(saved, reenc) {
+		t.Fatal("LoadModel(SaveModel(m)) re-encodes differently")
+	}
+	if err := ucpc.SaveModel(&buf, nil); !errors.Is(err, ucpc.ErrBadModelFormat) {
+		t.Fatalf("SaveModel(nil) = %v, want ErrBadModelFormat", err)
+	}
+	if _, err := ucpc.LoadModel(strings.NewReader("")); !errors.Is(err, ucpc.ErrBadModelFormat) {
+		t.Fatalf("LoadModel(empty) = %v, want ErrBadModelFormat", err)
+	}
+}
+
+// TestStreamSnapshotRoundTrip checks that a stream snapshot — whose
+// objective is NaN-free but whose memberless clusters carry +Inf adds —
+// survives the wire format, including warm-starting a new stream from the
+// loaded copy.
+func TestStreamSnapshotRoundTrip(t *testing.T) {
+	sc := ucpc.StreamClusterer{Config: ucpc.StreamConfig{BatchSize: 16, Seed: 3}}
+	fit, err := sc.Begin(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fit.Observe(context.Background(), twoBlobs()); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fit.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ucpc.Model
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.BeginFrom(context.Background(), &got); err != nil {
+		t.Fatalf("warm start from decoded snapshot: %v", err)
+	}
+}
+
+// corruptAt returns a copy of enc with the byte at off overwritten.
+func corruptAt(enc []byte, off int, b byte) []byte {
+	out := append([]byte(nil), enc...)
+	out[off] = b
+	return out
+}
+
+// TestModelWireRejects feeds the decoder malformed payloads and checks
+// each is rejected with the right sentinel — never a panic, never a
+// silently wrong model.
+func TestModelWireRejects(t *testing.T) {
+	enc, err := fitModel(t, "UCPC").MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	algLen := int(enc[8])
+	shapeOff := 9 + algLen
+	oversized := corruptAt(enc, shapeOff+3, 0xFF) // k |= 0xFF<<24
+
+	nanMean := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint64(nanMean[shapeOff+36:], math.Float64bits(math.NaN()))
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ucpc.ErrBadModelFormat},
+		{"truncated header", enc[:8], ucpc.ErrBadModelFormat},
+		{"truncated body", enc[:len(enc)-1], ucpc.ErrBadModelFormat},
+		{"trailing byte", append(append([]byte(nil), enc...), 0), ucpc.ErrBadModelFormat},
+		{"bad magic", corruptAt(enc, 0, 'X'), ucpc.ErrBadModelFormat},
+		{"future version", corruptAt(enc, 4, 99), ucpc.ErrModelVersion},
+		{"unknown flag", corruptAt(enc, 5, 0x80), ucpc.ErrBadModelFormat},
+		{"unknown prototype", corruptAt(enc, 6, 9), ucpc.ErrBadModelFormat},
+		{"medoid flag without medoids", corruptAt(enc, 6, 3), ucpc.ErrBadModelFormat},
+		{"unknown pruning", corruptAt(enc, 7, 7), ucpc.ErrBadModelFormat},
+		{"oversized k", oversized, ucpc.ErrBadModelFormat},
+		{"NaN mean", nanMean, ucpc.ErrBadModelFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m ucpc.Model
+			if err := m.UnmarshalBinary(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("UnmarshalBinary = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzUnmarshalModel hammers the decoder with mutated payloads: it must
+// never panic, never allocate past the input-implied bound, and every
+// payload it accepts must re-encode byte-identically (decode∘encode is the
+// identity on the accepted set).
+func FuzzUnmarshalModel(f *testing.F) {
+	for _, name := range []string{"UCPC", "UKmed"} {
+		m := fitModel(f, name)
+		enc, err := m.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:9])
+		f.Add(corruptAt(enc, 4, 2))
+	}
+	f.Add([]byte("UCPM"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ucpc.Model
+		if err := m.UnmarshalBinary(data); err != nil {
+			if !errors.Is(err, ucpc.ErrBadModelFormat) && !errors.Is(err, ucpc.ErrModelVersion) {
+				t.Fatalf("rejection %v is not a typed wire error", err)
+			}
+			return
+		}
+		reenc, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted payload cannot re-encode: %v", err)
+		}
+		if !bytes.Equal(data, reenc) {
+			t.Fatalf("accepted payload re-encodes differently (%d vs %d bytes)", len(reenc), len(data))
+		}
+	})
+}

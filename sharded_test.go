@@ -1,0 +1,182 @@
+package ucpc_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"ucpc"
+)
+
+// shardBlobs builds n objects around three well-separated sites, picking
+// the site randomly per object so every shard of a partitioned stream sees
+// every blob.
+func shardBlobs(n int, seed uint64) ucpc.Dataset {
+	r := ucpc.NewRNG(seed)
+	sites := [][2]float64{{0, 0}, {14, 0}, {0, 14}}
+	ds := make(ucpc.Dataset, n)
+	for i := range ds {
+		s := sites[r.Intn(len(sites))]
+		c := []float64{s[0] + r.Normal(0, 0.6), s[1] + r.Normal(0, 0.6)}
+		ds[i] = ucpc.NewNormalObject(i, c, []float64{0.3, 0.3}, 0.95)
+	}
+	return ds
+}
+
+// shardedQuality fits shardBlobs with P shards and returns the snapshot's
+// quality Q over the training data (assignments served by the model).
+func shardedQuality(t *testing.T, ds ucpc.Dataset, shards int) float64 {
+	t.Helper()
+	ctx := context.Background()
+	sc := ucpc.ShardedClusterer{
+		Config: ucpc.StreamConfig{BatchSize: 64, Seed: 17},
+		Shards: shards,
+	}
+	fit, err := sc.Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed in portions, as a real ingest loop would.
+	for lo := 0; lo < len(ds); lo += 200 {
+		hi := min(lo+200, len(ds))
+		if err := fit.Observe(ctx, ds[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fit.Seen() != int64(len(ds)) {
+		t.Fatalf("Seen = %d, want %d", fit.Seen(), len(ds))
+	}
+	m, err := fit.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := m.Assign(ctx, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ucpc.Quality(ds, ucpc.Partition{K: m.K(), Assign: asg})
+}
+
+// TestShardCountInvariance is the public quality gate behind the sharded
+// fit: partitioning the same stream across 1, 2, or 4 shards must land on
+// the same cluster structure — quality Q within 2% of the single-engine
+// fit — because the merged statistics describe the same objects.
+func TestShardCountInvariance(t *testing.T) {
+	ds := shardBlobs(1200, 5)
+	q1 := shardedQuality(t, ds, 1)
+	if q1 <= 0 {
+		t.Fatalf("single-shard Q = %v, want > 0 on separated blobs", q1)
+	}
+	for _, p := range []int{2, 4} {
+		qp := shardedQuality(t, ds, p)
+		if rel := math.Abs(qp-q1) / math.Abs(q1); rel > 0.02 {
+			t.Errorf("P=%d quality %v vs P=1 quality %v: relative gap %v > 2%%", p, qp, q1, rel)
+		}
+	}
+}
+
+// TestShardedOneShardMatchesStream pins the P=1 compatibility contract at
+// the public layer: a 1-shard ShardedClusterer is bit-identical to a
+// StreamClusterer with the same configuration.
+func TestShardedOneShardMatchesStream(t *testing.T) {
+	ctx := context.Background()
+	ds := shardBlobs(400, 9)
+	cfg := ucpc.StreamConfig{BatchSize: 32, Seed: 23}
+
+	sf, err := (&ucpc.StreamClusterer{Config: cfg}).Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shf, err := (&ucpc.ShardedClusterer{Config: cfg, Shards: 1}).Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Observe(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := shf.Observe(ctx, ds); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sf.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shf.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, gc := want.Centroids(), got.Centroids()
+	for c := range wc {
+		for j := range wc[c].Mean {
+			if gc[c].Mean[j] != wc[c].Mean[j] {
+				t.Fatalf("centroid %d mean[%d]: sharded %v, stream %v (want bit-identical)",
+					c, j, gc[c].Mean[j], wc[c].Mean[j])
+			}
+		}
+	}
+}
+
+// TestShardedRemoteStats runs the cross-process story end to end at the
+// public layer: a standalone StreamFit plays the remote worker, exports
+// its statistics over the wire format, and a coordinator folds them into
+// its snapshot.
+func TestShardedRemoteStats(t *testing.T) {
+	ctx := context.Background()
+	local := shardBlobs(600, 31)
+	remote := shardBlobs(600, 77)
+
+	rf, err := (&ucpc.StreamClusterer{Config: ucpc.StreamConfig{BatchSize: 64, Seed: 40}}).Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.Observe(ctx, remote); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := rf.ExportStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co, err := (&ucpc.ShardedClusterer{Config: ucpc.StreamConfig{BatchSize: 64, Seed: 17}, Shards: 2}).Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Observe(ctx, local); err != nil {
+		t.Fatal(err)
+	}
+	if err := co.AddRemoteStats(payload); err != nil {
+		t.Fatal(err)
+	}
+	m, err := co.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := 0
+	for _, c := range m.Centroids() {
+		sizes += c.Size
+	}
+	if sizes != len(local)+len(remote) {
+		t.Fatalf("merged cluster sizes sum to %d, want %d", sizes, len(local)+len(remote))
+	}
+	if err := co.AddRemoteStats(payload[:10]); !errors.Is(err, ucpc.ErrBadModelFormat) {
+		t.Fatalf("truncated payload accepted: %v", err)
+	}
+}
+
+// TestShardedColdSnapshot checks the cold-start contract: a sharded fit
+// that has seen nothing reports ErrStreamCold, and a negative shard count
+// is rejected with ErrBadConfig.
+func TestShardedColdSnapshot(t *testing.T) {
+	ctx := context.Background()
+	fit, err := (&ucpc.ShardedClusterer{Config: ucpc.StreamConfig{Seed: 1}, Shards: 2}).Begin(ctx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fit.Snapshot(); !errors.Is(err, ucpc.ErrStreamCold) {
+		t.Fatalf("cold Snapshot = %v, want ErrStreamCold", err)
+	}
+	if _, err := (&ucpc.ShardedClusterer{Shards: -1}).Begin(ctx, 3); !errors.Is(err, ucpc.ErrBadConfig) {
+		t.Fatalf("Begin(Shards: -1) = %v, want ErrBadConfig", err)
+	}
+}

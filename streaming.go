@@ -139,6 +139,14 @@ func (f *StreamFit) Snapshot() (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ucpc: %w", err)
 	}
+	return modelFromFrozen(fz, f.cfg), nil
+}
+
+// modelFromFrozen wraps an engine's frozen centroid state as a serving
+// Model — the shared tail of StreamFit.Snapshot and ShardedFit.Snapshot.
+// The model declares "UCPC-Lloyd" (the batch counterpart of the mini-batch
+// update), so Clusterer.FitFrom can warm-start a batch refit from it.
+func modelFromFrozen(fz *stream.Frozen, cfg StreamConfig) *Model {
 	hasMembers := false
 	if fz.HasMembers {
 		for c := 0; c < fz.K; c++ {
@@ -151,7 +159,7 @@ func (f *StreamFit) Snapshot() (*Model, error) {
 	return &Model{
 		algorithm: "UCPC-Lloyd",
 		proto:     clustering.ProtoUCentroid,
-		cfg:       Config{Workers: f.cfg.Workers, Pruning: f.cfg.Pruning, Seed: f.cfg.Seed},
+		cfg:       Config{Workers: cfg.Workers, Pruning: cfg.Pruning, Seed: cfg.Seed},
 		k:         fz.K,
 		dims:      fz.Dims,
 		report: &clustering.Report{
@@ -163,7 +171,20 @@ func (f *StreamFit) Snapshot() (*Model, error) {
 		adds:       fz.Adds,
 		sizes:      fz.Sizes,
 		hasMembers: hasMembers,
-	}, nil
+	}
+}
+
+// ExportStats serializes the fit's current weighted sufficient statistics
+// (W_c, S_c, Ψ_c, Φ_c per cluster) in the versioned WStats wire format —
+// the payload an out-of-process worker ships to a coordinator's
+// ShardedFit.AddRemoteStats. A cold stream (fewer than k objects observed)
+// fails with a wrapped ErrStreamCold.
+func (f *StreamFit) ExportStats() ([]byte, error) {
+	st, err := f.eng.ExportStats()
+	if err != nil {
+		return nil, fmt.Errorf("ucpc: %w", err)
+	}
+	return st.WS.MarshalBinary()
 }
 
 // Seen returns the number of objects folded into the stream so far.

@@ -142,8 +142,12 @@ func EED(a, b *Object) float64 { return uncertain.EED(a, b) }
 func ED(o *Object, y []float64) float64 { return uncertain.ED(o, y) }
 
 // Options configures the one-shot Cluster call. It is the flat, historical
-// form of (Algorithm, Config): Cluster forwards every field into a
-// Clusterer, so the two entry points are interchangeable.
+// form of (Algorithm, Config), retained as a thin compatibility adapter:
+// Options.Config is the only conversion path, and Cluster forwards through
+// it into a Clusterer, so the two entry points cannot drift apart. New code
+// should construct a Clusterer (and, for streaming or sharded fits, a
+// StreamClusterer / ShardedClusterer) with a Config directly — see the
+// README's migration table.
 type Options struct {
 	// Algorithm selects the method by its paper abbreviation: "UCPC"
 	// (default), "UKM", "bUKM", "MinMax-BB", "VDBiP", "MMV", "UKmed",
@@ -175,8 +179,11 @@ type Options struct {
 	Progress ProgressFunc
 }
 
-// config converts the flat Options into the shared Config.
-func (o Options) config() Config {
+// Config converts the flat Options into the shared Config — the single
+// Options→Config conversion path. Every field maps one-to-one; the
+// Algorithm field has no Config counterpart (it selects the method, it
+// does not configure it) and travels separately.
+func (o Options) Config() Config {
 	return Config{
 		Workers:  o.Workers,
 		Pruning:  o.Pruning,
@@ -221,7 +228,7 @@ func NewAlgorithm(name string, cfg Config) (Algorithm, error) {
 // fit-once/assign-many serving, use Clusterer directly. The partitions the
 // two entry points produce are identical for identical configurations.
 func Cluster(ds Dataset, k int, opt Options) (*Report, error) {
-	model, err := (&Clusterer{Algorithm: opt.Algorithm, Config: opt.config()}).Fit(context.Background(), ds, k)
+	model, err := (&Clusterer{Algorithm: opt.Algorithm, Config: opt.Config()}).Fit(context.Background(), ds, k)
 	if err != nil {
 		return nil, err
 	}
