@@ -1,0 +1,126 @@
+// Command ucpcd is the clustering-as-a-service daemon: an HTTP/JSON server
+// over the public ucpc API with a multi-tenant model registry, streaming
+// ingestion (bounded queues, 429 backpressure), atomic hot model swap,
+// Prometheus-text /metrics, structured request logging, and graceful
+// shutdown on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	ucpcd [-addr :8080] [-req-timeout 30s] [-fit-timeout 5m]
+//	      [-queue 64] [-body-limit 33554432] [-grace 10s] [-quiet]
+//
+// The endpoint table, payload formats, and metrics reference live in the
+// README's "Serving daemon" section and the internal/serve package
+// documentation. A minimal session:
+//
+//	ucpcd -addr :8080 &
+//	curl -X POST localhost:8080/v1/tenants -d '{"id":"t1","algorithm":"UCPC","k":4}'
+//	curl -X POST localhost:8080/v1/tenants/t1/observe -d '{"points":[[1,2],[9,8],...]}'
+//	curl -X POST localhost:8080/v1/tenants/t1/snapshot
+//	curl -X POST localhost:8080/v1/tenants/t1/assign -d '{"points":[[1.5,2.5]]}'
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ucpc/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with injectable streams, status code, and an optional
+// external stop channel (tests close it in place of a signal), so tests can
+// drive the daemon without os/exec. Malformed command lines print usage to
+// stderr and return 2; runtime failures (unbindable address, failed drain)
+// return 1.
+func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("ucpcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		reqTimeout = fs.Duration("req-timeout", 30*time.Second, "per-request context budget")
+		fitTimeout = fs.Duration("fit-timeout", 5*time.Minute, "background FitFrom refresh budget")
+		queue      = fs.Int("queue", 64, "per-tenant ingestion queue capacity, in observe payloads")
+		bodyLimit  = fs.Int64("body-limit", 32<<20, "request body cap in bytes")
+		grace      = fs.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+		quiet      = fs.Bool("quiet", false, "suppress per-request structured logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ucpcd: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
+	if *reqTimeout <= 0 || *fitTimeout <= 0 || *grace <= 0 || *queue <= 0 || *bodyLimit <= 0 {
+		fmt.Fprintln(stderr, "ucpcd: -req-timeout, -fit-timeout, -grace, -queue, and -body-limit must be positive")
+		fs.Usage()
+		return 2
+	}
+
+	logDst := io.Writer(stderr)
+	if *quiet {
+		logDst = io.Discard
+	}
+	logger := slog.New(slog.NewJSONHandler(logDst, nil))
+
+	srv := serve.New(serve.Config{
+		RequestTimeout: *reqTimeout,
+		FitTimeout:     *fitTimeout,
+		QueueChunks:    *queue,
+		MaxBodyBytes:   *bodyLimit,
+		Logger:         logger,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ucpcd: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ucpcd: listening on %s\n", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case err := <-done:
+		// Serve returned on its own: the listener died underneath us.
+		if err != nil {
+			fmt.Fprintf(stderr, "ucpcd: serve: %v\n", err)
+			return 1
+		}
+		return 0
+	case s := <-sig:
+		fmt.Fprintf(stdout, "ucpcd: %v received, draining (budget %v)\n", s, *grace)
+	case <-stop:
+		fmt.Fprintf(stdout, "ucpcd: stop requested, draining (budget %v)\n", *grace)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "ucpcd: shutdown: %v\n", err)
+		return 1
+	}
+	<-done
+	fmt.Fprintln(stdout, "ucpcd: drained, bye")
+	return 0
+}

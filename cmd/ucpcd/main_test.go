@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write while
+// the test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestExitCodes: malformed command lines return 2 with usage on stderr;
+// runtime failures (unbindable address) return 1 — the repo-wide run()
+// convention.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown flag", []string{"-bogus"}, 2},
+		{"stray positional args", []string{"junk"}, 2},
+		{"zero queue", []string{"-queue", "0"}, 2},
+		{"negative grace", []string{"-grace", "-1s"}, 2},
+		{"zero req timeout", []string{"-req-timeout", "0"}, 2},
+		{"bad body limit", []string{"-body-limit", "-5"}, 2},
+		{"unbindable address", []string{"-addr", "203.0.113.1:1"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(tc.args, &out, &errb, nil)
+			if code != tc.code {
+				t.Errorf("args %v: exit %d, want %d (stderr: %s)", tc.args, code, tc.code, errb.String())
+			}
+			if errb.Len() == 0 {
+				t.Errorf("args %v: nothing on stderr", tc.args)
+			}
+			if tc.code == 2 && !strings.Contains(errb.String(), "Usage") {
+				t.Errorf("args %v: usage not printed (stderr: %s)", tc.args, errb.String())
+			}
+		})
+	}
+}
+
+// TestDaemonSmoke boots the daemon on an ephemeral port through run(),
+// walks one tenant through the lifecycle over real HTTP, and shuts it down
+// through the test stop channel — the cmd-level end-to-end path.
+func TestDaemonSmoke(t *testing.T) {
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-quiet"}, stdout, stderr, stop)
+	}()
+
+	// Wait for the listen line and extract the bound address.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address; stdout: %q stderr: %q", stdout.String(), stderr.String())
+		}
+		if s := stdout.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	post := func(path, body string, want int) string {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		if resp.StatusCode != want {
+			t.Fatalf("POST %s: status %d, want %d (body: %s)", path, resp.StatusCode, want, b.String())
+		}
+		return b.String()
+	}
+
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	post("/v1/tenants", `{"id":"smoke","algorithm":"UCPC","k":2,"seed":7}`, 201)
+	var points strings.Builder
+	points.WriteString(`{"points":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			points.WriteString(",")
+		}
+		fmt.Fprintf(&points, "[%d,%d]", i%2*20, i%2*20)
+	}
+	points.WriteString("]}")
+	post("/v1/tenants/smoke/observe", points.String(), 202)
+
+	// Snapshot may race the ingester: retry while the stream is cold.
+	for i := 0; ; i++ {
+		resp, err := http.Post(base+"/v1/tenants/smoke/snapshot", "application/json", nil)
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			break
+		}
+		if resp.StatusCode != 409 || i > 500 {
+			t.Fatalf("snapshot: status %d after %d tries", resp.StatusCode, i)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	body := post("/v1/tenants/smoke/assign", `{"points":[[0,0],[20,20]]}`, 200)
+	if !strings.Contains(body, "assign") {
+		t.Fatalf("assign response missing assignment: %s", body)
+	}
+
+	if resp, err := http.Get(base + "/metrics"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("metrics: %v %v", resp, err)
+	} else {
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(b.String(), "ucpcd_requests_total") {
+			t.Fatalf("metrics output missing counters: %s", b.String())
+		}
+	}
+
+	close(stop)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after stop")
+	}
+	if !strings.Contains(stdout.String(), "drained, bye") {
+		t.Errorf("graceful drain line missing from stdout: %q", stdout.String())
+	}
+}

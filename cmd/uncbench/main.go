@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|shard|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|shard|serve|all [flags]
 //
 // Flags:
 //
@@ -32,6 +32,7 @@
 //	             scale mode: cluster count (default 23)
 //	-batch n     scale/shard mode: streaming mini-batch size (default 8192)
 //	-shards n    shard mode: parallel shard count (default 4)
+//	-dur d       serve mode: assign load window (default 3s)
 //	-workers n   bench/scale mode: worker-pool size (bench default 1)
 //	-cpuprofile f  write a pprof CPU profile of the whole run to f
 //	-memprofile f  write a pprof heap profile (post-run) to f
@@ -69,6 +70,17 @@
 // core-aware throughput floor (≥2.5× at 4 shards on a ≥4-core machine):
 //
 //	uncbench -exp shard -bn 1000000 -shards 4 -json -check
+//
+// The serve mode is the clustering-daemon load generator: it boots the
+// internal/serve daemon (the engine behind cmd/ucpcd) on a loopback
+// listener, ingests a KDD-shaped uncertain stream over the HTTP observe
+// path, then drives -workers concurrent assign workers for -dur while a hot
+// model swap lands mid-flight and a capacity-1 flood tenant provokes 429
+// backpressure; with -check it gates zero failed assigns, the swap observed
+// under load, 429 conservation against the server counter, the requests ==
+// Σ responses law, and the p99/QPS serving floors:
+//
+//	uncbench -exp serve -bn 10000 -workers 4 -dur 3s -json -check
 package main
 
 import (
@@ -115,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchK   = fs.Int("bk", 0, "bench/scale mode: cluster count (0 = per-mode default)")
 		batch    = fs.Int("batch", 0, "scale/shard mode: streaming mini-batch size (0 = default 8192)")
 		shards   = fs.Int("shards", 0, "shard mode: parallel shard count (0 = default 4)")
+		dur      = fs.Duration("dur", 0, "serve mode: assign load window (0 = default 3s)")
 		workers  = fs.Int("workers", 0, "bench/scale mode: worker-pool size (0 = per-mode default)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
@@ -377,6 +390,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	runServe := func() int {
+		res, err := experiments.Serve(ctx, experiments.ServeConfig{
+			N: *benchN, K: *benchK, Workers: *workers, BatchSize: *batch,
+			Duration: *dur, Seed: *seed, Progress: progress,
+		})
+		if err != nil {
+			return fail("serve: %v", err)
+		}
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("serve: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderServe(res))
+		}
+		if *check {
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		return 0
+	}
+
 	switch *exp {
 	case "table2":
 		status = runTable2()
@@ -394,6 +434,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = runScale()
 	case "shard":
 		status = runShard()
+	case "serve":
+		status = runServe()
 	case "all":
 		for _, f := range []func() int{runTable2, runTable3, runFig4, runFig5} {
 			if status = f(); status != 0 {
@@ -401,7 +443,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	default:
-		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, shard, all)\n", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, shard, serve, all)\n", *exp)
 		return 2
 	}
 	if status != 0 && status != 3 {

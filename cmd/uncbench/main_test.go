@@ -221,6 +221,40 @@ func TestBaselineCompare(t *testing.T) {
 	}
 }
 
+// TestServeSmoke: the serve mode boots the daemon, sustains assign load
+// across a hot swap, provokes backpressure, and passes its own -check gates
+// even on a deliberately tiny workload.
+func TestServeSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "SERVE.json")
+	code, stdout, stderr := runCmd("-exp", "serve", "-bn", "600", "-bk", "4",
+		"-workers", "2", "-dur", "300ms", "-json", "-check", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res experiments.ServeResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not the JSON payload: %v\n%s", err, stdout)
+	}
+	if res.FailedAssigns != 0 {
+		t.Errorf("%d failed assigns", res.FailedAssigns)
+	}
+	if res.VersionsObserved < 2 {
+		t.Errorf("observed %d model versions, want >= 2 (hot swap under load)", res.VersionsObserved)
+	}
+	if res.Rejected429 < 1 || res.Rejected429 != res.QueueRejectedTotal {
+		t.Errorf("backpressure: client 429s %d vs server rejections %d", res.Rejected429, res.QueueRejectedTotal)
+	}
+	if !res.ConservationOK {
+		t.Errorf("conservation violated: %d requests vs %d responses", res.RequestsTotal, res.ResponsesTotal)
+	}
+	if res.AssignRequests == 0 || res.QPS <= 0 {
+		t.Errorf("no load sustained: %+v", res)
+	}
+	if fileData, err := os.ReadFile(outPath); err != nil || string(fileData) != stdout {
+		t.Errorf("-out file differs from stdout payload (err %v)", err)
+	}
+}
+
 // TestProfilesWritten: -cpuprofile and -memprofile produce non-empty
 // pprof files; unwritable paths exit 1.
 func TestProfilesWritten(t *testing.T) {

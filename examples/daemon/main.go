@@ -1,0 +1,192 @@
+// Command daemon demonstrates the clustering-as-a-service loop end to end:
+// boot the ucpcd engine (internal/serve, the same server cmd/ucpcd wraps) on
+// a loopback listener, then talk to it purely over HTTP/JSON — create a
+// tenant, stream uncertain objects through the bounded ingestion queue,
+// freeze a serving model, and hot-swap a refreshed model while assign
+// requests are in flight. The swap is one atomic pointer store inside the
+// daemon: the in-flight assigns all succeed, some answered by the old model
+// version and some by the new.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucpc/internal/serve"
+)
+
+// reading renders one batch of noisy 2-D sensor readings as the daemon's
+// JSON object payload: per-dimension uncertain marginals in the ucsv token
+// grammar ("U:lo:hi" here — uniform error boxes around each position).
+func readings(n, phase int) string {
+	var b strings.Builder
+	b.WriteString(`{"objects":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		g := i % 3
+		x := 12.0 * float64(g)
+		y := 8.0 * float64(g%2)
+		// Phase 2 relocates group 2 — the refreshed model must follow it.
+		if phase == 2 && g == 2 {
+			x += 6
+		}
+		j := 0.3 * float64(i%7)
+		fmt.Fprintf(&b, `{"marginals":["U:%.2f:%.2f","U:%.2f:%.2f"]}`,
+			x+j-0.5, x+j+0.5, y-j-0.5, y-j+0.5)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+func main() {
+	// Boot the daemon on an ephemeral loopback port. cmd/ucpcd does exactly
+	// this behind its flags; embedding the server keeps the example
+	// self-contained.
+	srv := serve.New(serve.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+	fmt.Printf("daemon up on %s\n", l.Addr())
+
+	call := func(method, path, body string) (int, []byte) {
+		req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+	must := func(method, path, body string, want int) []byte {
+		status, raw := call(method, path, body)
+		if status != want {
+			log.Fatalf("%s %s: status %d, want %d (%s)", method, path, status, want, raw)
+		}
+		return raw
+	}
+
+	// One tenant: three clusters over the sensor fleet.
+	must("POST", "/v1/tenants", `{"id":"fleet","k":3,"seed":7}`, 201)
+
+	// Stream phase-1 readings through the ingestion queue, then wait for the
+	// ingester to fold them in.
+	for batch := 0; batch < 6; batch++ {
+		must("POST", "/v1/tenants/fleet/observe", readings(300, 1), 202)
+	}
+	for {
+		var info struct {
+			Ingested int64 `json:"ingested_objects"`
+		}
+		if err := json.Unmarshal(must("GET", "/v1/tenants/fleet", "", 200), &info); err != nil {
+			log.Fatal(err)
+		}
+		if info.Ingested >= 6*300 {
+			fmt.Printf("streamed %d objects through the bounded queue\n", info.Ingested)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Freeze the first serving model.
+	must("POST", "/v1/tenants/fleet/snapshot", "", 200)
+	fmt.Println("model v1 installed — serving")
+
+	// Serve assigns concurrently while the hot swap happens underneath.
+	var (
+		wg       sync.WaitGroup
+		stop     = make(chan struct{})
+		served   atomic.Int64
+		versions sync.Map
+	)
+	probe := readings(12, 1)
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				status, raw := call("POST", "/v1/tenants/fleet/assign", probe)
+				if status != 200 {
+					log.Fatalf("assign failed mid-swap: status %d (%s)", status, raw)
+				}
+				var resp struct {
+					ModelVersion int64 `json:"model_version"`
+				}
+				if json.Unmarshal(raw, &resp) == nil {
+					versions.Store(resp.ModelVersion, true)
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	// Phase 2: group 2 relocates. Stream the new readings and snapshot —
+	// the hot swap — while the assign workers above keep hammering.
+	for batch := 0; batch < 6; batch++ {
+		must("POST", "/v1/tenants/fleet/observe", readings(300, 2), 202)
+	}
+	for {
+		var info struct {
+			Ingested int64 `json:"ingested_objects"`
+		}
+		json.Unmarshal(must("GET", "/v1/tenants/fleet", "", 200), &info)
+		if info.Ingested >= 12*300 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	must("POST", "/v1/tenants/fleet/snapshot", "", 200)
+	time.Sleep(100 * time.Millisecond) // let the workers see v2
+	close(stop)
+	wg.Wait()
+
+	var seen []int64
+	versions.Range(func(k, _ any) bool { seen = append(seen, k.(int64)); return true })
+	fmt.Printf("hot swap under load: %d assigns served, model versions seen: %d\n",
+		served.Load(), len(seen))
+	if served.Load() == 0 || len(seen) < 2 {
+		log.Fatalf("expected assigns across both model versions (served %d, versions %d)",
+			served.Load(), len(seen))
+	}
+
+	// The fleet's /metrics view: requests, swaps, and the ingest counters.
+	metrics := string(must("GET", "/metrics", "", 200))
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "ucpcd_requests_total") ||
+			strings.HasPrefix(line, "ucpcd_swaps_total") ||
+			strings.HasPrefix(line, "ucpcd_ingested_objects_total") {
+			fmt.Println("metrics:", line)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	fmt.Println("daemon drained and stopped")
+}

@@ -98,6 +98,22 @@ func ReadUncertainCSV(r io.Reader) (uncertain.Dataset, error) {
 	return ds, nil
 }
 
+// ParseMarginal decodes one ucsv marginal token (see the format comment
+// above) into a distribution, applying the same validation as
+// ReadUncertainCSV: malformed tokens, unknown families, and parameters
+// yielding non-finite moments return a wrapped ErrMalformed, never a panic.
+// This is the object wire format of the serving daemon's JSON payloads,
+// shared with the CSV reader so there is exactly one hardened parser.
+func ParseMarginal(tok string) (dist.Distribution, error) {
+	return decodeDist(tok)
+}
+
+// FormatMarginal encodes a distribution as its ucsv marginal token, the
+// inverse of ParseMarginal for the closed-form families.
+func FormatMarginal(d dist.Distribution) (string, error) {
+	return encodeDist(d)
+}
+
 func encodeDist(d dist.Distribution) (string, error) {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	switch t := d.(type) {

@@ -1,0 +1,570 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucpc/internal/datasets"
+	"ucpc/internal/serve"
+	"ucpc/internal/uncertain"
+)
+
+// Serve is the daemon load experiment behind `cmd/uncbench -exp serve`: it
+// boots the clustering daemon of internal/serve on a loopback listener,
+// ingests a KDD-shaped uncertain stream over the HTTP observe path, freezes
+// a serving model, and then drives concurrent assign load against it while a
+// hot model swap lands mid-flight. The gates are the daemon's contracts, not
+// micro-numbers: zero failed assigns across the swap, at least two model
+// versions observed by the load workers, explicit 429 backpressure that
+// matches the server's own rejection counter, the requests == Σ responses
+// conservation law on the quiesced /metrics, and modest absolute floors on
+// serving QPS and client-observed p99 latency.
+
+// ServeConfig sizes the daemon load experiment. The zero value selects the
+// full CI workload (SERVE_PR8.json); smoke tests pass a small N and a short
+// Duration.
+type ServeConfig struct {
+	// N is the number of uncertain objects ingested before serving starts
+	// (default 10,000).
+	N int
+	// K is the number of clusters (default 8).
+	K int
+	// Workers is the number of concurrent assign load workers (default 4).
+	Workers int
+	// AssignBatch is the number of objects per assign request (default 16).
+	AssignBatch int
+	// Duration is the assign load window (default 3s). The window stretches
+	// if needed until the mid-load hot swap has landed and been observed.
+	Duration time.Duration
+	// BatchSize is the tenant's streaming mini-batch size (default 2048).
+	BatchSize int
+	// Seed drives the object stream and the fits (0 = 1).
+	Seed uint64
+	// P99BudgetMs and MinQPS are the serving-floor gates Check enforces
+	// (defaults 250 ms and 100 requests/sec — deliberately modest so a
+	// 1-core CI box passes with a wide margin; regressions that matter are
+	// order-of-magnitude, not percent).
+	P99BudgetMs float64
+	MinQPS      float64
+	// Progress, when non-nil, receives one line per phase.
+	Progress func(format string, args ...any)
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.N == 0 {
+		c.N = 10_000
+	}
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.AssignBatch == 0 {
+		c.AssignBatch = 16
+	}
+	if c.Duration == 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 2048
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.P99BudgetMs == 0 {
+		c.P99BudgetMs = 250
+	}
+	if c.MinQPS == 0 {
+		c.MinQPS = 100
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// ServeResult is the JSON payload of the daemon load experiment
+// (SERVE_PR8.json).
+type ServeResult struct {
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	Workers     int     `json:"workers"`
+	AssignBatch int     `json:"assign_batch"`
+	Duration    float64 `json:"duration_seconds"`
+
+	// Ingest throughput over the HTTP observe path (wall time from first
+	// POST until the tenant reports everything folded in).
+	IngestSeconds       float64 `json:"ingest_seconds"`
+	IngestObjectsPerSec float64 `json:"ingest_objects_per_sec"`
+
+	// The assign load window: client-observed request counts, failures,
+	// sustained QPS, and latency percentiles in milliseconds.
+	AssignRequests  int64   `json:"assign_requests"`
+	FailedAssigns   int64   `json:"failed_assigns"`
+	AssignedObjects int64   `json:"assigned_objects"`
+	QPS             float64 `json:"qps"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+
+	// VersionsObserved counts the distinct model versions assign responses
+	// reported — >= 2 proves the hot swap landed under live load.
+	VersionsObserved int   `json:"versions_observed"`
+	SwapsTotal       int64 `json:"swaps_total"`
+
+	// Rejected429 counts client-observed backpressure rejections on the
+	// flood tenant; QueueRejectedTotal is the server's own counter — the
+	// two must agree exactly.
+	Rejected429        int64 `json:"rejected_429"`
+	QueueRejectedTotal int64 `json:"queue_rejected_total"`
+
+	// RequestsTotal and ResponsesTotal come from the quiesced /metrics
+	// scrape; ConservationOK records requests == Σ responses-by-class.
+	RequestsTotal  int64 `json:"requests_total"`
+	ResponsesTotal int64 `json:"responses_total"`
+	ConservationOK bool  `json:"conservation_ok"`
+
+	// The floors this run was held to, recorded so the committed artifact
+	// is self-describing.
+	P99BudgetMs float64 `json:"p99_budget_ms"`
+	MinQPS      float64 `json:"min_qps"`
+}
+
+// encodeObjects renders a chunk of uncertain objects as the daemon's JSON
+// observe/assign payload, marginals as ucsv tokens.
+func encodeObjects(objs uncertain.Dataset) (string, error) {
+	type objJSON struct {
+		Marginals []string `json:"marginals"`
+	}
+	payload := struct {
+		Objects []objJSON `json:"objects"`
+	}{Objects: make([]objJSON, len(objs))}
+	for i, o := range objs {
+		toks := make([]string, o.Dims())
+		for j := range toks {
+			tok, err := datasets.FormatMarginal(o.Marginal(j))
+			if err != nil {
+				return "", err
+			}
+			toks[j] = tok
+		}
+		payload.Objects[i].Marginals = toks
+	}
+	raw, err := json.Marshal(payload)
+	return string(raw), err
+}
+
+// serveClient is the experiment's HTTP client state.
+type serveClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *serveClient) post(ctx context.Context, path, body string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "POST", c.base+path, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+func (c *serveClient) get(ctx context.Context, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// mustPost posts and fails unless the status matches.
+func (c *serveClient) mustPost(ctx context.Context, path, body string, want int) ([]byte, error) {
+	status, raw, err := c.post(ctx, path, body)
+	if err != nil {
+		return nil, fmt.Errorf("POST %s: %w", path, err)
+	}
+	if status != want {
+		return nil, fmt.Errorf("POST %s: status %d, want %d (%s)", path, status, want, bytes.TrimSpace(raw))
+	}
+	return raw, nil
+}
+
+// waitIngested polls the tenant until n objects are folded in.
+func (c *serveClient) waitIngested(ctx context.Context, tenant string, n int64) error {
+	for {
+		status, raw, err := c.get(ctx, "/v1/tenants/"+tenant)
+		if err != nil {
+			return err
+		}
+		var info struct {
+			Ingested    int64  `json:"ingested_objects"`
+			IngestError string `json:"last_ingest_error"`
+		}
+		if status != 200 || json.Unmarshal(raw, &info) != nil {
+			return fmt.Errorf("tenant %s info: status %d (%s)", tenant, status, bytes.TrimSpace(raw))
+		}
+		if info.IngestError != "" {
+			return fmt.Errorf("tenant %s ingest error: %s", tenant, info.IngestError)
+		}
+		if info.Ingested >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Serve runs the daemon load experiment.
+func Serve(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ServeResult{
+		N: cfg.N, K: cfg.K, Workers: cfg.Workers, AssignBatch: cfg.AssignBatch,
+		P99BudgetMs: cfg.P99BudgetMs, MinQPS: cfg.MinQPS,
+	}
+
+	srv := serve.New(serve.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen: %w", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+		<-serveDone
+	}()
+
+	cl := &serveClient{
+		base: "http://" + l.Addr().String(),
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers + 8,
+			MaxIdleConnsPerHost: cfg.Workers + 8,
+		}},
+	}
+
+	// Phase 1: tenant + streaming ingestion over HTTP.
+	spec := fmt.Sprintf(`{"id":"load","k":%d,"seed":%d,"batch_size":%d}`, cfg.K, cfg.Seed, cfg.BatchSize)
+	if _, err := cl.mustPost(ctx, "/v1/tenants", spec, 201); err != nil {
+		return nil, err
+	}
+	src := newScaleSource(cfg.Seed)
+	const chunkObjs = 1000
+	chunk := make(uncertain.Dataset, 0, chunkObjs)
+	ingestStart := time.Now()
+	for streamed := 0; streamed < cfg.N; {
+		n := chunkObjs
+		if rest := cfg.N - streamed; n > rest {
+			n = rest
+		}
+		chunk = src.take(chunk[:0], n)
+		body, err := encodeObjects(chunk)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			status, raw, err := cl.post(ctx, "/v1/tenants/load/observe", body)
+			if err != nil {
+				return nil, fmt.Errorf("observe: %w", err)
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				return nil, fmt.Errorf("observe: status %d (%s)", status, bytes.TrimSpace(raw))
+			}
+			// Backpressure on the ingest path: count it (the 429 gate checks
+			// the client total against the server counter) and retry.
+			atomic.AddInt64(&res.Rejected429, 1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		streamed += n
+	}
+	if err := cl.waitIngested(ctx, "load", int64(cfg.N)); err != nil {
+		return nil, err
+	}
+	res.IngestSeconds = time.Since(ingestStart).Seconds()
+	if res.IngestSeconds > 0 {
+		res.IngestObjectsPerSec = float64(cfg.N) / res.IngestSeconds
+	}
+	cfg.Progress("serve: ingested %d objects over HTTP in %.2fs (%.0f objects/sec)",
+		cfg.N, res.IngestSeconds, res.IngestObjectsPerSec)
+
+	// Phase 2: freeze the first serving model.
+	if _, err := cl.mustPost(ctx, "/v1/tenants/load/snapshot", "", 200); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: concurrent assign load with a hot swap landing mid-flight.
+	// Workers run until the window has elapsed AND the swap has been
+	// observed, so the zero-failures gate always covers a live swap.
+	assignBody, err := encodeObjects(newScaleSource(cfg.Seed^0xbeef).take(nil, cfg.AssignBatch))
+	if err != nil {
+		return nil, err
+	}
+	var (
+		stop        = make(chan struct{})
+		swapLanded  atomic.Bool
+		failed      atomic.Int64
+		requests    atomic.Int64
+		objects     atomic.Int64
+		mu          sync.Mutex
+		latencies   []float64 // milliseconds
+		versionsSet = map[int64]bool{}
+	)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]float64, 0, 4096)
+			versions := map[int64]bool{}
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					latencies = append(latencies, local...)
+					for v := range versions {
+						versionsSet[v] = true
+					}
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				status, raw, err := cl.post(ctx, "/v1/tenants/load/assign", assignBody)
+				dt := time.Since(t0)
+				requests.Add(1)
+				if err != nil || status != 200 {
+					failed.Add(1)
+					continue
+				}
+				local = append(local, float64(dt.Nanoseconds())/1e6)
+				objects.Add(int64(cfg.AssignBatch))
+				var resp struct {
+					ModelVersion int64 `json:"model_version"`
+				}
+				if json.Unmarshal(raw, &resp) == nil {
+					versions[resp.ModelVersion] = true
+				}
+			}
+		}()
+	}
+
+	// The mid-load swap: stream another slice of objects in and freeze a new
+	// model while the workers hammer the old one.
+	swapErr := make(chan error, 1)
+	go func() {
+		time.Sleep(cfg.Duration / 3)
+		extra := src.take(make(uncertain.Dataset, 0, cfg.BatchSize), cfg.BatchSize)
+		body, err := encodeObjects(extra)
+		if err != nil {
+			swapErr <- err
+			return
+		}
+		for {
+			status, _, err := cl.post(ctx, "/v1/tenants/load/observe", body)
+			if err != nil {
+				swapErr <- err
+				return
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status == http.StatusTooManyRequests {
+				atomic.AddInt64(&res.Rejected429, 1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if err := cl.waitIngested(ctx, "load", int64(cfg.N+len(extra))); err != nil {
+			swapErr <- err
+			return
+		}
+		if _, err := cl.mustPost(ctx, "/v1/tenants/load/snapshot", "", 200); err != nil {
+			swapErr <- err
+			return
+		}
+		swapLanded.Store(true)
+		swapErr <- nil
+		cfg.Progress("serve: hot swap landed under load")
+	}()
+
+	deadline := time.After(cfg.Duration)
+	<-deadline
+	if err := <-swapErr; err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, fmt.Errorf("serve: mid-load swap: %w", err)
+	}
+	// Give the workers a moment to observe the new version before stopping.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	res.Duration = time.Since(loadStart).Seconds()
+
+	res.AssignRequests = requests.Load()
+	res.FailedAssigns = failed.Load()
+	res.AssignedObjects = objects.Load()
+	if res.Duration > 0 {
+		res.QPS = float64(res.AssignRequests) / res.Duration
+	}
+	res.VersionsObserved = len(versionsSet)
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	res.P50Ms, res.P95Ms, res.P99Ms = pct(0.50), pct(0.95), pct(0.99)
+	cfg.Progress("serve: %d assigns in %.2fs (%.0f req/sec), p50 %.2fms p99 %.2fms, %d versions, %d failed",
+		res.AssignRequests, res.Duration, res.QPS, res.P50Ms, res.P99Ms, res.VersionsObserved, res.FailedAssigns)
+
+	// Phase 4: provoke explicit backpressure on a capacity-1 flood tenant —
+	// concurrent observes against a single-slot queue must bounce with 429.
+	floodSpec := fmt.Sprintf(`{"id":"flood","k":2,"seed":%d,"batch_size":256,"queue_chunks":1}`, cfg.Seed)
+	if _, err := cl.mustPost(ctx, "/v1/tenants", floodSpec, 201); err != nil {
+		return nil, err
+	}
+	floodBody, err := encodeObjects(newScaleSource(cfg.Seed^0xf10d).take(nil, 2000))
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; res.Rejected429 == 0 && attempt < 50; attempt++ {
+		var fwg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			fwg.Add(1)
+			go func() {
+				defer fwg.Done()
+				status, _, err := cl.post(ctx, "/v1/tenants/flood/observe", floodBody)
+				if err == nil && status == http.StatusTooManyRequests {
+					atomic.AddInt64(&res.Rejected429, 1)
+				}
+			}()
+		}
+		fwg.Wait()
+	}
+	cfg.Progress("serve: flood tenant bounced %d observes with 429", res.Rejected429)
+
+	// Phase 5: quiesce (everything above has returned) and scrape /metrics.
+	// The flood tenant may still be folding accepted payloads, but that does
+	// not touch the request counters.
+	status, raw, err := cl.get(ctx, "/metrics")
+	if err != nil || status != 200 {
+		return nil, fmt.Errorf("serve: metrics scrape: status %d, err %v", status, err)
+	}
+	text := string(raw)
+	scan := func(name string) (int64, bool) {
+		for _, line := range strings.Split(text, "\n") {
+			var v int64
+			if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil && strings.HasPrefix(line, name+" ") {
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := scan("ucpcd_requests_total"); ok {
+		res.RequestsTotal = v
+	}
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		if v, ok := scan(fmt.Sprintf("ucpcd_responses_total{class=%q}", class)); ok {
+			res.ResponsesTotal += v
+		}
+	}
+	if v, ok := scan("ucpcd_queue_rejected_total"); ok {
+		res.QueueRejectedTotal = v
+	}
+	if v, ok := scan("ucpcd_swaps_total"); ok {
+		res.SwapsTotal = v
+	}
+	res.ConservationOK = res.RequestsTotal > 0 && res.RequestsTotal == res.ResponsesTotal
+	return res, nil
+}
+
+// RenderServe formats the result for terminal output.
+func RenderServe(r *ServeResult) string {
+	conservation := "holds"
+	if !r.ConservationOK {
+		conservation = "VIOLATED"
+	}
+	return fmt.Sprintf(`daemon load (-exp serve)
+  ingest:  %d objects over HTTP in %.2fs (%.0f objects/sec)
+  serving: %d workers x %d-object assigns for %.2fs — %.0f req/sec, %d failed
+  latency: p50 %.2fms  p95 %.2fms  p99 %.2fms (budget %.0fms)
+  hot swap: %d model versions observed under load, %d swaps total
+  backpressure: %d client 429s == %d server queue rejections
+  conservation: %d requests vs %d responses — %s
+`,
+		r.N, r.IngestSeconds, r.IngestObjectsPerSec,
+		r.Workers, r.AssignBatch, r.Duration, r.QPS, r.FailedAssigns,
+		r.P50Ms, r.P95Ms, r.P99Ms, r.P99BudgetMs,
+		r.VersionsObserved, r.SwapsTotal,
+		r.Rejected429, r.QueueRejectedTotal,
+		r.RequestsTotal, r.ResponsesTotal, conservation)
+}
+
+// Check applies the serve acceptance gates: zero failed assigns across the
+// hot swap, the swap actually observed by the load workers, backpressure
+// surfaced as 429s and conserved against the server's counter, the
+// request/response conservation law, and the QPS / p99 serving floors.
+func (r *ServeResult) Check() error {
+	if r.FailedAssigns != 0 {
+		return fmt.Errorf("serve: %d of %d assigns failed during the load window",
+			r.FailedAssigns, r.AssignRequests)
+	}
+	if r.VersionsObserved < 2 {
+		return fmt.Errorf("serve: load workers observed %d model version(s); the hot swap never surfaced",
+			r.VersionsObserved)
+	}
+	if r.Rejected429 < 1 {
+		return fmt.Errorf("serve: flood tenant produced no 429s; backpressure untested")
+	}
+	if r.Rejected429 != r.QueueRejectedTotal {
+		return fmt.Errorf("serve: client saw %d 429s but the server counted %d queue rejections",
+			r.Rejected429, r.QueueRejectedTotal)
+	}
+	if !r.ConservationOK {
+		return fmt.Errorf("serve: conservation violated: %d requests vs %d responses",
+			r.RequestsTotal, r.ResponsesTotal)
+	}
+	if r.P99Ms > r.P99BudgetMs {
+		return fmt.Errorf("serve: assign p99 %.2fms exceeds the %.0fms budget", r.P99Ms, r.P99BudgetMs)
+	}
+	if r.QPS < r.MinQPS {
+		return fmt.Errorf("serve: %.0f req/sec below the %.0f floor", r.QPS, r.MinQPS)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon-wide instrumentation state, exported at /metrics in
+// the Prometheus text exposition format. Everything is lock-free atomics so
+// the serving hot path (Assign) pays a handful of atomic adds per request;
+// per-tenant model counters (iterations, objective, pruning) are not stored
+// here at all — they are read from each tenant's live state at scrape time
+// by Server.writeMetrics, so a scrape always reflects the currently
+// installed models.
+type metrics struct {
+	start time.Time
+
+	// requests counts every HTTP request the daemon finished handling;
+	// responses[class] splits the same events by status class (2xx..5xx).
+	// The two are incremented together, so on a quiesced server
+	// requests == Σ responses — the conservation law the serve bench gates.
+	requests  atomic.Int64
+	responses [4]atomic.Int64 // index 0 = 2xx, 1 = 3xx, 2 = 4xx, 3 = 5xx
+
+	// queueRejected counts observe payloads bounced with 429 because a
+	// tenant's bounded ingestion queue was full (the backpressure signal).
+	queueRejected atomic.Int64
+	// ingested counts objects folded into any tenant's stream engine.
+	ingested atomic.Int64
+	// swaps counts atomic model installs (snapshot, fit, refresh, upload).
+	swaps atomic.Int64
+	// assignObjects counts objects served through Model.Assign.
+	assignObjects atomic.Int64
+
+	assignLatency histogram
+	assignBatch   histogram
+}
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now()}
+	m.assignLatency.bounds = []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+	m.assignLatency.init()
+	m.assignBatch.bounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+	m.assignBatch.init()
+	return m
+}
+
+// finish records one completed request with its response status.
+func (m *metrics) finish(status int) {
+	class := status/100 - 2
+	if class < 0 {
+		class = 0
+	}
+	if class > 3 {
+		class = 3
+	}
+	m.responses[class].Add(1)
+	m.requests.Add(1)
+}
+
+// histogram is a fixed-bucket Prometheus histogram: counts[i] is the number
+// of observations ≤ bounds[i], counts[len(bounds)] the +Inf bucket. The sum
+// is kept as float64 bits behind a CAS loop so Observe stays lock-free.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+func (h *histogram) init() {
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// write renders the histogram in the text exposition format under name.
+func (h *histogram) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(math.Float64frombits(h.sum.Load())))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var responseClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// write renders the daemon-wide counters; the Server appends the per-tenant
+// series behind it.
+func (m *metrics) write(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE ucpcd_uptime_seconds gauge\nucpcd_uptime_seconds %s\n",
+		formatFloat(time.Since(m.start).Seconds()))
+	fmt.Fprintf(w, "# TYPE ucpcd_requests_total counter\nucpcd_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_responses_total counter\n")
+	for i, class := range responseClasses {
+		fmt.Fprintf(w, "ucpcd_responses_total{class=%q} %d\n", class, m.responses[i].Load())
+	}
+	fmt.Fprintf(w, "# TYPE ucpcd_queue_rejected_total counter\nucpcd_queue_rejected_total %d\n", m.queueRejected.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_ingested_objects_total counter\nucpcd_ingested_objects_total %d\n", m.ingested.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_swaps_total counter\nucpcd_swaps_total %d\n", m.swaps.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_assign_objects_total counter\nucpcd_assign_objects_total %d\n", m.assignObjects.Load())
+	m.assignLatency.write(w, "ucpcd_assign_latency_seconds")
+	m.assignBatch.write(w, "ucpcd_assign_batch_objects")
+}

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h histogram
+	h.bounds = []float64{1, 5, 10}
+	h.init()
+	for _, v := range []float64{0.5, 1, 3, 7, 10, 42} {
+		h.observe(v)
+	}
+	// Bucket occupancy: (-inf,1]=2 (0.5 and the boundary value 1),
+	// (1,5]=1, (5,10]=2 (7 and the boundary 10), (10,inf)=1.
+	var b strings.Builder
+	h.write(&b, "x")
+	text := b.String()
+	for _, line := range []string{
+		`x_bucket{le="1"} 2`,
+		`x_bucket{le="5"} 3`,
+		`x_bucket{le="10"} 5`,
+		`x_bucket{le="+Inf"} 6`,
+		`x_sum 63.5`,
+		`x_count 6`,
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("missing %q in:\n%s", line, text)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers observe from many goroutines: the count,
+// the +Inf cumulative bucket, and the CAS-looped sum must all agree. Run
+// under -race this also proves the hot path is lock-free-safe.
+func TestHistogramConcurrent(t *testing.T) {
+	var h histogram
+	h.bounds = []float64{1, 2, 4}
+	h.init()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.observe(float64(i % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.count.Load(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+	}
+	if cum != workers*per {
+		t.Fatalf("bucket total = %d, want %d", cum, workers*per)
+	}
+	wantSum := float64(workers) * per / 5 * (0 + 1 + 2 + 3 + 4)
+	if got := math.Float64frombits(h.sum.Load()); got != wantSum {
+		t.Fatalf("sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestFinishConservation(t *testing.T) {
+	m := newMetrics()
+	statuses := []int{200, 201, 202, 204, 301, 400, 404, 409, 429, 500, 503, 100}
+	for _, s := range statuses {
+		m.finish(s)
+	}
+	if got := m.requests.Load(); got != int64(len(statuses)) {
+		t.Fatalf("requests = %d, want %d", got, len(statuses))
+	}
+	var sum int64
+	for i := range m.responses {
+		sum += m.responses[i].Load()
+	}
+	if sum != m.requests.Load() {
+		t.Fatalf("Σ responses %d != requests %d", sum, m.requests.Load())
+	}
+	// 1xx clamps into the 2xx class, >5xx into 5xx: nothing is dropped.
+	if got := m.responses[0].Load(); got != 5 { // 200,201,202,204,100
+		t.Errorf("2xx class = %d, want 5", got)
+	}
+	if got := m.responses[2].Load(); got != 4 { // 400,404,409,429
+		t.Errorf("4xx class = %d, want 4", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:              "1.5",
+		math.Inf(1):      "+Inf",
+		math.Inf(-1):     "-Inf",
+		0.0005:           "0.0005",
+		12345678.9101112: "1.23456789101112e+07",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,273 @@
+// Package serve is the clustering-as-a-service daemon behind cmd/ucpcd: an
+// HTTP/JSON server exposing the full lifecycle of the public ucpc API over
+// a multi-tenant model registry.
+//
+// Each tenant is one isolated clustering session — an algorithm from the
+// shared registry, a per-tenant Config/StreamConfig, a streaming ingestion
+// engine (StreamClusterer, or ShardedClusterer for tenants that merge
+// remote UCWS statistics), and a frozen serving model behind an atomic
+// pointer. The serving path (POST …/assign) reads that pointer and scores
+// objects through the concurrency-safe Model.Assign; model installs
+// (snapshot, batch fit, background FitFrom refresh, UCPM upload) are one
+// atomic pointer store, so readers never block and never see a torn model —
+// the fit-once/assign-many split of the paper's Theorem 1, deployed as the
+// serve-while-refitting shape the ROADMAP's "millions of users" north star
+// asks for.
+//
+// Production plumbing, end to end: per-request timeouts via context
+// propagation into every library call, bounded per-tenant ingestion queues
+// with explicit 429 backpressure, graceful shutdown that drains in-flight
+// requests and queued ingestion, structured request logging (log/slog),
+// and a Prometheus-text /metrics endpoint exporting request/response
+// conservation counters, serving histograms (assign latency, batch sizes),
+// swap counts, queue depths, and each tenant's model counters
+// (iterations, objective, pruning) read live at scrape time.
+//
+//	POST   /v1/tenants              create a tenant (TenantSpec)
+//	GET    /v1/tenants              list tenants
+//	GET    /v1/tenants/{id}         tenant info
+//	DELETE /v1/tenants/{id}         delete (ingester drains in background)
+//	POST   /v1/tenants/{id}/observe enqueue objects for streaming ingestion (202; 429 = queue full)
+//	POST   /v1/tenants/{id}/fit     synchronous batch fit + hot swap
+//	POST   /v1/tenants/{id}/snapshot freeze stream centroids + hot swap
+//	POST   /v1/tenants/{id}/refresh  background FitFrom refit (202) or stream re-begin (mode=stream)
+//	POST   /v1/tenants/{id}/assign  serve objects against the frozen model
+//	GET    /v1/tenants/{id}/model   download the UCPM model payload
+//	PUT    /v1/tenants/{id}/model   upload a UCPM payload + hot swap
+//	GET    /v1/tenants/{id}/stats   export UCWS statistics (stream tenants)
+//	POST   /v1/tenants/{id}/stats   import remote UCWS statistics (sharded tenants)
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config is the daemon configuration; the zero value is production-safe
+// defaults throughout.
+type Config struct {
+	// RequestTimeout bounds each request's context (0 = 30s). Long batch
+	// fits that exceed it fail with 503 rather than holding a connection.
+	RequestTimeout time.Duration
+	// FitTimeout bounds background FitFrom refreshes (0 = 5m).
+	FitTimeout time.Duration
+	// QueueChunks is the default per-tenant ingestion-queue capacity,
+	// counted in observe payloads (0 = 64). A full queue answers 429.
+	QueueChunks int
+	// MaxBodyBytes caps request bodies (0 = 32 MiB).
+	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs (nil = text
+	// logs to io.Discard; cmd/ucpcd wires a JSON handler on stderr).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.FitTimeout == 0 {
+		c.FitTimeout = 5 * time.Minute
+	}
+	if c.QueueChunks == 0 {
+		c.QueueChunks = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Server is the daemon: registry + handlers + metrics behind one
+// http.Handler, plus lifecycle management (Serve, Shutdown).
+type Server struct {
+	cfg     Config
+	logger  *slog.Logger
+	reg     *registry
+	metrics *metrics
+	handler http.Handler
+	http    *http.Server
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		logger:  cfg.Logger,
+		reg:     newRegistry(),
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
+	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
+	mux.HandleFunc("GET /v1/tenants/{id}", s.handleGetTenant)
+	mux.HandleFunc("DELETE /v1/tenants/{id}", s.handleDeleteTenant)
+	mux.HandleFunc("POST /v1/tenants/{id}/observe", s.handleObserve)
+	mux.HandleFunc("POST /v1/tenants/{id}/fit", s.handleFit)
+	mux.HandleFunc("POST /v1/tenants/{id}/snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /v1/tenants/{id}/refresh", s.handleRefresh)
+	mux.HandleFunc("POST /v1/tenants/{id}/assign", s.handleAssign)
+	mux.HandleFunc("GET /v1/tenants/{id}/model", s.handleGetModel)
+	mux.HandleFunc("PUT /v1/tenants/{id}/model", s.handlePutModel)
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", s.handleGetStats)
+	mux.HandleFunc("POST /v1/tenants/{id}/stats", s.handlePostStats)
+	s.handler = s.instrument(mux)
+	s.http = &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the fully instrumented handler — the surface tests mount
+// on httptest.Server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps the mux with the shared middleware: the per-request
+// timeout context, the status capture feeding the request/response
+// conservation counters, and one structured log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.metrics.finish(sw.status)
+		s.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// handleMetrics: GET /metrics — daemon-wide counters and histograms, then
+// the per-tenant series read live from the registry (queue depth gauges,
+// swap counts, and the installed model's iteration/objective/pruning
+// counters from its Report).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w)
+	tenants := s.reg.list()
+	fmt.Fprintf(w, "# TYPE ucpcd_tenants gauge\nucpcd_tenants %d\n", len(tenants))
+	if len(tenants) == 0 {
+		return
+	}
+	var depth int64
+	for _, t := range tenants {
+		depth += t.queued.Load()
+	}
+	fmt.Fprintf(w, "# TYPE ucpcd_queue_depth_objects gauge\nucpcd_queue_depth_objects %d\n", depth)
+	writeSeries := func(name, typ string, value func(t *tenant) (string, bool)) {
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		for _, t := range tenants {
+			if v, ok := value(t); ok {
+				fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, t.id, v)
+			}
+		}
+	}
+	writeSeries("ucpcd_tenant_queue_depth_objects", "gauge", func(t *tenant) (string, bool) {
+		return fmt.Sprint(t.queued.Load()), true
+	})
+	writeSeries("ucpcd_tenant_ingested_objects_total", "counter", func(t *tenant) (string, bool) {
+		return fmt.Sprint(t.ingested.Load()), true
+	})
+	writeSeries("ucpcd_tenant_swaps_total", "counter", func(t *tenant) (string, bool) {
+		return fmt.Sprint(t.swaps.Load()), true
+	})
+	writeSeries("ucpcd_tenant_model_version", "gauge", func(t *tenant) (string, bool) {
+		return fmt.Sprint(t.version.Load()), true
+	})
+	writeSeries("ucpcd_tenant_stream_seen_objects", "gauge", func(t *tenant) (string, bool) {
+		return fmt.Sprint(t.snapshotFit().Seen()), true
+	})
+	writeSeries("ucpcd_tenant_model_iterations", "gauge", func(t *tenant) (string, bool) {
+		m := t.model.Load()
+		if m == nil {
+			return "", false
+		}
+		return fmt.Sprint(m.Report().Iterations), true
+	})
+	writeSeries("ucpcd_tenant_model_objective", "gauge", func(t *tenant) (string, bool) {
+		m := t.model.Load()
+		if m == nil {
+			return "", false
+		}
+		return formatFloat(m.Report().Objective), true
+	})
+	writeSeries("ucpcd_tenant_model_pruned_candidates_total", "counter", func(t *tenant) (string, bool) {
+		m := t.model.Load()
+		if m == nil {
+			return "", false
+		}
+		return fmt.Sprint(m.Report().PrunedCandidates), true
+	})
+	writeSeries("ucpcd_tenant_model_scanned_candidates_total", "counter", func(t *tenant) (string, bool) {
+		m := t.model.Load()
+		if m == nil {
+			return "", false
+		}
+		return fmt.Sprint(m.Report().ScannedCandidates), true
+	})
+}
+
+// Serve accepts connections on l until Shutdown. It returns the
+// http.Server error (http.ErrServerClosed after a clean Shutdown is
+// swallowed — a clean exit returns nil).
+func (s *Server) Serve(l net.Listener) error {
+	err := s.http.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the daemon gracefully: stop accepting, wait for in-flight
+// requests (http.Server.Shutdown), then close every tenant's ingestion
+// queue and wait for the ingesters to fold what was already accepted. ctx
+// bounds the whole drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return s.reg.closeAll(ctx)
+}

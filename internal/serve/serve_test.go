@@ -1,0 +1,529 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ucpc"
+)
+
+// newTestServer mounts a fresh daemon on httptest. Tests that need to reach
+// inside (tenant internals, registry) use the returned *Server directly.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.reg.closeAll(ctx); err != nil {
+			t.Errorf("closeAll: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// do issues one request and decodes the JSON body (when out != nil).
+func do(t *testing.T, method, url, body string, want int, out any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != want {
+		t.Fatalf("%s %s: status %d, want %d (body: %s)", method, url, resp.StatusCode, want, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+}
+
+// pointsBody builds {"points": [...]} with n points on two separated blobs.
+func pointsBody(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString(`{"points":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		base := float64(i%2) * 30
+		fmt.Fprintf(&b, "[%.4f,%.4f]", base+rng.Float64(), base+rng.Float64())
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// waitIngested polls the tenant until at least n objects are folded in.
+func waitIngested(t *testing.T, url string, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var info tenantInfo
+		do(t, "GET", url, "", 200, &info)
+		if info.Ingested >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant never ingested %d objects (at %d, last error %q)",
+				n, info.Ingested, info.IngestError)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var info tenantInfo
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"alpha","k":3,"seed":11}`, 201, &info)
+	if info.ID != "alpha" || info.K != 3 || info.HasModel {
+		t.Fatalf("create info: %+v", info)
+	}
+	// Duplicate id conflicts.
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"alpha","k":3}`, 409, nil)
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"beta","k":2,"shards":2}`, 201, nil)
+
+	var list struct {
+		Tenants []tenantInfo `json:"tenants"`
+	}
+	do(t, "GET", ts.URL+"/v1/tenants", "", 200, &list)
+	if len(list.Tenants) != 2 || list.Tenants[0].ID != "alpha" || list.Tenants[1].ID != "beta" {
+		t.Fatalf("list: %+v", list.Tenants)
+	}
+
+	do(t, "GET", ts.URL+"/v1/tenants/alpha", "", 200, &info)
+	do(t, "DELETE", ts.URL+"/v1/tenants/alpha", "", 204, nil)
+	do(t, "GET", ts.URL+"/v1/tenants/alpha", "", 404, nil)
+	do(t, "DELETE", ts.URL+"/v1/tenants/alpha", "", 404, nil)
+}
+
+func TestCreateTenantValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := []string{
+		`{"id":"","k":2}`,                     // empty id
+		`{"id":"has space","k":2}`,            // illegal id characters
+		`{"id":"x","k":0}`,                    // k < 1
+		`{"id":"x","k":2,"algorithm":"nope"}`, // unknown algorithm
+		`{"id":"x","k":2,"pruning":"maybe"}`,  // invalid pruning mode
+		`{"id":"x","k":2,"shards":-1}`,        // negative shards
+		`{"id":"x","k":2,"queue_chunks":-1}`,  // negative queue override
+		`{"id":"x","k":2,"max_iter":-3}`,      // Config.Validate rejects
+		`not json`,                            // malformed body
+	}
+	for _, body := range bad {
+		do(t, "POST", ts.URL+"/v1/tenants", body, 400, nil)
+	}
+}
+
+func TestObserveSnapshotAssign(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":5}`, 201, nil)
+	base := ts.URL + "/v1/tenants/t1"
+
+	// Serving before any model exists is a 409, not a 500.
+	do(t, "POST", base+"/assign", `{"points":[[1,1]]}`, 409, nil)
+	// Snapshot of a cold stream is a 409 too.
+	do(t, "POST", base+"/snapshot", "", 409, nil)
+
+	var ack struct {
+		Accepted int `json:"accepted"`
+	}
+	do(t, "POST", base+"/observe", pointsBody(200, 1), 202, &ack)
+	if ack.Accepted != 200 {
+		t.Fatalf("accepted %d objects, want 200", ack.Accepted)
+	}
+	waitIngested(t, base, 200)
+
+	var info tenantInfo
+	do(t, "POST", base+"/snapshot", "", 200, &info)
+	if !info.HasModel || info.ModelVersion != 1 || info.ModelK != 2 {
+		t.Fatalf("snapshot info: %+v", info)
+	}
+
+	var res struct {
+		Assign       []int `json:"assign"`
+		ModelVersion int64 `json:"model_version"`
+		K            int   `json:"k"`
+	}
+	do(t, "POST", base+"/assign", `{"points":[[0.5,0.5],[30.5,30.5],[0.2,0.8]]}`, 200, &res)
+	if len(res.Assign) != 3 || res.ModelVersion != 1 || res.K != 2 {
+		t.Fatalf("assign response: %+v", res)
+	}
+	// The two blobs are 30 apart: same-blob objects share a cluster, the
+	// cross-blob object does not.
+	if res.Assign[0] != res.Assign[2] || res.Assign[0] == res.Assign[1] {
+		t.Fatalf("assignment does not separate the blobs: %v", res.Assign)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2}`, 201, nil)
+	base := ts.URL + "/v1/tenants/t1"
+	bad := []string{
+		`{}`,                                    // no objects at all
+		`{"points":[[]]}`,                       // empty point
+		`{"points":[[1,2],[3]]}`,                // dimension mismatch
+		`{"objects":[{"marginals":[]}]}`,        // object with no marginals
+		`{"objects":[{"marginals":["Z:1"]}]}`,   // unknown marginal token
+		`{"objects":[{"marginals":["U:5:1"]}]}`, // inverted uniform support
+	}
+	for _, body := range bad {
+		do(t, "POST", base+"/observe", body, 400, nil)
+	}
+	do(t, "POST", ts.URL+"/v1/tenants/ghost/observe", `{"points":[[1,2]]}`, 404, nil)
+}
+
+// TestObserveUncertainObjects drives full marginal-token objects — the ucsv
+// distribution grammar over HTTP — through observe, snapshot, and assign.
+func TestObserveUncertainObjects(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"u1","k":2,"seed":3}`, 201, nil)
+	base := ts.URL + "/v1/tenants/u1"
+
+	var b strings.Builder
+	b.WriteString(`{"objects":[`)
+	for i := 0; i < 120; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		shift := float64(i%2) * 40
+		fmt.Fprintf(&b, `{"marginals":["U:%.1f:%.1f","N:%.1f:1:%.1f:%.1f"],"label":%d}`,
+			shift, shift+2, shift+1, shift-3, shift+5, i%2)
+	}
+	b.WriteString("]}")
+	do(t, "POST", base+"/observe", b.String(), 202, nil)
+	waitIngested(t, base, 120)
+	do(t, "POST", base+"/snapshot", "", 200, nil)
+
+	var res struct {
+		Assign []int `json:"assign"`
+	}
+	do(t, "POST", base+"/assign",
+		`{"objects":[{"marginals":["U:0:2","N:1:1:-3:5"]},{"marginals":["U:40:42","N:41:1:37:45"]}]}`,
+		200, &res)
+	if len(res.Assign) != 2 || res.Assign[0] == res.Assign[1] {
+		t.Fatalf("uncertain assign: %v", res.Assign)
+	}
+}
+
+func TestFitSynchronous(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":9}`, 201, nil)
+	base := ts.URL + "/v1/tenants/t1"
+
+	var info tenantInfo
+	do(t, "POST", base+"/fit", pointsBody(100, 2), 200, &info)
+	if !info.HasModel || info.ModelVersion != 1 || info.Iterations < 1 {
+		t.Fatalf("fit info: %+v", info)
+	}
+	do(t, "POST", base+"/fit", `{}`, 400, nil)
+	// A second fit bumps the version: the hot swap.
+	do(t, "POST", base+"/fit", pointsBody(100, 3), 200, &info)
+	if info.ModelVersion != 2 || info.Swaps != 2 {
+		t.Fatalf("second fit info: %+v", info)
+	}
+}
+
+// TestBackpressure fills a capacity-1 ingestion queue deterministically: the
+// test holds the tenant mutex, which parks the ingester after it takes the
+// first payload off the queue, so the second payload fills the queue and the
+// third must bounce with 429 + Retry-After.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"bp","k":2,"queue_chunks":1}`, 201, nil)
+	base := ts.URL + "/v1/tenants/bp"
+	tn, ok := s.reg.get("bp")
+	if !ok {
+		t.Fatal("tenant bp not registered")
+	}
+
+	tn.mu.Lock()
+	do(t, "POST", base+"/observe", pointsBody(10, 1), 202, nil)
+	// Wait for the ingester to pull payload 1 off the queue and park on mu.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(tn.queue) != 0 {
+		if time.Now().After(deadline) {
+			tn.mu.Unlock()
+			t.Fatal("ingester never picked up the first payload")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	do(t, "POST", base+"/observe", pointsBody(10, 2), 202, nil) // fills the queue
+
+	req, _ := http.NewRequest("POST", base+"/observe", strings.NewReader(pointsBody(10, 3)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		tn.mu.Unlock()
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	tn.mu.Unlock()
+	if resp.StatusCode != 429 {
+		t.Fatalf("full queue answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := s.metrics.queueRejected.Load(); got != 1 {
+		t.Errorf("queueRejected = %d, want 1", got)
+	}
+	// The accepted payloads still land once the ingester resumes.
+	waitIngested(t, base, 20)
+}
+
+func TestModelDownloadUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"src","k":2,"seed":4}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"dst","k":2,"seed":4}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/src/fit", pointsBody(80, 6), 200, nil)
+
+	// Download the UCPM payload.
+	resp, err := http.Get(ts.URL + "/v1/tenants/src/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("model download: %d (%s)", resp.StatusCode, payload)
+	}
+	if resp.Header.Get("X-Model-Version") != "1" {
+		t.Errorf("X-Model-Version = %q", resp.Header.Get("X-Model-Version"))
+	}
+	if _, err := ucpc.LoadModel(bytes.NewReader(payload)); err != nil {
+		t.Fatalf("downloaded payload does not load: %v", err)
+	}
+
+	// Upload it into the second tenant and serve from it.
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/tenants/dst/model", bytes.NewReader(payload))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("model upload: %d (%s)", resp.StatusCode, body)
+	}
+	do(t, "POST", ts.URL+"/v1/tenants/dst/assign", `{"points":[[0,0]]}`, 200, nil)
+
+	// Garbage payloads are 400, and no-model downloads are 409.
+	req, _ = http.NewRequest("PUT", ts.URL+"/v1/tenants/dst/model", strings.NewReader("not a model"))
+	resp, _ = http.DefaultClient.Do(req)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("garbage model upload: %d, want 400", resp.StatusCode)
+	}
+	do(t, "GET", ts.URL+"/v1/tenants/dst/model", "", 200, nil)
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"empty","k":2}`, 201, nil)
+	resp, _ = http.Get(ts.URL + "/v1/tenants/empty/model")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("no-model download: %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestStatsFederation ships UCWS statistics from a stream tenant (the edge)
+// into a sharded tenant (the coordinator) — the distributed-fit path over
+// HTTP.
+func TestStatsFederation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"edge","k":2,"seed":8}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"coord","k":2,"seed":8,"shards":2}`, 201, nil)
+
+	do(t, "POST", ts.URL+"/v1/tenants/edge/observe", pointsBody(150, 7), 202, nil)
+	waitIngested(t, ts.URL+"/v1/tenants/edge", 150)
+
+	resp, err := http.Get(ts.URL + "/v1/tenants/edge/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(payload) == 0 {
+		t.Fatalf("stats export: %d, %d bytes", resp.StatusCode, len(payload))
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/tenants/coord/stats", "application/octet-stream", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats import: %d (%s)", resp.StatusCode, body)
+	}
+
+	// The coordinator can snapshot and serve purely from remote statistics.
+	do(t, "POST", ts.URL+"/v1/tenants/coord/snapshot", "", 200, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/coord/assign", `{"points":[[0.5,0.5]]}`, 200, nil)
+
+	// Capability mismatches are 400s: sharded tenants cannot export, stream
+	// tenants cannot import.
+	resp, _ = http.Get(ts.URL + "/v1/tenants/coord/stats")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("sharded stats export: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = http.Post(ts.URL+"/v1/tenants/edge/stats", "application/octet-stream", bytes.NewReader(payload))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("stream stats import: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":12}`, 201, nil)
+	base := ts.URL + "/v1/tenants/t1"
+
+	// Refresh without a serving model is a 409.
+	do(t, "POST", base+"/refresh", pointsBody(50, 1), 409, nil)
+	do(t, "POST", base+"/fit", pointsBody(100, 2), 200, nil)
+
+	// Unknown mode is a 400.
+	do(t, "POST", base+"/refresh", `{"mode":"psychic"}`, 400, nil)
+
+	// Background batch refresh: 202 now, version bump when it lands.
+	do(t, "POST", base+"/refresh", pointsBody(100, 3), 202, nil)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var info tenantInfo
+		do(t, "GET", base, "", 200, &info)
+		if info.ModelVersion >= 2 {
+			break
+		}
+		if info.RefreshError != "" {
+			t.Fatalf("background refresh failed: %s", info.RefreshError)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background refresh never landed: %+v", info)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Stream mode re-begins the ingestion engine warm from the serving model:
+	// a snapshot is possible immediately, without re-feeding k objects.
+	do(t, "POST", base+"/refresh", `{"mode":"stream"}`, 200, nil)
+	var info tenantInfo
+	do(t, "POST", base+"/snapshot", "", 200, &info)
+	if info.ModelVersion < 3 {
+		t.Fatalf("post-stream-refresh snapshot info: %+v", info)
+	}
+
+	// Sharded tenants reject stream mode.
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"sh","k":2,"shards":2}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/sh/fit", pointsBody(60, 4), 200, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/sh/refresh", `{"mode":"stream"}`, 400, nil)
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A one-nanosecond request budget expires before any fit makes progress:
+	// the typed context error must surface as 503, not 500.
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	// Tenant creation does not consult the request context after parsing.
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/t1/fit", pointsBody(100, 1), 503, nil)
+}
+
+func TestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/t1/observe", pointsBody(500, 1), 400, nil)
+}
+
+// TestMetricsEndpoint checks the exposition contains the advertised series
+// and that the request/response conservation law holds on a quiesced server.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"m1","k":2,"seed":2}`, 201, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/m1/fit", pointsBody(80, 1), 200, nil)
+	do(t, "POST", ts.URL+"/v1/tenants/m1/assign", `{"points":[[1,1],[2,2]]}`, 200, nil)
+	do(t, "GET", ts.URL+"/v1/tenants/ghost", "", 404, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+
+	for _, series := range []string{
+		"ucpcd_uptime_seconds",
+		"ucpcd_requests_total",
+		`ucpcd_responses_total{class="2xx"}`,
+		`ucpcd_responses_total{class="4xx"}`,
+		"ucpcd_queue_rejected_total",
+		"ucpcd_ingested_objects_total",
+		"ucpcd_swaps_total 1",
+		"ucpcd_assign_objects_total 2",
+		"ucpcd_assign_latency_seconds_bucket",
+		"ucpcd_assign_latency_seconds_count 1",
+		"ucpcd_assign_batch_objects_sum 2",
+		"ucpcd_tenants 1",
+		`ucpcd_tenant_swaps_total{tenant="m1"} 1`,
+		`ucpcd_tenant_model_version{tenant="m1"} 1`,
+		`ucpcd_tenant_model_iterations{tenant="m1"}`,
+		`ucpcd_tenant_model_objective{tenant="m1"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+
+	// Conservation: requests_total == sum over classes of responses_total.
+	// The /metrics request itself is counted only after its handler returns,
+	// so the scrape sees a consistent snapshot of all earlier requests.
+	requests, responses := parseConservation(t, text)
+	if requests != responses {
+		t.Errorf("conservation violated: requests_total %d != Σ responses_total %d\n%s",
+			requests, responses, text)
+	}
+}
+
+// parseConservation extracts requests_total and the responses_total sum.
+func parseConservation(t *testing.T, text string) (int64, int64) {
+	t.Helper()
+	var requests, responses int64
+	for _, line := range strings.Split(text, "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, "ucpcd_requests_total %d", &v); err == nil {
+			requests = v
+		}
+		if strings.HasPrefix(line, "ucpcd_responses_total{") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				if _, err := fmt.Sscanf(fields[1], "%d", &v); err == nil {
+					responses += v
+				}
+			}
+		}
+	}
+	return requests, responses
+}

@@ -1,0 +1,231 @@
+package serve
+
+// The -race layer: concurrent serving against atomic hot swaps, and graceful
+// shutdown draining both in-flight HTTP requests and queued ingestion. CI
+// runs this package under -race; these tests are where that flag earns its
+// keep.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAssignDuringSwap serves assigns from many goroutines while
+// the model underneath is hot-swapped as fast as the fitter can produce new
+// models. The gate is the tentpole's promise: zero failed requests — every
+// assign lands on either the old or the new model, never on a torn one.
+func TestConcurrentAssignDuringSwap(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"hot","k":2,"seed":21}`, 201, nil)
+	base := ts.URL + "/v1/tenants/hot"
+	do(t, "POST", base+"/fit", pointsBody(120, 1), 200, nil)
+
+	stop := make(chan struct{})
+	var failed, served atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 8
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := pointsBody(16, int64(100+w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/assign", "application/json", strings.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					failed.Add(1)
+				} else {
+					served.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Swap as fast as fits complete, mixing the two install paths (batch fit
+	// and stream snapshot) for at least 5 swaps.
+	swaps := 0
+	do(t, "POST", base+"/observe", pointsBody(150, 2), 202, nil)
+	waitIngested(t, base, 150)
+	for swaps < 5 {
+		do(t, "POST", base+"/fit", pointsBody(120, int64(10+swaps)), 200, nil)
+		do(t, "POST", base+"/snapshot", "", 200, nil)
+		swaps += 2
+	}
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d assigns failed during hot swaps (%d served)", failed.Load(), served.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no assigns served while swapping")
+	}
+	var info tenantInfo
+	do(t, "GET", base, "", 200, &info)
+	if info.Swaps < 6 { // initial fit + ≥5 loop swaps
+		t.Fatalf("swaps = %d, want >= 6", info.Swaps)
+	}
+}
+
+// TestShutdownDrains exercises graceful shutdown end to end over a real
+// listener: every accepted observe payload must be folded into the stream
+// engine before Shutdown returns, and requests in flight when Shutdown is
+// called must complete with 200.
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{})
+	// Count requests the server has started reading, so the test can prove
+	// the assigns below are genuinely in flight before Shutdown begins.
+	var active atomic.Int64
+	s.http.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateActive {
+			active.Add(1)
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	do(t, "POST", base+"/v1/tenants", `{"id":"d1","k":2,"seed":31}`, 201, nil)
+	tbase := base + "/v1/tenants/d1"
+	const chunks, per = 20, 100
+	for i := 0; i < chunks; i++ {
+		do(t, "POST", tbase+"/observe", pointsBody(per, int64(i)), 202, nil)
+	}
+	do(t, "POST", tbase+"/fit", pointsBody(100, 99), 200, nil)
+
+	// Launch assigns that are still in flight when Shutdown starts.
+	baseline := active.Load()
+	var inflight sync.WaitGroup
+	inflightErr := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		inflight.Add(1)
+		go func(w int) {
+			defer inflight.Done()
+			resp, err := http.Post(tbase+"/assign", "application/json",
+				strings.NewReader(pointsBody(500, int64(w))))
+			if err != nil {
+				inflightErr <- fmt.Errorf("in-flight assign: %w", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				inflightErr <- fmt.Errorf("in-flight assign: status %d", resp.StatusCode)
+			}
+		}(w)
+	}
+
+	// Do not pull the listener until the server has started reading all four
+	// assigns; Shutdown then has real in-flight requests to wait for.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for active.Load() < baseline+4 {
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("only %d of 4 assigns reached the server", active.Load()-baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v after clean shutdown", err)
+	}
+	inflight.Wait()
+	close(inflightErr)
+	for err := range inflightErr {
+		t.Error(err)
+	}
+
+	// Shutdown has returned, so the ingester must have folded every accepted
+	// object — nothing accepted with a 202 may be silently dropped.
+	tn, ok := s.reg.get("d1")
+	if !ok {
+		t.Fatal("tenant gone after shutdown")
+	}
+	if got := tn.ingested.Load(); got != chunks*per {
+		t.Fatalf("ingested %d of %d accepted objects after drain", got, chunks*per)
+	}
+	if tn.queued.Load() != 0 {
+		t.Fatalf("queue still holds %d objects after drain", tn.queued.Load())
+	}
+	if tn.lastIngestError() != "" {
+		t.Fatalf("ingest error during drain: %s", tn.lastIngestError())
+	}
+
+	// The daemon is down: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestDeleteDuringObserve races tenant deletion against observes: handlers
+// must see either a 202, a 404, or a 429 — never a panic from enqueueing on
+// a closed queue (the qmu/qclosed contract).
+func TestDeleteDuringObserve(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for round := 0; round < 10; round++ {
+		id := fmt.Sprintf("r%d", round)
+		do(t, "POST", ts.URL+"/v1/tenants", `{"id":"`+id+`","k":2}`, 201, nil)
+		base := ts.URL + "/v1/tenants/" + id
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					resp, err := http.Post(base+"/observe", "application/json",
+						strings.NewReader(pointsBody(20, int64(w*10+i))))
+					if err != nil {
+						t.Errorf("observe during delete: %v", err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case 202, 404, 429:
+					default:
+						t.Errorf("observe during delete: status %d", resp.StatusCode)
+					}
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest("DELETE", base, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+		wg.Wait()
+	}
+}
