@@ -8,6 +8,17 @@
 //
 //	ucpcd [-addr :8080] [-req-timeout 30s] [-fit-timeout 5m]
 //	      [-queue 64] [-body-limit 33554432] [-grace 10s] [-quiet]
+//	      [-state-dir DIR] [-snapshot-interval 30s]
+//	      [-push-to URL] [-push-interval 5s] [-push-timeout 5s] [-push-source NAME]
+//
+// With -state-dir the daemon is crash-safe: every tenant's spec, serving
+// model, engine checkpoint, and statistics are snapshotted atomically on a
+// timer, on every hot swap, and on SIGTERM (after the ingestion queues
+// drain), and replayed on the next boot — corrupt snapshots are
+// quarantined, never fatal. With -push-to the daemon federates: every
+// stream tenant pushes its UCWS statistics to the coordinator URL under
+// the -push-source key, with capped full-jitter retry backoff and a
+// circuit breaker that degrades to local-only serving.
 //
 // The endpoint table, payload formats, and metrics reference live in the
 // README's "Serving daemon" section and the internal/serve package
@@ -57,6 +68,13 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		bodyLimit  = fs.Int64("body-limit", 32<<20, "request body cap in bytes")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
 		quiet      = fs.Bool("quiet", false, "suppress per-request structured logs")
+
+		stateDir     = fs.String("state-dir", "", "crash-safe snapshot directory (empty = no persistence)")
+		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "persistence timer period (with -state-dir)")
+		pushTo       = fs.String("push-to", "", "coordinator base URL for federation pushes (empty = no pushing)")
+		pushInterval = fs.Duration("push-interval", 5*time.Second, "steady-state federation push period")
+		pushTimeout  = fs.Duration("push-timeout", 5*time.Second, "per-push request budget")
+		pushSource   = fs.String("push-source", "", "stable source key for pushes (empty = host name)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +89,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		fs.Usage()
 		return 2
 	}
+	if *snapInterval <= 0 || *pushInterval <= 0 || *pushTimeout <= 0 {
+		fmt.Fprintln(stderr, "ucpcd: -snapshot-interval, -push-interval, and -push-timeout must be positive")
+		fs.Usage()
+		return 2
+	}
 
 	logDst := io.Writer(stderr)
 	if *quiet {
@@ -78,13 +101,23 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	}
 	logger := slog.New(slog.NewJSONHandler(logDst, nil))
 
-	srv := serve.New(serve.Config{
-		RequestTimeout: *reqTimeout,
-		FitTimeout:     *fitTimeout,
-		QueueChunks:    *queue,
-		MaxBodyBytes:   *bodyLimit,
-		Logger:         logger,
+	srv, err := serve.New(serve.Config{
+		RequestTimeout:   *reqTimeout,
+		FitTimeout:       *fitTimeout,
+		QueueChunks:      *queue,
+		MaxBodyBytes:     *bodyLimit,
+		Logger:           logger,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapInterval,
+		PushTo:           *pushTo,
+		PushInterval:     *pushInterval,
+		PushTimeout:      *pushTimeout,
+		PushSource:       *pushSource,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ucpcd: %v\n", err)
+		return 1
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|shard|serve|all [flags]
+//	uncbench -exp table2|table3|fig4|fig5|bench|kernel|scale|shard|serve|durable|all [flags]
 //
 // Flags:
 //
@@ -81,6 +81,18 @@
 // Σ responses law, and the p99/QPS serving floors:
 //
 //	uncbench -exp serve -bn 10000 -workers 4 -dur 3s -json -check
+//
+// The durable mode is the daemon fault-injection gate: it persists a
+// snapshot mid-stream, kills the daemon without warning (kill -9 of the
+// -daemon binary, or the in-process crash hook when -daemon is empty),
+// restarts it on the same state directory, and gates zero 5xx on
+// post-recovery assigns plus recovered-model quality within 5% of a clean
+// single-engine fit; it then routes three edge daemons' statistics pushes
+// to one coordinator through an injected flaky path (500s, dropped
+// connections, latency) and gates breaker engagement plus federated quality
+// within 2% of the same reference:
+//
+//	uncbench -exp durable -daemon /tmp/ucpcd -json -out DURABLE_PR9.json -check
 package main
 
 import (
@@ -128,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		batch    = fs.Int("batch", 0, "scale/shard mode: streaming mini-batch size (0 = default 8192)")
 		shards   = fs.Int("shards", 0, "shard mode: parallel shard count (0 = default 4)")
 		dur      = fs.Duration("dur", 0, "serve mode: assign load window (0 = default 3s)")
+		daemon   = fs.String("daemon", "", "durable mode: path to a built ucpcd binary (empty = in-process crash hook)")
 		workers  = fs.Int("workers", 0, "bench/scale mode: worker-pool size (0 = per-mode default)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
@@ -417,6 +430,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	runDurable := func() int {
+		res, err := experiments.Durable(ctx, experiments.DurableConfig{
+			N: *benchN, K: *benchK, BatchSize: *batch,
+			Seed: *seed, DaemonBin: *daemon, Progress: progress,
+		})
+		if err != nil {
+			return fail("durable: %v", err)
+		}
+		if *jsonOut {
+			enc, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fail("durable: %v", err)
+			}
+			b.Write(enc)
+			b.WriteString("\n")
+		} else {
+			b.WriteString(experiments.RenderDurable(res))
+		}
+		if *check {
+			if err := res.Check(); err != nil {
+				fmt.Fprintf(stderr, "uncbench: %v\n", err)
+				return 3
+			}
+		}
+		return 0
+	}
+
 	switch *exp {
 	case "table2":
 		status = runTable2()
@@ -436,6 +476,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		status = runShard()
 	case "serve":
 		status = runServe()
+	case "durable":
+		status = runDurable()
 	case "all":
 		for _, f := range []func() int{runTable2, runTable3, runFig4, runFig5} {
 			if status = f(); status != 0 {
@@ -443,7 +485,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	default:
-		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, shard, serve, all)\n", *exp)
+		fmt.Fprintf(stderr, "uncbench: unknown experiment %q (valid: table2, table3, fig4, fig5, bench, kernel, scale, shard, serve, durable, all)\n", *exp)
 		return 2
 	}
 	if status != 0 && status != 3 {

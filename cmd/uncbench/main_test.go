@@ -255,6 +255,41 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestDurableSmoke: the durable mode (in-process crash hook) persists a
+// mid-stream snapshot, survives the crash/restart, rides out the flaky
+// federation path, and passes its own -check gates on a tiny workload.
+func TestDurableSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "DURABLE.json")
+	code, stdout, stderr := runCmd("-exp", "durable", "-bn", "1500", "-bk", "3",
+		"-json", "-check", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res experiments.DurableResult
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("stdout is not the JSON payload: %v\n%s", err, stdout)
+	}
+	if res.Mode != "in-process" {
+		t.Errorf("mode %q, want in-process without -daemon", res.Mode)
+	}
+	if res.PersistedAtKill <= 0 || res.RecoveredIngested < res.PersistedAtKill {
+		t.Errorf("recovery offsets: persisted %d, resumed %d", res.PersistedAtKill, res.RecoveredIngested)
+	}
+	if res.RecoveryAssigns == 0 || res.RecoveryAssign5xx != 0 {
+		t.Errorf("post-recovery serving: %d assigns, %d 5xx", res.RecoveryAssigns, res.RecoveryAssign5xx)
+	}
+	if !res.BreakerOpened || res.FaultsInjected == 0 || res.PushFailures == 0 {
+		t.Errorf("fault injection unexercised: breaker=%v faults=%d push failures=%d",
+			res.BreakerOpened, res.FaultsInjected, res.PushFailures)
+	}
+	if err := res.Check(); err != nil {
+		t.Errorf("gates: %v", err)
+	}
+	if fileData, err := os.ReadFile(outPath); err != nil || string(fileData) != stdout {
+		t.Errorf("-out file differs from stdout payload (err %v)", err)
+	}
+}
+
 // TestProfilesWritten: -cpuprofile and -memprofile produce non-empty
 // pprof files; unwritable paths exit 1.
 func TestProfilesWritten(t *testing.T) {

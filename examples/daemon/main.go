@@ -53,7 +53,10 @@ func main() {
 	// Boot the daemon on an ephemeral loopback port. cmd/ucpcd does exactly
 	// this behind its flags; embedding the server keeps the example
 	// self-contained.
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,220 @@
+// Command federation demonstrates the durable edge→coordinator loop: two
+// edge daemons ingest disjoint halves of a sensor stream and push their
+// mergeable UCWS statistics to one coordinator daemon, which serves a
+// globally merged model it never saw raw data for. Edge 0 runs with a
+// crash-safe state directory and is restarted mid-run — its graceful stop
+// takes a final snapshot after the ingestion queue drains, the restart
+// restores the tenant (model, engine warm start, ingested offset) from
+// disk, and the federation push loop resumes where it left off.
+//
+// Both edges bootstrap from the same seed window with the same seed, so
+// their engines derive identical initial centroids: cluster indices then
+// correspond across edges, and the coordinator's keyed merge (every push
+// replaces that source's previous statistics) sums per-cluster statistics
+// that describe the same cluster — re-pushed cumulative stats are counted
+// exactly once, no matter how often the loop re-ships them.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ucpc/internal/serve"
+)
+
+// readings renders one batch of noisy 2-D sensor readings as the daemon's
+// JSON object payload ("U:lo:hi" uniform error boxes), phase-shifted by
+// offset so the stream keeps moving through the three groups.
+func readings(n, offset int) string {
+	var b strings.Builder
+	b.WriteString(`{"objects":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		g := (offset + i) % 3
+		x := 12.0 * float64(g)
+		y := 8.0 * float64(g%2)
+		j := 0.3 * float64((offset+i)%7)
+		fmt.Fprintf(&b, `{"marginals":["U:%.2f:%.2f","U:%.2f:%.2f"]}`,
+			x+j-0.5, x+j+0.5, y-j-0.5, y-j+0.5)
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+// daemon is one in-process ucpcd engine on a loopback listener.
+type daemon struct {
+	srv  *serve.Server
+	base string
+	done chan error
+}
+
+func boot(cfg serve.Config) *daemon {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &daemon{srv: srv, base: "http://" + l.Addr().String(), done: make(chan error, 1)}
+	go func() { d.done <- srv.Serve(l) }()
+	return d
+}
+
+func (d *daemon) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	<-d.done
+}
+
+func call(method, url, body string) (int, []byte) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw
+}
+
+func must(method, url, body string, want int) []byte {
+	status, raw := call(method, url, body)
+	if status != want {
+		log.Fatalf("%s %s: status %d, want %d (%s)", method, url, status, want, raw)
+	}
+	return raw
+}
+
+// tenantNum polls the tenant until field >= want, returning the last value.
+func tenantNum(base, field string, want int64) int64 {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var info map[string]any
+		if err := json.Unmarshal(must("GET", base+"/v1/tenants/grid", "", 200), &info); err != nil {
+			log.Fatal(err)
+		}
+		v, _ := info[field].(float64)
+		if int64(v) >= want {
+			return int64(v)
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("tenant %s stuck at %v, want >= %d", field, v, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func main() {
+	// The coordinator: a sharded tenant that only ever sees statistics.
+	coord := boot(serve.Config{})
+	defer coord.stop()
+	must("POST", coord.base+"/v1/tenants", `{"id":"grid","k":3,"seed":7,"shards":1}`, 201)
+	fmt.Println("coordinator up — tenant \"grid\" accepts keyed statistics pushes")
+
+	// Edge 0 is the durable one: crash-safe state directory, restarted
+	// mid-run. Edge 1 runs stateless alongside.
+	stateDir, err := os.MkdirTemp("", "ucpc-federation-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(stateDir)
+	edgeCfg := func(source string, dir string) serve.Config {
+		return serve.Config{
+			StateDir:     dir,
+			PushTo:       coord.base,
+			PushInterval: 25 * time.Millisecond,
+			PushTimeout:  2 * time.Second,
+			PushSource:   source,
+		}
+	}
+	edge0 := boot(edgeCfg("edge0", stateDir))
+	edge1 := boot(edgeCfg("edge1", ""))
+	defer edge1.stop()
+
+	// Same spec, same seed, same bootstrap window on both edges: identical
+	// initial centroids make the merge cluster-aligned.
+	const spec = `{"id":"grid","k":3,"seed":7,"batch_size":256}`
+	must("POST", edge0.base+"/v1/tenants", spec, 201)
+	must("POST", edge1.base+"/v1/tenants", spec, 201)
+	boot0 := readings(400, 0)
+	must("POST", edge0.base+"/v1/tenants/grid/observe", boot0, 202)
+	must("POST", edge1.base+"/v1/tenants/grid/observe", boot0, 202)
+
+	// Round 1: disjoint slices of the stream, pushed as they ingest.
+	for batch := 0; batch < 4; batch++ {
+		must("POST", edge0.base+"/v1/tenants/grid/observe", readings(300, 400+2*batch*300), 202)
+		must("POST", edge1.base+"/v1/tenants/grid/observe", readings(300, 400+(2*batch+1)*300), 202)
+	}
+	const round1 = 400 + 4*300
+	tenantNum(edge0.base, "ingested_objects", round1)
+	tenantNum(edge1.base, "ingested_objects", round1)
+	tenantNum(edge0.base, "last_push_seen", round1)
+	tenantNum(edge1.base, "last_push_seen", round1)
+	fmt.Printf("round 1: both edges ingested %d objects and pushed their full view\n", round1)
+
+	// Restart edge 0 mid-run. The graceful stop persists a final snapshot
+	// after the ingestion queue drains; the restart restores the tenant
+	// from disk and the push loop resumes under the same source key.
+	edge0.stop()
+	fmt.Println("edge0 stopped — final snapshot taken after queue drain")
+	edge0 = boot(edgeCfg("edge0", stateDir))
+	defer edge0.stop()
+	restored := tenantNum(edge0.base, "ingested_objects", round1)
+	fmt.Printf("edge0 restarted — tenant restored from disk, resuming from %d objects\n", restored)
+
+	// Round 2: edge 1 never stopped; edge 0 continues from its restored
+	// offset. Both must converge on the coordinator again.
+	for batch := 0; batch < 2; batch++ {
+		must("POST", edge0.base+"/v1/tenants/grid/observe", readings(300, 3000+2*batch*300), 202)
+		must("POST", edge1.base+"/v1/tenants/grid/observe", readings(300, 3000+(2*batch+1)*300), 202)
+	}
+	const round2 = round1 + 2*300
+	tenantNum(edge0.base, "last_push_seen", round2)
+	tenantNum(edge1.base, "last_push_seen", round2)
+	fmt.Printf("round 2: restarted pusher resumed — both edges pushed %d objects\n", round2)
+
+	// The coordinator freezes a model merged purely from the two edges'
+	// statistics and serves assigns from it.
+	var info struct {
+		ModelVersion int64 `json:"model_version"`
+		ModelK       int   `json:"model_k"`
+	}
+	if err := json.Unmarshal(must("POST", coord.base+"/v1/tenants/grid/snapshot", "", 200), &info); err != nil {
+		log.Fatal(err)
+	}
+	var assign struct {
+		Assign []int `json:"assign"`
+	}
+	if err := json.Unmarshal(must("POST", coord.base+"/v1/tenants/grid/assign", readings(30, 0), 200), &assign); err != nil {
+		log.Fatal(err)
+	}
+	distinct := map[int]bool{}
+	for _, c := range assign.Assign {
+		distinct[c] = true
+	}
+	fmt.Printf("coordinator model v%d (k=%d) assigned %d probes across %d clusters without seeing raw data\n",
+		info.ModelVersion, info.ModelK, len(assign.Assign), len(distinct))
+	if len(assign.Assign) != 30 || len(distinct) < 2 {
+		log.Fatalf("federated model did not separate the groups (%d labels, %d clusters)",
+			len(assign.Assign), len(distinct))
+	}
+	fmt.Println("federation drained and stopped")
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ucpc/internal/clustering"
+	"ucpc/internal/persist"
 	"ucpc/internal/rng"
 	"ucpc/internal/uncertain"
 )
@@ -259,6 +260,14 @@ func FuzzUnmarshalWStats(f *testing.F) {
 	f.Add(bad)
 	f.Add([]byte("UCWS"))
 	f.Add([]byte{})
+	// On-disk snapshot frames: the daemon persists statistics inside
+	// internal/persist's CRC-framed container. Seed the decoder with the
+	// framed bytes (frame header bytes must read as a bad magic, never a
+	// panic) and with the frame's payload region alone.
+	frame := persist.EncodeFrame(persist.KindStats, good)
+	f.Add(frame)
+	f.Add(frame[18:])
+	f.Add(frame[:18])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec, err := UnmarshalWStats(data)
 		if err != nil {

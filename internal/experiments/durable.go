@@ -1,0 +1,761 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ucpc"
+	"ucpc/internal/eval"
+	"ucpc/internal/serve"
+	"ucpc/internal/uncertain"
+)
+
+// Durable is the daemon durability + federation fault-injection experiment
+// behind `cmd/uncbench -exp durable` (DURABLE_PR9.json). It exercises the
+// two robustness contracts the daemon makes:
+//
+// Phase A (kill-recover): a daemon with a -state-dir ingests an uncertain
+// stream, persists a snapshot mid-stream, keeps ingesting, and is then
+// killed without warning — kill -9 when a daemon binary is supplied, the
+// in-process crash hook otherwise. A second daemon booted on the same state
+// directory must resume serving assigns from the recovered model with zero
+// 5xx, resume the stream from the manifest's ingested offset, and end
+// within KillTolerance of a clean single-engine fit over the same objects.
+//
+// Phase B (flaky federation): three edge daemons push their UCWS statistics
+// to one coordinator through a fault injector that first black-holes every
+// push (until the circuit breaker opens) and then keeps mixing 500s,
+// dropped connections, and latency into the path. Despite the faults, the
+// coordinator's merged model must converge within FedTolerance of the same
+// single-engine reference — keyed source replacement makes re-pushed
+// cumulative statistics idempotent, so the flaky path costs retries, not
+// correctness.
+
+// DurableConfig sizes the durability experiment. The zero value selects the
+// CI workload; smoke tests shrink N.
+type DurableConfig struct {
+	// N is the total number of uncertain objects in the stream
+	// (default 6000).
+	N int
+	// K is the number of clusters (default 4).
+	K int
+	// BatchSize is the streaming mini-batch size (default 512).
+	BatchSize int
+	// Subsample is the evaluation subsample size (default 2000).
+	Subsample int
+	// Seed drives the object stream and the fits (0 = 1).
+	Seed uint64
+	// Edges is the number of edge daemons in phase B (default 3).
+	Edges int
+	// PushInterval is the edges' steady push cadence (default 20ms).
+	PushInterval time.Duration
+	// DaemonBin is a built ucpcd binary; when set, phase A runs it as a
+	// child process and crashes it with SIGKILL. Empty selects the
+	// in-process crash hook (serve.Server.Abort) — same recovery path,
+	// no process isolation.
+	DaemonBin string
+	// KillTolerance and FedTolerance are the one-sided quality gates for
+	// the recovered and federated models against the single-engine
+	// reference (defaults 0.05 and 0.02).
+	KillTolerance float64
+	FedTolerance  float64
+	// Progress, when non-nil, receives one line per phase.
+	Progress func(format string, args ...any)
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.N == 0 {
+		c.N = 6000
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 512
+	}
+	if c.Subsample == 0 {
+		c.Subsample = 2000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Edges == 0 {
+		c.Edges = 3
+	}
+	if c.PushInterval == 0 {
+		c.PushInterval = 20 * time.Millisecond
+	}
+	if c.KillTolerance == 0 {
+		c.KillTolerance = 0.05
+	}
+	if c.FedTolerance == 0 {
+		c.FedTolerance = 0.02
+	}
+	if c.Progress == nil {
+		c.Progress = func(string, ...any) {}
+	}
+	return c
+}
+
+// DurableResult is the JSON payload of the durability experiment
+// (DURABLE_PR9.json).
+type DurableResult struct {
+	N         int    `json:"n"`
+	K         int    `json:"k"`
+	BatchSize int    `json:"batch_size"`
+	Subsample int    `json:"subsample"`
+	Edges     int    `json:"edges"`
+	Mode      string `json:"mode"` // "process" (kill -9) or "in-process" (Abort)
+
+	// SingleQuality is the clean single-engine reference both phases are
+	// gated against (eval.Quality on the regenerated subsample).
+	SingleQuality float64 `json:"single_quality"`
+
+	// Phase A: the kill-recover ledger.
+	PersistedAtKill   int64   `json:"persisted_at_kill"`
+	RecoveredIngested int64   `json:"recovered_ingested"`
+	RecoveryAssigns   int     `json:"recovery_assigns"`
+	RecoveryAssign5xx int     `json:"recovery_assign_5xx"`
+	RecoveredQuality  float64 `json:"recovered_quality"`
+	KillTolerance     float64 `json:"kill_tolerance"`
+
+	// Phase B: the flaky-federation ledger.
+	FaultsInjected   int64   `json:"faults_injected"`
+	PushFailures     int64   `json:"push_failures"`
+	BreakerOpened    bool    `json:"breaker_opened"`
+	FederatedQuality float64 `json:"federated_quality"`
+	FedTolerance     float64 `json:"fed_tolerance"`
+}
+
+// durableDaemon abstracts "a running daemon" over the two phase-A modes: a
+// ucpcd child process (crash = SIGKILL) or an in-process serve.Server
+// (crash = Abort). Both leave the state directory exactly as a power cut
+// would: nothing persisted after the last completed snapshot.
+type durableDaemon interface {
+	base() string // http://host:port
+	crash() error // die without any cleanup
+	stop() error  // graceful SIGTERM-path shutdown (final snapshot)
+}
+
+type inProcDaemon struct {
+	srv  *serve.Server
+	addr string
+	done chan error
+}
+
+func (d *inProcDaemon) base() string { return "http://" + d.addr }
+
+func (d *inProcDaemon) crash() error {
+	d.srv.Abort()
+	<-d.done
+	return nil
+}
+
+func (d *inProcDaemon) stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return <-d.done
+}
+
+func startInProc(cfg serve.Config) (*inProcDaemon, error) {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	d := &inProcDaemon{srv: srv, addr: l.Addr().String(), done: make(chan error, 1)}
+	go func() { d.done <- srv.Serve(l) }()
+	return d, nil
+}
+
+type procDaemon struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (d *procDaemon) base() string { return "http://" + d.addr }
+
+func (d *procDaemon) crash() error {
+	// SIGKILL: the daemon gets no chance to flush anything.
+	if err := d.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_ = d.cmd.Wait()
+	return nil
+}
+
+func (d *procDaemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return d.cmd.Wait()
+}
+
+// startProc execs the ucpcd binary on an ephemeral port and parses the
+// listen address from its startup line.
+func startProc(bin, stateDir string) (*procDaemon, error) {
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", stateDir,
+		"-snapshot-interval", "1h",
+		"-grace", "30s",
+		"-quiet")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("durable: start %s: %w", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "ucpcd: listening on "); ok {
+			// Keep draining stdout so the child never blocks on the pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return &procDaemon{cmd: cmd, addr: strings.TrimSpace(rest)}, nil
+		}
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	return nil, fmt.Errorf("durable: %s exited before announcing its listen address", bin)
+}
+
+// waitTenant polls the tenant until cond is satisfied (or ctx/deadline
+// expires), returning the last info read.
+func (c *serveClient) waitTenant(ctx context.Context, tenant string, what string,
+	cond func(map[string]any) bool) (map[string]any, error) {
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		status, raw, err := c.get(ctx, "/v1/tenants/"+tenant)
+		if err != nil {
+			return nil, err
+		}
+		var info map[string]any
+		if status != 200 || json.Unmarshal(raw, &info) != nil {
+			return nil, fmt.Errorf("durable: tenant %s info: status %d (%s)", tenant, status, raw)
+		}
+		if cond(info) {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("durable: tenant %s: timed out waiting for %s (info %s)", tenant, what, raw)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// num reads a numeric field from a decoded tenant info map (absent = 0).
+func num(info map[string]any, key string) int64 {
+	v, _ := info[key].(float64)
+	return int64(v)
+}
+
+// streamTo posts objects [from, to) of the deterministic source to the
+// tenant's observe path, retrying 429 backpressure.
+func (c *serveClient) streamTo(ctx context.Context, tenant string, src *scaleSource, from, to int) error {
+	// The source is positional: skip to the offset by discarding.
+	for skipped := 0; skipped < from; {
+		n := 1000
+		if rest := from - skipped; n > rest {
+			n = rest
+		}
+		src.take(nil, n)
+		skipped += n
+	}
+	chunk := make(uncertain.Dataset, 0, 500)
+	for streamed := from; streamed < to; {
+		n := 500
+		if rest := to - streamed; n > rest {
+			n = rest
+		}
+		chunk = src.take(chunk[:0], n)
+		body, err := encodeObjects(chunk)
+		if err != nil {
+			return err
+		}
+		for {
+			status, raw, err := c.post(ctx, "/v1/tenants/"+tenant+"/observe", body)
+			if err != nil {
+				return fmt.Errorf("durable: observe: %w", err)
+			}
+			if status == http.StatusAccepted {
+				break
+			}
+			if status != http.StatusTooManyRequests {
+				return fmt.Errorf("durable: observe: status %d (%s)", status, raw)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		streamed += n
+	}
+	return nil
+}
+
+// assignQuality assigns the evaluation subsample over HTTP in chunks and
+// scores the partition with eval.Quality.
+func (c *serveClient) assignQuality(ctx context.Context, tenant string, k int, sub uncertain.Dataset) (float64, error) {
+	labels := make([]int, 0, len(sub))
+	for lo := 0; lo < len(sub); lo += 500 {
+		hi := lo + 500
+		if hi > len(sub) {
+			hi = len(sub)
+		}
+		body, err := encodeObjects(sub[lo:hi])
+		if err != nil {
+			return 0, err
+		}
+		raw, err := c.mustPost(ctx, "/v1/tenants/"+tenant+"/assign", body, 200)
+		if err != nil {
+			return 0, err
+		}
+		var resp struct {
+			Assign []int `json:"assign"`
+		}
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return 0, err
+		}
+		labels = append(labels, resp.Assign...)
+	}
+	if len(labels) != len(sub) {
+		return 0, fmt.Errorf("durable: assigned %d of %d subsample objects", len(labels), len(sub))
+	}
+	return eval.Quality(sub, ucpc.Partition{K: k, Assign: labels}), nil
+}
+
+// singleReference fits a clean single stream engine over the same N objects
+// and scores it — the baseline both fault phases are gated against.
+func singleReference(ctx context.Context, cfg DurableConfig, sub uncertain.Dataset) (float64, error) {
+	fit, err := (&ucpc.StreamClusterer{Config: ucpc.StreamConfig{
+		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+	}}).Begin(ctx, cfg.K)
+	if err != nil {
+		return 0, err
+	}
+	src := newScaleSource(cfg.Seed)
+	chunk := make(uncertain.Dataset, 0, cfg.BatchSize)
+	for streamed := 0; streamed < cfg.N; {
+		n := cfg.BatchSize
+		if rest := cfg.N - streamed; n > rest {
+			n = rest
+		}
+		chunk = src.take(chunk[:0], n)
+		if err := fit.Observe(ctx, chunk); err != nil {
+			return 0, err
+		}
+		streamed += n
+	}
+	snap, err := fit.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	assign, err := snap.Assign(ctx, sub)
+	if err != nil {
+		return 0, err
+	}
+	return eval.Quality(sub, ucpc.Partition{K: snap.K(), Assign: assign}), nil
+}
+
+// Durable runs the durability + federation fault-injection experiment.
+func Durable(ctx context.Context, cfg DurableConfig) (*DurableResult, error) {
+	cfg = cfg.withDefaults()
+	res := &DurableResult{
+		N: cfg.N, K: cfg.K, BatchSize: cfg.BatchSize, Subsample: cfg.Subsample,
+		Edges: cfg.Edges, Mode: "in-process",
+		KillTolerance: cfg.KillTolerance, FedTolerance: cfg.FedTolerance,
+	}
+	if cfg.DaemonBin != "" {
+		res.Mode = "process"
+	}
+	sub := newScaleSource(cfg.Seed).take(make(uncertain.Dataset, 0, cfg.Subsample), cfg.Subsample)
+
+	cfg.Progress("durable: single-engine reference fit over %d objects", cfg.N)
+	var err error
+	if res.SingleQuality, err = singleReference(ctx, cfg, sub); err != nil {
+		return nil, err
+	}
+
+	if err := durableKillRecover(ctx, cfg, sub, res); err != nil {
+		return nil, err
+	}
+	if err := durableFederation(ctx, cfg, sub, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// durableKillRecover is phase A.
+func durableKillRecover(ctx context.Context, cfg DurableConfig, sub uncertain.Dataset, res *DurableResult) error {
+	dir, err := os.MkdirTemp("", "ucpc-durable-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	start := func() (durableDaemon, error) {
+		if cfg.DaemonBin != "" {
+			return startProc(cfg.DaemonBin, dir)
+		}
+		return startInProc(serve.Config{StateDir: dir, SnapshotInterval: time.Hour})
+	}
+	d1, err := start()
+	if err != nil {
+		return err
+	}
+	cl := &serveClient{base: d1.base(), client: &http.Client{}}
+
+	spec := fmt.Sprintf(`{"id":"dur","k":%d,"seed":%d,"batch_size":%d}`, cfg.K, cfg.Seed, cfg.BatchSize)
+	if _, err := cl.mustPost(ctx, "/v1/tenants", spec, 201); err != nil {
+		d1.crash()
+		return err
+	}
+
+	// Ingest 60%, install + persist a snapshot, then keep streaming to 80%
+	// and pull the plug mid-stream: everything after the snapshot is the
+	// data-loss window this phase proves is survivable.
+	milestone, killPoint := cfg.N*3/5, cfg.N*4/5
+	if err := cl.streamTo(ctx, "dur", newScaleSource(cfg.Seed), 0, milestone); err != nil {
+		d1.crash()
+		return err
+	}
+	if err := cl.waitIngested(ctx, "dur", int64(milestone)); err != nil {
+		d1.crash()
+		return err
+	}
+	if _, err := cl.mustPost(ctx, "/v1/tenants/dur/snapshot", "", 200); err != nil {
+		d1.crash()
+		return err
+	}
+	info, err := cl.waitTenant(ctx, "dur", "durable snapshot", func(m map[string]any) bool {
+		return num(m, "persisted_seen") >= int64(milestone)
+	})
+	if err != nil {
+		d1.crash()
+		return err
+	}
+	res.PersistedAtKill = num(info, "persisted_seen")
+	if err := cl.streamTo(ctx, "dur", newScaleSource(cfg.Seed), milestone, killPoint); err != nil {
+		d1.crash()
+		return err
+	}
+	cfg.Progress("durable: killing daemon at %d/%d objects (last snapshot covers %d)",
+		killPoint, cfg.N, res.PersistedAtKill)
+	if err := d1.crash(); err != nil {
+		return fmt.Errorf("durable: crash: %w", err)
+	}
+
+	// Restart on the same state directory: the tenant must be back, serving
+	// from the recovered model, with the ingested offset resumed from the
+	// manifest.
+	d2, err := start()
+	if err != nil {
+		return fmt.Errorf("durable: restart after kill: %w", err)
+	}
+	cl = &serveClient{base: d2.base(), client: &http.Client{}}
+	info, err = cl.waitTenant(ctx, "dur", "recovered model", func(m map[string]any) bool {
+		has, _ := m["has_model"].(bool)
+		return has
+	})
+	if err != nil {
+		d2.crash()
+		return err
+	}
+	res.RecoveredIngested = num(info, "ingested_objects")
+
+	// The zero-5xx gate: post-recovery assigns must be served from the
+	// recovered model immediately.
+	probe, err := encodeObjects(newScaleSource(cfg.Seed^0x9e37).take(nil, 16))
+	if err != nil {
+		d2.crash()
+		return err
+	}
+	for i := 0; i < 40; i++ {
+		status, raw, err := cl.post(ctx, "/v1/tenants/dur/assign", probe)
+		if err != nil {
+			d2.crash()
+			return fmt.Errorf("durable: post-recovery assign: %w", err)
+		}
+		res.RecoveryAssigns++
+		if status >= 500 {
+			res.RecoveryAssign5xx++
+		} else if status != 200 {
+			d2.crash()
+			return fmt.Errorf("durable: post-recovery assign: status %d (%s)", status, raw)
+		}
+	}
+	cfg.Progress("durable: recovered tenant served %d assigns (%d 5xx), resuming stream from %d",
+		res.RecoveryAssigns, res.RecoveryAssign5xx, res.RecoveredIngested)
+
+	// Resume the stream from the manifest offset (the deterministic source
+	// regenerates exactly the objects the crash threw away) and finish.
+	if err := cl.streamTo(ctx, "dur", newScaleSource(cfg.Seed), int(res.RecoveredIngested), cfg.N); err != nil {
+		d2.crash()
+		return err
+	}
+	if err := cl.waitIngested(ctx, "dur", int64(cfg.N)); err != nil {
+		d2.crash()
+		return err
+	}
+	if _, err := cl.mustPost(ctx, "/v1/tenants/dur/snapshot", "", 200); err != nil {
+		d2.crash()
+		return err
+	}
+	if res.RecoveredQuality, err = cl.assignQuality(ctx, "dur", cfg.K, sub); err != nil {
+		d2.crash()
+		return err
+	}
+	cfg.Progress("durable: recovered quality %.4f vs single-engine %.4f",
+		res.RecoveredQuality, res.SingleQuality)
+	return d2.stop()
+}
+
+// durableFederation is phase B: Edges edge daemons push through a fault
+// injector to one coordinator; the merged model must converge anyway.
+func durableFederation(ctx context.Context, cfg DurableConfig, sub uncertain.Dataset, res *DurableResult) error {
+	coord, err := startInProc(serve.Config{})
+	if err != nil {
+		return err
+	}
+	defer coord.stop()
+	coordCl := &serveClient{base: coord.base(), client: &http.Client{}}
+	spec := fmt.Sprintf(`{"id":"fed","k":%d,"seed":%d,"shards":1,"batch_size":%d}`, cfg.K, cfg.Seed, cfg.BatchSize)
+	if _, err := coordCl.mustPost(ctx, "/v1/tenants", spec, 201); err != nil {
+		return err
+	}
+
+	// The fault injector sits between the edges and the coordinator. Mode 0
+	// is a full outage (every push fails — drives the breaker open); mode 1
+	// is flaky: a rotating mix of 500s, dropped connections, and injected
+	// latency, with enough clean forwards that steady pushing converges.
+	var (
+		mode    atomic.Int32 // 0 = outage, 1 = flaky
+		counter atomic.Int64
+		faults  atomic.Int64
+	)
+	coordHandler := coord.srv.Handler()
+	proxy := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mode.Load() == 0 {
+			faults.Add(1)
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
+		switch counter.Add(1) % 4 {
+		case 0:
+			faults.Add(1)
+			http.Error(w, "injected 500", http.StatusInternalServerError)
+		case 1:
+			faults.Add(1)
+			panic(http.ErrAbortHandler) // injected dropped connection
+		case 2:
+			faults.Add(1)
+			time.Sleep(5 * time.Millisecond) // injected latency, then forward
+			coordHandler.ServeHTTP(w, r)
+		default:
+			coordHandler.ServeHTTP(w, r)
+		}
+	})}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go proxy.Serve(pl)
+	defer proxy.Close()
+	proxyURL := "http://" + pl.Addr().String()
+
+	// Edges: one stream tenant each, all pushing through the injector under
+	// distinct source keys. Every edge first observes the same bootstrap
+	// window (the stream's first mini-batch) with the same seed, so all
+	// engines derive identical initial centroids — cluster indices then
+	// correspond across edges, which is what makes the coordinator's keyed
+	// merge principled: it sums per-cluster statistics that describe the
+	// same cluster. The rest of the stream is partitioned round-robin.
+	edges := make([]*inProcDaemon, cfg.Edges)
+	clients := make([]*serveClient, cfg.Edges)
+	counts := make([]int, cfg.Edges)
+	for i := range edges {
+		edges[i], err = startInProc(serve.Config{
+			PushTo:       proxyURL,
+			PushInterval: cfg.PushInterval,
+			PushTimeout:  2 * time.Second,
+			PushSource:   fmt.Sprintf("edge%d", i),
+		})
+		if err != nil {
+			return err
+		}
+		defer edges[i].stop()
+		clients[i] = &serveClient{base: edges[i].base(), client: &http.Client{}}
+		espec := fmt.Sprintf(`{"id":"fed","k":%d,"seed":%d,"batch_size":%d}`, cfg.K, cfg.Seed, cfg.BatchSize)
+		if _, err := clients[i].mustPost(ctx, "/v1/tenants", espec, 201); err != nil {
+			return err
+		}
+	}
+	src := newScaleSource(cfg.Seed)
+	// The bootstrap must cover a full seeding window (one mini-batch), or
+	// the engines seed from diverged windows and alignment is lost.
+	bootstrap := cfg.BatchSize
+	if bootstrap > cfg.N {
+		bootstrap = cfg.N
+	}
+	boot := src.take(make(uncertain.Dataset, 0, bootstrap), bootstrap)
+	bootBody, err := encodeObjects(boot)
+	if err != nil {
+		return err
+	}
+	for i := range edges {
+		if _, err := clients[i].mustPost(ctx, "/v1/tenants/fed/observe", bootBody, 202); err != nil {
+			return err
+		}
+		counts[i] = bootstrap
+	}
+	portion := make(uncertain.Dataset, 0, 500)
+	for streamed := bootstrap; streamed < cfg.N; {
+		n := 500
+		if rest := cfg.N - streamed; n > rest {
+			n = rest
+		}
+		portion = src.take(portion[:0], n)
+		for i := range edges {
+			var slice uncertain.Dataset
+			for j, o := range portion {
+				if (streamed+j)%cfg.Edges == i {
+					slice = append(slice, o)
+				}
+			}
+			body, err := encodeObjects(slice)
+			if err != nil {
+				return err
+			}
+			if _, err := clients[i].mustPost(ctx, "/v1/tenants/fed/observe", body, 202); err != nil {
+				return err
+			}
+			counts[i] += len(slice)
+		}
+		streamed += n
+	}
+	for i := range edges {
+		if err := clients[i].waitIngested(ctx, "fed", int64(counts[i])); err != nil {
+			return err
+		}
+	}
+
+	// Outage: every push fails until edge0's breaker opens — proof the
+	// degraded-to-local-only path engaged while ingestion kept running.
+	if _, err := clients[0].waitTenant(ctx, "fed", "push breaker open", func(m map[string]any) bool {
+		open, _ := m["push_breaker_open"].(bool)
+		return open
+	}); err != nil {
+		return err
+	}
+	res.BreakerOpened = true
+	cfg.Progress("durable: coordinator outage opened edge0's breaker after %d faults", faults.Load())
+
+	// Heal to flaky: pushes keep failing intermittently, but each edge's
+	// cumulative statistics land eventually — lastPushSeen reaching the
+	// edge's full portion means the coordinator holds its complete view.
+	mode.Store(1)
+	for i := range edges {
+		info, err := clients[i].waitTenant(ctx, "fed", "full view pushed", func(m map[string]any) bool {
+			return num(m, "last_push_seen") >= int64(counts[i])
+		})
+		if err != nil {
+			return err
+		}
+		res.PushFailures += num(info, "push_failures")
+	}
+	res.FaultsInjected = faults.Load()
+	cfg.Progress("durable: all %d edges converged through the flaky path (%d faults, %d push failures)",
+		cfg.Edges, res.FaultsInjected, res.PushFailures)
+
+	if _, err := coordCl.mustPost(ctx, "/v1/tenants/fed/snapshot", "", 200); err != nil {
+		return err
+	}
+	if res.FederatedQuality, err = coordCl.assignQuality(ctx, "fed", cfg.K, sub); err != nil {
+		return err
+	}
+	cfg.Progress("durable: federated quality %.4f vs single-engine %.4f",
+		res.FederatedQuality, res.SingleQuality)
+	return nil
+}
+
+// RenderDurable formats the result for terminal output.
+func RenderDurable(r *DurableResult) string {
+	breaker := "opened and closed"
+	if !r.BreakerOpened {
+		breaker = "NEVER OPENED"
+	}
+	return fmt.Sprintf(`daemon durability (-exp durable)
+  kill-recover (%s): snapshot at %d/%d objects, killed at ~%d, restart resumed from %d
+  recovery serving:  %d assigns, %d with 5xx
+  quality:           recovered %.4f, federated %.4f vs single-engine %.4f (tolerances %.0f%% / %.0f%%)
+  federation:        %d edges through fault injector — %d faults, %d push failures, breaker %s
+`,
+		r.Mode, r.PersistedAtKill, r.N, r.N*4/5, r.RecoveredIngested,
+		r.RecoveryAssigns, r.RecoveryAssign5xx,
+		r.RecoveredQuality, r.FederatedQuality, r.SingleQuality,
+		100*r.KillTolerance, 100*r.FedTolerance,
+		r.Edges, r.FaultsInjected, r.PushFailures, breaker)
+}
+
+// Check applies the durability acceptance gates: a real snapshot existed
+// before the kill, recovery served with zero 5xx from an offset no older
+// than that snapshot, both fault phases actually injected faults, and the
+// recovered and federated models hold their quality tolerances against the
+// clean single-engine reference (one-sided — better passes).
+func (r *DurableResult) Check() error {
+	if r.PersistedAtKill <= 0 {
+		return fmt.Errorf("durable: no snapshot was persisted before the kill")
+	}
+	if r.RecoveredIngested < r.PersistedAtKill {
+		return fmt.Errorf("durable: restart resumed from %d, older than the %d-object snapshot",
+			r.RecoveredIngested, r.PersistedAtKill)
+	}
+	if r.RecoveryAssigns == 0 || r.RecoveryAssign5xx != 0 {
+		return fmt.Errorf("durable: post-recovery serving: %d assigns, %d answered 5xx",
+			r.RecoveryAssigns, r.RecoveryAssign5xx)
+	}
+	if r.RecoveredQuality < r.SingleQuality-r.KillTolerance*math.Abs(r.SingleQuality) {
+		return fmt.Errorf("durable: recovered quality %.4f more than %.0f%% below single-engine %.4f",
+			r.RecoveredQuality, 100*r.KillTolerance, r.SingleQuality)
+	}
+	if !r.BreakerOpened {
+		return fmt.Errorf("durable: the coordinator outage never opened the circuit breaker")
+	}
+	if r.FaultsInjected == 0 || r.PushFailures == 0 {
+		return fmt.Errorf("durable: fault injector unexercised (%d faults, %d push failures)",
+			r.FaultsInjected, r.PushFailures)
+	}
+	if r.FederatedQuality < r.SingleQuality-r.FedTolerance*math.Abs(r.SingleQuality) {
+		return fmt.Errorf("durable: federated quality %.4f more than %.0f%% below single-engine %.4f",
+			r.FederatedQuality, 100*r.FedTolerance, r.SingleQuality)
+	}
+	return nil
+}

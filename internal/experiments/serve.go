@@ -248,7 +248,10 @@ func Serve(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
 		P99BudgetMs: cfg.P99BudgetMs, MinQPS: cfg.MinQPS,
 	}
 
-	srv := serve.New(serve.Config{})
+	srv, err := serve.New(serve.Config{})
+	if err != nil {
+		return nil, err
+	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen: %w", err)

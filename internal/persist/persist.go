@@ -1,0 +1,416 @@
+// Package persist is the crash-safe snapshot store behind the serving
+// daemon's durability layer: one directory per tenant holding the tenant
+// spec, the latest serving model (UCPM), the latest engine checkpoint
+// (UCPM), and the latest exported statistics (UCWS), each wrapped in a
+// CRC-framed record and written atomically (temp file + fsync + rename,
+// manifest last), so a `kill -9` at any instant leaves either the previous
+// complete snapshot or the new complete snapshot on disk — never a torn
+// one.
+//
+// Layout under the state directory:
+//
+//	<dir>/tenants/<id>/manifest.ucsf   versioned manifest (JSON in a frame)
+//	<dir>/tenants/<id>/model.ucsf      installed serving model (UCPM in a frame)
+//	<dir>/tenants/<id>/engine.ucsf     engine checkpoint (UCPM in a frame)
+//	<dir>/tenants/<id>/stats.ucsf      exported statistics (UCWS in a frame)
+//	<dir>/quarantine/<id>.<nanos>/     snapshots that failed to decode
+//
+// Every file is one frame:
+//
+//	offset  size  field
+//	0       4     magic "UCSF"
+//	4       1     frame version (1)
+//	5       1     payload kind (1 manifest, 2 model, 3 stats)
+//	6       8     payload length (uint64 LE)
+//	14      4     CRC32-C of the payload (uint32 LE)
+//	18      n     payload
+//
+// Total length is enforced exactly; ReadFrame rejects bad magic, unknown
+// versions, kind mismatches, truncated or oversized input, and checksum
+// failures with a wrapped ErrCorrupt naming the defect. Decoding never
+// panics and never allocates more than the input's own size implies.
+//
+// The manifest is written last: the data files it references are already
+// durable when it lands, so a reader that trusts the manifest always finds
+// frames at least as new as it. A crash between data-file rename and
+// manifest rename leaves the old manifest pointing at newer data files —
+// still self-consistent, because every frame validates independently.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrCorrupt marks a snapshot file (or directory) that is not a complete,
+// checksum-valid record — a torn write, truncation, bit rot, or manual
+// tampering. Every decode path wraps it with the offending file path;
+// callers quarantine rather than fail startup.
+var ErrCorrupt = errors.New("corrupt snapshot")
+
+const (
+	frameVersion = 1
+	frameHeader  = 18
+	// frameMaxPayload bounds what a hostile length prefix can make ReadFrame
+	// buffer (the UCPM read cap is ~160 MiB; 256 MiB clears it with room).
+	frameMaxPayload = 256 << 20
+)
+
+// Frame payload kinds.
+const (
+	KindManifest byte = 1
+	KindModel    byte = 2
+	KindStats    byte = 3
+)
+
+var (
+	frameMagic = [4]byte{'U', 'C', 'S', 'F'}
+	crcTable   = crc32.MakeTable(crc32.Castagnoli)
+	idPattern  = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
+)
+
+// EncodeFrame wraps payload in the CRC frame.
+func EncodeFrame(kind byte, payload []byte) []byte {
+	buf := make([]byte, frameHeader, frameHeader+len(payload))
+	copy(buf, frameMagic[:])
+	buf[4] = frameVersion
+	buf[5] = kind
+	binary.LittleEndian.PutUint64(buf[6:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[14:], crc32.Checksum(payload, crcTable))
+	return append(buf, payload...)
+}
+
+// DecodeFrame validates a frame of the expected kind and returns its
+// payload. Malformed input fails with a wrapped ErrCorrupt.
+func DecodeFrame(kind byte, data []byte) ([]byte, error) {
+	if len(data) < frameHeader {
+		return nil, fmt.Errorf("persist: frame truncated at %d bytes (header is %d): %w",
+			len(data), frameHeader, ErrCorrupt)
+	}
+	if [4]byte(data[:4]) != frameMagic {
+		return nil, fmt.Errorf("persist: frame has magic %q, want %q: %w", data[:4], frameMagic[:], ErrCorrupt)
+	}
+	if data[4] != frameVersion {
+		return nil, fmt.Errorf("persist: frame version %d, this build reads %d: %w",
+			data[4], frameVersion, ErrCorrupt)
+	}
+	if data[5] != kind {
+		return nil, fmt.Errorf("persist: frame kind %d, want %d: %w", data[5], kind, ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(data[6:])
+	if n > frameMaxPayload {
+		return nil, fmt.Errorf("persist: frame declares %d-byte payload (cap %d): %w",
+			n, frameMaxPayload, ErrCorrupt)
+	}
+	if uint64(len(data)-frameHeader) != n {
+		return nil, fmt.Errorf("persist: frame carries %d payload bytes, header declares %d: %w",
+			len(data)-frameHeader, n, ErrCorrupt)
+	}
+	payload := data[frameHeader:]
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(data[14:]); got != want {
+		return nil, fmt.Errorf("persist: frame checksum %08x, header declares %08x: %w", got, want, ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Manifest is the versioned per-tenant index, serialized as JSON inside a
+// KindManifest frame. The Has* flags say which data files the snapshot
+// includes; a referenced file that is missing or fails its frame check
+// makes the whole snapshot corrupt.
+type Manifest struct {
+	Version       int             `json:"version"`
+	ID            string          `json:"id"`
+	Spec          json.RawMessage `json:"spec"`
+	ModelVersion  int64           `json:"model_version"`
+	Seen          int64           `json:"seen"`
+	SavedUnixNano int64           `json:"saved_unix_nano"`
+	HasModel      bool            `json:"has_model"`
+	HasEngine     bool            `json:"has_engine"`
+	HasStats      bool            `json:"has_stats"`
+}
+
+const manifestVersion = 1
+
+// TenantSnapshot is one tenant's recoverable state: the opaque spec the
+// serving layer wrote (persist does not interpret it), the wire-encoded
+// serving model and engine checkpoint (UCPM), and the exported statistics
+// (UCWS). Nil byte slices mean "not part of this snapshot".
+type TenantSnapshot struct {
+	ID            string
+	Spec          json.RawMessage
+	ModelVersion  int64
+	Seen          int64
+	SavedUnixNano int64
+	Model         []byte
+	Engine        []byte
+	Stats         []byte
+}
+
+// Store is one state directory. Methods are safe for use from one
+// goroutine per tenant id; concurrent Save calls for the same id must be
+// serialized by the caller (the daemon holds a per-tenant persist lock).
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("persist: empty state directory")
+	}
+	for _, sub := range []string{tenantsDirName, quarantineDirName} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("persist: open state dir: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+const (
+	tenantsDirName    = "tenants"
+	quarantineDirName = "quarantine"
+
+	manifestFile = "manifest.ucsf"
+	modelFile    = "model.ucsf"
+	engineFile   = "engine.ucsf"
+	statsFile    = "stats.ucsf"
+)
+
+func (s *Store) tenantDir(id string) string {
+	return filepath.Join(s.dir, tenantsDirName, id)
+}
+
+// Save writes snap atomically: each data file via temp + fsync + rename,
+// the manifest last, and the tenant directory fsynced so the renames are
+// durable. Data files absent from snap are removed (after the manifest no
+// longer references them, a stale file is harmless, but removing keeps the
+// directory an exact mirror of the snapshot).
+func (s *Store) Save(snap *TenantSnapshot) error {
+	if !idPattern.MatchString(snap.ID) {
+		return fmt.Errorf("persist: tenant id %q must match %s", snap.ID, idPattern)
+	}
+	dir := s.tenantDir(snap.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	files := []struct {
+		name    string
+		kind    byte
+		payload []byte
+	}{
+		{modelFile, KindModel, snap.Model},
+		{engineFile, KindModel, snap.Engine},
+		{statsFile, KindStats, snap.Stats},
+	}
+	for _, f := range files {
+		path := filepath.Join(dir, f.name)
+		if f.payload == nil {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("persist: %w", err)
+			}
+			continue
+		}
+		if err := writeFileAtomic(path, EncodeFrame(f.kind, f.payload)); err != nil {
+			return err
+		}
+	}
+	man := Manifest{
+		Version:       manifestVersion,
+		ID:            snap.ID,
+		Spec:          snap.Spec,
+		ModelVersion:  snap.ModelVersion,
+		Seen:          snap.Seen,
+		SavedUnixNano: snap.SavedUnixNano,
+		HasModel:      snap.Model != nil,
+		HasEngine:     snap.Engine != nil,
+		HasStats:      snap.Stats != nil,
+	}
+	if man.SavedUnixNano == 0 {
+		man.SavedUnixNano = time.Now().UnixNano()
+	}
+	raw, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("persist: encode manifest: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, manifestFile), EncodeFrame(KindManifest, raw)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Load reads and validates the tenant's snapshot. A missing tenant returns
+// os.ErrNotExist (wrapped); a present-but-undecodable one returns a wrapped
+// ErrCorrupt naming the offending file — the caller's cue to Quarantine.
+func (s *Store) Load(id string) (*TenantSnapshot, error) {
+	dir := s.tenantDir(id)
+	raw, err := readFrameFile(filepath.Join(dir, manifestFile), KindManifest)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("persist: %s: manifest JSON: %v: %w",
+			filepath.Join(dir, manifestFile), err, ErrCorrupt)
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("persist: %s: manifest version %d, this build reads %d: %w",
+			filepath.Join(dir, manifestFile), man.Version, manifestVersion, ErrCorrupt)
+	}
+	if man.ID != id {
+		return nil, fmt.Errorf("persist: %s: manifest names tenant %q, directory is %q: %w",
+			filepath.Join(dir, manifestFile), man.ID, id, ErrCorrupt)
+	}
+	if len(man.Spec) == 0 || string(man.Spec) == "null" {
+		return nil, fmt.Errorf("persist: %s: manifest carries no tenant spec: %w",
+			filepath.Join(dir, manifestFile), ErrCorrupt)
+	}
+	snap := &TenantSnapshot{
+		ID:            man.ID,
+		Spec:          man.Spec,
+		ModelVersion:  man.ModelVersion,
+		Seen:          man.Seen,
+		SavedUnixNano: man.SavedUnixNano,
+	}
+	read := func(name string, kind byte, dst *[]byte, present bool) error {
+		if !present {
+			return nil
+		}
+		payload, err := readFrameFile(filepath.Join(dir, name), kind)
+		if err != nil {
+			return err
+		}
+		*dst = payload
+		return nil
+	}
+	if err := read(modelFile, KindModel, &snap.Model, man.HasModel); err != nil {
+		return nil, err
+	}
+	if err := read(engineFile, KindModel, &snap.Engine, man.HasEngine); err != nil {
+		return nil, err
+	}
+	if err := read(statsFile, KindStats, &snap.Stats, man.HasStats); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// IDs lists the tenant ids with a snapshot directory, sorted. Directories
+// are listed, not validated — Load decides whether each one is usable.
+func (s *Store) IDs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, tenantsDirName))
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() && idPattern.MatchString(e.Name()) {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove deletes the tenant's snapshot directory (tenant deletion).
+func (s *Store) Remove(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("persist: tenant id %q must match %s", id, idPattern)
+	}
+	if err := os.RemoveAll(s.tenantDir(id)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Quarantine moves the tenant's snapshot directory aside —
+// <dir>/quarantine/<id>.<nanos> — so a corrupt snapshot never blocks
+// startup and stays available for inspection. Returns the new path.
+func (s *Store) Quarantine(id string) (string, error) {
+	if !idPattern.MatchString(id) {
+		return "", fmt.Errorf("persist: tenant id %q must match %s", id, idPattern)
+	}
+	dst := filepath.Join(s.dir, quarantineDirName, fmt.Sprintf("%s.%d", id, time.Now().UnixNano()))
+	if err := os.Rename(s.tenantDir(id), dst); err != nil {
+		return "", fmt.Errorf("persist: quarantine %q: %w", id, err)
+	}
+	return dst, syncDir(filepath.Join(s.dir, quarantineDirName))
+}
+
+// readFrameFile reads one framed file, mapping read errors and frame
+// defects onto ErrCorrupt with the path (except a missing manifest, which
+// surfaces os.ErrNotExist so callers can tell "no snapshot" from "bad
+// snapshot").
+func readFrameFile(path string, kind byte) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && filepath.Base(path) == manifestFile {
+			return nil, fmt.Errorf("persist: %s: %w", path, os.ErrNotExist)
+		}
+		return nil, fmt.Errorf("persist: %s: %v: %w", path, err, ErrCorrupt)
+	}
+	payload, err := DecodeFrame(kind, data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory, fsyncs it, and renames it into place — the atomic-replace
+// idiom every snapshot file goes through. Stale ".tmp" leftovers from a
+// crash mid-write are simply overwritten next time (and never match the
+// frame file names Load reads).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so completed renames survive power loss.
+// Filesystems that reject directory fsync (some CI overlays) are tolerated:
+// the rename itself is still atomic, only its durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) &&
+		!strings.Contains(err.Error(), "invalid argument") {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}

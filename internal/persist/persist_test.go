@@ -1,0 +1,338 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleSnap() *TenantSnapshot {
+	return &TenantSnapshot{
+		ID:            "t1",
+		Spec:          json.RawMessage(`{"id":"t1","k":3}`),
+		ModelVersion:  7,
+		Seen:          12345,
+		SavedUnixNano: 42,
+		Model:         []byte("UCPM-model-bytes"),
+		Engine:        []byte("UCPM-engine-bytes"),
+		Stats:         []byte("UCWS-stats-bytes"),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleSnap()
+	if err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != want.ID || got.ModelVersion != want.ModelVersion ||
+		got.Seen != want.Seen || got.SavedUnixNano != want.SavedUnixNano {
+		t.Fatalf("scalar fields round-tripped to %+v", got)
+	}
+	if !bytes.Equal(got.Spec, want.Spec) || !bytes.Equal(got.Model, want.Model) ||
+		!bytes.Equal(got.Engine, want.Engine) || !bytes.Equal(got.Stats, want.Stats) {
+		t.Fatalf("payloads round-tripped to %+v", got)
+	}
+
+	ids, err := st.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "t1" {
+		t.Fatalf("IDs() = %v, want [t1]", ids)
+	}
+}
+
+func TestSaveOmitsAndRemovesAbsentFiles(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(sampleSnap()); err != nil {
+		t.Fatal(err)
+	}
+	// Second save drops the model and stats: the files must disappear and
+	// Load must report them nil.
+	snap := sampleSnap()
+	snap.Model, snap.Stats = nil, nil
+	if err := st.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != nil || got.Stats != nil || got.Engine == nil {
+		t.Fatalf("after partial save: model=%v stats=%v engine=%v", got.Model, got.Stats, got.Engine)
+	}
+	if _, err := os.Stat(filepath.Join(st.Dir(), "tenants", "t1", modelFile)); !os.IsNotExist(err) {
+		t.Fatalf("model file should be removed, stat err = %v", err)
+	}
+}
+
+func TestLoadMissingTenantIsNotExist(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("ghost"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing tenant: %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestRemoveAndQuarantine(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(sampleSnap()); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := st.Quarantine("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Fatalf("quarantined dir missing: %v", err)
+	}
+	if _, err := st.Load("t1"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("after quarantine Load = %v, want os.ErrNotExist", err)
+	}
+
+	if err := st.Save(sampleSnap()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("t1"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("after remove Load = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestFrameDecodeDefects drives DecodeFrame through the defect matrix:
+// every truncation point, a flipped bit in every region (magic, version,
+// kind, length, checksum, payload), and trailing garbage must all be
+// rejected with ErrCorrupt — never a panic, never a silent success.
+func TestFrameDecodeDefects(t *testing.T) {
+	payload := []byte("the payload under test")
+	frame := EncodeFrame(KindModel, payload)
+
+	if got, err := DecodeFrame(KindModel, frame); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean frame: %q, %v", got, err)
+	}
+
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeFrame(KindModel, frame[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: %v, want ErrCorrupt", cut, err)
+		}
+	}
+	for i := 0; i < len(frame); i++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= bit
+			if _, err := DecodeFrame(KindModel, mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d (mask %#x): %v, want ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+	if _, err := DecodeFrame(KindModel, append(append([]byte(nil), frame...), 0xff)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: %v, want ErrCorrupt", err)
+	}
+	if _, err := DecodeFrame(KindStats, frame); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("kind mismatch: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadCorruptSnapshots is the table-driven corrupt-manifest restore
+// matrix: each case damages one on-disk file of a valid snapshot and Load
+// must answer a wrapped ErrCorrupt that names the damaged path.
+func TestLoadCorruptSnapshots(t *testing.T) {
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, dir string) string // returns the file expected in the error
+	}{
+		{"truncated manifest", func(t *testing.T, dir string) string {
+			return truncate(t, filepath.Join(dir, manifestFile), 10)
+		}},
+		{"bit-flipped manifest payload", func(t *testing.T, dir string) string {
+			return flipByte(t, filepath.Join(dir, manifestFile), frameHeader+2)
+		}},
+		{"manifest JSON not an object", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, manifestFile)
+			writeRaw(t, path, EncodeFrame(KindManifest, []byte("[]garbage")))
+			return path
+		}},
+		{"manifest wrong tenant id", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, manifestFile)
+			man := Manifest{Version: manifestVersion, ID: "other", Spec: json.RawMessage(`{}`)}
+			raw, _ := json.Marshal(man)
+			writeRaw(t, path, EncodeFrame(KindManifest, raw))
+			return path
+		}},
+		{"manifest future version", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, manifestFile)
+			man := Manifest{Version: 99, ID: "t1", Spec: json.RawMessage(`{}`)}
+			raw, _ := json.Marshal(man)
+			writeRaw(t, path, EncodeFrame(KindManifest, raw))
+			return path
+		}},
+		{"manifest missing spec", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, manifestFile)
+			man := Manifest{Version: manifestVersion, ID: "t1"}
+			raw, _ := json.Marshal(man)
+			writeRaw(t, path, EncodeFrame(KindManifest, raw))
+			return path
+		}},
+		{"referenced model file missing", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, modelFile)
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+			return path
+		}},
+		{"truncated model frame", func(t *testing.T, dir string) string {
+			return truncate(t, filepath.Join(dir, modelFile), frameHeader+3)
+		}},
+		{"bit-flipped stats payload", func(t *testing.T, dir string) string {
+			return flipByte(t, filepath.Join(dir, statsFile), frameHeader)
+		}},
+		{"engine frame wrong kind", func(t *testing.T, dir string) string {
+			path := filepath.Join(dir, engineFile)
+			writeRaw(t, path, EncodeFrame(KindStats, []byte("wrong kind")))
+			return path
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(sampleSnap()); err != nil {
+				t.Fatal(err)
+			}
+			wantPath := tc.damage(t, filepath.Join(st.Dir(), "tenants", "t1"))
+			_, err = st.Load("t1")
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load after %s: %v, want ErrCorrupt", tc.name, err)
+			}
+			if wantPath != "" && !bytes.Contains([]byte(err.Error()), []byte(wantPath)) {
+				t.Fatalf("error %q does not name the damaged file %q", err, wantPath)
+			}
+			// A corrupt snapshot quarantines cleanly and stops being listed.
+			if _, err := st.Quarantine("t1"); err != nil {
+				t.Fatal(err)
+			}
+			ids, err := st.IDs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != 0 {
+				t.Fatalf("IDs after quarantine = %v, want none", ids)
+			}
+		})
+	}
+}
+
+// TestStaleTmpFilesAreIgnored: leftovers of a crash mid-write (the ".tmp"
+// names) must not disturb a later Save/Load cycle.
+func TestStaleTmpFilesAreIgnored(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(sampleSnap()); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(st.Dir(), "tenants", "t1")
+	for _, name := range []string{manifestFile, modelFile} {
+		writeRaw(t, filepath.Join(dir, name+".tmp"), []byte("torn half-write"))
+	}
+	if _, err := st.Load("t1"); err != nil {
+		t.Fatalf("Load with stale tmp files: %v", err)
+	}
+	if err := st.Save(sampleSnap()); err != nil {
+		t.Fatalf("Save over stale tmp files: %v", err)
+	}
+}
+
+func TestBadTenantIDs(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "a/b", "..", "x y", "a.b"} {
+		if err := st.Save(&TenantSnapshot{ID: id, Spec: json.RawMessage(`{}`)}); err == nil {
+			t.Fatalf("Save(%q) accepted a bad id", id)
+		}
+		if err := st.Remove(id); err == nil {
+			t.Fatalf("Remove(%q) accepted a bad id", id)
+		}
+		if _, err := st.Quarantine(id); err == nil {
+			t.Fatalf("Quarantine(%q) accepted a bad id", id)
+		}
+	}
+}
+
+func truncate(t *testing.T, path string, n int) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(data) {
+		t.Fatalf("truncate %d beyond %d bytes", n, len(data))
+	}
+	writeRaw(t, path, data[:n])
+	return path
+}
+
+func flipByte(t *testing.T, path string, i int) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i >= len(data) {
+		t.Fatalf("flip at %d beyond %d bytes", i, len(data))
+	}
+	data[i] ^= 0x40
+	writeRaw(t, path, data)
+	return path
+}
+
+func writeRaw(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTripSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 17, 4096} {
+		payload := bytes.Repeat([]byte{0xab}, n)
+		got, err := DecodeFrame(KindStats, EncodeFrame(KindStats, payload))
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: %v (len %d)", n, err, len(got))
+		}
+	}
+}
+
+func ExampleEncodeFrame() {
+	frame := EncodeFrame(KindStats, []byte("payload"))
+	payload, err := DecodeFrame(KindStats, frame)
+	fmt.Println(string(payload), err)
+	// Output: payload <nil>
+}

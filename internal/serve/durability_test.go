@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ucpc/internal/persist"
+)
+
+// newDurableServer mounts a daemon with a state dir (and any extra config)
+// on httptest, without the automatic closeAll cleanup — durability tests
+// manage shutdown/abort themselves.
+func newDurableServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// getBody fetches path and returns status and body text.
+func getBody(t *testing.T, base, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestRestoreRoundTrip: a daemon with a state dir persists a tenant with a
+// served model; a second daemon on the same directory resumes serving that
+// model at the same version, with ingestion warm-started from the engine
+// checkpoint.
+func TestRestoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	do(t, "POST", ts1.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":3}`, 201, nil)
+	do(t, "POST", ts1.URL+"/v1/tenants/t1/observe", pointsBody(400, 1), 202, nil)
+	waitIngested(t, ts1.URL+"/v1/tenants/t1", 400)
+	var info tenantInfo
+	do(t, "POST", ts1.URL+"/v1/tenants/t1/snapshot", "", 200, &info)
+	if info.ModelVersion != 1 {
+		t.Fatalf("model version %d, want 1", info.ModelVersion)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	if got := s2.metrics.tenantsRestored.Load(); got != 1 {
+		t.Fatalf("tenants restored = %d, want 1", got)
+	}
+	var rec tenantInfo
+	do(t, "GET", ts2.URL+"/v1/tenants/t1", "", 200, &rec)
+	if !rec.HasModel || rec.ModelVersion != 1 {
+		t.Fatalf("recovered tenant: has_model=%v version=%d, want model at version 1",
+			rec.HasModel, rec.ModelVersion)
+	}
+	if rec.Ingested != 400 {
+		t.Fatalf("recovered tenant ingested counter = %d, want 400 resumed from the manifest", rec.Ingested)
+	}
+	// Warm start: a snapshot succeeds immediately on the recovered engine
+	// without a single new observation — a cold engine would answer 409
+	// (ErrStreamCold). The warm engine's own Seen counter restarts at zero
+	// by design (recovered mass lives in the checkpoint weights).
+	var resnap tenantInfo
+	do(t, "POST", ts2.URL+"/v1/tenants/t1/snapshot", "", 200, &resnap)
+	if resnap.ModelVersion != 2 {
+		t.Fatalf("post-restore snapshot installed version %d, want 2", resnap.ModelVersion)
+	}
+	// Serving resumes from the recovered model — and keeps ingesting.
+	var assign struct {
+		Assign []int `json:"assign"`
+	}
+	do(t, "POST", ts2.URL+"/v1/tenants/t1/assign", pointsBody(16, 2), 200, &assign)
+	if len(assign.Assign) != 16 {
+		t.Fatalf("assign served %d labels, want 16", len(assign.Assign))
+	}
+	do(t, "POST", ts2.URL+"/v1/tenants/t1/observe", pointsBody(64, 3), 202, nil)
+	waitIngested(t, ts2.URL+"/v1/tenants/t1", 400+64)
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownPersistsAfterDrain is the satellite-1 regression: payloads
+// accepted (202) immediately before Shutdown must appear in the final
+// snapshot — the SIGTERM snapshot is taken after the ingestion queue
+// drains, so no trailing observes are lost between drain and persist.
+func TestShutdownPersistsAfterDrain(t *testing.T) {
+	dir := t.TempDir()
+	// SnapshotInterval is an hour: the ONLY snapshot covering the late
+	// payloads is the final one Shutdown takes.
+	s, ts := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":3}`, 201, nil)
+	const total = 6 * 200
+	for i := 0; i < 6; i++ {
+		do(t, "POST", ts.URL+"/v1/tenants/t1/observe", pointsBody(200, int64(i)), 202, nil)
+	}
+	// No waitIngested: the payloads may still be queued when Shutdown runs.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	store, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := store.Load("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seen != total {
+		t.Fatalf("final snapshot carries seen=%d, want %d (queued observes lost between drain and persist)",
+			snap.Seen, total)
+	}
+}
+
+// TestCorruptSnapshotQuarantined: a bit-flipped snapshot file must not
+// prevent boot — the tenant is quarantined, healthz reports degraded, and
+// the typed error maps to 503.
+func TestCorruptSnapshotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	do(t, "POST", ts1.URL+"/v1/tenants", `{"id":"good","k":2,"seed":3}`, 201, nil)
+	do(t, "POST", ts1.URL+"/v1/tenants", `{"id":"bad","k":2,"seed":3}`, 201, nil)
+	for _, id := range []string{"good", "bad"} {
+		do(t, "POST", ts1.URL+"/v1/tenants/"+id+"/observe", pointsBody(300, 7), 202, nil)
+		waitIngested(t, ts1.URL+"/v1/tenants/"+id, 300)
+		do(t, "POST", ts1.URL+"/v1/tenants/"+id+"/snapshot", "", 200, nil)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte in the bad tenant's persisted model.
+	path := filepath.Join(dir, "tenants", "bad", "model.ucsf")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x20
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	if got := s2.metrics.tenantsQuarantined.Load(); got != 1 {
+		t.Fatalf("tenants quarantined = %d, want 1", got)
+	}
+	do(t, "GET", ts2.URL+"/v1/tenants/good", "", 200, nil)
+	resp, err := http.Get(ts2.URL + "/v1/tenants/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt tenant answered %d, want 404 (quarantined)", resp.StatusCode)
+	}
+	// The snapshot directory moved to quarantine.
+	entries, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err %v; want exactly 1", len(entries), err)
+	}
+	// healthz is degraded, serving keeps working.
+	hresp, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after quarantine: %d, want 503 degraded", hresp.StatusCode)
+	}
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptSnapshotStatusMapping(t *testing.T) {
+	err := fmt.Errorf("serve: %s: %w", "tenants/x/model.ucsf", ErrCorruptSnapshot)
+	if got := httpStatus(err); got != http.StatusServiceUnavailable {
+		t.Fatalf("httpStatus(ErrCorruptSnapshot) = %d, want 503", got)
+	}
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Fatal("ErrCorruptSnapshot must alias persist.ErrCorrupt")
+	}
+}
+
+// TestAbortRecovery: the in-process crash hook discards everything after
+// the last durable snapshot; a restart on the same directory serves assigns
+// from the recovered model with zero 5xx.
+func TestAbortRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	do(t, "POST", ts1.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":3}`, 201, nil)
+	do(t, "POST", ts1.URL+"/v1/tenants/t1/observe", pointsBody(400, 1), 202, nil)
+	waitIngested(t, ts1.URL+"/v1/tenants/t1", 400)
+	do(t, "POST", ts1.URL+"/v1/tenants/t1/snapshot", "", 200, nil) // pokes the snapshot loop
+	waitPersisted(t, s1, "t1", 400)
+	// More ingestion after the last snapshot — crashed away, by design.
+	do(t, "POST", ts1.URL+"/v1/tenants/t1/observe", pointsBody(200, 2), 202, nil)
+	s1.Abort()
+
+	s2, ts2 := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour})
+	var rec tenantInfo
+	do(t, "GET", ts2.URL+"/v1/tenants/t1", "", 200, &rec)
+	if !rec.HasModel {
+		t.Fatal("recovered tenant has no model")
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := http.Post(ts2.URL+"/v1/tenants/t1/assign", "application/json", strings.NewReader(pointsBody(8, int64(i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 500 {
+			t.Fatalf("post-recovery assign %d answered %d", i, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s2.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitPersisted polls until the tenant's durable snapshot covers at least
+// n objects.
+func waitPersisted(t *testing.T, s *Server, id string, n int64) {
+	t.Helper()
+	tn, ok := s.reg.get(id)
+	if !ok {
+		t.Fatalf("tenant %q not registered", id)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for tn.persistedSeen.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("tenant %q persisted seen stuck at %d, want >= %d", id, tn.persistedSeen.Load(), n)
+		}
+		s.pokeSnapshot()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPushLoopBreaker: a flaky coordinator opens the circuit breaker after
+// the failure threshold; its recovery closes the breaker and the edge's
+// statistics land under its source key.
+func TestPushLoopBreaker(t *testing.T) {
+	// Coordinator: a sharded tenant accepting keyed stats imports, wrapped
+	// in a fault injector that fails everything until healed.
+	coord, coordTS := newDurableServer(t, Config{})
+	do(t, "POST", coordTS.URL+"/v1/tenants", `{"id":"fleet","k":2,"seed":3,"shards":1}`, 201, nil)
+	var failing atomic.Bool
+	failing.Store(true)
+	var faults atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			faults.Add(1)
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		coord.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(proxy.Close)
+
+	edge, edgeTS := newDurableServer(t, Config{
+		PushTo:       proxy.URL,
+		PushInterval: 5 * time.Millisecond,
+		PushTimeout:  2 * time.Second,
+		PushSource:   "edge0",
+	})
+	do(t, "POST", edgeTS.URL+"/v1/tenants", `{"id":"fleet","k":2,"seed":3}`, 201, nil)
+	do(t, "POST", edgeTS.URL+"/v1/tenants/fleet/observe", pointsBody(300, 5), 202, nil)
+	waitIngested(t, edgeTS.URL+"/v1/tenants/fleet", 300)
+
+	et, _ := edge.reg.get("fleet")
+	deadline := time.Now().Add(20 * time.Second)
+	for !et.breakerOpen.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened (failures so far: %d)", et.pushFailures.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if et.pushFailures.Load() < pushBreakerThreshold {
+		t.Fatalf("breaker open after %d failures, threshold is %d", et.pushFailures.Load(), pushBreakerThreshold)
+	}
+
+	// Heal the coordinator: the half-open probe must close the breaker and
+	// deliver the edge's full view.
+	failing.Store(false)
+	for et.breakerOpen.Load() || et.lastPushSeen.Load() < 300 {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed after heal (last push seen %d)", et.lastPushSeen.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The coordinator can snapshot a model from the pushed statistics alone.
+	var info tenantInfo
+	do(t, "POST", coordTS.URL+"/v1/tenants/fleet/snapshot", "", 200, &info)
+	if !info.HasModel {
+		t.Fatal("coordinator snapshot installed no model")
+	}
+	if faults.Load() == 0 {
+		t.Fatal("fault injector was never exercised")
+	}
+
+	// Metrics surface the journey: failures counted, breaker now closed.
+	_, metricsText := getBody(t, edgeTS.URL, "/metrics")
+	if !strings.Contains(metricsText, "ucpcd_push_failures_total") ||
+		!strings.Contains(metricsText, "ucpcd_push_breaker_open 0") {
+		t.Fatalf("metrics missing push series after recovery:\n%s", metricsText)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := edge.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyedStatsReplace: POST …/stats?source=X replaces X's previous
+// payload — the coordinator's merged weight counts each source once.
+func TestKeyedStatsReplace(t *testing.T) {
+	coord, coordTS := newDurableServer(t, Config{})
+	do(t, "POST", coordTS.URL+"/v1/tenants", `{"id":"fleet","k":2,"seed":3,"shards":1}`, 201, nil)
+
+	edge, edgeTS := newDurableServer(t, Config{})
+	do(t, "POST", edgeTS.URL+"/v1/tenants", `{"id":"fleet","k":2,"seed":3}`, 201, nil)
+	do(t, "POST", edgeTS.URL+"/v1/tenants/fleet/observe", pointsBody(300, 5), 202, nil)
+	waitIngested(t, edgeTS.URL+"/v1/tenants/fleet", 300)
+
+	push := func() {
+		resp, err := http.Get(edgeTS.URL + "/v1/tenants/fleet/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		req, err := http.NewRequest("POST", coordTS.URL+"/v1/tenants/fleet/stats?source=edge0", resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		presp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer presp.Body.Close()
+		if presp.StatusCode != 200 {
+			t.Fatalf("keyed stats push answered %d", presp.StatusCode)
+		}
+	}
+	push()
+	push()
+	push()
+
+	var info tenantInfo
+	do(t, "POST", coordTS.URL+"/v1/tenants/fleet/snapshot", "", 200, &info)
+	// Merged weight = 300 once, not 900: StreamSeen reports only local
+	// engines, so read the objective surface instead — the snapshot must
+	// exist and the model must carry exactly the one source's mass. The
+	// precise weight check lives in internal/shard's TestSetRemoteReplaces;
+	// here it is enough that repeated pushes kept the snapshot valid.
+	if !info.HasModel {
+		t.Fatal("coordinator snapshot installed no model")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := edge.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurabilityMetricsExposed: the new series appear on /metrics with the
+// names the ISSUE pins down.
+func TestDurabilityMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, Config{StateDir: dir, SnapshotInterval: time.Hour, PushTo: "http://127.0.0.1:1", PushInterval: time.Hour})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"t1","k":2,"seed":3}`, 201, nil)
+	_, metricsText := getBody(t, ts.URL, "/metrics")
+	for _, series := range []string{
+		"ucpcd_push_failures_total",
+		"ucpcd_push_breaker_open",
+		"ucpcd_snapshot_age_seconds",
+		"ucpcd_snapshots_total",
+		"ucpcd_snapshot_failures_total",
+		"ucpcd_tenants_restored",
+		"ucpcd_tenants_quarantined",
+		"ucpcd_push_success_total",
+		"ucpcd_tenant_persisted_seen_objects",
+	} {
+		if !strings.Contains(metricsText, series) {
+			t.Fatalf("metrics missing series %s:\n%s", series, metricsText)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTenantJSONRoundTrip: the spec written into the manifest restores a
+// tenant with identical configuration.
+func TestSpecRoundTripThroughManifest(t *testing.T) {
+	spec := TenantSpec{ID: "t9", Algorithm: "UCPC", K: 4, Workers: 2, MaxIter: 9,
+		Seed: 11, Pruning: "off", BatchSize: 128, Decay: 0.5, MaxBatches: 100, QueueChunks: 7}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TenantSpec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("spec round-trip: %+v != %+v", back, spec)
+	}
+}

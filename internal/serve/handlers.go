@@ -40,7 +40,8 @@ func httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ucpc.ErrStreamBudget):
 		return http.StatusTooManyRequests
-	case errors.Is(err, context.DeadlineExceeded),
+	case errors.Is(err, ErrCorruptSnapshot),
+		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
 	default:
@@ -141,6 +142,16 @@ type tenantInfo struct {
 	Refreshing    bool   `json:"refreshing,omitempty"`
 	IngestError   string `json:"last_ingest_error,omitempty"`
 	RefreshError  string `json:"last_refresh_error,omitempty"`
+
+	// Durability/federation surface (zero unless the daemon has a state
+	// dir / push target respectively).
+	PersistedSeen     int64  `json:"persisted_seen,omitempty"`
+	LastSnapshotNanos int64  `json:"last_snapshot_unix_nano,omitempty"`
+	PushSuccess       int64  `json:"push_success,omitempty"`
+	PushFailures      int64  `json:"push_failures,omitempty"`
+	PushBreakerOpen   bool   `json:"push_breaker_open,omitempty"`
+	LastPushSeen      int64  `json:"last_push_seen,omitempty"`
+	PushError         string `json:"last_push_error,omitempty"`
 }
 
 func (t *tenant) info() tenantInfo {
@@ -153,6 +164,14 @@ func (t *tenant) info() tenantInfo {
 		Refreshing:   t.refreshing.Load(),
 		IngestError:  t.lastIngestError(),
 		RefreshError: t.lastRefreshError(),
+
+		PersistedSeen:     t.persistedSeen.Load(),
+		LastSnapshotNanos: t.lastSaveNano.Load(),
+		PushSuccess:       t.pushSuccess.Load(),
+		PushFailures:      t.pushFailures.Load(),
+		PushBreakerOpen:   t.breakerOpen.Load(),
+		LastPushSeen:      t.lastPushSeen.Load(),
+		PushError:         t.lastPushError(),
 	}
 	fit := t.snapshotFit()
 	info.StreamSeen = fit.Seen()
@@ -228,6 +247,14 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 			"error": fmt.Sprintf("tenant %q already exists", spec.ID)})
 		return
 	}
+	s.startPush(t)
+	if s.store != nil {
+		// Persist the spec right away so a crash before the first timer tick
+		// still recovers the tenant (empty — but existing, with its config).
+		if err := s.persistTenant(t); err != nil {
+			s.logger.Error("initial snapshot failed", "tenant", t.id, "error", err)
+		}
+	}
 	s.logger.Info("tenant created", "tenant", t.id, "algorithm", t.alg, "k", t.k, "shards", t.shards)
 	writeJSON(w, http.StatusCreated, t.info())
 }
@@ -259,6 +286,11 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t.closeQueue()
+	if s.store != nil {
+		if err := s.store.Remove(id); err != nil {
+			s.logger.Error("removing persisted state failed", "tenant", id, "error", err)
+		}
+	}
 	s.logger.Info("tenant deleted", "tenant", id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -321,6 +353,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	version := t.install(model, s.metrics)
+	s.pokeSnapshot()
 	s.logger.Info("model fitted", "tenant", t.id, "objects", len(ds), "version", version)
 	writeJSON(w, http.StatusOK, t.info())
 }
@@ -339,6 +372,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	version := t.install(model, s.metrics)
+	s.pokeSnapshot()
 	s.logger.Info("model swapped", "tenant", t.id, "source", "snapshot", "version", version)
 	writeJSON(w, http.StatusOK, t.info())
 }
@@ -409,6 +443,7 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			version := t.install(model, s.metrics)
+			s.pokeSnapshot()
 			s.logger.Info("model swapped", "tenant", t.id, "source", "refresh", "version", version)
 		}()
 		writeJSON(w, http.StatusAccepted, map[string]any{"status": "refreshing", "objects": len(ds)})
@@ -490,6 +525,7 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	version := t.install(model, s.metrics)
+	s.pokeSnapshot()
 	s.logger.Info("model swapped", "tenant", t.id, "source", "upload", "version", version)
 	writeJSON(w, http.StatusOK, t.info())
 }
@@ -519,23 +555,41 @@ func (s *Server) handleGetStats(w http.ResponseWriter, r *http.Request) {
 
 // handlePostStats: POST /v1/tenants/{id}/stats — fold a remote shard's
 // UCWS statistics payload into every subsequent snapshot of a sharded
-// tenant (ShardedFit.AddRemoteStats). This is how out-of-process shards —
-// e.g. edge daemons exporting GET …/stats — ship their view of the data to
-// a coordinating daemon.
+// tenant. Without a query parameter the payload is *added*
+// (ShardedFit.AddRemoteStats — one-shot shipments). With ?source=<key> it
+// *replaces* that source's previous payload (ShardedFit.SetRemoteStats) —
+// the shape the federation push loop uses, so an edge re-pushing its
+// cumulative statistics every few seconds is counted exactly once.
 func (s *Server) handlePostStats(w http.ResponseWriter, r *http.Request) {
 	t, ok := s.tenantOr404(w, r)
 	if !ok {
 		return
 	}
-	importer, ok := t.snapshotFit().(interface{ AddRemoteStats([]byte) error })
-	if !ok {
-		writeErr(w, fmt.Errorf("serve: tenant %q is a stream tenant; stats import requires shards >= 1: %w",
-			t.id, errBadRequest))
-		return
-	}
+	fit := t.snapshotFit()
 	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		writeErr(w, fmt.Errorf("serve: reading stats payload: %v: %w", err, errBadRequest))
+		return
+	}
+	if source := r.URL.Query().Get("source"); source != "" {
+		keyed, ok := fit.(interface{ SetRemoteStats(string, []byte) error })
+		if !ok {
+			writeErr(w, fmt.Errorf("serve: tenant %q is a stream tenant; stats import requires shards >= 1: %w",
+				t.id, errBadRequest))
+			return
+		}
+		if err := keyed.SetRemoteStats(source, payload); err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.logger.Info("remote statistics replaced", "tenant", t.id, "source", source, "bytes", len(payload))
+		writeJSON(w, http.StatusOK, map[string]string{"status": "merged", "source": source})
+		return
+	}
+	importer, ok := fit.(interface{ AddRemoteStats([]byte) error })
+	if !ok {
+		writeErr(w, fmt.Errorf("serve: tenant %q is a stream tenant; stats import requires shards >= 1: %w",
+			t.id, errBadRequest))
 		return
 	}
 	if err := importer.AddRemoteStats(payload); err != nil {

@@ -36,6 +36,17 @@ type metrics struct {
 	// assignObjects counts objects served through Model.Assign.
 	assignObjects atomic.Int64
 
+	// Durability layer: completed/failed snapshot writes, tenants replayed
+	// and quarantined at boot.
+	snapshots          atomic.Int64
+	snapshotFailures   atomic.Int64
+	tenantsRestored    atomic.Int64
+	tenantsQuarantined atomic.Int64
+	// Federation layer: accepted and failed statistics pushes across all
+	// tenants (the breaker gauge is derived live in handleMetrics).
+	pushSuccess  atomic.Int64
+	pushFailures atomic.Int64
+
 	assignLatency histogram
 	assignBatch   histogram
 }
@@ -138,6 +149,12 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE ucpcd_ingested_objects_total counter\nucpcd_ingested_objects_total %d\n", m.ingested.Load())
 	fmt.Fprintf(w, "# TYPE ucpcd_swaps_total counter\nucpcd_swaps_total %d\n", m.swaps.Load())
 	fmt.Fprintf(w, "# TYPE ucpcd_assign_objects_total counter\nucpcd_assign_objects_total %d\n", m.assignObjects.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_snapshots_total counter\nucpcd_snapshots_total %d\n", m.snapshots.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_snapshot_failures_total counter\nucpcd_snapshot_failures_total %d\n", m.snapshotFailures.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_tenants_restored counter\nucpcd_tenants_restored %d\n", m.tenantsRestored.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_tenants_quarantined counter\nucpcd_tenants_quarantined %d\n", m.tenantsQuarantined.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_push_success_total counter\nucpcd_push_success_total %d\n", m.pushSuccess.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_push_failures_total counter\nucpcd_push_failures_total %d\n", m.pushFailures.Load())
 	m.assignLatency.write(w, "ucpcd_assign_latency_seconds")
 	m.assignBatch.write(w, "ucpcd_assign_batch_objects")
 }

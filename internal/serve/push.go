@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ucpc"
+)
+
+// Federation push loop: every stream tenant of a daemon configured with
+// PushTo runs one background goroutine that periodically exports its UCWS
+// statistics and POSTs them to the coordinator's matching tenant under the
+// daemon's PushSource key (…/stats?source=<key>), where each push replaces
+// the source's previous one — cumulative statistics are counted exactly
+// once no matter how often they are re-shipped.
+//
+// Failure handling is classic edge-collector hygiene: each attempt runs
+// under a PushTimeout context; a failed attempt backs off exponentially
+// with full jitter (delay uniform in (0, min(interval·2^failures, 16·
+// interval)]); pushBreakerThreshold consecutive failures open a circuit
+// breaker (ucpcd_push_breaker_open) that declares the tenant degraded to
+// local-only serving — the capped backoff cadence doubles as the breaker's
+// half-open probe, and the first success closes it again. The loop never
+// touches the ingestion path: a dead coordinator costs one goroutine a
+// timeout per probe, nothing else.
+
+// pushBreakerThreshold is the consecutive-failure count that opens the
+// circuit breaker.
+const pushBreakerThreshold = 5
+
+// pushBackoffCap caps the exponential backoff, in multiples of
+// Config.PushInterval.
+const pushBackoffCap = 16
+
+// errPushCold marks a push skipped because the engine has nothing to
+// export yet — not a failure, just "try again next interval".
+var errPushCold = errors.New("nothing to push yet")
+
+// startPush launches the tenant's federation push loop, when the server is
+// configured to push and the tenant is a stream tenant (sharded tenants
+// are coordinators — they receive pushes, they do not send them).
+func (s *Server) startPush(t *tenant) {
+	if s.cfg.PushTo == "" || t.shards != 0 {
+		return
+	}
+	s.loopWG.Add(1)
+	go s.pushLoop(t)
+}
+
+// pushLoop is one tenant's push goroutine: steady PushInterval cadence on
+// success, capped full-jitter exponential backoff on failure, breaker
+// bookkeeping around the threshold. Exits on server shutdown/abort or
+// tenant deletion.
+func (s *Server) pushLoop(t *tenant) {
+	defer s.loopWG.Done()
+	interval := s.cfg.PushInterval
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(len(t.id))))
+	failures := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stopLoops:
+			return
+		case <-t.stopPush:
+			return
+		case <-timer.C:
+		}
+		err := s.pushOnce(t)
+		switch {
+		case err == nil:
+			if t.breakerOpen.CompareAndSwap(true, false) {
+				s.logger.Info("push breaker closed", "tenant", t.id, "target", s.cfg.PushTo)
+			}
+			failures = 0
+			timer.Reset(interval)
+		case errors.Is(err, errPushCold):
+			timer.Reset(interval)
+		default:
+			failures++
+			t.pushFailures.Add(1)
+			s.metrics.pushFailures.Add(1)
+			msg := err.Error()
+			t.pushErr.Store(&msg)
+			if failures == pushBreakerThreshold {
+				t.breakerOpen.Store(true)
+				s.logger.Warn("push breaker open — degrading to local-only serving",
+					"tenant", t.id, "target", s.cfg.PushTo, "consecutive_failures", failures)
+			}
+			timer.Reset(pushBackoff(rng, interval, failures))
+		}
+	}
+}
+
+// pushBackoff computes the post-failure delay: full jitter over the capped
+// exponential ceiling, i.e. uniform in (0, min(interval·2^failures,
+// 16·interval)]. Full jitter (rather than jittering around the ceiling)
+// decorrelates a fleet of edges that all lost the same coordinator, so its
+// recovery is not greeted by a synchronized thundering herd.
+func pushBackoff(rng *rand.Rand, interval time.Duration, failures int) time.Duration {
+	shift := failures
+	if shift > 10 {
+		shift = 10 // 2^10 already clears any sane cap; avoid overflow
+	}
+	ceiling := interval << shift
+	if maxDelay := pushBackoffCap * interval; ceiling > maxDelay {
+		ceiling = maxDelay
+	}
+	return time.Duration(rng.Int63n(int64(ceiling))) + time.Millisecond
+}
+
+// pushOnce exports the tenant's statistics and ships them to the
+// coordinator under a PushTimeout context. On acceptance it records the
+// tenant's ingested count at export time (lastPushSeen) — "everything up
+// to here is on the coordinator". The counter is read before the export:
+// every object it covers has completed Observe, so the export (which seeds
+// a still-buffering engine on demand) necessarily includes it.
+func (s *Server) pushOnce(t *tenant) error {
+	fit := t.snapshotFit()
+	exporter, ok := fit.(interface{ ExportStats() ([]byte, error) })
+	if !ok {
+		return errPushCold
+	}
+	seen := t.ingested.Load()
+	payload, err := exporter.ExportStats()
+	if errors.Is(err, ucpc.ErrStreamCold) {
+		return errPushCold
+	}
+	if err != nil {
+		return err
+	}
+	target := strings.TrimSuffix(s.cfg.PushTo, "/") + "/v1/tenants/" + t.id +
+		"/stats?source=" + url.QueryEscape(s.cfg.PushSource)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(string(payload)))
+	if err != nil {
+		return fmt.Errorf("serve: push request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.pushClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: push to %s: %w", s.cfg.PushTo, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("serve: push to %s: coordinator answered %d: %s",
+			s.cfg.PushTo, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	t.pushSuccess.Add(1)
+	s.metrics.pushSuccess.Add(1)
+	t.lastPushSeen.Store(seen)
+	return nil
+}

@@ -90,6 +90,9 @@ type tenant struct {
 	shards int
 	cfg    ucpc.Config
 	scfg   ucpc.StreamConfig
+	// spec is the exact creation spec, retained so persistence can write it
+	// into the snapshot manifest and restore can rebuild the tenant from it.
+	spec TenantSpec
 
 	// model is the serving model; nil until the first snapshot/fit/upload.
 	// version counts installs, swaps mirrors it for the metrics surface.
@@ -119,6 +122,26 @@ type tenant struct {
 	ingested  atomic.Int64 // objects folded into the stream engine
 	done      chan struct{}
 	ingestErr atomic.Pointer[string]
+
+	// Persistence bookkeeping (used only when the server has a state dir).
+	// persistMu serializes snapshot writes for this tenant; the persisted*
+	// atomics record what the last durable snapshot contained so unchanged
+	// tenants are skipped, and lastSaveNano feeds snapshot_age_seconds.
+	persistMu        sync.Mutex
+	persistedSeen    atomic.Int64
+	persistedVersion atomic.Int64
+	lastSaveNano     atomic.Int64
+
+	// Federation push bookkeeping (used only when the server has a push
+	// target). stopPush ends the tenant's push loop on deletion; the
+	// counters feed /metrics and the tenant-info surface, and lastPushSeen
+	// is the engine's Seen at the moment of the last accepted push.
+	stopPush     chan struct{}
+	pushSuccess  atomic.Int64
+	pushFailures atomic.Int64
+	breakerOpen  atomic.Bool
+	lastPushSeen atomic.Int64
+	pushErr      atomic.Pointer[string]
 }
 
 // newTenant builds the tenant and starts its ingester goroutine.
@@ -157,10 +180,11 @@ func newTenant(spec TenantSpec, queueChunks int, m *metrics) (*tenant, error) {
 	}
 	t := &tenant{
 		id: spec.ID, alg: spec.Algorithm, k: spec.K, shards: spec.Shards,
-		cfg: cfg, scfg: scfg,
-		fit:   fit,
-		queue: make(chan ucpc.Dataset, queueChunks),
-		done:  make(chan struct{}),
+		cfg: cfg, scfg: scfg, spec: spec,
+		fit:      fit,
+		queue:    make(chan ucpc.Dataset, queueChunks),
+		done:     make(chan struct{}),
+		stopPush: make(chan struct{}),
 	}
 	go t.ingest(m)
 	return t, nil
@@ -217,14 +241,15 @@ func (t *tenant) ingest(m *metrics) {
 	}
 }
 
-// closeQueue stops the ingester after it drains what is already queued.
-// Safe to call more than once.
+// closeQueue stops the ingester after it drains what is already queued and
+// ends the tenant's federation push loop. Safe to call more than once.
 func (t *tenant) closeQueue() {
 	t.qmu.Lock()
 	defer t.qmu.Unlock()
 	if !t.qclosed {
 		t.qclosed = true
 		close(t.queue)
+		close(t.stopPush)
 	}
 }
 
@@ -239,6 +264,15 @@ func (t *tenant) snapshotFit() fitter {
 // none).
 func (t *tenant) lastIngestError() string {
 	if p := t.ingestErr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// lastPushError returns the most recent federation-push failure message
+// ("" when none).
+func (t *tenant) lastPushError() string {
+	if p := t.pushErr.Load(); p != nil {
 		return *p
 	}
 	return ""

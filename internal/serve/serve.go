@@ -47,7 +47,12 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"strings"
+	"sync"
 	"time"
+
+	"ucpc/internal/persist"
 )
 
 // Config is the daemon configuration; the zero value is production-safe
@@ -66,6 +71,33 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (nil = text
 	// logs to io.Discard; cmd/ucpcd wires a JSON handler on stderr).
 	Logger *slog.Logger
+
+	// StateDir enables crash-safe tenant persistence: every tenant's spec,
+	// serving model (UCPM), engine checkpoint, and exported statistics
+	// (UCWS) are written atomically under this directory (internal/persist)
+	// on a timer, on every hot swap, and on graceful shutdown, and replayed
+	// on boot — corrupt or torn snapshots are quarantined, never fatal.
+	// Empty disables persistence.
+	StateDir string
+	// SnapshotInterval is the persistence timer period (0 = 30s). Only
+	// meaningful with StateDir.
+	SnapshotInterval time.Duration
+	// PushTo enables the federation push loop: the base URL of a
+	// coordinator daemon (e.g. "http://coordinator:8080"); every stream
+	// tenant's UCWS statistics are pushed to the coordinator's matching
+	// tenant id under the PushSource key. Empty disables pushing.
+	PushTo string
+	// PushInterval is the steady-state push period (0 = 5s). On failure
+	// the loop backs off exponentially with full jitter, capped at 16×
+	// this interval.
+	PushInterval time.Duration
+	// PushTimeout bounds each push request's context (0 = 5s).
+	PushTimeout time.Duration
+	// PushSource is the stable source key pushes are filed under on the
+	// coordinator — each push *replaces* the previous one from the same
+	// source, so cumulative statistics are never double-counted (0 = the
+	// host name, or "edge" if that fails).
+	PushSource string
 }
 
 func (c Config) withDefaults() Config {
@@ -84,11 +116,29 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.PushInterval == 0 {
+		c.PushInterval = 5 * time.Second
+	}
+	if c.PushTimeout == 0 {
+		c.PushTimeout = 5 * time.Second
+	}
+	if c.PushSource == "" {
+		if host, err := os.Hostname(); err == nil && host != "" {
+			c.PushSource = host
+		} else {
+			c.PushSource = "edge"
+		}
+	}
 	return c
 }
 
 // Server is the daemon: registry + handlers + metrics behind one
-// http.Handler, plus lifecycle management (Serve, Shutdown).
+// http.Handler, plus lifecycle management (Serve, Shutdown) and, when
+// configured, the durability layer (snapshot loop over a persist.Store)
+// and the federation push loops.
 type Server struct {
 	cfg     Config
 	logger  *slog.Logger
@@ -96,22 +146,49 @@ type Server struct {
 	metrics *metrics
 	handler http.Handler
 	http    *http.Server
+
+	// store is the crash-safe snapshot store (nil when StateDir is empty).
+	store *persist.Store
+	// pushClient runs the federation pushes (per-request contexts carry
+	// the timeout).
+	pushClient *http.Client
+
+	// Background-loop lifecycle: the snapshot loop and every push loop
+	// select on stopLoops and register on loopWG, so Shutdown (and the
+	// crash-simulation Abort) can stop them and wait for in-flight work.
+	stopLoops chan struct{}
+	stopOnce  sync.Once
+	loopWG    sync.WaitGroup
+	// kick wakes the snapshot loop early after a hot swap (capacity 1; a
+	// pending kick coalesces installs).
+	kick chan struct{}
+
+	// degraded holds the healthz degraded-state reasons: quarantines from
+	// boot-time restore (permanent until restart) and the most recent
+	// persist failure (cleared by the next clean snapshot pass).
+	degradedMu     sync.Mutex
+	bootDegraded   []string
+	persistFailure string
 }
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// New builds a Server from cfg. With a StateDir it opens the snapshot
+// store, replays every recoverable tenant (quarantining corrupt snapshots
+// and recording them in the healthz degraded state instead of failing
+// boot), and starts the snapshot timer; an unusable state directory is the
+// only fatal condition.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		logger:  cfg.Logger,
-		reg:     newRegistry(),
-		metrics: newMetrics(),
+		cfg:        cfg,
+		logger:     cfg.Logger,
+		reg:        newRegistry(),
+		metrics:    newMetrics(),
+		pushClient: &http.Client{},
+		stopLoops:  make(chan struct{}),
+		kick:       make(chan struct{}, 1),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/tenants", s.handleCreateTenant)
 	mux.HandleFunc("GET /v1/tenants", s.handleListTenants)
@@ -131,7 +208,81 @@ func New(cfg Config) *Server {
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return s
+	if cfg.StateDir != "" {
+		store, err := persist.Open(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.store = store
+		s.restore()
+		s.loopWG.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// handleHealthz: GET /healthz — 200 "ok" when fully healthy, 503
+// "degraded: …" when boot-time restore quarantined snapshots or the latest
+// persistence pass failed (serving itself keeps running either way).
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	s.degradedMu.Lock()
+	reasons := append([]string(nil), s.bootDegraded...)
+	if s.persistFailure != "" {
+		reasons = append(reasons, s.persistFailure)
+	}
+	s.degradedMu.Unlock()
+	if len(reasons) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %s\n", strings.Join(reasons, "; "))
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// addBootDegraded records a permanent (until restart) degraded reason.
+func (s *Server) addBootDegraded(reason string) {
+	s.degradedMu.Lock()
+	s.bootDegraded = append(s.bootDegraded, reason)
+	s.degradedMu.Unlock()
+}
+
+// setPersistFailure records (or, with "", clears) the transient persist
+// degraded reason.
+func (s *Server) setPersistFailure(reason string) {
+	s.degradedMu.Lock()
+	s.persistFailure = reason
+	s.degradedMu.Unlock()
+}
+
+// pokeSnapshot wakes the snapshot loop (non-blocking; a pending wake-up
+// coalesces). Called after every model install so hot swaps hit disk
+// promptly instead of waiting out the timer.
+func (s *Server) pokeSnapshot() {
+	if s.store == nil {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// snapshotLoop persists dirty tenants every SnapshotInterval, and early
+// whenever pokeSnapshot signals a hot swap.
+func (s *Server) snapshotLoop() {
+	defer s.loopWG.Done()
+	ticker := time.NewTicker(s.cfg.SnapshotInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopLoops:
+			return
+		case <-ticker.C:
+		case <-s.kick:
+		}
+		s.persistAll()
+	}
 }
 
 // Handler returns the fully instrumented handler — the surface tests mount
@@ -189,6 +340,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.write(w)
 	tenants := s.reg.list()
 	fmt.Fprintf(w, "# TYPE ucpcd_tenants gauge\nucpcd_tenants %d\n", len(tenants))
+	var breakersOpen int
+	for _, t := range tenants {
+		if t.breakerOpen.Load() {
+			breakersOpen++
+		}
+	}
+	fmt.Fprintf(w, "# TYPE ucpcd_push_breaker_open gauge\nucpcd_push_breaker_open %d\n", breakersOpen)
+	if s.store != nil {
+		// snapshot_age_seconds is the staleness of the *oldest* persisted
+		// tenant — the daemon-wide recovery-point objective.
+		age := 0.0
+		for _, t := range tenants {
+			last := t.lastSaveNano.Load()
+			if last == 0 {
+				continue
+			}
+			if a := time.Since(time.Unix(0, last)).Seconds(); a > age {
+				age = a
+			}
+		}
+		fmt.Fprintf(w, "# TYPE ucpcd_snapshot_age_seconds gauge\nucpcd_snapshot_age_seconds %s\n", formatFloat(age))
+	}
 	if len(tenants) == 0 {
 		return
 	}
@@ -220,6 +393,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeSeries("ucpcd_tenant_stream_seen_objects", "gauge", func(t *tenant) (string, bool) {
 		return fmt.Sprint(t.snapshotFit().Seen()), true
 	})
+	if s.cfg.PushTo != "" {
+		writeSeries("ucpcd_tenant_push_success_total", "counter", func(t *tenant) (string, bool) {
+			return fmt.Sprint(t.pushSuccess.Load()), true
+		})
+		writeSeries("ucpcd_tenant_push_failures_total", "counter", func(t *tenant) (string, bool) {
+			return fmt.Sprint(t.pushFailures.Load()), true
+		})
+		writeSeries("ucpcd_tenant_push_breaker_open", "gauge", func(t *tenant) (string, bool) {
+			if t.breakerOpen.Load() {
+				return "1", true
+			}
+			return "0", true
+		})
+		writeSeries("ucpcd_tenant_last_push_seen_objects", "gauge", func(t *tenant) (string, bool) {
+			return fmt.Sprint(t.lastPushSeen.Load()), true
+		})
+	}
+	if s.store != nil {
+		writeSeries("ucpcd_tenant_persisted_seen_objects", "gauge", func(t *tenant) (string, bool) {
+			return fmt.Sprint(t.persistedSeen.Load()), true
+		})
+	}
 	writeSeries("ucpcd_tenant_model_iterations", "gauge", func(t *tenant) (string, bool) {
 		m := t.model.Load()
 		if m == nil {
@@ -262,12 +457,39 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown drains the daemon gracefully: stop accepting, wait for in-flight
-// requests (http.Server.Shutdown), then close every tenant's ingestion
-// queue and wait for the ingesters to fold what was already accepted. ctx
-// bounds the whole drain.
+// requests (http.Server.Shutdown), close every tenant's ingestion queue and
+// wait for the ingesters to fold what was already accepted, stop the
+// background loops, and only then — after the drain, so no trailing observe
+// is lost between drain and persist — take the final snapshot of every
+// tenant. ctx bounds the whole drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.http.Shutdown(ctx); err != nil {
 		return err
 	}
-	return s.reg.closeAll(ctx)
+	if err := s.reg.closeAll(ctx); err != nil {
+		return err
+	}
+	s.stopOnce.Do(func() { close(s.stopLoops) })
+	s.loopWG.Wait()
+	if s.store != nil {
+		if err := s.persistAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort simulates a crash for fault-injection tests: background loops stop
+// without a final snapshot, the listener is torn down without draining, and
+// ingestion queues close so goroutines exit — but nothing in memory reaches
+// disk, exactly like a kill -9. After Abort returns, no goroutine of this
+// server touches the state directory again, so a replacement Server may
+// safely reopen it.
+func (s *Server) Abort() {
+	s.stopOnce.Do(func() { close(s.stopLoops) })
+	s.loopWG.Wait()
+	_ = s.http.Close()
+	for _, t := range s.reg.list() {
+		t.closeQueue()
+	}
 }

@@ -90,7 +90,10 @@ func TestConcurrentAssignDuringSwap(t *testing.T) {
 // engine before Shutdown returns, and requests in flight when Shutdown is
 // called must complete with 200.
 func TestShutdownDrains(t *testing.T) {
-	s := New(Config{})
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Count requests the server has started reading, so the test can prove
 	// the assigns below are genuinely in flight before Shutdown begins.
 	var active atomic.Int64

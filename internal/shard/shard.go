@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"ucpc/internal/clustering"
@@ -106,7 +107,8 @@ type Coordinator struct {
 	aligned bool
 	pending uncertain.Dataset
 
-	remotes []*core.WStats // out-of-process shard statistics, arrival order
+	remotes     []*core.WStats          // out-of-process shard statistics, arrival order
+	remoteKeyed map[string]*core.WStats // keyed remote statistics, replaced per source
 }
 
 // New returns a coordinator for k clusters over `shards` engines. part nil
@@ -330,6 +332,48 @@ func (co *Coordinator) AddRemote(payload []byte) error {
 	return nil
 }
 
+// SetRemote folds an out-of-process shard's statistics under a stable
+// source key, *replacing* whatever that source reported before. This is
+// the idempotent sibling of AddRemote for periodic federation pushes: an
+// edge that re-exports its cumulative statistics every few seconds must
+// not be counted once per push, so each push supersedes the previous one.
+// Validation matches AddRemote (k must match; dims must agree with every
+// other operand).
+func (co *Coordinator) SetRemote(source string, payload []byte) error {
+	if source == "" {
+		return fmt.Errorf("shard: empty remote source key: %w", clustering.ErrBadConfig)
+	}
+	ws, err := core.UnmarshalWStats(payload)
+	if err != nil {
+		return err
+	}
+	if ws.K() != co.k {
+		return fmt.Errorf("shard: remote statistics carry k=%d, coordinator fits k=%d: %w",
+			ws.K(), co.k, clustering.ErrBadModelFormat)
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, prev := range co.remotes {
+		if prev.Dims() != ws.Dims() {
+			return fmt.Errorf("shard: remote statistics dim %d vs %d: %w",
+				ws.Dims(), prev.Dims(), uncertain.ErrDimMismatch)
+		}
+		break
+	}
+	for _, prev := range co.remoteKeyed {
+		if prev.Dims() != ws.Dims() {
+			return fmt.Errorf("shard: remote statistics dim %d vs %d: %w",
+				ws.Dims(), prev.Dims(), uncertain.ErrDimMismatch)
+		}
+		break
+	}
+	if co.remoteKeyed == nil {
+		co.remoteKeyed = make(map[string]*core.WStats)
+	}
+	co.remoteKeyed[source] = ws
+	return nil
+}
+
 // node is one merge-tree operand: statistics plus the authoritative
 // centroid read-out (frozen positions survive for zero-weight clusters,
 // which the statistics alone cannot place).
@@ -501,6 +545,20 @@ func (co *Coordinator) rootLocked() (root *node, seen int64, batches int, hasMem
 		cp.CopyFrom(ws)
 		nodes = append(nodes, nodeOf(cp, nil, nil))
 		hasMembers = true
+	}
+	if len(co.remoteKeyed) > 0 {
+		keys := make([]string, 0, len(co.remoteKeyed))
+		for key := range co.remoteKeyed {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys) // deterministic operand order regardless of push arrival
+		for _, key := range keys {
+			ws := co.remoteKeyed[key]
+			cp := core.NewWStats(ws.K(), ws.Dims())
+			cp.CopyFrom(ws)
+			nodes = append(nodes, nodeOf(cp, nil, nil))
+			hasMembers = true
+		}
 	}
 	if len(nodes) == 0 {
 		return nil, 0, 0, false, fmt.Errorf("shard: no shard has observed %d objects yet: %w", co.k, clustering.ErrStreamCold)

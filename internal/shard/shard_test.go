@@ -357,3 +357,86 @@ func TestBadPartitioner(t *testing.T) {
 		t.Fatalf("0 shards: %v, want ErrBadConfig", err)
 	}
 }
+
+// TestSetRemoteReplaces: keyed remote statistics supersede the source's
+// previous push instead of stacking — repeated pushes of the same
+// cumulative export must count the edge's objects exactly once, and a
+// bigger re-export must replace, not add.
+func TestSetRemoteReplaces(t *testing.T) {
+	ctx := context.Background()
+	cfg := clustering.StreamConfig{BatchSize: 64, Seed: 17, Workers: 1}
+
+	export := func(n int) []byte {
+		eng, err := stream.New(3, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Observe(ctx, blobs(n, testCenters, 31)); err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.ExportStats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := st.WS.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return payload
+	}
+
+	co, err := New(3, 2, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := co.Observe(ctx, blobs(300, testCenters, 32)); err != nil {
+		t.Fatal(err)
+	}
+
+	weight := func() float64 {
+		fz, err := co.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, w := range fz.Weights {
+			total += w
+		}
+		return total
+	}
+
+	// Three pushes of the same 150-object export: counted once.
+	p150 := export(150)
+	for i := 0; i < 3; i++ {
+		if err := co.SetRemote("edge0", p150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := weight(); math.Abs(got-450) > 1e-9 {
+		t.Fatalf("after repeated pushes merged weight %v, want 450", got)
+	}
+
+	// The edge grows to 240 objects and re-exports: replaced, not added.
+	if err := co.SetRemote("edge0", export(240)); err != nil {
+		t.Fatal(err)
+	}
+	if got := weight(); math.Abs(got-540) > 1e-9 {
+		t.Fatalf("after grown re-push merged weight %v, want 540", got)
+	}
+
+	// A second source is independent of the first.
+	if err := co.SetRemote("edge1", p150); err != nil {
+		t.Fatal(err)
+	}
+	if got := weight(); math.Abs(got-690) > 1e-9 {
+		t.Fatalf("with two sources merged weight %v, want 690", got)
+	}
+
+	// Validation mirrors AddRemote; the empty key is rejected.
+	if err := co.SetRemote("", p150); !errors.Is(err, clustering.ErrBadConfig) {
+		t.Fatalf("empty source key: %v, want ErrBadConfig", err)
+	}
+	if err := co.SetRemote("edge2", p150[:10]); !errors.Is(err, clustering.ErrBadModelFormat) {
+		t.Fatalf("truncated keyed payload: %v, want ErrBadModelFormat", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ucpc"
+	"ucpc/internal/persist"
 )
 
 // fitModel fits twoBlobs with the named algorithm and returns the model.
@@ -201,6 +202,14 @@ func FuzzUnmarshalModel(f *testing.F) {
 		f.Add(enc)
 		f.Add(enc[:9])
 		f.Add(corruptAt(enc, 4, 2))
+		// On-disk snapshot frames: the daemon persists models inside
+		// internal/persist's CRC-framed container. Seed the decoder with the
+		// framed bytes (the 18-byte frame header must read as a bad magic,
+		// not a panic) and with the frame's payload region alone.
+		frame := persist.EncodeFrame(persist.KindModel, enc)
+		f.Add(frame)
+		f.Add(frame[18:])
+		f.Add(frame[:18])
 	}
 	f.Add([]byte("UCPM"))
 	f.Add([]byte{})

@@ -103,6 +103,19 @@ func (f *ShardedFit) AddRemoteStats(payload []byte) error {
 	return nil
 }
 
+// SetRemoteStats is the idempotent sibling of AddRemoteStats for periodic
+// federation pushes: the payload is folded in under the stable source key,
+// replacing whatever that source reported before, so an edge re-exporting
+// its cumulative statistics every few seconds counts once — not once per
+// push. Validation matches AddRemoteStats; an empty source key is rejected
+// with wrapped ErrBadConfig.
+func (f *ShardedFit) SetRemoteStats(source string, payload []byte) error {
+	if err := f.co.SetRemote(source, payload); err != nil {
+		return fmt.Errorf("ucpc: %w", err)
+	}
+	return nil
+}
+
 // Snapshot merges the ready shards' statistics — a deterministic pairwise
 // tree reduction in shard order, with greedy centroid matching (globally
 // closest pair first, ties to the lowest index) reconciling cluster
