@@ -10,6 +10,7 @@
 //	      [-queue 64] [-body-limit 33554432] [-grace 10s] [-quiet]
 //	      [-state-dir DIR] [-snapshot-interval 30s]
 //	      [-push-to URL] [-push-interval 5s] [-push-timeout 5s] [-push-source NAME]
+//	      [-admission] [-p99-budget 250ms]
 //
 // With -state-dir the daemon is crash-safe: every tenant's spec, serving
 // model, engine checkpoint, and statistics are snapshotted atomically on a
@@ -19,6 +20,13 @@
 // stream tenant pushes its UCWS statistics to the coordinator URL under
 // the -push-source key, with capped full-jitter retry backoff and a
 // circuit breaker that degrades to local-only serving.
+//
+// With -admission every tenant starts under cost-model admission control:
+// token buckets on assign and observe, sized from the measured per-object
+// serving cost against the -p99-budget latency budget, shed excess load as
+// 429 (with a priced Retry-After) and oversized batches as 413 — never
+// 5xx. Individual tenants opt in or out with "admission": "on"/"off" in
+// their spec or a PUT to /v1/tenants/{id}/limits.
 //
 // The endpoint table, payload formats, and metrics reference live in the
 // README's "Serving daemon" section and the internal/serve package
@@ -75,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		pushInterval = fs.Duration("push-interval", 5*time.Second, "steady-state federation push period")
 		pushTimeout  = fs.Duration("push-timeout", 5*time.Second, "per-push request budget")
 		pushSource   = fs.String("push-source", "", "stable source key for pushes (empty = host name)")
+		admission    = fs.Bool("admission", false, "start tenants under cost-model admission control by default")
+		p99Budget    = fs.Duration("p99-budget", 250*time.Millisecond, "per-request latency budget admission defends")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	}
 	if *snapInterval <= 0 || *pushInterval <= 0 || *pushTimeout <= 0 {
 		fmt.Fprintln(stderr, "ucpcd: -snapshot-interval, -push-interval, and -push-timeout must be positive")
+		fs.Usage()
+		return 2
+	}
+	if *p99Budget <= 0 {
+		fmt.Fprintln(stderr, "ucpcd: -p99-budget must be positive")
 		fs.Usage()
 		return 2
 	}
@@ -113,6 +128,8 @@ func run(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 		PushInterval:     *pushInterval,
 		PushTimeout:      *pushTimeout,
 		PushSource:       *pushSource,
+		Admission:        *admission,
+		P99Budget:        *p99Budget,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "ucpcd: %v\n", err)

@@ -76,11 +76,17 @@
 // listener, ingests a KDD-shaped uncertain stream over the HTTP observe
 // path, then drives -workers concurrent assign workers for -dur while a hot
 // model swap lands mid-flight and a capacity-1 flood tenant provokes 429
-// backpressure; with -check it gates zero failed assigns, the swap observed
-// under load, 429 conservation against the server counter, the requests ==
-// Σ responses law, and the p99/QPS serving floors:
+// backpressure; a final overload phase drives a dedicated admission-enabled
+// tenant open-loop at 3x its cost-model-derived capacity. With -check it
+// gates zero failed assigns, the swap observed under load, 429 conservation
+// against the server counter, the requests == Σ responses law, the p99/QPS
+// serving floors, and the admission contracts: excess load sheds as 429
+// (priced Retry-After) or 413 and never 5xx, the admitted traffic's serving
+// p99 stays within the latency budget, the cost-model EWMA tracks a fresh
+// measured window within 30%, and per-route attempts == admitted + shed
+// (the payload CI archives as SERVE_PR10.json):
 //
-//	uncbench -exp serve -bn 10000 -workers 4 -dur 3s -json -check
+//	uncbench -exp serve -bn 10000 -workers 4 -dur 3s -json -out SERVE_PR10.json -check
 //
 // The durable mode is the daemon fault-injection gate: it persists a
 // snapshot mid-stream, kills the daemon without warning (kill -9 of the

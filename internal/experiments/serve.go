@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -135,10 +136,67 @@ type ServeResult struct {
 	ResponsesTotal int64 `json:"responses_total"`
 	ConservationOK bool  `json:"conservation_ok"`
 
+	// Overload is the admission-control phase: a dedicated tenant under
+	// cost-model admission driven at 3× its admitted capacity.
+	Overload *OverloadResult `json:"overload,omitempty"`
+
 	// The floors this run was held to, recorded so the committed artifact
 	// is self-describing.
 	P99BudgetMs float64 `json:"p99_budget_ms"`
 	MinQPS      float64 `json:"min_qps"`
+}
+
+// OverloadResult is the admission-control overload phase of the serve
+// experiment: the client offers 3× the tenant's admitted capacity and
+// verifies the daemon's degradation contract — admitted traffic stays
+// within the latency budget, everything else sheds as 429 (with a priced
+// Retry-After) or 413, and nothing becomes 5xx.
+type OverloadResult struct {
+	Batch         int     `json:"batch"`
+	WindowSeconds float64 `json:"window_seconds"`
+	// Clamped records that the tenant's auto-sized capacity exceeded what
+	// the loopback client can offer at 3×, so the drive ran under manual
+	// limits derived from the same cost measurements.
+	Clamped bool `json:"clamped,omitempty"`
+
+	CapacityReqPerSec float64 `json:"capacity_req_per_sec"`
+	OfferedRequests   int64   `json:"offered_requests"`
+	OfferedPerSec     float64 `json:"offered_per_sec"`
+
+	Admitted      int64 `json:"admitted"`
+	Shed429       int64 `json:"shed_429"`
+	Shed413       int64 `json:"shed_413"`
+	Got5xx        int64 `json:"got_5xx"`
+	OtherFailures int64 `json:"other_failures"`
+
+	// AdmittedP50Ms/AdmittedP99Ms are client-observed end-to-end latencies
+	// of admitted requests — informational, since on a co-located 1-core
+	// driver they fold the load generator's own scheduling congestion into
+	// the number. ServeP99BoundMs is the gated figure: the daemon's own
+	// assign-latency histogram over the drive window (delta of the
+	// /metrics histogram), reported as the upper bucket bound that covers
+	// 99% of admitted serving — what the admission layer actually defends.
+	AdmittedP50Ms   float64 `json:"admitted_p50_ms"`
+	AdmittedP99Ms   float64 `json:"admitted_p99_ms"`
+	ServeP99BoundMs float64 `json:"serve_p99_bound_ms"`
+	// RetryAfterOK: every 429 in the window carried a well-formed integer
+	// Retry-After >= 1.
+	RetryAfterOK bool `json:"retry_after_ok"`
+
+	// The cost-model accuracy probe: the tenant's EWMA ns/object against
+	// the exact mean of a fresh sequential request window (within 30%).
+	CostEwmaNsPerObject   float64 `json:"cost_ewma_ns_per_object"`
+	CostWindowNsPerObject float64 `json:"cost_window_ns_per_object"`
+	CostAccuracyOK        bool    `json:"cost_accuracy_ok"`
+
+	// ManualShed413OK: the limits control surface round trip — manual
+	// limits with a small burst provoke a 413 that names the admissible
+	// batch, then auto mode is restored.
+	ManualShed413OK bool `json:"manual_shed_413_ok"`
+	// AdmissionConservationOK: per route, the tenant's attempts counter
+	// equals admitted + shed(429) + shed(413), and the daemon-wide
+	// admission counters agree.
+	AdmissionConservationOK bool `json:"admission_conservation_ok"`
 }
 
 // encodeObjects renders a chunk of uncertain objects as the daemon's JSON
@@ -173,6 +231,21 @@ type serveClient struct {
 
 func (c *serveClient) post(ctx context.Context, path, body string) (int, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, "POST", c.base+path, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+func (c *serveClient) put(ctx context.Context, path, body string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, "PUT", c.base+path, strings.NewReader(body))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -268,8 +341,8 @@ func Serve(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
 	cl := &serveClient{
 		base: "http://" + l.Addr().String(),
 		client: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        cfg.Workers + 8,
-			MaxIdleConnsPerHost: cfg.Workers + 8,
+			MaxIdleConns:        cfg.Workers + 64,
+			MaxIdleConnsPerHost: cfg.Workers + 64,
 		}},
 	}
 
@@ -482,6 +555,19 @@ func Serve(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
 	}
 	cfg.Progress("serve: flood tenant bounced %d observes with 429", res.Rejected429)
 
+	// Phase 4b: cost-model admission control under 3× overload on a
+	// dedicated tenant. Its sheds use the admission counters, never the
+	// queue_rejected counter, so the flood-tenant 429 gate above is
+	// untouched.
+	overload, err := runOverload(ctx, cl, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("serve: overload phase: %w", err)
+	}
+	res.Overload = overload
+	cfg.Progress("serve: overload offered %.0f req/sec against %.0f admitted capacity — %d admitted (serving p99 ≤ %.1fms), %d shed 429, %d shed 413, %d 5xx",
+		overload.OfferedPerSec, overload.CapacityReqPerSec, overload.Admitted,
+		overload.ServeP99BoundMs, overload.Shed429, overload.Shed413, overload.Got5xx)
+
 	// Phase 5: quiesce (everything above has returned) and scrape /metrics.
 	// The flood tenant may still be folding accepted payloads, but that does
 	// not touch the request counters.
@@ -514,7 +600,391 @@ func Serve(ctx context.Context, cfg ServeConfig) (*ServeResult, error) {
 		res.SwapsTotal = v
 	}
 	res.ConservationOK = res.RequestsTotal > 0 && res.RequestsTotal == res.ResponsesTotal
+	if res.Overload != nil {
+		// Cross-check the daemon-wide admission conservation law on the same
+		// quiesced scrape: per route, attempts == admitted + shed.
+		for _, route := range []string{"assign", "observe"} {
+			att, ok1 := scan(fmt.Sprintf("ucpcd_admission_attempts_total{route=%q}", route))
+			adm, ok2 := scan(fmt.Sprintf("ucpcd_admitted_total{route=%q}", route))
+			s429, ok3 := scan(fmt.Sprintf("ucpcd_shed_total{route=%q,code=\"429\"}", route))
+			s413, ok4 := scan(fmt.Sprintf("ucpcd_shed_total{route=%q,code=\"413\"}", route))
+			if !(ok1 && ok2 && ok3 && ok4) || att != adm+s429+s413 {
+				res.Overload.AdmissionConservationOK = false
+			}
+		}
+	}
 	return res, nil
+}
+
+// limitsJSON mirrors the daemon's GET /v1/tenants/{id}/limits shape (the
+// fields the overload phase reads).
+type limitsJSON struct {
+	Mode        string  `json:"mode"`
+	P99BudgetMs float64 `json:"p99_budget_ms"`
+	Assign      struct {
+		RateObjectsPerSec float64 `json:"rate_objects_per_sec"`
+		BurstObjects      float64 `json:"burst_objects"`
+		CostNsPerObject   float64 `json:"cost_ns_per_object"`
+		CostTotalNs       float64 `json:"cost_total_ns"`
+		CostTotalObjects  int64   `json:"cost_total_objects"`
+		AttemptsTotal     int64   `json:"attempts_total"`
+		AdmittedTotal     int64   `json:"admitted_total"`
+		Shed429Total      int64   `json:"shed_429_total"`
+		Shed413Total      int64   `json:"shed_413_total"`
+	} `json:"assign"`
+	Observe struct {
+		AttemptsTotal int64 `json:"attempts_total"`
+		AdmittedTotal int64 `json:"admitted_total"`
+		Shed429Total  int64 `json:"shed_429_total"`
+		Shed413Total  int64 `json:"shed_413_total"`
+	} `json:"observe"`
+}
+
+// assignHist scrapes /metrics and returns the daemon's cumulative
+// ucpcd_assign_latency_seconds bucket counts keyed by the le label. Two
+// scrapes bracketing a drive window give the latency distribution of exactly
+// the requests served in between.
+func (c *serveClient) assignHist(ctx context.Context) (map[string]int64, error) {
+	status, raw, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("metrics scrape: status %d", status)
+	}
+	h := make(map[string]int64)
+	const prefix = `ucpcd_assign_latency_seconds_bucket{le="`
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		i := strings.Index(rest, `"} `)
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseInt(rest[i+3:], 10, 64)
+		if err != nil {
+			continue
+		}
+		h[rest[:i]] = v
+	}
+	return h, nil
+}
+
+func (c *serveClient) limits(ctx context.Context, tenant string) (*limitsJSON, error) {
+	status, raw, err := c.get(ctx, "/v1/tenants/"+tenant+"/limits")
+	if err != nil {
+		return nil, err
+	}
+	if status != 200 {
+		return nil, fmt.Errorf("GET limits: status %d (%s)", status, bytes.TrimSpace(raw))
+	}
+	var lim limitsJSON
+	if err := json.Unmarshal(raw, &lim); err != nil {
+		return nil, fmt.Errorf("GET limits: %w", err)
+	}
+	return &lim, nil
+}
+
+// runOverload is the admission-control phase of the serve experiment: a
+// dedicated tenant under auto admission is warmed until its cost model
+// converges, probed for cost accuracy and the manual-limits 413 contract,
+// and then driven open-loop at 3× its admitted capacity for a window —
+// gating that admitted traffic stays within the latency budget while the
+// excess sheds as 429 (priced Retry-After) and nothing becomes 5xx.
+func runOverload(ctx context.Context, cl *serveClient, cfg ServeConfig) (*OverloadResult, error) {
+	const tenant = "overload"
+	batch := 4 * cfg.AssignBatch
+	ov := &OverloadResult{Batch: batch}
+
+	// Tenant with admission on, fed by one synchronous fit so a model (and
+	// its scanned-candidate counters) is installed before any serving.
+	spec := fmt.Sprintf(`{"id":%q,"k":%d,"seed":%d,"admission":"on"}`, tenant, cfg.K, cfg.Seed)
+	if _, err := cl.mustPost(ctx, "/v1/tenants", spec, 201); err != nil {
+		return nil, err
+	}
+	fitN := cfg.N / 10
+	if fitN < 100 {
+		fitN = 100
+	}
+	if fitN > 1000 {
+		fitN = 1000
+	}
+	fitBody, err := encodeObjects(newScaleSource(cfg.Seed^0x0ad1).take(nil, fitN))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cl.mustPost(ctx, "/v1/tenants/"+tenant+"/fit", fitBody, 200); err != nil {
+		return nil, err
+	}
+	assignBody, err := encodeObjects(newScaleSource(cfg.Seed^0x0ad2).take(nil, batch))
+	if err != nil {
+		return nil, err
+	}
+
+	// assignOnce drives one admitted assign, napping briefly through 429s
+	// (sequential phases run closed-loop at the bucket's own pace).
+	assignOnce := func() error {
+		for attempt := 0; attempt < 500; attempt++ {
+			status, raw, err := cl.post(ctx, "/v1/tenants/"+tenant+"/assign", assignBody)
+			if err != nil {
+				return fmt.Errorf("assign: %w", err)
+			}
+			switch status {
+			case 200:
+				return nil
+			case http.StatusTooManyRequests:
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(3 * time.Millisecond):
+				}
+			default:
+				return fmt.Errorf("assign: status %d (%s)", status, bytes.TrimSpace(raw))
+			}
+		}
+		return fmt.Errorf("assign: starved behind the %s bucket for 500 attempts", tenant)
+	}
+
+	// Warm the cost model, then probe its accuracy: the EWMA against the
+	// exact mean of a fresh sequential window (Δ of the limits totals). Up
+	// to three windows — one GC pause can skew a single window on a small
+	// box, but a converged EWMA must match some fresh window within 30%.
+	for i := 0; i < 10; i++ {
+		if err := assignOnce(); err != nil {
+			return nil, fmt.Errorf("warmup %w", err)
+		}
+	}
+	const probeRequests = 20
+	for round := 0; round < 3 && !ov.CostAccuracyOK; round++ {
+		before, err := cl.limits(ctx, tenant)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < probeRequests; i++ {
+			if err := assignOnce(); err != nil {
+				return nil, fmt.Errorf("probe %w", err)
+			}
+		}
+		after, err := cl.limits(ctx, tenant)
+		if err != nil {
+			return nil, err
+		}
+		dN := after.Assign.CostTotalObjects - before.Assign.CostTotalObjects
+		dNs := after.Assign.CostTotalNs - before.Assign.CostTotalNs
+		if dN <= 0 {
+			continue
+		}
+		ov.CostWindowNsPerObject = dNs / float64(dN)
+		ov.CostEwmaNsPerObject = after.Assign.CostNsPerObject
+		if ov.CostWindowNsPerObject > 0 {
+			ratio := ov.CostEwmaNsPerObject / ov.CostWindowNsPerObject
+			ov.CostAccuracyOK = ratio >= 0.7 && ratio <= 1.3
+		}
+	}
+
+	// The limits control surface + 413 contract: manual limits with a burst
+	// below the batch size must bounce the batch with 413 naming the
+	// admissible maximum, and auto mode must restore cleanly.
+	smallBurst := batch / 2
+	manual := fmt.Sprintf(`{"mode":"manual","assign_rate_objects_per_sec":1e6,"assign_burst_objects":%d}`, smallBurst)
+	if status, raw, err := cl.put(ctx, "/v1/tenants/"+tenant+"/limits", manual); err != nil || status != 200 {
+		return nil, fmt.Errorf("PUT limits: status %d, err %v (%s)", status, err, bytes.TrimSpace(raw))
+	}
+	status, raw, err := cl.post(ctx, "/v1/tenants/"+tenant+"/assign", assignBody)
+	if err != nil {
+		return nil, err
+	}
+	var tooLarge struct {
+		MaxBatch int `json:"max_batch_objects"`
+	}
+	ov.ManualShed413OK = status == http.StatusRequestEntityTooLarge &&
+		json.Unmarshal(raw, &tooLarge) == nil && tooLarge.MaxBatch == smallBurst
+	if status, raw, err := cl.put(ctx, "/v1/tenants/"+tenant+"/limits", `{"mode":"auto"}`); err != nil || status != 200 {
+		return nil, fmt.Errorf("PUT limits (auto): status %d, err %v (%s)", status, err, bytes.TrimSpace(raw))
+	}
+
+	// Size the drive: 3× the admitted capacity. A fast model on a fast box
+	// can out-rate what a loopback client can offer at 3×, in which case the
+	// drive pins capacity with manual limits derived from the same cost
+	// measurements — the shedding contract under test is identical.
+	lim, err := cl.limits(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	capacity := lim.Assign.RateObjectsPerSec / float64(batch)
+	const maxOfferedPerSec = 400.0
+	if 3*capacity > maxOfferedPerSec {
+		ov.Clamped = true
+		capacity = maxOfferedPerSec / 3
+		pin := fmt.Sprintf(`{"mode":"manual","assign_rate_objects_per_sec":%g,"assign_burst_objects":%d}`,
+			capacity*float64(batch), 2*batch)
+		if status, raw, err := cl.put(ctx, "/v1/tenants/"+tenant+"/limits", pin); err != nil || status != 200 {
+			return nil, fmt.Errorf("PUT limits (pin): status %d, err %v (%s)", status, err, bytes.TrimSpace(raw))
+		}
+	}
+	ov.CapacityReqPerSec = capacity
+
+	window := cfg.Duration
+	if window < time.Second {
+		window = time.Second
+	}
+	ov.WindowSeconds = window.Seconds()
+	interval := time.Duration(float64(time.Second) / (3 * capacity))
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+
+	var (
+		inflight      atomic.Int64
+		admitted      atomic.Int64
+		sShed429      atomic.Int64
+		sShed413      atomic.Int64
+		got5xx        atomic.Int64
+		otherFailures atomic.Int64
+		badRetryAfter atomic.Int64
+		latMu         sync.Mutex
+		admittedLat   []float64
+	)
+	histBefore, err := cl.assignHist(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var owg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	driveStart := time.Now()
+	driveEnd := time.After(window)
+	fire := func() {
+		inflight.Add(1)
+		owg.Add(1)
+		go func() {
+			defer owg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			req, err := http.NewRequestWithContext(ctx, "POST", cl.base+"/v1/tenants/"+tenant+"/assign",
+				strings.NewReader(assignBody))
+			if err != nil {
+				otherFailures.Add(1)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := cl.client.Do(req)
+			if err != nil {
+				otherFailures.Add(1)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == 200:
+				admitted.Add(1)
+				ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+				latMu.Lock()
+				admittedLat = append(admittedLat, ms)
+				latMu.Unlock()
+			case resp.StatusCode == http.StatusTooManyRequests:
+				sShed429.Add(1)
+				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+					badRetryAfter.Add(1)
+				}
+			case resp.StatusCode == http.StatusRequestEntityTooLarge:
+				sShed413.Add(1)
+			case resp.StatusCode >= 500:
+				got5xx.Add(1)
+			default:
+				otherFailures.Add(1)
+			}
+		}()
+		ov.OfferedRequests++
+	}
+drive:
+	for {
+		select {
+		case <-driveEnd:
+			break drive
+		case <-ctx.Done():
+			break drive
+		case <-ticker.C:
+		}
+		// Open-loop pacing with catch-up: fire however many requests the
+		// 3×-capacity schedule owes by now (coalesced ticker ticks included),
+		// under a hard in-flight cap so a degraded server cannot stack
+		// unbounded goroutines on the client side.
+		due := int64(time.Since(driveStart)/interval) - ov.OfferedRequests
+		for ; due > 0 && inflight.Load() < 32; due-- {
+			fire()
+		}
+	}
+	ticker.Stop()
+	owg.Wait()
+	elapsed := time.Since(driveStart).Seconds()
+	if elapsed > 0 {
+		ov.OfferedPerSec = float64(ov.OfferedRequests) / elapsed
+	}
+	ov.Admitted = admitted.Load()
+	ov.Shed429 = sShed429.Load()
+	ov.Shed413 = sShed413.Load()
+	ov.Got5xx = got5xx.Load()
+	ov.OtherFailures = otherFailures.Load()
+	ov.RetryAfterOK = ov.Shed429 >= 1 && badRetryAfter.Load() == 0
+	sort.Float64s(admittedLat)
+	if n := len(admittedLat); n > 0 {
+		ov.AdmittedP50Ms = admittedLat[int(0.50*float64(n-1))]
+		ov.AdmittedP99Ms = admittedLat[int(0.99*float64(n-1))]
+	}
+	// The gated latency figure comes from the daemon's own histogram delta
+	// over the drive window: the serving path (parse through Assign) of every
+	// admitted request, free of the co-located load generator's scheduling
+	// noise. ServeP99BoundMs is the smallest bucket bound covering 99% of the
+	// window, or -1 when the tail escapes every finite bucket.
+	histAfter, err := cl.assignHist(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ov.ServeP99BoundMs = -1
+	type histBkt struct {
+		le  float64
+		cum int64
+	}
+	var bkts []histBkt
+	var total int64
+	for le, after := range histAfter {
+		d := after - histBefore[le]
+		if le == "+Inf" {
+			total = d
+			continue
+		}
+		if b, perr := strconv.ParseFloat(le, 64); perr == nil {
+			bkts = append(bkts, histBkt{b, d})
+		}
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	if total > 0 {
+		for _, b := range bkts {
+			if float64(b.cum) >= 0.99*float64(total) {
+				ov.ServeP99BoundMs = b.le * 1000
+				break
+			}
+		}
+	}
+	if ov.Clamped {
+		if status, raw, err := cl.put(ctx, "/v1/tenants/"+tenant+"/limits", `{"mode":"auto"}`); err != nil || status != 200 {
+			return nil, fmt.Errorf("PUT limits (unpin): status %d, err %v (%s)", status, err, bytes.TrimSpace(raw))
+		}
+	}
+
+	// The tenant-level admission conservation law: per route, every attempt
+	// was admitted or shed — nothing lost, nothing double-counted. (The
+	// daemon-wide counters are cross-checked on the final /metrics scrape.)
+	final, err := cl.limits(ctx, tenant)
+	if err != nil {
+		return nil, err
+	}
+	ov.AdmissionConservationOK =
+		final.Assign.AttemptsTotal == final.Assign.AdmittedTotal+final.Assign.Shed429Total+final.Assign.Shed413Total &&
+			final.Observe.AttemptsTotal == final.Observe.AdmittedTotal+final.Observe.Shed429Total+final.Observe.Shed413Total
+	return ov, nil
 }
 
 // RenderServe formats the result for terminal output.
@@ -523,7 +993,7 @@ func RenderServe(r *ServeResult) string {
 	if !r.ConservationOK {
 		conservation = "VIOLATED"
 	}
-	return fmt.Sprintf(`daemon load (-exp serve)
+	out := fmt.Sprintf(`daemon load (-exp serve)
   ingest:  %d objects over HTTP in %.2fs (%.0f objects/sec)
   serving: %d workers x %d-object assigns for %.2fs — %.0f req/sec, %d failed
   latency: p50 %.2fms  p95 %.2fms  p99 %.2fms (budget %.0fms)
@@ -537,6 +1007,22 @@ func RenderServe(r *ServeResult) string {
 		r.VersionsObserved, r.SwapsTotal,
 		r.Rejected429, r.QueueRejectedTotal,
 		r.RequestsTotal, r.ResponsesTotal, conservation)
+	if ov := r.Overload; ov != nil {
+		admConservation := "holds"
+		if !ov.AdmissionConservationOK {
+			admConservation = "VIOLATED"
+		}
+		out += fmt.Sprintf(`  overload: offered %.0f req/sec (3x the %.0f admitted capacity) for %.1fs, batch %d
+    admitted %d (serving p99 ≤ %.1fms; client-observed p50 %.2fms, p99 %.2fms), shed %d as 429 + %d as 413, %d 5xx, %d other failures
+    cost model: EWMA %.0f ns/object vs %.0f measured (accurate: %v); 413 contract: %v
+    admission conservation: %s
+`,
+			ov.OfferedPerSec, ov.CapacityReqPerSec, ov.WindowSeconds, ov.Batch,
+			ov.Admitted, ov.ServeP99BoundMs, ov.AdmittedP50Ms, ov.AdmittedP99Ms, ov.Shed429, ov.Shed413, ov.Got5xx, ov.OtherFailures,
+			ov.CostEwmaNsPerObject, ov.CostWindowNsPerObject, ov.CostAccuracyOK, ov.ManualShed413OK,
+			admConservation)
+	}
+	return out
 }
 
 // Check applies the serve acceptance gates: zero failed assigns across the
@@ -568,6 +1054,33 @@ func (r *ServeResult) Check() error {
 	}
 	if r.QPS < r.MinQPS {
 		return fmt.Errorf("serve: %.0f req/sec below the %.0f floor", r.QPS, r.MinQPS)
+	}
+	if ov := r.Overload; ov != nil {
+		if ov.Got5xx != 0 || ov.OtherFailures != 0 {
+			return fmt.Errorf("serve: overload produced %d 5xx and %d other failures; shedding must stay 429/413",
+				ov.Got5xx, ov.OtherFailures)
+		}
+		if ov.Admitted < 1 || ov.Shed429 < 1 {
+			return fmt.Errorf("serve: overload admitted %d and shed %d — the 3x drive never overloaded the bucket",
+				ov.Admitted, ov.Shed429)
+		}
+		if !ov.RetryAfterOK {
+			return fmt.Errorf("serve: overload 429s carried malformed Retry-After headers")
+		}
+		if ov.ServeP99BoundMs <= 0 || ov.ServeP99BoundMs > r.P99BudgetMs {
+			return fmt.Errorf("serve: admitted-traffic serving p99 bound %.2fms exceeds the %.0fms budget under 3x overload",
+				ov.ServeP99BoundMs, r.P99BudgetMs)
+		}
+		if !ov.CostAccuracyOK {
+			return fmt.Errorf("serve: cost model EWMA %.0f ns/object strayed beyond 30%% of the measured %.0f",
+				ov.CostEwmaNsPerObject, ov.CostWindowNsPerObject)
+		}
+		if !ov.ManualShed413OK {
+			return fmt.Errorf("serve: manual-limits 413 contract failed (oversized batch not bounced with max_batch_objects)")
+		}
+		if !ov.AdmissionConservationOK {
+			return fmt.Errorf("serve: admission conservation violated: attempts != admitted + shed")
+		}
 	}
 	return nil
 }

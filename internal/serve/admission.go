@@ -1,0 +1,640 @@
+package serve
+
+// Cost-model admission control: the daemon defends its serving latency
+// budget the way an inference server defends SLOs — by refusing work it
+// cannot finish in time, explicitly and cheaply, instead of letting
+// overload turn into latency collapse and 5xx.
+//
+// Three pieces, all per tenant and per route (assign, observe):
+//
+//   - A cost model: an EWMA over the measured per-object serving cost
+//     (handler wall time / objects for assign, ingester Observe wall time /
+//     objects for observe). The estimate is re-weighted whenever a model
+//     install changes the per-object EED work — the pruning engine's
+//     Report.ScannedCandidates/PrunedCandidates counters meter exactly the
+//     candidate evaluations Gullo & Tagarelli's assignment performs, so the
+//     scan fraction × k is a work proxy that moves the estimate *before*
+//     the first slow request is observed.
+//
+//   - A token bucket denominated in objects. In auto mode it is sized from
+//     the cost estimate against the daemon's latency budget: refill rate =
+//     utilization × (1e9 / cost ns) objects/sec (the sustained throughput
+//     the box can carry with headroom), burst = budget / cost (the largest
+//     batch that can finish inside the p99 budget at all). Manual limits
+//     set via PUT /v1/tenants/{id}/limits freeze rate and burst directly.
+//
+//   - Degraded-mode responses that never become 5xx: a batch larger than
+//     the burst can never finish in budget and is rejected 413 up front; a
+//     batch the bucket cannot cover right now is shed 429 with Retry-After
+//     derived from the bucket's refill deficit plus the ingestion queue
+//     depth priced at the current cost estimate.
+//
+// Every admission decision increments exactly one of admitted / shed —
+// attempts == admitted + shed429 + shed413 per route is the admission
+// conservation law, gated alongside the existing requests == Σ responses
+// law. The clock is injected (newAdmission's now func) so refill and shed
+// decisions are table-testable without sleeps.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ucpc"
+)
+
+// route indexes the two admission-controlled request paths.
+type route int
+
+const (
+	routeAssign route = iota
+	routeObserve
+	routeCount
+)
+
+var routeNames = [routeCount]string{"assign", "observe"}
+
+// admission modes. Off admits everything (counted, never shed); auto sizes
+// the buckets from the cost model; manual uses operator-set rate/burst.
+const (
+	modeOff int32 = iota
+	modeAuto
+	modeManual
+)
+
+var modeNames = map[int32]string{modeOff: "off", modeAuto: "auto", modeManual: "manual"}
+
+// admissionUtilization is the fraction of the measured serving capacity
+// auto mode admits. The headroom absorbs what the uncontended cost samples
+// cannot see — connection handling, response writes, co-located clients —
+// and the queueing that builds even below saturation.
+const admissionUtilization = 0.6
+
+// verdicts of one admission decision.
+type verdict int
+
+const (
+	admitOK verdict = iota
+	shed429
+	shed413
+)
+
+// decision is the outcome of admission.admit for one request.
+type decision struct {
+	verdict verdict
+	// retryAfter accompanies shed429: the time until the bucket can cover
+	// the batch, plus the queue drain time on the observe path.
+	retryAfter time.Duration
+	// maxBatch accompanies shed413: the largest admissible batch.
+	maxBatch int
+	// conc is the number of in-flight requests including this one at the
+	// moment of an admitted assign (>= 1). The handler feeds the cost model
+	// only from conc == 1 samples — a request admitted into an empty
+	// pipeline measures true service time, while a contended sample folds
+	// co-runners' queueing into the estimate and destabilizes the bucket
+	// (overstated cost collapses capacity; corrections that divide by
+	// concurrency overshoot the other way and over-admit).
+	conc int64
+}
+
+// costModel tracks the EWMA ns/object estimate for one route, the exact
+// running totals the accuracy gate compares it against, and the
+// scanned-candidate work weight of the currently installed model.
+type costModel struct {
+	mu      sync.Mutex
+	alpha   float64 // EWMA smoothing (0 = costAlpha default)
+	ewma    float64 // ns per object; 0 until the first sample
+	samples int64
+	totalNs float64 // Σ observed nanoseconds, for measured()
+	totalN  int64   // Σ observed objects
+	weight  float64 // scan-fraction × k of the installed model (0 = unknown)
+}
+
+const costAlpha = 0.2
+
+// observe folds one measured (objects, duration) sample into the EWMA.
+func (c *costModel) observe(objects int, d time.Duration) {
+	if objects <= 0 || d <= 0 {
+		return
+	}
+	perObj := float64(d.Nanoseconds()) / float64(objects)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.alpha
+	if a == 0 {
+		a = costAlpha
+	}
+	if c.samples == 0 {
+		c.ewma = perObj
+	} else {
+		c.ewma += a * (perObj - c.ewma)
+	}
+	c.samples++
+	c.totalNs += float64(d.Nanoseconds())
+	c.totalN += int64(objects)
+}
+
+// estimate returns the EWMA ns/object; ok is false until a sample lands.
+func (c *costModel) estimate() (nsPerObj float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma, c.samples > 0
+}
+
+// measured returns the exact mean ns/object over every sample — the
+// reference the cost-model accuracy gates hold the EWMA to.
+func (c *costModel) measured() (nsPerObj float64, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.totalN == 0 {
+		return 0, false
+	}
+	return c.totalNs / float64(c.totalN), true
+}
+
+// snapshot returns (ewma, samples, totalNs, totalObjects) in one lock hold
+// for the limits surface.
+func (c *costModel) stats() (ewma float64, samples int64, totalNs float64, totalN int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ewma, c.samples, c.totalNs, c.totalN
+}
+
+// reweigh records the installed model's scanned-candidate work weight
+// (scan fraction × k) and pre-scales the EWMA by the weight ratio, clamped
+// to [1/4, 4] — a model that scans twice the candidates per object costs
+// about twice as much to serve, and admission should know before the first
+// request against it is measured.
+func (c *costModel) reweigh(weight float64) {
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.weight > 0 && c.samples > 0 {
+		scale := weight / c.weight
+		if scale < 0.25 {
+			scale = 0.25
+		}
+		if scale > 4 {
+			scale = 4
+		}
+		c.ewma *= scale
+	}
+	c.weight = weight
+}
+
+// tokenBucket is a monotonic-clock token bucket denominated in objects.
+// The caller supplies now so tests drive it with a fake clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	rate   float64 // objects per second
+	burst  float64 // token cap; also the largest admissible batch
+	last   time.Time
+}
+
+// refillLocked advances the bucket to now at the current rate.
+func (b *tokenBucket) refillLocked(now time.Time) {
+	if b.last.IsZero() {
+		b.last = now
+		b.tokens = b.burst
+		return
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+		b.last = now
+	}
+}
+
+// resize updates rate and burst (refilling first at the old rate so no
+// accrued tokens are lost or invented), clamping tokens to the new burst. A
+// bucket that has never been touched starts full at the new burst — the
+// refill path must not initialize it against the stale zero burst.
+func (b *tokenBucket) resize(now time.Time, rate, burst float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+		b.rate, b.burst = rate, burst
+		b.tokens = burst
+		return
+	}
+	b.refillLocked(now)
+	b.rate, b.burst = rate, burst
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+}
+
+// take refills to now and tries to consume n tokens. On refusal nothing is
+// consumed and wait is the refill time until n tokens are available.
+func (b *tokenBucket) take(now time.Time, n float64) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Hour
+	}
+	deficit := n - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// level reports (tokens-as-of-now, rate, burst) for the gauges.
+func (b *tokenBucket) level(now time.Time) (tokens, rate, burst float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens, b.rate, b.burst
+}
+
+// routeAdmission is one route's admission state: its cost model, its
+// bucket, and the conservation counters.
+type routeAdmission struct {
+	cost   costModel
+	bucket tokenBucket
+
+	// inflightObjects/inflightReqs track admitted work that has not finished
+	// serving yet (assign route only). A rate bucket alone cannot bound
+	// latency: a bursty client can stack budget-multiples of admitted work
+	// into a standing queue, so admission also refuses to let the in-flight
+	// backlog exceed a fraction of the budget-worth of objects.
+	inflightObjects atomic.Int64
+	inflightReqs    atomic.Int64
+
+	attempts atomic.Int64
+	admitted atomic.Int64
+	shed429c atomic.Int64
+	shed413c atomic.Int64
+}
+
+// admission is one tenant's admission-control state.
+type admission struct {
+	// now is the injected clock (time.Now in production).
+	now func() time.Time
+	// budget is the daemon-wide serving latency budget auto mode defends.
+	budget time.Duration
+	// m receives the daemon-wide admitted/shed counters (nil in unit tests
+	// that exercise the admission core alone).
+	m *metrics
+
+	mu     sync.Mutex
+	mode   int32
+	routes [routeCount]routeAdmission
+}
+
+// newAdmission builds the tenant admission state. mode is modeOff, modeAuto
+// or modeManual; budget 0 falls back to the package default used by
+// Config.withDefaults.
+func newAdmission(mode int32, budget time.Duration, m *metrics, now func() time.Time) *admission {
+	if now == nil {
+		now = time.Now
+	}
+	if budget <= 0 {
+		budget = 250 * time.Millisecond
+	}
+	return &admission{now: now, budget: budget, m: m, mode: mode}
+}
+
+func (a *admission) currentMode() int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mode
+}
+
+// maxBatchFor is the largest batch that can finish within the latency
+// budget at the given per-object cost.
+func (a *admission) maxBatchFor(costNs float64) float64 {
+	mb := float64(a.budget.Nanoseconds()) / costNs
+	if mb < 1 {
+		mb = 1
+	}
+	return mb
+}
+
+// admit decides one request of n objects on route r. queued is the current
+// ingestion queue depth in objects (0 on the assign path); it prices the
+// Retry-After of observe sheds. Exactly one of admitted / shed429 / shed413
+// is incremented — the admission conservation law.
+func (a *admission) admit(r route, n int, queued int64) decision {
+	ra := &a.routes[r]
+	ra.attempts.Add(1)
+	if a.m != nil {
+		a.m.admAttempts[r].Add(1)
+	}
+	ok := func() decision {
+		ra.admitted.Add(1)
+		if a.m != nil {
+			a.m.admAdmitted[r].Add(1)
+		}
+		d := decision{verdict: admitOK, conc: 1}
+		if r == routeAssign {
+			// Enter the in-flight accounting; the handler MUST pair every
+			// admitted assign with exit(), on success and failure alike.
+			ra.inflightObjects.Add(int64(n))
+			d.conc = ra.inflightReqs.Add(1)
+		}
+		return d
+	}
+	reject429 := func(wait time.Duration, est float64) decision {
+		ra.shed429c.Add(1)
+		if a.m != nil {
+			a.m.admShed429[r].Add(1)
+		}
+		if queued > 0 && est > 0 {
+			wait += time.Duration(float64(queued) * est)
+		}
+		return decision{verdict: shed429, retryAfter: wait}
+	}
+	reject413 := func(maxBatch float64) decision {
+		ra.shed413c.Add(1)
+		if a.m != nil {
+			a.m.admShed413[r].Add(1)
+		}
+		return decision{verdict: shed413, maxBatch: int(maxBatch)}
+	}
+
+	a.mu.Lock()
+	mode := a.mode
+	a.mu.Unlock()
+	switch mode {
+	case modeOff:
+		return ok()
+	case modeManual:
+		now := a.now()
+		_, rate, burst := ra.bucket.level(now)
+		if rate <= 0 {
+			return ok() // unlimited route
+		}
+		if float64(n) > burst {
+			return reject413(burst)
+		}
+		est, _ := a.routes[r].cost.estimate()
+		if dec, shed := a.inflightGate(r, n, burst, est, reject429); shed {
+			return dec
+		}
+		if taken, wait := ra.bucket.take(now, float64(n)); !taken {
+			return reject429(wait, est)
+		}
+		return ok()
+	default: // modeAuto
+		est, known := ra.cost.estimate()
+		if !known || est <= 0 {
+			return ok() // cold: nothing to size from yet
+		}
+		maxBatch := a.maxBatchFor(est)
+		if float64(n) > maxBatch {
+			return reject413(maxBatch)
+		}
+		// The standing-queue bound: at most a quarter budget-worth of
+		// admitted objects outstanding, so the drain time of everything in
+		// flight — the latency the newest admitted request inherits — stays
+		// inside the budget even when the client bursts and contention
+		// stretches real service times past the uncontended estimate.
+		if dec, shed := a.inflightGate(r, n, maxBatch/4, est, reject429); shed {
+			return dec
+		}
+		now := a.now()
+		ra.bucket.resize(now, admissionUtilization*float64(time.Second)/est, maxBatch)
+		if taken, wait := ra.bucket.take(now, float64(n)); !taken {
+			return reject429(wait, est)
+		}
+		return ok()
+	}
+}
+
+// inflightGate refuses an assign whose admission would push the in-flight
+// backlog past capObjects (a lone request is always allowed through so a
+// full-burst batch with an empty pipeline stays admissible). The wait is
+// the drain time of the current backlog at the cost estimate.
+func (a *admission) inflightGate(r route, n int, capObjects, est float64,
+	reject429 func(time.Duration, float64) decision) (decision, bool) {
+	if r != routeAssign {
+		return decision{}, false
+	}
+	in := a.routes[r].inflightObjects.Load()
+	if in > 0 && float64(in)+float64(n) > capObjects {
+		return reject429(time.Duration(float64(in)*est), est), true
+	}
+	return decision{}, false
+}
+
+// exit releases one admitted assign from the in-flight accounting. Every
+// admitOK decision on the assign route must be paired with exactly one exit
+// once the request finishes, whatever its outcome.
+func (a *admission) exit(r route, n int) {
+	if r != routeAssign {
+		return
+	}
+	a.routes[r].inflightObjects.Add(int64(-n))
+	a.routes[r].inflightReqs.Add(-1)
+}
+
+// observeCost feeds one measured serving sample into route r's cost model.
+func (a *admission) observeCost(r route, objects int, d time.Duration) {
+	a.routes[r].cost.observe(objects, d)
+}
+
+// onInstall re-weights the assign cost model from the installed model's
+// pruning counters: scan fraction × k meters the EED evaluations one object
+// costs on the serving path.
+func (a *admission) onInstall(rep *ucpc.Report, k int) {
+	if rep == nil || k <= 0 {
+		return
+	}
+	total := rep.PrunedCandidates + rep.ScannedCandidates
+	if total <= 0 {
+		return
+	}
+	weight := float64(rep.ScannedCandidates) / float64(total) * float64(k)
+	a.routes[routeAssign].cost.reweigh(weight)
+}
+
+// queueRetryAfter prices a queue-full 429 on the observe path: the queued
+// objects at the current ingest cost estimate (1s when the model is cold).
+func (a *admission) queueRetryAfter(queued int64) time.Duration {
+	est, ok := a.routes[routeObserve].cost.estimate()
+	if !ok || est <= 0 || queued <= 0 {
+		return time.Second
+	}
+	return time.Duration(float64(queued) * est)
+}
+
+// retryAfterSeconds renders a Retry-After value: integral seconds, at least
+// 1, capped at an hour.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	if s > 3600 {
+		s = 3600
+	}
+	return s
+}
+
+// routeLimits is the per-route half of the limits surface.
+type routeLimits struct {
+	RateObjectsPerSec float64 `json:"rate_objects_per_sec"`
+	BurstObjects      float64 `json:"burst_objects"`
+	Tokens            float64 `json:"tokens"`
+	MaxBatchObjects   int     `json:"max_batch_objects"`
+
+	CostNsPerObject     float64 `json:"cost_ns_per_object"`
+	MeasuredNsPerObject float64 `json:"measured_ns_per_object"`
+	CostSamples         int64   `json:"cost_samples"`
+	CostTotalNs         float64 `json:"cost_total_ns"`
+	CostTotalObjects    int64   `json:"cost_total_objects"`
+
+	AttemptsTotal int64 `json:"attempts_total"`
+	AdmittedTotal int64 `json:"admitted_total"`
+	Shed429Total  int64 `json:"shed_429_total"`
+	Shed413Total  int64 `json:"shed_413_total"`
+}
+
+// limitsInfo is the JSON shape of GET/PUT /v1/tenants/{id}/limits.
+type limitsInfo struct {
+	Tenant      string      `json:"tenant"`
+	Mode        string      `json:"mode"`
+	P99BudgetMs float64     `json:"p99_budget_ms"`
+	Assign      routeLimits `json:"assign"`
+	Observe     routeLimits `json:"observe"`
+}
+
+// limits renders the current admission state.
+func (a *admission) limits(tenantID string) limitsInfo {
+	info := limitsInfo{
+		Tenant:      tenantID,
+		Mode:        modeNames[a.currentMode()],
+		P99BudgetMs: float64(a.budget.Nanoseconds()) / 1e6,
+	}
+	now := a.now()
+	fill := func(r route) routeLimits {
+		ra := &a.routes[r]
+		tokens, rate, burst := ra.bucket.level(now)
+		ewma, samples, totalNs, totalN := ra.cost.stats()
+		rl := routeLimits{
+			RateObjectsPerSec: rate,
+			BurstObjects:      burst,
+			Tokens:            tokens,
+			MaxBatchObjects:   int(burst),
+			CostNsPerObject:   ewma,
+			CostSamples:       samples,
+			CostTotalNs:       totalNs,
+			CostTotalObjects:  totalN,
+			AttemptsTotal:     ra.attempts.Load(),
+			AdmittedTotal:     ra.admitted.Load(),
+			Shed429Total:      ra.shed429c.Load(),
+			Shed413Total:      ra.shed413c.Load(),
+		}
+		if totalN > 0 {
+			rl.MeasuredNsPerObject = totalNs / float64(totalN)
+		}
+		// In auto mode the bucket lags the estimate by one admit; report the
+		// sizing the next request will see so GET reflects the cost model.
+		if a.currentMode() == modeAuto && samples > 0 && ewma > 0 {
+			rl.RateObjectsPerSec = admissionUtilization * float64(time.Second) / ewma
+			mb := a.maxBatchFor(ewma)
+			rl.BurstObjects = mb
+			rl.MaxBatchObjects = int(mb)
+		}
+		return rl
+	}
+	info.Assign = fill(routeAssign)
+	info.Observe = fill(routeObserve)
+	return info
+}
+
+// limitsRequest is the JSON body of PUT /v1/tenants/{id}/limits.
+type limitsRequest struct {
+	Mode                     string  `json:"mode"`
+	AssignRateObjectsPerSec  float64 `json:"assign_rate_objects_per_sec,omitempty"`
+	AssignBurstObjects       float64 `json:"assign_burst_objects,omitempty"`
+	ObserveRateObjectsPerSec float64 `json:"observe_rate_objects_per_sec,omitempty"`
+	ObserveBurstObjects      float64 `json:"observe_burst_objects,omitempty"`
+}
+
+// applyLimits validates and applies one PUT body. Manual rates of 0 leave
+// that route unlimited; a manual burst of 0 defaults to one second of rate.
+func (a *admission) applyLimits(req limitsRequest) error {
+	var mode int32
+	switch req.Mode {
+	case "auto":
+		mode = modeAuto
+	case "off":
+		mode = modeOff
+	case "manual":
+		mode = modeManual
+	default:
+		return fmt.Errorf("serve: unknown admission mode %q (valid: auto, manual, off): %w",
+			req.Mode, errBadRequest)
+	}
+	vals := []float64{
+		req.AssignRateObjectsPerSec, req.AssignBurstObjects,
+		req.ObserveRateObjectsPerSec, req.ObserveBurstObjects,
+	}
+	for _, v := range vals {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("serve: admission rates and bursts must be finite and non-negative: %w", errBadRequest)
+		}
+	}
+	if mode != modeManual {
+		for _, v := range vals {
+			if v != 0 {
+				return fmt.Errorf("serve: rate/burst overrides require mode \"manual\": %w", errBadRequest)
+			}
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mode = mode
+	if mode == modeManual {
+		now := a.now()
+		set := func(r route, rate, burst float64) {
+			if rate > 0 && burst == 0 {
+				burst = math.Max(rate, 1)
+			}
+			a.routes[r].bucket.resize(now, rate, burst)
+		}
+		set(routeAssign, req.AssignRateObjectsPerSec, req.AssignBurstObjects)
+		set(routeObserve, req.ObserveRateObjectsPerSec, req.ObserveBurstObjects)
+	}
+	return nil
+}
+
+// handleGetLimits: GET /v1/tenants/{id}/limits — the admission control
+// surface: mode, budget, per-route bucket sizing, cost estimates, and the
+// conservation counters.
+func (s *Server) handleGetLimits(w http.ResponseWriter, r *http.Request) {
+	if t, ok := s.tenantOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, t.adm.limits(t.id))
+	}
+}
+
+// handlePutLimits: PUT /v1/tenants/{id}/limits — switch admission mode
+// (auto / manual / off) and, in manual mode, set per-route rate and burst
+// directly. Responds with the resulting limits.
+func (s *Server) handlePutLimits(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.tenantOr404(w, r)
+	if !ok {
+		return
+	}
+	var req limitsRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := t.adm.applyLimits(req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.logger.Info("admission limits updated", "tenant", t.id, "mode", req.Mode)
+	writeJSON(w, http.StatusOK, t.adm.limits(t.id))
+}

@@ -236,7 +236,7 @@ func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	t, err := newTenant(spec, s.cfg.QueueChunks, s.metrics)
+	t, err := newTenant(spec, s.cfg.QueueChunks, s.metrics, s.admissionDefaults())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -314,9 +314,16 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if dec := t.adm.admit(routeObserve, len(ds), t.queued.Load()); dec.verdict != admitOK {
+		writeShed(w, t.id, "observe", dec)
+		return
+	}
 	if !t.enqueue(ds) {
 		s.metrics.queueRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// Price the backpressure: how long the ingester needs to drain the
+		// queued objects at the measured per-object ingest cost.
+		retry := retryAfterSeconds(t.adm.queueRetryAfter(t.queued.Load()))
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{
 			"error": fmt.Sprintf("tenant %q ingestion queue is full", t.id)})
 		return
@@ -461,6 +468,12 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The cost model meters the whole serving path — parse through Assign —
+	// so the bucket sizing reflects what a request actually costs the box.
+	// wallStart is the same span on the real clock: it feeds the latency
+	// histogram, the figure the admission layer's budget is judged against.
+	entry := t.adm.now()
+	wallStart := time.Now()
 	var payload objectsPayload
 	if err := s.decodeBody(w, r, &payload); err != nil {
 		writeErr(w, err)
@@ -471,18 +484,30 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	dec := t.adm.admit(routeAssign, len(ds), 0)
+	if dec.verdict != admitOK {
+		writeShed(w, t.id, "assign", dec)
+		return
+	}
+	defer t.adm.exit(routeAssign, len(ds))
 	model := t.model.Load()
 	if model == nil {
 		writeErr(w, fmt.Errorf("serve: tenant %q: %w", t.id, errNoModel))
 		return
 	}
-	start := time.Now()
 	assign, err := model.Assign(r.Context(), ds)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	s.metrics.assignLatency.observe(time.Since(start).Seconds())
+	// Only uncontended requests sample the cost model: a request admitted
+	// into an empty pipeline measures true service time, while a contended
+	// wall time folds co-runners' queueing into the estimate. Under
+	// saturation the estimate simply freezes at its last clean value.
+	if dec.conc == 1 {
+		t.adm.observeCost(routeAssign, len(ds), t.adm.now().Sub(entry))
+	}
+	s.metrics.assignLatency.observe(time.Since(wallStart).Seconds())
 	s.metrics.assignBatch.observe(float64(len(ds)))
 	s.metrics.assignObjects.Add(int64(len(ds)))
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -490,6 +515,23 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		"model_version": t.version.Load(),
 		"k":             model.K(),
 	})
+}
+
+// writeShed renders an admission refusal: 429 with a Retry-After priced
+// from the bucket refill deficit (plus queue drain on the observe path), or
+// 413 with the largest admissible batch. Admission never sheds with 5xx.
+func writeShed(w http.ResponseWriter, tenantID, route string, dec decision) {
+	switch dec.verdict {
+	case shed429:
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds(dec.retryAfter)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{
+			"error": fmt.Sprintf("tenant %q: %s rate limit exceeded", tenantID, route)})
+	case shed413:
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+			"error":             fmt.Sprintf("tenant %q: batch exceeds the %s admission burst", tenantID, route),
+			"max_batch_objects": dec.maxBatch,
+		})
+	}
 }
 
 // handleGetModel: GET /v1/tenants/{id}/model — the serving model in the

@@ -47,6 +47,16 @@ type metrics struct {
 	pushSuccess  atomic.Int64
 	pushFailures atomic.Int64
 
+	// Admission control, per route (index by the route constants). Every
+	// admission decision increments attempts and exactly one of admitted /
+	// shed429 / shed413, so attempts == admitted + Σ shed — the admission
+	// conservation law gated by the serve bench. Admission sheds are
+	// deliberately separate from queueRejected (queue-full backpressure).
+	admAttempts [routeCount]atomic.Int64
+	admAdmitted [routeCount]atomic.Int64
+	admShed429  [routeCount]atomic.Int64
+	admShed413  [routeCount]atomic.Int64
+
 	assignLatency histogram
 	assignBatch   histogram
 }
@@ -155,6 +165,19 @@ func (m *metrics) write(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE ucpcd_tenants_quarantined counter\nucpcd_tenants_quarantined %d\n", m.tenantsQuarantined.Load())
 	fmt.Fprintf(w, "# TYPE ucpcd_push_success_total counter\nucpcd_push_success_total %d\n", m.pushSuccess.Load())
 	fmt.Fprintf(w, "# TYPE ucpcd_push_failures_total counter\nucpcd_push_failures_total %d\n", m.pushFailures.Load())
+	fmt.Fprintf(w, "# TYPE ucpcd_admission_attempts_total counter\n")
+	for r, name := range routeNames {
+		fmt.Fprintf(w, "ucpcd_admission_attempts_total{route=%q} %d\n", name, m.admAttempts[r].Load())
+	}
+	fmt.Fprintf(w, "# TYPE ucpcd_admitted_total counter\n")
+	for r, name := range routeNames {
+		fmt.Fprintf(w, "ucpcd_admitted_total{route=%q} %d\n", name, m.admAdmitted[r].Load())
+	}
+	fmt.Fprintf(w, "# TYPE ucpcd_shed_total counter\n")
+	for r, name := range routeNames {
+		fmt.Fprintf(w, "ucpcd_shed_total{route=%q,code=\"429\"} %d\n", name, m.admShed429[r].Load())
+		fmt.Fprintf(w, "ucpcd_shed_total{route=%q,code=\"413\"} %d\n", name, m.admShed413[r].Load())
+	}
 	m.assignLatency.write(w, "ucpcd_assign_latency_seconds")
 	m.assignBatch.write(w, "ucpcd_assign_batch_objects")
 }

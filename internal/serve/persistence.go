@@ -178,7 +178,7 @@ func (s *Server) restoreTenant(snap *persist.TenantSnapshot) error {
 			return fmt.Errorf("serve: tenant %q snapshot statistics: %v: %w", snap.ID, err, ErrCorruptSnapshot)
 		}
 	}
-	t, err := newTenant(spec, s.cfg.QueueChunks, s.metrics)
+	t, err := newTenant(spec, s.cfg.QueueChunks, s.metrics, s.admissionDefaults())
 	if err != nil {
 		return fmt.Errorf("serve: tenant %q snapshot spec rejected: %v: %w", snap.ID, err, ErrCorruptSnapshot)
 	}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ucpc"
 )
@@ -52,6 +53,11 @@ type TenantSpec struct {
 	// QueueChunks overrides the server's bounded ingestion-queue capacity
 	// for this tenant, counted in observe payloads (0 = server default).
 	QueueChunks int `json:"queue_chunks,omitempty"`
+	// Admission is "on", "off", or "" (= the server default set by the
+	// -admission flag). "on" starts the tenant in auto mode: token buckets
+	// on assign and observe sized from the measured per-object cost against
+	// the daemon's latency budget.
+	Admission string `json:"admission,omitempty"`
 }
 
 var tenantIDPattern = regexp.MustCompile(`^[A-Za-z0-9_-]{1,64}$`)
@@ -132,6 +138,10 @@ type tenant struct {
 	persistedVersion atomic.Int64
 	lastSaveNano     atomic.Int64
 
+	// adm is the tenant's admission-control state (cost models, token
+	// buckets, conservation counters); always non-nil, possibly in off mode.
+	adm *admission
+
 	// Federation push bookkeeping (used only when the server has a push
 	// target). stopPush ends the tenant's push loop on deletion; the
 	// counters feed /metrics and the tenant-info surface, and lastPushSeen
@@ -144,11 +154,33 @@ type tenant struct {
 	pushErr      atomic.Pointer[string]
 }
 
+// admissionDefaults carries the server-level admission configuration into
+// newTenant: whether tenants default to auto mode, the latency budget the
+// buckets defend, and the clock (time.Now outside tests).
+type admissionDefaults struct {
+	enabled bool
+	budget  time.Duration
+	now     func() time.Time
+}
+
 // newTenant builds the tenant and starts its ingester goroutine.
-func newTenant(spec TenantSpec, queueChunks int, m *metrics) (*tenant, error) {
+func newTenant(spec TenantSpec, queueChunks int, m *metrics, admDefaults admissionDefaults) (*tenant, error) {
 	if !tenantIDPattern.MatchString(spec.ID) {
 		return nil, fmt.Errorf("serve: tenant id %q must match %s: %w",
 			spec.ID, tenantIDPattern, errBadRequest)
+	}
+	mode := modeOff
+	switch spec.Admission {
+	case "on", "auto":
+		mode = modeAuto
+	case "off":
+	case "":
+		if admDefaults.enabled {
+			mode = modeAuto
+		}
+	default:
+		return nil, fmt.Errorf("serve: tenant %q: invalid admission %q (valid: on, off): %w",
+			spec.ID, spec.Admission, errBadRequest)
 	}
 	if spec.K < 1 {
 		return nil, fmt.Errorf("serve: tenant %q: k %d: %w", spec.ID, spec.K, ucpc.ErrBadK)
@@ -182,6 +214,7 @@ func newTenant(spec TenantSpec, queueChunks int, m *metrics) (*tenant, error) {
 		id: spec.ID, alg: spec.Algorithm, k: spec.K, shards: spec.Shards,
 		cfg: cfg, scfg: scfg, spec: spec,
 		fit:      fit,
+		adm:      newAdmission(mode, admDefaults.budget, m, admDefaults.now),
 		queue:    make(chan ucpc.Dataset, queueChunks),
 		done:     make(chan struct{}),
 		stopPush: make(chan struct{}),
@@ -197,6 +230,9 @@ func (t *tenant) install(m *ucpc.Model, mx *metrics) int64 {
 	t.model.Store(m)
 	t.swaps.Add(1)
 	mx.swaps.Add(1)
+	// Re-weight the assign cost model from the new model's pruning counters
+	// before any request against it is measured.
+	t.adm.onInstall(m.Report(), t.k)
 	return t.version.Add(1)
 }
 
@@ -229,7 +265,9 @@ func (t *tenant) ingest(m *metrics) {
 		t.mu.Lock()
 		fit := t.fit
 		t.mu.Unlock()
+		start := t.adm.now()
 		err := fit.Observe(context.Background(), ds)
+		t.adm.observeCost(routeObserve, len(ds), t.adm.now().Sub(start))
 		t.queued.Add(-int64(len(ds)))
 		if err != nil {
 			msg := err.Error()

@@ -36,8 +36,15 @@
 //	PUT    /v1/tenants/{id}/model   upload a UCPM payload + hot swap
 //	GET    /v1/tenants/{id}/stats   export UCWS statistics (stream tenants)
 //	POST   /v1/tenants/{id}/stats   import remote UCWS statistics (sharded tenants)
+//	GET    /v1/tenants/{id}/limits  admission state: mode, buckets, cost estimates
+//	PUT    /v1/tenants/{id}/limits  switch admission mode / set manual rate+burst
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /healthz                 liveness
+//
+// Admission control (admission.go) sits in front of the assign and observe
+// handlers: per-tenant token buckets sized from a measured-cost EWMA against
+// the daemon's latency budget shed excess load as 429/413 — never 5xx —
+// with Retry-After derived from the bucket refill deficit and queue depth.
 package serve
 
 import (
@@ -98,6 +105,19 @@ type Config struct {
 	// source, so cumulative statistics are never double-counted (0 = the
 	// host name, or "edge" if that fails).
 	PushSource string
+
+	// Admission starts every tenant in auto admission mode (cost-model
+	// sized token buckets on assign and observe) unless its spec says
+	// otherwise. False leaves admission off by default; individual tenants
+	// can still opt in with "admission": "on" or a limits PUT.
+	Admission bool
+	// P99Budget is the per-request latency budget admission defends
+	// (0 = 250ms): auto mode sizes each bucket so an admitted batch can
+	// finish within it at the measured per-object cost.
+	P99Budget time.Duration
+
+	// clock overrides time.Now for deterministic admission tests.
+	clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -132,7 +152,19 @@ func (c Config) withDefaults() Config {
 			c.PushSource = "edge"
 		}
 	}
+	if c.P99Budget == 0 {
+		c.P99Budget = 250 * time.Millisecond
+	}
+	if c.clock == nil {
+		c.clock = time.Now
+	}
 	return c
+}
+
+// admissionDefaults resolves the server-level admission configuration
+// handed to every newTenant call.
+func (s *Server) admissionDefaults() admissionDefaults {
+	return admissionDefaults{enabled: s.cfg.Admission, budget: s.cfg.P99Budget, now: s.cfg.clock}
 }
 
 // Server is the daemon: registry + handlers + metrics behind one
@@ -203,6 +235,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("PUT /v1/tenants/{id}/model", s.handlePutModel)
 	mux.HandleFunc("GET /v1/tenants/{id}/stats", s.handleGetStats)
 	mux.HandleFunc("POST /v1/tenants/{id}/stats", s.handlePostStats)
+	mux.HandleFunc("GET /v1/tenants/{id}/limits", s.handleGetLimits)
+	mux.HandleFunc("PUT /v1/tenants/{id}/limits", s.handlePutLimits)
 	s.handler = s.instrument(mux)
 	s.http = &http.Server{
 		Handler:           s.handler,
@@ -443,6 +477,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		return fmt.Sprint(m.Report().ScannedCandidates), true
 	})
+	// Admission series carry a route label, so they use their own writer
+	// instead of writeSeries.
+	writeAdmSeries := func(name, typ string, value func(ra *routeAdmission, now time.Time) (string, bool)) {
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		for _, t := range tenants {
+			now := t.adm.now()
+			for r, route := range routeNames {
+				if v, ok := value(&t.adm.routes[r], now); ok {
+					fmt.Fprintf(w, "%s{tenant=%q,route=%q} %s\n", name, t.id, route, v)
+				}
+			}
+		}
+	}
+	writeAdmSeries("ucpcd_tenant_admission_attempts_total", "counter", func(ra *routeAdmission, _ time.Time) (string, bool) {
+		return fmt.Sprint(ra.attempts.Load()), true
+	})
+	writeAdmSeries("ucpcd_tenant_admitted_total", "counter", func(ra *routeAdmission, _ time.Time) (string, bool) {
+		return fmt.Sprint(ra.admitted.Load()), true
+	})
+	writeAdmSeries("ucpcd_tenant_cost_ns_per_object", "gauge", func(ra *routeAdmission, _ time.Time) (string, bool) {
+		est, ok := ra.cost.estimate()
+		if !ok {
+			return "", false
+		}
+		return formatFloat(est), true
+	})
+	writeAdmSeries("ucpcd_tenant_bucket_tokens", "gauge", func(ra *routeAdmission, now time.Time) (string, bool) {
+		tokens, _, _ := ra.bucket.level(now)
+		return formatFloat(tokens), true
+	})
+	writeAdmSeries("ucpcd_tenant_bucket_rate_objects_per_sec", "gauge", func(ra *routeAdmission, now time.Time) (string, bool) {
+		_, rate, _ := ra.bucket.level(now)
+		return formatFloat(rate), true
+	})
+	writeAdmSeries("ucpcd_tenant_bucket_burst_objects", "gauge", func(ra *routeAdmission, now time.Time) (string, bool) {
+		_, _, burst := ra.bucket.level(now)
+		return formatFloat(burst), true
+	})
+	fmt.Fprintf(w, "# TYPE ucpcd_tenant_shed_total counter\n")
+	for _, t := range tenants {
+		for r, route := range routeNames {
+			ra := &t.adm.routes[r]
+			fmt.Fprintf(w, "ucpcd_tenant_shed_total{tenant=%q,route=%q,code=\"429\"} %d\n", t.id, route, ra.shed429c.Load())
+			fmt.Fprintf(w, "ucpcd_tenant_shed_total{tenant=%q,route=%q,code=\"413\"} %d\n", t.id, route, ra.shed413c.Load())
+		}
+	}
 }
 
 // Serve accepts connections on l until Shutdown. It returns the

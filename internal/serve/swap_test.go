@@ -232,3 +232,110 @@ func TestDeleteDuringObserve(t *testing.T) {
 		wg.Wait()
 	}
 }
+
+// TestLimitsPutDuringSwapAndAssign races the admission control surface
+// against everything it guards: assign workers hammer an admission-enabled
+// tenant while one goroutine cycles the limits through manual, off, and
+// auto, and hot model swaps land underneath. The gates are the degraded-mode
+// promise — every response is 200, 429, or 413, never 5xx — and the
+// admission conservation law still holding on the quiesced /limits surface.
+func TestLimitsPutDuringSwapAndAssign(t *testing.T) {
+	_, ts := newTestServer(t, Config{Admission: true, P99Budget: 20 * time.Millisecond})
+	do(t, "POST", ts.URL+"/v1/tenants", `{"id":"lim","k":2,"seed":33,"admission":"on"}`, 201, nil)
+	base := ts.URL + "/v1/tenants/lim"
+	do(t, "POST", base+"/fit", pointsBody(120, 1), 200, nil)
+
+	stop := make(chan struct{})
+	var got5xx, badStatus, served atomic.Int64
+	var wg sync.WaitGroup
+	const readers = 6
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := pointsBody(8+8*(w%3), int64(200+w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base+"/assign", "application/json", strings.NewReader(body))
+				if err != nil {
+					badStatus.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == 200:
+					served.Add(1)
+				case resp.StatusCode == 429 || resp.StatusCode == 413:
+					// shed: the admission contract under churn
+				case resp.StatusCode >= 500:
+					got5xx.Add(1)
+				default:
+					badStatus.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// One goroutine churns the limits; the main goroutine lands hot swaps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bodies := []string{
+			`{"mode":"manual","assign_rate_objects_per_sec":500,"assign_burst_objects":64}`,
+			`{"mode":"off"}`,
+			`{"mode":"auto"}`,
+			`{"mode":"manual","assign_rate_objects_per_sec":50,"assign_burst_objects":8}`,
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req, err := http.NewRequest("PUT", base+"/limits", strings.NewReader(bodies[i%len(bodies)]))
+			if err != nil {
+				t.Errorf("PUT limits: %v", err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("PUT limits: %v", err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				t.Errorf("PUT limits: status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	for swaps := 0; swaps < 4; swaps++ {
+		do(t, "POST", base+"/fit", pointsBody(120, int64(40+swaps)), 200, nil)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got5xx.Load() != 0 {
+		t.Fatalf("%d responses were 5xx during limits churn; shedding must stay 4xx", got5xx.Load())
+	}
+	if badStatus.Load() != 0 {
+		t.Fatalf("%d responses were outside the 200/429/413 contract", badStatus.Load())
+	}
+	if served.Load() == 0 {
+		t.Fatal("no assigns served while limits churned")
+	}
+
+	var lim limitsInfo
+	do(t, "GET", base+"/limits", "", 200, &lim)
+	for _, rl := range []routeLimits{lim.Assign, lim.Observe} {
+		if rl.AttemptsTotal != rl.AdmittedTotal+rl.Shed429Total+rl.Shed413Total {
+			t.Fatalf("admission conservation violated after churn: %+v", rl)
+		}
+	}
+}
